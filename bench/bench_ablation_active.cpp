@@ -1,0 +1,126 @@
+// Ablation F: learning acquisition strategy. At an equal ATE measurement
+// budget, the learner's follow-up rounds either measure fresh random
+// tests (the paper's loop), the committee's predicted-worst candidates,
+// or its most-disputed candidates. Reports model quality, worst-region
+// ranking, and how close the measured corpus itself got to the worst case.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+#include "core/characterizer.hpp"
+#include "util/ascii.hpp"
+#include "util/statistics.hpp"
+
+using namespace cichar;
+
+namespace {
+
+struct AcquisitionOutcome {
+    double correlation = 0.0;
+    double top50_overlap = 0.0;
+    double corpus_worst_wcr = 0.0;  ///< worst WCR actually measured
+    std::size_t measurements = 0;
+};
+
+AcquisitionOutcome evaluate(core::Acquisition acquisition,
+                            std::uint64_t seed) {
+    device::MemoryChipOptions chip_opts;
+    chip_opts.noise_sigma_ns = 0.0;
+    bench::Rig rig(chip_opts);
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+
+    core::LearnerOptions opts;
+    opts.training_tests = 80;
+    opts.additional_tests_per_round = 60;
+    opts.max_rounds = 3;
+    opts.min_rounds = 3;  // same measurement budget for every strategy
+    opts.acquisition = acquisition;
+    opts.acquisition_pool = 1500;
+    const core::CharacterizationLearner learner(opts);
+    const testgen::RandomTestGenerator generator(bench::nominal_generator());
+    util::Rng rng(seed);
+    const core::LearnResult learned =
+        learner.run(rig.tester, param, generator, rng);
+
+    AcquisitionOutcome outcome;
+    outcome.corpus_worst_wcr = learned.dsv.worst().wcr;
+    outcome.measurements =
+        static_cast<std::size_t>(rig.tester.log().total().applications);
+
+    // Score 1000 fresh tests against ground truth.
+    util::Rng eval_rng(seed ^ 0x5A5A5A);
+    constexpr std::size_t kEval = 1000;
+    std::vector<double> predicted(kEval);
+    std::vector<double> truth(kEval);
+    for (std::size_t i = 0; i < kEval; ++i) {
+        const testgen::Test t = generator.random_test(eval_rng);
+        predicted[i] = learned.model.predict_wcr(t);
+        truth[i] = param.spec / rig.chip.true_parameter(
+                                    t, device::ParameterKind::kDataValidTime);
+    }
+    outcome.correlation = util::correlation(predicted, truth);
+
+    const auto top_indices = [](const std::vector<double>& v, std::size_t k) {
+        std::vector<std::size_t> idx(v.size());
+        for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+        std::partial_sort(idx.begin(),
+                          idx.begin() + static_cast<std::ptrdiff_t>(k),
+                          idx.end(),
+                          [&](std::size_t a, std::size_t b) {
+                              return v[a] > v[b];
+                          });
+        idx.resize(k);
+        std::sort(idx.begin(), idx.end());
+        return idx;
+    };
+    const auto predicted_top = top_indices(predicted, 50);
+    const auto true_top = top_indices(truth, 50);
+    std::vector<std::size_t> intersection;
+    std::set_intersection(predicted_top.begin(), predicted_top.end(),
+                          true_top.begin(), true_top.end(),
+                          std::back_inserter(intersection));
+    outcome.top50_overlap = static_cast<double>(intersection.size()) / 50.0;
+    return outcome;
+}
+
+}  // namespace
+
+int main() {
+    constexpr std::uint64_t kSeed = 2005;
+    bench::header("Ablation F",
+                  "learning acquisition: random vs predicted-worst vs "
+                  "uncertainty",
+                  kSeed);
+
+    util::TextTable table({"acquisition", "pred corr", "top-50 overlap",
+                           "corpus worst WCR", "ATE meas"});
+    for (const core::Acquisition acquisition :
+         {core::Acquisition::kRandom, core::Acquisition::kPredictedWorst,
+          core::Acquisition::kUncertainty}) {
+        util::RunningStats corr;
+        util::RunningStats overlap;
+        util::RunningStats worst;
+        util::RunningStats meas;
+        for (std::uint64_t s = 1; s <= 3; ++s) {
+            const AcquisitionOutcome o = evaluate(acquisition, kSeed + s);
+            corr.add(o.correlation);
+            overlap.add(o.top50_overlap);
+            worst.add(o.corpus_worst_wcr);
+            meas.add(static_cast<double>(o.measurements));
+        }
+        table.add_row({core::to_string(acquisition),
+                       util::fixed(corr.mean(), 3),
+                       util::fixed(overlap.mean(), 2),
+                       util::fixed(worst.mean(), 3),
+                       util::fixed(meas.mean(), 0)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\ncontext: the paper's Fig. 4 loop re-measures *random* "
+                "tests when the committee fails its check. Steering the "
+                "follow-up measurements with the committee itself "
+                "(predicted-worst) starts the GA closer to the worst case "
+                "at identical ATE cost — an active-learning refinement of "
+                "the published flow.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation B: trip point value coding — fuzzy set data vs simple numeric
+// coding (paper Fig. 4 step 3 offers both; section 5 strongly recommends
+// fuzzy). Trains the same committee with each coding and compares
+// prediction quality and worst-case candidate ranking.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "core/characterizer.hpp"
+#include "util/ascii.hpp"
+#include "util/statistics.hpp"
+
+using namespace cichar;
+
+namespace {
+
+struct CodingOutcome {
+    double correlation = 0.0;
+    double top50_overlap = 0.0;  ///< fraction of true top-50 found in
+                                 ///< the predicted top-50 of 1000
+    double mean_val_error = 0.0;
+};
+
+CodingOutcome evaluate(fuzzy::CodingScheme scheme, std::uint64_t seed) {
+    device::MemoryChipOptions chip_opts;
+    chip_opts.noise_sigma_ns = 0.0;
+    bench::Rig rig(chip_opts);
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+
+    core::LearnerOptions opts;
+    opts.training_tests = 150;
+    opts.coding = scheme;
+    const core::CharacterizationLearner learner(opts);
+    const testgen::RandomTestGenerator generator(bench::nominal_generator());
+    util::Rng rng(seed);
+    const core::LearnResult learned =
+        learner.run(rig.tester, param, generator, rng);
+
+    // Score 1000 fresh tests.
+    util::Rng eval_rng(seed ^ 0xABCDEF);
+    constexpr std::size_t kEval = 1000;
+    std::vector<double> predicted(kEval);
+    std::vector<double> truth(kEval);
+    for (std::size_t i = 0; i < kEval; ++i) {
+        const testgen::Test t = generator.random_test(eval_rng);
+        predicted[i] = learned.model.predict_wcr(t);
+        truth[i] = param.spec / rig.chip.true_parameter(
+                                    t, device::ParameterKind::kDataValidTime);
+    }
+
+    CodingOutcome outcome;
+    outcome.correlation = util::correlation(predicted, truth);
+    outcome.mean_val_error = learned.mean_validation_error;
+
+    const auto top_indices = [](const std::vector<double>& v, std::size_t k) {
+        std::vector<std::size_t> idx(v.size());
+        for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+        std::partial_sort(idx.begin(),
+                          idx.begin() + static_cast<std::ptrdiff_t>(k),
+                          idx.end(), [&](std::size_t a, std::size_t b) {
+                              return v[a] > v[b];
+                          });
+        idx.resize(k);
+        std::sort(idx.begin(), idx.end());
+        return idx;
+    };
+    constexpr std::size_t kTop = 50;
+    const auto predicted_top = top_indices(predicted, kTop);
+    const auto true_top = top_indices(truth, kTop);
+    std::vector<std::size_t> intersection;
+    std::set_intersection(predicted_top.begin(), predicted_top.end(),
+                          true_top.begin(), true_top.end(),
+                          std::back_inserter(intersection));
+    outcome.top50_overlap =
+        static_cast<double>(intersection.size()) / static_cast<double>(kTop);
+    return outcome;
+}
+
+}  // namespace
+
+int main() {
+    constexpr std::uint64_t kSeed = 2005;
+    bench::header("Ablation B",
+                  "trip point coding: fuzzy classes vs numeric target",
+                  kSeed);
+
+    util::TextTable table({"coding", "pred-vs-true corr", "top-50 overlap",
+                           "committee val err"});
+    for (const auto scheme :
+         {fuzzy::CodingScheme::kFuzzy, fuzzy::CodingScheme::kNumeric}) {
+        const CodingOutcome o = evaluate(scheme, kSeed);
+        table.add_row({fuzzy::to_string(scheme), util::fixed(o.correlation, 3),
+                       util::fixed(o.top50_overlap, 2),
+                       util::fixed(o.mean_val_error, 5)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\npaper: \"we strongly recommend to use fuzzy variables to "
+                "encode measurement values\" — fuzzy coding describes more "
+                "than one analysis parameter per output.\n");
+    std::printf("measured: both codings rank worst-case candidates well on "
+                "this single-parameter task; fuzzy additionally yields "
+                "per-class degrees (pass/weakness/fail) for free.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation E: NN weight training — backprop (SGD+momentum) vs the genetic
+// algorithm trainer of the paper's reference [13] (van Rooij et al.,
+// "Neural Network Training Using Genetic Algorithms"), on the actual
+// characterization regression task (features -> fuzzy-coded WCR classes).
+#include <chrono>
+
+#include "bench_common.hpp"
+
+#include "core/characterizer.hpp"
+#include "nn/ga_trainer.hpp"
+#include "util/ascii.hpp"
+#include "util/statistics.hpp"
+
+using namespace cichar;
+
+int main() {
+    constexpr std::uint64_t kSeed = 2005;
+    bench::header("Ablation E",
+                  "NN training: backprop vs genetic algorithm (ref [13])",
+                  kSeed);
+
+    // Build the real training corpus once: measured trip points of random
+    // tests, fuzzy-coded.
+    device::MemoryChipOptions chip_opts;
+    chip_opts.noise_sigma_ns = 0.0;
+    bench::Rig rig(chip_opts);
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    const testgen::RandomTestGenerator generator(bench::nominal_generator());
+    const fuzzy::TripPointCoder coder = fuzzy::TripPointCoder::fuzzy_wcr_fine();
+
+    util::Rng rng(kSeed);
+    core::TripSession session(rig.tester, param, core::MultiTripOptions{});
+    nn::Dataset corpus(testgen::kFeatureCount, coder.output_count());
+    for (int i = 0; i < 250; ++i) {
+        const testgen::Test test = generator.random_test(rng);
+        const core::TripPointRecord record = session.measure(test);
+        if (!record.found) continue;
+        const testgen::FeatureVector fv = testgen::extract_features(
+            test, generator.options().condition_bounds);
+        corpus.add(std::vector<double>(fv.values.begin(), fv.values.end()),
+                   coder.encode(record.wcr));
+    }
+    util::Rng split_rng(1);
+    const auto [train_set, validation_set] = nn::split(corpus, 0.8, split_rng);
+    std::printf("corpus: %zu train / %zu validation samples\n",
+                train_set.size(), validation_set.size());
+
+    const std::vector<std::size_t> sizes{testgen::kFeatureCount, 24, 12,
+                                         coder.output_count()};
+
+    bench::section("five seeds each, same topology");
+    util::TextTable table({"trainer", "val MSE (mean)", "val MSE (worst)",
+                           "epochs/gens", "train ms (mean)"});
+
+    for (const bool use_ga : {false, true}) {
+        util::RunningStats val;
+        util::RunningStats iters;
+        util::RunningStats millis;
+        for (std::uint64_t s = 1; s <= 5; ++s) {
+            nn::Mlp net(sizes, nn::Activation::kTanh,
+                        nn::Activation::kSigmoid);
+            util::Rng train_rng(kSeed + s);
+            net.init_weights(train_rng);
+            const auto start = std::chrono::steady_clock::now();
+            nn::TrainReport report;
+            if (use_ga) {
+                nn::GaTrainOptions opts;
+                opts.population = 40;
+                opts.generations = 300;
+                report = nn::GaTrainer(opts).train(net, train_set,
+                                                   validation_set, train_rng);
+            } else {
+                nn::TrainOptions opts;
+                opts.max_epochs = 300;
+                report = nn::Trainer(opts).train(net, train_set,
+                                                 validation_set, train_rng);
+            }
+            const auto elapsed =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            val.add(report.final_validation_mse);
+            iters.add(static_cast<double>(report.epochs_run));
+            millis.add(elapsed);
+        }
+        table.add_row({use_ga ? "genetic algorithm [13]" : "backprop (SGD)",
+                       util::fixed(val.mean(), 5), util::fixed(val.max(), 5),
+                       util::fixed(iters.mean(), 0),
+                       util::fixed(millis.mean(), 1)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\ncontext: the paper cites GA-based NN training [13] as an "
+                "alternative to backprop. On this smooth regression task "
+                "gradient descent converges deeper; the GA trainer is "
+                "gradient-free and still reaches a usable model — the "
+                "population-based machinery both trainers share is the same "
+                "one the worst-case hunt uses.\n");
+    return 0;
+}

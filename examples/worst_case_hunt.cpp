@@ -1,0 +1,80 @@
+// Full computational-intelligence worst-case hunt, end to end:
+//   1. Fig. 4 learning scheme  — random tests measured on the ATE, trip
+//      points fuzzy-coded, NN voting committee trained, weight file saved.
+//   2. Fig. 5 optimization     — weight file seeds the fuzzy-NN test
+//      generator; the multi-population GA evolves test sequences and test
+//      conditions against live trip-point fitness until the worst case
+//      ratio theorem stops it; results land in the worst-case database.
+//
+// Build & run:  ./build/examples/worst_case_hunt
+#include <cstdio>
+#include <fstream>
+
+#include "core/characterizer.hpp"
+#include "device/memory_chip.hpp"
+#include "nn/weights_io.hpp"
+#include "util/rng.hpp"
+
+int main() {
+    using namespace cichar;
+
+    device::MemoryTestChip chip;
+    ate::Tester tester(chip);
+
+    core::CharacterizerOptions options;
+    // Table 1 operating point: only the pattern varies, Vdd stays 1.8 V.
+    options.generator.condition_bounds =
+        testgen::ConditionBounds::fixed_nominal();
+
+    const ate::Parameter t_dq = ate::Parameter::data_valid_time();
+    core::DeviceCharacterizer characterizer(tester, t_dq, options);
+    util::Rng rng(1234);
+
+    // ---- Fig. 4: learning --------------------------------------------
+    std::printf("[1/3] learning the test -> trip point mapping on the ATE\n");
+    const core::LearnResult learned = characterizer.learn(rng);
+    std::printf("      %zu tests measured, %zu learning round(s), committee "
+                "of %zu nets, validation error %.5f (%s)\n",
+                learned.tests_measured, learned.rounds,
+                learned.model.committee().member_count(),
+                learned.mean_validation_error,
+                learned.converged ? "converged" : "NOT converged");
+
+    // The paper's NN weight file, ready for software-only classification.
+    nn::save_committee_file("worst_case_hunt.weights",
+                            learned.model.committee());
+    std::printf("      weight file written to worst_case_hunt.weights\n");
+
+    // ---- Fig. 5: optimization ----------------------------------------
+    std::printf("[2/3] GA worst-case optimization (drift to minimum T_DQ)\n");
+    const core::WorstCaseReport report =
+        characterizer.optimize(learned.model, rng);
+    std::printf("      best WCR %.3f -> T_DQ %.2f ns (class %s) after %zu "
+                "GA evaluations / %zu ATE measurements\n",
+                report.outcome.best_fitness, report.worst_record.trip_point,
+                ga::to_string(report.worst_record.wcr_class),
+                report.outcome.evaluations, report.ate_measurements);
+    std::printf("      worst test recipe: %s\n",
+                report.database.worst().recipe.describe().c_str());
+
+    // ---- Database ----------------------------------------------------
+    std::printf("[3/3] worst-case test database\n");
+    std::printf("      %zu entries, %zu functional failures (stored "
+                "separately)\n",
+                report.database.size(),
+                report.database.functional_failures().size());
+    std::printf("      top 5 worst tests:\n");
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, report.database.size());
+         ++i) {
+        const core::WorstCaseEntry& e = report.database.entries()[i];
+        std::printf("        %-8s WCR %.3f T_DQ %.2f ns (%s)\n",
+                    e.name.c_str(), e.wcr, e.trip_point,
+                    ga::to_string(e.wcr_class));
+    }
+    std::ofstream csv("worst_case_db.csv");
+    report.database.save_csv(csv);
+    std::printf("      full database written to worst_case_db.csv\n");
+
+    std::printf("\n%s", tester.log().report().c_str());
+    return 0;
+}

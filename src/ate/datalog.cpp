@@ -1,0 +1,46 @@
+#include "ate/datalog.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace cichar::ate {
+
+void Datalog::record(DatalogEntry entry) {
+    if (!enabled_ || capacity_ == 0) return;
+    ++total_;
+    if (entries_.size() < capacity_) {
+        entries_.push_back(std::move(entry));
+        return;
+    }
+    // Ring: overwrite the oldest.
+    entries_[head_] = std::move(entry);
+    head_ = (head_ + 1) % capacity_;
+}
+
+const DatalogEntry& Datalog::entry(std::size_t i) const {
+    if (i >= entries_.size()) {
+        throw std::out_of_range("Datalog::entry index out of range");
+    }
+    return entries_[(head_ + i) % entries_.size()];
+}
+
+void Datalog::clear() {
+    entries_.clear();
+    head_ = 0;
+    total_ = 0;
+}
+
+void Datalog::write_csv(std::ostream& out) const {
+    util::CsvWriter csv(out);
+    csv.row({"test", "parameter", "setting", "result", "kind"});
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const DatalogEntry& e = entry(i);
+        csv.row(std::vector<std::string>{
+            e.test_name, e.parameter_name, util::format_double(e.setting),
+            e.pass ? "PASS" : "FAIL",
+            e.functional ? "functional" : "parametric"});
+    }
+}
+
+}  // namespace cichar::ate

@@ -1,0 +1,58 @@
+// Measurement datalog: testers can record every applied measurement (test
+// name, parameter, forced setting, pass/fail) for offline analysis — the
+// industry's "datalogging" mode. Off by default (it costs memory);
+// characterization debug flows and the shmoo CSV exports turn it on.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cichar::ate {
+
+/// One datalogged measurement.
+struct DatalogEntry {
+    std::string test_name;
+    std::string parameter_name;
+    double setting = 0.0;
+    bool pass = false;
+    /// True for functional pattern executions (setting is meaningless).
+    bool functional = false;
+};
+
+/// Bounded in-memory datalog. When full, the oldest entries are dropped
+/// (ring behaviour) so long campaigns cannot exhaust memory.
+class Datalog {
+public:
+    explicit Datalog(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+    void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    /// Total records offered, including dropped ones.
+    [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+        return total_;
+    }
+
+    /// Records one entry (no-op while disabled).
+    void record(DatalogEntry entry);
+
+    /// Oldest-first access.
+    [[nodiscard]] const DatalogEntry& entry(std::size_t i) const;
+
+    void clear();
+
+    /// CSV export (header + oldest-first rows).
+    void write_csv(std::ostream& out) const;
+
+private:
+    std::size_t capacity_;
+    bool enabled_ = false;
+    std::uint64_t total_ = 0;
+    std::vector<DatalogEntry> entries_;  ///< ring storage
+    std::size_t head_ = 0;               ///< index of the oldest entry
+};
+
+}  // namespace cichar::ate

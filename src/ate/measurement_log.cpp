@@ -1,0 +1,46 @@
+#include "ate/measurement_log.hpp"
+
+#include <sstream>
+
+namespace cichar::ate {
+
+void MeasurementLog::set_phase(std::string phase) {
+    phase_ = std::move(phase);
+}
+
+void MeasurementLog::record(std::uint64_t cycles, double seconds) {
+    by_phase_[phase_].add(cycles, seconds);
+    total_.add(cycles, seconds);
+}
+
+PhaseCounters MeasurementLog::phase_counters(const std::string& phase) const {
+    const auto it = by_phase_.find(phase);
+    return it != by_phase_.end() ? it->second : PhaseCounters{};
+}
+
+std::vector<std::string> MeasurementLog::phases() const {
+    std::vector<std::string> names;
+    names.reserve(by_phase_.size());
+    for (const auto& [name, counters] : by_phase_) names.push_back(name);
+    return names;
+}
+
+void MeasurementLog::reset() {
+    by_phase_.clear();
+    total_ = PhaseCounters{};
+}
+
+std::string MeasurementLog::report() const {
+    std::ostringstream out;
+    out << "tester activity by phase:\n";
+    for (const auto& [name, c] : by_phase_) {
+        out << "  " << name << ": " << c.applications << " measurements, "
+            << c.vector_cycles << " cycles, " << c.tester_seconds << " s\n";
+    }
+    out << "  TOTAL: " << total_.applications << " measurements, "
+        << total_.vector_cycles << " cycles, " << total_.tester_seconds
+        << " s\n";
+    return out.str();
+}
+
+}  // namespace cichar::ate

@@ -1,0 +1,73 @@
+// Measurement cost accounting. Characterization time is the paper's
+// central practical constraint; every pattern application on the tester is
+// ledgered here per named phase so benches can report "measurements per
+// trip point" and total simulated tester time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cichar::ate {
+
+/// Counters for one phase (e.g. "learning", "ga", "shmoo").
+struct PhaseCounters {
+    std::uint64_t applications = 0;   ///< pattern applications (measurements)
+    std::uint64_t vector_cycles = 0;  ///< total tester vector cycles driven
+    double tester_seconds = 0.0;      ///< modeled tester time
+
+    void add(std::uint64_t cycles, double seconds) noexcept {
+        ++applications;
+        vector_cycles += cycles;
+        tester_seconds += seconds;
+    }
+    void merge(const PhaseCounters& other) noexcept {
+        applications += other.applications;
+        vector_cycles += other.vector_cycles;
+        tester_seconds += other.tester_seconds;
+    }
+};
+
+/// Per-phase ledger of tester activity.
+class MeasurementLog {
+public:
+    /// Switches the active phase; a new phase starts at zero.
+    void set_phase(std::string phase);
+    [[nodiscard]] const std::string& phase() const noexcept { return phase_; }
+
+    /// Records one measurement in the active phase.
+    void record(std::uint64_t cycles, double seconds);
+
+    [[nodiscard]] const PhaseCounters& total() const noexcept { return total_; }
+    [[nodiscard]] PhaseCounters phase_counters(const std::string& phase) const;
+    [[nodiscard]] std::vector<std::string> phases() const;
+
+    void reset();
+
+    /// Formatted multi-line report of all phases plus the total.
+    [[nodiscard]] std::string report() const;
+
+private:
+    std::string phase_ = "default";
+    std::map<std::string, PhaseCounters> by_phase_;
+    PhaseCounters total_;
+};
+
+/// RAII phase scope: restores the previous phase on destruction.
+class PhaseScope {
+public:
+    PhaseScope(MeasurementLog& log, std::string phase)
+        : log_(&log), previous_(log.phase()) {
+        log_->set_phase(std::move(phase));
+    }
+    ~PhaseScope() { log_->set_phase(previous_); }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+private:
+    MeasurementLog* log_;
+    std::string previous_;
+};
+
+}  // namespace cichar::ate

@@ -1,0 +1,79 @@
+#include "ate/parameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cichar::ate {
+
+double Parameter::characterization_range() const noexcept {
+    return std::abs(search_end - search_start);
+}
+
+double Parameter::pass_side() const noexcept {
+    return fail_high ? std::min(search_start, search_end)
+                     : std::max(search_start, search_end);
+}
+
+double Parameter::fail_side() const noexcept {
+    return fail_high ? std::max(search_start, search_end)
+                     : std::min(search_start, search_end);
+}
+
+double Parameter::toward_fail() const noexcept {
+    return fail_high ? 1.0 : -1.0;
+}
+
+double Parameter::quantize(double setting) const noexcept {
+    if (resolution <= 0.0) return setting;
+    return std::round(setting / resolution) * resolution;
+}
+
+double Parameter::clamp(double setting) const noexcept {
+    const double lo = std::min(search_start, search_end);
+    const double hi = std::max(search_start, search_end);
+    return std::clamp(setting, lo, hi);
+}
+
+Parameter Parameter::data_valid_time() {
+    Parameter p;
+    p.name = "T_DQ";
+    p.unit = "ns";
+    p.kind = device::ParameterKind::kDataValidTime;
+    p.spec = 20.0;
+    p.spec_type = SpecType::kMinLimit;
+    p.fail_high = true;   // large strobe settings exceed the valid window
+    p.search_start = 15.0;
+    p.search_end = 45.0;
+    p.resolution = 0.1;
+    return p;
+}
+
+Parameter Parameter::max_frequency() {
+    Parameter p;
+    p.name = "Fmax";
+    p.unit = "MHz";
+    p.kind = device::ParameterKind::kMaxFrequency;
+    p.spec = 100.0;
+    p.spec_type = SpecType::kMinLimit;
+    p.fail_high = true;
+    p.search_start = 60.0;
+    p.search_end = 160.0;
+    p.resolution = 0.5;
+    return p;
+}
+
+Parameter Parameter::min_vdd() {
+    Parameter p;
+    p.name = "Vmin";
+    p.unit = "V";
+    p.kind = device::ParameterKind::kMinVdd;
+    p.spec = 1.60;
+    p.spec_type = SpecType::kMaxLimit;
+    p.fail_high = false;  // low supply fails; search downward from 2.2 V
+    p.search_start = 2.2;
+    p.search_end = 1.0;
+    p.resolution = 0.005;
+    return p;
+}
+
+}  // namespace cichar::ate

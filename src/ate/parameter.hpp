@@ -1,0 +1,62 @@
+// Characterization parameter descriptor: which DUT parameter is searched,
+// its specified limit, the generous starting range (S1..S2 in the paper's
+// Fig. 3), the tester resolution, and the orientation of the pass/fail
+// regions (eq. 3 vs eq. 4).
+#pragma once
+
+#include <string>
+
+#include "device/dut.hpp"
+
+namespace cichar::ate {
+
+/// Which side of the measured value the specification bounds.
+enum class SpecType : std::uint8_t {
+    kMinLimit,  ///< values below `spec` violate it (WCR eq. 6, min |vmin/va|)
+    kMaxLimit,  ///< values above `spec` violate it (WCR eq. 5, max |va/vmax|)
+};
+
+/// Full description of one searchable parameter.
+struct Parameter {
+    std::string name;
+    std::string unit;
+    device::ParameterKind kind = device::ParameterKind::kDataValidTime;
+    double spec = 0.0;           ///< specified limit (vmin or vmax)
+    SpecType spec_type = SpecType::kMinLimit;
+    /// True when the fail region lies above the pass region (paper's
+    /// "P < F": pass at 100 MHz, fail at 110 MHz). False for parameters
+    /// like minimum supply voltage where low settings fail.
+    bool fail_high = true;
+    double search_start = 0.0;   ///< S1: generous range start (pass side)
+    double search_end = 0.0;     ///< S2: generous range end (fail side)
+    double resolution = 0.0;     ///< tester edge resolution
+
+    /// Characterization range CR = |S2 - S1|.
+    [[nodiscard]] double characterization_range() const noexcept;
+
+    /// The boundary value on the pass side / fail side of the range.
+    [[nodiscard]] double pass_side() const noexcept;
+    [[nodiscard]] double fail_side() const noexcept;
+
+    /// Signed step direction from pass region toward fail region.
+    [[nodiscard]] double toward_fail() const noexcept;
+
+    /// Rounds a setting to the tester resolution grid.
+    [[nodiscard]] double quantize(double setting) const noexcept;
+
+    /// Clamps a setting into [min(S1,S2), max(S1,S2)].
+    [[nodiscard]] double clamp(double setting) const noexcept;
+
+    /// Paper experiment: data output valid time, spec 20 ns (min limit),
+    /// strobe searched over a generous 15..45 ns range at 0.1 ns.
+    [[nodiscard]] static Parameter data_valid_time();
+
+    /// Max operating frequency, spec 100 MHz (min limit), 60..160 MHz.
+    [[nodiscard]] static Parameter max_frequency();
+
+    /// Min operating supply, spec 1.60 V (max limit), fail region low:
+    /// searching *down* from a passing supply (exercises eq. 4).
+    [[nodiscard]] static Parameter min_vdd();
+};
+
+}  // namespace cichar::ate

@@ -1,0 +1,143 @@
+#include "ate/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cichar::ate {
+
+namespace detail {
+
+double split_between(const Parameter& p, double a, double b) {
+    const double mid = p.quantize(0.5 * (a + b));
+    if (mid == a || mid == b) return std::numeric_limits<double>::quiet_NaN();
+    const double lo = std::min(a, b);
+    const double hi = std::max(a, b);
+    if (mid <= lo || mid >= hi) return std::numeric_limits<double>::quiet_NaN();
+    return mid;
+}
+
+}  // namespace detail
+
+namespace {
+using detail::split_between;
+}  // namespace
+
+SearchResult LinearSearch::find(const Oracle& oracle,
+                                const Parameter& parameter) const {
+    SearchResult result;
+    const double step =
+        step_ > 0.0 ? step_ : std::max(parameter.resolution, 1e-12);
+    const double dir = parameter.toward_fail();
+    const double fail_side = parameter.fail_side();
+
+    double setting = parameter.pass_side();
+    double last_pass = std::numeric_limits<double>::quiet_NaN();
+    const auto max_steps = static_cast<std::size_t>(
+        parameter.characterization_range() / step + 2.0);
+
+    for (std::size_t i = 0; i <= max_steps; ++i) {
+        const bool pass = oracle(setting);
+        result.probe(setting, pass);
+        if (!pass) {
+            if (!std::isnan(last_pass)) {
+                result.trip_point = last_pass;
+                result.found = true;
+            }
+            return result;  // fail with no prior pass: no trip in range
+        }
+        last_pass = setting;
+        const double next = setting + dir * step;
+        // Pass region extends to the end of the range: no trip found.
+        if (dir > 0.0 ? next > fail_side : next < fail_side) break;
+        setting = next;
+    }
+    result.trip_point = last_pass;
+    result.found = false;
+    return result;
+}
+
+SearchResult BinarySearch::find(const Oracle& oracle,
+                                const Parameter& parameter) const {
+    SearchResult result;
+    const double res = std::max(parameter.resolution, 1e-12);
+    double pass_bound = parameter.pass_side();
+    double fail_bound = parameter.fail_side();
+
+    const bool start_passes = oracle(pass_bound);
+    result.probe(pass_bound, start_passes);
+    if (!start_passes) return result;  // whole range fails
+
+    const bool end_passes = oracle(fail_bound);
+    result.probe(fail_bound, end_passes);
+    if (end_passes) return result;  // whole range passes: no crossover
+
+    while (std::abs(fail_bound - pass_bound) > res) {
+        const double mid = split_between(parameter, pass_bound, fail_bound);
+        if (std::isnan(mid)) break;
+        const bool pass = oracle(mid);
+        result.probe(mid, pass);
+        if (pass) {
+            pass_bound = mid;
+        } else {
+            fail_bound = mid;
+        }
+    }
+    result.trip_point = pass_bound;
+    result.found = true;
+    return result;
+}
+
+SearchResult SuccessiveApproximation::find(const Oracle& oracle,
+                                           const Parameter& parameter) const {
+    SearchResult result;
+    const double res = std::max(parameter.resolution, 1e-12);
+    const double dir = parameter.toward_fail();
+    double pass_bound = parameter.pass_side();
+    double fail_bound = parameter.fail_side();
+
+    const bool start_passes = oracle(pass_bound);
+    result.probe(pass_bound, start_passes);
+    if (!start_passes) return result;
+
+    const bool end_passes = oracle(fail_bound);
+    result.probe(fail_bound, end_passes);
+    if (end_passes) return result;
+
+    while (std::abs(fail_bound - pass_bound) > res &&
+           result.measurements < options_.max_measurements) {
+        // Drift sensing: periodically re-verify the pass bound. A bound
+        // that no longer passes means the specification parameter moved
+        // (e.g. device heating); widen the window toward the pass side
+        // and keep searching instead of converging on a stale boundary.
+        if (options_.recheck_every != 0 &&
+            result.measurements % options_.recheck_every == 0) {
+            const bool still_passes = oracle(pass_bound);
+            result.probe(pass_bound, still_passes);
+            if (!still_passes) {
+                const double backoff =
+                    std::max(8.0 * res, 2.0 * std::abs(fail_bound - pass_bound));
+                fail_bound = pass_bound;
+                pass_bound = parameter.clamp(pass_bound - dir * backoff);
+                if (pass_bound == fail_bound) return result;
+                const bool recovered = oracle(pass_bound);
+                result.probe(pass_bound, recovered);
+                if (!recovered) return result;  // pass region lost
+                continue;
+            }
+        }
+        const double mid = split_between(parameter, pass_bound, fail_bound);
+        if (std::isnan(mid)) break;
+        const bool pass = oracle(mid);
+        result.probe(mid, pass);
+        if (pass) {
+            pass_bound = mid;
+        } else {
+            fail_bound = mid;
+        }
+    }
+    result.trip_point = pass_bound;
+    result.found = true;
+    return result;
+}
+
+}  // namespace cichar::ate

@@ -1,0 +1,110 @@
+// Conventional single trip point search algorithms (paper section 1):
+// linear search, binary search, and successive approximation. Each finds
+// the pass/fail boundary of one parameter for one test, reporting the trip
+// point and the number of measurements it cost.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "ate/parameter.hpp"
+#include "ate/tester.hpp"
+
+namespace cichar::ate {
+
+/// One probed setting and its outcome.
+struct SearchPoint {
+    double setting = 0.0;
+    bool pass = false;
+};
+
+/// Outcome of a trip point search.
+struct SearchResult {
+    /// Pass-side boundary estimate (the device pass closest to the fail
+    /// region, within one resolution step). NaN when not found.
+    double trip_point = std::numeric_limits<double>::quiet_NaN();
+    bool found = false;
+    std::size_t measurements = 0;
+    /// Every probed point in order (for search-trace figures).
+    std::vector<SearchPoint> trace;
+
+    void probe(double setting, bool pass) {
+        trace.push_back({setting, pass});
+        ++measurements;
+    }
+};
+
+/// Interface shared by all trip point searches.
+class TripPointSearch {
+public:
+    virtual ~TripPointSearch() = default;
+
+    /// Runs the search against a pass/fail oracle.
+    [[nodiscard]] virtual SearchResult find(const Oracle& oracle,
+                                            const Parameter& parameter) const = 0;
+
+    [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// Steps from the pass side toward the fail side at a fixed resolution.
+/// Accurate but expensive: O(range / resolution) measurements.
+class LinearSearch final : public TripPointSearch {
+public:
+    /// Uses the parameter's own resolution when `step` <= 0.
+    explicit LinearSearch(double step = 0.0) : step_(step) {}
+
+    [[nodiscard]] SearchResult find(const Oracle& oracle,
+                                    const Parameter& parameter) const override;
+    [[nodiscard]] const char* name() const noexcept override {
+        return "linear";
+    }
+
+private:
+    double step_;
+};
+
+/// Divide-by-two between the last known pass and last known fail.
+/// O(log2(range / resolution)) measurements; assumes a stable boundary.
+class BinarySearch final : public TripPointSearch {
+public:
+    [[nodiscard]] SearchResult find(const Oracle& oracle,
+                                    const Parameter& parameter) const override;
+    [[nodiscard]] const char* name() const noexcept override {
+        return "binary";
+    }
+};
+
+/// Binary-style search that re-verifies its pass bound as it narrows, so a
+/// drifting parameter (device heating) shifts the window instead of
+/// corrupting the result — the ATE-recommended method in the paper.
+class SuccessiveApproximation final : public TripPointSearch {
+public:
+    struct Options {
+        /// Re-measure the current pass bound every `recheck_every` probes.
+        std::size_t recheck_every = 3;
+        /// Abort after this many probes (drift pathology guard).
+        std::size_t max_measurements = 200;
+    };
+
+    SuccessiveApproximation() = default;
+    explicit SuccessiveApproximation(Options options) : options_(options) {}
+
+    [[nodiscard]] SearchResult find(const Oracle& oracle,
+                                    const Parameter& parameter) const override;
+    [[nodiscard]] const char* name() const noexcept override {
+        return "successive-approximation";
+    }
+
+private:
+    Options options_;
+};
+
+namespace detail {
+/// Midpoint of (a, b) on the parameter's resolution grid, strictly inside
+/// the open interval; NaN when the interval cannot be split further.
+[[nodiscard]] double split_between(const Parameter& parameter, double a,
+                                   double b);
+}  // namespace detail
+
+}  // namespace cichar::ate

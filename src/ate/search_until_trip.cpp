@@ -1,0 +1,94 @@
+#include "ate/search_until_trip.hpp"
+
+#include <cmath>
+
+namespace cichar::ate {
+
+double SearchUntilTrip::offset_after(std::size_t iterations) const noexcept {
+    const auto it = static_cast<double>(iterations);
+    switch (options_.growth) {
+        case SearchFactorGrowth::kLinear:
+            return options_.search_factor * it;
+        case SearchFactorGrowth::kTriangular:
+            return options_.search_factor * it * (it + 1.0) * 0.5;
+    }
+    return options_.search_factor * it;
+}
+
+SearchResult SearchUntilTrip::find(const Oracle& oracle,
+                                   const Parameter& parameter) const {
+    SearchResult result;
+    const double res = std::max(parameter.resolution, 1e-12);
+    const double toward_fail = parameter.toward_fail();
+
+    const double start = parameter.clamp(parameter.quantize(rtp_));
+    const bool start_passes = oracle(start);
+    result.probe(start, start_passes);
+
+    // Eq. (3)/(4): pass at RTP -> step toward the fail region (+SF);
+    // fail at RTP -> step back toward the pass region (-SF).
+    const double direction = start_passes ? toward_fail : -toward_fail;
+
+    double previous = start;
+    bool flipped = false;
+    double flip_setting = 0.0;
+    for (std::size_t it = 1; it <= options_.max_iterations; ++it) {
+        const double setting =
+            parameter.clamp(parameter.quantize(start + direction * offset_after(it)));
+        if (setting == previous) break;  // clamped at the range edge
+        const bool pass = oracle(setting);
+        result.probe(setting, pass);
+        if (pass != start_passes) {
+            flipped = true;
+            flip_setting = setting;
+            break;
+        }
+        previous = setting;
+    }
+
+    if (!flipped) {
+        // The trip point drifted out of the characterization range (or the
+        // iteration budget is too small): report the best-known pass.
+        if (start_passes) result.trip_point = previous;
+        result.found = false;
+        return result;
+    }
+
+    double pass_bound = start_passes ? previous : flip_setting;
+    double fail_bound = start_passes ? flip_setting : previous;
+
+    if (options_.refine) {
+        while (std::abs(fail_bound - pass_bound) > res) {
+            const double mid =
+                detail::split_between(parameter, pass_bound, fail_bound);
+            if (std::isnan(mid)) break;
+            const bool pass = oracle(mid);
+            result.probe(mid, pass);
+            if (pass) {
+                pass_bound = mid;
+            } else {
+                fail_bound = mid;
+            }
+        }
+    }
+    result.trip_point = pass_bound;
+    result.found = true;
+    return result;
+}
+
+ReferenceSearch make_reference_search(const Oracle& first_oracle,
+                                      const Parameter& parameter,
+                                      const TripPointSearch& initial,
+                                      SearchUntilTrip::Options options) {
+    SearchResult first = initial.find(first_oracle, parameter);
+    double rtp = first.trip_point;
+    if (!first.found || std::isnan(rtp)) {
+        // Degenerate first test: fall back to mid-range so followers can
+        // still hunt outward in both directions.
+        rtp = 0.5 * (parameter.search_start + parameter.search_end);
+    }
+    return ReferenceSearch{std::move(first),
+                           SearchUntilTrip(options, parameter.quantize(rtp))};
+}
+
+}  // namespace cichar::ate

@@ -1,0 +1,171 @@
+#include "ate/shmoo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/ascii.hpp"
+#include "util/csv.hpp"
+#include "util/statistics.hpp"
+
+namespace cichar::ate {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+ShmooGrid::ShmooGrid(std::vector<double> x_values,
+                     std::vector<double> vdd_values, std::string y_label)
+    : x_(std::move(x_values)),
+      vdd_(std::move(vdd_values)),
+      y_label_(std::move(y_label)),
+      counts_(x_.size() * vdd_.size(), 0) {}
+
+std::uint32_t ShmooGrid::pass_count(std::size_t ix,
+                                    std::size_t iy) const noexcept {
+    return counts_[iy * x_.size() + ix];
+}
+
+void ShmooGrid::add_pass(std::size_t ix, std::size_t iy) noexcept {
+    ++counts_[iy * x_.size() + ix];
+}
+
+char ShmooGrid::symbol(std::size_t ix, std::size_t iy) const noexcept {
+    const std::uint32_t count = pass_count(ix, iy);
+    if (tests_ == 0 || count == 0) return '.';
+    if (count == tests_) return '*';
+    const auto bucket = 1 + (9 * count) / (tests_ + 1);
+    return static_cast<char>('0' + std::min<std::uint32_t>(
+                                        9, static_cast<std::uint32_t>(bucket)));
+}
+
+std::string ShmooGrid::render(const Parameter& parameter) const {
+    std::ostringstream out;
+    out << "Shmoo: " << y_label_ << " vs " << parameter.name << " setting ("
+        << parameter.unit << ", X), " << tests_ << " tests overlapped\n";
+    out << "  '*' all tests pass, '.' all fail, 1-9 partial pass (band)\n";
+    // Vdd descending top to bottom, like a bench shmoo.
+    for (std::size_t r = 0; r < vdd_.size(); ++r) {
+        const std::size_t iy = vdd_.size() - 1 - r;
+        out << util::fixed(vdd_[iy], 2) << " |";
+        for (std::size_t ix = 0; ix < x_.size(); ++ix) {
+            out << symbol(ix, iy);
+        }
+        out << '\n';
+    }
+    out << "     +" << std::string(x_.size(), '-') << '\n';
+    // Spec marker on the X axis.
+    std::string marker(x_.size(), ' ');
+    if (!x_.empty() && x_.size() > 1) {
+        const double lo = x_.front();
+        const double hi = x_.back();
+        if (parameter.spec >= std::min(lo, hi) &&
+            parameter.spec <= std::max(lo, hi)) {
+            const auto pos = static_cast<std::size_t>(
+                std::lround((parameter.spec - lo) / (hi - lo) *
+                            static_cast<double>(x_.size() - 1)));
+            marker[std::min(pos, x_.size() - 1)] = '^';
+        }
+    }
+    out << "      " << marker << " (^ spec " << parameter.spec << ' '
+        << parameter.unit << ")\n";
+    out << "      X: " << util::fixed(x_.front(), 1) << " .. "
+        << util::fixed(x_.back(), 1) << ' ' << parameter.unit << '\n';
+    return out.str();
+}
+
+void ShmooGrid::write_csv(std::ostream& out) const {
+    util::CsvWriter csv(out);
+    std::vector<std::string> header;
+    header.emplace_back("vdd_v");
+    for (const double x : x_) header.push_back(util::format_double(x));
+    csv.row(header);
+    for (std::size_t iy = 0; iy < vdd_.size(); ++iy) {
+        std::vector<double> row;
+        row.reserve(x_.size());
+        for (std::size_t ix = 0; ix < x_.size(); ++ix) {
+            row.push_back(static_cast<double>(pass_count(ix, iy)));
+        }
+        csv.labeled_row(util::format_double(vdd_[iy]), row);
+    }
+}
+
+ShmooGrid ShmooPlotter::run(Tester& tester, const Parameter& parameter,
+                            std::span<const testgen::Test> tests) const {
+    assert(options_.x_steps >= 2 && options_.vdd_steps >= 1);
+    ShmooGrid grid(
+        util::linspace(options_.x_min, options_.x_max, options_.x_steps),
+        util::linspace(options_.vdd_min, options_.vdd_max, options_.vdd_steps),
+        options_.y_axis == ShmooYAxis::kVdd ? "Vdd (V, Y)"
+                                            : "Temperature (C, Y)");
+    const auto& x = grid.x_values();
+    const auto& vdd = grid.vdd_values();
+    const std::size_t n = x.size();
+    PhaseScope phase(tester.log(), "shmoo");
+
+    for (const testgen::Test& original : tests) {
+        grid.bump_tests();
+        testgen::Test test = original;  // Y axis overrides the supply
+        std::vector<double> row_boundaries(vdd.size(), kNaN);
+
+        for (std::size_t iy = 0; iy < vdd.size(); ++iy) {
+            if (options_.y_axis == ShmooYAxis::kVdd) {
+                test.conditions.vdd_volts = vdd[iy];
+            } else {
+                test.conditions.temperature_c = vdd[iy];
+            }
+            const auto pass_at = [&](std::size_t ix) {
+                return tester.apply(test, parameter, x[ix]);
+            };
+
+            if (options_.exhaustive) {
+                // Scan every cell; boundary = pass cell adjacent to the
+                // first fail seen from the pass side.
+                std::ptrdiff_t last_pass = -1;
+                for (std::size_t ix = 0; ix < n; ++ix) {
+                    if (pass_at(ix)) {
+                        grid.add_pass(ix, iy);
+                        last_pass = static_cast<std::ptrdiff_t>(ix);
+                    }
+                }
+                if (last_pass >= 0) {
+                    row_boundaries[iy] = x[static_cast<std::size_t>(last_pass)];
+                }
+                continue;
+            }
+
+            // Fast shmoo: the row is monotone in the searched parameter,
+            // so bisect the boundary index (standard ATE practice).
+            const std::size_t pass_end = parameter.fail_high ? 0 : n - 1;
+            const std::size_t fail_end = parameter.fail_high ? n - 1 : 0;
+            if (!pass_at(pass_end)) continue;  // whole row fails
+            if (pass_at(fail_end)) {
+                for (std::size_t ix = 0; ix < n; ++ix) grid.add_pass(ix, iy);
+                row_boundaries[iy] = x[fail_end];
+                continue;
+            }
+            std::size_t ip = pass_end;
+            std::size_t ifail = fail_end;
+            while (ip != ifail && (ip > ifail ? ip - ifail : ifail - ip) > 1) {
+                const std::size_t mid = (ip + ifail) / 2;
+                if (pass_at(mid)) {
+                    ip = mid;
+                } else {
+                    ifail = mid;
+                }
+            }
+            row_boundaries[iy] = x[ip];
+            if (parameter.fail_high) {
+                for (std::size_t ix = 0; ix <= ip; ++ix) grid.add_pass(ix, iy);
+            } else {
+                for (std::size_t ix = ip; ix < n; ++ix) grid.add_pass(ix, iy);
+            }
+        }
+        grid.record_boundaries(std::move(row_boundaries));
+    }
+    return grid;
+}
+
+}  // namespace cichar::ate

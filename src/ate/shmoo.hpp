@@ -1,0 +1,107 @@
+// Shmoo plotting: 2-D pass/fail maps of parameter setting (X) versus
+// supply voltage (Y). The paper's Fig. 8 overlays 1000 tests in a single
+// shmoo so the test-to-test spread of the trip point becomes visible as a
+// band; ShmooGrid counts passes per cell to render exactly that.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ate/parameter.hpp"
+#include "ate/tester.hpp"
+
+namespace cichar::ate {
+
+/// What the Y axis overrides in each test's conditions.
+enum class ShmooYAxis : std::uint8_t { kVdd, kTemperature };
+
+struct ShmooOptions {
+    double x_min = 18.0;          ///< parameter setting axis start
+    double x_max = 40.0;
+    std::size_t x_steps = 45;
+    ShmooYAxis y_axis = ShmooYAxis::kVdd;
+    double vdd_min = 1.4;         ///< Y axis range (supply V, or deg C for
+    double vdd_max = 2.2;         ///< a temperature shmoo)
+    std::size_t vdd_steps = 17;
+    /// Exhaustive scans apply every cell; the default "fast shmoo" finds
+    /// each row's boundary by bisection over the X grid (standard ATE
+    /// practice — the row is monotone in the searched parameter).
+    bool exhaustive = false;
+};
+
+/// Result grid; cell (ix, iy) counts how many tests passed there.
+class ShmooGrid {
+public:
+    ShmooGrid(std::vector<double> x_values, std::vector<double> vdd_values,
+              std::string y_label = "Vdd (V, Y)");
+
+    [[nodiscard]] std::size_t x_steps() const noexcept { return x_.size(); }
+    [[nodiscard]] std::size_t vdd_steps() const noexcept { return vdd_.size(); }
+    [[nodiscard]] const std::vector<double>& x_values() const noexcept {
+        return x_;
+    }
+    [[nodiscard]] const std::vector<double>& vdd_values() const noexcept {
+        return vdd_;
+    }
+    [[nodiscard]] const std::string& y_label() const noexcept {
+        return y_label_;
+    }
+    [[nodiscard]] std::size_t tests() const noexcept { return tests_; }
+
+    [[nodiscard]] std::uint32_t pass_count(std::size_t ix,
+                                           std::size_t iy) const noexcept;
+
+    /// Per-test trip point (X units) at each vdd row; NaN when the row has
+    /// no crossover. Indexed [test][iy].
+    [[nodiscard]] const std::vector<std::vector<double>>& boundaries()
+        const noexcept {
+        return boundaries_;
+    }
+
+    /// Character for one cell: '*' all tests pass, '.' none, '1'..'9'
+    /// proportional partial pass (the Fig. 8 "band").
+    [[nodiscard]] char symbol(std::size_t ix, std::size_t iy) const noexcept;
+
+    /// ASCII rendering, Vdd descending top-to-bottom, with axis labels.
+    [[nodiscard]] std::string render(const Parameter& parameter) const;
+
+    /// CSV: header row of X values, one row per Vdd with pass counts.
+    void write_csv(std::ostream& out) const;
+
+    // Mutation interface used by ShmooPlotter.
+    void add_pass(std::size_t ix, std::size_t iy) noexcept;
+    void bump_tests() noexcept { ++tests_; }
+    void record_boundaries(std::vector<double> per_row) {
+        boundaries_.push_back(std::move(per_row));
+    }
+
+private:
+    std::vector<double> x_;
+    std::vector<double> vdd_;
+    std::string y_label_;
+    std::vector<std::uint32_t> counts_;
+    std::vector<std::vector<double>> boundaries_;
+    std::size_t tests_ = 0;
+};
+
+/// Drives the tester over the grid for a set of tests.
+class ShmooPlotter {
+public:
+    explicit ShmooPlotter(ShmooOptions options = {}) : options_(options) {}
+
+    [[nodiscard]] const ShmooOptions& options() const noexcept {
+        return options_;
+    }
+
+    /// Runs all tests over the grid. The tests' own Vdd is overridden by
+    /// the Y axis; everything else (pattern, temperature, ...) is kept.
+    [[nodiscard]] ShmooGrid run(Tester& tester, const Parameter& parameter,
+                                std::span<const testgen::Test> tests) const;
+
+private:
+    ShmooOptions options_;
+};
+
+}  // namespace cichar::ate

@@ -1,0 +1,32 @@
+#include "ate/test_program.hpp"
+
+namespace cichar::ate {
+
+void ProductionTestProgram::add_step(ProductionStep step) {
+    steps_.push_back(std::move(step));
+}
+
+ProductionOutcome ProductionTestProgram::run(Tester& tester,
+                                             bool stop_on_first_fail) const {
+    PhaseScope phase(tester.log(), "production");
+    ProductionOutcome outcome;
+    outcome.pass = true;
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+        const ProductionStep& step = steps_[i];
+        ++outcome.steps_run;
+        const bool ok = step.functional
+                            ? tester.run_functional(step.test).pass()
+                            : tester.apply(step.test, step.parameter,
+                                           step.limit);
+        if (!ok) {
+            outcome.pass = false;
+            if (outcome.failed_step == ProductionOutcome::npos) {
+                outcome.failed_step = i;
+            }
+            if (stop_on_first_fail) break;
+        }
+    }
+    return outcome;
+}
+
+}  // namespace cichar::ate

@@ -1,0 +1,91 @@
+// Production test program: the other half of the paper's opening
+// distinction. "Production testing determines if the device meets its
+// design specification and, if it does not, stops testing on first fail,
+// bins the device and goes on to the next device." A ProductionTestProgram
+// is an ordered list of (test, parameter, limit) screens compiled from
+// characterization results and executed with stop-on-first-fail binning.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ate/parameter.hpp"
+#include "ate/tester.hpp"
+
+namespace cichar::ate {
+
+/// One production screen. Parametric steps apply `test` with `parameter`
+/// forced to `limit`; functional steps run the pattern at its own
+/// conditions and require zero miscompares.
+struct ProductionStep {
+    std::string name;
+    testgen::Test test;
+    Parameter parameter;
+    double limit = 0.0;
+    bool functional = false;
+};
+
+/// Outcome of screening one device.
+struct ProductionOutcome {
+    bool pass = false;
+    std::size_t steps_run = 0;
+    /// Index of the first failing step; npos when the device passed.
+    std::size_t failed_step = npos;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Bin statistics over a lot of devices.
+struct BinningSummary {
+    std::size_t devices = 0;
+    std::size_t passed = 0;
+    /// Fail count per step index (first-fail binning).
+    std::vector<std::size_t> fails_per_step;
+
+    [[nodiscard]] double yield() const noexcept {
+        return devices == 0 ? 0.0
+                            : static_cast<double>(passed) /
+                                  static_cast<double>(devices);
+    }
+};
+
+class ProductionTestProgram {
+public:
+    void add_step(ProductionStep step);
+
+    [[nodiscard]] std::size_t step_count() const noexcept {
+        return steps_.size();
+    }
+    [[nodiscard]] const ProductionStep& step(std::size_t i) const noexcept {
+        return steps_[i];
+    }
+
+    /// Screens one device (the tester's DUT). Stops on the first fail by
+    /// default, exactly like production; `stop_on_first_fail = false`
+    /// runs everything (characterization-style data logging).
+    [[nodiscard]] ProductionOutcome run(Tester& tester,
+                                        bool stop_on_first_fail = true) const;
+
+    /// Screens a batch of devices, first-fail binning.
+    template <typename DeviceRange>
+    [[nodiscard]] BinningSummary screen(DeviceRange& devices,
+                                        TesterOptions tester_options = {}) const {
+        BinningSummary summary;
+        summary.fails_per_step.assign(steps_.size(), 0);
+        for (auto& device : devices) {
+            Tester tester(device, tester_options);
+            const ProductionOutcome outcome = run(tester);
+            ++summary.devices;
+            if (outcome.pass) {
+                ++summary.passed;
+            } else {
+                ++summary.fails_per_step[outcome.failed_step];
+            }
+        }
+        return summary;
+    }
+
+private:
+    std::vector<ProductionStep> steps_;
+};
+
+}  // namespace cichar::ate

@@ -1,0 +1,47 @@
+#include "ate/tester.hpp"
+
+namespace cichar::ate {
+
+Tester::Tester(device::DeviceUnderTest& dut, TesterOptions options)
+    : dut_(&dut), options_(options) {}
+
+void Tester::record(const testgen::Test& test) {
+    const double cycle_s = options_.cycle_seconds > 0.0
+                               ? options_.cycle_seconds
+                               : test.conditions.clock_period_ns * 1e-9;
+    const auto cycles = static_cast<std::uint64_t>(test.pattern.size());
+    log_.record(cycles, options_.setup_seconds_per_measurement +
+                            static_cast<double>(cycles) * cycle_s);
+}
+
+bool Tester::apply(const testgen::Test& test, const Parameter& parameter,
+                   double setting) {
+    record(test);
+    const double quantized = parameter.quantize(setting);
+    const bool pass = dut_->passes(test, parameter.kind, quantized);
+    if (datalog_.enabled()) {
+        datalog_.record(DatalogEntry{test.name, parameter.name, quantized,
+                                     pass, false});
+    }
+    return pass;
+}
+
+device::FunctionalResult Tester::run_functional(const testgen::Test& test) {
+    record(test);
+    const device::FunctionalResult result = dut_->run_functional(test);
+    if (datalog_.enabled()) {
+        datalog_.record(
+            DatalogEntry{test.name, "functional", 0.0, result.pass(), true});
+    }
+    return result;
+}
+
+Oracle Tester::oracle(const testgen::Test& test, const Parameter& parameter) {
+    return [this, &test, parameter](double setting) {
+        return apply(test, parameter, setting);
+    };
+}
+
+void Tester::settle() { dut_->settle(); }
+
+}  // namespace cichar::ate

@@ -1,0 +1,68 @@
+// The modeled industrial ATE. Owns the connection to one DUT, applies
+// tests at forced parameter settings, quantizes settings to the tester's
+// edge resolution, and ledgers every measurement.
+#pragma once
+
+#include <functional>
+
+#include "ate/datalog.hpp"
+#include "ate/measurement_log.hpp"
+#include "ate/parameter.hpp"
+#include "device/dut.hpp"
+#include "testgen/test.hpp"
+
+namespace cichar::ate {
+
+/// Tester timing model for the ledger.
+struct TesterOptions {
+    double setup_seconds_per_measurement = 5e-4;  ///< relay/level setup
+    /// When > 0, overrides the test's own clock period for time accounting.
+    double cycle_seconds = 0.0;
+};
+
+/// Pass/fail oracle for one (test, parameter) pair. Search algorithms are
+/// written against this signature, independent of the tester.
+using Oracle = std::function<bool(double setting)>;
+
+class Tester {
+public:
+    /// The tester borrows the DUT; the DUT must outlive the tester.
+    explicit Tester(device::DeviceUnderTest& dut, TesterOptions options = {});
+
+    /// Applies `test` with `parameter` forced to `setting` (quantized to
+    /// the parameter resolution). Records the measurement.
+    [[nodiscard]] bool apply(const testgen::Test& test,
+                             const Parameter& parameter, double setting);
+
+    /// Runs the pattern functionally at its own conditions (also ledgered).
+    [[nodiscard]] device::FunctionalResult run_functional(
+        const testgen::Test& test);
+
+    /// Binds (test, parameter) into a counting pass/fail oracle. The
+    /// returned callable borrows this tester and the test.
+    [[nodiscard]] Oracle oracle(const testgen::Test& test,
+                                const Parameter& parameter);
+
+    /// Idles the DUT (cooling pause between devices/tests).
+    void settle();
+
+    [[nodiscard]] MeasurementLog& log() noexcept { return log_; }
+    [[nodiscard]] const MeasurementLog& log() const noexcept { return log_; }
+
+    /// Optional per-measurement datalog (disabled by default; enable with
+    /// `datalog().set_enabled(true)`).
+    [[nodiscard]] Datalog& datalog() noexcept { return datalog_; }
+    [[nodiscard]] const Datalog& datalog() const noexcept { return datalog_; }
+
+    [[nodiscard]] device::DeviceUnderTest& dut() noexcept { return *dut_; }
+
+private:
+    void record(const testgen::Test& test);
+
+    device::DeviceUnderTest* dut_;
+    TesterOptions options_;
+    MeasurementLog log_;
+    Datalog datalog_;
+};
+
+}  // namespace cichar::ate

@@ -1,0 +1,72 @@
+#include "core/campaign.hpp"
+
+#include "util/ascii.hpp"
+
+namespace cichar::core {
+
+CharacterizationCampaign::CharacterizationCampaign(
+    ate::Tester& tester, std::vector<ate::Parameter> parameters,
+    CharacterizerOptions options)
+    : tester_(&tester),
+      parameters_(std::move(parameters)),
+      options_(std::move(options)) {}
+
+std::vector<ParameterCampaign> CharacterizationCampaign::run(
+    util::Rng& rng) const {
+    const fuzzy::MarginRiskAnalyzer analyzer;
+    std::vector<ParameterCampaign> campaigns;
+    campaigns.reserve(parameters_.size());
+
+    for (const ate::Parameter& parameter : parameters_) {
+        const DeviceCharacterizer characterizer(*tester_, parameter, options_);
+        util::Rng param_rng = rng.fork(campaigns.size() + 1);
+
+        LearnResult learned = characterizer.learn(param_rng);
+        WorstCaseReport report =
+            characterizer.optimize(learned.model, param_rng);
+
+        // Spec proposal over everything measured: the learning DSV plus
+        // the re-measured worst case.
+        DesignSpecVariation pooled = learned.dsv;
+        if (report.worst_record.found) pooled.add(report.worst_record);
+        SpecProposal proposal = propose_spec(parameter, pooled);
+
+        const double spread_fraction =
+            pooled.trip_spread() / std::max(1e-9,
+                                            parameter.characterization_range());
+        const double agreement =
+            report.worst_record.found
+                ? learned.model.vote(report.worst_test).agreement
+                : 0.0;
+        const double risk = analyzer.risk(report.outcome.best_fitness,
+                                          agreement, spread_fraction);
+
+        ParameterCampaign campaign{parameter,
+                                   std::move(learned),
+                                   std::move(report),
+                                   std::move(proposal),
+                                   risk,
+                                   analyzer.label(risk)};
+        campaigns.push_back(std::move(campaign));
+    }
+    return campaigns;
+}
+
+std::string CharacterizationCampaign::render(
+    const std::vector<ParameterCampaign>& campaigns) {
+    util::TextTable table({"parameter", "worst trip", "WCR", "class",
+                           "proposed limit", "meets target", "risk"});
+    for (const ParameterCampaign& c : campaigns) {
+        table.add_row(
+            {c.parameter.name + " (" + c.parameter.unit + ")",
+             util::fixed(c.report.worst_record.trip_point, 3),
+             util::fixed(c.report.outcome.best_fitness, 3),
+             ga::to_string(c.report.worst_record.wcr_class),
+             util::fixed(c.proposal.proposed_limit, 3),
+             c.proposal.meets_target ? "yes" : "NO",
+             c.risk_label + " (" + util::fixed(c.margin_risk, 2) + ")"});
+    }
+    return table.render();
+}
+
+}  // namespace cichar::core

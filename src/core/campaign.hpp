@@ -1,0 +1,52 @@
+// Multi-parameter characterization campaign. The paper: "we propose to
+// pre-select a set of DC or AC critical parameters; and generate NNs
+// individually for each parameter or each characterization analysis
+// task." A campaign runs the full learn + optimize pipeline per parameter
+// on the same device, derives a spec proposal for each, and fuses the
+// results into a margin-risk judgment via the fuzzy analyzer.
+#pragma once
+
+#include <vector>
+
+#include "core/characterizer.hpp"
+#include "core/spec_report.hpp"
+#include "fuzzy/margin.hpp"
+
+namespace cichar::core {
+
+/// Everything learned about one parameter.
+struct ParameterCampaign {
+    ate::Parameter parameter;
+    LearnResult learned;          ///< its own NN committee (per the paper)
+    WorstCaseReport report;
+    SpecProposal proposal;
+    double margin_risk = 0.0;     ///< fuzzy-fused risk score in [0, 1]
+    std::string risk_label;
+};
+
+class CharacterizationCampaign {
+public:
+    /// Borrows the tester (one device under characterization).
+    CharacterizationCampaign(ate::Tester& tester,
+                             std::vector<ate::Parameter> parameters,
+                             CharacterizerOptions options = {});
+
+    [[nodiscard]] const std::vector<ate::Parameter>& parameters()
+        const noexcept {
+        return parameters_;
+    }
+
+    /// Runs learn + optimize + spec proposal for every parameter.
+    [[nodiscard]] std::vector<ParameterCampaign> run(util::Rng& rng) const;
+
+    /// Formatted multi-parameter summary table.
+    [[nodiscard]] static std::string render(
+        const std::vector<ParameterCampaign>& campaigns);
+
+private:
+    ate::Tester* tester_;
+    std::vector<ate::Parameter> parameters_;
+    CharacterizerOptions options_;
+};
+
+}  // namespace cichar::core

@@ -1,0 +1,73 @@
+// DeviceCharacterizer: the library's front door. Wraps the complete
+// computational-intelligence characterization method — multiple trip point
+// measurement (eq. 1), search-until-trip (eqs. 2-4), the Fig. 4 learning
+// scheme, and the Fig. 5 worst-case optimization — behind one object bound
+// to a tester and a parameter.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   device::MemoryTestChip chip;
+//   ate::Tester tester(chip);
+//   core::DeviceCharacterizer chr(tester, ate::Parameter::data_valid_time());
+//   auto learn = chr.learn(rng);                    // Fig. 4
+//   auto worst = chr.optimize(learn.model, rng);    // Fig. 5
+//   // worst.worst_record.wcr, worst.database.entries(), ...
+#pragma once
+
+#include "core/learner.hpp"
+#include "core/optimizer.hpp"
+
+namespace cichar::core {
+
+struct CharacterizerOptions {
+    testgen::RandomGeneratorOptions generator{};
+    LearnerOptions learner{};
+    OptimizerOptions optimizer{};
+};
+
+class DeviceCharacterizer {
+public:
+    /// Borrows the tester; it must outlive the characterizer.
+    DeviceCharacterizer(ate::Tester& tester, ate::Parameter parameter,
+                        CharacterizerOptions options = CharacterizerOptions{});
+
+    [[nodiscard]] const ate::Parameter& parameter() const noexcept {
+        return parameter_;
+    }
+    [[nodiscard]] const CharacterizerOptions& options() const noexcept {
+        return options_;
+    }
+    [[nodiscard]] ate::Tester& tester() noexcept { return *tester_; }
+
+    /// Conventional single trip point (one test, full-range search).
+    [[nodiscard]] TripPointRecord single_trip(const testgen::Test& test) const;
+
+    /// Multiple trip point characterization of explicit tests (eq. 1).
+    [[nodiscard]] DesignSpecVariation characterize(
+        std::span<const testgen::Test> tests) const;
+
+    /// Multiple trip point characterization of N fresh random tests.
+    [[nodiscard]] DesignSpecVariation characterize_random(std::size_t n,
+                                                          util::Rng& rng) const;
+
+    /// Fig. 4: learn the test -> trip point mapping on the ATE.
+    [[nodiscard]] LearnResult learn(util::Rng& rng) const;
+
+    /// Fig. 5: NN-seeded GA worst-case hunt. The objective defaults to the
+    /// parameter's natural drift direction.
+    [[nodiscard]] WorstCaseReport optimize(const LearnedModel& model,
+                                           util::Rng& rng) const;
+    [[nodiscard]] WorstCaseReport optimize(const LearnedModel& model,
+                                           Objective objective,
+                                           util::Rng& rng) const;
+
+    /// learn + optimize in one call.
+    [[nodiscard]] WorstCaseReport run_full(util::Rng& rng) const;
+
+private:
+    ate::Tester* tester_;
+    ate::Parameter parameter_;
+    CharacterizerOptions options_;
+};
+
+}  // namespace cichar::core

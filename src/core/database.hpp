@@ -1,0 +1,76 @@
+// Worst case test database (paper Fig. 5: "final worst case tests are
+// generated and stored in the database"; "functional failure patterns (if
+// any) are stored separately"). Entries carry the recipe, so any stored
+// test can be re-expanded bit-exactly for re-simulation or wafer-probe
+// style detailed analysis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ga/wcr.hpp"
+#include "testgen/conditions.hpp"
+#include "testgen/recipe.hpp"
+
+namespace cichar::core {
+
+/// One stored worst-case candidate.
+struct WorstCaseEntry {
+    std::string name;
+    testgen::PatternRecipe recipe;
+    testgen::TestConditions conditions;
+    double trip_point = 0.0;
+    double wcr = 0.0;
+    ga::WcrClass wcr_class = ga::WcrClass::kPass;
+};
+
+/// One stored functional failure (kept separate per the paper).
+struct FunctionalFailureRecord {
+    std::string name;
+    testgen::PatternRecipe recipe;
+    testgen::TestConditions conditions;
+    std::size_t miscompares = 0;
+    std::size_t first_fail_cycle = 0;
+};
+
+class WorstCaseDatabase {
+public:
+    explicit WorstCaseDatabase(std::size_t capacity = 64)
+        : capacity_(capacity) {}
+
+    /// Inserts keeping only the `capacity` highest-WCR entries.
+    void add(WorstCaseEntry entry);
+
+    void add_functional_failure(FunctionalFailureRecord record);
+
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+    /// Entries sorted by WCR descending (worst first).
+    [[nodiscard]] const std::vector<WorstCaseEntry>& entries() const noexcept {
+        return entries_;
+    }
+    [[nodiscard]] const WorstCaseEntry& worst() const;
+    [[nodiscard]] const std::vector<FunctionalFailureRecord>&
+    functional_failures() const noexcept {
+        return functional_failures_;
+    }
+
+    /// CSV exports (entries / functional failures).
+    void save_csv(std::ostream& out) const;
+    void save_functional_csv(std::ostream& out) const;
+
+    /// Full round-trip persistence (versioned text format): recipes,
+    /// conditions, scores and functional failures all survive, so a
+    /// stored worst-case test re-expands bit-exactly in a later session.
+    void save(std::ostream& out) const;
+    /// Throws std::runtime_error on malformed input.
+    [[nodiscard]] static WorstCaseDatabase load(std::istream& in);
+
+private:
+    std::size_t capacity_;
+    std::vector<WorstCaseEntry> entries_;  ///< kept sorted, worst first
+    std::vector<FunctionalFailureRecord> functional_failures_;
+};
+
+}  // namespace cichar::core

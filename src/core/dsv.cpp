@@ -1,0 +1,77 @@
+#include "core/dsv.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cichar::core {
+
+double worst_case_ratio(const ate::Parameter& parameter,
+                        double measured) noexcept {
+    switch (parameter.spec_type) {
+        case ate::SpecType::kMinLimit:
+            return ga::wcr_toward_min(measured, parameter.spec);
+        case ate::SpecType::kMaxLimit:
+            return ga::wcr_toward_max(measured, parameter.spec);
+    }
+    return 0.0;
+}
+
+void DesignSpecVariation::add(TripPointRecord record) {
+    records_.push_back(std::move(record));
+}
+
+std::size_t DesignSpecVariation::found_count() const noexcept {
+    return static_cast<std::size_t>(
+        std::count_if(records_.begin(), records_.end(),
+                      [](const TripPointRecord& r) { return r.found; }));
+}
+
+const TripPointRecord& DesignSpecVariation::worst() const {
+    const TripPointRecord* worst = nullptr;
+    for (const TripPointRecord& r : records_) {
+        if (!r.found) continue;
+        if (worst == nullptr || r.wcr > worst->wcr) worst = &r;
+    }
+    if (worst == nullptr) {
+        throw std::logic_error("DesignSpecVariation::worst(): no found trips");
+    }
+    return *worst;
+}
+
+double DesignSpecVariation::trip_spread() const noexcept {
+    bool any = false;
+    double lo = 0.0;
+    double hi = 0.0;
+    for (const TripPointRecord& r : records_) {
+        if (!r.found) continue;
+        if (!any) {
+            lo = hi = r.trip_point;
+            any = true;
+        } else {
+            lo = std::min(lo, r.trip_point);
+            hi = std::max(hi, r.trip_point);
+        }
+    }
+    return any ? hi - lo : 0.0;
+}
+
+util::Summary DesignSpecVariation::trip_summary() const {
+    std::vector<double> trips;
+    trips.reserve(records_.size());
+    for (const TripPointRecord& r : records_) {
+        if (r.found) trips.push_back(r.trip_point);
+    }
+    if (trips.empty()) {
+        throw std::logic_error(
+            "DesignSpecVariation::trip_summary(): no found trips");
+    }
+    return util::summarize(trips);
+}
+
+std::size_t DesignSpecVariation::total_measurements() const noexcept {
+    std::size_t total = 0;
+    for (const TripPointRecord& r : records_) total += r.measurements;
+    return total;
+}
+
+}  // namespace cichar::core

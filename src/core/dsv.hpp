@@ -1,0 +1,68 @@
+// Design Specification Variation set (paper eq. 1):
+//   DSV = TPV(T_1 ... T_N)
+// the collection of trip point values obtained from N different input
+// tests, replacing the single fixed specification value of conventional
+// characterization. The worst-case trip point variation is a property of
+// this set.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ate/parameter.hpp"
+#include "ga/wcr.hpp"
+#include "util/statistics.hpp"
+
+namespace cichar::core {
+
+/// One test's trip point measurement.
+struct TripPointRecord {
+    std::string test_name;
+    double trip_point = 0.0;       ///< TPV(T_n); meaningful when found
+    double wcr = 0.0;              ///< worst-case ratio vs the spec
+    ga::WcrClass wcr_class = ga::WcrClass::kPass;
+    bool found = false;
+    std::size_t measurements = 0;  ///< ATE applications spent on this test
+};
+
+/// Computes the WCR of a measured value against the parameter's spec,
+/// using eq. (6) for min-limit specs and eq. (5) for max-limit specs.
+[[nodiscard]] double worst_case_ratio(const ate::Parameter& parameter,
+                                      double measured) noexcept;
+
+/// The DSV container.
+class DesignSpecVariation {
+public:
+    void add(TripPointRecord record);
+
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+    [[nodiscard]] const TripPointRecord& record(std::size_t i) const noexcept {
+        return records_[i];
+    }
+    [[nodiscard]] std::span<const TripPointRecord> records() const noexcept {
+        return records_;
+    }
+
+    /// Number of records with a found trip point.
+    [[nodiscard]] std::size_t found_count() const noexcept;
+
+    /// The record with the largest WCR (the worst case). Requires at
+    /// least one found record.
+    [[nodiscard]] const TripPointRecord& worst() const;
+
+    /// Worst-case trip point variation: max - min found trip point.
+    [[nodiscard]] double trip_spread() const noexcept;
+
+    /// Summary statistics of found trip points (requires found_count > 0).
+    [[nodiscard]] util::Summary trip_summary() const;
+
+    /// Total ATE measurements across all records.
+    [[nodiscard]] std::size_t total_measurements() const noexcept;
+
+private:
+    std::vector<TripPointRecord> records_;
+};
+
+}  // namespace cichar::core

@@ -1,0 +1,161 @@
+#include "core/learner.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace cichar::core {
+
+const char* to_string(Acquisition acquisition) noexcept {
+    switch (acquisition) {
+        case Acquisition::kRandom: return "random";
+        case Acquisition::kPredictedWorst: return "predicted-worst";
+        case Acquisition::kUncertainty: return "uncertainty";
+    }
+    return "?";
+}
+
+LearnedModel::LearnedModel(nn::VotingCommittee committee,
+                           fuzzy::TripPointCoder coder,
+                           testgen::RandomGeneratorOptions generator_options,
+                           ate::Parameter parameter)
+    : committee_(std::move(committee)),
+      coder_(std::move(coder)),
+      generator_options_(generator_options),
+      parameter_(std::move(parameter)) {}
+
+std::vector<double> LearnedModel::features_of(const testgen::Test& test) const {
+    const testgen::FeatureVector fv =
+        testgen::extract_features(test, generator_options_.condition_bounds);
+    return std::vector<double>(fv.values.begin(), fv.values.end());
+}
+
+double LearnedModel::predict_wcr(const testgen::Test& test) const {
+    const std::vector<double> out = committee_.predict(features_of(test));
+    return coder_.decode(out);
+}
+
+nn::VoteResult LearnedModel::vote(const testgen::Test& test) const {
+    return committee_.vote(features_of(test));
+}
+
+LearnResult CharacterizationLearner::run(
+    ate::Tester& tester, const ate::Parameter& parameter,
+    const testgen::RandomTestGenerator& generator, util::Rng& rng) const {
+    ate::PhaseScope phase(tester.log(), "learning");
+
+    fuzzy::TripPointCoder coder =
+        options_.coding == fuzzy::CodingScheme::kFuzzy
+            ? fuzzy::TripPointCoder::fuzzy_wcr_fine()
+            : fuzzy::TripPointCoder::numeric(0.0, 1.3);
+
+    TripSession session(tester, parameter, options_.trip);
+    DesignSpecVariation dsv;
+    nn::Dataset dataset(testgen::kFeatureCount, coder.output_count());
+
+    nn::VotingCommittee committee;
+    std::vector<nn::TrainReport> reports;
+    bool converged = false;
+    std::size_t rounds = 0;
+    std::size_t tests_measured = 0;
+
+    const auto measure_one = [&](const testgen::Test& test) {
+        const TripPointRecord record = session.measure(test);
+        dsv.add(record);
+        ++tests_measured;
+        if (!record.found) return;
+        const testgen::FeatureVector fv = testgen::extract_features(
+            test, generator.options().condition_bounds);
+        dataset.add(std::vector<double>(fv.values.begin(), fv.values.end()),
+                    coder.encode(record.wcr));
+    };
+
+    const auto measure_random_batch = [&](std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i) {
+            measure_one(generator.random_test(
+                rng, "learn-" + std::to_string(tests_measured)));
+        }
+    };
+
+    // Active acquisition: score a software-only candidate pool with the
+    // current committee and measure the most informative ones.
+    const auto measure_acquired_batch = [&](std::size_t count) {
+        struct Candidate {
+            testgen::Test test;
+            double score = 0.0;
+        };
+        std::vector<Candidate> pool;
+        pool.reserve(options_.acquisition_pool);
+        for (std::size_t i = 0; i < options_.acquisition_pool; ++i) {
+            Candidate c;
+            c.test = generator.random_test(
+                rng, "acq-" + std::to_string(tests_measured + i));
+            const testgen::FeatureVector fv = testgen::extract_features(
+                c.test, generator.options().condition_bounds);
+            const std::vector<double> features(fv.values.begin(),
+                                               fv.values.end());
+            if (options_.acquisition == Acquisition::kPredictedWorst) {
+                c.score = coder.decode(committee.predict(features));
+            } else {
+                c.score = committee.vote(features).dispersion;
+            }
+            pool.push_back(std::move(c));
+        }
+        const std::size_t keep = std::min(count, pool.size());
+        std::partial_sort(pool.begin(),
+                          pool.begin() + static_cast<std::ptrdiff_t>(keep),
+                          pool.end(), [](const Candidate& a, const Candidate& b) {
+                              return a.score > b.score;
+                          });
+        for (std::size_t i = 0; i < keep; ++i) measure_one(pool[i].test);
+    };
+
+    measure_random_batch(options_.training_tests);
+
+    for (rounds = 1; rounds <= options_.max_rounds; ++rounds) {
+        util::Rng split_rng = rng.fork(rounds);
+        auto [train_set, validation_set] =
+            nn::split(dataset, options_.train_fraction, split_rng);
+
+        committee = nn::VotingCommittee();
+        reports =
+            committee.train(train_set, validation_set, options_.committee, rng);
+
+        std::size_t passing = 0;
+        for (const nn::TrainReport& r : reports) {
+            if (r.learned && r.generalizes) ++passing;
+        }
+        const double majority = static_cast<double>(passing) /
+                                static_cast<double>(reports.size());
+        converged = majority >= options_.required_member_majority;
+        util::log_info("learner round ", rounds, " (",
+                       to_string(options_.acquisition), "): ", passing, "/",
+                       reports.size(), " members pass, mean val err ",
+                       committee.mean_validation_error());
+        if (converged && rounds >= options_.min_rounds) break;
+        if (rounds == options_.max_rounds) break;
+
+        // Back to step (1): gather more measurements and relearn.
+        if (options_.acquisition == Acquisition::kRandom) {
+            measure_random_batch(options_.additional_tests_per_round);
+        } else {
+            measure_acquired_batch(options_.additional_tests_per_round);
+        }
+    }
+
+    LearnedModel model(std::move(committee), std::move(coder),
+                       generator.options(), parameter);
+    LearnResult result{std::move(model),
+                       std::move(dsv),
+                       std::move(reports),
+                       std::min(rounds, options_.max_rounds),
+                       converged,
+                       0.0,
+                       tests_measured};
+    result.mean_validation_error =
+        result.model.committee().mean_validation_error();
+    return result;
+}
+
+}  // namespace cichar::core

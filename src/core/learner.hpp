@@ -1,0 +1,128 @@
+// Intelligent device characterization LEARNING scheme (paper Fig. 4):
+//
+//   random test generator -> ATE multiple-trip-point characterization
+//   -> trip point coding (fuzzy or numeric) -> single/multiple neural
+//   networks (supervised learning + voting) -> learnability and
+//   generalization check -> NN weight file.
+//
+// If the committee does not learn/generalize, the loop goes back to step
+// (1): more random tests are measured and training repeats.
+#pragma once
+
+#include <vector>
+
+#include "ate/tester.hpp"
+#include "core/multi_trip.hpp"
+#include "fuzzy/coding.hpp"
+#include "nn/committee.hpp"
+#include "testgen/features.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace cichar::core {
+
+/// How follow-up learning rounds choose which tests to measure next.
+enum class Acquisition : std::uint8_t {
+    kRandom,          ///< fresh random tests (the paper's baseline loop)
+    kPredictedWorst,  ///< candidates the committee predicts worst
+    kUncertainty,     ///< candidates the committee disagrees on most
+};
+
+[[nodiscard]] const char* to_string(Acquisition acquisition) noexcept;
+
+struct LearnerOptions {
+    /// Random tests measured on the ATE in the first round.
+    std::size_t training_tests = 150;
+    /// Extra tests measured per go-back-to-(1) round.
+    std::size_t additional_tests_per_round = 75;
+    /// Maximum learning rounds before giving up (result still usable).
+    std::size_t max_rounds = 3;
+    /// Keep iterating at least this many rounds even when the
+    /// learnability/generalization check already passes (active-learning
+    /// refinement rounds).
+    std::size_t min_rounds = 1;
+    /// Strategy for choosing follow-up measurements.
+    Acquisition acquisition = Acquisition::kRandom;
+    /// Software-scored candidate pool per active-learning round.
+    std::size_t acquisition_pool = 500;
+    double train_fraction = 0.8;
+    fuzzy::CodingScheme coding = fuzzy::CodingScheme::kFuzzy;
+    nn::CommitteeOptions committee{};
+    MultiTripOptions trip{};
+    /// Majority fraction of members that must pass the learnability and
+    /// generalization check for the round to converge.
+    double required_member_majority = 0.5;
+};
+
+/// The trained artifact: committee + coder + the generator/parameter
+/// context needed to turn a Test into a prediction. This is the in-memory
+/// form of the paper's "NN weight file" (see nn::save_committee for the
+/// on-disk form).
+class LearnedModel {
+public:
+    LearnedModel(nn::VotingCommittee committee, fuzzy::TripPointCoder coder,
+                 testgen::RandomGeneratorOptions generator_options,
+                 ate::Parameter parameter);
+
+    [[nodiscard]] const nn::VotingCommittee& committee() const noexcept {
+        return committee_;
+    }
+    [[nodiscard]] const fuzzy::TripPointCoder& coder() const noexcept {
+        return coder_;
+    }
+    [[nodiscard]] const testgen::RandomGeneratorOptions& generator_options()
+        const noexcept {
+        return generator_options_;
+    }
+    [[nodiscard]] const ate::Parameter& parameter() const noexcept {
+        return parameter_;
+    }
+
+    /// NN input features of a test (pattern + normalized conditions).
+    [[nodiscard]] std::vector<double> features_of(
+        const testgen::Test& test) const;
+
+    /// Software-only WCR prediction (no ATE measurement).
+    [[nodiscard]] double predict_wcr(const testgen::Test& test) const;
+
+    /// Committee vote with agreement statistics.
+    [[nodiscard]] nn::VoteResult vote(const testgen::Test& test) const;
+
+private:
+    nn::VotingCommittee committee_;
+    fuzzy::TripPointCoder coder_;
+    testgen::RandomGeneratorOptions generator_options_;
+    ate::Parameter parameter_;
+};
+
+/// Outcome of the learning flow.
+struct LearnResult {
+    LearnedModel model;
+    DesignSpecVariation dsv;            ///< all measured trip points
+    std::vector<nn::TrainReport> member_reports;  ///< last round
+    std::size_t rounds = 0;
+    bool converged = false;             ///< learnability + generalization met
+    double mean_validation_error = 0.0; ///< committee consistency check
+    std::size_t tests_measured = 0;
+};
+
+class CharacterizationLearner {
+public:
+    CharacterizationLearner() = default;
+    explicit CharacterizationLearner(LearnerOptions options)
+        : options_(std::move(options)) {}
+
+    [[nodiscard]] const LearnerOptions& options() const noexcept {
+        return options_;
+    }
+
+    /// Runs the Fig. 4 loop against live ATE measurements.
+    [[nodiscard]] LearnResult run(ate::Tester& tester,
+                                  const ate::Parameter& parameter,
+                                  const testgen::RandomTestGenerator& generator,
+                                  util::Rng& rng) const;
+
+private:
+    LearnerOptions options_;
+};
+
+}  // namespace cichar::core

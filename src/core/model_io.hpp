@@ -1,0 +1,27 @@
+// LearnedModel persistence. The paper's flow splits learning and
+// optimization in time: "At the end of NN learning, a NN weight file is
+// generated. This file will be used in classification task of worst case
+// test ... in optimization phase." save_model/load_model persist the
+// complete artifact — committee weights, coding scheme, parameter
+// descriptor, and generator context — so a model trained in one session
+// drives NN test generation and GA seeding in another.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/learner.hpp"
+
+namespace cichar::core {
+
+/// Writes the full model. Throws std::ios_base::failure on stream errors.
+void save_model(std::ostream& out, const LearnedModel& model);
+
+/// Reads a model. Throws std::runtime_error on malformed input.
+[[nodiscard]] LearnedModel load_model(std::istream& in);
+
+/// File-path conveniences.
+void save_model_file(const std::string& path, const LearnedModel& model);
+[[nodiscard]] LearnedModel load_model_file(const std::string& path);
+
+}  // namespace cichar::core

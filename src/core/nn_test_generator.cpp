@@ -1,0 +1,50 @@
+#include "core/nn_test_generator.hpp"
+
+#include <algorithm>
+
+namespace cichar::core {
+
+NnTestGenerator::NnTestGenerator(const LearnedModel& model)
+    : model_(&model), generator_(model.generator_options()) {}
+
+std::vector<TestSuggestion> NnTestGenerator::suggest(std::size_t candidates,
+                                                     std::size_t top_k,
+                                                     util::Rng& rng) const {
+    std::vector<TestSuggestion> scored;
+    scored.reserve(candidates);
+    for (std::size_t i = 0; i < candidates; ++i) {
+        TestSuggestion s;
+        s.recipe = generator_.random_recipe(rng);
+        s.conditions = generator_.random_conditions(rng);
+        const testgen::Test test = generator_.make_test(s.recipe, s.conditions);
+        s.predicted_wcr = model_->predict_wcr(test);
+        s.vote_agreement = model_->vote(test).agreement;
+        scored.push_back(std::move(s));
+    }
+    const std::size_t keep = std::min(top_k, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                      scored.end(),
+                      [](const TestSuggestion& a, const TestSuggestion& b) {
+                          return a.predicted_wcr > b.predicted_wcr;
+                      });
+    scored.resize(keep);
+    return scored;
+}
+
+std::vector<ga::TestChromosome> NnTestGenerator::suggest_chromosomes(
+    std::size_t candidates, std::size_t top_k, util::Rng& rng) const {
+    const std::vector<TestSuggestion> suggestions =
+        suggest(candidates, top_k, rng);
+    const auto& opts = generator_.options();
+    std::vector<ga::TestChromosome> chromosomes;
+    chromosomes.reserve(suggestions.size());
+    for (const TestSuggestion& s : suggestions) {
+        chromosomes.push_back(ga::TestChromosome::encode(
+            s.recipe, s.conditions, opts.condition_bounds, opts.min_cycles,
+            opts.max_cycles));
+    }
+    return chromosomes;
+}
+
+}  // namespace cichar::core

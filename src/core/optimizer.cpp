@@ -1,0 +1,135 @@
+#include "core/optimizer.hpp"
+
+#include <string>
+
+#include "util/log.hpp"
+
+namespace cichar::core {
+
+const char* to_string(Objective objective) noexcept {
+    switch (objective) {
+        case Objective::kDriftToMinimum: return "drift-to-minimum";
+        case Objective::kDriftToMaximum: return "drift-to-maximum";
+    }
+    return "?";
+}
+
+Objective objective_for(const ate::Parameter& parameter) noexcept {
+    return parameter.spec_type == ate::SpecType::kMinLimit
+               ? Objective::kDriftToMinimum
+               : Objective::kDriftToMaximum;
+}
+
+namespace {
+
+double objective_wcr(Objective objective, double measured, double spec) {
+    return objective == Objective::kDriftToMinimum
+               ? ga::wcr_toward_min(measured, spec)
+               : ga::wcr_toward_max(measured, spec);
+}
+
+}  // namespace
+
+WorstCaseReport WorstCaseOptimizer::run(ate::Tester& tester,
+                                        const ate::Parameter& parameter,
+                                        const LearnedModel& model,
+                                        Objective objective,
+                                        util::Rng& rng) const {
+    const NnTestGenerator nn_generator(model);
+    std::vector<ga::TestChromosome> seeds = nn_generator.suggest_chromosomes(
+        options_.nn_candidates, options_.nn_seed_count, rng);
+    return drive(tester, parameter, model.generator_options(),
+                 std::move(seeds), objective, rng);
+}
+
+WorstCaseReport WorstCaseOptimizer::run_unseeded(
+    ate::Tester& tester, const ate::Parameter& parameter,
+    const testgen::RandomGeneratorOptions& generator_options,
+    Objective objective, util::Rng& rng) const {
+    return drive(tester, parameter, generator_options, {}, objective, rng);
+}
+
+WorstCaseReport WorstCaseOptimizer::drive(
+    ate::Tester& tester, const ate::Parameter& parameter,
+    const testgen::RandomGeneratorOptions& generator_options,
+    std::vector<ga::TestChromosome> seeds, Objective objective,
+    util::Rng& rng) const {
+    ate::PhaseScope phase(tester.log(), "ga-optimization");
+    const std::uint64_t applications_before = tester.log().total().applications;
+
+    const testgen::RandomTestGenerator generator(generator_options);
+    TripSession session(tester, parameter, options_.trip);
+    WorstCaseDatabase database(options_.database_capacity);
+    std::size_t eval_counter = 0;
+
+    const ga::FitnessFn fitness = [&](const ga::TestChromosome& chromosome) {
+        const testgen::PatternRecipe recipe = chromosome.decode_recipe(
+            generator_options.min_cycles, generator_options.max_cycles);
+        const testgen::TestConditions conditions =
+            chromosome.decode_conditions(generator_options.condition_bounds);
+        const std::string name = "ga-" + std::to_string(eval_counter++);
+        const testgen::Test test = generator.make_test(recipe, conditions, name);
+
+        const TripPointRecord record = session.measure(test);
+        if (!record.found) return 0.0;  // no crossover: treat as harmless
+
+        const double wcr =
+            objective_wcr(objective, record.trip_point, parameter.spec);
+
+        WorstCaseEntry entry;
+        entry.name = name;
+        entry.recipe = recipe;
+        entry.conditions = conditions;
+        entry.trip_point = record.trip_point;
+        entry.wcr = wcr;
+        entry.wcr_class = ga::classify(wcr, options_.thresholds);
+        database.add(std::move(entry));
+
+        if (options_.check_functional_failures &&
+            wcr > options_.thresholds.fail) {
+            const device::FunctionalResult functional =
+                tester.run_functional(test);
+            if (!functional.pass()) {
+                FunctionalFailureRecord failure;
+                failure.name = name;
+                failure.recipe = recipe;
+                failure.conditions = conditions;
+                failure.miscompares = functional.miscompares;
+                failure.first_fail_cycle = functional.first_fail_cycle;
+                database.add_functional_failure(std::move(failure));
+            }
+        }
+        return wcr;
+    };
+
+    const ga::MultiPopulationGa driver(options_.ga);
+    WorstCaseReport report;
+    report.objective = objective;
+    report.outcome = driver.run(fitness, std::move(seeds), rng);
+    report.database = std::move(database);
+
+    // Re-expand and re-measure the winner (the paper re-analyzes final
+    // worst case tests in detail on the ATE).
+    const testgen::PatternRecipe best_recipe = report.outcome.best.decode_recipe(
+        generator_options.min_cycles, generator_options.max_cycles);
+    const testgen::TestConditions best_conditions =
+        report.outcome.best.decode_conditions(generator_options.condition_bounds);
+    report.worst_test =
+        generator.make_test(best_recipe, best_conditions, "worst-case");
+    report.worst_record = session.measure(report.worst_test);
+    if (report.worst_record.found) {
+        report.worst_record.wcr = objective_wcr(
+            objective, report.worst_record.trip_point, parameter.spec);
+        report.worst_record.wcr_class =
+            ga::classify(report.worst_record.wcr, options_.thresholds);
+    }
+
+    report.ate_measurements = static_cast<std::size_t>(
+        tester.log().total().applications - applications_before);
+    util::log_info("optimizer: best WCR ", report.outcome.best_fitness, " in ",
+                   report.outcome.evaluations, " evaluations, ",
+                   report.ate_measurements, " measurements");
+    return report;
+}
+
+}  // namespace cichar::core

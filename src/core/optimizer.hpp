@@ -1,0 +1,89 @@
+// Intelligent device characterization OPTIMIZATION scheme (paper Fig. 5):
+//
+//   NN weight file -> fuzzy-NN test generator seeds sub-optimal tests
+//   -> characterization objective (drift to max or min) -> GA evolves
+//   test-sequence + test-condition chromosomes, fitness = trip point
+//   measured live on the ATE (eqs. 2/3/4) -> WCR classification ->
+//   restart with brand new populations until the worst case is detected
+//   (worst case ratio theorem) or the step budget ends -> database.
+#pragma once
+
+#include "ate/tester.hpp"
+#include "core/database.hpp"
+#include "core/learner.hpp"
+#include "core/nn_test_generator.hpp"
+#include "ga/multi_population.hpp"
+
+namespace cichar::core {
+
+/// Characterization objective (paper Fig. 5 step 2): which direction of
+/// specification drift the hunt provokes.
+enum class Objective : std::uint8_t {
+    kDriftToMinimum,  ///< worst case = smallest measured value (eq. 6)
+    kDriftToMaximum,  ///< worst case = largest measured value (eq. 5)
+};
+
+[[nodiscard]] const char* to_string(Objective objective) noexcept;
+
+/// The natural objective for a parameter: min-limit specs are hunted
+/// toward their minimum, max-limit specs toward their maximum.
+[[nodiscard]] Objective objective_for(const ate::Parameter& parameter) noexcept;
+
+struct OptimizerOptions {
+    ga::MultiPopulationOptions ga{};
+    /// Software-only candidates scored by the NN generator.
+    std::size_t nn_candidates = 1500;
+    /// Sub-optimal tests seeded into the GA populations.
+    std::size_t nn_seed_count = 12;
+    MultiTripOptions trip{};
+    ga::WcrThresholds thresholds{};
+    /// Run a functional pattern when a fitness evaluation crosses the fail
+    /// boundary, storing failures separately.
+    bool check_functional_failures = true;
+    std::size_t database_capacity = 64;
+};
+
+struct WorstCaseReport {
+    ga::MultiPopulationOutcome outcome;
+    WorstCaseDatabase database;
+    testgen::Test worst_test;        ///< re-expanded best chromosome
+    TripPointRecord worst_record;    ///< its re-measured trip point
+    Objective objective = Objective::kDriftToMinimum;
+    std::size_t ate_measurements = 0;  ///< measurements spent in this run
+};
+
+class WorstCaseOptimizer {
+public:
+    WorstCaseOptimizer() = default;
+    explicit WorstCaseOptimizer(OptimizerOptions options)
+        : options_(std::move(options)) {}
+
+    [[nodiscard]] const OptimizerOptions& options() const noexcept {
+        return options_;
+    }
+
+    /// Full Fig. 5 run: NN-seeded GA against live measurements.
+    [[nodiscard]] WorstCaseReport run(ate::Tester& tester,
+                                      const ate::Parameter& parameter,
+                                      const LearnedModel& model,
+                                      Objective objective,
+                                      util::Rng& rng) const;
+
+    /// Ablation entry point: identical GA but with purely random seeding
+    /// (no NN). `generator_options` replaces the model's context.
+    [[nodiscard]] WorstCaseReport run_unseeded(
+        ate::Tester& tester, const ate::Parameter& parameter,
+        const testgen::RandomGeneratorOptions& generator_options,
+        Objective objective, util::Rng& rng) const;
+
+private:
+    [[nodiscard]] WorstCaseReport drive(
+        ate::Tester& tester, const ate::Parameter& parameter,
+        const testgen::RandomGeneratorOptions& generator_options,
+        std::vector<ga::TestChromosome> seeds, Objective objective,
+        util::Rng& rng) const;
+
+    OptimizerOptions options_;
+};
+
+}  // namespace cichar::core

@@ -1,0 +1,42 @@
+#include "core/production.hpp"
+
+#include <algorithm>
+
+#include "testgen/march.hpp"
+
+namespace cichar::core {
+
+ate::ProductionTestProgram build_production_program(
+    const WorstCaseDatabase& database,
+    const testgen::RandomGeneratorOptions& generator_options,
+    const ate::Parameter& parameter, double limit,
+    ProductionBuildOptions options) {
+    ate::ProductionTestProgram program;
+
+    if (options.include_functional_march) {
+        ate::ProductionStep functional;
+        functional.name = "functional-march";
+        functional.test =
+            testgen::make_test(testgen::march_c_minus().expand());
+        functional.parameter = parameter;
+        functional.functional = true;
+        program.add_step(std::move(functional));
+    }
+
+    const testgen::RandomTestGenerator generator(generator_options);
+    const std::size_t steps =
+        std::min(options.worst_case_steps, database.size());
+    for (std::size_t i = 0; i < steps; ++i) {
+        const WorstCaseEntry& entry = database.entries()[i];
+        ate::ProductionStep step;
+        step.name = "worst-case-" + entry.name;
+        step.test = generator.make_test(entry.recipe, entry.conditions,
+                                        step.name);
+        step.parameter = parameter;
+        step.limit = limit;
+        program.add_step(std::move(step));
+    }
+    return program;
+}
+
+}  // namespace cichar::core

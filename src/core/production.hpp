@@ -1,0 +1,31 @@
+// Compiles characterization results into a production test program (the
+// paper's end goal: "develop a production test program in manufacturing
+// test"). The screen = a functional March step plus the top worst-case
+// tests from the database, each applied at the proposed production limit —
+// devices passing the worst case "will work for any other conditions".
+#pragma once
+
+#include "ate/test_program.hpp"
+#include "core/database.hpp"
+#include "core/spec_report.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace cichar::core {
+
+struct ProductionBuildOptions {
+    /// Worst-case screens taken from the database (top by WCR).
+    std::size_t worst_case_steps = 3;
+    /// Prepend a functional March C- screen.
+    bool include_functional_march = true;
+};
+
+/// Builds the program. `limit` is the production limit for the parameter
+/// (typically SpecProposal::proposed_limit). Database recipes are
+/// re-expanded through `generator_options` (bit-exact reproduction).
+[[nodiscard]] ate::ProductionTestProgram build_production_program(
+    const WorstCaseDatabase& database,
+    const testgen::RandomGeneratorOptions& generator_options,
+    const ate::Parameter& parameter, double limit,
+    ProductionBuildOptions options = {});
+
+}  // namespace cichar::core

@@ -1,0 +1,100 @@
+#include "core/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/ascii.hpp"
+
+namespace cichar::core {
+
+std::string render_report(const ReportInputs& inputs) {
+    std::ostringstream out;
+    out << "# Characterization report: " << inputs.device_name << "\n\n";
+    out << "seed: " << inputs.seed << "\n\n";
+
+    if (inputs.learned != nullptr) {
+        const LearnResult& l = *inputs.learned;
+        out << "## Learning (Fig. 4)\n\n";
+        out << "* tests measured: " << l.tests_measured << " over "
+            << l.rounds << " round(s)"
+            << (l.converged ? " (converged)" : " (NOT converged)") << "\n";
+        out << "* committee: " << l.model.committee().member_count()
+            << " nets, mean validation error "
+            << util::fixed(l.mean_validation_error, 5) << "\n";
+        out << "* coding: " << fuzzy::to_string(l.model.coder().scheme())
+            << "\n";
+        if (l.dsv.found_count() > 0) {
+            const util::Summary s = l.dsv.trip_summary();
+            out << "* trip points: min " << util::fixed(s.min, 2)
+                << " / median " << util::fixed(s.median, 2) << " / max "
+                << util::fixed(s.max, 2) << " "
+                << l.model.parameter().unit << " (spread "
+                << util::fixed(l.dsv.trip_spread(), 2) << ")\n";
+        }
+        out << "\n";
+    }
+
+    if (inputs.hunt != nullptr) {
+        const WorstCaseReport& h = *inputs.hunt;
+        out << "## Worst-case hunt (Fig. 5)\n\n";
+        out << "* objective: " << to_string(h.objective) << "\n";
+        if (h.worst_record.found) {
+            out << "* worst case: trip point "
+                << util::fixed(h.worst_record.trip_point, 2) << ", WCR "
+                << util::fixed(h.outcome.best_fitness, 3) << " ("
+                << ga::to_string(h.worst_record.wcr_class) << ")\n";
+        } else {
+            out << "* worst case: not found within the search range\n";
+        }
+        out << "* GA: " << h.outcome.evaluations << " evaluations, "
+            << h.outcome.generations_run << " generations, "
+            << h.outcome.restarts << " restarts, "
+            << (h.outcome.target_reached ? "stopped by WCR target"
+                                         : "ran to budget")
+            << "\n";
+        out << "* ATE cost: " << h.ate_measurements << " measurements\n\n";
+
+        const std::size_t top =
+            std::min(inputs.top_entries, h.database.size());
+        if (top > 0) {
+            out << "### Top " << top << " worst-case tests\n\n";
+            out << "| test | WCR | trip | class | recipe |\n";
+            out << "|---|---|---|---|---|\n";
+            for (std::size_t i = 0; i < top; ++i) {
+                const WorstCaseEntry& e = h.database.entries()[i];
+                out << "| " << e.name << " | " << util::fixed(e.wcr, 3)
+                    << " | " << util::fixed(e.trip_point, 2) << " | "
+                    << ga::to_string(e.wcr_class) << " | "
+                    << e.recipe.describe() << " |\n";
+            }
+            out << "\n";
+        }
+        if (!h.database.functional_failures().empty()) {
+            out << "### Functional failures (stored separately)\n\n";
+            for (const FunctionalFailureRecord& f :
+                 h.database.functional_failures()) {
+                out << "* " << f.name << ": " << f.miscompares
+                    << " miscompares, first at cycle " << f.first_fail_cycle
+                    << "\n";
+            }
+            out << "\n";
+        }
+    }
+
+    if (inputs.proposal != nullptr) {
+        out << "## Specification proposal\n\n```\n"
+            << inputs.proposal->render() << "```\n\n";
+    }
+
+    if (inputs.ledger != nullptr) {
+        out << "## Tester activity\n\n```\n" << inputs.ledger->report()
+            << "```\n";
+    }
+    return out.str();
+}
+
+void write_report(std::ostream& out, const ReportInputs& inputs) {
+    out << render_report(inputs);
+}
+
+}  // namespace cichar::core

@@ -1,0 +1,34 @@
+// Characterization report generator: renders a complete campaign —
+// learning statistics, DSV spread, worst-case hunt outcome, top database
+// entries, specification proposal, and the tester ledger — as a single
+// markdown document (the engineering sign-off artifact a characterization
+// run produces).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ate/measurement_log.hpp"
+#include "core/optimizer.hpp"
+#include "core/spec_report.hpp"
+
+namespace cichar::core {
+
+struct ReportInputs {
+    std::string device_name = "memory-test-chip";
+    const LearnResult* learned = nullptr;       ///< optional
+    const WorstCaseReport* hunt = nullptr;      ///< optional
+    const SpecProposal* proposal = nullptr;     ///< optional
+    const ate::MeasurementLog* ledger = nullptr;  ///< optional
+    std::uint64_t seed = 0;
+    /// Database entries listed in the report.
+    std::size_t top_entries = 5;
+};
+
+/// Renders the markdown report.
+[[nodiscard]] std::string render_report(const ReportInputs& inputs);
+
+/// Writes it to a stream.
+void write_report(std::ostream& out, const ReportInputs& inputs);
+
+}  // namespace cichar::core

@@ -1,0 +1,76 @@
+// Device-sample characterization: "select a statistically significant
+// sample of devices, and repeat the test for every combination of two or
+// more environmental variables" (paper section 1). Runs the multi-trip
+// flow over a wafer sample of modeled dies (and optional environmental
+// condition combinations) and aggregates per-die worst cases into a
+// sample-level specification view.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/multi_trip.hpp"
+#include "core/spec_report.hpp"
+#include "device/memory_chip.hpp"
+
+namespace cichar::core {
+
+struct SampleOptions {
+    std::size_t dies = 8;                  ///< sample size
+    device::ProcessSpread process{};       ///< die distribution
+    device::MemoryChipOptions chip{};      ///< per-die behavioral options
+    ate::TesterOptions tester{};
+    MultiTripOptions trip{};
+    /// Environmental combinations applied on top of each test's own
+    /// conditions (empty = use the tests as given). Each entry overrides
+    /// (vdd, temperature); the classic corners matrix.
+    std::vector<std::pair<double, double>> environment_grid{};
+};
+
+/// One die's campaign.
+struct DieCampaign {
+    device::DieParameters die;
+    DesignSpecVariation dsv;
+    std::uint64_t measurements = 0;
+};
+
+/// Whole-sample outcome.
+struct SampleResult {
+    std::vector<DieCampaign> dies;
+
+    /// Per-die worst trip points (one value per die).
+    [[nodiscard]] std::vector<double> per_die_worst() const;
+
+    /// The die whose worst trip point is the sample's worst case.
+    [[nodiscard]] const DieCampaign& worst_die() const;
+
+    /// All trip points of all dies pooled into one DSV (for spec
+    /// proposals over the whole sample).
+    [[nodiscard]] DesignSpecVariation pooled() const;
+
+    [[nodiscard]] std::uint64_t total_measurements() const;
+};
+
+/// Drives a characterization campaign across freshly sampled dies.
+class SampleCharacterizer {
+public:
+    SampleCharacterizer() = default;
+    explicit SampleCharacterizer(SampleOptions options)
+        : options_(std::move(options)) {}
+
+    [[nodiscard]] const SampleOptions& options() const noexcept {
+        return options_;
+    }
+
+    /// Characterizes every die of a fresh wafer sample against `tests`.
+    /// Each die gets its own chip instance and tester; `rng` drives the
+    /// process sampling and per-die noise seeds.
+    [[nodiscard]] SampleResult run(const ate::Parameter& parameter,
+                                   std::span<const testgen::Test> tests,
+                                   util::Rng& rng) const;
+
+private:
+    SampleOptions options_;
+};
+
+}  // namespace cichar::core

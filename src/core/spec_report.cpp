@@ -1,0 +1,62 @@
+#include "core/spec_report.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cichar::core {
+
+std::string SpecProposal::render() const {
+    std::ostringstream out;
+    out << "specification proposal: " << parameter_name << " [" << unit
+        << "]\n";
+    out << "  design target: "
+        << (spec_type == ate::SpecType::kMinLimit ? ">= " : "<= ")
+        << design_target << ' ' << unit << '\n';
+    out << "  observed over " << tests << " tests: worst " << observed_worst
+        << ", median " << observed_median << ", best " << observed_best
+        << '\n';
+    out << "  guard band: " << guard_band << ' ' << unit << '\n';
+    out << "  proposed production limit: " << proposed_limit << ' ' << unit
+        << (meets_target ? "  (meets target)" : "  (TARGET VIOLATED)")
+        << '\n';
+    return out.str();
+}
+
+SpecProposal propose_spec(const ate::Parameter& parameter,
+                          const DesignSpecVariation& dsv,
+                          double guard_band_fraction) {
+    if (dsv.found_count() == 0) {
+        throw std::invalid_argument("propose_spec: DSV has no found trips");
+    }
+    if (guard_band_fraction < 0.0) {
+        throw std::invalid_argument("propose_spec: negative guard band");
+    }
+    const util::Summary s = dsv.trip_summary();
+
+    SpecProposal p;
+    p.parameter_name = parameter.name;
+    p.unit = parameter.unit;
+    p.spec_type = parameter.spec_type;
+    p.design_target = parameter.spec;
+    p.observed_median = s.median;
+    p.tests = dsv.found_count();
+
+    if (parameter.spec_type == ate::SpecType::kMinLimit) {
+        p.observed_worst = s.min;   // smallest margin is worst
+        p.observed_best = s.max;
+        p.guard_band = guard_band_fraction * p.observed_worst;
+        p.proposed_limit =
+            parameter.quantize(p.observed_worst - p.guard_band);
+        p.meets_target = p.proposed_limit >= parameter.spec;
+    } else {
+        p.observed_worst = s.max;   // largest value is worst
+        p.observed_best = s.min;
+        p.guard_band = guard_band_fraction * p.observed_worst;
+        p.proposed_limit =
+            parameter.quantize(p.observed_worst + p.guard_band);
+        p.meets_target = p.proposed_limit <= parameter.spec;
+    }
+    return p;
+}
+
+}  // namespace cichar::core

@@ -1,0 +1,42 @@
+// Specification derivation: "this set of information helps to define the
+// final device specification at the end of the characterization phase"
+// (paper section 1). Turns a DSV (or a multi-die sample) into a proposed
+// production limit with a guard band, checked against the design target.
+#pragma once
+
+#include <string>
+
+#include "core/dsv.hpp"
+
+namespace cichar::core {
+
+/// A proposed production specification for one parameter.
+struct SpecProposal {
+    std::string parameter_name;
+    std::string unit;
+    ate::SpecType spec_type = ate::SpecType::kMinLimit;
+    double design_target = 0.0;     ///< the design-phase spec value
+    double observed_worst = 0.0;    ///< worst trip point over the campaign
+    double observed_median = 0.0;
+    double observed_best = 0.0;
+    double guard_band = 0.0;        ///< margin applied toward the fail side
+    double proposed_limit = 0.0;    ///< observed worst minus/plus guard band
+    bool meets_target = false;      ///< proposed limit satisfies the target
+    std::size_t tests = 0;
+
+    /// Multi-line human-readable rendering.
+    [[nodiscard]] std::string render() const;
+};
+
+/// Derives a proposal from a characterization campaign.
+///
+/// For a min-limit parameter (e.g. T_DQ >= 20 ns) the observed worst is
+/// the *smallest* trip point and the guard band subtracts; for a max-limit
+/// parameter it is the largest and the guard band adds. The proposal
+/// meets the target when it is still on the safe side of the design spec.
+/// `guard_band_fraction` is relative to the observed worst value.
+[[nodiscard]] SpecProposal propose_spec(const ate::Parameter& parameter,
+                                        const DesignSpecVariation& dsv,
+                                        double guard_band_fraction = 0.05);
+
+}  // namespace cichar::core

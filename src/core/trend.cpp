@@ -1,0 +1,127 @@
+#include "core/trend.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/ascii.hpp"
+
+namespace cichar::core {
+
+LotSummary summarize_lot(std::string lot_id, const SampleResult& sample) {
+    LotSummary lot;
+    lot.lot_id = std::move(lot_id);
+    lot.dies = sample.dies.size();
+    const DesignSpecVariation pooled = sample.pooled();
+    lot.trips = pooled.trip_summary();
+    lot.worst_wcr = pooled.worst().wcr;
+    return lot;
+}
+
+double linear_slope(std::span<const double> y) {
+    const std::size_t n = y.size();
+    if (n < 2) return 0.0;
+    // x = 0..n-1: slope = sum((x - mx)(y - my)) / sum((x - mx)^2).
+    const double mx = static_cast<double>(n - 1) / 2.0;
+    double my = 0.0;
+    for (const double v : y) my += v;
+    my /= static_cast<double>(n);
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = static_cast<double>(i) - mx;
+        num += dx * (y[i] - my);
+        den += dx * dx;
+    }
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+void TrendMonitor::add(LotSummary lot) { lots_.push_back(std::move(lot)); }
+
+std::vector<double> TrendMonitor::worst_series() const {
+    std::vector<double> series;
+    series.reserve(lots_.size());
+    for (const LotSummary& lot : lots_) {
+        // "Worst" is the spec-ward extreme: min for a min-limit spec.
+        series.push_back(parameter_.spec_type == ate::SpecType::kMinLimit
+                             ? lot.trips.min
+                             : lot.trips.max);
+    }
+    return series;
+}
+
+double TrendMonitor::median_slope() const {
+    std::vector<double> medians;
+    medians.reserve(lots_.size());
+    for (const LotSummary& lot : lots_) medians.push_back(lot.trips.median);
+    return linear_slope(medians);
+}
+
+double TrendMonitor::worst_slope() const {
+    return linear_slope(worst_series());
+}
+
+double TrendMonitor::wcr_slope() const {
+    std::vector<double> wcrs;
+    wcrs.reserve(lots_.size());
+    for (const LotSummary& lot : lots_) wcrs.push_back(lot.worst_wcr);
+    return linear_slope(wcrs);
+}
+
+bool TrendMonitor::drifting_toward_spec(double units_per_lot) const {
+    if (lots_.size() < 3) return false;
+    const double slope = worst_slope();
+    // Toward the spec: downward for a min-limit, upward for a max-limit.
+    const double toward = parameter_.spec_type == ate::SpecType::kMinLimit
+                              ? -slope
+                              : slope;
+    return toward > units_per_lot;
+}
+
+double TrendMonitor::lots_until_spec_violation() const {
+    if (lots_.size() < 3) return std::numeric_limits<double>::infinity();
+    const std::vector<double> series = worst_series();
+    const double slope = linear_slope(series);
+    const double current = series.back();
+    const double distance = parameter_.spec_type == ate::SpecType::kMinLimit
+                                ? current - parameter_.spec
+                                : parameter_.spec - current;
+    const double closing = parameter_.spec_type == ate::SpecType::kMinLimit
+                               ? -slope
+                               : slope;
+    if (closing <= 0.0) return std::numeric_limits<double>::infinity();
+    return distance / closing;
+}
+
+std::string TrendMonitor::render() const {
+    std::ostringstream out;
+    out << "trend: " << parameter_.name << " [" << parameter_.unit
+        << "] over " << lots_.size() << " lots (spec "
+        << (parameter_.spec_type == ate::SpecType::kMinLimit ? ">= " : "<= ")
+        << parameter_.spec << ")\n";
+    util::TextTable table({"lot", "dies", "median", "worst", "worst WCR"});
+    const std::vector<double> worst = worst_series();
+    for (std::size_t i = 0; i < lots_.size(); ++i) {
+        const LotSummary& lot = lots_[i];
+        table.add_row({lot.lot_id, std::to_string(lot.dies),
+                       util::fixed(lot.trips.median, 2),
+                       util::fixed(worst[i], 2),
+                       util::fixed(lot.worst_wcr, 3)});
+    }
+    out << table.render();
+    if (lots_.size() >= 3) {
+        out << "median slope: " << util::fixed(median_slope(), 4)
+            << " per lot, worst slope: " << util::fixed(worst_slope(), 4)
+            << " per lot\n";
+        const double horizon = lots_until_spec_violation();
+        if (std::isfinite(horizon)) {
+            out << "projected spec violation in " << util::fixed(horizon, 1)
+                << " lots at the current trend\n";
+        } else {
+            out << "no spec-ward trend\n";
+        }
+    }
+    return out.str();
+}
+
+}  // namespace cichar::core

@@ -1,0 +1,73 @@
+// Manufacturing trend monitoring. The paper's abstract frames
+// characterization as gathering data "to determine weaknesses in design
+// or trends in the manufacturing process"; TrendMonitor covers the second
+// half: it accumulates per-lot characterization summaries over time and
+// flags systematic drift of the trip point population (e.g. a process
+// shift eating the timing margin lot after lot).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sample.hpp"
+
+namespace cichar::core {
+
+/// One lot's characterization summary.
+struct LotSummary {
+    std::string lot_id;
+    std::size_t dies = 0;
+    util::Summary trips;      ///< pooled trip points across the lot
+    double worst_wcr = 0.0;   ///< worst WCR seen in the lot
+};
+
+/// Builds a summary from a sample campaign.
+[[nodiscard]] LotSummary summarize_lot(std::string lot_id,
+                                       const SampleResult& sample);
+
+/// Least-squares slope of y over equally spaced x = 0..n-1.
+[[nodiscard]] double linear_slope(std::span<const double> y);
+
+/// Accumulates lot summaries and detects drift.
+class TrendMonitor {
+public:
+    /// `parameter` provides the spec/fail direction context for alarms.
+    explicit TrendMonitor(ate::Parameter parameter)
+        : parameter_(std::move(parameter)) {}
+
+    void add(LotSummary lot);
+
+    [[nodiscard]] std::size_t lot_count() const noexcept {
+        return lots_.size();
+    }
+    [[nodiscard]] const LotSummary& lot(std::size_t i) const noexcept {
+        return lots_[i];
+    }
+
+    /// Per-lot slope of the median trip point (parameter units per lot).
+    [[nodiscard]] double median_slope() const;
+    /// Per-lot slope of the worst (most spec-ward) trip point.
+    [[nodiscard]] double worst_slope() const;
+    /// Per-lot slope of the worst WCR.
+    [[nodiscard]] double wcr_slope() const;
+
+    /// True when the worst trip point drifts *toward the spec* faster
+    /// than `units_per_lot` (needs at least 3 lots).
+    [[nodiscard]] bool drifting_toward_spec(double units_per_lot) const;
+
+    /// Projected number of additional lots until the trend line of the
+    /// worst trip point crosses the spec; negative / huge values mean "not
+    /// on a collision course". Needs at least 3 lots.
+    [[nodiscard]] double lots_until_spec_violation() const;
+
+    /// ASCII trend chart of median and worst trip points per lot.
+    [[nodiscard]] std::string render() const;
+
+private:
+    [[nodiscard]] std::vector<double> worst_series() const;
+
+    ate::Parameter parameter_;
+    std::vector<LotSummary> lots_;
+};
+
+}  // namespace cichar::core

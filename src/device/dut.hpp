@@ -1,0 +1,53 @@
+// Device-under-test interface: the only thing the ATE layer sees. A DUT
+// answers pass/fail for a test applied at one parameter setting, runs
+// functional patterns, and can be idled between measurements.
+#pragma once
+
+#include <cstdint>
+
+#include "testgen/test.hpp"
+
+namespace cichar::device {
+
+/// Characterization parameters the modeled chip supports.
+enum class ParameterKind : std::uint8_t {
+    kDataValidTime,  ///< T_DQ strobe (ns); pass region below the trip point
+    kMaxFrequency,   ///< clock (MHz); pass region below the trip point
+    kMinVdd,         ///< supply (V); pass region *above* the trip point
+};
+
+[[nodiscard]] const char* to_string(ParameterKind kind) noexcept;
+
+/// Outcome of a functional pattern execution.
+struct FunctionalResult {
+    std::size_t reads = 0;
+    std::size_t miscompares = 0;
+    /// Cycle index of the first failing read, or npos when clean.
+    std::size_t first_fail_cycle = npos;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    [[nodiscard]] bool pass() const noexcept { return miscompares == 0; }
+};
+
+/// Abstract DUT. Implementations may be noisy and history-dependent
+/// (self-heating): repeated identical calls may disagree near the trip
+/// point, exactly like silicon on a tester.
+class DeviceUnderTest {
+public:
+    virtual ~DeviceUnderTest() = default;
+
+    /// Applies `test` with `parameter` forced to `setting`; true = pass.
+    [[nodiscard]] virtual bool passes(const testgen::Test& test,
+                                      ParameterKind parameter,
+                                      double setting) = 0;
+
+    /// Runs the pattern functionally at the test's own conditions.
+    [[nodiscard]] virtual FunctionalResult run_functional(
+        const testgen::Test& test) = 0;
+
+    /// Idles the device (cools it down, resets measurement history).
+    virtual void settle() = 0;
+};
+
+}  // namespace cichar::device

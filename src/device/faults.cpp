@@ -1,0 +1,110 @@
+#include "device/faults.hpp"
+
+namespace cichar::device {
+namespace {
+
+std::uint16_t bit_mask(std::uint8_t bit) noexcept {
+    return static_cast<std::uint16_t>(1u << (bit & 15u));
+}
+
+}  // namespace
+
+FaultSet::FaultSet(std::vector<Fault> faults) : faults_(std::move(faults)) {}
+
+std::uint16_t FaultSet::on_write(std::uint32_t address, std::uint16_t previous,
+                                 std::uint16_t data) const noexcept {
+    std::uint16_t stored = data;
+    for (const Fault& f : faults_) {
+        if (f.address != address) continue;
+        const std::uint16_t mask = bit_mask(f.bit);
+        switch (f.type) {
+            case FaultType::kStuckAt0:
+                stored = static_cast<std::uint16_t>(stored & ~mask);
+                break;
+            case FaultType::kStuckAt1:
+                stored = static_cast<std::uint16_t>(stored | mask);
+                break;
+            case FaultType::kTransition:
+                // 0 -> 1 transition does not latch: keep the old bit if it
+                // was 0 and the new value tries to set it.
+                if ((previous & mask) == 0 && (data & mask) != 0) {
+                    stored = static_cast<std::uint16_t>(stored & ~mask);
+                }
+                break;
+            case FaultType::kCouplingInv:
+            case FaultType::kRetention:
+                break;  // handled in couple() / decay()
+        }
+    }
+    return stored;
+}
+
+std::uint16_t FaultSet::couple(std::uint32_t written_address,
+                               std::uint32_t victim_address,
+                               std::uint16_t victim_value) const noexcept {
+    std::uint16_t value = victim_value;
+    for (const Fault& f : faults_) {
+        if (f.type != FaultType::kCouplingInv) continue;
+        if (f.aggressor_address != written_address) continue;
+        if (f.address != victim_address) continue;
+        value = static_cast<std::uint16_t>(value ^ bit_mask(f.bit));
+    }
+    return value;
+}
+
+std::uint16_t FaultSet::on_read(std::uint32_t address,
+                                std::uint16_t stored) const noexcept {
+    std::uint16_t value = stored;
+    for (const Fault& f : faults_) {
+        if (f.address != address) continue;
+        const std::uint16_t mask = bit_mask(f.bit);
+        switch (f.type) {
+            case FaultType::kStuckAt0:
+                value = static_cast<std::uint16_t>(value & ~mask);
+                break;
+            case FaultType::kStuckAt1:
+                value = static_cast<std::uint16_t>(value | mask);
+                break;
+            case FaultType::kTransition:
+            case FaultType::kCouplingInv:
+            case FaultType::kRetention:
+                break;  // state faults: already reflected in storage
+        }
+    }
+    return value;
+}
+
+std::uint16_t FaultSet::decay(std::uint32_t address, std::uint16_t stored,
+                              std::uint64_t age_cycles) const noexcept {
+    std::uint16_t value = stored;
+    for (const Fault& f : faults_) {
+        if (f.type != FaultType::kRetention || f.address != address) continue;
+        if (age_cycles > f.decay_cycles) {
+            value = static_cast<std::uint16_t>(value & ~bit_mask(f.bit));
+        }
+    }
+    return value;
+}
+
+bool FaultSet::has_retention(std::uint32_t address) const noexcept {
+    for (const Fault& f : faults_) {
+        if (f.type == FaultType::kRetention && f.address == address) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::uint32_t> FaultSet::victims_of(
+    std::uint32_t written_address) const {
+    std::vector<std::uint32_t> victims;
+    for (const Fault& f : faults_) {
+        if (f.type == FaultType::kCouplingInv &&
+            f.aggressor_address == written_address) {
+            victims.push_back(f.address);
+        }
+    }
+    return victims;
+}
+
+}  // namespace cichar::device

@@ -1,0 +1,81 @@
+// Injectable memory faults for functional testing. March tests exist to
+// catch exactly these; fault injection lets the test suite prove the
+// functional path (and lets examples show functional failures being
+// stored separately from parametric weaknesses, as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cichar::device {
+
+enum class FaultType : std::uint8_t {
+    kStuckAt0,      ///< cell bit always reads 0
+    kStuckAt1,      ///< cell bit always reads 1
+    kTransition,    ///< cell bit cannot transition 0 -> 1
+    kCouplingInv,   ///< write to aggressor flips victim bit
+    kRetention,     ///< stored 1 leaks to 0 after `decay_cycles` cycles
+};
+
+/// One injected fault at (address, bit).
+struct Fault {
+    FaultType type = FaultType::kStuckAt0;
+    std::uint32_t address = 0;
+    std::uint8_t bit = 0;
+    /// For coupling faults: the aggressor address whose writes disturb
+    /// the victim at `address`.
+    std::uint32_t aggressor_address = 0;
+    /// For retention faults: cycles a stored 1 survives before leaking.
+    std::uint32_t decay_cycles = 0;
+
+    [[nodiscard]] bool operator==(const Fault&) const = default;
+};
+
+/// Applies fault effects to array operations. The chip owns one FaultSet;
+/// an empty set is the (default) healthy device.
+class FaultSet {
+public:
+    FaultSet() = default;
+    explicit FaultSet(std::vector<Fault> faults);
+
+    [[nodiscard]] bool empty() const noexcept { return faults_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return faults_.size(); }
+    [[nodiscard]] const std::vector<Fault>& faults() const noexcept {
+        return faults_;
+    }
+
+    /// Transforms the stored value for a write of `data` to `address`,
+    /// given the previous stored value (transition faults need it).
+    [[nodiscard]] std::uint16_t on_write(std::uint32_t address,
+                                         std::uint16_t previous,
+                                         std::uint16_t data) const noexcept;
+
+    /// Side effect of a write to `address` on another victim cell; returns
+    /// the victim's new value (identity when no coupling fault applies).
+    [[nodiscard]] std::uint16_t couple(std::uint32_t written_address,
+                                       std::uint32_t victim_address,
+                                       std::uint16_t victim_value) const noexcept;
+
+    /// Transforms the value observed by a read of `address`.
+    [[nodiscard]] std::uint16_t on_read(std::uint32_t address,
+                                        std::uint16_t stored) const noexcept;
+
+    /// Victim addresses that writes to `written_address` may disturb.
+    [[nodiscard]] std::vector<std::uint32_t> victims_of(
+        std::uint32_t written_address) const;
+
+    /// Applies retention decay: clears every retention-faulty bit of the
+    /// stored value whose age (cycles since last write) exceeds the
+    /// fault's decay window. Identity when no retention fault matches.
+    [[nodiscard]] std::uint16_t decay(std::uint32_t address,
+                                      std::uint16_t stored,
+                                      std::uint64_t age_cycles) const noexcept;
+
+    /// True when any retention fault targets `address`.
+    [[nodiscard]] bool has_retention(std::uint32_t address) const noexcept;
+
+private:
+    std::vector<Fault> faults_;
+};
+
+}  // namespace cichar::device

@@ -1,0 +1,56 @@
+#include "device/presets.hpp"
+
+namespace cichar::device::presets {
+
+namespace {
+
+MemoryChipOptions quiet_options(std::uint64_t seed) {
+    MemoryChipOptions o;
+    o.noise_sigma_ns = 0.0;
+    o.noise_sigma_mhz = 0.0;
+    o.noise_sigma_v = 0.0;
+    o.seed = seed;
+    return o;
+}
+
+}  // namespace
+
+MemoryTestChip typical(std::uint64_t noise_seed) {
+    MemoryChipOptions options;
+    options.seed = noise_seed;
+    return MemoryTestChip(DieParameters{}, options);
+}
+
+MemoryTestChip noiseless(std::uint64_t noise_seed) {
+    return MemoryTestChip(DieParameters{}, quiet_options(noise_seed));
+}
+
+MemoryTestChip well_behaved(std::uint64_t noise_seed) {
+    TimingSensitivities sens;
+    sens.pocket_ns = 0.0;  // no hidden interaction worst case
+    MemoryChipOptions options;
+    options.seed = noise_seed;
+    return MemoryTestChip(DieParameters{}, options,
+                          TimingModel(sens, DeratingModel{}));
+}
+
+MemoryTestChip marginal(std::uint64_t noise_seed) {
+    const ProcessVariation process;
+    DieParameters die = process.slow_corner(3.0);
+    die.sensitivity_scale *= 1.25;  // pattern stress bites harder
+    MemoryChipOptions options;
+    options.seed = noise_seed;
+    return MemoryTestChip(die, options);
+}
+
+MemoryTestChip drifty(std::uint64_t noise_seed) {
+    MemoryChipOptions options;
+    options.seed = noise_seed;
+    options.enable_drift = true;
+    options.drift_max_ns = 1.5;
+    options.drift_heat_per_kcycle = 0.3;
+    options.drift_cooling = 0.5;
+    return MemoryTestChip(DieParameters{}, options);
+}
+
+}  // namespace cichar::device::presets

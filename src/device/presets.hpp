@@ -1,0 +1,31 @@
+// Named device configurations: ready-made chips for examples, tests and
+// benches. Each preset bundles die parameters, behavioral options and a
+// timing model into one call, so "a marginal die with strong self-heating"
+// is one line instead of four option structs.
+#pragma once
+
+#include "device/memory_chip.hpp"
+
+namespace cichar::device::presets {
+
+/// A typical die with realistic measurement noise (the default rig).
+[[nodiscard]] MemoryTestChip typical(std::uint64_t noise_seed = 42);
+
+/// Typical die, all measurement noise disabled (unit-test rig).
+[[nodiscard]] MemoryTestChip noiseless(std::uint64_t noise_seed = 42);
+
+/// A well-behaved design: no worst-case interaction pocket. On this chip
+/// random search finds (nearly) everything the CI hunt finds — the
+/// control for the Table 1 experiment.
+[[nodiscard]] MemoryTestChip well_behaved(std::uint64_t noise_seed = 42);
+
+/// A marginal die: slow corner with elevated pattern sensitivity. Its
+/// worst case violates the 20 ns T_DQ spec (WCR > 1), producing the
+/// paper's "fail" classification and functional failures under stress.
+[[nodiscard]] MemoryTestChip marginal(std::uint64_t noise_seed = 42);
+
+/// A thermally sensitive die: strong self-heating drift. Exercises the
+/// drift-sensing successive approximation and settle() flows.
+[[nodiscard]] MemoryTestChip drifty(std::uint64_t noise_seed = 42);
+
+}  // namespace cichar::device::presets

@@ -1,0 +1,53 @@
+#include "device/process.hpp"
+
+#include <algorithm>
+
+namespace cichar::device {
+
+ProcessVariation::ProcessVariation(ProcessSpread spread, DieParameters nominal)
+    : spread_(spread), nominal_(nominal) {}
+
+DieParameters ProcessVariation::fast_corner(double n_sigma) const {
+    DieParameters d = nominal_;
+    d.window_ns += n_sigma * spread_.window_sigma_ns;
+    d.sensitivity_scale =
+        std::max(0.5, d.sensitivity_scale - n_sigma * spread_.sensitivity_sigma);
+    d.vmin_base_v -= n_sigma * spread_.vmin_sigma_v;
+    d.fmax_base_mhz += n_sigma * spread_.fmax_sigma_mhz;
+    return d;
+}
+
+DieParameters ProcessVariation::slow_corner(double n_sigma) const {
+    DieParameters d = nominal_;
+    d.window_ns -= n_sigma * spread_.window_sigma_ns;
+    d.sensitivity_scale += n_sigma * spread_.sensitivity_sigma;
+    d.vmin_base_v += n_sigma * spread_.vmin_sigma_v;
+    d.fmax_base_mhz -= n_sigma * spread_.fmax_sigma_mhz;
+    return d;
+}
+
+DieParameters ProcessVariation::sample(util::Rng& rng) const {
+    DieParameters d = nominal_;
+    d.window_ns = rng.normal(nominal_.window_ns, spread_.window_sigma_ns);
+    d.sensitivity_scale = std::max(
+        0.5, rng.normal(nominal_.sensitivity_scale, spread_.sensitivity_sigma));
+    d.vmin_base_v = rng.normal(nominal_.vmin_base_v, spread_.vmin_sigma_v);
+    d.fmax_base_mhz = rng.normal(nominal_.fmax_base_mhz, spread_.fmax_sigma_mhz);
+    return d;
+}
+
+std::vector<DieParameters> ProcessVariation::sample_wafer(std::size_t count,
+                                                          util::Rng& rng) const {
+    const double shift = rng.normal(0.0, spread_.wafer_sigma_frac);
+    std::vector<DieParameters> dies;
+    dies.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        DieParameters d = sample(rng);
+        d.window_ns *= 1.0 + shift;
+        d.fmax_base_mhz *= 1.0 + shift;
+        dies.push_back(d);
+    }
+    return dies;
+}
+
+}  // namespace cichar::device

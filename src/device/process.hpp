@@ -1,0 +1,65 @@
+// Process variation model: per-die electrical parameters sampled from a
+// lot/wafer/die hierarchy. Substitutes for the paper's "statistically
+// significant sample of devices" from the 140nm line.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cichar::device {
+
+/// Electrical personality of one die.
+struct DieParameters {
+    /// Data-valid window at Vdd=1.8 V, 25 C, no stress (ns).
+    double window_ns = 33.5;
+    /// Multiplies all pattern-induced stress penalties (die speed).
+    double sensitivity_scale = 1.0;
+    /// Minimum operating supply under a benign pattern (V).
+    double vmin_base_v = 1.25;
+    /// Maximum operating frequency under a benign pattern (MHz).
+    double fmax_base_mhz = 125.0;
+
+    [[nodiscard]] bool operator==(const DieParameters&) const = default;
+};
+
+/// Spreads (1-sigma) of the die parameter distribution.
+struct ProcessSpread {
+    double window_sigma_ns = 0.6;
+    double sensitivity_sigma = 0.04;
+    double vmin_sigma_v = 0.02;
+    double fmax_sigma_mhz = 3.0;
+    /// Wafer-level mean shift applied on top of die-level noise.
+    double wafer_sigma_frac = 0.01;
+};
+
+/// Samples dies with lot/wafer/die structure.
+class ProcessVariation {
+public:
+    explicit ProcessVariation(ProcessSpread spread = {},
+                              DieParameters nominal = {});
+
+    /// A nominal (typical-corner) die.
+    [[nodiscard]] const DieParameters& nominal() const noexcept {
+        return nominal_;
+    }
+
+    /// Fast corner: wide window, low sensitivity (fast silicon).
+    [[nodiscard]] DieParameters fast_corner(double n_sigma = 3.0) const;
+    /// Slow corner: narrow window, high sensitivity (slow silicon).
+    [[nodiscard]] DieParameters slow_corner(double n_sigma = 3.0) const;
+
+    /// Samples one die.
+    [[nodiscard]] DieParameters sample(util::Rng& rng) const;
+
+    /// Samples a wafer of `count` dies sharing a common mean shift.
+    [[nodiscard]] std::vector<DieParameters> sample_wafer(std::size_t count,
+                                                          util::Rng& rng) const;
+
+private:
+    ProcessSpread spread_;
+    DieParameters nominal_;
+};
+
+}  // namespace cichar::device

@@ -1,0 +1,100 @@
+#include "device/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cichar::device {
+namespace {
+
+using testgen::kAddrTransition;
+using testgen::kAlternatingData;
+using testgen::kBankConflictRate;
+using testgen::kBurstiness;
+using testgen::kControlActivity;
+using testgen::kRwSwitchRate;
+using testgen::kToggleDensity;
+
+/// Hermite smoothstep rising from 0 at `lo` to 1 at `hi`.
+double smoothstep(double lo, double hi, double x) {
+    if (hi <= lo) return x >= hi ? 1.0 : 0.0;
+    const double t = std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+    return t * t * (3.0 - 2.0 * t);
+}
+
+/// Quadratic bump: 1 at `center`, 0 beyond `center +- width`.
+double bump(double center, double width, double x) {
+    if (width <= 0.0) return x == center ? 1.0 : 0.0;
+    const double t = (x - center) / width;
+    return std::max(0.0, 1.0 - t * t);
+}
+
+}  // namespace
+
+double TimingModel::pocket_activation(
+    const testgen::FeatureVector& f) const {
+    return smoothstep(sens_.pocket_toggle_lo, sens_.pocket_toggle_hi,
+                      f[kToggleDensity]) *
+           smoothstep(sens_.pocket_bank_lo, sens_.pocket_bank_hi,
+                      f[kBankConflictRate]) *
+           smoothstep(sens_.pocket_alt_lo, sens_.pocket_alt_hi,
+                      f[kAlternatingData]) *
+           bump(sens_.pocket_burst_center, sens_.pocket_burst_width,
+                f[kBurstiness]);
+}
+
+double TimingModel::stress_ns(const testgen::FeatureVector& f,
+                              const testgen::TestConditions& c,
+                              const DieParameters& die) const {
+    const double linear = sens_.ssn_ns * f[kToggleDensity] +
+                          sens_.addr_coupling_ns * f[kAddrTransition] +
+                          sens_.bank_conflict_ns * f[kBankConflictRate] +
+                          sens_.rw_switch_ns * f[kRwSwitchRate] +
+                          sens_.control_ns * f[kControlActivity] +
+                          sens_.alternating_ns * f[kAlternatingData];
+    const double pocket = sens_.pocket_ns * pocket_activation(f);
+    const double vdd_scale =
+        std::pow(1.8 / std::max(0.5, c.vdd_volts), derating_.stress_vdd_exponent);
+    return (linear + pocket) * vdd_scale * die.sensitivity_scale;
+}
+
+double TimingModel::tdq_ns(const testgen::FeatureVector& f,
+                           const testgen::TestConditions& c,
+                           const DieParameters& die) const {
+    const double volt_factor =
+        1.0 + derating_.window_per_volt * (c.vdd_volts - 1.8);
+    const double temp_factor =
+        1.0 + derating_.window_per_degc * (c.temperature_c - 25.0);
+    const double window = die.window_ns * volt_factor * temp_factor;
+    const double load_penalty =
+        derating_.load_ns_per_pf * (c.output_load_pf - 30.0);
+    const double clock_penalty =
+        c.clock_period_ns < 50.0
+            ? derating_.clock_recovery_ns_per_ns * (50.0 - c.clock_period_ns)
+            : 0.0;
+    return window - load_penalty - clock_penalty - stress_ns(f, c, die);
+}
+
+double TimingModel::vmin_v(const testgen::FeatureVector& f,
+                           const testgen::TestConditions& c,
+                           const DieParameters& die) const {
+    // Stress raises the minimum operating voltage: evaluate the stress at
+    // nominal supply (the search itself varies Vdd, not the conditions).
+    testgen::TestConditions nominal = c;
+    nominal.vdd_volts = 1.8;
+    const double stress = stress_ns(f, nominal, die);
+    const double temp_shift = 0.0004 * (c.temperature_c - 25.0);
+    return die.vmin_base_v + 0.010 * stress + temp_shift;
+}
+
+double TimingModel::fmax_mhz(const testgen::FeatureVector& f,
+                             const testgen::TestConditions& c,
+                             const DieParameters& die) const {
+    const double stress = stress_ns(f, c, die);
+    const double volt_factor =
+        1.0 + 0.30 * (c.vdd_volts - 1.8);  // faster at higher supply
+    const double temp_factor = 1.0 - 0.0008 * (c.temperature_c - 25.0);
+    return die.fmax_base_mhz * volt_factor * temp_factor /
+           (1.0 + stress / 40.0);
+}
+
+}  // namespace cichar::device

@@ -1,0 +1,99 @@
+// Behavioral parametric response surface of the modeled memory chip.
+//
+// This is the substitution for the silicon 140nm test chip: the paper's
+// premise is that the measured parameter (data-output-valid time T_DQ) is
+// *test dependent* — simultaneous switching noise, address-line coupling,
+// bank-conflict bursts and supply droop all erode the timing margin, and a
+// narrow combination of stresses (the "worst case test") erodes it most.
+// The model encodes exactly that structure:
+//
+//   T_DQ = window(die, Vdd, T) - load_penalty - stress(features) - drift + noise
+//
+// with `stress` a sum of per-feature sensitivities plus a *nonlinear
+// interaction pocket* that only activates when several stress axes are
+// jointly high. Deterministic (March) tests sit far from the pocket,
+// random tests rarely enter it, and a directed NN+GA search can climb into
+// it — reproducing the ordering of the paper's Table 1.
+#pragma once
+
+#include "device/process.hpp"
+#include "testgen/conditions.hpp"
+#include "testgen/features.hpp"
+
+namespace cichar::device {
+
+/// Sensitivity coefficients (ns of T_DQ margin lost at full feature value,
+/// at Vdd = 1.8 V on a nominal die).
+struct TimingSensitivities {
+    double ssn_ns = 2.4;             ///< data toggle density (output SSN)
+    double addr_coupling_ns = 1.3;   ///< address bus transition coupling
+    double bank_conflict_ns = 1.6;   ///< precharge/activate pressure
+    double rw_switch_ns = 0.8;       ///< bus turnaround stress
+    double control_ns = 0.5;         ///< CE/OE disturbance
+    double alternating_ns = 0.9;     ///< 0x5555/0xAAAA adjacent-bit coupling
+    double pocket_ns = 5.8;          ///< worst-case interaction pocket depth
+
+    /// Pocket gate thresholds (smoothstep lo/hi per axis).
+    double pocket_toggle_lo = 0.62, pocket_toggle_hi = 0.88;
+    double pocket_bank_lo = 0.58, pocket_bank_hi = 0.88;
+    double pocket_alt_lo = 0.58, pocket_alt_hi = 0.88;
+    /// Burst-length resonance window (quadratic bump). Centered low: the
+    /// pocket wants mostly-single-beat traffic (every beat re-arbitrates
+    /// the bank), with a wide tolerance.
+    double pocket_burst_center = 0.12, pocket_burst_width = 0.42;
+};
+
+/// Voltage/temperature/load derating coefficients.
+struct DeratingModel {
+    double window_per_volt = 0.38;     ///< d(window)/dVdd, fractional per V
+    double window_per_degc = -0.0011;  ///< fractional per degree C
+    double stress_vdd_exponent = 0.8;  ///< stress scales by (1.8/Vdd)^e
+    double load_ns_per_pf = 0.03;      ///< margin lost per pF above 30 pF
+    double clock_recovery_ns_per_ns = 0.02;  ///< penalty per ns below 50 ns
+};
+
+/// The full response surface. Pure and stateless: drift and noise are
+/// owned by MemoryTestChip, which layers them on top of this model.
+class TimingModel {
+public:
+    TimingModel() = default;
+    TimingModel(TimingSensitivities sens, DeratingModel derating)
+        : sens_(sens), derating_(derating) {}
+
+    [[nodiscard]] const TimingSensitivities& sensitivities() const noexcept {
+        return sens_;
+    }
+    [[nodiscard]] const DeratingModel& derating() const noexcept {
+        return derating_;
+    }
+
+    /// Total pattern-induced stress (ns) at the given conditions.
+    [[nodiscard]] double stress_ns(const testgen::FeatureVector& features,
+                                   const testgen::TestConditions& conditions,
+                                   const DieParameters& die) const;
+
+    /// Noiseless data-output-valid time T_DQ (ns).
+    [[nodiscard]] double tdq_ns(const testgen::FeatureVector& features,
+                                const testgen::TestConditions& conditions,
+                                const DieParameters& die) const;
+
+    /// Noiseless minimum operating supply (V) for the pattern.
+    [[nodiscard]] double vmin_v(const testgen::FeatureVector& features,
+                                const testgen::TestConditions& conditions,
+                                const DieParameters& die) const;
+
+    /// Noiseless maximum operating frequency (MHz) for the pattern.
+    [[nodiscard]] double fmax_mhz(const testgen::FeatureVector& features,
+                                  const testgen::TestConditions& conditions,
+                                  const DieParameters& die) const;
+
+    /// The interaction-pocket activation in [0, 1] (for analysis benches).
+    [[nodiscard]] double pocket_activation(
+        const testgen::FeatureVector& features) const;
+
+private:
+    TimingSensitivities sens_;
+    DeratingModel derating_;
+};
+
+}  // namespace cichar::device

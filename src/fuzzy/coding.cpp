@@ -1,0 +1,85 @@
+#include "fuzzy/coding.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cichar::fuzzy {
+
+const char* to_string(CodingScheme scheme) noexcept {
+    switch (scheme) {
+        case CodingScheme::kFuzzy: return "fuzzy";
+        case CodingScheme::kNumeric: return "numeric";
+    }
+    return "?";
+}
+
+TripPointCoder::TripPointCoder(CodingScheme scheme, LinguisticVariable variable,
+                               double lo, double hi)
+    : scheme_(scheme), variable_(std::move(variable)), lo_(lo), hi_(hi) {}
+
+TripPointCoder TripPointCoder::fuzzy_wcr() {
+    LinguisticVariable wcr("wcr", 0.0, 1.3);
+    // 0.5-crossings at the paper's class boundaries (Fig. 6): pass|weakness
+    // at WCR = 0.8, weakness|fail at WCR = 1.0. The rising/falling ramps
+    // are complementary, so memberships sum to 1 over the whole axis.
+    wcr.add_term("pass", MembershipFunction::shoulder_left(0.7, 0.9));
+    wcr.add_term("weakness",
+                 MembershipFunction::trapezoid(0.7, 0.9, 0.95, 1.05));
+    wcr.add_term("fail", MembershipFunction::shoulder_right(0.95, 1.05));
+    return TripPointCoder(CodingScheme::kFuzzy, std::move(wcr), 0.0, 1.3);
+}
+
+TripPointCoder TripPointCoder::fuzzy_wcr_fine() {
+    LinguisticVariable wcr("wcr-fine", 0.0, 1.3);
+    // Triangular partition of unity over the WCR band the device actually
+    // produces (~0.5 for benign tests up to >1 for spec violations).
+    wcr.add_term("safe", MembershipFunction::shoulder_left(0.50, 0.60));
+    wcr.add_term("nominal", MembershipFunction::triangular(0.50, 0.60, 0.70));
+    wcr.add_term("elevated", MembershipFunction::triangular(0.60, 0.70, 0.82));
+    wcr.add_term("critical", MembershipFunction::triangular(0.70, 0.82, 0.97));
+    wcr.add_term("worst", MembershipFunction::shoulder_right(0.82, 0.97));
+    return TripPointCoder(CodingScheme::kFuzzy, std::move(wcr), 0.0, 1.3);
+}
+
+TripPointCoder TripPointCoder::numeric(double lo, double hi) {
+    if (!(lo < hi)) throw std::invalid_argument("numeric coder needs lo < hi");
+    LinguisticVariable dummy("numeric", lo, hi);
+    return TripPointCoder(CodingScheme::kNumeric, std::move(dummy), lo, hi);
+}
+
+std::size_t TripPointCoder::output_count() const noexcept {
+    return scheme_ == CodingScheme::kFuzzy ? variable_.term_count() : 1;
+}
+
+std::vector<double> TripPointCoder::encode(double value) const {
+    if (scheme_ == CodingScheme::kFuzzy) return variable_.fuzzify(value);
+    const double t = std::clamp((value - lo_) / (hi_ - lo_), 0.0, 1.0);
+    return {t};
+}
+
+double TripPointCoder::decode(std::span<const double> outputs) const {
+    if (scheme_ == CodingScheme::kFuzzy) return variable_.defuzzify(outputs);
+    if (outputs.empty()) return lo_;
+    return lo_ + std::clamp(outputs[0], 0.0, 1.0) * (hi_ - lo_);
+}
+
+std::size_t TripPointCoder::classify(double value) const {
+    if (scheme_ == CodingScheme::kFuzzy) return variable_.best_term(value);
+    return 0;
+}
+
+const std::string& TripPointCoder::class_name(std::size_t index) const {
+    if (scheme_ != CodingScheme::kFuzzy || index >= variable_.term_count()) {
+        throw std::out_of_range("class_name: not a fuzzy class index");
+    }
+    return variable_.term(index).name;
+}
+
+const LinguisticVariable& TripPointCoder::variable() const {
+    if (scheme_ != CodingScheme::kFuzzy) {
+        throw std::logic_error("variable(): numeric coder has no variable");
+    }
+    return variable_;
+}
+
+}  // namespace cichar::fuzzy

@@ -1,0 +1,70 @@
+// Trip point value coding for NN training targets (paper Fig. 4 step 3:
+// "Trip point value coding using either fuzzy set data or simple numerical
+// coding"). The fuzzy coder expresses a measurement as degrees of the
+// paper's Fig. 6 classes (pass / weakness / fail over the WCR axis); the
+// numeric coder is the plain normalized alternative.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fuzzy/variable.hpp"
+
+namespace cichar::fuzzy {
+
+enum class CodingScheme : std::uint8_t { kFuzzy, kNumeric };
+
+[[nodiscard]] const char* to_string(CodingScheme scheme) noexcept;
+
+/// Encodes crisp WCR (or any scalar) into NN target vectors and decodes
+/// NN outputs back to a crisp estimate.
+class TripPointCoder {
+public:
+    /// Fuzzy coding over the WCR axis with the paper's class boundaries:
+    /// pass 0..0.8, weakness 0.8..1, fail >1 (0.5-crossings at 0.8 / 1.0,
+    /// partition of unity across the overlaps).
+    [[nodiscard]] static TripPointCoder fuzzy_wcr();
+
+    /// Finer five-term partition of the WCR axis for NN *training* targets
+    /// (safe / nominal / elevated / critical / worst). Random training
+    /// tests cluster deep inside the Fig. 6 "pass" band; a three-term
+    /// target would collapse them into one constant class and the
+    /// committee could not rank candidates. Five overlapping terms keep
+    /// the centroid-decoded prediction informative across the band.
+    [[nodiscard]] static TripPointCoder fuzzy_wcr_fine();
+
+    /// Numeric coding: single output, min-max normalized over [lo, hi].
+    [[nodiscard]] static TripPointCoder numeric(double lo, double hi);
+
+    [[nodiscard]] CodingScheme scheme() const noexcept { return scheme_; }
+
+    /// Width of the target vector (3 for fuzzy_wcr, 1 for numeric).
+    [[nodiscard]] std::size_t output_count() const noexcept;
+
+    /// Crisp value -> NN target vector.
+    [[nodiscard]] std::vector<double> encode(double value) const;
+
+    /// NN output vector -> crisp estimate (centroid for fuzzy).
+    [[nodiscard]] double decode(std::span<const double> outputs) const;
+
+    /// Class index for a crisp value (fuzzy: best term; numeric: 0).
+    [[nodiscard]] std::size_t classify(double value) const;
+
+    /// Term/class name for reporting ("pass"/"weakness"/"fail").
+    [[nodiscard]] const std::string& class_name(std::size_t index) const;
+
+    /// The underlying variable (fuzzy scheme only; throws otherwise).
+    [[nodiscard]] const LinguisticVariable& variable() const;
+
+private:
+    TripPointCoder(CodingScheme scheme, LinguisticVariable variable, double lo,
+                   double hi);
+
+    CodingScheme scheme_;
+    LinguisticVariable variable_;
+    double lo_;
+    double hi_;
+};
+
+}  // namespace cichar::fuzzy

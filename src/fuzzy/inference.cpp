@@ -1,0 +1,78 @@
+#include "fuzzy/inference.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace cichar::fuzzy {
+
+FuzzyInferenceSystem::FuzzyInferenceSystem(
+    std::vector<LinguisticVariable> inputs, LinguisticVariable output)
+    : inputs_(std::move(inputs)), output_(std::move(output)) {}
+
+void FuzzyInferenceSystem::add_rule(Rule rule) {
+    for ([[maybe_unused]] const Clause& c : rule.antecedents) {
+        assert(c.var < inputs_.size());
+        assert(c.term < inputs_[c.var].term_count());
+    }
+    assert(rule.consequent_term < output_.term_count());
+    rules_.push_back(std::move(rule));
+}
+
+void FuzzyInferenceSystem::add_rule(
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        antecedents,
+    std::string_view consequent_term, double weight) {
+    Rule rule;
+    rule.weight = weight;
+    for (const auto& [var_name, term_name] : antecedents) {
+        std::size_t var = LinguisticVariable::npos;
+        for (std::size_t i = 0; i < inputs_.size(); ++i) {
+            if (inputs_[i].name() == var_name) {
+                var = i;
+                break;
+            }
+        }
+        if (var == LinguisticVariable::npos) {
+            throw std::invalid_argument("unknown input variable: " +
+                                        std::string(var_name));
+        }
+        const std::size_t term = inputs_[var].term_index(term_name);
+        if (term == LinguisticVariable::npos) {
+            throw std::invalid_argument("unknown term: " +
+                                        std::string(term_name));
+        }
+        rule.antecedents.push_back(Clause{var, term});
+    }
+    const std::size_t out_term = output_.term_index(consequent_term);
+    if (out_term == LinguisticVariable::npos) {
+        throw std::invalid_argument("unknown output term: " +
+                                    std::string(consequent_term));
+    }
+    rule.consequent_term = out_term;
+    add_rule(std::move(rule));
+}
+
+std::vector<double> FuzzyInferenceSystem::activations(
+    std::span<const double> crisp_inputs) const {
+    assert(crisp_inputs.size() == inputs_.size());
+    std::vector<double> out(output_.term_count(), 0.0);
+    for (const Rule& rule : rules_) {
+        double strength = 1.0;
+        for (const Clause& c : rule.antecedents) {
+            strength = std::min(
+                strength, inputs_[c.var].term(c.term).membership(
+                              crisp_inputs[c.var]));
+        }
+        strength *= rule.weight;
+        out[rule.consequent_term] =
+            std::max(out[rule.consequent_term], strength);
+    }
+    return out;
+}
+
+double FuzzyInferenceSystem::infer(std::span<const double> crisp_inputs) const {
+    return output_.defuzzify(activations(crisp_inputs));
+}
+
+}  // namespace cichar::fuzzy

@@ -1,0 +1,70 @@
+// Mamdani fuzzy inference: "if A and B and C then D is quite close to the
+// limit of the target device-spec" (paper section 5). Used to combine
+// several characterization indicators into one risk judgment.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fuzzy/variable.hpp"
+
+namespace cichar::fuzzy {
+
+/// One antecedent clause: input variable `var` is term `term`.
+struct Clause {
+    std::size_t var = 0;
+    std::size_t term = 0;
+};
+
+/// IF all antecedents THEN output is `consequent_term`, with rule weight.
+struct Rule {
+    std::vector<Clause> antecedents;
+    std::size_t consequent_term = 0;
+    double weight = 1.0;
+};
+
+/// Multi-input single-output Mamdani system (min-AND, max aggregation,
+/// centroid defuzzification).
+class FuzzyInferenceSystem {
+public:
+    FuzzyInferenceSystem(std::vector<LinguisticVariable> inputs,
+                         LinguisticVariable output);
+
+    [[nodiscard]] std::size_t input_count() const noexcept {
+        return inputs_.size();
+    }
+    [[nodiscard]] const LinguisticVariable& input(std::size_t i) const noexcept {
+        return inputs_[i];
+    }
+    [[nodiscard]] const LinguisticVariable& output() const noexcept {
+        return output_;
+    }
+    [[nodiscard]] std::size_t rule_count() const noexcept {
+        return rules_.size();
+    }
+
+    /// Adds a rule by indices. Indices must be in range.
+    void add_rule(Rule rule);
+
+    /// Adds a rule by names; throws std::invalid_argument on unknown names.
+    /// `antecedents` pairs are (input variable name, term name).
+    void add_rule(
+        std::initializer_list<std::pair<std::string_view, std::string_view>>
+            antecedents,
+        std::string_view consequent_term, double weight = 1.0);
+
+    /// Per-term output activations for the given crisp inputs.
+    [[nodiscard]] std::vector<double> activations(
+        std::span<const double> crisp_inputs) const;
+
+    /// Crisp output via centroid defuzzification.
+    [[nodiscard]] double infer(std::span<const double> crisp_inputs) const;
+
+private:
+    std::vector<LinguisticVariable> inputs_;
+    LinguisticVariable output_;
+    std::vector<Rule> rules_;
+};
+
+}  // namespace cichar::fuzzy

@@ -1,0 +1,58 @@
+#include "fuzzy/margin.hpp"
+
+namespace cichar::fuzzy {
+
+namespace {
+
+FuzzyInferenceSystem build_system() {
+    LinguisticVariable wcr("wcr", 0.0, 1.2);
+    wcr.add_term("safe", MembershipFunction::shoulder_left(0.55, 0.72));
+    wcr.add_term("close", MembershipFunction::trapezoid(0.55, 0.72, 0.82, 0.95));
+    wcr.add_term("critical", MembershipFunction::shoulder_right(0.82, 0.95));
+
+    LinguisticVariable agreement("agreement", 0.0, 1.0);
+    agreement.add_term("low", MembershipFunction::shoulder_left(0.5, 0.8));
+    agreement.add_term("high", MembershipFunction::shoulder_right(0.5, 0.8));
+
+    LinguisticVariable spread("spread", 0.0, 1.0);
+    spread.add_term("small", MembershipFunction::shoulder_left(0.1, 0.3));
+    spread.add_term("large", MembershipFunction::shoulder_right(0.1, 0.3));
+
+    LinguisticVariable risk("risk", 0.0, 1.0);
+    risk.add_term("low", MembershipFunction::shoulder_left(0.2, 0.45));
+    risk.add_term("elevated", MembershipFunction::trapezoid(0.2, 0.45, 0.55, 0.8));
+    risk.add_term("critical", MembershipFunction::shoulder_right(0.55, 0.8));
+
+    FuzzyInferenceSystem fis({wcr, agreement, spread}, risk);
+    // The paper's sentence, spelled out:
+    fis.add_rule({{"wcr", "critical"}, {"spread", "large"}}, "critical");
+    fis.add_rule({{"wcr", "critical"}, {"agreement", "low"}}, "critical");
+    fis.add_rule({{"wcr", "critical"}, {"agreement", "high"},
+                  {"spread", "small"}},
+                 "elevated");
+    fis.add_rule({{"wcr", "close"}, {"spread", "large"}}, "elevated");
+    fis.add_rule({{"wcr", "close"}, {"agreement", "low"}}, "elevated");
+    fis.add_rule({{"wcr", "close"}, {"agreement", "high"},
+                  {"spread", "small"}},
+                 "low");
+    fis.add_rule({{"wcr", "safe"}, {"spread", "large"}}, "elevated",
+                 /*weight=*/0.6);
+    fis.add_rule({{"wcr", "safe"}}, "low");
+    return fis;
+}
+
+}  // namespace
+
+MarginRiskAnalyzer::MarginRiskAnalyzer() : system_(build_system()) {}
+
+double MarginRiskAnalyzer::risk(double wcr, double agreement,
+                                double spread_fraction) const {
+    const double inputs[] = {wcr, agreement, spread_fraction};
+    return system_.infer(inputs);
+}
+
+const std::string& MarginRiskAnalyzer::label(double risk_score) const {
+    return system_.output().term(system_.output().best_term(risk_score)).name;
+}
+
+}  // namespace cichar::fuzzy

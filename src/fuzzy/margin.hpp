@@ -1,0 +1,36 @@
+// Margin-risk analyzer: the paper's worked fuzzy sentence — "if A and B
+// and C, then D is quite close to the limit of the target device-spec" —
+// as a ready-made Mamdani system. It fuses three characterization
+// indicators into one spec-margin risk score:
+//   * the worst-case ratio of the parameter (how close to the limit),
+//   * the committee's vote agreement (how confident the classifier is),
+//   * the trip point spread across tests (how test dependent the part is).
+#pragma once
+
+#include "fuzzy/inference.hpp"
+
+namespace cichar::fuzzy {
+
+class MarginRiskAnalyzer {
+public:
+    MarginRiskAnalyzer();
+
+    /// Risk score in [0, 1].
+    ///   `wcr`              worst-case ratio, typically 0..1.2
+    ///   `agreement`        committee vote agreement, 0..1
+    ///   `spread_fraction`  trip spread / characterization range, 0..1
+    [[nodiscard]] double risk(double wcr, double agreement,
+                              double spread_fraction) const;
+
+    /// Linguistic label of a risk score ("low" / "elevated" / "critical").
+    [[nodiscard]] const std::string& label(double risk_score) const;
+
+    [[nodiscard]] const FuzzyInferenceSystem& system() const noexcept {
+        return system_;
+    }
+
+private:
+    FuzzyInferenceSystem system_;
+};
+
+}  // namespace cichar::fuzzy

@@ -1,0 +1,81 @@
+#include "fuzzy/membership.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cichar::fuzzy {
+
+MembershipFunction MembershipFunction::triangular(double a, double b,
+                                                  double c) {
+    assert(a <= b && b <= c);
+    return MembershipFunction(Shape::kTriangular, a, b, c, 0.0);
+}
+
+MembershipFunction MembershipFunction::trapezoid(double a, double b, double c,
+                                                 double d) {
+    assert(a <= b && b <= c && c <= d);
+    return MembershipFunction(Shape::kTrapezoid, a, b, c, d);
+}
+
+MembershipFunction MembershipFunction::gaussian(double mean, double sigma) {
+    assert(sigma > 0.0);
+    return MembershipFunction(Shape::kGaussian, mean, sigma, 0.0, 0.0);
+}
+
+MembershipFunction MembershipFunction::shoulder_left(double full, double zero) {
+    assert(full <= zero);
+    return MembershipFunction(Shape::kShoulderLeft, full, zero, 0.0, 0.0);
+}
+
+MembershipFunction MembershipFunction::shoulder_right(double zero,
+                                                      double full) {
+    assert(zero <= full);
+    return MembershipFunction(Shape::kShoulderRight, zero, full, 0.0, 0.0);
+}
+
+namespace {
+
+double rising(double lo, double hi, double x) {
+    if (hi == lo) return x >= hi ? 1.0 : 0.0;
+    return std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+}
+
+}  // namespace
+
+double MembershipFunction::operator()(double x) const noexcept {
+    switch (shape_) {
+        case Shape::kTriangular: {
+            const double up = rising(p_[0], p_[1], x);
+            const double down = 1.0 - rising(p_[1], p_[2], x);
+            return std::min(up, down);
+        }
+        case Shape::kTrapezoid: {
+            const double up = rising(p_[0], p_[1], x);
+            const double down = 1.0 - rising(p_[2], p_[3], x);
+            return std::min(up, down);
+        }
+        case Shape::kGaussian: {
+            const double t = (x - p_[0]) / p_[1];
+            return std::exp(-0.5 * t * t);
+        }
+        case Shape::kShoulderLeft:
+            return 1.0 - rising(p_[0], p_[1], x);
+        case Shape::kShoulderRight:
+            return rising(p_[0], p_[1], x);
+    }
+    return 0.0;
+}
+
+double MembershipFunction::peak() const noexcept {
+    switch (shape_) {
+        case Shape::kTriangular: return p_[1];
+        case Shape::kTrapezoid: return 0.5 * (p_[1] + p_[2]);
+        case Shape::kGaussian: return p_[0];
+        case Shape::kShoulderLeft: return p_[0];
+        case Shape::kShoulderRight: return p_[1];
+    }
+    return 0.0;
+}
+
+}  // namespace cichar::fuzzy

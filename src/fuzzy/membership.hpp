@@ -1,0 +1,51 @@
+// Fuzzy membership functions (Bezdek [8]): the paper encodes trip point
+// measurements as fuzzy variables because "fuzzy logic can describe more
+// than one analysis parameter" — a trip point can be simultaneously
+// 'weak' to degree 0.6 and 'pass' to degree 0.4.
+#pragma once
+
+#include <cstdint>
+
+namespace cichar::fuzzy {
+
+/// Value-type membership function over the reals, range [0, 1].
+class MembershipFunction {
+public:
+    /// Triangle rising a->b, falling b->c.
+    [[nodiscard]] static MembershipFunction triangular(double a, double b,
+                                                       double c);
+    /// Trapezoid rising a->b, flat b->c, falling c->d.
+    [[nodiscard]] static MembershipFunction trapezoid(double a, double b,
+                                                      double c, double d);
+    /// Gaussian bell centered on `mean`.
+    [[nodiscard]] static MembershipFunction gaussian(double mean, double sigma);
+    /// Left shoulder: 1 below `full`, linear fall to 0 at `zero`.
+    [[nodiscard]] static MembershipFunction shoulder_left(double full,
+                                                          double zero);
+    /// Right shoulder: 0 below `zero`, linear rise to 1 at `full`.
+    [[nodiscard]] static MembershipFunction shoulder_right(double zero,
+                                                           double full);
+
+    /// Membership degree of `x` in [0, 1].
+    [[nodiscard]] double operator()(double x) const noexcept;
+
+    /// Representative (peak) location, used for fast defuzzification.
+    [[nodiscard]] double peak() const noexcept;
+
+private:
+    enum class Shape : std::uint8_t {
+        kTriangular,
+        kTrapezoid,
+        kGaussian,
+        kShoulderLeft,
+        kShoulderRight,
+    };
+
+    MembershipFunction(Shape shape, double p0, double p1, double p2, double p3)
+        : shape_(shape), p_{p0, p1, p2, p3} {}
+
+    Shape shape_;
+    double p_[4];
+};
+
+}  // namespace cichar::fuzzy

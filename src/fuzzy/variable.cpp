@@ -1,0 +1,70 @@
+#include "fuzzy/variable.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cichar::fuzzy {
+
+LinguisticVariable::LinguisticVariable(std::string name, double domain_lo,
+                                       double domain_hi)
+    : name_(std::move(name)), lo_(domain_lo), hi_(domain_hi) {
+    assert(domain_lo < domain_hi);
+}
+
+void LinguisticVariable::add_term(std::string term_name,
+                                  MembershipFunction membership) {
+    terms_.push_back(FuzzyTerm{std::move(term_name), membership});
+}
+
+std::size_t LinguisticVariable::term_index(std::string_view term_name) const {
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+        if (terms_[i].name == term_name) return i;
+    }
+    return npos;
+}
+
+std::vector<double> LinguisticVariable::fuzzify(double x) const {
+    std::vector<double> degrees;
+    degrees.reserve(terms_.size());
+    for (const FuzzyTerm& t : terms_) degrees.push_back(t.membership(x));
+    return degrees;
+}
+
+std::size_t LinguisticVariable::best_term(double x) const {
+    assert(!terms_.empty());
+    std::size_t best = 0;
+    double best_degree = -1.0;
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+        const double d = terms_[i].membership(x);
+        if (d > best_degree) {
+            best_degree = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+double LinguisticVariable::defuzzify(std::span<const double> activations,
+                                     std::size_t samples) const {
+    assert(activations.size() == terms_.size());
+    assert(samples >= 2);
+    double weighted = 0.0;
+    double total = 0.0;
+    const double step = (hi_ - lo_) / static_cast<double>(samples - 1);
+    for (std::size_t s = 0; s < samples; ++s) {
+        const double x = lo_ + step * static_cast<double>(s);
+        double mu = 0.0;
+        for (std::size_t i = 0; i < terms_.size(); ++i) {
+            const double clipped =
+                std::min(std::clamp(activations[i], 0.0, 1.0),
+                         terms_[i].membership(x));
+            mu = std::max(mu, clipped);
+        }
+        weighted += mu * x;
+        total += mu;
+    }
+    if (total <= 0.0) return 0.5 * (lo_ + hi_);
+    return weighted / total;
+}
+
+}  // namespace cichar::fuzzy

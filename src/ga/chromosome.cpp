@@ -1,0 +1,87 @@
+#include "ga/chromosome.hpp"
+
+#include <algorithm>
+
+namespace cichar::ga {
+namespace {
+
+template <std::size_t N>
+void cross_group(const std::array<double, N>& a, const std::array<double, N>& b,
+                 std::array<double, N>& child, util::Rng& rng) {
+    if (rng.bernoulli(0.5)) {
+        // One-point crossover.
+        const std::size_t cut = rng.index(N + 1);
+        for (std::size_t i = 0; i < N; ++i) child[i] = i < cut ? a[i] : b[i];
+    } else {
+        // Uniform crossover.
+        for (std::size_t i = 0; i < N; ++i) {
+            child[i] = rng.bernoulli(0.5) ? a[i] : b[i];
+        }
+    }
+}
+
+template <std::size_t N>
+void mutate_group(std::array<double, N>& genes, const GeneticOperators& ops,
+                  util::Rng& rng) {
+    for (double& g : genes) {
+        if (rng.bernoulli(ops.reset_rate)) {
+            g = rng.uniform();
+        } else if (rng.bernoulli(ops.mutation_rate)) {
+            g = std::clamp(g + rng.normal(0.0, ops.mutation_sigma), 0.0, 1.0);
+        }
+    }
+}
+
+}  // namespace
+
+TestChromosome TestChromosome::random(util::Rng& rng) {
+    TestChromosome c;
+    for (double& g : c.sequence) g = rng.uniform();
+    for (double& g : c.condition) g = rng.uniform();
+    c.pattern_seed = rng();
+    return c;
+}
+
+TestChromosome TestChromosome::encode(const testgen::PatternRecipe& recipe,
+                                      const testgen::TestConditions& conditions,
+                                      const testgen::ConditionBounds& bounds,
+                                      std::uint32_t min_cycles,
+                                      std::uint32_t max_cycles) {
+    TestChromosome c;
+    c.sequence = recipe.encode(min_cycles, max_cycles);
+    bounds.encode(conditions, c.condition[0], c.condition[1], c.condition[2],
+                  c.condition[3]);
+    c.pattern_seed = recipe.seed;
+    return c;
+}
+
+testgen::PatternRecipe TestChromosome::decode_recipe(
+    std::uint32_t min_cycles, std::uint32_t max_cycles) const {
+    testgen::PatternRecipe recipe =
+        testgen::PatternRecipe::decode(sequence, min_cycles, max_cycles);
+    recipe.seed = pattern_seed;
+    return recipe;
+}
+
+testgen::TestConditions TestChromosome::decode_conditions(
+    const testgen::ConditionBounds& bounds) const {
+    return bounds.decode(condition[0], condition[1], condition[2],
+                         condition[3]);
+}
+
+TestChromosome crossover(const TestChromosome& a, const TestChromosome& b,
+                         util::Rng& rng) {
+    TestChromosome child;
+    cross_group(a.sequence, b.sequence, child.sequence, rng);
+    cross_group(a.condition, b.condition, child.condition, rng);
+    child.pattern_seed = rng.bernoulli(0.5) ? a.pattern_seed : b.pattern_seed;
+    return child;
+}
+
+void mutate(TestChromosome& c, const GeneticOperators& ops, util::Rng& rng) {
+    mutate_group(c.sequence, ops, rng);
+    mutate_group(c.condition, ops, rng);
+    if (rng.bernoulli(ops.seed_mutation_rate)) c.pattern_seed = rng();
+}
+
+}  // namespace cichar::ga

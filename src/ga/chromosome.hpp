@@ -1,0 +1,66 @@
+// GA genotype: "two different types of chromosomes — test sequences and
+// test conditions" (paper section 5). Sequence genes parameterize the
+// random test generator's recipe; condition genes parameterize Vdd /
+// temperature / clock / load. Genetic operators act on each gene group
+// independently.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "testgen/conditions.hpp"
+#include "testgen/recipe.hpp"
+#include "util/rng.hpp"
+
+namespace cichar::ga {
+
+inline constexpr std::size_t kConditionGeneCount = 4;
+
+/// One individual. All genes live in [0, 1].
+struct TestChromosome {
+    std::array<double, testgen::kSequenceGeneCount> sequence{};
+    std::array<double, kConditionGeneCount> condition{};
+    /// Pattern stream seed: carried through crossover (from a random
+    /// parent) and occasionally re-drawn by mutation, so a chromosome
+    /// always expands to the same concrete pattern.
+    std::uint64_t pattern_seed = 1;
+
+    [[nodiscard]] bool operator==(const TestChromosome&) const = default;
+
+    /// Uniformly random chromosome.
+    [[nodiscard]] static TestChromosome random(util::Rng& rng);
+
+    /// Builds a chromosome from a recipe + conditions (NN seeding path).
+    [[nodiscard]] static TestChromosome encode(
+        const testgen::PatternRecipe& recipe,
+        const testgen::TestConditions& conditions,
+        const testgen::ConditionBounds& bounds, std::uint32_t min_cycles,
+        std::uint32_t max_cycles);
+
+    /// Decodes the sequence genes into a recipe (with this chromosome's
+    /// pattern seed) and the condition genes into conditions.
+    [[nodiscard]] testgen::PatternRecipe decode_recipe(
+        std::uint32_t min_cycles, std::uint32_t max_cycles) const;
+    [[nodiscard]] testgen::TestConditions decode_conditions(
+        const testgen::ConditionBounds& bounds) const;
+};
+
+/// Genetic operator parameters.
+struct GeneticOperators {
+    double crossover_rate = 0.9;   ///< probability a child is a cross
+    double mutation_rate = 0.20;   ///< per-gene mutation probability
+    double mutation_sigma = 0.18;  ///< Gaussian step size
+    double reset_rate = 0.05;      ///< per-gene uniform re-draw probability
+    double seed_mutation_rate = 0.15;  ///< re-draw pattern_seed probability
+};
+
+/// Per-group crossover: each gene group picks one-point or uniform mixing
+/// independently, honouring the two-chromosome-type design.
+[[nodiscard]] TestChromosome crossover(const TestChromosome& a,
+                                       const TestChromosome& b,
+                                       util::Rng& rng);
+
+/// In-place mutation (Gaussian walk + rare uniform reset, genes clamped).
+void mutate(TestChromosome& c, const GeneticOperators& ops, util::Rng& rng);
+
+}  // namespace cichar::ga

@@ -1,0 +1,62 @@
+// Multi-population GA driver (paper section 5: "a GA method evolving
+// multiple populations of different individuals over a number of
+// generations", with brand-new populations restarted when fitness stops
+// improving, until the worst case is detected or the step budget ends).
+#pragma once
+
+#include <vector>
+
+#include "ga/population.hpp"
+#include "ga/wcr.hpp"
+
+namespace cichar::ga {
+
+struct MultiPopulationOptions {
+    PopulationOptions population;
+    std::size_t populations = 4;
+    std::size_t max_generations = 40;
+    /// Restart a population after this many generations without
+    /// improvement of its own best.
+    std::size_t stagnation_limit = 8;
+    /// Maximum restarts across all populations (0 = unlimited).
+    std::size_t max_restarts = 8;
+    /// Stop as soon as the global best fitness reaches this (e.g. the WCR
+    /// fail boundary). Infinity disables early stop.
+    double target_fitness = std::numeric_limits<double>::infinity();
+    /// Every this many generations, each population receives the global
+    /// best individual (0 disables migration).
+    std::size_t migration_interval = 0;
+};
+
+struct MultiPopulationOutcome {
+    TestChromosome best;
+    double best_fitness = -std::numeric_limits<double>::infinity();
+    std::size_t generations_run = 0;
+    std::size_t evaluations = 0;
+    std::size_t restarts = 0;
+    bool target_reached = false;
+    /// Global best fitness after each generation.
+    std::vector<double> best_history;
+};
+
+class MultiPopulationGa {
+public:
+    explicit MultiPopulationGa(MultiPopulationOptions options)
+        : options_(options) {}
+
+    [[nodiscard]] const MultiPopulationOptions& options() const noexcept {
+        return options_;
+    }
+
+    /// Runs the full optimization. `seeds` (e.g. the fuzzy-NN generator's
+    /// sub-optimal worst-case tests) are dealt round-robin across the
+    /// populations; the rest of each population is random.
+    [[nodiscard]] MultiPopulationOutcome run(
+        const FitnessFn& fitness, std::vector<TestChromosome> seeds,
+        util::Rng& rng) const;
+
+private:
+    MultiPopulationOptions options_;
+};
+
+}  // namespace cichar::ga

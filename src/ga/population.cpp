@@ -1,0 +1,116 @@
+#include "ga/population.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace cichar::ga {
+
+Population::Population(PopulationOptions options,
+                       std::vector<TestChromosome> seeds, util::Rng& rng)
+    : options_(options) {
+    assert(options_.size >= 2);
+    assert(options_.elite < options_.size);
+    if (seeds.size() > options_.size) seeds.resize(options_.size);
+    individuals_.reserve(options_.size);
+    for (TestChromosome& seed : seeds) {
+        individuals_.push_back(Individual{std::move(seed), 0.0, false});
+    }
+    while (individuals_.size() < options_.size) {
+        individuals_.push_back(Individual{TestChromosome::random(rng), 0.0,
+                                          false});
+    }
+}
+
+std::size_t Population::evaluate(const FitnessFn& fitness) {
+    std::size_t evaluations = 0;
+    for (Individual& ind : individuals_) {
+        if (ind.evaluated) continue;
+        ind.fitness = fitness(ind.chromosome);
+        ind.evaluated = true;
+        ++evaluations;
+        any_evaluated_ = true;
+    }
+    const double best_now = best().fitness;
+    if (best_now > best_seen_ || generation_ == 0) best_seen_ = best_now;
+    return evaluations;
+}
+
+const Individual& Population::best() const {
+    if (!any_evaluated_) {
+        throw std::logic_error("Population::best() before evaluation");
+    }
+    const auto it = std::max_element(
+        individuals_.begin(), individuals_.end(),
+        [](const Individual& a, const Individual& b) {
+            if (a.evaluated != b.evaluated) return !a.evaluated;
+            return a.fitness < b.fitness;
+        });
+    return *it;
+}
+
+const Individual& Population::tournament_pick(util::Rng& rng) const {
+    const Individual* winner = nullptr;
+    for (std::size_t t = 0; t < options_.tournament; ++t) {
+        const Individual& candidate =
+            individuals_[rng.index(individuals_.size())];
+        if (winner == nullptr || candidate.fitness > winner->fitness) {
+            winner = &candidate;
+        }
+    }
+    return *winner;
+}
+
+std::size_t Population::step(const FitnessFn& fitness, util::Rng& rng) {
+    std::size_t evaluations = evaluate(fitness);
+
+    // Elites survive unchanged.
+    std::vector<std::size_t> order(individuals_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+        return individuals_[a].fitness > individuals_[b].fitness;
+    });
+
+    std::vector<Individual> next;
+    next.reserve(individuals_.size());
+    for (std::size_t e = 0; e < options_.elite; ++e) {
+        next.push_back(individuals_[order[e]]);
+    }
+    while (next.size() < individuals_.size()) {
+        TestChromosome child;
+        if (rng.bernoulli(options_.operators.crossover_rate)) {
+            child = crossover(tournament_pick(rng).chromosome,
+                              tournament_pick(rng).chromosome, rng);
+        } else {
+            child = tournament_pick(rng).chromosome;
+        }
+        mutate(child, options_.operators, rng);
+        next.push_back(Individual{std::move(child), 0.0, false});
+    }
+    individuals_ = std::move(next);
+    ++generation_;
+
+    evaluations += evaluate(fitness);
+    const double best_now = best().fitness;
+    if (best_now > best_seen_) {
+        best_seen_ = best_now;
+        stagnation_ = 0;
+    } else {
+        ++stagnation_;
+    }
+    return evaluations;
+}
+
+void Population::restart(util::Rng& rng) {
+    individuals_.clear();
+    for (std::size_t i = 0; i < options_.size; ++i) {
+        individuals_.push_back(Individual{TestChromosome::random(rng), 0.0,
+                                          false});
+    }
+    stagnation_ = 0;
+    best_seen_ = -std::numeric_limits<double>::infinity();
+    any_evaluated_ = false;
+}
+
+}  // namespace cichar::ga

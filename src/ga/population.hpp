@@ -1,0 +1,77 @@
+// Single GA population with tournament selection, elitism, and the
+// two-group genetic operators. Fitness evaluation is caller-provided
+// (in the characterization flows it is a live ATE trip-point measurement,
+// so individuals are evaluated exactly once and cached).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ga/chromosome.hpp"
+
+namespace cichar::ga {
+
+/// Fitness to MAXIMIZE (worst-case hunts feed WCR here).
+using FitnessFn = std::function<double(const TestChromosome&)>;
+
+struct PopulationOptions {
+    std::size_t size = 24;
+    std::size_t elite = 2;          ///< individuals copied unchanged
+    std::size_t tournament = 3;     ///< tournament selection size
+    GeneticOperators operators;
+};
+
+/// One evaluated individual.
+struct Individual {
+    TestChromosome chromosome;
+    double fitness = 0.0;
+    bool evaluated = false;
+};
+
+class Population {
+public:
+    /// Fills up to `options.size` with random chromosomes when `seeds`
+    /// has fewer entries; extra seeds are truncated.
+    Population(PopulationOptions options,
+               std::vector<TestChromosome> seeds, util::Rng& rng);
+
+    [[nodiscard]] std::size_t size() const noexcept {
+        return individuals_.size();
+    }
+    [[nodiscard]] const Individual& individual(std::size_t i) const noexcept {
+        return individuals_[i];
+    }
+    [[nodiscard]] std::size_t generation() const noexcept { return generation_; }
+
+    /// Evaluates any unevaluated individuals; returns evaluations done.
+    std::size_t evaluate(const FitnessFn& fitness);
+
+    /// One generation: selection, crossover, mutation, elitism. The new
+    /// offspring are evaluated. Returns evaluations done.
+    std::size_t step(const FitnessFn& fitness, util::Rng& rng);
+
+    /// Best individual so far (requires at least one evaluation).
+    [[nodiscard]] const Individual& best() const;
+
+    /// Generations since the best fitness last improved.
+    [[nodiscard]] std::size_t stagnation() const noexcept {
+        return stagnation_;
+    }
+
+    /// Replaces everyone with fresh random individuals ("a brand new
+    /// population"), resetting stagnation; the previous best is forgotten
+    /// here (the multi-population driver remembers the global best).
+    void restart(util::Rng& rng);
+
+private:
+    [[nodiscard]] const Individual& tournament_pick(util::Rng& rng) const;
+
+    PopulationOptions options_;
+    std::vector<Individual> individuals_;
+    std::size_t generation_ = 0;
+    std::size_t stagnation_ = 0;
+    double best_seen_ = 0.0;
+    bool any_evaluated_ = false;
+};
+
+}  // namespace cichar::ga

@@ -1,0 +1,40 @@
+#include "ga/wcr.hpp"
+
+#include <cmath>
+
+namespace cichar::ga {
+
+const char* to_string(WcrClass c) noexcept {
+    switch (c) {
+        case WcrClass::kPass: return "pass";
+        case WcrClass::kWeakness: return "weakness";
+        case WcrClass::kFail: return "fail";
+    }
+    return "?";
+}
+
+double wcr_toward_max(double measured, double vmax) noexcept {
+    if (vmax == 0.0) return std::numeric_limits<double>::infinity();
+    return std::abs(measured / vmax);
+}
+
+double wcr_toward_min(double measured, double vmin) noexcept {
+    if (measured == 0.0) return std::numeric_limits<double>::infinity();
+    return std::abs(vmin / measured);
+}
+
+WcrClass classify(double wcr, WcrThresholds thresholds) noexcept {
+    if (wcr > thresholds.fail) return WcrClass::kFail;
+    if (wcr > thresholds.weakness) return WcrClass::kWeakness;
+    return WcrClass::kPass;
+}
+
+void WcrTracker::add(double wcr) noexcept {
+    if (wcr > worst_) {
+        worst_ = wcr;
+        worst_index_ = count_;
+    }
+    ++count_;
+}
+
+}  // namespace cichar::ga

@@ -1,0 +1,62 @@
+// Worst-Case Ratio (paper eqs. 5/6 and Fig. 6): the GA's classification of
+// how close a measured parameter value sits to its specified limit.
+//
+//   maximization analysis: WCR(N) = max |va(n) / vmax|   (eq. 5)
+//   minimization analysis: WCR(N) = min-type |vmin / va(n)| (eq. 6)
+//
+// Classes: pass 0..0.8, weakness 0.8..1, fail > 1. The worst case test is
+// the one with the largest WCR.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cichar::ga {
+
+enum class WcrClass : std::uint8_t { kPass, kWeakness, kFail };
+
+[[nodiscard]] const char* to_string(WcrClass c) noexcept;
+
+/// Fig. 6 class boundaries.
+struct WcrThresholds {
+    double weakness = 0.8;
+    double fail = 1.0;
+};
+
+/// Eq. (5): ratio toward a specified *maximum* limit (drift-to-maximum
+/// objective). Larger measured values are worse.
+[[nodiscard]] double wcr_toward_max(double measured, double vmax) noexcept;
+
+/// Eq. (6): ratio toward a specified *minimum* limit (drift-to-minimum
+/// objective). Smaller measured values are worse.
+[[nodiscard]] double wcr_toward_min(double measured, double vmin) noexcept;
+
+[[nodiscard]] WcrClass classify(double wcr,
+                                WcrThresholds thresholds = {}) noexcept;
+
+/// Tracks the campaign-level WCR(N): the worst ratio over N tests, with
+/// the index of the test that produced it.
+class WcrTracker {
+public:
+    void add(double wcr) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] double worst() const noexcept { return worst_; }
+    [[nodiscard]] std::size_t worst_index() const noexcept {
+        return worst_index_;
+    }
+    /// True once a ratio at or beyond the weakness boundary was seen —
+    /// the "worst case detected based on worst case ratio theorem" GA
+    /// stopping condition.
+    [[nodiscard]] bool worst_case_detected(
+        WcrThresholds thresholds = {}) const noexcept {
+        return count_ > 0 && worst_ >= thresholds.weakness;
+    }
+
+private:
+    std::size_t count_ = 0;
+    double worst_ = -std::numeric_limits<double>::infinity();
+    std::size_t worst_index_ = 0;
+};
+
+}  // namespace cichar::ga

@@ -1,0 +1,110 @@
+#include "nn/committee.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cichar::nn {
+
+double VotingCommittee::mean_validation_error() const noexcept {
+    if (validation_errors_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double e : validation_errors_) sum += e;
+    return sum / static_cast<double>(validation_errors_.size());
+}
+
+std::vector<TrainReport> VotingCommittee::train(const Dataset& train_set,
+                                                const Dataset& validation_set,
+                                                const CommitteeOptions& options,
+                                                util::Rng& rng) {
+    assert(options.members >= 1);
+    members_.clear();
+    validation_errors_.clear();
+
+    std::vector<std::size_t> sizes;
+    sizes.push_back(train_set.input_width());
+    for (const std::size_t h : options.hidden_layers) sizes.push_back(h);
+    sizes.push_back(train_set.target_width());
+
+    Trainer trainer(options.train);
+    std::vector<TrainReport> reports;
+    reports.reserve(options.members);
+
+    for (std::size_t m = 0; m < options.members; ++m) {
+        util::Rng member_rng = rng.fork(m + 1);
+        const Dataset member_data =
+            options.subset_fraction >= 1.0
+                ? train_set
+                : subset(train_set, options.subset_fraction, member_rng);
+        Mlp net(sizes, options.hidden_activation, options.output_activation);
+        net.init_weights(member_rng);
+        reports.push_back(
+            trainer.train(net, member_data, validation_set, member_rng));
+        validation_errors_.push_back(reports.back().final_validation_mse);
+        members_.push_back(std::move(net));
+    }
+    return reports;
+}
+
+std::vector<double> VotingCommittee::predict(std::span<const double> x) const {
+    assert(!members_.empty());
+    std::vector<double> mean(members_.front().output_size(), 0.0);
+    for (const Mlp& net : members_) {
+        const std::vector<double> out = net.forward(x);
+        for (std::size_t o = 0; o < out.size(); ++o) mean[o] += out[o];
+    }
+    for (double& v : mean) v /= static_cast<double>(members_.size());
+    return mean;
+}
+
+VoteResult VotingCommittee::vote(std::span<const double> x) const {
+    assert(!members_.empty());
+    const std::size_t width = members_.front().output_size();
+    VoteResult result;
+    result.mean_output.assign(width, 0.0);
+
+    std::vector<std::vector<double>> outputs;
+    outputs.reserve(members_.size());
+    std::vector<std::size_t> class_votes(width, 0);
+    for (const Mlp& net : members_) {
+        outputs.push_back(net.forward(x));
+        const auto& out = outputs.back();
+        for (std::size_t o = 0; o < width; ++o) {
+            result.mean_output[o] += out[o];
+        }
+        const auto argmax = static_cast<std::size_t>(
+            std::max_element(out.begin(), out.end()) - out.begin());
+        ++class_votes[argmax];
+    }
+    for (double& v : result.mean_output) {
+        v /= static_cast<double>(members_.size());
+    }
+
+    const auto majority = static_cast<std::size_t>(
+        std::max_element(class_votes.begin(), class_votes.end()) -
+        class_votes.begin());
+    result.majority_class = majority;
+    result.agreement = static_cast<double>(class_votes[majority]) /
+                       static_cast<double>(members_.size());
+
+    double dispersion = 0.0;
+    for (std::size_t o = 0; o < width; ++o) {
+        double var = 0.0;
+        for (const auto& out : outputs) {
+            const double d = out[o] - result.mean_output[o];
+            var += d * d;
+        }
+        dispersion += std::sqrt(var / static_cast<double>(outputs.size()));
+    }
+    result.dispersion = dispersion / static_cast<double>(width);
+    return result;
+}
+
+void VotingCommittee::set_members(std::vector<Mlp> members,
+                                  std::vector<double> validation_errors) {
+    assert(members.size() == validation_errors.size());
+    members_ = std::move(members);
+    validation_errors_ = std::move(validation_errors);
+}
+
+}  // namespace cichar::nn

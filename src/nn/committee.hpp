@@ -1,0 +1,73 @@
+// NN voting machine (paper Fig. 4 step 1): multiple MLPs trained on
+// different subsets of the training tests vote in parallel on unknown
+// inputs; classification confidence is "determined by averaging the mean
+// error for each network (i.e. consistency check)".
+#pragma once
+
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+
+namespace cichar::nn {
+
+struct CommitteeOptions {
+    std::size_t members = 5;
+    /// Fraction of the training set each member sees (distinct subsets).
+    double subset_fraction = 0.7;
+    std::vector<std::size_t> hidden_layers = {24, 12};
+    Activation hidden_activation = Activation::kTanh;
+    Activation output_activation = Activation::kSigmoid;
+    TrainOptions train;
+};
+
+/// Prediction with vote bookkeeping.
+struct VoteResult {
+    std::vector<double> mean_output;   ///< averaged member outputs
+    std::size_t majority_class = 0;    ///< argmax vote across members
+    double agreement = 0.0;            ///< fraction voting with majority
+    double dispersion = 0.0;           ///< mean stddev across outputs
+};
+
+class VotingCommittee {
+public:
+    VotingCommittee() = default;
+
+    [[nodiscard]] std::size_t member_count() const noexcept {
+        return members_.size();
+    }
+    [[nodiscard]] const Mlp& member(std::size_t i) const noexcept {
+        return members_[i];
+    }
+    [[nodiscard]] const std::vector<double>& member_validation_errors()
+        const noexcept {
+        return validation_errors_;
+    }
+
+    /// Paper's consistency check: mean of the members' validation MSEs.
+    [[nodiscard]] double mean_validation_error() const noexcept;
+
+    /// Trains `options.members` nets on distinct subsets. Returns one
+    /// TrainReport per member.
+    std::vector<TrainReport> train(const Dataset& train_set,
+                                   const Dataset& validation_set,
+                                   const CommitteeOptions& options,
+                                   util::Rng& rng);
+
+    /// Averaged member outputs.
+    [[nodiscard]] std::vector<double> predict(std::span<const double> x) const;
+
+    /// Parallel vote with agreement statistics.
+    [[nodiscard]] VoteResult vote(std::span<const double> x) const;
+
+    // Serialization hooks (weights_io).
+    void set_members(std::vector<Mlp> members,
+                     std::vector<double> validation_errors);
+
+private:
+    std::vector<Mlp> members_;
+    std::vector<double> validation_errors_;
+};
+
+}  // namespace cichar::nn

@@ -1,0 +1,101 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cichar::nn {
+
+void Dataset::add(std::vector<double> input, std::vector<double> target) {
+    if (inputs_.empty() && input_width_ == 0 && target_width_ == 0) {
+        input_width_ = input.size();
+        target_width_ = target.size();
+    }
+    assert(input.size() == input_width_);
+    assert(target.size() == target_width_);
+    inputs_.push_back(std::move(input));
+    targets_.push_back(std::move(target));
+}
+
+void Dataset::append(const Dataset& other) {
+    assert(other.empty() || other.input_width() == input_width_ ||
+           inputs_.empty());
+    for (std::size_t i = 0; i < other.size(); ++i) {
+        add(std::vector<double>(other.input(i).begin(), other.input(i).end()),
+            std::vector<double>(other.target(i).begin(),
+                                other.target(i).end()));
+    }
+}
+
+void Normalizer::fit(const Dataset& data) {
+    assert(!data.empty());
+    const std::size_t width = data.input_width();
+    lo_.assign(width, 0.0);
+    hi_.assign(width, 0.0);
+    for (std::size_t f = 0; f < width; ++f) {
+        lo_[f] = data.input(0)[f];
+        hi_[f] = data.input(0)[f];
+    }
+    for (std::size_t i = 1; i < data.size(); ++i) {
+        const auto x = data.input(i);
+        for (std::size_t f = 0; f < width; ++f) {
+            lo_[f] = std::min(lo_[f], x[f]);
+            hi_[f] = std::max(hi_[f], x[f]);
+        }
+    }
+}
+
+std::vector<double> Normalizer::apply(std::span<const double> x) const {
+    assert(x.size() == lo_.size());
+    std::vector<double> out(x.size());
+    for (std::size_t f = 0; f < x.size(); ++f) {
+        out[f] = hi_[f] == lo_[f] ? 0.5 : (x[f] - lo_[f]) / (hi_[f] - lo_[f]);
+    }
+    return out;
+}
+
+void Normalizer::restore(std::vector<double> lo, std::vector<double> hi) {
+    assert(lo.size() == hi.size());
+    lo_ = std::move(lo);
+    hi_ = std::move(hi);
+}
+
+std::pair<Dataset, Dataset> split(const Dataset& data, double train_fraction,
+                                  util::Rng& rng) {
+    assert(train_fraction > 0.0 && train_fraction <= 1.0);
+    std::vector<std::size_t> order(data.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(std::span<std::size_t>(order));
+
+    const auto n_train = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(data.size()) + 0.5);
+    Dataset train(data.input_width(), data.target_width());
+    Dataset validation(data.input_width(), data.target_width());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const std::size_t idx = order[i];
+        Dataset& dest = i < n_train ? train : validation;
+        dest.add(std::vector<double>(data.input(idx).begin(),
+                                     data.input(idx).end()),
+                 std::vector<double>(data.target(idx).begin(),
+                                     data.target(idx).end()));
+    }
+    return {std::move(train), std::move(validation)};
+}
+
+Dataset subset(const Dataset& data, double fraction, util::Rng& rng) {
+    assert(fraction > 0.0 && fraction <= 1.0);
+    const auto n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               fraction * static_cast<double>(data.size()) + 0.5));
+    const auto picks =
+        rng.sample_without_replacement(std::min(n, data.size()), data.size());
+    Dataset out(data.input_width(), data.target_width());
+    for (const std::size_t idx : picks) {
+        out.add(std::vector<double>(data.input(idx).begin(),
+                                    data.input(idx).end()),
+                std::vector<double>(data.target(idx).begin(),
+                                    data.target(idx).end()));
+    }
+    return out;
+}
+
+}  // namespace cichar::nn

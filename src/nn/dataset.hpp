@@ -1,0 +1,82 @@
+// Supervised dataset utilities for the characterization learner: storage,
+// min-max normalization, train/validation splitting, and bootstrap
+// subsets for the committee ("multiple NNs are trained on different
+// subsets of the training input tests").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cichar::nn {
+
+/// In-memory supervised dataset (row-major sample vectors).
+class Dataset {
+public:
+    Dataset() = default;
+    Dataset(std::size_t input_width, std::size_t target_width)
+        : input_width_(input_width), target_width_(target_width) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return inputs_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return inputs_.empty(); }
+    [[nodiscard]] std::size_t input_width() const noexcept {
+        return input_width_;
+    }
+    [[nodiscard]] std::size_t target_width() const noexcept {
+        return target_width_;
+    }
+
+    /// Adds one sample; widths must match (first add fixes them if the
+    /// dataset was default-constructed).
+    void add(std::vector<double> input, std::vector<double> target);
+
+    [[nodiscard]] std::span<const double> input(std::size_t i) const noexcept {
+        return inputs_[i];
+    }
+    [[nodiscard]] std::span<const double> target(std::size_t i) const noexcept {
+        return targets_[i];
+    }
+
+    /// Merges all samples of `other` (widths must match).
+    void append(const Dataset& other);
+
+private:
+    std::size_t input_width_ = 0;
+    std::size_t target_width_ = 0;
+    std::vector<std::vector<double>> inputs_;
+    std::vector<std::vector<double>> targets_;
+};
+
+/// Per-feature min-max normalizer mapping inputs to [0, 1]. Degenerate
+/// features (min == max) map to 0.5.
+class Normalizer {
+public:
+    /// Fits on the dataset's inputs. Dataset must be non-empty.
+    void fit(const Dataset& data);
+
+    [[nodiscard]] bool fitted() const noexcept { return !lo_.empty(); }
+    [[nodiscard]] std::vector<double> apply(std::span<const double> x) const;
+
+    [[nodiscard]] const std::vector<double>& lo() const noexcept { return lo_; }
+    [[nodiscard]] const std::vector<double>& hi() const noexcept { return hi_; }
+
+    /// Rebuilds from stored bounds (weight-file load path).
+    void restore(std::vector<double> lo, std::vector<double> hi);
+
+private:
+    std::vector<double> lo_;
+    std::vector<double> hi_;
+};
+
+/// Random split into (train, validation); `train_fraction` in (0, 1].
+[[nodiscard]] std::pair<Dataset, Dataset> split(const Dataset& data,
+                                                double train_fraction,
+                                                util::Rng& rng);
+
+/// Bootstrap subset: `fraction` of the samples drawn *without*
+/// replacement — each committee member sees a different random subset.
+[[nodiscard]] Dataset subset(const Dataset& data, double fraction,
+                             util::Rng& rng);
+
+}  // namespace cichar::nn

@@ -1,0 +1,51 @@
+// Neural network training by genetic algorithm — the paper's reference
+// [13] (van Rooij, Jain & Johnson, "Neural Network Training Using Genetic
+// Algorithms"). A real-coded GA evolves the flattened weight vector with
+// fitness = negative training MSE. Gradient-free: useful when the
+// activation is non-differentiable or as a backprop baseline (see
+// bench_ablation_* and the nn tests).
+#pragma once
+
+#include "nn/trainer.hpp"
+
+namespace cichar::nn {
+
+struct GaTrainOptions {
+    std::size_t population = 30;
+    std::size_t generations = 80;
+    double weight_limit = 3.0;     ///< genes live in [-limit, limit]
+    double crossover_rate = 0.9;
+    double mutation_rate = 0.10;   ///< per-weight probability
+    double mutation_sigma = 0.25;  ///< Gaussian step
+    std::size_t elite = 2;
+    std::size_t tournament = 3;
+    /// Stop early when training MSE falls below this.
+    double target_train_mse = 1e-4;
+    /// Learnability / generalization thresholds (as in TrainOptions).
+    double learnability_mse = 0.02;
+    double generalization_mse = 0.04;
+};
+
+/// Evolves the weights of `net` in place. The report's `epochs_run` counts
+/// generations; history records the best individual's MSE per generation.
+class GaTrainer {
+public:
+    GaTrainer() = default;
+    explicit GaTrainer(GaTrainOptions options) : options_(options) {}
+
+    [[nodiscard]] const GaTrainOptions& options() const noexcept {
+        return options_;
+    }
+
+    TrainReport train(Mlp& net, const Dataset& train_set,
+                      const Dataset& validation_set, util::Rng& rng) const;
+
+private:
+    GaTrainOptions options_;
+};
+
+/// Weight-vector flattening helpers (also used by tests).
+[[nodiscard]] std::vector<double> flatten_weights(const Mlp& net);
+void restore_weights(Mlp& net, std::span<const double> flat);
+
+}  // namespace cichar::nn

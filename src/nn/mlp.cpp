@@ -1,0 +1,115 @@
+#include "nn/mlp.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace cichar::nn {
+
+const char* to_string(Activation a) noexcept {
+    switch (a) {
+        case Activation::kSigmoid: return "sigmoid";
+        case Activation::kTanh: return "tanh";
+        case Activation::kRelu: return "relu";
+        case Activation::kLinear: return "linear";
+    }
+    return "?";
+}
+
+double activate(Activation a, double x) noexcept {
+    switch (a) {
+        case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+        case Activation::kTanh: return std::tanh(x);
+        case Activation::kRelu: return x > 0.0 ? x : 0.0;
+        case Activation::kLinear: return x;
+    }
+    return x;
+}
+
+double activate_derivative(Activation a, double y) noexcept {
+    switch (a) {
+        case Activation::kSigmoid: return y * (1.0 - y);
+        case Activation::kTanh: return 1.0 - y * y;
+        case Activation::kRelu: return y > 0.0 ? 1.0 : 0.0;
+        case Activation::kLinear: return 1.0;
+    }
+    return 1.0;
+}
+
+Mlp::Mlp(std::span<const std::size_t> sizes, Activation hidden,
+         Activation output) {
+    assert(sizes.size() >= 2);
+    layers_.reserve(sizes.size() - 1);
+    for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+        Layer layer;
+        layer.in = sizes[i];
+        layer.out = sizes[i + 1];
+        layer.activation = (i + 2 == sizes.size()) ? output : hidden;
+        layer.weights.assign(layer.in * layer.out, 0.0);
+        layer.biases.assign(layer.out, 0.0);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+void Mlp::init_weights(util::Rng& rng) {
+    for (Layer& layer : layers_) {
+        const double limit =
+            std::sqrt(6.0 / static_cast<double>(layer.in + layer.out));
+        for (double& w : layer.weights) w = rng.uniform(-limit, limit);
+        for (double& b : layer.biases) b = 0.0;
+    }
+}
+
+std::size_t Mlp::input_size() const noexcept {
+    return layers_.empty() ? 0 : layers_.front().in;
+}
+
+std::size_t Mlp::output_size() const noexcept {
+    return layers_.empty() ? 0 : layers_.back().out;
+}
+
+std::size_t Mlp::parameter_count() const noexcept {
+    std::size_t count = 0;
+    for (const Layer& layer : layers_) {
+        count += layer.weights.size() + layer.biases.size();
+    }
+    return count;
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x) const {
+    assert(x.size() == input_size());
+    std::vector<double> current(x.begin(), x.end());
+    std::vector<double> next;
+    for (const Layer& layer : layers_) {
+        next.assign(layer.out, 0.0);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            double sum = layer.biases[o];
+            const double* row = &layer.weights[o * layer.in];
+            for (std::size_t i = 0; i < layer.in; ++i) sum += row[i] * current[i];
+            next[o] = activate(layer.activation, sum);
+        }
+        current.swap(next);
+    }
+    return current;
+}
+
+std::vector<std::vector<double>> Mlp::forward_trace(
+    std::span<const double> x) const {
+    assert(x.size() == input_size());
+    std::vector<std::vector<double>> trace;
+    trace.reserve(layers_.size() + 1);
+    trace.emplace_back(x.begin(), x.end());
+    for (const Layer& layer : layers_) {
+        const std::vector<double>& current = trace.back();
+        std::vector<double> next(layer.out, 0.0);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            double sum = layer.biases[o];
+            const double* row = &layer.weights[o * layer.in];
+            for (std::size_t i = 0; i < layer.in; ++i) sum += row[i] * current[i];
+            next[o] = activate(layer.activation, sum);
+        }
+        trace.push_back(std::move(next));
+    }
+    return trace;
+}
+
+}  // namespace cichar::nn

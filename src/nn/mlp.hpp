@@ -1,0 +1,78 @@
+// Multilayer perceptron, hand-rolled in the spirit of the paper's era
+// (Masters, "Practical Neural Network Recipes in C++" [14]). Dense layers,
+// per-layer activation, double precision. Training lives in trainer.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cichar::nn {
+
+enum class Activation : std::uint8_t { kSigmoid, kTanh, kRelu, kLinear };
+
+[[nodiscard]] const char* to_string(Activation a) noexcept;
+[[nodiscard]] double activate(Activation a, double x) noexcept;
+/// Derivative expressed in terms of the *activated* output y.
+[[nodiscard]] double activate_derivative(Activation a, double y) noexcept;
+
+/// One dense layer: out = act(W x + b), W stored row-major [out][in].
+struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    Activation activation = Activation::kSigmoid;
+    std::vector<double> weights;  ///< out * in
+    std::vector<double> biases;   ///< out
+
+    [[nodiscard]] double weight(std::size_t o, std::size_t i) const noexcept {
+        return weights[o * in + i];
+    }
+    [[nodiscard]] double& weight(std::size_t o, std::size_t i) noexcept {
+        return weights[o * in + i];
+    }
+
+    [[nodiscard]] bool operator==(const Layer&) const = default;
+};
+
+class Mlp {
+public:
+    Mlp() = default;
+
+    /// `sizes` = {inputs, hidden..., outputs}; at least two entries.
+    /// Hidden layers use `hidden`, the final layer uses `output`.
+    Mlp(std::span<const std::size_t> sizes, Activation hidden,
+        Activation output);
+
+    /// Xavier/Glorot-uniform weight initialization.
+    void init_weights(util::Rng& rng);
+
+    [[nodiscard]] std::size_t input_size() const noexcept;
+    [[nodiscard]] std::size_t output_size() const noexcept;
+    [[nodiscard]] std::size_t layer_count() const noexcept {
+        return layers_.size();
+    }
+    [[nodiscard]] const Layer& layer(std::size_t i) const noexcept {
+        return layers_[i];
+    }
+    [[nodiscard]] Layer& layer(std::size_t i) noexcept { return layers_[i]; }
+
+    /// Total trainable parameter count.
+    [[nodiscard]] std::size_t parameter_count() const noexcept;
+
+    /// Plain inference.
+    [[nodiscard]] std::vector<double> forward(std::span<const double> x) const;
+
+    /// Inference keeping every layer's activated output (index 0 = input
+    /// copy); used by backprop.
+    [[nodiscard]] std::vector<std::vector<double>> forward_trace(
+        std::span<const double> x) const;
+
+    [[nodiscard]] bool operator==(const Mlp&) const = default;
+
+private:
+    std::vector<Layer> layers_;
+};
+
+}  // namespace cichar::nn

@@ -1,0 +1,175 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cichar::nn {
+
+double evaluate_mse(const Mlp& net, const Dataset& data) {
+    if (data.empty()) return 0.0;
+    double total = 0.0;
+    for (std::size_t s = 0; s < data.size(); ++s) {
+        const std::vector<double> out = net.forward(data.input(s));
+        const auto target = data.target(s);
+        for (std::size_t o = 0; o < out.size(); ++o) {
+            const double e = out[o] - target[o];
+            total += e * e;
+        }
+    }
+    return total / (static_cast<double>(data.size()) *
+                    static_cast<double>(net.output_size()));
+}
+
+double evaluate_class_accuracy(const Mlp& net, const Dataset& data) {
+    if (data.empty()) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t s = 0; s < data.size(); ++s) {
+        const std::vector<double> out = net.forward(data.input(s));
+        const auto target = data.target(s);
+        const auto argmax = [](std::span<const double> v) {
+            return static_cast<std::size_t>(
+                std::max_element(v.begin(), v.end()) - v.begin());
+        };
+        if (argmax(out) == argmax(target)) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+namespace {
+
+/// Momentum buffers matching the MLP weight layout.
+struct Velocity {
+    std::vector<std::vector<double>> weights;
+    std::vector<std::vector<double>> biases;
+
+    explicit Velocity(const Mlp& net) {
+        weights.reserve(net.layer_count());
+        biases.reserve(net.layer_count());
+        for (std::size_t l = 0; l < net.layer_count(); ++l) {
+            weights.emplace_back(net.layer(l).weights.size(), 0.0);
+            biases.emplace_back(net.layer(l).biases.size(), 0.0);
+        }
+    }
+};
+
+/// One backprop step on a single sample; returns the sample's SSE.
+double sgd_step(Mlp& net, std::span<const double> input,
+                std::span<const double> target, double lr, double momentum,
+                Velocity& velocity) {
+    const std::vector<std::vector<double>> trace = net.forward_trace(input);
+    const std::vector<double>& output = trace.back();
+
+    // Output deltas for MSE loss: delta = (y - t) * act'(y).
+    std::vector<double> delta(output.size());
+    double sse = 0.0;
+    {
+        const Layer& last = net.layer(net.layer_count() - 1);
+        for (std::size_t o = 0; o < output.size(); ++o) {
+            const double err = output[o] - target[o];
+            sse += err * err;
+            delta[o] = err * activate_derivative(last.activation, output[o]);
+        }
+    }
+
+    // Backward pass layer by layer.
+    for (std::size_t li = net.layer_count(); li-- > 0;) {
+        Layer& layer = net.layer(li);
+        const std::vector<double>& layer_in = trace[li];
+        const bool propagate = li > 0;
+        std::vector<double> prev_delta;
+        if (propagate) prev_delta.assign(layer.in, 0.0);
+
+        auto& vw = velocity.weights[li];
+        auto& vb = velocity.biases[li];
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            const double d = delta[o];
+            const std::size_t row = o * layer.in;
+            for (std::size_t i = 0; i < layer.in; ++i) {
+                if (propagate) prev_delta[i] += layer.weights[row + i] * d;
+                const double grad = d * layer_in[i];
+                vw[row + i] = momentum * vw[row + i] - lr * grad;
+                layer.weights[row + i] += vw[row + i];
+            }
+            vb[o] = momentum * vb[o] - lr * d;
+            layer.biases[o] += vb[o];
+        }
+        if (propagate) {
+            const Layer& below = net.layer(li - 1);
+            for (std::size_t i = 0; i < prev_delta.size(); ++i) {
+                prev_delta[i] *=
+                    activate_derivative(below.activation, layer_in[i]);
+            }
+            delta.swap(prev_delta);
+        }
+    }
+    return sse;
+}
+
+}  // namespace
+
+TrainReport Trainer::train(Mlp& net, const Dataset& train_set,
+                           const Dataset& validation_set,
+                           util::Rng& rng) const {
+    assert(!train_set.empty());
+    assert(train_set.input_width() == net.input_size());
+    assert(train_set.target_width() == net.output_size());
+
+    TrainReport report;
+    Velocity velocity(net);
+    std::vector<std::size_t> order(train_set.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+    double lr = options_.learning_rate;
+    double best_val = std::numeric_limits<double>::infinity();
+    Mlp best_net = net;
+    std::size_t stale_epochs = 0;
+
+    const double denom = static_cast<double>(train_set.size()) *
+                         static_cast<double>(net.output_size());
+
+    for (std::size_t epoch = 0; epoch < options_.max_epochs; ++epoch) {
+        rng.shuffle(std::span<std::size_t>(order));
+        double sse = 0.0;
+        for (const std::size_t s : order) {
+            sse += sgd_step(net, train_set.input(s), train_set.target(s), lr,
+                            options_.momentum, velocity);
+        }
+        lr *= options_.lr_decay;
+
+        EpochStats stats;
+        stats.train_mse = sse / denom;
+        stats.validation_mse = evaluate_mse(net, validation_set);
+        report.history.push_back(stats);
+        ++report.epochs_run;
+
+        if (!validation_set.empty()) {
+            if (stats.validation_mse < best_val) {
+                best_val = stats.validation_mse;
+                best_net = net;
+                stale_epochs = 0;
+            } else {
+                ++stale_epochs;
+                if (options_.patience != 0 && stale_epochs >= options_.patience) {
+                    break;
+                }
+            }
+        }
+        if (stats.train_mse < options_.target_train_mse) break;
+    }
+
+    if (!validation_set.empty() &&
+        best_val < std::numeric_limits<double>::infinity()) {
+        net = best_net;
+    }
+    report.final_train_mse = evaluate_mse(net, train_set);
+    report.final_validation_mse = evaluate_mse(net, validation_set);
+    report.learned = report.final_train_mse <= options_.learnability_mse;
+    report.generalizes = validation_set.empty()
+                             ? report.learned
+                             : report.final_validation_mse <=
+                                   options_.generalization_mse;
+    return report;
+}
+
+}  // namespace cichar::nn

@@ -1,0 +1,172 @@
+#include "nn/weights_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace cichar::nn {
+namespace {
+
+constexpr const char* kMlpMagic = "cichar-mlp";
+constexpr const char* kCommitteeMagic = "cichar-committee";
+constexpr int kVersion = 1;
+
+[[noreturn]] void malformed(const std::string& what) {
+    throw std::runtime_error("weight file malformed: " + what);
+}
+
+Activation parse_activation(const std::string& token) {
+    if (token == "sigmoid") return Activation::kSigmoid;
+    if (token == "tanh") return Activation::kTanh;
+    if (token == "relu") return Activation::kRelu;
+    if (token == "linear") return Activation::kLinear;
+    malformed("unknown activation '" + token + "'");
+}
+
+void expect_token(std::istream& in, const char* expected) {
+    std::string token;
+    if (!(in >> token) || token != expected) {
+        malformed(std::string("expected '") + expected + "', got '" + token +
+                  "'");
+    }
+}
+
+double read_double(std::istream& in) {
+    double v = 0.0;
+    if (!(in >> v)) malformed("expected a number");
+    return v;
+}
+
+std::size_t read_size(std::istream& in) {
+    long long v = 0;
+    if (!(in >> v) || v < 0) malformed("expected a non-negative integer");
+    return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+void save_mlp(std::ostream& out, const Mlp& net) {
+    out << kMlpMagic << ' ' << kVersion << '\n';
+    out << "layers " << net.layer_count() << '\n';
+    for (std::size_t l = 0; l < net.layer_count(); ++l) {
+        const Layer& layer = net.layer(l);
+        out << "layer " << layer.in << ' ' << layer.out << ' '
+            << to_string(layer.activation) << '\n';
+        out << "w";
+        for (const double w : layer.weights) {
+            out << ' ' << util::format_double(w);
+        }
+        out << "\nb";
+        for (const double b : layer.biases) {
+            out << ' ' << util::format_double(b);
+        }
+        out << '\n';
+    }
+    if (!out) throw std::ios_base::failure("save_mlp: stream write failed");
+}
+
+Mlp load_mlp(std::istream& in) {
+    expect_token(in, kMlpMagic);
+    if (read_size(in) != static_cast<std::size_t>(kVersion)) {
+        malformed("unsupported mlp version");
+    }
+    expect_token(in, "layers");
+    const std::size_t layer_count = read_size(in);
+    if (layer_count == 0 || layer_count > 64) malformed("bad layer count");
+
+    // Reconstruct via sizes, then overwrite weights.
+    std::vector<std::size_t> ins;
+    std::vector<std::size_t> outs;
+    std::vector<Activation> acts;
+    std::vector<std::vector<double>> weights;
+    std::vector<std::vector<double>> biases;
+    for (std::size_t l = 0; l < layer_count; ++l) {
+        expect_token(in, "layer");
+        const std::size_t lin = read_size(in);
+        const std::size_t lout = read_size(in);
+        std::string act;
+        if (!(in >> act)) malformed("missing activation");
+        if (lin == 0 || lout == 0 || lin > 100000 || lout > 100000) {
+            malformed("bad layer shape");
+        }
+        ins.push_back(lin);
+        outs.push_back(lout);
+        acts.push_back(parse_activation(act));
+
+        expect_token(in, "w");
+        std::vector<double> w(lin * lout);
+        for (double& v : w) v = read_double(in);
+        weights.push_back(std::move(w));
+
+        expect_token(in, "b");
+        std::vector<double> b(lout);
+        for (double& v : b) v = read_double(in);
+        biases.push_back(std::move(b));
+
+        if (l > 0 && ins[l] != outs[l - 1]) malformed("layer shape mismatch");
+    }
+
+    std::vector<std::size_t> sizes;
+    sizes.push_back(ins.front());
+    for (const std::size_t o : outs) sizes.push_back(o);
+    Mlp net(sizes, Activation::kTanh, Activation::kSigmoid);
+    for (std::size_t l = 0; l < layer_count; ++l) {
+        Layer& layer = net.layer(l);
+        layer.activation = acts[l];
+        layer.weights = std::move(weights[l]);
+        layer.biases = std::move(biases[l]);
+    }
+    return net;
+}
+
+void save_committee(std::ostream& out, const VotingCommittee& committee) {
+    out << kCommitteeMagic << ' ' << kVersion << '\n';
+    out << "members " << committee.member_count() << '\n';
+    out << "val_errors";
+    for (const double e : committee.member_validation_errors()) {
+        out << ' ' << util::format_double(e);
+    }
+    out << '\n';
+    for (std::size_t m = 0; m < committee.member_count(); ++m) {
+        save_mlp(out, committee.member(m));
+    }
+}
+
+VotingCommittee load_committee(std::istream& in) {
+    expect_token(in, kCommitteeMagic);
+    if (read_size(in) != static_cast<std::size_t>(kVersion)) {
+        malformed("unsupported committee version");
+    }
+    expect_token(in, "members");
+    const std::size_t count = read_size(in);
+    if (count == 0 || count > 1024) malformed("bad member count");
+    expect_token(in, "val_errors");
+    std::vector<double> errors(count);
+    for (double& e : errors) e = read_double(in);
+    std::vector<Mlp> members;
+    members.reserve(count);
+    for (std::size_t m = 0; m < count; ++m) members.push_back(load_mlp(in));
+
+    VotingCommittee committee;
+    committee.set_members(std::move(members), std::move(errors));
+    return committee;
+}
+
+void save_committee_file(const std::string& path,
+                         const VotingCommittee& committee) {
+    std::ofstream out(path);
+    if (!out) throw std::ios_base::failure("cannot open for write: " + path);
+    save_committee(out, committee);
+}
+
+VotingCommittee load_committee_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::ios_base::failure("cannot open for read: " + path);
+    return load_committee(in);
+}
+
+}  // namespace cichar::nn

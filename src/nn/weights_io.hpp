@@ -1,0 +1,32 @@
+// NN weight file serialization (paper Fig. 4 step 5: "a NN weight file is
+// generated. This file will be used in classification task of worst case
+// test based on only software computation"). Plain text, versioned,
+// round-trip exact via shortest-round-trip double formatting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/committee.hpp"
+#include "nn/mlp.hpp"
+
+namespace cichar::nn {
+
+/// Writes one MLP. Throws std::ios_base::failure on stream errors.
+void save_mlp(std::ostream& out, const Mlp& net);
+
+/// Reads one MLP. Throws std::runtime_error on malformed input.
+[[nodiscard]] Mlp load_mlp(std::istream& in);
+
+/// Writes a committee (members + validation errors).
+void save_committee(std::ostream& out, const VotingCommittee& committee);
+
+/// Reads a committee. Throws std::runtime_error on malformed input.
+[[nodiscard]] VotingCommittee load_committee(std::istream& in);
+
+/// File-path conveniences.
+void save_committee_file(const std::string& path,
+                         const VotingCommittee& committee);
+[[nodiscard]] VotingCommittee load_committee_file(const std::string& path);
+
+}  // namespace cichar::nn

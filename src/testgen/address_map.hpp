@@ -1,0 +1,43 @@
+// Logical address layout of the modeled memory test chip. Shared between
+// the stimulus generators (to steer bank conflicts / row locality), the
+// feature extractor, and the device model.
+#pragma once
+
+#include <cstdint>
+
+namespace cichar::testgen {
+
+/// 12-bit address space: | bank (2) | row (6) | column (4) | = 4096 words.
+struct AddressMap {
+    static constexpr std::uint32_t kColumnBits = 4;
+    static constexpr std::uint32_t kRowBits = 6;
+    static constexpr std::uint32_t kBankBits = 2;
+    static constexpr std::uint32_t kAddressBits =
+        kColumnBits + kRowBits + kBankBits;
+
+    static constexpr std::uint32_t kColumns = 1u << kColumnBits;
+    static constexpr std::uint32_t kRows = 1u << kRowBits;
+    static constexpr std::uint32_t kBanks = 1u << kBankBits;
+    static constexpr std::uint32_t kWords = 1u << kAddressBits;
+
+    [[nodiscard]] static constexpr std::uint32_t column_of(std::uint32_t a) noexcept {
+        return a & (kColumns - 1);
+    }
+    [[nodiscard]] static constexpr std::uint32_t row_of(std::uint32_t a) noexcept {
+        return (a >> kColumnBits) & (kRows - 1);
+    }
+    [[nodiscard]] static constexpr std::uint32_t bank_of(std::uint32_t a) noexcept {
+        return (a >> (kColumnBits + kRowBits)) & (kBanks - 1);
+    }
+    [[nodiscard]] static constexpr std::uint32_t compose(std::uint32_t bank,
+                                                         std::uint32_t row,
+                                                         std::uint32_t col) noexcept {
+        return ((bank & (kBanks - 1)) << (kColumnBits + kRowBits)) |
+               ((row & (kRows - 1)) << kColumnBits) | (col & (kColumns - 1));
+    }
+    [[nodiscard]] static constexpr std::uint32_t wrap(std::uint32_t a) noexcept {
+        return a & (kWords - 1);
+    }
+};
+
+}  // namespace cichar::testgen

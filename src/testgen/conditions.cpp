@@ -1,0 +1,47 @@
+#include "testgen/conditions.hpp"
+
+#include <algorithm>
+
+namespace cichar::testgen {
+namespace {
+
+double lerp(double lo, double hi, double t) {
+    return lo + (hi - lo) * std::clamp(t, 0.0, 1.0);
+}
+
+double unlerp(double lo, double hi, double v) {
+    if (hi == lo) return 0.0;
+    return std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+}
+
+}  // namespace
+
+ConditionBounds ConditionBounds::fixed_nominal() {
+    ConditionBounds b;
+    b.vdd_min = b.vdd_max = 1.8;
+    b.temperature_min = b.temperature_max = 25.0;
+    b.clock_period_min_ns = b.clock_period_max_ns = 50.0;
+    b.output_load_min_pf = b.output_load_max_pf = 30.0;
+    return b;
+}
+
+TestConditions ConditionBounds::decode(double g_vdd, double g_temp,
+                                       double g_clock, double g_load) const {
+    TestConditions c;
+    c.vdd_volts = lerp(vdd_min, vdd_max, g_vdd);
+    c.temperature_c = lerp(temperature_min, temperature_max, g_temp);
+    c.clock_period_ns = lerp(clock_period_min_ns, clock_period_max_ns, g_clock);
+    c.output_load_pf = lerp(output_load_min_pf, output_load_max_pf, g_load);
+    return c;
+}
+
+void ConditionBounds::encode(const TestConditions& c, double& g_vdd,
+                             double& g_temp, double& g_clock,
+                             double& g_load) const {
+    g_vdd = unlerp(vdd_min, vdd_max, c.vdd_volts);
+    g_temp = unlerp(temperature_min, temperature_max, c.temperature_c);
+    g_clock = unlerp(clock_period_min_ns, clock_period_max_ns, c.clock_period_ns);
+    g_load = unlerp(output_load_min_pf, output_load_max_pf, c.output_load_pf);
+}
+
+}  // namespace cichar::testgen

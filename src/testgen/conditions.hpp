@@ -1,0 +1,48 @@
+// Test conditions: the environmental/electrical half of a test. The paper's
+// GA evolves *two* chromosome types — test sequences and test conditions —
+// so conditions are a first-class value with their own bounds.
+#pragma once
+
+#include <string>
+
+namespace cichar::testgen {
+
+/// Electrical and environmental conditions for one test application.
+struct TestConditions {
+    double vdd_volts = 1.8;        ///< core supply
+    double temperature_c = 25.0;   ///< junction temperature
+    double clock_period_ns = 50.0; ///< bus cycle time
+    double output_load_pf = 30.0;  ///< capacitive load on DQ pins
+
+    [[nodiscard]] bool operator==(const TestConditions&) const = default;
+};
+
+/// Inclusive bounds for each condition, used by the random generator and by
+/// GA condition-gene decoding.
+struct ConditionBounds {
+    double vdd_min = 1.4, vdd_max = 2.2;
+    double temperature_min = -40.0, temperature_max = 125.0;
+    double clock_period_min_ns = 40.0, clock_period_max_ns = 80.0;
+    double output_load_min_pf = 10.0, output_load_max_pf = 50.0;
+
+    /// Bounds collapsed to the paper's Table 1 operating point
+    /// (Vdd = 1.8 V, room temperature, nominal cycle) so that only the
+    /// pattern varies.
+    [[nodiscard]] static ConditionBounds fixed_nominal();
+
+    /// Maps four unit-interval genes to in-bounds conditions.
+    [[nodiscard]] TestConditions decode(double g_vdd, double g_temp,
+                                        double g_clock, double g_load) const;
+
+    /// Inverse of decode: conditions to unit-interval genes (clamped).
+    void encode(const TestConditions& c, double& g_vdd, double& g_temp,
+                double& g_clock, double& g_load) const;
+};
+
+/// One complete test: stimulus pattern plus the conditions to apply it at.
+/// (Declared here to avoid a separate header for a two-member aggregate.)
+struct TestId {
+    std::string name;
+};
+
+}  // namespace cichar::testgen

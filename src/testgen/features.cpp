@@ -1,0 +1,154 @@
+#include "testgen/features.hpp"
+
+#include <bit>
+
+#include "testgen/address_map.hpp"
+
+namespace cichar::testgen {
+namespace {
+
+double safe_ratio(double num, double denom) {
+    return denom > 0.0 ? num / denom : 0.0;
+}
+
+double normalized(double lo, double hi, double v) {
+    if (hi == lo) return 0.5;
+    const double t = (v - lo) / (hi - lo);
+    return t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+}
+
+bool is_alternating(std::uint16_t data) {
+    return data == 0x5555 || data == 0xAAAA;
+}
+
+}  // namespace
+
+std::string_view FeatureVector::name(std::size_t i) noexcept {
+    switch (i) {
+        case kToggleDensity: return "toggle_density";
+        case kAddrTransition: return "addr_transition";
+        case kBankConflictRate: return "bank_conflict_rate";
+        case kRowLocality: return "row_locality";
+        case kReadFraction: return "read_fraction";
+        case kWriteFraction: return "write_fraction";
+        case kRwSwitchRate: return "rw_switch_rate";
+        case kBurstiness: return "burstiness";
+        case kAlternatingData: return "alternating_data";
+        case kControlActivity: return "control_activity";
+        case kVddNorm: return "vdd_norm";
+        case kTemperatureNorm: return "temperature_norm";
+        case kClockPeriodNorm: return "clock_period_norm";
+        case kOutputLoadNorm: return "output_load_norm";
+        default: return "unknown";
+    }
+}
+
+FeatureVector extract_pattern_features(const TestPattern& pattern) {
+    FeatureVector fv;
+    if (pattern.empty()) return fv;
+
+    const double cycles = static_cast<double>(pattern.size());
+
+    double toggle_bits = 0.0;
+    std::size_t write_pairs = 0;
+    double addr_bits = 0.0;
+    std::size_t addr_pairs = 0;
+    std::size_t bank_conflicts = 0;
+    std::size_t same_row = 0;
+    std::size_t op_pairs = 0;
+    std::size_t reads = 0;
+    std::size_t writes = 0;
+    std::size_t rw_switches = 0;
+    std::size_t bursts = 0;
+    std::size_t alternating_writes = 0;
+    std::size_t control_changes = 0;
+
+    bool have_prev_write = false;
+    std::uint16_t prev_write_data = 0;
+    bool have_prev_op = false;
+    std::uint32_t prev_addr = 0;
+    BusOp prev_op = BusOp::kNop;
+    bool have_prev_cycle = false;
+    bool prev_ce = true;
+    bool prev_oe = false;
+
+    for (const VectorCycle& vc : pattern.cycles()) {
+        if (have_prev_cycle &&
+            (vc.chip_enable != prev_ce || vc.output_enable != prev_oe)) {
+            ++control_changes;
+        }
+        prev_ce = vc.chip_enable;
+        prev_oe = vc.output_enable;
+        have_prev_cycle = true;
+
+        if (vc.burst) ++bursts;
+
+        if (vc.op == BusOp::kNop) continue;
+
+        if (vc.op == BusOp::kRead) ++reads;
+        if (vc.op == BusOp::kWrite) {
+            ++writes;
+            if (have_prev_write) {
+                toggle_bits += std::popcount(
+                    static_cast<std::uint16_t>(vc.data ^ prev_write_data));
+                ++write_pairs;
+            }
+            prev_write_data = vc.data;
+            have_prev_write = true;
+            if (is_alternating(vc.data)) ++alternating_writes;
+        }
+
+        if (have_prev_op) {
+            addr_bits += std::popcount(vc.address ^ prev_addr);
+            ++addr_pairs;
+            ++op_pairs;
+            const bool same_bank = AddressMap::bank_of(vc.address) ==
+                                   AddressMap::bank_of(prev_addr);
+            const bool row_match = AddressMap::row_of(vc.address) ==
+                                   AddressMap::row_of(prev_addr);
+            if (same_bank && !row_match) ++bank_conflicts;
+            if (same_bank && row_match) ++same_row;
+            if ((vc.op == BusOp::kRead) != (prev_op == BusOp::kRead)) {
+                ++rw_switches;
+            }
+        }
+        prev_addr = vc.address;
+        prev_op = vc.op;
+        have_prev_op = true;
+    }
+
+    auto& v = fv.values;
+    v[kToggleDensity] = safe_ratio(toggle_bits, 16.0 * static_cast<double>(write_pairs));
+    v[kAddrTransition] = safe_ratio(
+        addr_bits, static_cast<double>(AddressMap::kAddressBits) *
+                       static_cast<double>(addr_pairs));
+    v[kBankConflictRate] =
+        safe_ratio(static_cast<double>(bank_conflicts), static_cast<double>(op_pairs));
+    v[kRowLocality] =
+        safe_ratio(static_cast<double>(same_row), static_cast<double>(op_pairs));
+    v[kReadFraction] = static_cast<double>(reads) / cycles;
+    v[kWriteFraction] = static_cast<double>(writes) / cycles;
+    v[kRwSwitchRate] =
+        safe_ratio(static_cast<double>(rw_switches), static_cast<double>(op_pairs));
+    v[kBurstiness] = static_cast<double>(bursts) / cycles;
+    v[kAlternatingData] = safe_ratio(static_cast<double>(alternating_writes),
+                                     static_cast<double>(writes));
+    v[kControlActivity] = static_cast<double>(control_changes) / cycles;
+    return fv;
+}
+
+FeatureVector extract_features(const Test& test, const ConditionBounds& bounds) {
+    FeatureVector fv = extract_pattern_features(test.pattern);
+    auto& v = fv.values;
+    const TestConditions& c = test.conditions;
+    v[kVddNorm] = normalized(bounds.vdd_min, bounds.vdd_max, c.vdd_volts);
+    v[kTemperatureNorm] =
+        normalized(bounds.temperature_min, bounds.temperature_max, c.temperature_c);
+    v[kClockPeriodNorm] = normalized(bounds.clock_period_min_ns,
+                                     bounds.clock_period_max_ns, c.clock_period_ns);
+    v[kOutputLoadNorm] = normalized(bounds.output_load_min_pf,
+                                    bounds.output_load_max_pf, c.output_load_pf);
+    return fv;
+}
+
+}  // namespace cichar::testgen

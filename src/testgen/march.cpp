@@ -1,0 +1,150 @@
+#include "testgen/march.hpp"
+
+#include "testgen/address_map.hpp"
+
+namespace cichar::testgen {
+namespace {
+
+constexpr std::uint32_t kWords = AddressMap::kWords;
+
+void apply_element(TestPattern& pattern, const MarchElement& element,
+                   std::uint16_t background) {
+    const std::uint16_t complement = static_cast<std::uint16_t>(~background);
+    const bool descending = element.order == MarchOrder::kDescending;
+    for (std::uint32_t i = 0; i < kWords; ++i) {
+        const std::uint32_t address = descending ? (kWords - 1 - i) : i;
+        for (const MarchElement::Op& op : element.ops) {
+            const std::uint16_t word = op.background ? background : complement;
+            if (op.is_write) {
+                pattern.write(address, word);
+            } else {
+                pattern.read(address);
+            }
+        }
+    }
+}
+
+MarchElement element(MarchOrder order,
+                     std::initializer_list<MarchElement::Op> ops) {
+    MarchElement e;
+    e.order = order;
+    e.ops = ops;
+    return e;
+}
+
+constexpr MarchElement::Op w0{.is_write = true, .background = true};
+constexpr MarchElement::Op w1{.is_write = true, .background = false};
+constexpr MarchElement::Op r0{.is_write = false, .background = true};
+constexpr MarchElement::Op r1{.is_write = false, .background = false};
+
+}  // namespace
+
+TestPattern MarchAlgorithm::expand(std::uint16_t background) const {
+    TestPattern pattern(name);
+    pattern.reserve(ops_per_address() * kWords);
+    for (const MarchElement& e : elements) {
+        apply_element(pattern, e, background);
+    }
+    return pattern;
+}
+
+std::size_t MarchAlgorithm::ops_per_address() const noexcept {
+    std::size_t total = 0;
+    for (const MarchElement& e : elements) total += e.ops.size();
+    return total;
+}
+
+MarchAlgorithm march_c_minus() {
+    MarchAlgorithm algo;
+    algo.name = "MarchC-";
+    algo.elements = {
+        element(MarchOrder::kEither, {w0}),
+        element(MarchOrder::kAscending, {r0, w1}),
+        element(MarchOrder::kAscending, {r1, w0}),
+        element(MarchOrder::kDescending, {r0, w1}),
+        element(MarchOrder::kDescending, {r1, w0}),
+        element(MarchOrder::kEither, {r0}),
+    };
+    return algo;
+}
+
+MarchAlgorithm mats_plus() {
+    MarchAlgorithm algo;
+    algo.name = "MATS+";
+    algo.elements = {
+        element(MarchOrder::kEither, {w0}),
+        element(MarchOrder::kAscending, {r0, w1}),
+        element(MarchOrder::kDescending, {r1, w0}),
+    };
+    return algo;
+}
+
+MarchAlgorithm march_x() {
+    MarchAlgorithm algo;
+    algo.name = "MarchX";
+    algo.elements = {
+        element(MarchOrder::kEither, {w0}),
+        element(MarchOrder::kAscending, {r0, w1}),
+        element(MarchOrder::kDescending, {r1, w0}),
+        element(MarchOrder::kEither, {r0}),
+    };
+    return algo;
+}
+
+MarchAlgorithm march_y() {
+    MarchAlgorithm algo;
+    algo.name = "MarchY";
+    algo.elements = {
+        element(MarchOrder::kEither, {w0}),
+        element(MarchOrder::kAscending, {r0, w1, r1}),
+        element(MarchOrder::kDescending, {r1, w0, r0}),
+        element(MarchOrder::kEither, {r0}),
+    };
+    return algo;
+}
+
+MarchAlgorithm march_b() {
+    MarchAlgorithm algo;
+    algo.name = "MarchB";
+    algo.elements = {
+        element(MarchOrder::kEither, {w0}),
+        element(MarchOrder::kAscending, {r0, w1, r1, w0, r0, w1}),
+        element(MarchOrder::kAscending, {r1, w0, w1}),
+        element(MarchOrder::kDescending, {r1, w0, w1, w0}),
+        element(MarchOrder::kDescending, {r0, w1, w0}),
+    };
+    return algo;
+}
+
+TestPattern checkerboard() {
+    TestPattern pattern("Checkerboard");
+    pattern.reserve(4 * kWords);
+    const auto phase_word = [](std::uint32_t address, bool inverted) {
+        const bool odd = ((AddressMap::row_of(address) ^
+                           AddressMap::column_of(address)) & 1u) != 0;
+        const bool use_a = odd != inverted;
+        return use_a ? std::uint16_t{0xAAAA} : std::uint16_t{0x5555};
+    };
+    for (const bool inverted : {false, true}) {
+        for (std::uint32_t a = 0; a < kWords; ++a) {
+            pattern.write(a, phase_word(a, inverted));
+        }
+        for (std::uint32_t a = 0; a < kWords; ++a) {
+            pattern.read(a);
+        }
+    }
+    return pattern;
+}
+
+std::vector<TestPattern> deterministic_suite() {
+    std::vector<TestPattern> suite;
+    suite.push_back(march_c_minus().expand());
+    suite.push_back(mats_plus().expand());
+    suite.push_back(march_x().expand());
+    suite.push_back(march_y().expand());
+    suite.push_back(march_b().expand());
+    suite.push_back(checkerboard());
+    return suite;
+}
+
+}  // namespace cichar::testgen

@@ -1,0 +1,57 @@
+// Classical deterministic memory test algorithms. These are the
+// "pre-defined deterministic tests" conventional characterization relies
+// on and the baseline row of the paper's Table 1 ("March Test").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testgen/pattern.hpp"
+
+namespace cichar::testgen {
+
+/// Direction of a march element's address sweep.
+enum class MarchOrder : std::uint8_t { kAscending, kDescending, kEither };
+
+/// One march element: an ordered list of read/write operations applied to
+/// every address in the given order. Operations reference the data
+/// background (`true` = background, `false` = complement).
+struct MarchElement {
+    MarchOrder order = MarchOrder::kAscending;
+    struct Op {
+        bool is_write = false;
+        bool background = true;  ///< write/expect background vs complement
+    };
+    std::vector<Op> ops;
+};
+
+/// A named march algorithm over the whole address space.
+struct MarchAlgorithm {
+    std::string name;
+    std::vector<MarchElement> elements;
+
+    /// Expands the algorithm to a concrete vector pattern using the given
+    /// data background word (complement = ~background).
+    [[nodiscard]] TestPattern expand(std::uint16_t background = 0x0000) const;
+
+    /// Total operations per address (the classical "xN" complexity).
+    [[nodiscard]] std::size_t ops_per_address() const noexcept;
+};
+
+/// Standard algorithms.
+[[nodiscard]] MarchAlgorithm march_c_minus();  ///< 10N, the paper baseline
+[[nodiscard]] MarchAlgorithm mats_plus();      ///< 5N
+[[nodiscard]] MarchAlgorithm march_x();        ///< 6N
+[[nodiscard]] MarchAlgorithm march_y();        ///< 8N
+[[nodiscard]] MarchAlgorithm march_b();        ///< 17N, linked faults
+
+/// Checkerboard test: write 0x5555/0xAAAA by address parity, read back,
+/// then the inverse. Not a march test proper but a classic deterministic
+/// characterization pattern.
+[[nodiscard]] TestPattern checkerboard();
+
+/// All deterministic patterns, ready to apply (nominal background).
+[[nodiscard]] std::vector<TestPattern> deterministic_suite();
+
+}  // namespace cichar::testgen

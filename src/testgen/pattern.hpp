@@ -1,0 +1,70 @@
+// Test stimulus representation: a TestPattern is a sequence of bus vector
+// cycles (address, data, control signals), exactly what the paper's random
+// test generator emits in 100-1000 cycle bursts per trip-point measurement.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cichar::testgen {
+
+/// Memory-bus operation of one vector cycle.
+enum class BusOp : std::uint8_t { kNop = 0, kRead = 1, kWrite = 2 };
+
+[[nodiscard]] const char* to_string(BusOp op) noexcept;
+
+/// One tester vector: the state of the DUT pins for one clock cycle.
+struct VectorCycle {
+    std::uint32_t address = 0;
+    std::uint16_t data = 0;        ///< write data (ignored for reads)
+    BusOp op = BusOp::kNop;
+    bool chip_enable = true;       ///< CE# asserted
+    bool output_enable = false;    ///< OE# asserted (reads drive the bus)
+    bool burst = false;            ///< cycle continues the previous burst
+
+    [[nodiscard]] bool operator==(const VectorCycle&) const = default;
+};
+
+/// An ordered sequence of vector cycles with a human-readable name.
+///
+/// Patterns are value types: the ATE, the device model, and the feature
+/// extractor all consume them read-only.
+class TestPattern {
+public:
+    TestPattern() = default;
+    explicit TestPattern(std::string name) : name_(std::move(name)) {}
+    TestPattern(std::string name, std::vector<VectorCycle> cycles)
+        : name_(std::move(name)), cycles_(std::move(cycles)) {}
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return cycles_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return cycles_.empty(); }
+
+    [[nodiscard]] const VectorCycle& operator[](std::size_t i) const noexcept {
+        return cycles_[i];
+    }
+    [[nodiscard]] std::span<const VectorCycle> cycles() const noexcept {
+        return cycles_;
+    }
+
+    void push_back(VectorCycle cycle) { cycles_.push_back(cycle); }
+    void reserve(std::size_t n) { cycles_.reserve(n); }
+    void append(const TestPattern& other);
+
+    /// Convenience builders for the march/checkerboard generators.
+    void write(std::uint32_t address, std::uint16_t data, bool burst = false);
+    void read(std::uint32_t address, bool burst = false);
+    void nop();
+
+    [[nodiscard]] bool operator==(const TestPattern&) const = default;
+
+private:
+    std::string name_;
+    std::vector<VectorCycle> cycles_;
+};
+
+}  // namespace cichar::testgen

@@ -1,0 +1,136 @@
+#include "testgen/pattern_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cichar::testgen {
+namespace {
+
+constexpr const char* kMagic = "cichar-pattern";
+constexpr int kVersion = 1;
+
+[[noreturn]] void malformed(const std::string& what) {
+    throw std::runtime_error("pattern file malformed: " + what);
+}
+
+std::string escape_name(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        if (c == ' ') {
+            out += "%20";
+        } else if (c == '\n' || c == '\r') {
+            out += "%0A";
+        } else if (c == '%') {
+            out += "%25";
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string unescape_name(const std::string& escaped) {
+    std::string out;
+    out.reserve(escaped.size());
+    for (std::size_t i = 0; i < escaped.size(); ++i) {
+        if (escaped[i] == '%' && i + 2 < escaped.size()) {
+            const std::string code = escaped.substr(i + 1, 2);
+            if (code == "20") out.push_back(' ');
+            else if (code == "0A") out.push_back('\n');
+            else if (code == "25") out.push_back('%');
+            else malformed("bad escape %" + code);
+            i += 2;
+        } else {
+            out.push_back(escaped[i]);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+void save_pattern(std::ostream& out, const TestPattern& pattern) {
+    out << kMagic << ' ' << kVersion << '\n';
+    out << "name " << escape_name(pattern.name()) << '\n';
+    out << "cycles " << pattern.size() << '\n';
+    out << "# op addr data CE OE burst\n";
+    char buf[64];
+    for (const VectorCycle& vc : pattern.cycles()) {
+        std::snprintf(buf, sizeof(buf), "%s 0x%03X 0x%04X %d %d %d\n",
+                      to_string(vc.op), vc.address, vc.data,
+                      vc.chip_enable ? 1 : 0, vc.output_enable ? 1 : 0,
+                      vc.burst ? 1 : 0);
+        out << buf;
+    }
+    if (!out) throw std::ios_base::failure("save_pattern: write failed");
+}
+
+TestPattern load_pattern(std::istream& in) {
+    std::string token;
+    if (!(in >> token) || token != kMagic) malformed("bad magic");
+    int version = 0;
+    if (!(in >> version) || version != kVersion) malformed("bad version");
+    if (!(in >> token) || token != "name") malformed("expected name");
+    std::string escaped;
+    if (!(in >> escaped)) malformed("missing name value");
+    if (!(in >> token) || token != "cycles") malformed("expected cycles");
+    long long cycles = -1;
+    if (!(in >> cycles) || cycles < 0) malformed("bad cycle count");
+
+    TestPattern pattern(unescape_name(escaped));
+    pattern.reserve(static_cast<std::size_t>(cycles));
+    std::string line;
+    std::getline(in, line);  // finish the cycles line
+    while (static_cast<long long>(pattern.size()) < cycles &&
+           std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream row(line);
+        std::string op;
+        std::string addr;
+        std::string data;
+        int ce = 0;
+        int oe = 0;
+        int burst = 0;
+        if (!(row >> op >> addr >> data >> ce >> oe >> burst)) {
+            malformed("bad vector line: " + line);
+        }
+        VectorCycle vc;
+        if (op == "WR") vc.op = BusOp::kWrite;
+        else if (op == "RD") vc.op = BusOp::kRead;
+        else if (op == "NOP") vc.op = BusOp::kNop;
+        else malformed("bad op: " + op);
+        try {
+            vc.address = static_cast<std::uint32_t>(std::stoul(addr, nullptr, 0));
+            vc.data = static_cast<std::uint16_t>(std::stoul(data, nullptr, 0));
+        } catch (const std::exception&) {
+            malformed("bad address/data in: " + line);
+        }
+        vc.chip_enable = ce != 0;
+        vc.output_enable = oe != 0;
+        vc.burst = burst != 0;
+        pattern.push_back(vc);
+    }
+    if (static_cast<long long>(pattern.size()) != cycles) {
+        malformed("truncated: expected " + std::to_string(cycles) +
+                  " vectors, got " + std::to_string(pattern.size()));
+    }
+    return pattern;
+}
+
+void save_pattern_file(const std::string& path, const TestPattern& pattern) {
+    std::ofstream out(path);
+    if (!out) throw std::ios_base::failure("cannot open for write: " + path);
+    save_pattern(out, pattern);
+}
+
+TestPattern load_pattern_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::ios_base::failure("cannot open for read: " + path);
+    return load_pattern(in);
+}
+
+}  // namespace cichar::testgen

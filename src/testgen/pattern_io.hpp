@@ -1,0 +1,34 @@
+// ATE vector file I/O. Real testers load stimulus from pattern files; this
+// is a compact ASCII format in that spirit, so worst-case tests found by
+// the hunt can be exported, inspected, diffed, and re-imported bit-exactly
+// (e.g. for the paper's follow-up wafer-probe or circuit-simulation
+// analysis).
+//
+// Format (one vector per line, '#' comments):
+//   cichar-pattern 1
+//   name <pattern name, URL-ish escaped spaces>
+//   cycles <n>
+//   # op addr data CE OE burst
+//   WR 0x01F 0x5555 1 0 0
+//   RD 0x01F 0x0000 1 1 1
+//   NOP 0x000 0x0000 0 0 0
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "testgen/pattern.hpp"
+
+namespace cichar::testgen {
+
+/// Writes the pattern. Throws std::ios_base::failure on stream errors.
+void save_pattern(std::ostream& out, const TestPattern& pattern);
+
+/// Reads a pattern. Throws std::runtime_error on malformed input.
+[[nodiscard]] TestPattern load_pattern(std::istream& in);
+
+/// File-path conveniences.
+void save_pattern_file(const std::string& path, const TestPattern& pattern);
+[[nodiscard]] TestPattern load_pattern_file(const std::string& path);
+
+}  // namespace cichar::testgen

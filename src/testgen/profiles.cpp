@@ -1,0 +1,91 @@
+#include "testgen/profiles.hpp"
+
+namespace cichar::testgen {
+
+TrafficProfile profile_code_fetch() {
+    PatternRecipe r;
+    r.cycles = 800;
+    r.write_fraction = 0.05;
+    r.nop_fraction = 0.05;
+    r.burst_length = 12.0;
+    r.row_locality = 0.8;
+    r.bank_conflict_bias = 0.05;
+    r.alternating_data_bias = 0.0;
+    r.solid_data_bias = 0.1;
+    r.toggle_bias = 0.0;
+    r.control_activity = 0.02;
+    r.seed = 0xC0DEF;
+    return {"code-fetch", r};
+}
+
+TrafficProfile profile_dsp_streaming() {
+    PatternRecipe r;
+    r.cycles = 800;
+    r.write_fraction = 0.5;
+    r.nop_fraction = 0.0;
+    r.burst_length = 8.0;
+    r.row_locality = 0.7;
+    r.bank_conflict_bias = 0.1;
+    r.alternating_data_bias = 0.1;
+    r.solid_data_bias = 0.0;
+    r.toggle_bias = 0.2;
+    r.control_activity = 0.02;
+    r.seed = 0xD5B;
+    return {"dsp-streaming", r};
+}
+
+TrafficProfile profile_packet_buffer() {
+    PatternRecipe r;
+    r.cycles = 600;
+    r.write_fraction = 0.5;
+    r.nop_fraction = 0.05;
+    r.burst_length = 3.0;
+    r.row_locality = 0.1;
+    r.bank_conflict_bias = 0.5;
+    r.alternating_data_bias = 0.05;
+    r.solid_data_bias = 0.05;
+    r.toggle_bias = 0.1;
+    r.control_activity = 0.08;
+    r.seed = 0x9AC;
+    return {"packet-buffer", r};
+}
+
+TrafficProfile profile_framebuffer() {
+    PatternRecipe r;
+    r.cycles = 700;
+    r.write_fraction = 0.85;
+    r.nop_fraction = 0.0;
+    r.burst_length = 10.0;
+    r.row_locality = 0.6;
+    r.bank_conflict_bias = 0.1;
+    r.alternating_data_bias = 0.4;
+    r.solid_data_bias = 0.2;
+    r.toggle_bias = 0.1;
+    r.control_activity = 0.02;
+    r.seed = 0xFB;
+    return {"framebuffer", r};
+}
+
+TrafficProfile profile_control_plane() {
+    PatternRecipe r;
+    r.cycles = 400;
+    r.write_fraction = 0.3;
+    r.nop_fraction = 0.2;
+    r.burst_length = 1.0;
+    r.row_locality = 0.05;
+    r.bank_conflict_bias = 0.3;
+    r.alternating_data_bias = 0.0;
+    r.solid_data_bias = 0.3;
+    r.toggle_bias = 0.0;
+    r.control_activity = 0.25;
+    r.seed = 0xC7;
+    return {"control-plane", r};
+}
+
+std::vector<TrafficProfile> all_profiles() {
+    return {profile_code_fetch(), profile_dsp_streaming(),
+            profile_packet_buffer(), profile_framebuffer(),
+            profile_control_plane()};
+}
+
+}  // namespace cichar::testgen

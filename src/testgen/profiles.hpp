@@ -1,0 +1,39 @@
+// Application traffic profiles: named recipe presets that mimic the bus
+// behaviour of real workloads ("bus control signals in real application
+// board", paper section 3). They give characterization campaigns a
+// realistic, reproducible starting set between the deterministic March
+// suite and fully random stimulus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testgen/recipe.hpp"
+
+namespace cichar::testgen {
+
+/// A named recipe preset.
+struct TrafficProfile {
+    std::string name;
+    PatternRecipe recipe;
+};
+
+/// CPU instruction fetch: long sequential bursts, few writes, quiet data.
+[[nodiscard]] TrafficProfile profile_code_fetch();
+
+/// DSP streaming: balanced read/write, strong row locality, steady bursts.
+[[nodiscard]] TrafficProfile profile_dsp_streaming();
+
+/// Packet buffer: short bursts, heavy bank interleaving, random payloads.
+[[nodiscard]] TrafficProfile profile_packet_buffer();
+
+/// Framebuffer blit: write-dominated, alternating-friendly data patterns.
+[[nodiscard]] TrafficProfile profile_framebuffer();
+
+/// Control-plane traffic: scattered single accesses, CE/OE disturbance.
+[[nodiscard]] TrafficProfile profile_control_plane();
+
+/// All presets (stable order).
+[[nodiscard]] std::vector<TrafficProfile> all_profiles();
+
+}  // namespace cichar::testgen

@@ -1,0 +1,148 @@
+#include "testgen/random_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "testgen/address_map.hpp"
+
+namespace cichar::testgen {
+
+RandomTestGenerator::RandomTestGenerator(RandomGeneratorOptions options)
+    : options_(options) {
+    assert(options_.min_cycles >= 1);
+    assert(options_.min_cycles <= options_.max_cycles);
+}
+
+PatternRecipe RandomTestGenerator::random_recipe(util::Rng& rng) const {
+    std::array<double, kSequenceGeneCount> genes{};
+    for (double& g : genes) g = rng.uniform();
+    PatternRecipe r =
+        PatternRecipe::decode(genes, options_.min_cycles, options_.max_cycles);
+    r.seed = rng();
+    return r;
+}
+
+TestConditions RandomTestGenerator::random_conditions(util::Rng& rng) const {
+    return options_.condition_bounds.decode(rng.uniform(), rng.uniform(),
+                                            rng.uniform(), rng.uniform());
+}
+
+TestPattern RandomTestGenerator::expand(const PatternRecipe& recipe,
+                                        std::string name) const {
+    util::Rng rng(recipe.seed);
+    TestPattern pattern(name.empty() ? "random" : std::move(name));
+    pattern.reserve(recipe.cycles);
+
+    std::uint32_t prev_addr = 0;
+    std::uint16_t prev_data = 0;
+    std::uint32_t burst_remaining = 0;
+    bool have_prev = false;
+    bool ce = true;
+    bool oe = false;
+
+    const double p_continue_burst =
+        recipe.burst_length > 1.0 ? 1.0 - 1.0 / recipe.burst_length : 0.0;
+
+    for (std::uint32_t i = 0; i < recipe.cycles; ++i) {
+        // Bus control disturbance: real application boards wiggle CE/OE
+        // asynchronously; this is the paper's "bus control signals" noise.
+        if (rng.bernoulli(recipe.control_activity)) {
+            if (rng.bernoulli(0.5)) ce = !ce;
+            else oe = !oe;
+        }
+
+        if (rng.bernoulli(recipe.nop_fraction)) {
+            VectorCycle vc;
+            vc.op = BusOp::kNop;
+            vc.chip_enable = ce;
+            vc.output_enable = oe;
+            pattern.push_back(vc);
+            burst_remaining = 0;
+            continue;
+        }
+
+        std::uint32_t address = 0;
+        bool in_burst = false;
+        if (burst_remaining > 0 && have_prev) {
+            address = AddressMap::wrap(prev_addr + 1);
+            --burst_remaining;
+            in_burst = true;
+        } else {
+            const double r = rng.uniform();
+            if (r < recipe.row_locality && have_prev) {
+                // Stay in the open row, hop columns.
+                address = AddressMap::compose(
+                    AddressMap::bank_of(prev_addr), AddressMap::row_of(prev_addr),
+                    static_cast<std::uint32_t>(rng.index(AddressMap::kColumns)));
+            } else if (r < recipe.row_locality + recipe.bank_conflict_bias &&
+                       have_prev) {
+                // Same bank, different row: forces a precharge/activate.
+                std::uint32_t row = static_cast<std::uint32_t>(
+                    rng.index(AddressMap::kRows));
+                if (row == AddressMap::row_of(prev_addr)) {
+                    row = (row + 1) % AddressMap::kRows;
+                }
+                address = AddressMap::compose(
+                    AddressMap::bank_of(prev_addr), row,
+                    static_cast<std::uint32_t>(rng.index(AddressMap::kColumns)));
+            } else {
+                address = static_cast<std::uint32_t>(rng.index(AddressMap::kWords));
+            }
+            if (rng.bernoulli(p_continue_burst)) {
+                burst_remaining = static_cast<std::uint32_t>(
+                    rng.uniform_int(1, static_cast<std::int64_t>(
+                                           std::max(1.0, recipe.burst_length))));
+            }
+        }
+
+        const bool is_write = rng.bernoulli(recipe.write_fraction);
+        std::uint16_t data = 0;
+        if (is_write) {
+            const double d = rng.uniform();
+            if (d < recipe.toggle_bias) {
+                data = static_cast<std::uint16_t>(~prev_data);
+            } else if (d < recipe.toggle_bias + recipe.alternating_data_bias) {
+                data = (i & 1u) != 0 ? std::uint16_t{0xAAAA}
+                                     : std::uint16_t{0x5555};
+            } else if (d < recipe.toggle_bias + recipe.alternating_data_bias +
+                               recipe.solid_data_bias) {
+                data = rng.bernoulli(0.5) ? std::uint16_t{0xFFFF}
+                                          : std::uint16_t{0x0000};
+            } else {
+                data = static_cast<std::uint16_t>(rng() & 0xFFFFu);
+            }
+        }
+
+        VectorCycle vc;
+        vc.address = address;
+        vc.data = data;
+        vc.op = is_write ? BusOp::kWrite : BusOp::kRead;
+        vc.chip_enable = ce;
+        vc.output_enable = is_write ? oe : true;
+        vc.burst = in_burst;
+        pattern.push_back(vc);
+
+        prev_addr = address;
+        if (is_write) prev_data = data;
+        have_prev = true;
+    }
+    return pattern;
+}
+
+Test RandomTestGenerator::random_test(util::Rng& rng, std::string name) const {
+    const PatternRecipe recipe = random_recipe(rng);
+    const TestConditions conditions = random_conditions(rng);
+    return make_test(recipe, conditions, std::move(name));
+}
+
+Test RandomTestGenerator::make_test(const PatternRecipe& recipe,
+                                    const TestConditions& conditions,
+                                    std::string name) const {
+    Test t;
+    t.name = name.empty() ? "random" : std::move(name);
+    t.pattern = expand(recipe, t.name);
+    t.conditions = conditions;
+    return t;
+}
+
+}  // namespace cichar::testgen

@@ -1,0 +1,73 @@
+#include "testgen/recipe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cichar::testgen {
+namespace {
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+PatternRecipe PatternRecipe::decode(
+    const std::array<double, kSequenceGeneCount>& genes,
+    std::uint32_t min_cycles, std::uint32_t max_cycles) {
+    PatternRecipe r;
+    const double span = static_cast<double>(max_cycles - min_cycles);
+    r.cycles = min_cycles +
+               static_cast<std::uint32_t>(std::lround(clamp01(genes[0]) * span));
+    r.write_fraction = clamp01(genes[1]);
+    r.nop_fraction = 0.3 * clamp01(genes[2]);
+    r.burst_length = 1.0 + 15.0 * clamp01(genes[3]);
+    r.row_locality = clamp01(genes[4]);
+    r.bank_conflict_bias = clamp01(genes[5]);
+    r.alternating_data_bias = clamp01(genes[6]);
+    r.solid_data_bias = clamp01(genes[7]);
+    r.toggle_bias = clamp01(genes[8]);
+    r.control_activity = clamp01(genes[9]);
+    // Data-mode probabilities share one draw; keep their sum <= 1 so the
+    // remainder is random data.
+    const double data_sum =
+        r.alternating_data_bias + r.solid_data_bias + r.toggle_bias;
+    if (data_sum > 1.0) {
+        r.alternating_data_bias /= data_sum;
+        r.solid_data_bias /= data_sum;
+        r.toggle_bias /= data_sum;
+    }
+    return r;
+}
+
+std::array<double, kSequenceGeneCount> PatternRecipe::encode(
+    std::uint32_t min_cycles, std::uint32_t max_cycles) const {
+    std::array<double, kSequenceGeneCount> genes{};
+    const double span = static_cast<double>(max_cycles - min_cycles);
+    genes[0] = span > 0.0
+                   ? clamp01(static_cast<double>(cycles - min_cycles) / span)
+                   : 0.0;
+    genes[1] = clamp01(write_fraction);
+    genes[2] = clamp01(nop_fraction / 0.3);
+    genes[3] = clamp01((burst_length - 1.0) / 15.0);
+    genes[4] = clamp01(row_locality);
+    genes[5] = clamp01(bank_conflict_bias);
+    genes[6] = clamp01(alternating_data_bias);
+    genes[7] = clamp01(solid_data_bias);
+    genes[8] = clamp01(toggle_bias);
+    genes[9] = clamp01(control_activity);
+    return genes;
+}
+
+std::string PatternRecipe::describe() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "cycles=%u wr=%.2f nop=%.2f burst=%.1f loc=%.2f bank=%.2f "
+                  "alt=%.2f solid=%.2f tog=%.2f ctl=%.2f seed=%llu",
+                  cycles, write_fraction, nop_fraction, burst_length,
+                  row_locality, bank_conflict_bias, alternating_data_bias,
+                  solid_data_bias, toggle_bias, control_activity,
+                  static_cast<unsigned long long>(seed));
+    return buf;
+}
+
+}  // namespace cichar::testgen

@@ -1,0 +1,52 @@
+// PatternRecipe: the statistical "genotype" of a random test. The random
+// test generator samples recipes; the GA's sequence-chromosome genes map
+// 1:1 onto recipe fields, so evolved chromosomes decode into concrete
+// vector patterns through the same generator (the reconfigured [9][10]
+// machinery the paper builds on).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cichar::testgen {
+
+/// Number of unit-interval sequence genes a recipe encodes to/from.
+inline constexpr std::size_t kSequenceGeneCount = 10;
+
+/// Statistical description of a stimulus pattern.
+///
+/// All probabilities are in [0, 1]; `cycles` is bounded by the generator
+/// options (paper: 100-1000 vector cycles per trip-point measurement).
+struct PatternRecipe {
+    std::uint32_t cycles = 500;       ///< vector cycles to emit
+    double write_fraction = 0.5;      ///< P(write | non-nop op)
+    double nop_fraction = 0.05;       ///< P(idle cycle)
+    double burst_length = 4.0;        ///< mean burst run length, in [1, 16]
+    double row_locality = 0.5;        ///< P(stay in the open row)
+    double bank_conflict_bias = 0.2;  ///< P(same bank, different row)
+    double alternating_data_bias = 0.2; ///< P(0x5555/0xAAAA data)
+    double solid_data_bias = 0.2;     ///< P(0x0000/0xFFFF data)
+    double toggle_bias = 0.2;         ///< P(complement previous data word)
+    double control_activity = 0.1;    ///< P(CE/OE disturbance per cycle)
+
+    /// Deterministic stream seed; a recipe always expands to the same
+    /// pattern. Not part of the gene encoding.
+    std::uint64_t seed = 1;
+
+    [[nodiscard]] bool operator==(const PatternRecipe&) const = default;
+
+    /// Maps unit-interval genes to an in-range recipe.
+    [[nodiscard]] static PatternRecipe decode(
+        const std::array<double, kSequenceGeneCount>& genes,
+        std::uint32_t min_cycles, std::uint32_t max_cycles);
+
+    /// Inverse of decode (genes clamped to [0, 1]).
+    [[nodiscard]] std::array<double, kSequenceGeneCount> encode(
+        std::uint32_t min_cycles, std::uint32_t max_cycles) const;
+
+    /// Compact human-readable summary for reports and the database.
+    [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace cichar::testgen

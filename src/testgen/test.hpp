@@ -1,0 +1,30 @@
+// A Test is the unit the whole system revolves around: one stimulus
+// pattern applied at one set of conditions. The ATE measures trip points
+// *per test*; the NN learns test -> trip point; the GA evolves tests.
+#pragma once
+
+#include <string>
+
+#include "testgen/conditions.hpp"
+#include "testgen/pattern.hpp"
+
+namespace cichar::testgen {
+
+/// Pattern + conditions, with a name for reports and the database.
+struct Test {
+    std::string name;
+    TestPattern pattern;
+    TestConditions conditions;
+};
+
+/// Builds a Test whose name is taken from the pattern.
+[[nodiscard]] inline Test make_test(TestPattern pattern,
+                                    TestConditions conditions = {}) {
+    Test t;
+    t.name = pattern.name();
+    t.pattern = std::move(pattern);
+    t.conditions = conditions;
+    return t;
+}
+
+}  // namespace cichar::testgen

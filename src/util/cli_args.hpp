@@ -1,0 +1,47 @@
+// Minimal --flag argument parser used by the cichar CLI (and available to
+// any downstream tool). Flags are `--key value` or bare `--key`; values
+// never start with `--`. Unknown positional arguments mark the parse as
+// failed so the caller can print usage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cichar::util {
+
+class CliArgs {
+public:
+    /// Parses argv[first..argc). Bare flags store an empty value.
+    CliArgs(int argc, const char* const* argv, int first = 1);
+
+    /// Convenience for tests: tokens as strings.
+    explicit CliArgs(const std::vector<std::string>& tokens);
+
+    /// False when a positional (non `--`) token was encountered.
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+    [[nodiscard]] bool has(const std::string& key) const;
+
+    /// Raw value ("" for bare flags / missing keys with no fallback).
+    [[nodiscard]] std::string get(const std::string& key,
+                                  const std::string& fallback = "") const;
+
+    /// Numeric accessors; return the fallback when missing or empty, and
+    /// throw std::invalid_argument (from std::stoull/stod) on junk.
+    [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                        std::uint64_t fallback) const;
+    [[nodiscard]] double get_double(const std::string& key,
+                                    double fallback) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+private:
+    void parse(const std::vector<std::string>& tokens);
+
+    std::map<std::string, std::string> values_;
+    bool ok_ = true;
+};
+
+}  // namespace cichar::util

@@ -1,0 +1,69 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace cichar::util {
+
+std::string CsvWriter::escape(std::string_view cell) {
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quotes) return std::string(cell);
+    std::string out;
+    out.reserve(cell.size() + 2);
+    out.push_back('"');
+    for (const char c : cell) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void CsvWriter::raw_row(std::span<const std::string> escaped) {
+    for (std::size_t i = 0; i < escaped.size(); ++i) {
+        if (i > 0) *out_ << ',';
+        *out_ << escaped[i];
+    }
+    *out_ << '\n';
+    ++rows_;
+}
+
+void CsvWriter::row(std::span<const std::string> cells) {
+    std::vector<std::string> escaped;
+    escaped.reserve(cells.size());
+    for (const auto& cell : cells) escaped.push_back(escape(cell));
+    raw_row(escaped);
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> cells) {
+    std::vector<std::string> escaped;
+    escaped.reserve(cells.size());
+    for (const auto cell : cells) escaped.push_back(escape(cell));
+    raw_row(escaped);
+}
+
+void CsvWriter::numeric_row(std::span<const double> cells) {
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (const double v : cells) formatted.push_back(format_double(v));
+    raw_row(formatted);
+}
+
+void CsvWriter::labeled_row(std::string_view label,
+                            std::span<const double> cells) {
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size() + 1);
+    formatted.push_back(escape(label));
+    for (const double v : cells) formatted.push_back(format_double(v));
+    raw_row(formatted);
+}
+
+std::string format_double(double value) {
+    char buf[64];
+    const auto result =
+        std::to_chars(buf, buf + sizeof(buf), value, std::chars_format::general);
+    return std::string(buf, result.ptr);
+}
+
+}  // namespace cichar::util

@@ -1,0 +1,44 @@
+// Minimal CSV writer for bench artifacts (shmoo grids, trip-point series).
+// Quotes only when required, always writes '\n' line endings.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cichar::util {
+
+/// Streams rows to an std::ostream in RFC-4180-compatible CSV.
+class CsvWriter {
+public:
+    /// The writer does not own the stream; it must outlive the writer.
+    explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+    /// Writes a header or data row of strings.
+    void row(std::span<const std::string> cells);
+    void row(std::initializer_list<std::string_view> cells);
+
+    /// Writes a row of numeric cells with full double precision.
+    void numeric_row(std::span<const double> cells);
+
+    /// Writes a row whose first cell is a label followed by numbers.
+    void labeled_row(std::string_view label, std::span<const double> cells);
+
+    [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+    /// Escapes one cell per RFC 4180 (quote if it contains , " or newline).
+    [[nodiscard]] static std::string escape(std::string_view cell);
+
+private:
+    void raw_row(std::span<const std::string> escaped);
+
+    std::ostream* out_;
+    std::size_t rows_ = 0;
+};
+
+/// Formats a double compactly (shortest round-trip-safe representation).
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace cichar::util

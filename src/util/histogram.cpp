@@ -1,0 +1,81 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "util/ascii.hpp"
+
+namespace cichar::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+    assert(bins >= 1);
+    assert(lo < hi);
+}
+
+Histogram Histogram::of(std::span<const double> data, std::size_t bins) {
+    assert(!data.empty());
+    double lo = data[0];
+    double hi = data[0];
+    for (const double v : data) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    if (lo == hi) {  // degenerate data: open a symmetric window
+        lo -= 0.5;
+        hi += 0.5;
+    } else {
+        const double pad = 0.01 * (hi - lo);
+        lo -= pad;
+        hi += pad;
+    }
+    Histogram h(lo, hi, bins);
+    h.add_all(data);
+    return h;
+}
+
+void Histogram::add(double value) noexcept {
+    const double t = (value - lo_) / (hi_ - lo_);
+    const auto raw = static_cast<long long>(
+        t * static_cast<double>(counts_.size()));
+    const auto bin = static_cast<std::size_t>(std::clamp<long long>(
+        raw, 0, static_cast<long long>(counts_.size()) - 1));
+    ++counts_[bin];
+    ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+    for (const double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept {
+    return bin_lo(bin + 1);
+}
+
+std::size_t Histogram::mode_bin() const noexcept {
+    return static_cast<std::size_t>(
+        std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render(std::size_t max_width, int precision) const {
+    std::size_t peak = 0;
+    for (const std::size_t c : counts_) peak = std::max(peak, c);
+    std::ostringstream out;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        out << fixed(bin_lo(b), precision) << " .. "
+            << fixed(bin_hi(b), precision) << " | "
+            << bar(static_cast<double>(counts_[b]),
+                   static_cast<double>(std::max<std::size_t>(1, peak)),
+                   max_width)
+            << ' ' << counts_[b] << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace cichar::util

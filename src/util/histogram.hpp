@@ -1,0 +1,49 @@
+// Fixed-bin histogram with ASCII rendering, used by benches and examples
+// to sketch trip point distributions (the Fig. 2 spread view).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cichar::util {
+
+class Histogram {
+public:
+    /// `bins` equal-width bins over [lo, hi); values outside clamp to the
+    /// edge bins. Requires bins >= 1 and lo < hi.
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /// Convenience: bounds from the data (non-empty), padded slightly.
+    [[nodiscard]] static Histogram of(std::span<const double> data,
+                                      std::size_t bins = 20);
+
+    void add(double value) noexcept;
+    void add_all(std::span<const double> values) noexcept;
+
+    [[nodiscard]] std::size_t bin_count() const noexcept {
+        return counts_.size();
+    }
+    [[nodiscard]] std::size_t count(std::size_t bin) const noexcept {
+        return counts_[bin];
+    }
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+    [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
+    [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
+
+    /// Index of the fullest bin (first on ties).
+    [[nodiscard]] std::size_t mode_bin() const noexcept;
+
+    /// ASCII rendering: one row per bin, `#` bars scaled to `max_width`,
+    /// labels formatted with `precision` decimals.
+    [[nodiscard]] std::string render(std::size_t max_width = 40,
+                                     int precision = 2) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+}  // namespace cichar::util

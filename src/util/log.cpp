@@ -1,0 +1,29 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace cichar::util {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+std::ostream* Log::sink_ = nullptr;
+
+void Log::set_level(LogLevel level) noexcept { level_ = level; }
+
+LogLevel Log::level() noexcept { return level_; }
+
+void Log::set_sink(std::ostream* sink) noexcept { sink_ = sink; }
+
+void Log::write(LogLevel level, std::string_view message) {
+    std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
+    const char* tag = "?";
+    switch (level) {
+        case LogLevel::kDebug: tag = "DEBUG"; break;
+        case LogLevel::kInfo: tag = "INFO "; break;
+        case LogLevel::kWarn: tag = "WARN "; break;
+        case LogLevel::kError: tag = "ERROR"; break;
+        case LogLevel::kOff: return;
+    }
+    out << "[cichar " << tag << "] " << message << '\n';
+}
+
+}  // namespace cichar::util

@@ -1,0 +1,57 @@
+// Tiny leveled logger. Characterization runs are long; flows emit
+// progress at Info level, and tests can silence everything.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace cichar::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger configuration. Not thread-safe by design: the
+/// library is single-threaded (the ATE serializes all measurements).
+class Log {
+public:
+    static void set_level(LogLevel level) noexcept;
+    [[nodiscard]] static LogLevel level() noexcept;
+
+    /// Redirects output (defaults to std::clog). Pass nullptr to restore.
+    static void set_sink(std::ostream* sink) noexcept;
+
+    static void write(LogLevel level, std::string_view message);
+
+private:
+    static LogLevel level_;
+    static std::ostream* sink_;
+};
+
+namespace detail {
+template <typename... Args>
+void log_at(LogLevel level, Args&&... args) {
+    if (level < Log::level()) return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    Log::write(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+    detail::log_at(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+    detail::log_at(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+    detail::log_at(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+    detail::log_at(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace cichar::util

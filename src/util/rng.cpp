@@ -1,0 +1,118 @@
+#include "util/rng.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace cichar::util {
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+    // A state of all zeros would be a fixed point; splitmix64 cannot
+    // produce four zero outputs in a row, so no explicit guard is needed.
+}
+
+std::uint64_t Rng::operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    assert(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo);
+    if (span == Rng::max()) return static_cast<std::int64_t>((*this)());
+    // Bitmask rejection: unbiased and branch-cheap (mask halves the reject
+    // probability below 0.5 per draw).
+    const std::uint64_t mask = ~std::uint64_t{0} >> std::countl_zero(span | 1);
+    std::uint64_t draw = 0;
+    do {
+        draw = (*this)() & mask;
+    } while (draw > span);
+    return lo + static_cast<std::int64_t>(draw);
+}
+
+std::size_t Rng::index(std::size_t n) noexcept {
+    assert(n > 0);
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+bool Rng::bernoulli(double p) noexcept {
+    return uniform() < p;
+}
+
+double Rng::normal() noexcept {
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_normal_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_normal_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+Rng Rng::fork(std::uint64_t salt) noexcept {
+    return Rng((*this)() ^ (salt * 0xD1B54A32D192ED03ULL));
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t pool) {
+    assert(n <= pool);
+    std::vector<std::size_t> all(pool);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    // Partial Fisher-Yates: only the first n slots need to be randomized.
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j = i + index(pool - i);
+        std::swap(all[i], all[j]);
+    }
+    all.resize(n);
+    return all;
+}
+
+}  // namespace cichar::util

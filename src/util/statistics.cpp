@@ -1,0 +1,113 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cichar::util {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept {
+    return std::sqrt(variance());
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::span<const double> data, double q) {
+    assert(!data.empty());
+    assert(q >= 0.0 && q <= 1.0);
+    std::vector<double> sorted(data.begin(), data.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> data) {
+    assert(!data.empty());
+    RunningStats stats;
+    for (const double x : data) stats.add(x);
+    Summary s;
+    s.count = stats.count();
+    s.mean = stats.mean();
+    s.stddev = stats.stddev();
+    s.min = stats.min();
+    s.max = stats.max();
+    s.p25 = percentile(data, 0.25);
+    s.median = percentile(data, 0.50);
+    s.p75 = percentile(data, 0.75);
+    return s;
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+    assert(x.size() == y.size());
+    if (x.size() < 2) return 0.0;
+    RunningStats sx;
+    RunningStats sy;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx.add(x[i]);
+        sy.add(y[i]);
+    }
+    double cov = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+    }
+    cov /= static_cast<double>(x.size() - 1);
+    const double denom = sx.stddev() * sy.stddev();
+    if (denom == 0.0) return 0.0;
+    return cov / denom;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+    assert(n >= 1);
+    std::vector<double> out;
+    out.reserve(n);
+    if (n == 1) {
+        out.push_back(lo);
+        return out;
+    }
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(lo + step * static_cast<double>(i));
+    }
+    out.back() = hi;  // avoid accumulated rounding at the end point
+    return out;
+}
+
+}  // namespace cichar::util

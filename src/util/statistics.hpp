@@ -1,0 +1,63 @@
+// Small statistics toolkit used throughout the characterization flows:
+// running moments for measurement ledgers, percentiles for trip-point
+// spread reporting, and a compact Summary for bench tables.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cichar::util {
+
+/// Welford running mean/variance with min/max tracking.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+    [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+    /// Merges another accumulator (parallel Welford combine).
+    void merge(const RunningStats& other) noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double p25 = 0.0;
+    double median = 0.0;
+    double p75 = 0.0;
+    double max = 0.0;
+};
+
+/// Linear-interpolated percentile, q in [0, 1]. Requires non-empty data.
+[[nodiscard]] double percentile(std::span<const double> data, double q);
+
+/// Builds a Summary from a sample. Requires non-empty data.
+[[nodiscard]] Summary summarize(std::span<const double> data);
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+[[nodiscard]] double correlation(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Evenly spaced grid of `n` points from lo to hi inclusive (n >= 2),
+/// or the single point lo when n == 1.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace cichar::util

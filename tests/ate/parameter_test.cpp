@@ -1,0 +1,72 @@
+#include "ate/parameter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::ate {
+namespace {
+
+TEST(ParameterTest, DataValidTimeFactory) {
+    const Parameter p = Parameter::data_valid_time();
+    EXPECT_EQ(p.name, "T_DQ");
+    EXPECT_EQ(p.kind, device::ParameterKind::kDataValidTime);
+    EXPECT_DOUBLE_EQ(p.spec, 20.0);
+    EXPECT_EQ(p.spec_type, SpecType::kMinLimit);
+    EXPECT_TRUE(p.fail_high);
+    EXPECT_LT(p.search_start, p.search_end);
+}
+
+TEST(ParameterTest, MinVddFactoryReversed) {
+    const Parameter p = Parameter::min_vdd();
+    EXPECT_FALSE(p.fail_high);
+    EXPECT_GT(p.search_start, p.search_end);  // searching downward
+    EXPECT_EQ(p.spec_type, SpecType::kMaxLimit);
+}
+
+TEST(ParameterTest, CharacterizationRange) {
+    const Parameter p = Parameter::data_valid_time();
+    EXPECT_DOUBLE_EQ(p.characterization_range(), 30.0);
+    const Parameter v = Parameter::min_vdd();
+    EXPECT_NEAR(v.characterization_range(), 1.2, 1e-12);
+}
+
+TEST(ParameterTest, PassAndFailSidesFailHigh) {
+    const Parameter p = Parameter::data_valid_time();
+    EXPECT_DOUBLE_EQ(p.pass_side(), 15.0);
+    EXPECT_DOUBLE_EQ(p.fail_side(), 45.0);
+    EXPECT_DOUBLE_EQ(p.toward_fail(), 1.0);
+}
+
+TEST(ParameterTest, PassAndFailSidesFailLow) {
+    const Parameter p = Parameter::min_vdd();
+    EXPECT_DOUBLE_EQ(p.pass_side(), 2.2);
+    EXPECT_DOUBLE_EQ(p.fail_side(), 1.0);
+    EXPECT_DOUBLE_EQ(p.toward_fail(), -1.0);
+}
+
+TEST(ParameterTest, QuantizeSnapsToGrid) {
+    Parameter p = Parameter::data_valid_time();  // resolution 0.1
+    EXPECT_NEAR(p.quantize(20.04), 20.0, 1e-9);
+    EXPECT_NEAR(p.quantize(20.06), 20.1, 1e-9);
+    p.resolution = 0.0;
+    EXPECT_DOUBLE_EQ(p.quantize(20.0404), 20.0404);  // disabled
+}
+
+TEST(ParameterTest, ClampIntoRange) {
+    const Parameter p = Parameter::data_valid_time();
+    EXPECT_DOUBLE_EQ(p.clamp(10.0), 15.0);
+    EXPECT_DOUBLE_EQ(p.clamp(50.0), 45.0);
+    EXPECT_DOUBLE_EQ(p.clamp(30.0), 30.0);
+    const Parameter v = Parameter::min_vdd();  // reversed bounds
+    EXPECT_DOUBLE_EQ(v.clamp(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(v.clamp(3.0), 2.2);
+}
+
+TEST(ParameterTest, MaxFrequencyFactory) {
+    const Parameter p = Parameter::max_frequency();
+    EXPECT_EQ(p.kind, device::ParameterKind::kMaxFrequency);
+    EXPECT_TRUE(p.fail_high);
+    EXPECT_DOUBLE_EQ(p.spec, 100.0);
+}
+
+}  // namespace
+}  // namespace cichar::ate

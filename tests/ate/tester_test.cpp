@@ -1,0 +1,144 @@
+#include "ate/tester.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/memory_chip.hpp"
+
+namespace cichar::ate {
+namespace {
+
+testgen::Test simple_test() {
+    testgen::TestPattern p("t");
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        p.write(i % 32, static_cast<std::uint16_t>(i));
+    }
+    return testgen::make_test(std::move(p));
+}
+
+device::MemoryChipOptions noiseless() {
+    device::MemoryChipOptions o;
+    o.noise_sigma_ns = 0.0;
+    return o;
+}
+
+TEST(TesterTest, ApplyDelegatesToDut) {
+    device::MemoryTestChip chip({}, noiseless());
+    Tester tester(chip);
+    const testgen::Test t = simple_test();
+    const Parameter p = Parameter::data_valid_time();
+    const double truth =
+        chip.true_parameter(t, device::ParameterKind::kDataValidTime);
+    EXPECT_TRUE(tester.apply(t, p, truth - 1.0));
+    EXPECT_FALSE(tester.apply(t, p, truth + 1.0));
+}
+
+TEST(TesterTest, SettingQuantizedToResolution) {
+    device::MemoryTestChip chip({}, noiseless());
+    Tester tester(chip);
+    const testgen::Test t = simple_test();
+    Parameter p = Parameter::data_valid_time();
+    const double truth =
+        chip.true_parameter(t, device::ParameterKind::kDataValidTime);
+    // A setting just above the truth but quantizing below it must pass.
+    const double setting = p.quantize(truth) + 0.04;  // rounds down
+    EXPECT_TRUE(tester.apply(t, p, setting) ==
+                (p.quantize(setting) <= truth));
+}
+
+TEST(TesterTest, LedgerCountsApplications) {
+    device::MemoryTestChip chip({}, noiseless());
+    Tester tester(chip);
+    const testgen::Test t = simple_test();
+    const Parameter p = Parameter::data_valid_time();
+    (void)tester.apply(t, p, 20.0);
+    (void)tester.apply(t, p, 25.0);
+    (void)tester.run_functional(t);
+    EXPECT_EQ(tester.log().total().applications, 3u);
+    EXPECT_EQ(tester.log().total().vector_cycles, 300u);
+    EXPECT_GT(tester.log().total().tester_seconds, 0.0);
+}
+
+TEST(TesterTest, PhasesSeparateCounters) {
+    device::MemoryTestChip chip({}, noiseless());
+    Tester tester(chip);
+    const testgen::Test t = simple_test();
+    const Parameter p = Parameter::data_valid_time();
+    tester.log().set_phase("alpha");
+    (void)tester.apply(t, p, 20.0);
+    tester.log().set_phase("beta");
+    (void)tester.apply(t, p, 20.0);
+    (void)tester.apply(t, p, 20.0);
+    EXPECT_EQ(tester.log().phase_counters("alpha").applications, 1u);
+    EXPECT_EQ(tester.log().phase_counters("beta").applications, 2u);
+    EXPECT_EQ(tester.log().total().applications, 3u);
+}
+
+TEST(TesterTest, PhaseScopeRestores) {
+    device::MemoryTestChip chip({}, noiseless());
+    Tester tester(chip);
+    tester.log().set_phase("outer");
+    {
+        PhaseScope scope(tester.log(), "inner");
+        EXPECT_EQ(tester.log().phase(), "inner");
+    }
+    EXPECT_EQ(tester.log().phase(), "outer");
+}
+
+TEST(TesterTest, OracleCountsMeasurements) {
+    device::MemoryTestChip chip({}, noiseless());
+    Tester tester(chip);
+    const testgen::Test t = simple_test();
+    const Parameter p = Parameter::data_valid_time();
+    const Oracle oracle = tester.oracle(t, p);
+    (void)oracle(20.0);
+    (void)oracle(30.0);
+    EXPECT_EQ(tester.log().total().applications, 2u);
+}
+
+TEST(TesterTest, SettleCoolsDut) {
+    device::MemoryChipOptions opts = noiseless();
+    opts.enable_drift = true;
+    device::MemoryTestChip chip({}, opts);
+    Tester tester(chip);
+    const testgen::Test t = simple_test();
+    const Parameter p = Parameter::data_valid_time();
+    for (int i = 0; i < 100; ++i) (void)tester.apply(t, p, 16.0);
+    const double heat = chip.heat();
+    tester.settle();
+    EXPECT_LT(chip.heat(), heat);
+}
+
+TEST(TesterTest, ResetClearsLedger) {
+    device::MemoryTestChip chip({}, noiseless());
+    Tester tester(chip);
+    const testgen::Test t = simple_test();
+    (void)tester.run_functional(t);
+    tester.log().reset();
+    EXPECT_EQ(tester.log().total().applications, 0u);
+    EXPECT_TRUE(tester.log().phases().empty());
+}
+
+TEST(TesterTest, ReportMentionsPhases) {
+    device::MemoryTestChip chip({}, noiseless());
+    Tester tester(chip);
+    const testgen::Test t = simple_test();
+    tester.log().set_phase("shmoo");
+    (void)tester.run_functional(t);
+    const std::string report = tester.log().report();
+    EXPECT_NE(report.find("shmoo"), std::string::npos);
+    EXPECT_NE(report.find("TOTAL"), std::string::npos);
+}
+
+TEST(TesterTest, CycleSecondsOverride) {
+    device::MemoryTestChip chip({}, noiseless());
+    TesterOptions opts;
+    opts.setup_seconds_per_measurement = 0.0;
+    opts.cycle_seconds = 1e-6;
+    Tester tester(chip, opts);
+    const testgen::Test t = simple_test();  // 100 cycles
+    (void)tester.run_functional(t);
+    EXPECT_NEAR(tester.log().total().tester_seconds, 100e-6, 1e-12);
+}
+
+}  // namespace
+}  // namespace cichar::ate

@@ -1,0 +1,122 @@
+#include "core/characterizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/presets.hpp"
+#include "testgen/march.hpp"
+#include "testgen/profiles.hpp"
+
+namespace cichar::core {
+namespace {
+
+CharacterizerOptions fast_options() {
+    CharacterizerOptions opts;
+    opts.generator.condition_bounds = testgen::ConditionBounds::fixed_nominal();
+    opts.learner.training_tests = 40;
+    opts.learner.committee.members = 2;
+    opts.learner.committee.train.max_epochs = 50;
+    opts.optimizer.ga.population.size = 10;
+    opts.optimizer.ga.populations = 1;
+    opts.optimizer.ga.max_generations = 5;
+    opts.optimizer.nn_candidates = 80;
+    return opts;
+}
+
+struct CharacterizerFixture : ::testing::Test {
+    CharacterizerFixture()
+        : chip(device::presets::noiseless()),
+          tester(chip),
+          characterizer(tester, ate::Parameter::data_valid_time(),
+                        fast_options()) {}
+
+    device::MemoryTestChip chip;
+    ate::Tester tester;
+    DeviceCharacterizer characterizer;
+};
+
+TEST_F(CharacterizerFixture, SingleTripMatchesPaperMarchRow) {
+    const TripPointRecord record = characterizer.single_trip(
+        testgen::make_test(testgen::march_c_minus().expand()));
+    ASSERT_TRUE(record.found);
+    EXPECT_NEAR(record.trip_point, 32.3, 0.15);
+    EXPECT_NEAR(record.wcr, 0.619, 0.005);
+    EXPECT_EQ(record.wcr_class, ga::WcrClass::kPass);
+    EXPECT_GT(tester.log().phase_counters("single-trip").applications, 0u);
+}
+
+TEST_F(CharacterizerFixture, CharacterizeExplicitTests) {
+    // The traffic-profile suite as an explicit characterization set.
+    const testgen::RandomTestGenerator generator(
+        characterizer.options().generator);
+    std::vector<testgen::Test> tests;
+    for (const testgen::TrafficProfile& p : testgen::all_profiles()) {
+        tests.push_back(generator.make_test(p.recipe, {}, p.name));
+    }
+    const DesignSpecVariation dsv = characterizer.characterize(tests);
+    EXPECT_EQ(dsv.size(), tests.size());
+    EXPECT_EQ(dsv.found_count(), tests.size());
+    // Profile names propagate into the records.
+    EXPECT_EQ(dsv.record(0).test_name, "code-fetch");
+    // All realistic profiles stay in the pass band.
+    for (const TripPointRecord& r : dsv.records()) {
+        EXPECT_EQ(r.wcr_class, ga::WcrClass::kPass) << r.test_name;
+    }
+}
+
+TEST_F(CharacterizerFixture, CharacterizeRandomCountsAndNames) {
+    util::Rng rng(3);
+    const DesignSpecVariation dsv = characterizer.characterize_random(7, rng);
+    EXPECT_EQ(dsv.size(), 7u);
+    EXPECT_EQ(dsv.record(0).test_name, "rand-0");
+    EXPECT_EQ(dsv.record(6).test_name, "rand-6");
+}
+
+TEST_F(CharacterizerFixture, ObjectiveDefaultsToParameterDirection) {
+    util::Rng rng(4);
+    const LearnResult learned = characterizer.learn(rng);
+    const WorstCaseReport report = characterizer.optimize(learned.model, rng);
+    EXPECT_EQ(report.objective, Objective::kDriftToMinimum);
+}
+
+TEST_F(CharacterizerFixture, AccessorsExposeConfiguration) {
+    EXPECT_EQ(characterizer.parameter().name, "T_DQ");
+    EXPECT_EQ(characterizer.options().learner.training_tests, 40u);
+    EXPECT_EQ(&characterizer.tester(), &tester);
+}
+
+TEST(CharacterizerMaxLimitTest, VminFacadeEndToEnd) {
+    device::MemoryTestChip chip = device::presets::noiseless();
+    ate::Tester tester(chip);
+    CharacterizerOptions opts = fast_options();
+    DeviceCharacterizer characterizer(tester, ate::Parameter::min_vdd(), opts);
+    util::Rng rng(5);
+    const WorstCaseReport report = characterizer.run_full(rng);
+    ASSERT_TRUE(report.worst_record.found);
+    EXPECT_EQ(report.objective, Objective::kDriftToMaximum);
+    // Worst Vmin is the highest one: it sits above the median random Vmin.
+    const DesignSpecVariation dsv = characterizer.characterize_random(10, rng);
+    EXPECT_GE(report.worst_record.trip_point, dsv.trip_summary().median);
+}
+
+TEST(CharacterizerMarginalDieTest, HuntFindsSpecViolation) {
+    // On the marginal preset the worst case crosses WCR = 1 — the paper's
+    // "fail" classification and the reason characterization exists.
+    device::MemoryTestChip chip = device::presets::marginal();
+    ate::Tester tester(chip);
+    CharacterizerOptions opts = fast_options();
+    opts.optimizer.ga.population.size = 16;
+    opts.optimizer.ga.max_generations = 30;
+    opts.optimizer.ga.populations = 2;
+    opts.optimizer.ga.target_fitness = 1.005;  // stop once the fail band
+                                               // is reached (WCR theorem)
+    opts.optimizer.nn_candidates = 300;
+    DeviceCharacterizer characterizer(
+        tester, ate::Parameter::data_valid_time(), opts);
+    util::Rng rng(6);
+    const WorstCaseReport report = characterizer.run_full(rng);
+    EXPECT_GT(report.outcome.best_fitness, 1.0);
+    EXPECT_EQ(ga::classify(report.outcome.best_fitness), ga::WcrClass::kFail);
+}
+
+}  // namespace
+}  // namespace cichar::core

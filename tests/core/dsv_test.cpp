@@ -1,0 +1,105 @@
+#include "core/dsv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::core {
+namespace {
+
+TripPointRecord record(const std::string& name, double trip, double wcr,
+                       bool found = true, std::size_t measurements = 10) {
+    TripPointRecord r;
+    r.test_name = name;
+    r.trip_point = trip;
+    r.wcr = wcr;
+    r.wcr_class = ga::classify(wcr);
+    r.found = found;
+    r.measurements = measurements;
+    return r;
+}
+
+TEST(WorstCaseRatioTest, MinLimitUsesEq6) {
+    const ate::Parameter p = ate::Parameter::data_valid_time();  // spec 20
+    EXPECT_NEAR(worst_case_ratio(p, 32.3), 0.619, 0.001);
+    EXPECT_NEAR(worst_case_ratio(p, 22.1), 0.904, 0.002);
+}
+
+TEST(WorstCaseRatioTest, MaxLimitUsesEq5) {
+    const ate::Parameter p = ate::Parameter::min_vdd();  // spec 1.6, max
+    EXPECT_NEAR(worst_case_ratio(p, 1.2), 0.75, 1e-9);
+    EXPECT_NEAR(worst_case_ratio(p, 1.7), 1.0625, 1e-9);
+}
+
+TEST(DsvTest, EmptyProperties) {
+    DesignSpecVariation dsv;
+    EXPECT_TRUE(dsv.empty());
+    EXPECT_EQ(dsv.found_count(), 0u);
+    EXPECT_EQ(dsv.trip_spread(), 0.0);
+    EXPECT_THROW((void)dsv.worst(), std::logic_error);
+    EXPECT_THROW((void)dsv.trip_summary(), std::logic_error);
+}
+
+TEST(DsvTest, WorstIsLargestWcr) {
+    DesignSpecVariation dsv;
+    dsv.add(record("a", 30.0, 0.66));
+    dsv.add(record("b", 25.0, 0.80));
+    dsv.add(record("c", 28.0, 0.71));
+    EXPECT_EQ(dsv.worst().test_name, "b");
+    EXPECT_EQ(dsv.size(), 3u);
+}
+
+TEST(DsvTest, UnfoundRecordsExcludedFromWorst) {
+    DesignSpecVariation dsv;
+    dsv.add(record("a", 30.0, 0.66));
+    TripPointRecord missing = record("ghost", 10.0, 2.0, /*found=*/false);
+    dsv.add(missing);
+    EXPECT_EQ(dsv.worst().test_name, "a");
+    EXPECT_EQ(dsv.found_count(), 1u);
+}
+
+TEST(DsvTest, TripSpread) {
+    DesignSpecVariation dsv;
+    dsv.add(record("a", 30.0, 0.66));
+    dsv.add(record("b", 25.5, 0.78));
+    dsv.add(record("c", 33.0, 0.6));
+    EXPECT_NEAR(dsv.trip_spread(), 7.5, 1e-12);
+}
+
+TEST(DsvTest, SpreadIgnoresUnfound) {
+    DesignSpecVariation dsv;
+    dsv.add(record("a", 30.0, 0.66));
+    dsv.add(record("x", 1.0, 0.0, /*found=*/false));
+    EXPECT_DOUBLE_EQ(dsv.trip_spread(), 0.0);
+}
+
+TEST(DsvTest, SummaryStatistics) {
+    DesignSpecVariation dsv;
+    for (const double trip : {25.0, 27.0, 29.0, 31.0, 33.0}) {
+        dsv.add(record("t", trip, 20.0 / trip));
+    }
+    const util::Summary s = dsv.trip_summary();
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.median, 29.0);
+    EXPECT_DOUBLE_EQ(s.min, 25.0);
+    EXPECT_DOUBLE_EQ(s.max, 33.0);
+}
+
+TEST(DsvTest, TotalMeasurements) {
+    DesignSpecVariation dsv;
+    dsv.add(record("a", 30.0, 0.6, true, 14));
+    dsv.add(record("b", 30.0, 0.6, true, 6));
+    dsv.add(record("c", 30.0, 0.6, false, 7));
+    EXPECT_EQ(dsv.total_measurements(), 27u);
+}
+
+TEST(DsvTest, RecordsSpanAccess) {
+    DesignSpecVariation dsv;
+    dsv.add(record("a", 30.0, 0.6));
+    dsv.add(record("b", 31.0, 0.58));
+    const auto records = dsv.records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[1].test_name, "b");
+    EXPECT_EQ(dsv.record(0).test_name, "a");
+}
+
+}  // namespace
+}  // namespace cichar::core

@@ -1,0 +1,182 @@
+#include "core/multi_trip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ate/tester.hpp"
+#include "device/memory_chip.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace cichar::core {
+namespace {
+
+device::MemoryChipOptions noiseless() {
+    device::MemoryChipOptions o;
+    o.noise_sigma_ns = 0.0;
+    return o;
+}
+
+std::vector<testgen::Test> random_tests(std::size_t n, std::uint64_t seed) {
+    testgen::RandomTestGenerator gen;
+    util::Rng rng(seed);
+    std::vector<testgen::Test> tests;
+    for (std::size_t i = 0; i < n; ++i) {
+        tests.push_back(gen.random_test(rng, "t" + std::to_string(i)));
+    }
+    return tests;
+}
+
+TEST(TripSessionTest, FirstMeasurementEstablishesRtp) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    TripSession session(tester, ate::Parameter::data_valid_time(),
+                        MultiTripOptions{});
+    EXPECT_FALSE(session.has_reference());
+    EXPECT_THROW((void)session.reference_trip_point(), std::logic_error);
+
+    const auto tests = random_tests(1, 1);
+    const TripPointRecord first = session.measure(tests[0]);
+    ASSERT_TRUE(first.found);
+    EXPECT_TRUE(session.has_reference());
+    EXPECT_NEAR(session.reference_trip_point(), first.trip_point, 0.11);
+}
+
+TEST(TripSessionTest, TripPointsMatchDeviceTruth) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    TripSession session(tester, param, MultiTripOptions{});
+    for (const testgen::Test& test : random_tests(10, 2)) {
+        const TripPointRecord record = session.measure(test);
+        ASSERT_TRUE(record.found) << test.name;
+        const double truth = chip.true_parameter(
+            test, device::ParameterKind::kDataValidTime);
+        EXPECT_NEAR(record.trip_point, truth, 2.0 * param.resolution)
+            << test.name;
+    }
+}
+
+TEST(TripSessionTest, FollowerCheaperThanFirst) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    TripSession session(tester, ate::Parameter::data_valid_time(),
+                        MultiTripOptions{});
+    const auto tests = random_tests(6, 3);
+    const TripPointRecord first = session.measure(tests[0]);
+    for (std::size_t i = 1; i < tests.size(); ++i) {
+        const TripPointRecord follow = session.measure(tests[i]);
+        EXPECT_LT(follow.measurements, first.measurements) << i;
+    }
+}
+
+TEST(TripSessionTest, WcrFilledFromParameterSpec) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    TripSession session(tester, param, MultiTripOptions{});
+    const auto tests = random_tests(1, 4);
+    const TripPointRecord r = session.measure(tests[0]);
+    ASSERT_TRUE(r.found);
+    EXPECT_NEAR(r.wcr, 20.0 / r.trip_point, 1e-9);
+    EXPECT_EQ(r.wcr_class, ga::classify(r.wcr));
+}
+
+TEST(MultiTripTest, CharacterizeProducesFullDsv) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    const MultiTripCharacterizer characterizer;
+    const auto tests = random_tests(8, 5);
+    const DesignSpecVariation dsv = characterizer.characterize(
+        tester, ate::Parameter::data_valid_time(), tests);
+    EXPECT_EQ(dsv.size(), 8u);
+    EXPECT_EQ(dsv.found_count(), 8u);
+    EXPECT_GT(dsv.trip_spread(), 0.5);  // trip points ARE test dependent
+}
+
+TEST(MultiTripTest, LedgerPhaseIsMultiTrip) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    const MultiTripCharacterizer characterizer;
+    const auto tests = random_tests(3, 6);
+    (void)characterizer.characterize(tester,
+                                     ate::Parameter::data_valid_time(), tests);
+    EXPECT_GT(tester.log().phase_counters("multi-trip").applications, 0u);
+}
+
+TEST(MultiTripTest, MinVddDirectionWorksToo) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    const MultiTripCharacterizer characterizer;
+    const auto tests = random_tests(5, 7);
+    const DesignSpecVariation dsv = characterizer.characterize(
+        tester, ate::Parameter::min_vdd(), tests);
+    EXPECT_EQ(dsv.found_count(), 5u);
+    for (const TripPointRecord& r : dsv.records()) {
+        EXPECT_GT(r.trip_point, 1.0);
+        EXPECT_LT(r.trip_point, 1.6);
+    }
+}
+
+TEST(MultiTripTest, FullSearchOnMissRecovers) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    MultiTripOptions opts;
+    opts.follow.max_iterations = 2;  // tiny window: far trips will miss
+    opts.follow.search_factor = 0.05;
+    opts.full_search_on_miss = true;
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    TripSession session(tester, param, opts);
+
+    // First test: benign (high trip point). Second: heavily stressed
+    // pattern with a much lower trip point, outside the tiny window.
+    testgen::RandomTestGenerator gen;
+    testgen::PatternRecipe calm;
+    calm.cycles = 300;
+    calm.write_fraction = 0.2;
+    calm.seed = 1;
+    testgen::PatternRecipe stressed;
+    stressed.cycles = 300;
+    stressed.write_fraction = 0.6;
+    stressed.toggle_bias = 0.6;
+    stressed.alternating_data_bias = 0.4;
+    stressed.bank_conflict_bias = 0.9;
+    stressed.seed = 2;
+    const testgen::Test calm_test = gen.make_test(calm, {}, "calm");
+    const testgen::Test hot_test = gen.make_test(stressed, {}, "hot");
+
+    (void)session.measure(calm_test);
+    const TripPointRecord hot = session.measure(hot_test);
+    ASSERT_TRUE(hot.found);
+    const double truth = chip.true_parameter(
+        hot_test, device::ParameterKind::kDataValidTime);
+    EXPECT_NEAR(hot.trip_point, truth, 0.3);
+}
+
+TEST(MultiTripTest, WithoutFallbackMissReported) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    MultiTripOptions opts;
+    opts.follow.max_iterations = 1;
+    opts.follow.search_factor = 0.01;
+    opts.full_search_on_miss = false;
+    TripSession session(tester, ate::Parameter::data_valid_time(), opts);
+
+    testgen::RandomTestGenerator gen;
+    testgen::PatternRecipe calm;
+    calm.cycles = 300;
+    calm.write_fraction = 0.2;
+    calm.seed = 1;
+    testgen::PatternRecipe stressed = calm;
+    stressed.write_fraction = 0.6;
+    stressed.toggle_bias = 0.6;
+    stressed.alternating_data_bias = 0.4;
+    stressed.bank_conflict_bias = 0.9;
+    stressed.seed = 2;
+
+    (void)session.measure(gen.make_test(calm, {}, "calm"));
+    const TripPointRecord hot =
+        session.measure(gen.make_test(stressed, {}, "hot"));
+    EXPECT_FALSE(hot.found);
+}
+
+}  // namespace
+}  // namespace cichar::core

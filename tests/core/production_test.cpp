@@ -1,0 +1,175 @@
+#include "core/production.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/memory_chip.hpp"
+
+namespace cichar::core {
+namespace {
+
+device::MemoryChipOptions noiseless() {
+    device::MemoryChipOptions o;
+    o.noise_sigma_ns = 0.0;
+    return o;
+}
+
+testgen::RandomGeneratorOptions nominal() {
+    testgen::RandomGeneratorOptions g;
+    g.condition_bounds = testgen::ConditionBounds::fixed_nominal();
+    return g;
+}
+
+WorstCaseDatabase sample_database() {
+    WorstCaseDatabase db;
+    testgen::RandomTestGenerator gen(nominal());
+    util::Rng rng(1);
+    for (int i = 0; i < 6; ++i) {
+        WorstCaseEntry e;
+        e.name = "wc-" + std::to_string(i);
+        e.recipe = gen.random_recipe(rng);
+        e.conditions = gen.random_conditions(rng);
+        e.wcr = 0.90 - 0.02 * i;
+        e.trip_point = 20.0 / e.wcr;
+        db.add(std::move(e));
+    }
+    return db;
+}
+
+TEST(ProductionBuildTest, StepsFromDatabase) {
+    const WorstCaseDatabase db = sample_database();
+    const ate::ProductionTestProgram program = build_production_program(
+        db, nominal(), ate::Parameter::data_valid_time(), 21.0);
+    // functional march + 3 worst-case steps by default.
+    ASSERT_EQ(program.step_count(), 4u);
+    EXPECT_TRUE(program.step(0).functional);
+    EXPECT_EQ(program.step(1).name, "worst-case-wc-0");  // highest WCR first
+    EXPECT_DOUBLE_EQ(program.step(1).limit, 21.0);
+    EXPECT_FALSE(program.step(1).functional);
+}
+
+TEST(ProductionBuildTest, OptionsRespected) {
+    const WorstCaseDatabase db = sample_database();
+    ProductionBuildOptions opts;
+    opts.worst_case_steps = 5;
+    opts.include_functional_march = false;
+    const ate::ProductionTestProgram program = build_production_program(
+        db, nominal(), ate::Parameter::data_valid_time(), 21.0, opts);
+    EXPECT_EQ(program.step_count(), 5u);
+    EXPECT_FALSE(program.step(0).functional);
+}
+
+TEST(ProductionBuildTest, StepCountClampedToDatabase) {
+    WorstCaseDatabase tiny;
+    testgen::RandomTestGenerator gen(nominal());
+    util::Rng rng(2);
+    WorstCaseEntry e;
+    e.name = "only";
+    e.recipe = gen.random_recipe(rng);
+    e.wcr = 0.9;
+    tiny.add(std::move(e));
+    ProductionBuildOptions opts;
+    opts.worst_case_steps = 10;
+    opts.include_functional_march = false;
+    const ate::ProductionTestProgram program = build_production_program(
+        tiny, nominal(), ate::Parameter::data_valid_time(), 21.0, opts);
+    EXPECT_EQ(program.step_count(), 1u);
+}
+
+TEST(ProductionRunTest, HealthyDevicePassesLooseLimit) {
+    const WorstCaseDatabase db = sample_database();
+    const ate::ProductionTestProgram program = build_production_program(
+        db, nominal(), ate::Parameter::data_valid_time(), /*limit=*/20.0);
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    const ate::ProductionOutcome outcome = program.run(tester);
+    EXPECT_TRUE(outcome.pass);
+    EXPECT_EQ(outcome.steps_run, program.step_count());
+    EXPECT_EQ(outcome.failed_step, ate::ProductionOutcome::npos);
+}
+
+TEST(ProductionRunTest, ImpossibleLimitFailsAndStops) {
+    const WorstCaseDatabase db = sample_database();
+    const ate::ProductionTestProgram program = build_production_program(
+        db, nominal(), ate::Parameter::data_valid_time(), /*limit=*/40.0);
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    const ate::ProductionOutcome outcome = program.run(tester);
+    EXPECT_FALSE(outcome.pass);
+    // Step 0 is the functional march (passes); step 1 is the first
+    // parametric screen at an impossible 40 ns limit.
+    EXPECT_EQ(outcome.failed_step, 1u);
+    EXPECT_EQ(outcome.steps_run, 2u);  // stopped on first fail
+}
+
+TEST(ProductionRunTest, ContinueOnFailRunsEverything) {
+    const WorstCaseDatabase db = sample_database();
+    const ate::ProductionTestProgram program = build_production_program(
+        db, nominal(), ate::Parameter::data_valid_time(), 40.0);
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    const ate::ProductionOutcome outcome =
+        program.run(tester, /*stop_on_first_fail=*/false);
+    EXPECT_FALSE(outcome.pass);
+    EXPECT_EQ(outcome.steps_run, program.step_count());
+    EXPECT_EQ(outcome.failed_step, 1u);  // first failure is still recorded
+}
+
+TEST(ProductionRunTest, FaultyDeviceCaughtByFunctionalStep) {
+    const WorstCaseDatabase db = sample_database();
+    const ate::ProductionTestProgram program = build_production_program(
+        db, nominal(), ate::Parameter::data_valid_time(), 20.0);
+    const device::FaultSet faults(
+        {device::Fault{device::FaultType::kStuckAt1, 77, 2, 0}});
+    device::MemoryTestChip chip({}, noiseless(), device::TimingModel{},
+                                faults);
+    ate::Tester tester(chip);
+    const ate::ProductionOutcome outcome = program.run(tester);
+    EXPECT_FALSE(outcome.pass);
+    EXPECT_EQ(outcome.failed_step, 0u);  // binned at the functional screen
+}
+
+TEST(ProductionRunTest, BatchScreeningYieldAndBins) {
+    const WorstCaseDatabase db = sample_database();
+    // A limit between the fast and slow corners separates the lot.
+    device::ProcessVariation process;
+    device::MemoryTestChip fast(process.fast_corner(4.0), noiseless());
+    device::MemoryTestChip slow(process.slow_corner(4.0), noiseless());
+    device::MemoryTestChip nominal_die(process.nominal(), noiseless());
+
+    // Find the nominal worst-case trip to set a discriminating limit.
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    const testgen::RandomTestGenerator gen(nominal());
+    const testgen::Test worst_test = gen.make_test(
+        db.entries()[0].recipe, db.entries()[0].conditions, "probe");
+    const double nominal_trip = nominal_die.true_parameter(
+        worst_test, device::ParameterKind::kDataValidTime);
+    const ate::ProductionTestProgram program = build_production_program(
+        db, nominal(), param, nominal_trip + 0.8);
+
+    std::vector<device::MemoryTestChip*> lot{&fast, &slow, &nominal_die};
+    struct Deref {
+        std::vector<device::MemoryTestChip*>* chips;
+        auto begin() { return chips->begin(); }
+        auto end() { return chips->end(); }
+    };
+    ate::BinningSummary summary;
+    summary.fails_per_step.assign(program.step_count(), 0);
+    for (device::MemoryTestChip* chip : lot) {
+        ate::Tester tester(*chip);
+        const ate::ProductionOutcome outcome = program.run(tester);
+        ++summary.devices;
+        if (outcome.pass) {
+            ++summary.passed;
+        } else {
+            ++summary.fails_per_step[outcome.failed_step];
+        }
+    }
+    EXPECT_EQ(summary.devices, 3u);
+    EXPECT_GE(summary.passed, 1u);   // the fast corner passes
+    EXPECT_LE(summary.passed, 2u);   // the slow corner fails
+    EXPECT_NEAR(summary.yield(),
+                static_cast<double>(summary.passed) / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cichar::core

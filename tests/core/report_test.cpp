@@ -1,0 +1,102 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/characterizer.hpp"
+#include "device/memory_chip.hpp"
+
+namespace cichar::core {
+namespace {
+
+struct ReportFixture : ::testing::Test {
+    ReportFixture() : chip({}, chip_options()), tester(chip) {}
+
+    static device::MemoryChipOptions chip_options() {
+        device::MemoryChipOptions o;
+        o.noise_sigma_ns = 0.0;
+        return o;
+    }
+
+    core::CharacterizerOptions options() {
+        CharacterizerOptions opts;
+        opts.generator.condition_bounds =
+            testgen::ConditionBounds::fixed_nominal();
+        opts.learner.training_tests = 40;
+        opts.learner.committee.members = 2;
+        opts.learner.committee.train.max_epochs = 40;
+        opts.optimizer.ga.population.size = 8;
+        opts.optimizer.ga.populations = 1;
+        opts.optimizer.ga.max_generations = 4;
+        opts.optimizer.nn_candidates = 60;
+        return opts;
+    }
+
+    device::MemoryTestChip chip;
+    ate::Tester tester;
+};
+
+TEST_F(ReportFixture, FullReportContainsEverySection) {
+    const DeviceCharacterizer characterizer(
+        tester, ate::Parameter::data_valid_time(), options());
+    util::Rng rng(6);
+    const LearnResult learned = characterizer.learn(rng);
+    const WorstCaseReport hunt = characterizer.optimize(learned.model, rng);
+    DesignSpecVariation pooled = learned.dsv;
+    if (hunt.worst_record.found) pooled.add(hunt.worst_record);
+    const SpecProposal proposal =
+        propose_spec(ate::Parameter::data_valid_time(), pooled);
+
+    ReportInputs inputs;
+    inputs.device_name = "unit-test-die";
+    inputs.seed = 6;
+    inputs.learned = &learned;
+    inputs.hunt = &hunt;
+    inputs.proposal = &proposal;
+    inputs.ledger = &tester.log();
+
+    const std::string text = render_report(inputs);
+    EXPECT_NE(text.find("# Characterization report: unit-test-die"),
+              std::string::npos);
+    EXPECT_NE(text.find("## Learning (Fig. 4)"), std::string::npos);
+    EXPECT_NE(text.find("## Worst-case hunt (Fig. 5)"), std::string::npos);
+    EXPECT_NE(text.find("### Top"), std::string::npos);
+    EXPECT_NE(text.find("## Specification proposal"), std::string::npos);
+    EXPECT_NE(text.find("## Tester activity"), std::string::npos);
+    EXPECT_NE(text.find("seed: 6"), std::string::npos);
+}
+
+TEST_F(ReportFixture, PartialInputsRenderPartialReport) {
+    ReportInputs inputs;
+    inputs.device_name = "bare";
+    const std::string text = render_report(inputs);
+    EXPECT_NE(text.find("# Characterization report: bare"),
+              std::string::npos);
+    EXPECT_EQ(text.find("## Learning"), std::string::npos);
+    EXPECT_EQ(text.find("## Worst-case hunt"), std::string::npos);
+}
+
+TEST_F(ReportFixture, TopEntriesLimited) {
+    const DeviceCharacterizer characterizer(
+        tester, ate::Parameter::data_valid_time(), options());
+    util::Rng rng(8);
+    const LearnResult learned = characterizer.learn(rng);
+    const WorstCaseReport hunt = characterizer.optimize(learned.model, rng);
+
+    ReportInputs inputs;
+    inputs.hunt = &hunt;
+    inputs.top_entries = 2;
+    const std::string text = render_report(inputs);
+    EXPECT_NE(text.find("### Top 2 worst-case tests"), std::string::npos);
+}
+
+TEST_F(ReportFixture, WriteReportStreams) {
+    ReportInputs inputs;
+    std::ostringstream out;
+    write_report(out, inputs);
+    EXPECT_FALSE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace cichar::core

@@ -1,0 +1,93 @@
+#include "core/spec_report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::core {
+namespace {
+
+TripPointRecord record(double trip) {
+    TripPointRecord r;
+    r.test_name = "t";
+    r.trip_point = trip;
+    r.found = true;
+    return r;
+}
+
+DesignSpecVariation dsv_of(std::initializer_list<double> trips) {
+    DesignSpecVariation dsv;
+    for (const double t : trips) dsv.add(record(t));
+    return dsv;
+}
+
+TEST(SpecReportTest, MinLimitProposal) {
+    const ate::Parameter p = ate::Parameter::data_valid_time();  // >= 20 ns
+    const DesignSpecVariation dsv = dsv_of({28.0, 30.0, 26.0, 33.0});
+    const SpecProposal proposal = propose_spec(p, dsv, 0.10);
+    EXPECT_DOUBLE_EQ(proposal.observed_worst, 26.0);
+    EXPECT_DOUBLE_EQ(proposal.observed_best, 33.0);
+    EXPECT_NEAR(proposal.guard_band, 2.6, 1e-9);
+    EXPECT_NEAR(proposal.proposed_limit, 23.4, 0.05 + 1e-9);
+    EXPECT_TRUE(proposal.meets_target);  // 23.4 >= 20
+    EXPECT_EQ(proposal.tests, 4u);
+}
+
+TEST(SpecReportTest, MinLimitViolatedWhenWorstTooClose) {
+    const ate::Parameter p = ate::Parameter::data_valid_time();
+    const DesignSpecVariation dsv = dsv_of({21.0, 25.0});
+    const SpecProposal proposal = propose_spec(p, dsv, 0.10);
+    EXPECT_FALSE(proposal.meets_target);  // 21 * 0.9 = 18.9 < 20
+}
+
+TEST(SpecReportTest, MaxLimitProposal) {
+    const ate::Parameter p = ate::Parameter::min_vdd();  // <= 1.6 V
+    const DesignSpecVariation dsv = dsv_of({1.30, 1.35, 1.28});
+    const SpecProposal proposal = propose_spec(p, dsv, 0.05);
+    EXPECT_DOUBLE_EQ(proposal.observed_worst, 1.35);  // largest vmin
+    EXPECT_DOUBLE_EQ(proposal.observed_best, 1.28);
+    EXPECT_NEAR(proposal.proposed_limit, 1.35 * 1.05, 0.005 + 1e-9);
+    EXPECT_TRUE(proposal.meets_target);
+}
+
+TEST(SpecReportTest, MaxLimitViolated) {
+    const ate::Parameter p = ate::Parameter::min_vdd();
+    const DesignSpecVariation dsv = dsv_of({1.58});
+    const SpecProposal proposal = propose_spec(p, dsv, 0.05);
+    EXPECT_FALSE(proposal.meets_target);  // 1.58 * 1.05 > 1.6
+}
+
+TEST(SpecReportTest, ZeroGuardBandUsesWorstDirectly) {
+    const ate::Parameter p = ate::Parameter::data_valid_time();
+    const DesignSpecVariation dsv = dsv_of({26.13, 30.0});
+    const SpecProposal proposal = propose_spec(p, dsv, 0.0);
+    // Quantized to the 0.1 ns resolution grid.
+    EXPECT_NEAR(proposal.proposed_limit, 26.1, 1e-9);
+}
+
+TEST(SpecReportTest, EmptyDsvThrows) {
+    const ate::Parameter p = ate::Parameter::data_valid_time();
+    DesignSpecVariation empty;
+    EXPECT_THROW((void)propose_spec(p, empty), std::invalid_argument);
+    TripPointRecord unfound;
+    unfound.found = false;
+    empty.add(unfound);
+    EXPECT_THROW((void)propose_spec(p, empty), std::invalid_argument);
+}
+
+TEST(SpecReportTest, NegativeGuardBandThrows) {
+    const ate::Parameter p = ate::Parameter::data_valid_time();
+    const DesignSpecVariation dsv = dsv_of({25.0});
+    EXPECT_THROW((void)propose_spec(p, dsv, -0.1), std::invalid_argument);
+}
+
+TEST(SpecReportTest, RenderMentionsEverything) {
+    const ate::Parameter p = ate::Parameter::data_valid_time();
+    const DesignSpecVariation dsv = dsv_of({26.0, 30.0});
+    const SpecProposal proposal = propose_spec(p, dsv, 0.10);
+    const std::string text = proposal.render();
+    EXPECT_NE(text.find("T_DQ"), std::string::npos);
+    EXPECT_NE(text.find("guard band"), std::string::npos);
+    EXPECT_NE(text.find("meets target"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cichar::core

@@ -1,0 +1,91 @@
+#include "device/faults.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::device {
+namespace {
+
+TEST(FaultSetTest, EmptyIsTransparent) {
+    FaultSet faults;
+    EXPECT_TRUE(faults.empty());
+    EXPECT_EQ(faults.on_write(1, 0x0000, 0xBEEF), 0xBEEF);
+    EXPECT_EQ(faults.on_read(1, 0xBEEF), 0xBEEF);
+    EXPECT_TRUE(faults.victims_of(1).empty());
+}
+
+TEST(FaultSetTest, StuckAt0ClearsBitOnWriteAndRead) {
+    FaultSet faults({Fault{FaultType::kStuckAt0, 10, 3, 0}});
+    EXPECT_EQ(faults.on_write(10, 0, 0xFFFF), 0xFFF7);
+    EXPECT_EQ(faults.on_read(10, 0xFFFF), 0xFFF7);
+    // Other addresses untouched.
+    EXPECT_EQ(faults.on_write(11, 0, 0xFFFF), 0xFFFF);
+}
+
+TEST(FaultSetTest, StuckAt1SetsBit) {
+    FaultSet faults({Fault{FaultType::kStuckAt1, 4, 0, 0}});
+    EXPECT_EQ(faults.on_write(4, 0, 0x0000), 0x0001);
+    EXPECT_EQ(faults.on_read(4, 0x0000), 0x0001);
+}
+
+TEST(FaultSetTest, TransitionFaultBlocksRisingEdge) {
+    FaultSet faults({Fault{FaultType::kTransition, 7, 1, 0}});
+    // 0 -> 1 on bit 1 does not latch.
+    EXPECT_EQ(faults.on_write(7, 0x0000, 0x0002), 0x0000);
+    // 1 -> 0 works.
+    EXPECT_EQ(faults.on_write(7, 0x0002, 0x0000), 0x0000);
+    // 1 -> 1 keeps the bit.
+    EXPECT_EQ(faults.on_write(7, 0x0002, 0x0002), 0x0002);
+}
+
+TEST(FaultSetTest, CouplingFlipsVictim) {
+    FaultSet faults({Fault{FaultType::kCouplingInv, /*address=*/20,
+                           /*bit=*/2, /*aggressor=*/21}});
+    const auto victims = faults.victims_of(21);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0], 20u);
+    EXPECT_EQ(faults.couple(21, 20, 0x0000), 0x0004);
+    EXPECT_EQ(faults.couple(21, 20, 0x0004), 0x0000);
+    // Write to unrelated address does not couple.
+    EXPECT_EQ(faults.couple(22, 20, 0x0000), 0x0000);
+}
+
+TEST(FaultSetTest, CouplingDoesNotAffectDirectOps) {
+    FaultSet faults({Fault{FaultType::kCouplingInv, 20, 2, 21}});
+    EXPECT_EQ(faults.on_write(20, 0, 0x1234), 0x1234);
+    EXPECT_EQ(faults.on_read(20, 0x1234), 0x1234);
+}
+
+TEST(FaultSetTest, MultipleFaultsSameAddressCompose) {
+    FaultSet faults({Fault{FaultType::kStuckAt0, 5, 0, 0},
+                     Fault{FaultType::kStuckAt1, 5, 15, 0}});
+    EXPECT_EQ(faults.on_write(5, 0, 0x0001), 0x8000);
+}
+
+TEST(FaultSetTest, RetentionDecaysOldOnes) {
+    Fault retention{FaultType::kRetention, 30, 4, 0, /*decay_cycles=*/100};
+    FaultSet faults({retention});
+    EXPECT_TRUE(faults.has_retention(30));
+    EXPECT_FALSE(faults.has_retention(31));
+    // Fresh data survives.
+    EXPECT_EQ(faults.decay(30, 0x0010, 50), 0x0010);
+    EXPECT_EQ(faults.decay(30, 0x0010, 100), 0x0010);
+    // Old data leaks to 0 on the faulty bit only.
+    EXPECT_EQ(faults.decay(30, 0x0013, 101), 0x0003);
+    // Other addresses unaffected.
+    EXPECT_EQ(faults.decay(31, 0x0010, 10000), 0x0010);
+}
+
+TEST(FaultSetTest, RetentionTransparentOnDirectOps) {
+    FaultSet faults({Fault{FaultType::kRetention, 30, 4, 0, 100}});
+    EXPECT_EQ(faults.on_write(30, 0, 0xFFFF), 0xFFFF);
+    EXPECT_EQ(faults.on_read(30, 0xFFFF), 0xFFFF);
+}
+
+TEST(FaultSetTest, SizeReportsCount) {
+    FaultSet faults({Fault{}, Fault{FaultType::kStuckAt1, 1, 1, 0}});
+    EXPECT_EQ(faults.size(), 2u);
+    EXPECT_FALSE(faults.empty());
+}
+
+}  // namespace
+}  // namespace cichar::device

@@ -1,0 +1,221 @@
+#include "device/memory_chip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testgen/march.hpp"
+#include "util/statistics.hpp"
+
+namespace cichar::device {
+namespace {
+
+
+using testgen::TestPattern;
+
+testgen::Test simple_test(std::string name = "t") {
+    TestPattern p(name);
+    for (std::uint32_t i = 0; i < 200; ++i) {
+        if (i % 2 == 0) {
+            p.write(i % 64, static_cast<std::uint16_t>(i));
+        } else {
+            p.read((i - 1) % 64);
+        }
+    }
+    return testgen::make_test(std::move(p));
+}
+
+MemoryChipOptions noiseless() {
+    MemoryChipOptions o;
+    o.noise_sigma_ns = 0.0;
+    o.noise_sigma_mhz = 0.0;
+    o.noise_sigma_v = 0.0;
+    return o;
+}
+
+TEST(MemoryChipTest, PassFailConsistentWithTruth) {
+    MemoryTestChip chip({}, noiseless());
+    const testgen::Test t = simple_test();
+    const double truth =
+        chip.true_parameter(t, ParameterKind::kDataValidTime);
+    EXPECT_TRUE(chip.passes(t, ParameterKind::kDataValidTime, truth - 0.5));
+    EXPECT_FALSE(chip.passes(t, ParameterKind::kDataValidTime, truth + 0.5));
+}
+
+TEST(MemoryChipTest, VminDirectionReversed) {
+    MemoryTestChip chip({}, noiseless());
+    const testgen::Test t = simple_test();
+    const double vmin = chip.true_parameter(t, ParameterKind::kMinVdd);
+    EXPECT_TRUE(chip.passes(t, ParameterKind::kMinVdd, vmin + 0.05));
+    EXPECT_FALSE(chip.passes(t, ParameterKind::kMinVdd, vmin - 0.05));
+}
+
+TEST(MemoryChipTest, FmaxDirection) {
+    MemoryTestChip chip({}, noiseless());
+    const testgen::Test t = simple_test();
+    const double fmax = chip.true_parameter(t, ParameterKind::kMaxFrequency);
+    EXPECT_TRUE(chip.passes(t, ParameterKind::kMaxFrequency, fmax - 1.0));
+    EXPECT_FALSE(chip.passes(t, ParameterKind::kMaxFrequency, fmax + 1.0));
+}
+
+TEST(MemoryChipTest, NoiseMatchesSigma) {
+    MemoryChipOptions opts;
+    opts.noise_sigma_ns = 0.2;
+    MemoryTestChip chip({}, opts);
+    const testgen::Test t = simple_test();
+    const double truth =
+        chip.true_parameter(t, ParameterKind::kDataValidTime);
+    // Near the trip point the pass/fail outcome flickers with noise.
+    int passes = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (chip.passes(t, ParameterKind::kDataValidTime, truth)) ++passes;
+    }
+    EXPECT_GT(passes, 40);
+    EXPECT_LT(passes, 160);
+}
+
+TEST(MemoryChipTest, ApplicationsCounted) {
+    MemoryTestChip chip({}, noiseless());
+    const testgen::Test t = simple_test();
+    EXPECT_EQ(chip.applications(), 0u);
+    (void)chip.passes(t, ParameterKind::kDataValidTime, 1.0);
+    (void)chip.passes(t, ParameterKind::kDataValidTime, 1.0);
+    EXPECT_EQ(chip.applications(), 2u);
+}
+
+TEST(MemoryChipTest, DriftAccumulatesAndSettles) {
+    MemoryChipOptions opts = noiseless();
+    opts.enable_drift = true;
+    MemoryTestChip chip({}, opts);
+    const testgen::Test t = simple_test();
+    EXPECT_EQ(chip.heat(), 0.0);
+    for (int i = 0; i < 50; ++i) {
+        (void)chip.passes(t, ParameterKind::kDataValidTime, 1.0);
+    }
+    const double heated = chip.heat();
+    EXPECT_GT(heated, 0.1);
+    chip.settle();
+    EXPECT_LT(chip.heat(), heated);
+}
+
+TEST(MemoryChipTest, DriftShrinksMeasuredTdq) {
+    MemoryChipOptions opts = noiseless();
+    opts.enable_drift = true;
+    MemoryTestChip chip({}, opts);
+    const testgen::Test t = simple_test();
+    const double truth =
+        chip.true_parameter(t, ParameterKind::kDataValidTime);
+    // Heat the device, then probe just below the cold trip point: the hot
+    // device must fail there.
+    for (int i = 0; i < 300; ++i) {
+        (void)chip.passes(t, ParameterKind::kDataValidTime, 1.0);
+    }
+    EXPECT_GT(chip.heat(), 0.9);
+    EXPECT_FALSE(
+        chip.passes(t, ParameterKind::kDataValidTime, truth - 0.05));
+}
+
+TEST(MemoryChipTest, DriftDisabledByDefault) {
+    MemoryTestChip chip({}, noiseless());
+    const testgen::Test t = simple_test();
+    for (int i = 0; i < 100; ++i) {
+        (void)chip.passes(t, ParameterKind::kDataValidTime, 1.0);
+    }
+    EXPECT_EQ(chip.heat(), 0.0);
+}
+
+TEST(MemoryChipTest, FunctionalMarchCleanOnHealthyChip) {
+    MemoryTestChip chip({}, noiseless());
+    const testgen::Test march = testgen::make_test(testgen::march_c_minus().expand());
+    const FunctionalResult result = chip.run_functional(march);
+    EXPECT_TRUE(result.pass());
+    EXPECT_GT(result.reads, 0u);
+    EXPECT_EQ(result.first_fail_cycle, FunctionalResult::npos);
+}
+
+TEST(MemoryChipTest, FunctionalMarchCatchesStuckAt) {
+    FaultSet faults({Fault{FaultType::kStuckAt0, 100, 7, 0}});
+    MemoryTestChip chip({}, noiseless(), TimingModel{}, faults);
+    const testgen::Test march = testgen::make_test(testgen::march_c_minus().expand());
+    const FunctionalResult result = chip.run_functional(march);
+    EXPECT_FALSE(result.pass());
+    EXPECT_NE(result.first_fail_cycle, FunctionalResult::npos);
+}
+
+TEST(MemoryChipTest, FunctionalMarchCatchesCoupling) {
+    FaultSet faults({Fault{FaultType::kCouplingInv, /*victim=*/50, 0,
+                           /*aggressor=*/51}});
+    MemoryTestChip chip({}, noiseless(), TimingModel{}, faults);
+    const testgen::Test march = testgen::make_test(testgen::march_c_minus().expand());
+    EXPECT_FALSE(chip.run_functional(march).pass());
+}
+
+TEST(MemoryChipTest, FunctionalMarchCatchesTransitionFault) {
+    FaultSet faults({Fault{FaultType::kTransition, 200, 3, 0}});
+    MemoryTestChip chip({}, noiseless(), TimingModel{}, faults);
+    const testgen::Test march = testgen::make_test(testgen::march_c_minus().expand());
+    EXPECT_FALSE(chip.run_functional(march).pass());
+}
+
+TEST(MemoryChipTest, RetentionFaultCaughtByMarchNotByReadback) {
+    // A retention fault needs time between write and read. March C-'s
+    // later elements revisit addresses long after they were written, so
+    // it catches the leak; an immediate write/read pair does not.
+    const Fault retention{FaultType::kRetention, /*address=*/64, /*bit=*/0,
+                          0, /*decay_cycles=*/2000};
+    MemoryTestChip chip({}, noiseless(), TimingModel{},
+                        FaultSet({retention}));
+
+    testgen::TestPattern quick("write-read");
+    quick.write(64, 0xFFFF);
+    quick.read(64);
+    EXPECT_TRUE(chip.run_functional(testgen::make_test(std::move(quick)))
+                    .pass());
+
+    MemoryTestChip chip2({}, noiseless(), TimingModel{},
+                         FaultSet({retention}));
+    const testgen::Test march =
+        testgen::make_test(testgen::march_c_minus().expand());
+    EXPECT_FALSE(chip2.run_functional(march).pass());
+}
+
+TEST(MemoryChipTest, SupplyCollapseFailsFunctionally) {
+    MemoryTestChip chip({}, noiseless());
+    testgen::Test t = simple_test();
+    t.conditions.vdd_volts = 1.0;  // far below any vmin
+    EXPECT_FALSE(chip.run_functional(t).pass());
+}
+
+TEST(MemoryChipTest, CheckerboardCleanOnHealthyChip) {
+    MemoryTestChip chip({}, noiseless());
+    const testgen::Test cb = testgen::make_test(testgen::checkerboard());
+    EXPECT_TRUE(chip.run_functional(cb).pass());
+}
+
+TEST(MemoryChipTest, TruthUnaffectedByMeasurementHistory) {
+    MemoryTestChip chip({}, noiseless());
+    const testgen::Test t = simple_test();
+    const double before =
+        chip.true_parameter(t, ParameterKind::kDataValidTime);
+    for (int i = 0; i < 50; ++i) {
+        (void)chip.passes(t, ParameterKind::kDataValidTime, 25.0);
+    }
+    EXPECT_DOUBLE_EQ(before,
+                     chip.true_parameter(t, ParameterKind::kDataValidTime));
+}
+
+TEST(MemoryChipTest, ParameterKindNames) {
+    EXPECT_STREQ(to_string(ParameterKind::kDataValidTime), "T_DQ");
+    EXPECT_STREQ(to_string(ParameterKind::kMaxFrequency), "Fmax");
+    EXPECT_STREQ(to_string(ParameterKind::kMinVdd), "Vmin");
+}
+
+TEST(MemoryChipTest, SlowDieWorseThanFastDie) {
+    ProcessVariation pv;
+    MemoryTestChip slow(pv.slow_corner(), noiseless());
+    MemoryTestChip fast(pv.fast_corner(), noiseless());
+    const testgen::Test t = simple_test();
+    EXPECT_LT(slow.true_parameter(t, ParameterKind::kDataValidTime),
+              fast.true_parameter(t, ParameterKind::kDataValidTime));
+}
+
+}  // namespace
+}  // namespace cichar::device

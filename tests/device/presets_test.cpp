@@ -1,0 +1,113 @@
+#include "device/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/multi_trip.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace cichar::device {
+namespace {
+
+testgen::Test stress_test() {
+    testgen::RandomTestGenerator gen;
+    testgen::PatternRecipe r;
+    r.cycles = 600;
+    r.write_fraction = 0.6;
+    r.nop_fraction = 0.0;
+    r.toggle_bias = 0.65;
+    r.alternating_data_bias = 0.3;
+    r.bank_conflict_bias = 0.95;
+    r.row_locality = 0.0;
+    r.burst_length = 1.0;
+    r.seed = 99;
+    return gen.make_test(r, {}, "stress");
+}
+
+testgen::Test calm_test() {
+    testgen::RandomTestGenerator gen;
+    testgen::PatternRecipe r;
+    r.cycles = 600;
+    r.write_fraction = 0.2;
+    r.row_locality = 0.7;
+    r.seed = 7;
+    return gen.make_test(r, {}, "calm");
+}
+
+TEST(PresetsTest, NoiselessIsDeterministic) {
+    MemoryTestChip a = presets::noiseless();
+    MemoryTestChip b = presets::noiseless();
+    const testgen::Test t = calm_test();
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(a.passes(t, ParameterKind::kDataValidTime, 30.0),
+                  b.passes(t, ParameterKind::kDataValidTime, 30.0));
+    }
+}
+
+TEST(PresetsTest, TypicalHasNoise) {
+    MemoryTestChip chip = presets::typical();
+    const testgen::Test t = calm_test();
+    const double truth =
+        chip.true_parameter(t, ParameterKind::kDataValidTime);
+    int flips = 0;
+    bool last = chip.passes(t, ParameterKind::kDataValidTime, truth);
+    for (int i = 0; i < 100; ++i) {
+        const bool now = chip.passes(t, ParameterKind::kDataValidTime, truth);
+        if (now != last) ++flips;
+        last = now;
+    }
+    EXPECT_GT(flips, 0);  // noisy boundary flickers
+}
+
+TEST(PresetsTest, WellBehavedHasNoPocket) {
+    MemoryTestChip pocketed = presets::noiseless();
+    MemoryTestChip smooth = presets::well_behaved();
+    const testgen::Test stress = stress_test();
+    // The stress test activates the pocket on the default chip but not on
+    // the well-behaved one.
+    const double with_pocket =
+        pocketed.true_parameter(stress, ParameterKind::kDataValidTime);
+    const double without_pocket =
+        smooth.true_parameter(stress, ParameterKind::kDataValidTime);
+    EXPECT_GT(without_pocket, with_pocket + 3.0);
+    // On calm traffic both agree (the pocket is the only difference).
+    const testgen::Test calm = calm_test();
+    EXPECT_NEAR(pocketed.true_parameter(calm, ParameterKind::kDataValidTime),
+                smooth.true_parameter(calm, ParameterKind::kDataValidTime),
+                0.5);
+}
+
+TEST(PresetsTest, MarginalViolatesSpecUnderStress) {
+    MemoryTestChip chip = presets::marginal();
+    const double tdq =
+        chip.true_parameter(stress_test(), ParameterKind::kDataValidTime);
+    EXPECT_LT(tdq, 20.0);  // below the 20 ns spec: WCR > 1, class fail
+    // But it still passes a calm test comfortably.
+    EXPECT_GT(chip.true_parameter(calm_test(),
+                                  ParameterKind::kDataValidTime),
+              25.0);
+}
+
+TEST(PresetsTest, DriftyHeatsUpFast) {
+    MemoryTestChip chip = presets::drifty();
+    const testgen::Test t = calm_test();
+    for (int i = 0; i < 10; ++i) {
+        (void)chip.passes(t, ParameterKind::kDataValidTime, 20.0);
+    }
+    EXPECT_GT(chip.heat(), 0.5);
+    MemoryTestChip reference = presets::typical();
+    for (int i = 0; i < 10; ++i) {
+        (void)reference.passes(t, ParameterKind::kDataValidTime, 20.0);
+    }
+    EXPECT_EQ(reference.heat(), 0.0);  // drift off by default
+}
+
+TEST(PresetsTest, MarginalFailsFunctionallyUnderStress) {
+    MemoryTestChip chip = presets::marginal();
+    // Stress pattern at nominal conditions: the collapsed margin corrupts
+    // turnaround reads on this die.
+    const device::FunctionalResult r = chip.run_functional(stress_test());
+    EXPECT_FALSE(r.pass());
+}
+
+}  // namespace
+}  // namespace cichar::device

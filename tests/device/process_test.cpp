@@ -1,0 +1,91 @@
+#include "device/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/statistics.hpp"
+
+namespace cichar::device {
+namespace {
+
+TEST(ProcessTest, NominalIsDefaultDie) {
+    ProcessVariation pv;
+    EXPECT_EQ(pv.nominal(), DieParameters{});
+}
+
+TEST(ProcessTest, CornersBracketNominal) {
+    ProcessVariation pv;
+    const DieParameters fast = pv.fast_corner();
+    const DieParameters slow = pv.slow_corner();
+    const DieParameters nom = pv.nominal();
+    EXPECT_GT(fast.window_ns, nom.window_ns);
+    EXPECT_LT(slow.window_ns, nom.window_ns);
+    EXPECT_LT(fast.sensitivity_scale, nom.sensitivity_scale);
+    EXPECT_GT(slow.sensitivity_scale, nom.sensitivity_scale);
+    EXPECT_LT(fast.vmin_base_v, slow.vmin_base_v);
+    EXPECT_GT(fast.fmax_base_mhz, slow.fmax_base_mhz);
+}
+
+TEST(ProcessTest, CornerSigmaScales) {
+    ProcessVariation pv;
+    const DieParameters one = pv.fast_corner(1.0);
+    const DieParameters three = pv.fast_corner(3.0);
+    EXPECT_GT(three.window_ns, one.window_ns);
+}
+
+TEST(ProcessTest, SampleDistributionMatchesSpread) {
+    ProcessSpread spread;
+    ProcessVariation pv(spread);
+    util::Rng rng(17);
+    util::RunningStats window;
+    for (int i = 0; i < 5000; ++i) {
+        window.add(pv.sample(rng).window_ns);
+    }
+    EXPECT_NEAR(window.mean(), pv.nominal().window_ns, 0.05);
+    EXPECT_NEAR(window.stddev(), spread.window_sigma_ns, 0.05);
+}
+
+TEST(ProcessTest, SensitivityNeverBelowFloor) {
+    ProcessSpread spread;
+    spread.sensitivity_sigma = 1.0;  // absurdly wide
+    ProcessVariation pv(spread);
+    util::Rng rng(18);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_GE(pv.sample(rng).sensitivity_scale, 0.5);
+    }
+}
+
+TEST(ProcessTest, SamplingDeterministicPerSeed) {
+    ProcessVariation pv;
+    util::Rng a(7);
+    util::Rng b(7);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(pv.sample(a), pv.sample(b));
+    }
+}
+
+TEST(ProcessTest, WaferSharesShift) {
+    ProcessSpread spread;
+    spread.wafer_sigma_frac = 0.10;  // large, to make the shift visible
+    spread.window_sigma_ns = 0.01;   // tiny die-level noise
+    ProcessVariation pv(spread);
+    util::Rng rng(19);
+    const auto wafer_a = pv.sample_wafer(50, rng);
+    const auto wafer_b = pv.sample_wafer(50, rng);
+    util::RunningStats a;
+    util::RunningStats b;
+    for (const DieParameters& d : wafer_a) a.add(d.window_ns);
+    for (const DieParameters& d : wafer_b) b.add(d.window_ns);
+    // Within-wafer spread is tiny, between-wafer shift is large.
+    EXPECT_LT(a.stddev(), 0.05);
+    EXPECT_LT(b.stddev(), 0.05);
+    EXPECT_GT(std::abs(a.mean() - b.mean()), 0.2);
+}
+
+TEST(ProcessTest, WaferSizeRespected) {
+    ProcessVariation pv;
+    util::Rng rng(20);
+    EXPECT_EQ(pv.sample_wafer(13, rng).size(), 13u);
+}
+
+}  // namespace
+}  // namespace cichar::device

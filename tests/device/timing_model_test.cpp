@@ -1,0 +1,208 @@
+#include "device/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testgen/features.hpp"
+
+namespace cichar::device {
+namespace {
+
+using testgen::FeatureVector;
+using testgen::TestConditions;
+
+FeatureVector benign() { return FeatureVector{}; }
+
+FeatureVector stressed(double level) {
+    FeatureVector fv;
+    fv.values[testgen::kToggleDensity] = level;
+    fv.values[testgen::kAddrTransition] = level;
+    fv.values[testgen::kBankConflictRate] = level;
+    fv.values[testgen::kRwSwitchRate] = level;
+    fv.values[testgen::kControlActivity] = level;
+    fv.values[testgen::kAlternatingData] = level;
+    return fv;
+}
+
+TEST(TimingModelTest, BenignPatternNoStress) {
+    TimingModel model;
+    EXPECT_DOUBLE_EQ(model.stress_ns(benign(), TestConditions{}, {}), 0.0);
+}
+
+TEST(TimingModelTest, BenignTdqEqualsWindow) {
+    TimingModel model;
+    const DieParameters die;
+    EXPECT_NEAR(model.tdq_ns(benign(), TestConditions{}, die), die.window_ns,
+                1e-9);
+}
+
+TEST(TimingModelTest, StressMonotoneInFeatures) {
+    TimingModel model;
+    const DieParameters die;
+    double previous = -1.0;
+    for (const double level : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+        const double s = model.stress_ns(stressed(level), TestConditions{}, die);
+        EXPECT_GT(s, previous);
+        previous = s;
+    }
+}
+
+TEST(TimingModelTest, TdqDecreasesWithStress) {
+    TimingModel model;
+    const DieParameters die;
+    const double calm = model.tdq_ns(benign(), TestConditions{}, die);
+    const double hot = model.tdq_ns(stressed(0.9), TestConditions{}, die);
+    EXPECT_LT(hot, calm - 3.0);
+}
+
+TEST(TimingModelTest, LowerVddShrinksWindow) {
+    TimingModel model;
+    const DieParameters die;
+    TestConditions low;
+    low.vdd_volts = 1.4;
+    TestConditions high;
+    high.vdd_volts = 2.2;
+    EXPECT_LT(model.tdq_ns(benign(), low, die),
+              model.tdq_ns(benign(), high, die));
+}
+
+TEST(TimingModelTest, LowerVddAmplifiesStress) {
+    TimingModel model;
+    const DieParameters die;
+    TestConditions low;
+    low.vdd_volts = 1.4;
+    TestConditions nom;
+    EXPECT_GT(model.stress_ns(stressed(0.8), low, die),
+              model.stress_ns(stressed(0.8), nom, die));
+}
+
+TEST(TimingModelTest, HeatShrinksWindow) {
+    TimingModel model;
+    const DieParameters die;
+    TestConditions hot;
+    hot.temperature_c = 125.0;
+    TestConditions cold;
+    cold.temperature_c = -40.0;
+    EXPECT_LT(model.tdq_ns(benign(), hot, die),
+              model.tdq_ns(benign(), cold, die));
+}
+
+TEST(TimingModelTest, LoadPenaltySigned) {
+    TimingModel model;
+    const DieParameters die;
+    TestConditions heavy;
+    heavy.output_load_pf = 50.0;
+    TestConditions light;
+    light.output_load_pf = 10.0;
+    EXPECT_LT(model.tdq_ns(benign(), heavy, die),
+              model.tdq_ns(benign(), light, die));
+}
+
+TEST(TimingModelTest, FastClockPenalizedSlowClockFree) {
+    TimingModel model;
+    const DieParameters die;
+    TestConditions fast;
+    fast.clock_period_ns = 40.0;
+    TestConditions slow;
+    slow.clock_period_ns = 70.0;
+    TestConditions nominal;  // 50 ns
+    EXPECT_LT(model.tdq_ns(benign(), fast, die),
+              model.tdq_ns(benign(), nominal, die));
+    EXPECT_DOUBLE_EQ(model.tdq_ns(benign(), slow, die),
+                     model.tdq_ns(benign(), nominal, die));
+}
+
+TEST(TimingModelTest, DieSensitivityScalesStress) {
+    TimingModel model;
+    DieParameters weak;
+    weak.sensitivity_scale = 1.3;
+    DieParameters strong;
+    strong.sensitivity_scale = 0.8;
+    EXPECT_GT(model.stress_ns(stressed(0.7), TestConditions{}, weak),
+              model.stress_ns(stressed(0.7), TestConditions{}, strong));
+}
+
+TEST(TimingModelTest, PocketRequiresAllAxes) {
+    TimingModel model;
+    FeatureVector fv;
+    // Three of four axes maxed: no activation.
+    fv.values[testgen::kToggleDensity] = 1.0;
+    fv.values[testgen::kBankConflictRate] = 1.0;
+    fv.values[testgen::kAlternatingData] = 0.0;
+    fv.values[testgen::kBurstiness] = 0.1;
+    EXPECT_DOUBLE_EQ(model.pocket_activation(fv), 0.0);
+    // All four in place: strong activation.
+    fv.values[testgen::kAlternatingData] = 1.0;
+    EXPECT_GT(model.pocket_activation(fv), 0.8);
+}
+
+TEST(TimingModelTest, PocketKilledByLongBursts) {
+    TimingModel model;
+    FeatureVector fv;
+    fv.values[testgen::kToggleDensity] = 1.0;
+    fv.values[testgen::kBankConflictRate] = 1.0;
+    fv.values[testgen::kAlternatingData] = 1.0;
+    fv.values[testgen::kBurstiness] = 0.9;
+    EXPECT_DOUBLE_EQ(model.pocket_activation(fv), 0.0);
+}
+
+TEST(TimingModelTest, PocketActivationBounded) {
+    TimingModel model;
+    for (const double t : {0.0, 0.3, 0.6, 0.9, 1.0}) {
+        FeatureVector fv;
+        fv.values[testgen::kToggleDensity] = t;
+        fv.values[testgen::kBankConflictRate] = t;
+        fv.values[testgen::kAlternatingData] = t;
+        fv.values[testgen::kBurstiness] = 0.1;
+        const double a = model.pocket_activation(fv);
+        EXPECT_GE(a, 0.0);
+        EXPECT_LE(a, 1.0);
+    }
+}
+
+TEST(TimingModelTest, VminRisesWithStress) {
+    TimingModel model;
+    const DieParameters die;
+    EXPECT_GT(model.vmin_v(stressed(0.9), TestConditions{}, die),
+              model.vmin_v(benign(), TestConditions{}, die));
+}
+
+TEST(TimingModelTest, VminIndependentOfSearchedVdd) {
+    // The Vmin search varies the supply setting; the pattern's intrinsic
+    // Vmin must not change with the test's own vdd field.
+    TimingModel model;
+    const DieParameters die;
+    TestConditions a;
+    a.vdd_volts = 1.5;
+    TestConditions b;
+    b.vdd_volts = 2.1;
+    EXPECT_DOUBLE_EQ(model.vmin_v(stressed(0.5), a, die),
+                     model.vmin_v(stressed(0.5), b, die));
+}
+
+TEST(TimingModelTest, FmaxDropsWithStressRisesWithVdd) {
+    TimingModel model;
+    const DieParameters die;
+    TestConditions nom;
+    EXPECT_LT(model.fmax_mhz(stressed(0.9), nom, die),
+              model.fmax_mhz(benign(), nom, die));
+    TestConditions high;
+    high.vdd_volts = 2.2;
+    EXPECT_GT(model.fmax_mhz(benign(), high, die),
+              model.fmax_mhz(benign(), nom, die));
+}
+
+// Paper-shape checks at the Table 1 operating point.
+TEST(TimingModelTest, PocketDeepEnoughForWeaknessBand) {
+    TimingModel model;
+    const DieParameters die;
+    FeatureVector fv = stressed(0.85);
+    fv.values[testgen::kBurstiness] = 0.1;
+    const double tdq = model.tdq_ns(fv, TestConditions{}, die);
+    // Worst reachable region sits in the Fig. 6 weakness band
+    // (20/tdq between 0.8 and 1.0).
+    EXPECT_LT(tdq, 25.0);
+    EXPECT_GT(tdq, 20.0);
+}
+
+}  // namespace
+}  // namespace cichar::device

@@ -1,0 +1,112 @@
+#include "fuzzy/coding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::fuzzy {
+namespace {
+
+TEST(CodingTest, FuzzyWcrClassBoundaries) {
+    const TripPointCoder coder = TripPointCoder::fuzzy_wcr();
+    // Deep pass.
+    EXPECT_EQ(coder.class_name(coder.classify(0.5)), "pass");
+    // Paper boundary: 0.8 pass|weakness crossover.
+    EXPECT_EQ(coder.class_name(coder.classify(0.75)), "pass");
+    EXPECT_EQ(coder.class_name(coder.classify(0.85)), "weakness");
+    // Fail above 1.
+    EXPECT_EQ(coder.class_name(coder.classify(0.98)), "weakness");
+    EXPECT_EQ(coder.class_name(coder.classify(1.1)), "fail");
+}
+
+TEST(CodingTest, FuzzyWcrPartitionOfUnity) {
+    const TripPointCoder coder = TripPointCoder::fuzzy_wcr();
+    for (double wcr = 0.0; wcr <= 1.25; wcr += 0.005) {
+        const auto degrees = coder.encode(wcr);
+        double sum = 0.0;
+        for (const double d : degrees) sum += d;
+        ASSERT_NEAR(sum, 1.0, 1e-9) << "wcr=" << wcr;
+    }
+}
+
+TEST(CodingTest, FuzzyWcrFinePartitionOfUnity) {
+    const TripPointCoder coder = TripPointCoder::fuzzy_wcr_fine();
+    EXPECT_EQ(coder.output_count(), 5u);
+    for (double wcr = 0.0; wcr <= 1.25; wcr += 0.005) {
+        const auto degrees = coder.encode(wcr);
+        double sum = 0.0;
+        for (const double d : degrees) sum += d;
+        ASSERT_NEAR(sum, 1.0, 1e-9) << "wcr=" << wcr;
+    }
+}
+
+TEST(CodingTest, FuzzyEncodeWidth) {
+    const TripPointCoder coder = TripPointCoder::fuzzy_wcr();
+    EXPECT_EQ(coder.output_count(), 3u);
+    EXPECT_EQ(coder.encode(0.5).size(), 3u);
+    EXPECT_EQ(coder.scheme(), CodingScheme::kFuzzy);
+}
+
+TEST(CodingTest, FuzzyDecodeMonotone) {
+    // Decoding the encoding must be monotone in the crisp value — that is
+    // what makes NN-predicted class vectors rankable.
+    const TripPointCoder coder = TripPointCoder::fuzzy_wcr_fine();
+    double previous = -1.0;
+    for (double wcr = 0.45; wcr <= 1.05; wcr += 0.02) {
+        const double decoded = coder.decode(coder.encode(wcr));
+        ASSERT_GE(decoded, previous - 1e-9) << "wcr=" << wcr;
+        previous = decoded;
+    }
+}
+
+TEST(CodingTest, FuzzyRoundTripAccuracy) {
+    // Accuracy holds in the interior of the partition; the outer shoulder
+    // terms deliberately bias the centroid toward the domain edges (only
+    // the *ranking* matters there, covered by FuzzyDecodeMonotone).
+    const TripPointCoder coder = TripPointCoder::fuzzy_wcr_fine();
+    for (double wcr = 0.62; wcr <= 0.84; wcr += 0.02) {
+        const double decoded = coder.decode(coder.encode(wcr));
+        EXPECT_NEAR(decoded, wcr, 0.08) << "wcr=" << wcr;
+    }
+}
+
+TEST(CodingTest, NumericRoundTripExactInsideRange) {
+    const TripPointCoder coder = TripPointCoder::numeric(10.0, 30.0);
+    EXPECT_EQ(coder.output_count(), 1u);
+    for (const double v : {10.0, 15.5, 22.2, 30.0}) {
+        EXPECT_NEAR(coder.decode(coder.encode(v)), v, 1e-9);
+    }
+}
+
+TEST(CodingTest, NumericClampsOutOfRange) {
+    const TripPointCoder coder = TripPointCoder::numeric(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(coder.encode(2.0)[0], 1.0);
+    EXPECT_DOUBLE_EQ(coder.encode(-1.0)[0], 0.0);
+    const std::vector<double> overdriven{1.7};
+    EXPECT_DOUBLE_EQ(coder.decode(overdriven), 1.0);
+}
+
+TEST(CodingTest, NumericRejectsBadRange) {
+    EXPECT_THROW((void)TripPointCoder::numeric(2.0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)TripPointCoder::numeric(1.0, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(CodingTest, NumericHasNoVariable) {
+    const TripPointCoder coder = TripPointCoder::numeric(0.0, 1.0);
+    EXPECT_THROW((void)coder.variable(), std::logic_error);
+    EXPECT_EQ(coder.classify(0.5), 0u);
+    EXPECT_THROW((void)coder.class_name(0), std::out_of_range);
+}
+
+TEST(CodingTest, SchemeNames) {
+    EXPECT_STREQ(to_string(CodingScheme::kFuzzy), "fuzzy");
+    EXPECT_STREQ(to_string(CodingScheme::kNumeric), "numeric");
+}
+
+TEST(CodingTest, DecodeEmptyNumericSafe) {
+    const TripPointCoder coder = TripPointCoder::numeric(5.0, 6.0);
+    EXPECT_DOUBLE_EQ(coder.decode(std::vector<double>{}), 5.0);
+}
+
+}  // namespace
+}  // namespace cichar::fuzzy

@@ -1,0 +1,117 @@
+#include "fuzzy/inference.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::fuzzy {
+namespace {
+
+/// The paper's motivating example: "if A and B and C, then D is quite
+/// close to the limit of the target device-spec". Inputs are three
+/// characterization indicators; output is spec-margin risk.
+FuzzyInferenceSystem margin_system() {
+    LinguisticVariable toggle("toggle", 0.0, 1.0);
+    toggle.add_term("low", MembershipFunction::shoulder_left(0.3, 0.6));
+    toggle.add_term("high", MembershipFunction::shoulder_right(0.3, 0.6));
+
+    LinguisticVariable conflicts("conflicts", 0.0, 1.0);
+    conflicts.add_term("low", MembershipFunction::shoulder_left(0.3, 0.6));
+    conflicts.add_term("high", MembershipFunction::shoulder_right(0.3, 0.6));
+
+    LinguisticVariable supply("supply", 1.4, 2.2);
+    supply.add_term("low", MembershipFunction::shoulder_left(1.6, 1.8));
+    supply.add_term("nominal", MembershipFunction::shoulder_right(1.6, 1.8));
+
+    LinguisticVariable risk("risk", 0.0, 1.0);
+    risk.add_term("safe", MembershipFunction::shoulder_left(0.2, 0.5));
+    risk.add_term("close", MembershipFunction::triangular(0.3, 0.55, 0.8));
+    risk.add_term("critical", MembershipFunction::shoulder_right(0.6, 0.9));
+
+    FuzzyInferenceSystem fis({toggle, conflicts, supply}, risk);
+    fis.add_rule({{"toggle", "high"}, {"conflicts", "high"}, {"supply", "low"}},
+                 "critical");
+    fis.add_rule({{"toggle", "high"}, {"conflicts", "low"}}, "close");
+    fis.add_rule({{"toggle", "low"}, {"conflicts", "low"}}, "safe");
+    return fis;
+}
+
+TEST(InferenceTest, AllStressesFireCritical) {
+    const FuzzyInferenceSystem fis = margin_system();
+    const std::vector<double> inputs{0.9, 0.9, 1.45};
+    const auto act = fis.activations(inputs);
+    ASSERT_EQ(act.size(), 3u);
+    EXPECT_DOUBLE_EQ(act[2], 1.0);  // critical fully active
+    EXPECT_DOUBLE_EQ(act[0], 0.0);  // safe inactive
+    EXPECT_GT(fis.infer(inputs), 0.7);
+}
+
+TEST(InferenceTest, BenignInputsStaySafe) {
+    const FuzzyInferenceSystem fis = margin_system();
+    const std::vector<double> inputs{0.1, 0.1, 2.0};
+    EXPECT_LT(fis.infer(inputs), 0.3);
+}
+
+TEST(InferenceTest, MinAndSemantics) {
+    const FuzzyInferenceSystem fis = margin_system();
+    // toggle high = 1, conflicts high = 0.5, supply low = 1
+    // -> critical activation = min = 0.5.
+    const std::vector<double> inputs{0.9, 0.45, 1.45};
+    const auto act = fis.activations(inputs);
+    EXPECT_DOUBLE_EQ(act[2], 0.5);
+}
+
+TEST(InferenceTest, RuleWeightScalesActivation) {
+    LinguisticVariable in("in", 0.0, 1.0);
+    in.add_term("on", MembershipFunction::shoulder_right(0.0, 0.1));
+    LinguisticVariable out("out", 0.0, 1.0);
+    out.add_term("yes", MembershipFunction::shoulder_right(0.5, 1.0));
+    FuzzyInferenceSystem fis({in}, out);
+    fis.add_rule({{"in", "on"}}, "yes", /*weight=*/0.4);
+    const std::vector<double> inputs{0.9};
+    EXPECT_DOUBLE_EQ(fis.activations(inputs)[0], 0.4);
+}
+
+TEST(InferenceTest, MaxAggregationAcrossRules) {
+    LinguisticVariable in("in", 0.0, 1.0);
+    in.add_term("a", MembershipFunction::shoulder_left(0.4, 0.6));
+    in.add_term("b", MembershipFunction::shoulder_right(0.4, 0.6));
+    LinguisticVariable out("out", 0.0, 1.0);
+    out.add_term("y", MembershipFunction::triangular(0.0, 0.5, 1.0));
+    FuzzyInferenceSystem fis({in}, out);
+    fis.add_rule({{"in", "a"}}, "y", 0.3);
+    fis.add_rule({{"in", "b"}}, "y", 0.8);
+    // At 0.5 both terms are 0.5: activations 0.3*... careful: weight
+    // multiplies strength; strengths are 0.5 -> 0.15 and 0.4; max = 0.4.
+    const std::vector<double> inputs{0.5};
+    EXPECT_DOUBLE_EQ(fis.activations(inputs)[0], 0.4);
+}
+
+TEST(InferenceTest, UnknownNamesThrow) {
+    FuzzyInferenceSystem fis = margin_system();
+    EXPECT_THROW(fis.add_rule({{"nope", "high"}}, "safe"),
+                 std::invalid_argument);
+    EXPECT_THROW(fis.add_rule({{"toggle", "nope"}}, "safe"),
+                 std::invalid_argument);
+    EXPECT_THROW(fis.add_rule({{"toggle", "high"}}, "nope"),
+                 std::invalid_argument);
+}
+
+TEST(InferenceTest, RuleCountTracks) {
+    const FuzzyInferenceSystem fis = margin_system();
+    EXPECT_EQ(fis.rule_count(), 3u);
+    EXPECT_EQ(fis.input_count(), 3u);
+    EXPECT_EQ(fis.output().name(), "risk");
+}
+
+TEST(InferenceTest, NoFiringRulesGiveMidpoint) {
+    LinguisticVariable in("in", 0.0, 1.0);
+    in.add_term("on", MembershipFunction::shoulder_right(0.8, 0.9));
+    LinguisticVariable out("out", 0.0, 2.0);
+    out.add_term("y", MembershipFunction::triangular(0.0, 0.5, 1.0));
+    FuzzyInferenceSystem fis({in}, out);
+    fis.add_rule({{"in", "on"}}, "y");
+    const std::vector<double> inputs{0.1};
+    EXPECT_DOUBLE_EQ(fis.infer(inputs), 1.0);  // domain midpoint
+}
+
+}  // namespace
+}  // namespace cichar::fuzzy

@@ -1,0 +1,74 @@
+#include "fuzzy/margin.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::fuzzy {
+namespace {
+
+TEST(MarginTest, SafePartLowRisk) {
+    const MarginRiskAnalyzer analyzer;
+    const double risk = analyzer.risk(0.55, 0.95, 0.05);
+    EXPECT_LT(risk, 0.35);
+    EXPECT_EQ(analyzer.label(risk), "low");
+}
+
+TEST(MarginTest, CriticalAndSpreadyIsCritical) {
+    const MarginRiskAnalyzer analyzer;
+    const double risk = analyzer.risk(1.0, 0.9, 0.6);
+    EXPECT_GT(risk, 0.7);
+    EXPECT_EQ(analyzer.label(risk), "critical");
+}
+
+TEST(MarginTest, UncertainClassifierRaisesRisk) {
+    const MarginRiskAnalyzer analyzer;
+    const double confident = analyzer.risk(0.97, 0.95, 0.05);
+    const double uncertain = analyzer.risk(0.97, 0.30, 0.05);
+    EXPECT_GT(uncertain, confident);
+}
+
+TEST(MarginTest, SpreadRaisesRiskEvenWhenSafe) {
+    const MarginRiskAnalyzer analyzer;
+    const double tight = analyzer.risk(0.55, 0.9, 0.02);
+    const double spready = analyzer.risk(0.55, 0.9, 0.7);
+    EXPECT_GT(spready, tight);
+}
+
+TEST(MarginTest, MonotoneInWcr) {
+    const MarginRiskAnalyzer analyzer;
+    double previous = -1.0;
+    for (double wcr = 0.4; wcr <= 1.1; wcr += 0.05) {
+        const double risk = analyzer.risk(wcr, 0.8, 0.3);
+        EXPECT_GE(risk, previous - 1e-9) << "wcr=" << wcr;
+        previous = risk;
+    }
+}
+
+TEST(MarginTest, OutputAlwaysInUnitInterval) {
+    const MarginRiskAnalyzer analyzer;
+    for (double wcr = 0.0; wcr <= 1.2; wcr += 0.1) {
+        for (double agreement = 0.0; agreement <= 1.0; agreement += 0.25) {
+            for (double spread = 0.0; spread <= 1.0; spread += 0.25) {
+                const double risk = analyzer.risk(wcr, agreement, spread);
+                ASSERT_GE(risk, 0.0);
+                ASSERT_LE(risk, 1.0);
+            }
+        }
+    }
+}
+
+TEST(MarginTest, SystemShapeExposed) {
+    const MarginRiskAnalyzer analyzer;
+    EXPECT_EQ(analyzer.system().input_count(), 3u);
+    EXPECT_EQ(analyzer.system().output().term_count(), 3u);
+    EXPECT_GE(analyzer.system().rule_count(), 6u);
+}
+
+TEST(MarginTest, LabelsCoverAllBands) {
+    const MarginRiskAnalyzer analyzer;
+    EXPECT_EQ(analyzer.label(0.1), "low");
+    EXPECT_EQ(analyzer.label(0.5), "elevated");
+    EXPECT_EQ(analyzer.label(0.95), "critical");
+}
+
+}  // namespace
+}  // namespace cichar::fuzzy

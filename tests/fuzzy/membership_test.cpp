@@ -1,0 +1,95 @@
+#include "fuzzy/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cichar::fuzzy {
+namespace {
+
+TEST(MembershipTest, TriangularShape) {
+    const auto mf = MembershipFunction::triangular(0.0, 1.0, 2.0);
+    EXPECT_DOUBLE_EQ(mf(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(mf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(mf(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(mf(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(mf(1.5), 0.5);
+    EXPECT_DOUBLE_EQ(mf(2.0), 0.0);
+    EXPECT_DOUBLE_EQ(mf(3.0), 0.0);
+    EXPECT_DOUBLE_EQ(mf.peak(), 1.0);
+}
+
+TEST(MembershipTest, TrapezoidShape) {
+    const auto mf = MembershipFunction::trapezoid(0.0, 1.0, 2.0, 4.0);
+    EXPECT_DOUBLE_EQ(mf(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(mf(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(mf(1.5), 1.0);
+    EXPECT_DOUBLE_EQ(mf(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(mf(3.0), 0.5);
+    EXPECT_DOUBLE_EQ(mf(4.0), 0.0);
+    EXPECT_DOUBLE_EQ(mf.peak(), 1.5);
+}
+
+TEST(MembershipTest, GaussianShape) {
+    const auto mf = MembershipFunction::gaussian(5.0, 1.0);
+    EXPECT_DOUBLE_EQ(mf(5.0), 1.0);
+    EXPECT_NEAR(mf(6.0), std::exp(-0.5), 1e-12);
+    EXPECT_NEAR(mf(4.0), mf(6.0), 1e-12);  // symmetric
+    EXPECT_LT(mf(9.0), 0.001);
+    EXPECT_DOUBLE_EQ(mf.peak(), 5.0);
+}
+
+TEST(MembershipTest, ShoulderLeft) {
+    const auto mf = MembershipFunction::shoulder_left(1.0, 2.0);
+    EXPECT_DOUBLE_EQ(mf(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(mf(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(mf(1.5), 0.5);
+    EXPECT_DOUBLE_EQ(mf(2.0), 0.0);
+    EXPECT_DOUBLE_EQ(mf(5.0), 0.0);
+}
+
+TEST(MembershipTest, ShoulderRight) {
+    const auto mf = MembershipFunction::shoulder_right(1.0, 2.0);
+    EXPECT_DOUBLE_EQ(mf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(mf(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(mf(1.5), 0.5);
+    EXPECT_DOUBLE_EQ(mf(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(mf(5.0), 1.0);
+}
+
+TEST(MembershipTest, DegenerateTriangleStep) {
+    // Zero-width ramps behave as steps rather than dividing by zero.
+    const auto mf = MembershipFunction::triangular(1.0, 1.0, 2.0);
+    EXPECT_DOUBLE_EQ(mf(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(mf(0.5), 0.0);
+}
+
+TEST(MembershipTest, RangeAlwaysUnitInterval) {
+    const auto shapes = {
+        MembershipFunction::triangular(0.0, 0.5, 1.0),
+        MembershipFunction::trapezoid(0.0, 0.2, 0.8, 1.0),
+        MembershipFunction::gaussian(0.5, 0.2),
+        MembershipFunction::shoulder_left(0.3, 0.6),
+        MembershipFunction::shoulder_right(0.4, 0.7),
+    };
+    for (const auto& mf : shapes) {
+        for (double x = -1.0; x <= 2.0; x += 0.01) {
+            const double v = mf(x);
+            ASSERT_GE(v, 0.0);
+            ASSERT_LE(v, 1.0);
+        }
+    }
+}
+
+TEST(MembershipTest, ComplementaryRampsSumToOne) {
+    // A falling shoulder and a rising shoulder over the same ramp
+    // partition unity — the property the WCR coder relies on.
+    const auto down = MembershipFunction::shoulder_left(0.7, 0.9);
+    const auto up = MembershipFunction::shoulder_right(0.7, 0.9);
+    for (double x = 0.0; x <= 1.3; x += 0.005) {
+        ASSERT_NEAR(down(x) + up(x), 1.0, 1e-12) << x;
+    }
+}
+
+}  // namespace
+}  // namespace cichar::fuzzy

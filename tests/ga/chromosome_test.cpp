@@ -1,0 +1,161 @@
+#include "ga/chromosome.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::ga {
+namespace {
+
+TEST(ChromosomeTest, RandomGenesInUnitInterval) {
+    util::Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        const TestChromosome c = TestChromosome::random(rng);
+        for (const double g : c.sequence) {
+            EXPECT_GE(g, 0.0);
+            EXPECT_LE(g, 1.0);
+        }
+        for (const double g : c.condition) {
+            EXPECT_GE(g, 0.0);
+            EXPECT_LE(g, 1.0);
+        }
+    }
+}
+
+TEST(ChromosomeTest, EncodeDecodeRecipeRoundTrip) {
+    testgen::PatternRecipe recipe;
+    recipe.cycles = 400;
+    recipe.write_fraction = 0.6;
+    recipe.bank_conflict_bias = 0.8;
+    recipe.seed = 777;
+    testgen::TestConditions conditions;
+    conditions.vdd_volts = 2.0;
+    const testgen::ConditionBounds bounds;
+
+    const TestChromosome c =
+        TestChromosome::encode(recipe, conditions, bounds, 100, 1000);
+    EXPECT_EQ(c.pattern_seed, 777u);
+
+    const testgen::PatternRecipe back = c.decode_recipe(100, 1000);
+    EXPECT_EQ(back.cycles, 400u);
+    EXPECT_NEAR(back.write_fraction, 0.6, 1e-9);
+    EXPECT_NEAR(back.bank_conflict_bias, 0.8, 1e-9);
+    EXPECT_EQ(back.seed, 777u);
+
+    const testgen::TestConditions cback = c.decode_conditions(bounds);
+    EXPECT_NEAR(cback.vdd_volts, 2.0, 1e-9);
+}
+
+TEST(ChromosomeTest, CrossoverMixesParents) {
+    util::Rng rng(2);
+    TestChromosome a;
+    a.sequence.fill(0.0);
+    a.condition.fill(0.0);
+    a.pattern_seed = 1;
+    TestChromosome b;
+    b.sequence.fill(1.0);
+    b.condition.fill(1.0);
+    b.pattern_seed = 2;
+
+    bool saw_mixed = false;
+    for (int i = 0; i < 50; ++i) {
+        const TestChromosome child = crossover(a, b, rng);
+        bool has_zero = false;
+        bool has_one = false;
+        for (const double g : child.sequence) {
+            if (g == 0.0) has_zero = true;
+            if (g == 1.0) has_one = true;
+            EXPECT_TRUE(g == 0.0 || g == 1.0);  // no blending, pure mixing
+        }
+        if (has_zero && has_one) saw_mixed = true;
+        EXPECT_TRUE(child.pattern_seed == 1 || child.pattern_seed == 2);
+    }
+    EXPECT_TRUE(saw_mixed);
+}
+
+TEST(ChromosomeTest, CrossoverGroupsIndependent) {
+    // With one-point crossover applied per group, a child can take its
+    // sequence mostly from parent A and conditions mostly from parent B.
+    util::Rng rng(3);
+    TestChromosome a;
+    a.sequence.fill(0.0);
+    a.condition.fill(0.0);
+    TestChromosome b;
+    b.sequence.fill(1.0);
+    b.condition.fill(1.0);
+    bool saw_split_loyalty = false;
+    for (int i = 0; i < 200; ++i) {
+        const TestChromosome child = crossover(a, b, rng);
+        double seq_sum = 0.0;
+        for (const double g : child.sequence) seq_sum += g;
+        double cond_sum = 0.0;
+        for (const double g : child.condition) cond_sum += g;
+        const double seq_frac =
+            seq_sum / static_cast<double>(child.sequence.size());
+        const double cond_frac =
+            cond_sum / static_cast<double>(child.condition.size());
+        if (std::abs(seq_frac - cond_frac) > 0.7) saw_split_loyalty = true;
+    }
+    EXPECT_TRUE(saw_split_loyalty);
+}
+
+TEST(ChromosomeTest, MutationKeepsGenesInRange) {
+    util::Rng rng(4);
+    GeneticOperators ops;
+    ops.mutation_rate = 1.0;  // mutate every gene
+    ops.mutation_sigma = 0.5;
+    for (int i = 0; i < 50; ++i) {
+        TestChromosome c = TestChromosome::random(rng);
+        mutate(c, ops, rng);
+        for (const double g : c.sequence) {
+            EXPECT_GE(g, 0.0);
+            EXPECT_LE(g, 1.0);
+        }
+        for (const double g : c.condition) {
+            EXPECT_GE(g, 0.0);
+            EXPECT_LE(g, 1.0);
+        }
+    }
+}
+
+TEST(ChromosomeTest, ZeroRatesMutateNothing) {
+    util::Rng rng(5);
+    GeneticOperators ops;
+    ops.mutation_rate = 0.0;
+    ops.reset_rate = 0.0;
+    ops.seed_mutation_rate = 0.0;
+    TestChromosome c = TestChromosome::random(rng);
+    const TestChromosome before = c;
+    mutate(c, ops, rng);
+    EXPECT_EQ(c, before);
+}
+
+TEST(ChromosomeTest, SeedMutationRedraws) {
+    util::Rng rng(6);
+    GeneticOperators ops;
+    ops.mutation_rate = 0.0;
+    ops.reset_rate = 0.0;
+    ops.seed_mutation_rate = 1.0;
+    TestChromosome c = TestChromosome::random(rng);
+    const std::uint64_t before = c.pattern_seed;
+    mutate(c, ops, rng);
+    EXPECT_NE(c.pattern_seed, before);
+}
+
+TEST(ChromosomeTest, MutationPerturbsMostGenes) {
+    util::Rng rng(7);
+    GeneticOperators ops;
+    ops.mutation_rate = 1.0;
+    ops.mutation_sigma = 0.1;
+    ops.reset_rate = 0.0;
+    TestChromosome c;
+    c.sequence.fill(0.5);
+    c.condition.fill(0.5);
+    mutate(c, ops, rng);
+    int changed = 0;
+    for (const double g : c.sequence) {
+        if (g != 0.5) ++changed;
+    }
+    EXPECT_GE(changed, 8);
+}
+
+}  // namespace
+}  // namespace cichar::ga

@@ -1,0 +1,122 @@
+#include "ga/multi_population.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::ga {
+namespace {
+
+double hill(const TestChromosome& c) {
+    double score = 1.0;
+    for (const double g : c.sequence) {
+        score -= 0.1 * (g - 0.6) * (g - 0.6);
+    }
+    return score;
+}
+
+MultiPopulationOptions small_options() {
+    MultiPopulationOptions opts;
+    opts.population.size = 12;
+    opts.population.elite = 2;
+    opts.populations = 3;
+    opts.max_generations = 15;
+    opts.stagnation_limit = 5;
+    return opts;
+}
+
+TEST(MultiPopulationTest, RunsAndImproves) {
+    util::Rng rng(1);
+    const MultiPopulationGa driver(small_options());
+    const MultiPopulationOutcome outcome = driver.run(hill, {}, rng);
+    EXPECT_GT(outcome.best_fitness, 0.97);
+    EXPECT_EQ(outcome.generations_run, 15u);
+    EXPECT_GT(outcome.evaluations, 36u);
+    EXPECT_EQ(outcome.best_history.size(), outcome.generations_run);
+}
+
+TEST(MultiPopulationTest, HistoryMonotone) {
+    util::Rng rng(2);
+    const MultiPopulationGa driver(small_options());
+    const MultiPopulationOutcome outcome = driver.run(hill, {}, rng);
+    for (std::size_t i = 1; i < outcome.best_history.size(); ++i) {
+        EXPECT_GE(outcome.best_history[i], outcome.best_history[i - 1]);
+    }
+}
+
+TEST(MultiPopulationTest, TargetFitnessStopsEarly) {
+    util::Rng rng(3);
+    MultiPopulationOptions opts = small_options();
+    opts.target_fitness = 0.5;  // trivially reachable
+    const MultiPopulationGa driver(opts);
+    const MultiPopulationOutcome outcome = driver.run(hill, {}, rng);
+    EXPECT_TRUE(outcome.target_reached);
+    EXPECT_LT(outcome.generations_run, 15u);
+}
+
+TEST(MultiPopulationTest, SeedsSpreadAcrossPopulations) {
+    util::Rng rng(4);
+    // A seed placed exactly at the optimum: the outcome must include it
+    // immediately (dealt into some population and evaluated).
+    TestChromosome perfect;
+    perfect.sequence.fill(0.6);
+    perfect.condition.fill(0.5);
+    MultiPopulationOptions opts = small_options();
+    opts.max_generations = 0;  // no evolution, only initial evaluation
+    const MultiPopulationGa driver(opts);
+    const MultiPopulationOutcome outcome = driver.run(hill, {perfect}, rng);
+    EXPECT_NEAR(outcome.best_fitness, 1.0, 1e-9);
+}
+
+TEST(MultiPopulationTest, StagnationTriggersRestarts) {
+    util::Rng rng(5);
+    const FitnessFn flat = [](const TestChromosome&) { return 1.0; };
+    MultiPopulationOptions opts = small_options();
+    opts.max_generations = 25;
+    opts.stagnation_limit = 3;
+    opts.max_restarts = 4;
+    const MultiPopulationGa driver(opts);
+    const MultiPopulationOutcome outcome = driver.run(flat, {}, rng);
+    EXPECT_GT(outcome.restarts, 0u);
+    EXPECT_LE(outcome.restarts, 4u);
+}
+
+TEST(MultiPopulationTest, EvaluationsAccumulateAcrossPopulations) {
+    util::Rng rng(6);
+    MultiPopulationOptions opts = small_options();
+    opts.max_generations = 2;
+    opts.stagnation_limit = 100;  // no restarts
+    const MultiPopulationGa driver(opts);
+    const MultiPopulationOutcome outcome = driver.run(hill, {}, rng);
+    // 3 pops * (12 initial + 2 gens * 10 offspring) = 96.
+    EXPECT_EQ(outcome.evaluations, 3u * (12u + 2u * 10u));
+}
+
+TEST(MultiPopulationTest, MigrationInjectsGlobalBest) {
+    util::Rng rng(7);
+    MultiPopulationOptions opts = small_options();
+    opts.migration_interval = 3;
+    opts.max_generations = 9;
+    const MultiPopulationGa driver(opts);
+    const MultiPopulationOutcome outcome = driver.run(hill, {}, rng);
+    EXPECT_GT(outcome.best_fitness, 0.97);
+}
+
+TEST(MultiPopulationTest, DeterministicGivenSeed) {
+    const auto run = [](std::uint64_t seed) {
+        util::Rng rng(seed);
+        const MultiPopulationGa driver(small_options());
+        return driver.run(hill, {}, rng).best_fitness;
+    };
+    EXPECT_EQ(run(123), run(123));
+}
+
+TEST(MultiPopulationTest, SinglePopulationWorks) {
+    util::Rng rng(8);
+    MultiPopulationOptions opts = small_options();
+    opts.populations = 1;
+    const MultiPopulationGa driver(opts);
+    const MultiPopulationOutcome outcome = driver.run(hill, {}, rng);
+    EXPECT_GT(outcome.best_fitness, 0.9);
+}
+
+}  // namespace
+}  // namespace cichar::ga

@@ -1,0 +1,143 @@
+#include "ga/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cichar::ga {
+namespace {
+
+/// Smooth unimodal fitness: best at all sequence genes = 0.7.
+double hill(const TestChromosome& c) {
+    double score = 0.0;
+    for (const double g : c.sequence) {
+        score -= (g - 0.7) * (g - 0.7);
+    }
+    return score;
+}
+
+PopulationOptions small_options() {
+    PopulationOptions opts;
+    opts.size = 16;
+    opts.elite = 2;
+    return opts;
+}
+
+TEST(PopulationTest, FillsToSizeWithRandoms) {
+    util::Rng rng(1);
+    Population pop(small_options(), {}, rng);
+    EXPECT_EQ(pop.size(), 16u);
+    EXPECT_EQ(pop.generation(), 0u);
+}
+
+TEST(PopulationTest, SeedsIncluded) {
+    util::Rng rng(2);
+    TestChromosome seed;
+    seed.sequence.fill(0.123);
+    Population pop(small_options(), {seed}, rng);
+    EXPECT_EQ(pop.individual(0).chromosome.sequence[0], 0.123);
+}
+
+TEST(PopulationTest, ExtraSeedsTruncated) {
+    util::Rng rng(3);
+    std::vector<TestChromosome> seeds(40, TestChromosome::random(rng));
+    Population pop(small_options(), std::move(seeds), rng);
+    EXPECT_EQ(pop.size(), 16u);
+}
+
+TEST(PopulationTest, EvaluateCountsOnlyUnevaluated) {
+    util::Rng rng(4);
+    Population pop(small_options(), {}, rng);
+    EXPECT_EQ(pop.evaluate(hill), 16u);
+    EXPECT_EQ(pop.evaluate(hill), 0u);  // cached
+}
+
+TEST(PopulationTest, BestThrowsBeforeEvaluation) {
+    util::Rng rng(5);
+    Population pop(small_options(), {}, rng);
+    EXPECT_THROW((void)pop.best(), std::logic_error);
+}
+
+TEST(PopulationTest, BestIsMaximal) {
+    util::Rng rng(6);
+    Population pop(small_options(), {}, rng);
+    (void)pop.evaluate(hill);
+    const Individual& best = pop.best();
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+        EXPECT_GE(best.fitness, pop.individual(i).fitness);
+    }
+}
+
+TEST(PopulationTest, ElitismNeverRegresses) {
+    util::Rng rng(7);
+    Population pop(small_options(), {}, rng);
+    (void)pop.evaluate(hill);
+    double previous = pop.best().fitness;
+    for (int gen = 0; gen < 20; ++gen) {
+        (void)pop.step(hill, rng);
+        EXPECT_GE(pop.best().fitness, previous - 1e-12);
+        previous = pop.best().fitness;
+    }
+}
+
+TEST(PopulationTest, ClimbsTheHill) {
+    util::Rng rng(8);
+    Population pop(small_options(), {}, rng);
+    (void)pop.evaluate(hill);
+    const double start = pop.best().fitness;
+    for (int gen = 0; gen < 30; ++gen) (void)pop.step(hill, rng);
+    EXPECT_GT(pop.best().fitness, start);
+    EXPECT_GT(pop.best().fitness, -0.05);  // near the optimum
+}
+
+TEST(PopulationTest, GenerationCounterAdvances) {
+    util::Rng rng(9);
+    Population pop(small_options(), {}, rng);
+    (void)pop.step(hill, rng);
+    (void)pop.step(hill, rng);
+    EXPECT_EQ(pop.generation(), 2u);
+}
+
+TEST(PopulationTest, StagnationGrowsOnPlateau) {
+    util::Rng rng(10);
+    // Constant fitness: no improvement is possible.
+    const FitnessFn flat = [](const TestChromosome&) { return 1.0; };
+    Population pop(small_options(), {}, rng);
+    (void)pop.evaluate(flat);
+    for (int gen = 0; gen < 5; ++gen) (void)pop.step(flat, rng);
+    EXPECT_GE(pop.stagnation(), 4u);
+}
+
+TEST(PopulationTest, RestartResetsEverything) {
+    util::Rng rng(11);
+    Population pop(small_options(), {}, rng);
+    (void)pop.evaluate(hill);
+    for (int gen = 0; gen < 5; ++gen) (void)pop.step(hill, rng);
+    pop.restart(rng);
+    EXPECT_EQ(pop.stagnation(), 0u);
+    EXPECT_THROW((void)pop.best(), std::logic_error);  // unevaluated again
+    EXPECT_EQ(pop.evaluate(hill), 16u);
+}
+
+TEST(PopulationTest, StepEvaluationCountBounded) {
+    util::Rng rng(12);
+    Population pop(small_options(), {}, rng);
+    (void)pop.evaluate(hill);
+    // Each step creates size - elite new individuals.
+    const std::size_t evals = pop.step(hill, rng);
+    EXPECT_EQ(evals, 16u - 2u);
+}
+
+TEST(PopulationTest, DeterministicGivenSeed) {
+    const auto run = [](std::uint64_t seed) {
+        util::Rng rng(seed);
+        Population pop(small_options(), {}, rng);
+        (void)pop.evaluate(hill);
+        for (int gen = 0; gen < 10; ++gen) (void)pop.step(hill, rng);
+        return pop.best().fitness;
+    };
+    EXPECT_EQ(run(99), run(99));
+}
+
+}  // namespace
+}  // namespace cichar::ga

@@ -1,0 +1,96 @@
+#include "ga/wcr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cichar::ga {
+namespace {
+
+TEST(WcrTest, PaperTable1Values) {
+    // Table 1: T_DQ spec 20 ns (min limit), eq. (6).
+    EXPECT_NEAR(wcr_toward_min(32.3, 20.0), 0.619, 0.001);
+    EXPECT_NEAR(wcr_toward_min(28.5, 20.0), 0.701, 0.001);
+    EXPECT_NEAR(wcr_toward_min(22.1, 20.0), 0.904, 0.002);
+}
+
+TEST(WcrTest, TowardMaxRatio) {
+    EXPECT_DOUBLE_EQ(wcr_toward_max(50.0, 100.0), 0.5);
+    EXPECT_DOUBLE_EQ(wcr_toward_max(110.0, 100.0), 1.1);
+    EXPECT_DOUBLE_EQ(wcr_toward_max(-50.0, 100.0), 0.5);  // |.|
+}
+
+TEST(WcrTest, TowardMinRatio) {
+    EXPECT_DOUBLE_EQ(wcr_toward_min(40.0, 20.0), 0.5);
+    EXPECT_DOUBLE_EQ(wcr_toward_min(20.0, 20.0), 1.0);
+    EXPECT_DOUBLE_EQ(wcr_toward_min(10.0, 20.0), 2.0);  // below spec: fail
+}
+
+TEST(WcrTest, DegenerateValuesInfinite) {
+    EXPECT_TRUE(std::isinf(wcr_toward_min(0.0, 20.0)));
+    EXPECT_TRUE(std::isinf(wcr_toward_max(5.0, 0.0)));
+}
+
+TEST(WcrTest, Fig6Classification) {
+    EXPECT_EQ(classify(0.0), WcrClass::kPass);
+    EXPECT_EQ(classify(0.5), WcrClass::kPass);
+    EXPECT_EQ(classify(0.8), WcrClass::kPass);       // boundary inclusive
+    EXPECT_EQ(classify(0.81), WcrClass::kWeakness);
+    EXPECT_EQ(classify(1.0), WcrClass::kWeakness);   // boundary inclusive
+    EXPECT_EQ(classify(1.01), WcrClass::kFail);
+    EXPECT_EQ(classify(5.0), WcrClass::kFail);
+}
+
+TEST(WcrTest, CustomThresholds) {
+    const WcrThresholds strict{0.6, 0.9};
+    EXPECT_EQ(classify(0.7, strict), WcrClass::kWeakness);
+    EXPECT_EQ(classify(0.95, strict), WcrClass::kFail);
+}
+
+TEST(WcrTest, ClassNames) {
+    EXPECT_STREQ(to_string(WcrClass::kPass), "pass");
+    EXPECT_STREQ(to_string(WcrClass::kWeakness), "weakness");
+    EXPECT_STREQ(to_string(WcrClass::kFail), "fail");
+}
+
+TEST(WcrTrackerTest, TracksWorstAndIndex) {
+    WcrTracker tracker;
+    tracker.add(0.5);
+    tracker.add(0.9);
+    tracker.add(0.7);
+    EXPECT_EQ(tracker.count(), 3u);
+    EXPECT_DOUBLE_EQ(tracker.worst(), 0.9);
+    EXPECT_EQ(tracker.worst_index(), 1u);
+}
+
+TEST(WcrTrackerTest, WorstCaseDetection) {
+    WcrTracker tracker;
+    EXPECT_FALSE(tracker.worst_case_detected());
+    tracker.add(0.5);
+    EXPECT_FALSE(tracker.worst_case_detected());
+    tracker.add(0.85);
+    EXPECT_TRUE(tracker.worst_case_detected());
+}
+
+TEST(WcrTrackerTest, FirstOfEqualWorstKept) {
+    WcrTracker tracker;
+    tracker.add(0.9);
+    tracker.add(0.9);
+    EXPECT_EQ(tracker.worst_index(), 0u);
+}
+
+// Property: classification is monotone in WCR.
+class WcrMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WcrMonotoneTest, HigherWcrNeverBetterClass) {
+    const double wcr = GetParam();
+    const auto rank = [](WcrClass c) { return static_cast<int>(c); };
+    EXPECT_LE(rank(classify(wcr)), rank(classify(wcr + 0.05)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WcrMonotoneTest,
+                         ::testing::Values(0.0, 0.3, 0.75, 0.79, 0.8, 0.95,
+                                           0.99, 1.0, 1.2));
+
+}  // namespace
+}  // namespace cichar::ga

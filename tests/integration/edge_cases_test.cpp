@@ -1,0 +1,174 @@
+// Cross-module edge cases: the awkward corners a production user hits —
+// degenerate ranges, tiny budgets, saved artifacts crossing module
+// boundaries, and devices at the edge of their search windows.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ate/search.hpp"
+#include "ate/search_until_trip.hpp"
+#include "core/multi_trip.hpp"
+#include "ga/population.hpp"
+#include "device/presets.hpp"
+#include "testgen/features.hpp"
+#include "testgen/pattern_io.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace cichar {
+namespace {
+
+ate::Oracle oracle_with_trip(const ate::Parameter& p, double trip) {
+    return [p, trip](double setting) {
+        return p.fail_high ? setting <= trip : setting >= trip;
+    };
+}
+
+TEST(SearchEdgeTest, LinearStepLargerThanRange) {
+    ate::Parameter p = ate::Parameter::data_valid_time();  // 15..45
+    const ate::LinearSearch coarse(100.0);
+    const ate::SearchResult r = coarse.find(oracle_with_trip(p, 30.0), p);
+    // Only the start point fits in the range; it passes, so no trip is
+    // bracketed — reported honestly as not found.
+    EXPECT_FALSE(r.found);
+    EXPECT_EQ(r.measurements, 1u);
+}
+
+TEST(SearchEdgeTest, ResolutionCoarserThanRange) {
+    ate::Parameter p = ate::Parameter::data_valid_time();
+    p.resolution = 100.0;  // one bucket for the whole range
+    const ate::BinarySearch search;
+    const ate::SearchResult r = search.find(oracle_with_trip(p, 30.0), p);
+    // Endpoint checks disagree; the interval cannot be split on the grid.
+    EXPECT_TRUE(r.found);
+    EXPECT_LE(r.measurements, 3u);
+}
+
+TEST(SearchEdgeTest, TripExactlyAtRangeEdges) {
+    const ate::Parameter p = ate::Parameter::data_valid_time();
+    // Trip at the very start: everything except the start fails.
+    const ate::BinarySearch search;
+    const ate::SearchResult at_start =
+        search.find(oracle_with_trip(p, p.search_start), p);
+    EXPECT_TRUE(at_start.found);
+    EXPECT_NEAR(at_start.trip_point, p.search_start, p.resolution + 1e-9);
+    // Trip at the very end: nothing fails -> no crossover to report.
+    const ate::SearchResult at_end =
+        search.find(oracle_with_trip(p, p.search_end), p);
+    EXPECT_FALSE(at_end.found);
+}
+
+TEST(SearchEdgeTest, UntilTripWithoutRefineErrorBoundedBySf) {
+    const ate::Parameter p = ate::Parameter::data_valid_time();
+    ate::SearchUntilTrip::Options opts;
+    opts.search_factor = 0.5;
+    opts.growth = ate::SearchFactorGrowth::kLinear;
+    opts.refine = false;
+    const ate::SearchUntilTrip search(opts, 30.0);
+    for (const double trip : {30.3, 31.1, 32.8}) {
+        const ate::SearchResult r = search.find(oracle_with_trip(p, trip), p);
+        ASSERT_TRUE(r.found) << trip;
+        // Without refinement the answer is the last passing SF step: at
+        // most one SF below the true trip.
+        EXPECT_LE(r.trip_point, trip + 1e-9) << trip;
+        EXPECT_GE(r.trip_point, trip - opts.search_factor - 1e-9) << trip;
+    }
+}
+
+TEST(SearchEdgeTest, ZeroIterationBudgetReportsNotFound) {
+    const ate::Parameter p = ate::Parameter::data_valid_time();
+    ate::SearchUntilTrip::Options opts;
+    opts.max_iterations = 0;
+    const ate::SearchUntilTrip search(opts, 30.0);
+    const ate::SearchResult r = search.find(oracle_with_trip(p, 35.0), p);
+    EXPECT_FALSE(r.found);
+    EXPECT_EQ(r.measurements, 1u);  // only the RTP probe
+}
+
+TEST(PatternRoundTripTest, FeaturesSurviveSaveLoad) {
+    // Features computed from a reloaded pattern are bit-identical — the
+    // contract that makes exported worst-case tests re-analyzable.
+    testgen::RandomTestGenerator gen;
+    util::Rng rng(9);
+    const testgen::PatternRecipe recipe = gen.random_recipe(rng);
+    const testgen::TestPattern original = gen.expand(recipe, "roundtrip");
+    std::stringstream stream;
+    testgen::save_pattern(stream, original);
+    const testgen::TestPattern loaded = testgen::load_pattern(stream);
+    EXPECT_EQ(testgen::extract_pattern_features(original).values,
+              testgen::extract_pattern_features(loaded).values);
+}
+
+TEST(DeviceEdgeTest, ReloadedPatternTripsIdentically) {
+    device::MemoryTestChip chip = device::presets::noiseless();
+    testgen::RandomTestGenerator gen;
+    util::Rng rng(10);
+    const testgen::Test original = gen.random_test(rng, "dut-roundtrip");
+    std::stringstream stream;
+    testgen::save_pattern(stream, original.pattern);
+    testgen::Test reloaded = original;
+    reloaded.pattern = testgen::load_pattern(stream);
+    EXPECT_DOUBLE_EQ(
+        chip.true_parameter(original, device::ParameterKind::kDataValidTime),
+        chip.true_parameter(reloaded,
+                            device::ParameterKind::kDataValidTime));
+}
+
+TEST(SessionEdgeTest, EmptyPatternTestStillMeasures) {
+    // A degenerate test with no cycles: no stress features, so the trip
+    // point equals the die's intrinsic window.
+    device::MemoryTestChip chip = device::presets::noiseless();
+    ate::Tester tester(chip);
+    core::TripSession session(tester, ate::Parameter::data_valid_time(),
+                              core::MultiTripOptions{});
+    testgen::Test empty;
+    empty.name = "empty";
+    const core::TripPointRecord r = session.measure(empty);
+    ASSERT_TRUE(r.found);
+    EXPECT_NEAR(r.trip_point, chip.die().window_ns, 0.2);
+}
+
+TEST(SessionEdgeTest, SingleTestDsvStatisticsDegenerate) {
+    device::MemoryTestChip chip = device::presets::noiseless();
+    ate::Tester tester(chip);
+    const core::MultiTripCharacterizer characterizer;
+    testgen::RandomTestGenerator gen;
+    util::Rng rng(11);
+    const std::vector<testgen::Test> one{gen.random_test(rng, "solo")};
+    const core::DesignSpecVariation dsv = characterizer.characterize(
+        tester, ate::Parameter::data_valid_time(), one);
+    EXPECT_EQ(dsv.size(), 1u);
+    EXPECT_DOUBLE_EQ(dsv.trip_spread(), 0.0);
+    EXPECT_DOUBLE_EQ(dsv.trip_summary().median, dsv.worst().trip_point);
+}
+
+TEST(RecipeEdgeTest, MinEqualsMaxCycles) {
+    testgen::RandomGeneratorOptions opts;
+    opts.min_cycles = 250;
+    opts.max_cycles = 250;
+    testgen::RandomTestGenerator gen(opts);
+    util::Rng rng(12);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(gen.random_test(rng).pattern.size(), 250u);
+    }
+    // Gene encoding of the collapsed range is well-defined.
+    const testgen::PatternRecipe r = gen.random_recipe(rng);
+    const auto genes = r.encode(250, 250);
+    EXPECT_EQ(testgen::PatternRecipe::decode(genes, 250, 250).cycles, 250u);
+}
+
+TEST(GaEdgeTest, FitnessTiesHandledByElitism) {
+    // All-equal fitness: evolution must not crash or lose individuals.
+    util::Rng rng(13);
+    ga::PopulationOptions opts;
+    opts.size = 8;
+    opts.elite = 2;
+    ga::Population pop(opts, {}, rng);
+    const ga::FitnessFn flat = [](const ga::TestChromosome&) { return 1.0; };
+    (void)pop.evaluate(flat);
+    for (int g = 0; g < 5; ++g) (void)pop.step(flat, rng);
+    EXPECT_EQ(pop.size(), 8u);
+    EXPECT_DOUBLE_EQ(pop.best().fitness, 1.0);
+}
+
+}  // namespace
+}  // namespace cichar

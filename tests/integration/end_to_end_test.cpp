@@ -1,0 +1,183 @@
+// Full-stack integration: the paper's Table 1 shape on a fresh device —
+// deterministic March < best random < NN+GA, with all WCR values in the
+// pass/weakness bands and the shmoo band visibly test dependent.
+#include <gtest/gtest.h>
+
+#include "ate/shmoo.hpp"
+#include "core/characterizer.hpp"
+#include "device/memory_chip.hpp"
+#include "testgen/march.hpp"
+
+namespace cichar {
+namespace {
+
+device::MemoryChipOptions noiseless() {
+    device::MemoryChipOptions o;
+    o.noise_sigma_ns = 0.0;
+    return o;
+}
+
+core::CharacterizerOptions fast_options() {
+    core::CharacterizerOptions opts;
+    opts.generator.condition_bounds = testgen::ConditionBounds::fixed_nominal();
+    opts.learner.training_tests = 80;
+    opts.learner.committee.members = 3;
+    opts.learner.committee.hidden_layers = {12};
+    opts.learner.committee.train.max_epochs = 150;
+    opts.optimizer.ga.population.size = 20;
+    opts.optimizer.ga.populations = 3;
+    opts.optimizer.ga.max_generations = 30;
+    opts.optimizer.ga.max_restarts = 3;
+    opts.optimizer.nn_candidates = 400;
+    opts.optimizer.nn_seed_count = 8;
+    return opts;
+}
+
+TEST(EndToEndTest, Table1Ordering) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    core::DeviceCharacterizer characterizer(
+        tester, ate::Parameter::data_valid_time(), fast_options());
+    util::Rng rng(2005);
+
+    // Row 1: deterministic March test.
+    const core::TripPointRecord march = characterizer.single_trip(
+        testgen::make_test(testgen::march_c_minus().expand()));
+    ASSERT_TRUE(march.found);
+
+    // Row 2: best of random tests.
+    const core::DesignSpecVariation random_dsv =
+        characterizer.characterize_random(100, rng);
+    const core::TripPointRecord random_best = random_dsv.worst();
+
+    // Row 3: NN + GA.
+    const core::LearnResult learned = characterizer.learn(rng);
+    const core::WorstCaseReport report =
+        characterizer.optimize(learned.model, rng);
+
+    // The paper's ordering: March < Random < NNGA in WCR.
+    EXPECT_LT(march.wcr, random_best.wcr);
+    EXPECT_LT(random_best.wcr + 0.05, report.outcome.best_fitness);
+
+    // And the bands: March/Random in pass, NNGA in/near weakness.
+    EXPECT_LT(march.wcr, 0.8);
+    EXPECT_LT(random_best.wcr, 0.8);
+    EXPECT_GT(report.outcome.best_fitness, 0.8);
+
+    // T_DQ ordering mirrors WCR (minimization objective).
+    EXPECT_GT(march.trip_point, random_best.trip_point);
+    EXPECT_GT(random_best.trip_point, report.worst_record.trip_point);
+}
+
+TEST(EndToEndTest, RunFullConvenience) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    core::DeviceCharacterizer characterizer(
+        tester, ate::Parameter::data_valid_time(), fast_options());
+    util::Rng rng(99);
+    const core::WorstCaseReport report = characterizer.run_full(rng);
+    EXPECT_GT(report.outcome.best_fitness, 0.75);
+    EXPECT_FALSE(report.database.empty());
+}
+
+TEST(EndToEndTest, ShmooBandShowsTestDependence) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    testgen::RandomTestGenerator gen;
+    util::Rng rng(3);
+    std::vector<testgen::Test> tests;
+    for (int i = 0; i < 30; ++i) {
+        tests.push_back(gen.random_test(rng, "s" + std::to_string(i)));
+    }
+    ate::ShmooOptions opts;
+    opts.x_steps = 45;
+    opts.vdd_steps = 9;
+    const ate::ShmooGrid grid = ate::ShmooPlotter(opts).run(
+        tester, ate::Parameter::data_valid_time(), tests);
+
+    // Some cells are unanimous, some are split (the band).
+    bool saw_band = false;
+    bool saw_all_pass = false;
+    bool saw_all_fail = false;
+    for (std::size_t iy = 0; iy < grid.vdd_steps(); ++iy) {
+        for (std::size_t ix = 0; ix < grid.x_steps(); ++ix) {
+            const std::uint32_t count = grid.pass_count(ix, iy);
+            if (count == 0) saw_all_fail = true;
+            else if (count == grid.tests()) saw_all_pass = true;
+            else saw_band = true;
+        }
+    }
+    EXPECT_TRUE(saw_band);
+    EXPECT_TRUE(saw_all_pass);
+    EXPECT_TRUE(saw_all_fail);
+}
+
+TEST(EndToEndTest, SearchUntilTripSavesMeasurements) {
+    // The paper's section 4 claim, end to end: characterizing N tests with
+    // the follower costs far less than N full-range searches.
+    device::MemoryTestChip chip_follow({}, noiseless());
+    ate::Tester tester_follow(chip_follow);
+    testgen::RandomTestGenerator gen;
+    util::Rng rng(4);
+    std::vector<testgen::Test> tests;
+    for (int i = 0; i < 40; ++i) {
+        tests.push_back(gen.random_test(rng, "m" + std::to_string(i)));
+    }
+
+    const core::MultiTripCharacterizer characterizer;
+    const core::DesignSpecVariation dsv = characterizer.characterize(
+        tester_follow, ate::Parameter::data_valid_time(), tests);
+    const std::size_t follower_cost = dsv.total_measurements();
+
+    device::MemoryTestChip chip_full({}, noiseless());
+    ate::Tester tester_full(chip_full);
+    const ate::SuccessiveApproximation full;
+    std::size_t full_cost = 0;
+    for (const testgen::Test& test : tests) {
+        const ate::SearchResult r = full.find(
+            tester_full.oracle(test, ate::Parameter::data_valid_time()),
+            ate::Parameter::data_valid_time());
+        full_cost += r.measurements;
+        ASSERT_TRUE(r.found);
+    }
+    EXPECT_LT(static_cast<double>(follower_cost),
+              static_cast<double>(full_cost) * 0.85);
+
+    // And identical trip points (within resolution).
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+        const double truth = chip_full.true_parameter(
+            tests[i], device::ParameterKind::kDataValidTime);
+        EXPECT_NEAR(dsv.record(i).trip_point, truth, 0.25) << i;
+    }
+}
+
+TEST(EndToEndTest, FunctionalFailuresStoredSeparately) {
+    // At collapsed supply the optimizer's fail-crossing evaluations run a
+    // functional check; failures land in the separate store.
+    device::MemoryChipOptions chip_opts = noiseless();
+    device::MemoryTestChip chip({}, chip_opts);
+    ate::Tester tester(chip);
+    util::Rng rng(5);
+
+    core::OptimizerOptions opts;
+    opts.ga.population.size = 16;
+    opts.ga.populations = 2;
+    opts.ga.max_generations = 25;
+    opts.thresholds.fail = 0.85;  // lowered: treat weakness as "fail" so
+                                  // functional checks actually trigger
+    const core::WorstCaseOptimizer optimizer(opts);
+    testgen::RandomGeneratorOptions gen;
+    gen.condition_bounds = testgen::ConditionBounds::fixed_nominal();
+    const core::WorstCaseReport report = optimizer.run_unseeded(
+        tester, ate::Parameter::data_valid_time(), gen,
+        core::Objective::kDriftToMinimum, rng);
+    // The hunt crosses 0.85 on this device; functional checks ran. The
+    // device still passes functionally at 1.8 V (T_DQ ~ 22 > 19.5), so
+    // the separate store exists but stays empty — the paper's separation,
+    // not a failure injection.
+    EXPECT_GT(report.outcome.best_fitness, 0.85);
+    EXPECT_TRUE(report.database.functional_failures().empty());
+}
+
+}  // namespace
+}  // namespace cichar

@@ -1,0 +1,58 @@
+// Seed-robustness of the headline result: the Table 1 shape must hold for
+// ANY seed, not just the bench default — the difference between a
+// reproduction and a lucky run.
+#include <gtest/gtest.h>
+
+#include "core/characterizer.hpp"
+#include "device/presets.hpp"
+#include "testgen/march.hpp"
+
+namespace cichar {
+namespace {
+
+core::CharacterizerOptions sweep_options() {
+    core::CharacterizerOptions opts;
+    opts.generator.condition_bounds =
+        testgen::ConditionBounds::fixed_nominal();
+    opts.learner.training_tests = 80;
+    opts.learner.committee.members = 3;
+    opts.learner.committee.hidden_layers = {12};
+    opts.learner.committee.train.max_epochs = 120;
+    opts.optimizer.ga.population.size = 18;
+    opts.optimizer.ga.populations = 3;
+    opts.optimizer.ga.max_generations = 25;
+    opts.optimizer.nn_candidates = 400;
+    opts.optimizer.nn_seed_count = 10;
+    return opts;
+}
+
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweepTest, Table1ShapeHolds) {
+    device::MemoryTestChip chip = device::presets::typical(GetParam());
+    ate::Tester tester(chip);
+    core::DeviceCharacterizer characterizer(
+        tester, ate::Parameter::data_valid_time(), sweep_options());
+    util::Rng rng(GetParam());
+
+    const core::TripPointRecord march = characterizer.single_trip(
+        testgen::make_test(testgen::march_c_minus().expand()));
+    const core::DesignSpecVariation random_dsv =
+        characterizer.characterize_random(150, rng);
+    const core::WorstCaseReport hunt = characterizer.run_full(rng);
+
+    // Ordering: deterministic < best random < NN+GA.
+    EXPECT_LT(march.wcr, random_dsv.worst().wcr) << "seed " << GetParam();
+    EXPECT_LT(random_dsv.worst().wcr, hunt.outcome.best_fitness)
+        << "seed " << GetParam();
+    // Bands: March deep in pass; hunt in/near the paper's weakness band.
+    EXPECT_LT(march.wcr, 0.65) << "seed " << GetParam();
+    EXPECT_GT(hunt.outcome.best_fitness, 0.85) << "seed " << GetParam();
+    EXPECT_LE(hunt.outcome.best_fitness, 1.0) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values<std::uint64_t>(3, 1234, 777777));
+
+}  // namespace
+}  // namespace cichar

@@ -1,0 +1,146 @@
+#include "nn/committee.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::nn {
+namespace {
+
+/// Two-class problem: class 0 when x0 < 0.5, class 1 otherwise.
+Dataset two_class(std::size_t n, util::Rng& rng) {
+    Dataset data(2, 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform();
+        const double x1 = rng.uniform();
+        if (x0 < 0.5) {
+            data.add({x0, x1}, {1.0, 0.0});
+        } else {
+            data.add({x0, x1}, {0.0, 1.0});
+        }
+    }
+    return data;
+}
+
+CommitteeOptions small_committee() {
+    CommitteeOptions opts;
+    opts.members = 3;
+    opts.subset_fraction = 0.7;
+    opts.hidden_layers = {8};
+    opts.train.max_epochs = 150;
+    return opts;
+}
+
+TEST(CommitteeTest, TrainsRequestedMembers) {
+    util::Rng rng(1);
+    const Dataset train = two_class(200, rng);
+    const Dataset val = two_class(60, rng);
+    VotingCommittee committee;
+    const auto reports = committee.train(train, val, small_committee(), rng);
+    EXPECT_EQ(committee.member_count(), 3u);
+    EXPECT_EQ(reports.size(), 3u);
+    EXPECT_EQ(committee.member_validation_errors().size(), 3u);
+}
+
+TEST(CommitteeTest, MembersDiffer) {
+    util::Rng rng(2);
+    const Dataset train = two_class(200, rng);
+    const Dataset val = two_class(50, rng);
+    VotingCommittee committee;
+    (void)committee.train(train, val, small_committee(), rng);
+    EXPECT_NE(committee.member(0), committee.member(1));
+    EXPECT_NE(committee.member(1), committee.member(2));
+}
+
+TEST(CommitteeTest, VoteAgreesOnEasyPoints) {
+    util::Rng rng(3);
+    const Dataset train = two_class(300, rng);
+    const Dataset val = two_class(80, rng);
+    VotingCommittee committee;
+    (void)committee.train(train, val, small_committee(), rng);
+
+    const VoteResult low = committee.vote(std::vector<double>{0.05, 0.5});
+    EXPECT_EQ(low.majority_class, 0u);
+    EXPECT_DOUBLE_EQ(low.agreement, 1.0);
+
+    const VoteResult high = committee.vote(std::vector<double>{0.95, 0.5});
+    EXPECT_EQ(high.majority_class, 1u);
+    EXPECT_DOUBLE_EQ(high.agreement, 1.0);
+}
+
+TEST(CommitteeTest, DispersionHigherNearBoundary) {
+    util::Rng rng(4);
+    const Dataset train = two_class(300, rng);
+    const Dataset val = two_class(80, rng);
+    VotingCommittee committee;
+    (void)committee.train(train, val, small_committee(), rng);
+    const VoteResult easy = committee.vote(std::vector<double>{0.02, 0.5});
+    const VoteResult hard = committee.vote(std::vector<double>{0.50, 0.5});
+    EXPECT_GE(hard.dispersion, easy.dispersion);
+}
+
+TEST(CommitteeTest, PredictAveragesMembers) {
+    util::Rng rng(5);
+    const Dataset train = two_class(100, rng);
+    VotingCommittee committee;
+    CommitteeOptions opts = small_committee();
+    opts.members = 2;
+    (void)committee.train(train, Dataset{}, opts, rng);
+    const std::vector<double> x{0.3, 0.3};
+    const auto mean = committee.predict(x);
+    const auto m0 = committee.member(0).forward(x);
+    const auto m1 = committee.member(1).forward(x);
+    for (std::size_t o = 0; o < mean.size(); ++o) {
+        EXPECT_NEAR(mean[o], 0.5 * (m0[o] + m1[o]), 1e-12);
+    }
+}
+
+TEST(CommitteeTest, MeanValidationErrorIsConsistencyCheck) {
+    util::Rng rng(6);
+    const Dataset train = two_class(200, rng);
+    const Dataset val = two_class(60, rng);
+    VotingCommittee committee;
+    (void)committee.train(train, val, small_committee(), rng);
+    double sum = 0.0;
+    for (const double e : committee.member_validation_errors()) sum += e;
+    EXPECT_NEAR(committee.mean_validation_error(), sum / 3.0, 1e-15);
+    EXPECT_LT(committee.mean_validation_error(), 0.1);
+}
+
+TEST(CommitteeTest, FullFractionUsesWholeSet) {
+    util::Rng rng(7);
+    const Dataset train = two_class(50, rng);
+    VotingCommittee committee;
+    CommitteeOptions opts = small_committee();
+    opts.subset_fraction = 1.0;
+    opts.members = 2;
+    EXPECT_NO_THROW((void)committee.train(train, Dataset{}, opts, rng));
+}
+
+TEST(CommitteeTest, SetMembersRestores) {
+    const std::vector<std::size_t> sizes{2, 2};
+    std::vector<Mlp> members;
+    members.emplace_back(sizes, Activation::kTanh, Activation::kSigmoid);
+    members.emplace_back(sizes, Activation::kTanh, Activation::kSigmoid);
+    VotingCommittee committee;
+    committee.set_members(std::move(members), {0.01, 0.02});
+    EXPECT_EQ(committee.member_count(), 2u);
+    EXPECT_NEAR(committee.mean_validation_error(), 0.015, 1e-15);
+}
+
+TEST(CommitteeTest, DeterministicGivenSeed) {
+    const auto run = [](std::uint64_t seed) {
+        util::Rng rng(seed);
+        const Dataset train = two_class(100, rng);
+        VotingCommittee committee;
+        CommitteeOptions opts;
+        opts.members = 2;
+        opts.hidden_layers = {4};
+        opts.train.max_epochs = 30;
+        (void)committee.train(train, Dataset{}, opts, rng);
+        return committee.predict(std::vector<double>{0.3, 0.7});
+    };
+    EXPECT_EQ(run(11), run(11));
+    EXPECT_NE(run(11), run(12));
+}
+
+}  // namespace
+}  // namespace cichar::nn

@@ -1,0 +1,135 @@
+#include "nn/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cichar::nn {
+namespace {
+
+Dataset make_dataset(std::size_t n) {
+    Dataset data(2, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = static_cast<double>(i);
+        data.add({x, 2.0 * x}, {x * 0.1});
+    }
+    return data;
+}
+
+TEST(DatasetTest, WidthsFixedByFirstAdd) {
+    Dataset data;
+    data.add({1.0, 2.0, 3.0}, {4.0});
+    EXPECT_EQ(data.input_width(), 3u);
+    EXPECT_EQ(data.target_width(), 1u);
+    EXPECT_EQ(data.size(), 1u);
+}
+
+TEST(DatasetTest, AccessorsReturnStoredValues) {
+    const Dataset data = make_dataset(5);
+    EXPECT_DOUBLE_EQ(data.input(3)[0], 3.0);
+    EXPECT_DOUBLE_EQ(data.input(3)[1], 6.0);
+    EXPECT_DOUBLE_EQ(data.target(3)[0], 0.3);
+}
+
+TEST(DatasetTest, AppendMerges) {
+    Dataset a = make_dataset(3);
+    const Dataset b = make_dataset(2);
+    a.append(b);
+    EXPECT_EQ(a.size(), 5u);
+    EXPECT_DOUBLE_EQ(a.input(4)[0], 1.0);
+}
+
+TEST(NormalizerTest, MapsToUnitInterval) {
+    Dataset data(1, 1);
+    data.add({10.0}, {0.0});
+    data.add({20.0}, {0.0});
+    data.add({15.0}, {0.0});
+    Normalizer norm;
+    norm.fit(data);
+    EXPECT_DOUBLE_EQ(norm.apply(std::vector<double>{10.0})[0], 0.0);
+    EXPECT_DOUBLE_EQ(norm.apply(std::vector<double>{20.0})[0], 1.0);
+    EXPECT_DOUBLE_EQ(norm.apply(std::vector<double>{15.0})[0], 0.5);
+}
+
+TEST(NormalizerTest, DegenerateFeatureMapsToHalf) {
+    Dataset data(2, 1);
+    data.add({5.0, 1.0}, {0.0});
+    data.add({5.0, 2.0}, {0.0});
+    Normalizer norm;
+    norm.fit(data);
+    EXPECT_DOUBLE_EQ(norm.apply(std::vector<double>{5.0, 1.5})[0], 0.5);
+}
+
+TEST(NormalizerTest, RestoreRebuilds) {
+    Normalizer norm;
+    norm.restore({0.0, 1.0}, {2.0, 3.0});
+    EXPECT_TRUE(norm.fitted());
+    EXPECT_DOUBLE_EQ(norm.apply(std::vector<double>{1.0, 2.0})[0], 0.5);
+}
+
+TEST(SplitTest, SizesMatchFraction) {
+    const Dataset data = make_dataset(100);
+    util::Rng rng(1);
+    const auto [train, val] = split(data, 0.8, rng);
+    EXPECT_EQ(train.size(), 80u);
+    EXPECT_EQ(val.size(), 20u);
+    EXPECT_EQ(train.input_width(), 2u);
+}
+
+TEST(SplitTest, NoSampleLostOrDuplicated) {
+    const Dataset data = make_dataset(50);
+    util::Rng rng(2);
+    const auto [train, val] = split(data, 0.7, rng);
+    std::multiset<double> seen;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+        seen.insert(train.input(i)[0]);
+    }
+    for (std::size_t i = 0; i < val.size(); ++i) {
+        seen.insert(val.input(i)[0]);
+    }
+    EXPECT_EQ(seen.size(), 50u);
+    for (std::size_t i = 0; i < 50; ++i) {
+        EXPECT_EQ(seen.count(static_cast<double>(i)), 1u);
+    }
+}
+
+TEST(SplitTest, FullFractionLeavesValidationEmpty) {
+    const Dataset data = make_dataset(10);
+    util::Rng rng(3);
+    const auto [train, val] = split(data, 1.0, rng);
+    EXPECT_EQ(train.size(), 10u);
+    EXPECT_TRUE(val.empty());
+}
+
+TEST(SubsetTest, DistinctSamplesWithoutReplacement) {
+    const Dataset data = make_dataset(40);
+    util::Rng rng(4);
+    const Dataset sub = subset(data, 0.5, rng);
+    EXPECT_EQ(sub.size(), 20u);
+    std::set<double> unique;
+    for (std::size_t i = 0; i < sub.size(); ++i) {
+        unique.insert(sub.input(i)[0]);
+    }
+    EXPECT_EQ(unique.size(), 20u);  // no duplicates
+}
+
+TEST(SubsetTest, AtLeastOneSample) {
+    const Dataset data = make_dataset(3);
+    util::Rng rng(5);
+    EXPECT_GE(subset(data, 0.01, rng).size(), 1u);
+}
+
+TEST(SubsetTest, DifferentDrawsDiffer) {
+    const Dataset data = make_dataset(100);
+    util::Rng rng(6);
+    const Dataset a = subset(data, 0.3, rng);
+    const Dataset b = subset(data, 0.3, rng);
+    std::set<double> sa;
+    std::set<double> sb;
+    for (std::size_t i = 0; i < a.size(); ++i) sa.insert(a.input(i)[0]);
+    for (std::size_t i = 0; i < b.size(); ++i) sb.insert(b.input(i)[0]);
+    EXPECT_NE(sa, sb);
+}
+
+}  // namespace
+}  // namespace cichar::nn

@@ -1,0 +1,149 @@
+#include "nn/ga_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::nn {
+namespace {
+
+Dataset xor_dataset() {
+    Dataset data(2, 1);
+    data.add({0.0, 0.0}, {0.0});
+    data.add({0.0, 1.0}, {1.0});
+    data.add({1.0, 0.0}, {1.0});
+    data.add({1.0, 1.0}, {0.0});
+    return data;
+}
+
+TEST(FlattenTest, RoundTripExact) {
+    const std::vector<std::size_t> sizes{3, 5, 2};
+    Mlp net(sizes, Activation::kTanh, Activation::kSigmoid);
+    util::Rng rng(1);
+    net.init_weights(rng);
+    const std::vector<double> flat = flatten_weights(net);
+    EXPECT_EQ(flat.size(), net.parameter_count());
+
+    Mlp other(sizes, Activation::kTanh, Activation::kSigmoid);
+    restore_weights(other, flat);
+    EXPECT_EQ(net, other);
+}
+
+TEST(FlattenTest, OrderIsLayerMajor) {
+    const std::vector<std::size_t> sizes{1, 1};
+    Mlp net(sizes, Activation::kLinear, Activation::kLinear);
+    net.layer(0).weight(0, 0) = 7.0;
+    net.layer(0).biases[0] = 9.0;
+    const std::vector<double> flat = flatten_weights(net);
+    ASSERT_EQ(flat.size(), 2u);
+    EXPECT_DOUBLE_EQ(flat[0], 7.0);
+    EXPECT_DOUBLE_EQ(flat[1], 9.0);
+}
+
+TEST(GaTrainerTest, LearnsXorWithoutGradients) {
+    const std::vector<std::size_t> sizes{2, 6, 1};
+    Mlp net(sizes, Activation::kTanh, Activation::kSigmoid);
+    util::Rng rng(7);
+    net.init_weights(rng);
+    GaTrainOptions opts;
+    opts.population = 40;
+    opts.generations = 250;
+    opts.learnability_mse = 0.05;
+    const GaTrainer trainer(opts);
+    const TrainReport report =
+        trainer.train(net, xor_dataset(), Dataset{}, rng);
+    EXPECT_TRUE(report.learned) << report.final_train_mse;
+    EXPECT_GT(net.forward(std::vector<double>{1.0, 0.0})[0], 0.6);
+    EXPECT_LT(net.forward(std::vector<double>{0.0, 0.0})[0], 0.4);
+}
+
+TEST(GaTrainerTest, FitnessImprovesOverGenerations) {
+    const std::vector<std::size_t> sizes{2, 5, 1};
+    Mlp net(sizes, Activation::kTanh, Activation::kSigmoid);
+    util::Rng rng(8);
+    net.init_weights(rng);
+    GaTrainOptions opts;
+    opts.generations = 60;
+    const GaTrainer trainer(opts);
+    const TrainReport report =
+        trainer.train(net, xor_dataset(), Dataset{}, rng);
+    ASSERT_GE(report.history.size(), 2u);
+    EXPECT_LE(report.history.back().train_mse,
+              report.history.front().train_mse);
+}
+
+TEST(GaTrainerTest, BestHistoryMonotone) {
+    // Elitism makes the best-of-population MSE non-increasing.
+    const std::vector<std::size_t> sizes{2, 4, 1};
+    Mlp net(sizes, Activation::kTanh, Activation::kSigmoid);
+    util::Rng rng(9);
+    net.init_weights(rng);
+    GaTrainOptions opts;
+    opts.generations = 40;
+    const GaTrainer trainer(opts);
+    const TrainReport report =
+        trainer.train(net, xor_dataset(), Dataset{}, rng);
+    for (std::size_t i = 1; i < report.history.size(); ++i) {
+        EXPECT_LE(report.history[i].train_mse,
+                  report.history[i - 1].train_mse + 1e-12);
+    }
+}
+
+TEST(GaTrainerTest, TargetStopsEarly) {
+    const std::vector<std::size_t> sizes{1, 1};
+    Mlp net(sizes, Activation::kLinear, Activation::kLinear);
+    Dataset trivial(1, 1);
+    trivial.add({1.0}, {0.0});
+    util::Rng rng(10);
+    GaTrainOptions opts;
+    opts.generations = 500;
+    opts.target_train_mse = 1e-3;
+    const GaTrainer trainer(opts);
+    const TrainReport report = trainer.train(net, trivial, Dataset{}, rng);
+    EXPECT_LT(report.epochs_run, 500u);
+}
+
+TEST(GaTrainerTest, ValidationReported) {
+    const std::vector<std::size_t> sizes{2, 5, 1};
+    Mlp net(sizes, Activation::kTanh, Activation::kSigmoid);
+    util::Rng rng(11);
+    net.init_weights(rng);
+    const Dataset data = xor_dataset();
+    GaTrainOptions opts;
+    opts.generations = 30;
+    const GaTrainer trainer(opts);
+    const TrainReport report = trainer.train(net, data, data, rng);
+    EXPECT_NEAR(report.final_train_mse, report.final_validation_mse, 1e-12);
+}
+
+TEST(GaTrainerTest, DeterministicGivenSeed) {
+    const auto run = [](std::uint64_t seed) {
+        const std::vector<std::size_t> sizes{2, 4, 1};
+        Mlp net(sizes, Activation::kTanh, Activation::kSigmoid);
+        util::Rng rng(seed);
+        net.init_weights(rng);
+        GaTrainOptions opts;
+        opts.generations = 20;
+        (void)GaTrainer(opts).train(net, xor_dataset(), Dataset{}, rng);
+        return net;
+    };
+    EXPECT_EQ(run(5), run(5));
+}
+
+TEST(GaTrainerTest, WeightsStayWithinLimit) {
+    const std::vector<std::size_t> sizes{2, 4, 1};
+    Mlp net(sizes, Activation::kTanh, Activation::kSigmoid);
+    util::Rng rng(12);
+    net.init_weights(rng);
+    GaTrainOptions opts;
+    opts.generations = 30;
+    opts.weight_limit = 1.5;
+    const GaTrainer trainer(opts);
+    (void)trainer.train(net, xor_dataset(), Dataset{}, rng);
+    for (std::size_t l = 0; l < net.layer_count(); ++l) {
+        for (const double w : net.layer(l).weights) {
+            EXPECT_LE(std::abs(w), 1.5 + 1e-12);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace cichar::nn

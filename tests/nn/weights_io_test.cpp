@@ -1,0 +1,122 @@
+#include "nn/weights_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace cichar::nn {
+namespace {
+
+Mlp random_net(std::uint64_t seed) {
+    const std::vector<std::size_t> sizes{4, 7, 3};
+    Mlp net(sizes, Activation::kTanh, Activation::kSigmoid);
+    util::Rng rng(seed);
+    net.init_weights(rng);
+    return net;
+}
+
+TEST(WeightsIoTest, MlpRoundTripExact) {
+    const Mlp original = random_net(1);
+    std::stringstream stream;
+    save_mlp(stream, original);
+    const Mlp loaded = load_mlp(stream);
+    EXPECT_EQ(original, loaded);
+}
+
+TEST(WeightsIoTest, MlpRoundTripPreservesOutputs) {
+    const Mlp original = random_net(2);
+    std::stringstream stream;
+    save_mlp(stream, original);
+    const Mlp loaded = load_mlp(stream);
+    const std::vector<double> x{0.1, -0.2, 0.3, 0.7};
+    EXPECT_EQ(original.forward(x), loaded.forward(x));
+}
+
+TEST(WeightsIoTest, MixedActivationsPreserved) {
+    const std::vector<std::size_t> sizes{2, 3, 3, 1};
+    Mlp net(sizes, Activation::kRelu, Activation::kLinear);
+    util::Rng rng(3);
+    net.init_weights(rng);
+    std::stringstream stream;
+    save_mlp(stream, net);
+    const Mlp loaded = load_mlp(stream);
+    EXPECT_EQ(loaded.layer(0).activation, Activation::kRelu);
+    EXPECT_EQ(loaded.layer(2).activation, Activation::kLinear);
+}
+
+TEST(WeightsIoTest, CommitteeRoundTrip) {
+    VotingCommittee committee;
+    committee.set_members({random_net(4), random_net(5)}, {0.011, 0.022});
+    std::stringstream stream;
+    save_committee(stream, committee);
+    const VotingCommittee loaded = load_committee(stream);
+    EXPECT_EQ(loaded.member_count(), 2u);
+    EXPECT_EQ(loaded.member(0), committee.member(0));
+    EXPECT_EQ(loaded.member(1), committee.member(1));
+    EXPECT_EQ(loaded.member_validation_errors(),
+              committee.member_validation_errors());
+}
+
+TEST(WeightsIoTest, CommitteePredictionSurvivesRoundTrip) {
+    VotingCommittee committee;
+    committee.set_members({random_net(6), random_net(7), random_net(8)},
+                          {0.1, 0.2, 0.3});
+    std::stringstream stream;
+    save_committee(stream, committee);
+    const VotingCommittee loaded = load_committee(stream);
+    const std::vector<double> x{0.4, 0.5, -0.6, 0.9};
+    EXPECT_EQ(committee.predict(x), loaded.predict(x));
+}
+
+TEST(WeightsIoTest, MalformedMagicThrows) {
+    std::stringstream stream("not-a-weight-file 1\n");
+    EXPECT_THROW((void)load_mlp(stream), std::runtime_error);
+}
+
+TEST(WeightsIoTest, TruncatedFileThrows) {
+    const Mlp net = random_net(9);
+    std::stringstream full;
+    save_mlp(full, net);
+    const std::string text = full.str();
+    std::stringstream truncated(text.substr(0, text.size() / 2));
+    EXPECT_THROW((void)load_mlp(truncated), std::runtime_error);
+}
+
+TEST(WeightsIoTest, BadVersionThrows) {
+    std::stringstream stream("cichar-mlp 99\nlayers 1\n");
+    EXPECT_THROW((void)load_mlp(stream), std::runtime_error);
+}
+
+TEST(WeightsIoTest, BadActivationThrows) {
+    std::stringstream stream(
+        "cichar-mlp 1\nlayers 1\nlayer 1 1 frobnicate\nw 0\nb 0\n");
+    EXPECT_THROW((void)load_mlp(stream), std::runtime_error);
+}
+
+TEST(WeightsIoTest, ShapeMismatchThrows) {
+    // Second layer input (3) does not match first layer output (2).
+    std::stringstream stream(
+        "cichar-mlp 1\nlayers 2\n"
+        "layer 1 2 tanh\nw 0 0\nb 0 0\n"
+        "layer 3 1 sigmoid\nw 0 0 0\nb 0\n");
+    EXPECT_THROW((void)load_mlp(stream), std::runtime_error);
+}
+
+TEST(WeightsIoTest, FileRoundTrip) {
+    VotingCommittee committee;
+    committee.set_members({random_net(10)}, {0.5});
+    const std::string path = ::testing::TempDir() + "/cichar_weights_test.nn";
+    save_committee_file(path, committee);
+    const VotingCommittee loaded = load_committee_file(path);
+    EXPECT_EQ(loaded.member(0), committee.member(0));
+    std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, MissingFileThrows) {
+    EXPECT_THROW((void)load_committee_file("/nonexistent/path/x.nn"),
+                 std::ios_base::failure);
+}
+
+}  // namespace
+}  // namespace cichar::nn

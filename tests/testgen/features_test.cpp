@@ -1,0 +1,182 @@
+#include "testgen/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testgen/address_map.hpp"
+
+namespace cichar::testgen {
+namespace {
+
+TEST(FeaturesTest, EmptyPatternAllZero) {
+    const FeatureVector fv = extract_pattern_features(TestPattern{});
+    for (std::size_t i = 0; i < kPatternFeatureCount; ++i) {
+        EXPECT_EQ(fv[i], 0.0) << FeatureVector::name(i);
+    }
+}
+
+TEST(FeaturesTest, AllFeaturesInUnitInterval) {
+    TestPattern p("mixed");
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        if (i % 3 == 0) {
+            p.write(i * 37 % AddressMap::kWords,
+                    static_cast<std::uint16_t>(i * 0x1357));
+        } else if (i % 3 == 1) {
+            p.read(i * 91 % AddressMap::kWords, i % 2 == 0);
+        } else {
+            p.nop();
+        }
+    }
+    const FeatureVector fv = extract_pattern_features(p);
+    for (std::size_t i = 0; i < kPatternFeatureCount; ++i) {
+        EXPECT_GE(fv[i], 0.0) << FeatureVector::name(i);
+        EXPECT_LE(fv[i], 1.0) << FeatureVector::name(i);
+    }
+}
+
+TEST(FeaturesTest, ToggleDensityFullForComplementWrites) {
+    TestPattern p("toggle");
+    for (int i = 0; i < 32; ++i) {
+        p.write(0, i % 2 == 0 ? std::uint16_t{0x0000} : std::uint16_t{0xFFFF});
+    }
+    const FeatureVector fv = extract_pattern_features(p);
+    EXPECT_DOUBLE_EQ(fv[kToggleDensity], 1.0);
+}
+
+TEST(FeaturesTest, ToggleDensityZeroForConstantWrites) {
+    TestPattern p("const");
+    for (int i = 0; i < 32; ++i) p.write(0, 0x1234);
+    const FeatureVector fv = extract_pattern_features(p);
+    EXPECT_DOUBLE_EQ(fv[kToggleDensity], 0.0);
+}
+
+TEST(FeaturesTest, AlternatingDataDetected) {
+    TestPattern p("alt");
+    for (int i = 0; i < 16; ++i) {
+        p.write(0, i % 2 == 0 ? std::uint16_t{0x5555} : std::uint16_t{0xAAAA});
+    }
+    const FeatureVector fv = extract_pattern_features(p);
+    EXPECT_DOUBLE_EQ(fv[kAlternatingData], 1.0);
+    // 0x5555 <-> 0xAAAA flips every bit: toggle density is also 1.
+    EXPECT_DOUBLE_EQ(fv[kToggleDensity], 1.0);
+}
+
+TEST(FeaturesTest, BankConflictDetected) {
+    TestPattern p("conflict");
+    // Same bank (0), alternating rows: every transition is a conflict.
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        p.read(AddressMap::compose(0, i % 2 == 0 ? 3 : 9, 0));
+    }
+    const FeatureVector fv = extract_pattern_features(p);
+    EXPECT_DOUBLE_EQ(fv[kBankConflictRate], 1.0);
+    EXPECT_DOUBLE_EQ(fv[kRowLocality], 0.0);
+}
+
+TEST(FeaturesTest, RowLocalityDetected) {
+    TestPattern p("local");
+    // Same bank and row, hopping columns only.
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        p.read(AddressMap::compose(1, 5, i % AddressMap::kColumns));
+    }
+    const FeatureVector fv = extract_pattern_features(p);
+    EXPECT_DOUBLE_EQ(fv[kRowLocality], 1.0);
+    EXPECT_DOUBLE_EQ(fv[kBankConflictRate], 0.0);
+}
+
+TEST(FeaturesTest, ReadWriteFractions) {
+    TestPattern p("rw");
+    for (int i = 0; i < 10; ++i) p.read(0);
+    for (int i = 0; i < 30; ++i) p.write(0, 0);
+    const FeatureVector fv = extract_pattern_features(p);
+    EXPECT_DOUBLE_EQ(fv[kReadFraction], 0.25);
+    EXPECT_DOUBLE_EQ(fv[kWriteFraction], 0.75);
+}
+
+TEST(FeaturesTest, RwSwitchRateAlternating) {
+    TestPattern p("switch");
+    for (int i = 0; i < 20; ++i) {
+        if (i % 2 == 0) {
+            p.write(0, 0);
+        } else {
+            p.read(0);
+        }
+    }
+    const FeatureVector fv = extract_pattern_features(p);
+    EXPECT_DOUBLE_EQ(fv[kRwSwitchRate], 1.0);
+}
+
+TEST(FeaturesTest, NopsBreakNothingButCountInDenominator) {
+    TestPattern p("nops");
+    p.write(0, 0);
+    p.nop();
+    p.nop();
+    p.write(0, 0);
+    const FeatureVector fv = extract_pattern_features(p);
+    EXPECT_DOUBLE_EQ(fv[kWriteFraction], 0.5);
+}
+
+TEST(FeaturesTest, ControlActivityCountsToggles) {
+    TestPattern p("ctl");
+    // write() asserts CE and deasserts OE; read() asserts OE: the OE line
+    // toggles on every write<->read boundary.
+    p.write(0, 0);
+    p.read(0);
+    p.write(0, 0);
+    p.read(0);
+    const FeatureVector fv = extract_pattern_features(p);
+    EXPECT_NEAR(fv[kControlActivity], 3.0 / 4.0, 1e-12);
+}
+
+TEST(FeaturesTest, BurstinessCountsBurstFlags) {
+    TestPattern p("burst");
+    p.read(0, false);
+    p.read(1, true);
+    p.read(2, true);
+    p.read(3, false);
+    const FeatureVector fv = extract_pattern_features(p);
+    EXPECT_DOUBLE_EQ(fv[kBurstiness], 0.5);
+}
+
+TEST(FeaturesTest, ConditionNormalization) {
+    cichar::testgen::Test t;
+    t.pattern.write(0, 0);
+    ConditionBounds bounds;  // vdd 1.4..2.2
+    t.conditions.vdd_volts = 1.8;
+    t.conditions.temperature_c = bounds.temperature_min;
+    t.conditions.clock_period_ns = bounds.clock_period_max_ns;
+    t.conditions.output_load_pf = 30.0;
+    const FeatureVector fv = extract_features(t, bounds);
+    EXPECT_NEAR(fv[kVddNorm], 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(fv[kTemperatureNorm], 0.0);
+    EXPECT_DOUBLE_EQ(fv[kClockPeriodNorm], 1.0);
+    EXPECT_NEAR(fv[kOutputLoadNorm], 0.5, 1e-12);
+}
+
+TEST(FeaturesTest, CollapsedBoundsMapToHalf) {
+    cichar::testgen::Test t;
+    t.pattern.write(0, 0);
+    const FeatureVector fv =
+        extract_features(t, ConditionBounds::fixed_nominal());
+    EXPECT_DOUBLE_EQ(fv[kVddNorm], 0.5);
+    EXPECT_DOUBLE_EQ(fv[kTemperatureNorm], 0.5);
+}
+
+TEST(FeaturesTest, NamesExist) {
+    for (std::size_t i = 0; i < kFeatureCount; ++i) {
+        EXPECT_NE(FeatureVector::name(i), "unknown");
+    }
+    EXPECT_EQ(FeatureVector::name(kFeatureCount), "unknown");
+}
+
+TEST(FeaturesTest, DeterministicForSamePattern) {
+    TestPattern p("det");
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        p.write(i * 7 % AddressMap::kWords,
+                static_cast<std::uint16_t>(i * 31));
+    }
+    const FeatureVector a = extract_pattern_features(p);
+    const FeatureVector b = extract_pattern_features(p);
+    EXPECT_EQ(a.values, b.values);
+}
+
+}  // namespace
+}  // namespace cichar::testgen

@@ -1,0 +1,121 @@
+#include "testgen/march.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testgen/address_map.hpp"
+
+namespace cichar::testgen {
+namespace {
+
+constexpr std::uint32_t kWords = AddressMap::kWords;
+
+TEST(MarchTest, MarchCMinusComplexity) {
+    const MarchAlgorithm algo = march_c_minus();
+    EXPECT_EQ(algo.ops_per_address(), 10u);  // the classical 10N
+    const TestPattern p = algo.expand();
+    EXPECT_EQ(p.size(), 10u * kWords);
+    EXPECT_EQ(p.name(), "MarchC-");
+}
+
+TEST(MarchTest, MatsPlusComplexity) {
+    EXPECT_EQ(mats_plus().ops_per_address(), 5u);
+    EXPECT_EQ(mats_plus().expand().size(), 5u * kWords);
+}
+
+TEST(MarchTest, MarchXComplexity) {
+    EXPECT_EQ(march_x().ops_per_address(), 6u);
+}
+
+TEST(MarchTest, MarchYComplexity) {
+    EXPECT_EQ(march_y().ops_per_address(), 8u);
+}
+
+TEST(MarchTest, MarchBComplexity) {
+    EXPECT_EQ(march_b().ops_per_address(), 17u);  // the classical 17N
+    EXPECT_EQ(march_b().expand().size(),
+              17u * AddressMap::kWords);
+}
+
+TEST(MarchTest, FirstElementWritesBackgroundEverywhere) {
+    const TestPattern p = march_c_minus().expand(0x00FF);
+    for (std::uint32_t i = 0; i < kWords; ++i) {
+        EXPECT_EQ(p[i].op, BusOp::kWrite);
+        EXPECT_EQ(p[i].data, 0x00FF);
+        EXPECT_EQ(p[i].address, i);  // ascending order
+    }
+}
+
+TEST(MarchTest, SecondElementReadsThenWritesComplement) {
+    const TestPattern p = march_c_minus().expand(0x0000);
+    // Element 2 starts at offset kWords: (r0, w1) per address ascending.
+    const std::size_t base = kWords;
+    EXPECT_EQ(p[base].op, BusOp::kRead);
+    EXPECT_EQ(p[base].address, 0u);
+    EXPECT_EQ(p[base + 1].op, BusOp::kWrite);
+    EXPECT_EQ(p[base + 1].data, 0xFFFF);
+    EXPECT_EQ(p[base + 1].address, 0u);
+}
+
+TEST(MarchTest, DescendingElementsDescend) {
+    const TestPattern p = march_c_minus().expand();
+    // Element 4 (index 3) is descending (r0, w1); it begins after
+    // elements of sizes N, 2N, 2N.
+    const std::size_t base = kWords + 2 * kWords + 2 * kWords;
+    EXPECT_EQ(p[base].address, kWords - 1);
+    EXPECT_EQ(p[base + 2].address, kWords - 2);
+}
+
+TEST(MarchTest, EveryAddressTouchedByEachElement) {
+    const TestPattern p = mats_plus().expand();
+    std::vector<int> touched(kWords, 0);
+    for (std::uint32_t i = 0; i < kWords; ++i) {
+        ++touched[p[i].address];  // first element
+    }
+    for (const int t : touched) EXPECT_EQ(t, 1);
+}
+
+TEST(CheckerboardTest, SizeAndPhases) {
+    const TestPattern p = checkerboard();
+    EXPECT_EQ(p.size(), 4u * kWords);
+    // First phase writes then reads.
+    EXPECT_EQ(p[0].op, BusOp::kWrite);
+    EXPECT_EQ(p[kWords].op, BusOp::kRead);
+}
+
+TEST(CheckerboardTest, AdjacentCellsOpposite) {
+    const TestPattern p = checkerboard();
+    // Two row-adjacent addresses in the same bank/column have opposite
+    // checkerboard words.
+    const std::uint32_t a = AddressMap::compose(0, 0, 0);
+    const std::uint32_t b = AddressMap::compose(0, 1, 0);
+    const std::uint16_t wa = p[a].data;
+    const std::uint16_t wb = p[b].data;
+    EXPECT_EQ(static_cast<std::uint16_t>(wa ^ wb), 0xFFFF);
+}
+
+TEST(CheckerboardTest, SecondPhaseInverted) {
+    const TestPattern p = checkerboard();
+    const std::uint32_t a = AddressMap::compose(0, 0, 0);
+    const std::uint16_t first = p[a].data;
+    const std::uint16_t second = p[2 * kWords + a].data;
+    EXPECT_EQ(static_cast<std::uint16_t>(first ^ second), 0xFFFF);
+}
+
+TEST(DeterministicSuiteTest, AllPresentAndNamed) {
+    const auto suite = deterministic_suite();
+    ASSERT_EQ(suite.size(), 6u);
+    EXPECT_EQ(suite[0].name(), "MarchC-");
+    EXPECT_EQ(suite[1].name(), "MATS+");
+    EXPECT_EQ(suite[2].name(), "MarchX");
+    EXPECT_EQ(suite[3].name(), "MarchY");
+    EXPECT_EQ(suite[4].name(), "MarchB");
+    EXPECT_EQ(suite[5].name(), "Checkerboard");
+    for (const TestPattern& p : suite) EXPECT_FALSE(p.empty());
+}
+
+TEST(MarchTest, ExpansionDeterministic) {
+    EXPECT_EQ(march_c_minus().expand(), march_c_minus().expand());
+}
+
+}  // namespace
+}  // namespace cichar::testgen

@@ -1,0 +1,115 @@
+#include "testgen/pattern_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "testgen/march.hpp"
+#include "testgen/random_gen.hpp"
+#include "util/rng.hpp"
+
+namespace cichar::testgen {
+namespace {
+
+TestPattern sample_pattern() {
+    TestPattern p("sample pattern");  // space exercises name escaping
+    p.write(0x01F, 0x5555);
+    p.read(0x01F, /*burst=*/true);
+    p.nop();
+    p.write(0xFFF, 0xABCD);
+    return p;
+}
+
+TEST(PatternIoTest, RoundTripExact) {
+    const TestPattern original = sample_pattern();
+    std::stringstream stream;
+    save_pattern(stream, original);
+    const TestPattern loaded = load_pattern(stream);
+    EXPECT_EQ(original, loaded);
+    EXPECT_EQ(loaded.name(), "sample pattern");
+}
+
+TEST(PatternIoTest, RandomPatternRoundTrip) {
+    RandomTestGenerator gen;
+    util::Rng rng(1);
+    const PatternRecipe recipe = gen.random_recipe(rng);
+    const TestPattern original = gen.expand(recipe, "rnd");
+    std::stringstream stream;
+    save_pattern(stream, original);
+    EXPECT_EQ(load_pattern(stream), original);
+}
+
+TEST(PatternIoTest, MarchPatternRoundTrip) {
+    const TestPattern original = mats_plus().expand();
+    std::stringstream stream;
+    save_pattern(stream, original);
+    EXPECT_EQ(load_pattern(stream), original);
+}
+
+TEST(PatternIoTest, EmptyPatternRoundTrip) {
+    TestPattern empty("empty");
+    std::stringstream stream;
+    save_pattern(stream, empty);
+    const TestPattern loaded = load_pattern(stream);
+    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_EQ(loaded.name(), "empty");
+}
+
+TEST(PatternIoTest, FormatIsHumanReadable) {
+    std::stringstream stream;
+    save_pattern(stream, sample_pattern());
+    const std::string text = stream.str();
+    EXPECT_NE(text.find("cichar-pattern 1"), std::string::npos);
+    EXPECT_NE(text.find("WR 0x01F 0x5555 1 0 0"), std::string::npos);
+    EXPECT_NE(text.find("RD 0x01F 0x0000 1 1 1"), std::string::npos);
+    EXPECT_NE(text.find("NOP"), std::string::npos);
+    EXPECT_NE(text.find("sample%20pattern"), std::string::npos);
+}
+
+TEST(PatternIoTest, CommentsAndBlankLinesIgnored) {
+    std::stringstream stream(
+        "cichar-pattern 1\nname x\ncycles 1\n"
+        "# a comment\n\nWR 0x001 0x0001 1 0 0\n");
+    const TestPattern p = load_pattern(stream);
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p[0].data, 0x0001);
+}
+
+TEST(PatternIoTest, BadMagicThrows) {
+    std::stringstream stream("not-a-pattern 1\n");
+    EXPECT_THROW((void)load_pattern(stream), std::runtime_error);
+}
+
+TEST(PatternIoTest, TruncatedThrows) {
+    std::stringstream stream(
+        "cichar-pattern 1\nname x\ncycles 3\nWR 0x001 0x0001 1 0 0\n");
+    EXPECT_THROW((void)load_pattern(stream), std::runtime_error);
+}
+
+TEST(PatternIoTest, BadOpThrows) {
+    std::stringstream stream(
+        "cichar-pattern 1\nname x\ncycles 1\nZAP 0x001 0x0001 1 0 0\n");
+    EXPECT_THROW((void)load_pattern(stream), std::runtime_error);
+}
+
+TEST(PatternIoTest, BadNumberThrows) {
+    std::stringstream stream(
+        "cichar-pattern 1\nname x\ncycles 1\nWR zz 0x0001 1 0 0\n");
+    EXPECT_THROW((void)load_pattern(stream), std::runtime_error);
+}
+
+TEST(PatternIoTest, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/cichar_pattern_test.pat";
+    save_pattern_file(path, sample_pattern());
+    EXPECT_EQ(load_pattern_file(path), sample_pattern());
+    std::remove(path.c_str());
+}
+
+TEST(PatternIoTest, MissingFileThrows) {
+    EXPECT_THROW((void)load_pattern_file("/nonexistent/p.pat"),
+                 std::ios_base::failure);
+}
+
+}  // namespace
+}  // namespace cichar::testgen

@@ -1,0 +1,85 @@
+#include "testgen/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "device/memory_chip.hpp"
+#include "testgen/features.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace cichar::testgen {
+namespace {
+
+TEST(ProfilesTest, AllPresentWithUniqueNames) {
+    const auto profiles = all_profiles();
+    EXPECT_EQ(profiles.size(), 5u);
+    std::set<std::string> names;
+    for (const TrafficProfile& p : profiles) names.insert(p.name);
+    EXPECT_EQ(names.size(), profiles.size());
+}
+
+TEST(ProfilesTest, RecipesWithinGeneratorBounds) {
+    const RandomTestGenerator gen;
+    for (const TrafficProfile& p : all_profiles()) {
+        EXPECT_GE(p.recipe.cycles, gen.options().min_cycles) << p.name;
+        EXPECT_LE(p.recipe.cycles, gen.options().max_cycles) << p.name;
+        EXPECT_GE(p.recipe.write_fraction, 0.0) << p.name;
+        EXPECT_LE(p.recipe.write_fraction, 1.0) << p.name;
+        EXPECT_LE(p.recipe.alternating_data_bias + p.recipe.solid_data_bias +
+                      p.recipe.toggle_bias,
+                  1.0 + 1e-12)
+            << p.name;
+    }
+}
+
+TEST(ProfilesTest, ExpansionDeterministic) {
+    const RandomTestGenerator gen;
+    for (const TrafficProfile& p : all_profiles()) {
+        EXPECT_EQ(gen.expand(p.recipe, p.name), gen.expand(p.recipe, p.name))
+            << p.name;
+    }
+}
+
+TEST(ProfilesTest, ProfilesMatchTheirCharacter) {
+    const RandomTestGenerator gen;
+    const auto features_of = [&](const TrafficProfile& p) {
+        return extract_pattern_features(gen.expand(p.recipe, p.name));
+    };
+    const FeatureVector fetch = features_of(profile_code_fetch());
+    const FeatureVector packet = features_of(profile_packet_buffer());
+    const FeatureVector frame = features_of(profile_framebuffer());
+    const FeatureVector control = features_of(profile_control_plane());
+
+    // Code fetch: read-dominated, long bursts, few conflicts.
+    EXPECT_GT(fetch[kReadFraction], 0.8);
+    EXPECT_GT(fetch[kBurstiness], 0.6);
+    EXPECT_LT(fetch[kBankConflictRate], packet[kBankConflictRate]);
+    // Packet buffer: bank interleaving pressure.
+    EXPECT_GT(packet[kBankConflictRate], 0.2);
+    // Framebuffer: write-dominated.
+    EXPECT_GT(frame[kWriteFraction], 0.6);
+    // Control plane: the noisiest control signals.
+    EXPECT_GT(control[kControlActivity], fetch[kControlActivity]);
+}
+
+TEST(ProfilesTest, StressOrderingOnDevice) {
+    // Packet-buffer style traffic (conflicts + turnarounds) must stress
+    // the device more than sequential code fetch.
+    device::MemoryChipOptions chip_opts;
+    chip_opts.noise_sigma_ns = 0.0;
+    device::MemoryTestChip chip({}, chip_opts);
+    const RandomTestGenerator gen;
+    const auto tdq_of = [&](const TrafficProfile& p) {
+        const testgen::Test t = gen.make_test(p.recipe, {}, p.name);
+        return chip.true_parameter(t, device::ParameterKind::kDataValidTime);
+    };
+    EXPECT_LT(tdq_of(profile_packet_buffer()), tdq_of(profile_code_fetch()));
+    // And none of the realistic profiles reaches the adversarial pocket.
+    for (const TrafficProfile& p : all_profiles()) {
+        EXPECT_GT(tdq_of(p), 25.0) << p.name;
+    }
+}
+
+}  // namespace
+}  // namespace cichar::testgen

@@ -1,0 +1,229 @@
+#include "testgen/random_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testgen/features.hpp"
+
+namespace cichar::testgen {
+namespace {
+
+TEST(RecipeTest, DecodeClampsAndRanges) {
+    std::array<double, kSequenceGeneCount> genes{};
+    genes.fill(0.0);
+    const PatternRecipe lo = PatternRecipe::decode(genes, 100, 1000);
+    EXPECT_EQ(lo.cycles, 100u);
+    EXPECT_DOUBLE_EQ(lo.write_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(lo.burst_length, 1.0);
+
+    genes.fill(1.0);
+    const PatternRecipe hi = PatternRecipe::decode(genes, 100, 1000);
+    EXPECT_EQ(hi.cycles, 1000u);
+    EXPECT_DOUBLE_EQ(hi.burst_length, 16.0);
+    // Data-mode shares renormalized to sum <= 1.
+    EXPECT_LE(hi.alternating_data_bias + hi.solid_data_bias + hi.toggle_bias,
+              1.0 + 1e-12);
+}
+
+TEST(RecipeTest, DecodeOutOfRangeGenesClamped) {
+    std::array<double, kSequenceGeneCount> genes{};
+    genes.fill(5.0);
+    const PatternRecipe r = PatternRecipe::decode(genes, 100, 1000);
+    EXPECT_EQ(r.cycles, 1000u);
+    genes.fill(-5.0);
+    const PatternRecipe r2 = PatternRecipe::decode(genes, 100, 1000);
+    EXPECT_EQ(r2.cycles, 100u);
+}
+
+TEST(RecipeTest, EncodeDecodeRoundTrip) {
+    PatternRecipe r;
+    r.cycles = 500;
+    r.write_fraction = 0.4;
+    r.nop_fraction = 0.12;
+    r.burst_length = 7.0;
+    r.row_locality = 0.3;
+    r.bank_conflict_bias = 0.25;
+    r.alternating_data_bias = 0.2;
+    r.solid_data_bias = 0.1;
+    r.toggle_bias = 0.3;
+    r.control_activity = 0.05;
+    const auto genes = r.encode(100, 1000);
+    const PatternRecipe back = PatternRecipe::decode(genes, 100, 1000);
+    EXPECT_EQ(back.cycles, r.cycles);
+    EXPECT_NEAR(back.write_fraction, r.write_fraction, 1e-9);
+    EXPECT_NEAR(back.nop_fraction, r.nop_fraction, 1e-9);
+    EXPECT_NEAR(back.burst_length, r.burst_length, 1e-9);
+    EXPECT_NEAR(back.toggle_bias, r.toggle_bias, 1e-9);
+}
+
+TEST(RecipeTest, DescribeMentionsFields) {
+    PatternRecipe r;
+    r.cycles = 321;
+    const std::string d = r.describe();
+    EXPECT_NE(d.find("cycles=321"), std::string::npos);
+    EXPECT_NE(d.find("seed="), std::string::npos);
+}
+
+TEST(RandomGenTest, CycleCountWithinPaperBounds) {
+    RandomTestGenerator gen;
+    util::Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        const testgen::Test t = gen.random_test(rng);
+        EXPECT_GE(t.pattern.size(), 100u);
+        EXPECT_LE(t.pattern.size(), 1000u);
+    }
+}
+
+TEST(RandomGenTest, ExpansionDeterministicForRecipe) {
+    RandomTestGenerator gen;
+    util::Rng rng(2);
+    const PatternRecipe recipe = gen.random_recipe(rng);
+    const TestPattern a = gen.expand(recipe);
+    const TestPattern b = gen.expand(recipe);
+    EXPECT_EQ(a, b);
+}
+
+TEST(RandomGenTest, DifferentSeedsDifferentPatterns) {
+    RandomTestGenerator gen;
+    util::Rng rng(3);
+    PatternRecipe recipe = gen.random_recipe(rng);
+    const TestPattern a = gen.expand(recipe);
+    recipe.seed ^= 0xDEADBEEF;
+    const TestPattern b = gen.expand(recipe);
+    EXPECT_NE(a, b);
+}
+
+TEST(RandomGenTest, ConditionsWithinBounds) {
+    RandomTestGenerator gen;
+    util::Rng rng(4);
+    const ConditionBounds& b = gen.options().condition_bounds;
+    for (int i = 0; i < 100; ++i) {
+        const TestConditions c = gen.random_conditions(rng);
+        EXPECT_GE(c.vdd_volts, b.vdd_min);
+        EXPECT_LE(c.vdd_volts, b.vdd_max);
+        EXPECT_GE(c.temperature_c, b.temperature_min);
+        EXPECT_LE(c.temperature_c, b.temperature_max);
+    }
+}
+
+TEST(RandomGenTest, WriteFractionControlsWrites) {
+    RandomGeneratorOptions opts;
+    RandomTestGenerator gen(opts);
+    PatternRecipe r;
+    r.cycles = 1000;
+    r.nop_fraction = 0.0;
+    r.write_fraction = 1.0;
+    r.seed = 5;
+    const FeatureVector all_writes =
+        extract_pattern_features(gen.expand(r));
+    EXPECT_GT(all_writes[kWriteFraction], 0.99);
+
+    r.write_fraction = 0.0;
+    const FeatureVector all_reads = extract_pattern_features(gen.expand(r));
+    EXPECT_GT(all_reads[kReadFraction], 0.99);
+}
+
+TEST(RandomGenTest, NopFractionRespected) {
+    RandomTestGenerator gen;
+    PatternRecipe r;
+    r.cycles = 1000;
+    r.nop_fraction = 0.3;
+    r.seed = 6;
+    const TestPattern p = gen.expand(r);
+    std::size_t nops = 0;
+    for (const VectorCycle& vc : p.cycles()) {
+        if (vc.op == BusOp::kNop) ++nops;
+    }
+    EXPECT_NEAR(static_cast<double>(nops) / 1000.0, 0.3, 0.06);
+}
+
+TEST(RandomGenTest, BankConflictBiasRaisesConflicts) {
+    RandomTestGenerator gen;
+    PatternRecipe calm;
+    calm.cycles = 1000;
+    calm.bank_conflict_bias = 0.0;
+    calm.row_locality = 0.0;
+    calm.burst_length = 1.0;
+    calm.seed = 7;
+    PatternRecipe hot = calm;
+    hot.bank_conflict_bias = 0.95;
+    const double calm_rate =
+        extract_pattern_features(gen.expand(calm))[kBankConflictRate];
+    const double hot_rate =
+        extract_pattern_features(gen.expand(hot))[kBankConflictRate];
+    EXPECT_GT(hot_rate, calm_rate + 0.3);
+}
+
+TEST(RandomGenTest, RowLocalityRaisesLocality) {
+    RandomTestGenerator gen;
+    PatternRecipe base;
+    base.cycles = 1000;
+    base.row_locality = 0.0;
+    base.burst_length = 1.0;
+    base.seed = 8;
+    PatternRecipe local = base;
+    local.row_locality = 0.95;
+    const double lo = extract_pattern_features(gen.expand(base))[kRowLocality];
+    const double hi = extract_pattern_features(gen.expand(local))[kRowLocality];
+    EXPECT_GT(hi, lo + 0.3);
+}
+
+TEST(RandomGenTest, BurstLengthRaisesBurstiness) {
+    RandomTestGenerator gen;
+    PatternRecipe base;
+    base.cycles = 1000;
+    base.burst_length = 1.0;
+    base.seed = 9;
+    PatternRecipe bursty = base;
+    bursty.burst_length = 12.0;
+    const double lo = extract_pattern_features(gen.expand(base))[kBurstiness];
+    const double hi = extract_pattern_features(gen.expand(bursty))[kBurstiness];
+    EXPECT_GT(hi, lo + 0.4);
+}
+
+TEST(RandomGenTest, ToggleChainLocksIntoAlternating) {
+    // toggle_bias with occasional alternating writes locks the data chain
+    // into {0x5555, 0xAAAA}: both toggle density and the alternating
+    // fraction end up high (the worst-case pocket entrance).
+    RandomTestGenerator gen;
+    PatternRecipe r;
+    r.cycles = 1000;
+    r.write_fraction = 0.7;
+    r.nop_fraction = 0.0;
+    r.toggle_bias = 0.65;
+    r.alternating_data_bias = 0.3;
+    r.solid_data_bias = 0.0;
+    r.seed = 10;
+    const FeatureVector fv = extract_pattern_features(gen.expand(r));
+    EXPECT_GT(fv[kToggleDensity], 0.7);
+    EXPECT_GT(fv[kAlternatingData], 0.7);
+}
+
+TEST(RandomGenTest, MakeTestCarriesNameAndConditions) {
+    RandomTestGenerator gen;
+    PatternRecipe r;
+    r.cycles = 200;
+    r.seed = 11;
+    TestConditions c;
+    c.vdd_volts = 2.0;
+    const testgen::Test t = gen.make_test(r, c, "my-test");
+    EXPECT_EQ(t.name, "my-test");
+    EXPECT_EQ(t.pattern.name(), "my-test");
+    EXPECT_DOUBLE_EQ(t.conditions.vdd_volts, 2.0);
+    EXPECT_EQ(t.pattern.size(), 200u);
+}
+
+TEST(RandomGenTest, CustomCycleBounds) {
+    RandomGeneratorOptions opts;
+    opts.min_cycles = 50;
+    opts.max_cycles = 60;
+    RandomTestGenerator gen(opts);
+    util::Rng rng(12);
+    for (int i = 0; i < 20; ++i) {
+        const testgen::Test t = gen.random_test(rng);
+        EXPECT_GE(t.pattern.size(), 50u);
+        EXPECT_LE(t.pattern.size(), 60u);
+    }
+}
+
+}  // namespace
+}  // namespace cichar::testgen

@@ -1,0 +1,89 @@
+#include "util/ascii.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cichar::util {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+    TextTable t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer-name", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+    TextTable t({"a", "b"});
+    t.add_row({"xx", "yy"});
+    const std::string out = t.render();
+    // Every line has identical length.
+    std::istringstream in(out);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(in, line)) {
+        if (width == 0) width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(TextTableTest, ShortRowPadded) {
+    TextTable t({"a", "b", "c"});
+    t.add_row({"only"});
+    EXPECT_NO_THROW((void)t.render());
+}
+
+TEST(TextTableTest, NumericRowFormatting) {
+    TextTable t({"label", "v1", "v2"});
+    t.add_row("row", {1.23456, 2.0}, 2);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("1.23"), std::string::npos);
+    EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(CharGridTest, SetAndGet) {
+    CharGrid g(10, 5);
+    g.set(3, 2, '#');
+    EXPECT_EQ(g.at(3, 2), '#');
+    EXPECT_EQ(g.at(0, 0), ' ');
+}
+
+TEST(CharGridTest, OutOfRangeIgnored) {
+    CharGrid g(4, 4);
+    g.set(100, 100, 'x');  // must not crash
+    EXPECT_EQ(g.at(100, 100), '\0');
+}
+
+TEST(CharGridTest, RenderShape) {
+    CharGrid g(3, 2, '.');
+    const std::string out = g.render();
+    EXPECT_EQ(out, "...\n...\n");
+}
+
+TEST(CharGridTest, RenderWithLabels) {
+    CharGrid g(2, 2, '*');
+    const std::string out = g.render({"1.8", "1.4"});
+    EXPECT_NE(out.find("1.8 |**"), std::string::npos);
+    EXPECT_NE(out.find("1.4 |**"), std::string::npos);
+}
+
+TEST(FixedTest, Precision) {
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(1.0, 0), "1");
+    EXPECT_EQ(fixed(-2.5, 1), "-2.5");
+}
+
+TEST(BarTest, Scaling) {
+    EXPECT_EQ(bar(5.0, 10.0, 10).size(), 5u);
+    EXPECT_EQ(bar(10.0, 10.0, 10).size(), 10u);
+    EXPECT_EQ(bar(20.0, 10.0, 10).size(), 10u);  // clamped
+    EXPECT_TRUE(bar(-1.0, 10.0, 10).empty());
+    EXPECT_TRUE(bar(1.0, 0.0, 10).empty());
+}
+
+}  // namespace
+}  // namespace cichar::util

@@ -1,0 +1,76 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cichar::util {
+namespace {
+
+TEST(CsvTest, PlainRow) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"a", "b", "c"});
+    EXPECT_EQ(out.str(), "a,b,c\n");
+    EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvTest, QuotesCommas) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"x,y", "plain"});
+    EXPECT_EQ(out.str(), "\"x,y\",plain\n");
+}
+
+TEST(CsvTest, EscapesEmbeddedQuotes) {
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, QuotesNewlines) {
+    EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvTest, PlainCellUntouched) {
+    EXPECT_EQ(CsvWriter::escape("hello world"), "hello world");
+}
+
+TEST(CsvTest, NumericRow) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    const std::vector<double> values{1.0, 2.5, -3.0};
+    csv.numeric_row(values);
+    EXPECT_EQ(out.str(), "1,2.5,-3\n");
+}
+
+TEST(CsvTest, LabeledRow) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    const std::vector<double> values{0.5};
+    csv.labeled_row("vdd", values);
+    EXPECT_EQ(out.str(), "vdd,0.5\n");
+}
+
+TEST(CsvTest, MultipleRowsCounted) {
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"h1", "h2"});
+    const std::vector<double> values{1.0, 2.0};
+    csv.numeric_row(values);
+    csv.numeric_row(values);
+    EXPECT_EQ(csv.rows_written(), 3u);
+}
+
+TEST(FormatDoubleTest, RoundTripPrecision) {
+    for (const double v : {0.1, 1.0 / 3.0, 1e-20, 12345.6789, -0.0}) {
+        const std::string s = format_double(v);
+        EXPECT_DOUBLE_EQ(std::stod(s), v) << s;
+    }
+}
+
+TEST(FormatDoubleTest, IntegersCompact) {
+    EXPECT_EQ(format_double(42.0), "42");
+    EXPECT_EQ(format_double(0.0), "0");
+}
+
+}  // namespace
+}  // namespace cichar::util

@@ -1,0 +1,83 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cichar::util {
+namespace {
+
+TEST(HistogramTest, BinEdges) {
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bin_count(), 5u);
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(HistogramTest, ValuesLandInRightBins) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(1.0);   // bin 0
+    h.add(3.9);   // bin 1
+    h.add(9.99);  // bin 4
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(HistogramTest, OfDataCoversEverything) {
+    Rng rng(1);
+    std::vector<double> data;
+    for (int i = 0; i < 1000; ++i) data.push_back(rng.normal(5.0, 1.0));
+    const Histogram h = Histogram::of(data, 15);
+    EXPECT_EQ(h.total(), 1000u);
+    std::size_t sum = 0;
+    for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.count(b);
+    EXPECT_EQ(sum, 1000u);
+}
+
+TEST(HistogramTest, ModeNearDistributionCenter) {
+    Rng rng(2);
+    std::vector<double> data;
+    for (int i = 0; i < 5000; ++i) data.push_back(rng.normal(5.0, 1.0));
+    const Histogram h = Histogram::of(data, 21);
+    const std::size_t mode = h.mode_bin();
+    EXPECT_GT(h.bin_hi(mode), 4.0);
+    EXPECT_LT(h.bin_lo(mode), 6.0);
+}
+
+TEST(HistogramTest, DegenerateDataGetsWindow) {
+    const std::vector<double> same{3.0, 3.0, 3.0};
+    const Histogram h = Histogram::of(same, 5);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_LT(h.bin_lo(0), 3.0);
+    EXPECT_GT(h.bin_hi(h.bin_count() - 1), 3.0);
+}
+
+TEST(HistogramTest, RenderShowsBarsAndCounts) {
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(1.5);
+    const std::string out = h.render(10, 1);
+    EXPECT_NE(out.find("0.0 .. 1.0 | ########## 2"), std::string::npos);
+    EXPECT_NE(out.find("1.0 .. 2.0 | ##### 1"), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyRenderSafe) {
+    Histogram h(0.0, 1.0, 3);
+    EXPECT_NO_THROW((void)h.render());
+}
+
+}  // namespace
+}  // namespace cichar::util

@@ -1,0 +1,88 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ate/measurement_log.hpp"
+
+namespace cichar::util {
+namespace {
+
+/// Restores global logger state after each test.
+struct LogFixture : ::testing::Test {
+    void SetUp() override {
+        previous_level_ = Log::level();
+        Log::set_sink(&captured_);
+    }
+    void TearDown() override {
+        Log::set_sink(nullptr);
+        Log::set_level(previous_level_);
+    }
+    std::ostringstream captured_;
+    LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogFixture, LevelFiltering) {
+    Log::set_level(LogLevel::kWarn);
+    log_debug("hidden debug");
+    log_info("hidden info");
+    log_warn("visible warning");
+    log_error("visible error");
+    const std::string out = captured_.str();
+    EXPECT_EQ(out.find("hidden"), std::string::npos);
+    EXPECT_NE(out.find("visible warning"), std::string::npos);
+    EXPECT_NE(out.find("visible error"), std::string::npos);
+}
+
+TEST_F(LogFixture, DebugLevelShowsEverything) {
+    Log::set_level(LogLevel::kDebug);
+    log_debug("d");
+    log_info("i");
+    const std::string out = captured_.str();
+    EXPECT_NE(out.find("DEBUG"), std::string::npos);
+    EXPECT_NE(out.find("INFO"), std::string::npos);
+}
+
+TEST_F(LogFixture, OffSilencesAll) {
+    Log::set_level(LogLevel::kOff);
+    log_error("should not appear");
+    EXPECT_TRUE(captured_.str().empty());
+}
+
+TEST_F(LogFixture, MessageComposition) {
+    Log::set_level(LogLevel::kInfo);
+    log_info("value is ", 42, " (", 3.5, ")");
+    EXPECT_NE(captured_.str().find("value is 42 (3.5)"), std::string::npos);
+}
+
+TEST_F(LogFixture, TagFormat) {
+    Log::set_level(LogLevel::kInfo);
+    log_warn("tagged");
+    EXPECT_NE(captured_.str().find("[cichar WARN ] tagged"),
+              std::string::npos);
+}
+
+TEST(PhaseCountersTest, AddAccumulates) {
+    ate::PhaseCounters c;
+    c.add(100, 0.5);
+    c.add(200, 1.0);
+    EXPECT_EQ(c.applications, 2u);
+    EXPECT_EQ(c.vector_cycles, 300u);
+    EXPECT_DOUBLE_EQ(c.tester_seconds, 1.5);
+}
+
+TEST(PhaseCountersTest, MergeCombines) {
+    ate::PhaseCounters a;
+    a.add(10, 0.1);
+    ate::PhaseCounters b;
+    b.add(20, 0.2);
+    b.add(30, 0.3);
+    a.merge(b);
+    EXPECT_EQ(a.applications, 3u);
+    EXPECT_EQ(a.vector_cycles, 60u);
+    EXPECT_NEAR(a.tester_seconds, 0.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace cichar::util

@@ -1,0 +1,166 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cichar::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+    RunningStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1: sum sq dev = 32, / 7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+    Rng rng(1);
+    RunningStats whole;
+    RunningStats a;
+    RunningStats b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        whole.add(x);
+        (i < 400 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+    RunningStats a;
+    a.add(1.0);
+    a.add(2.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    RunningStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(PercentileTest, MedianOdd) {
+    const std::vector<double> v{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.0);
+}
+
+TEST(PercentileTest, Extremes) {
+    const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+    const std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+    const std::vector<double> v{7.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 7.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 7.0);
+}
+
+TEST(SummaryTest, OrderingInvariant) {
+    Rng rng(33);
+    std::vector<double> v;
+    for (int i = 0; i < 500; ++i) v.push_back(rng.normal(0.0, 5.0));
+    const Summary s = summarize(v);
+    EXPECT_EQ(s.count, 500u);
+    EXPECT_LE(s.min, s.p25);
+    EXPECT_LE(s.p25, s.median);
+    EXPECT_LE(s.median, s.p75);
+    EXPECT_LE(s.p75, s.max);
+    EXPECT_GE(s.stddev, 0.0);
+}
+
+TEST(CorrelationTest, PerfectPositive) {
+    const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PerfectNegative) {
+    const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> y{8.0, 6.0, 4.0, 2.0};
+    EXPECT_NEAR(correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, DegenerateIsZero) {
+    const std::vector<double> x{1.0, 1.0, 1.0};
+    const std::vector<double> y{2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(correlation(x, y), 0.0);
+}
+
+TEST(CorrelationTest, NearZeroForIndependent) {
+    Rng rng(5);
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 5000; ++i) {
+        x.push_back(rng.uniform());
+        y.push_back(rng.uniform());
+    }
+    EXPECT_NEAR(correlation(x, y), 0.0, 0.05);
+}
+
+TEST(LinspaceTest, EndpointsExact) {
+    const auto v = linspace(1.0, 2.0, 7);
+    EXPECT_EQ(v.size(), 7u);
+    EXPECT_DOUBLE_EQ(v.front(), 1.0);
+    EXPECT_DOUBLE_EQ(v.back(), 2.0);
+}
+
+TEST(LinspaceTest, EvenSpacing) {
+    const auto v = linspace(0.0, 10.0, 11);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        EXPECT_NEAR(v[i], static_cast<double>(i), 1e-12);
+    }
+}
+
+TEST(LinspaceTest, SinglePoint) {
+    const auto v = linspace(3.0, 9.0, 1);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+}
+
+TEST(LinspaceTest, DescendingRange) {
+    const auto v = linspace(5.0, 1.0, 5);
+    EXPECT_DOUBLE_EQ(v.front(), 5.0);
+    EXPECT_DOUBLE_EQ(v.back(), 1.0);
+    for (std::size_t i = 1; i < v.size(); ++i) EXPECT_LT(v[i], v[i - 1]);
+}
+
+}  // namespace
+}  // namespace cichar::util

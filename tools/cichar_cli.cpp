@@ -1,0 +1,322 @@
+// cichar — command-line front end for the characterization library.
+//
+//   cichar selftest
+//       bring up a simulated die + tester, sanity-check trip searches
+//   cichar hunt [--seed N] [--coding fuzzy|numeric] [--generations G]
+//               [--populations P] [--db FILE] [--model FILE]
+//       full Fig.4 + Fig.5 worst-case hunt; optionally persist artifacts
+//   cichar shmoo [--seed N] [--tests N] [--csv FILE]
+//       multi-test overlay shmoo (Fig. 8)
+//   cichar screen --db FILE [--limit L] [--lot N] [--seed N]
+//       compile a production program from a saved worst-case database and
+//       screen a lot of sampled dies
+//   cichar pattern --march NAME --out FILE | --info FILE
+//       export deterministic patterns as ATE vector files / inspect one
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ate/shmoo.hpp"
+#include "core/campaign.hpp"
+#include "core/characterizer.hpp"
+#include "core/model_io.hpp"
+#include "core/production.hpp"
+#include "core/report.hpp"
+#include "core/spec_report.hpp"
+#include "device/memory_chip.hpp"
+#include "testgen/march.hpp"
+#include "testgen/pattern_io.hpp"
+#include "util/cli_args.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cichar;
+
+using Args = util::CliArgs;
+
+int usage() {
+    std::printf(
+        "cichar — computational intelligence device characterization\n"
+        "usage:\n"
+        "  cichar selftest\n"
+        "  cichar hunt [--seed N] [--coding fuzzy|numeric]\n"
+        "              [--generations G] [--populations P]\n"
+        "              [--db FILE] [--model FILE] [--report FILE]\n"
+        "  cichar shmoo [--seed N] [--tests N] [--csv FILE]\n"
+        "  cichar screen --db FILE [--limit L] [--lot N] [--seed N]\n"
+        "  cichar campaign [--seed N] [--tests N] [--generations G]\n"
+        "  cichar pattern --march c-|mats+|x|y|checkerboard --out FILE\n"
+        "  cichar pattern --info FILE\n");
+    return 2;
+}
+
+core::CharacterizerOptions default_options() {
+    core::CharacterizerOptions options;
+    options.generator.condition_bounds =
+        testgen::ConditionBounds::fixed_nominal();
+    return options;
+}
+
+int cmd_selftest(const Args&) {
+    device::MemoryTestChip chip;
+    ate::Tester tester(chip);
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    const testgen::Test march =
+        testgen::make_test(testgen::march_c_minus().expand());
+
+    const ate::BinarySearch binary;
+    const ate::SearchResult r = binary.find(tester.oracle(march, param), param);
+    if (!r.found) {
+        std::printf("FAIL: no trip point found for March C-\n");
+        return 1;
+    }
+    std::printf("device ok: March C- trips at %.2f ns (%zu measurements)\n",
+                r.trip_point, r.measurements);
+
+    const device::FunctionalResult functional = tester.run_functional(march);
+    std::printf("functional march: %s (%zu reads)\n",
+                functional.pass() ? "PASS" : "FAIL", functional.reads);
+    std::printf("selftest %s\n", functional.pass() ? "PASSED" : "FAILED");
+    return functional.pass() ? 0 : 1;
+}
+
+int cmd_hunt(const Args& args) {
+    const std::uint64_t seed = args.get_u64("seed", 2005);
+    device::MemoryTestChip chip;
+    ate::Tester tester(chip);
+    core::CharacterizerOptions options = default_options();
+    if (args.get("coding") == "numeric") {
+        options.learner.coding = fuzzy::CodingScheme::kNumeric;
+    }
+    options.optimizer.ga.max_generations =
+        static_cast<std::size_t>(args.get_u64("generations", 40));
+    options.optimizer.ga.populations =
+        static_cast<std::size_t>(args.get_u64("populations", 4));
+
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    const core::DeviceCharacterizer characterizer(tester, param, options);
+    util::Rng rng(seed);
+
+    std::printf("learning (seed %llu)...\n",
+                static_cast<unsigned long long>(seed));
+    const core::LearnResult learned = characterizer.learn(rng);
+    std::printf("  %zu tests, committee val err %.5f, %s\n",
+                learned.tests_measured, learned.mean_validation_error,
+                learned.converged ? "converged" : "NOT converged");
+
+    std::printf("optimizing...\n");
+    const core::WorstCaseReport report =
+        characterizer.optimize(learned.model, rng);
+    std::printf("  worst case: T_DQ %.2f ns, WCR %.3f (%s), %zu ATE "
+                "measurements\n",
+                report.worst_record.trip_point, report.outcome.best_fitness,
+                ga::to_string(report.worst_record.wcr_class),
+                report.ate_measurements);
+
+    core::DesignSpecVariation pooled = learned.dsv;
+    if (report.worst_record.found) pooled.add(report.worst_record);
+    std::printf("%s", core::propose_spec(param, pooled).render().c_str());
+
+    if (args.has("model")) {
+        core::save_model_file(args.get("model"), learned.model);
+        std::printf("model written to %s\n", args.get("model").c_str());
+    }
+    if (args.has("db")) {
+        std::ofstream out(args.get("db"));
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", args.get("db").c_str());
+            return 1;
+        }
+        report.database.save(out);
+        std::printf("worst-case database written to %s\n",
+                    args.get("db").c_str());
+    }
+    if (args.has("report")) {
+        std::ofstream out(args.get("report"));
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.get("report").c_str());
+            return 1;
+        }
+        const core::SpecProposal proposal = core::propose_spec(param, pooled);
+        core::ReportInputs inputs;
+        inputs.seed = seed;
+        inputs.learned = &learned;
+        inputs.hunt = &report;
+        inputs.proposal = &proposal;
+        inputs.ledger = &tester.log();
+        core::write_report(out, inputs);
+        std::printf("report written to %s\n", args.get("report").c_str());
+    }
+    return 0;
+}
+
+int cmd_shmoo(const Args& args) {
+    const std::uint64_t seed = args.get_u64("seed", 2005);
+    const auto test_count =
+        static_cast<std::size_t>(args.get_u64("tests", 200));
+    device::MemoryTestChip chip;
+    ate::Tester tester(chip);
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    const testgen::RandomTestGenerator generator(
+        default_options().generator);
+    util::Rng rng(seed);
+    std::vector<testgen::Test> tests;
+    for (std::size_t i = 0; i < test_count; ++i) {
+        tests.push_back(generator.random_test(rng, "t" + std::to_string(i)));
+    }
+    ate::ShmooOptions shmoo_options;
+    shmoo_options.x_min = 18.0;
+    shmoo_options.x_max = 40.0;
+    shmoo_options.x_steps = 67;
+    const ate::ShmooGrid grid =
+        ate::ShmooPlotter(shmoo_options).run(tester, param, tests);
+    std::printf("%s", grid.render(param).c_str());
+    if (args.has("csv")) {
+        std::ofstream out(args.get("csv"));
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", args.get("csv").c_str());
+            return 1;
+        }
+        grid.write_csv(out);
+        std::printf("grid written to %s\n", args.get("csv").c_str());
+    }
+    return 0;
+}
+
+int cmd_screen(const Args& args) {
+    if (!args.has("db")) {
+        std::fprintf(stderr, "screen requires --db FILE\n");
+        return 2;
+    }
+    std::ifstream in(args.get("db"));
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", args.get("db").c_str());
+        return 1;
+    }
+    const core::WorstCaseDatabase database = core::WorstCaseDatabase::load(in);
+    if (database.empty()) {
+        std::fprintf(stderr, "database has no entries\n");
+        return 1;
+    }
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    const double limit = args.get_double("limit", param.spec);
+    const auto lot_size = static_cast<std::size_t>(args.get_u64("lot", 20));
+    const std::uint64_t seed = args.get_u64("seed", 1);
+
+    const ate::ProductionTestProgram program = core::build_production_program(
+        database, default_options().generator, param, limit);
+    std::printf("program: %zu steps, limit %.2f %s, lot of %zu dies\n",
+                program.step_count(), limit, param.unit.c_str(), lot_size);
+
+    util::Rng rng(seed);
+    const device::ProcessVariation process;
+    ate::BinningSummary bins;
+    bins.fails_per_step.assign(program.step_count(), 0);
+    for (std::size_t d = 0; d < lot_size; ++d) {
+        device::MemoryChipOptions chip_options;
+        chip_options.seed = rng();
+        device::MemoryTestChip die(process.sample(rng), chip_options);
+        ate::Tester tester(die);
+        const ate::ProductionOutcome outcome = program.run(tester);
+        ++bins.devices;
+        if (outcome.pass) {
+            ++bins.passed;
+        } else {
+            ++bins.fails_per_step[outcome.failed_step];
+        }
+    }
+    std::printf("yield: %.1f %% (%zu/%zu)\n", 100.0 * bins.yield(),
+                bins.passed, bins.devices);
+    for (std::size_t s = 0; s < bins.fails_per_step.size(); ++s) {
+        if (bins.fails_per_step[s] > 0) {
+            std::printf("  bin %zu (%s): %zu\n", s,
+                        program.step(s).name.c_str(), bins.fails_per_step[s]);
+        }
+    }
+    return 0;
+}
+
+int cmd_campaign(const Args& args) {
+    const std::uint64_t seed = args.get_u64("seed", 2005);
+    device::MemoryTestChip chip;
+    ate::Tester tester(chip);
+    core::CharacterizerOptions options = default_options();
+    options.learner.training_tests =
+        static_cast<std::size_t>(args.get_u64("tests", 120));
+    options.optimizer.ga.max_generations =
+        static_cast<std::size_t>(args.get_u64("generations", 25));
+
+    const core::CharacterizationCampaign campaign(
+        tester,
+        {ate::Parameter::data_valid_time(), ate::Parameter::max_frequency(),
+         ate::Parameter::min_vdd()},
+        options);
+    util::Rng rng(seed);
+    std::printf("running T_DQ + Fmax + Vmin campaign (seed %llu)...\n",
+                static_cast<unsigned long long>(seed));
+    const auto results = campaign.run(rng);
+    std::printf("%s", core::CharacterizationCampaign::render(results).c_str());
+    std::printf("%s", tester.log().report().c_str());
+    return 0;
+}
+
+int cmd_pattern(const Args& args) {
+    if (args.has("info")) {
+        const testgen::TestPattern pattern =
+            testgen::load_pattern_file(args.get("info"));
+        const testgen::FeatureVector fv =
+            testgen::extract_pattern_features(pattern);
+        std::printf("pattern '%s': %zu cycles\n", pattern.name().c_str(),
+                    pattern.size());
+        for (std::size_t f = 0; f < testgen::kPatternFeatureCount; ++f) {
+            std::printf("  %-20s %.3f\n",
+                        std::string(testgen::FeatureVector::name(f)).c_str(),
+                        fv[f]);
+        }
+        return 0;
+    }
+    if (!args.has("march") || !args.has("out")) {
+        std::fprintf(stderr,
+                     "pattern requires --march NAME --out FILE or --info\n");
+        return 2;
+    }
+    const std::string which = args.get("march");
+    testgen::TestPattern pattern;
+    if (which == "c-") pattern = testgen::march_c_minus().expand();
+    else if (which == "mats+") pattern = testgen::mats_plus().expand();
+    else if (which == "x") pattern = testgen::march_x().expand();
+    else if (which == "y") pattern = testgen::march_y().expand();
+    else if (which == "checkerboard") pattern = testgen::checkerboard();
+    else {
+        std::fprintf(stderr, "unknown march: %s\n", which.c_str());
+        return 2;
+    }
+    testgen::save_pattern_file(args.get("out"), pattern);
+    std::printf("%s (%zu cycles) written to %s\n", pattern.name().c_str(),
+                pattern.size(), args.get("out").c_str());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    const Args args(argc, argv, 2);
+    if (!args.ok()) return usage();
+    try {
+        if (command == "selftest") return cmd_selftest(args);
+        if (command == "hunt") return cmd_hunt(args);
+        if (command == "shmoo") return cmd_shmoo(args);
+        if (command == "screen") return cmd_screen(args);
+        if (command == "campaign") return cmd_campaign(args);
+        if (command == "pattern") return cmd_pattern(args);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
