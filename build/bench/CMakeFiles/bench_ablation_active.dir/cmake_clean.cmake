@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_active.dir/bench_ablation_active.cpp.o"
+  "CMakeFiles/bench_ablation_active.dir/bench_ablation_active.cpp.o.d"
+  "bench_ablation_active"
+  "bench_ablation_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_committee.dir/bench_ablation_committee.cpp.o"
+  "CMakeFiles/bench_ablation_committee.dir/bench_ablation_committee.cpp.o.d"
+  "bench_ablation_committee"
+  "bench_ablation_committee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_committee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

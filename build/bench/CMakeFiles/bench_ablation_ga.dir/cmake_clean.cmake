@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ga.dir/bench_ablation_ga.cpp.o"
+  "CMakeFiles/bench_ablation_ga.dir/bench_ablation_ga.cpp.o.d"
+  "bench_ablation_ga"
+  "bench_ablation_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

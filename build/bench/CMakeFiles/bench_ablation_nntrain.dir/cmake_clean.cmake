@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nntrain.dir/bench_ablation_nntrain.cpp.o"
+  "CMakeFiles/bench_ablation_nntrain.dir/bench_ablation_nntrain.cpp.o.d"
+  "bench_ablation_nntrain"
+  "bench_ablation_nntrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nntrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

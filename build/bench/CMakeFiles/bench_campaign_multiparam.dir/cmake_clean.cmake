@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_campaign_multiparam.dir/bench_campaign_multiparam.cpp.o"
+  "CMakeFiles/bench_campaign_multiparam.dir/bench_campaign_multiparam.cpp.o.d"
+  "bench_campaign_multiparam"
+  "bench_campaign_multiparam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_campaign_multiparam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

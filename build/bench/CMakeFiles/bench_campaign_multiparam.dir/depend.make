@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_campaign_multiparam.
+# This may be replaced when dependencies are built.

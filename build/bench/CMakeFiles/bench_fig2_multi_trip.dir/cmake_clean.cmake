@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_multi_trip.dir/bench_fig2_multi_trip.cpp.o"
+  "CMakeFiles/bench_fig2_multi_trip.dir/bench_fig2_multi_trip.cpp.o.d"
+  "bench_fig2_multi_trip"
+  "bench_fig2_multi_trip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_multi_trip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_search_until_trip.dir/bench_fig3_search_until_trip.cpp.o"
+  "CMakeFiles/bench_fig3_search_until_trip.dir/bench_fig3_search_until_trip.cpp.o.d"
+  "bench_fig3_search_until_trip"
+  "bench_fig3_search_until_trip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_search_until_trip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

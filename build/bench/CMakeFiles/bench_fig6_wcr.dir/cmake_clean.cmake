@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_wcr.dir/bench_fig6_wcr.cpp.o"
+  "CMakeFiles/bench_fig6_wcr.dir/bench_fig6_wcr.cpp.o.d"
+  "bench_fig6_wcr"
+  "bench_fig6_wcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_wcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_timing.dir/bench_fig7_timing.cpp.o"
+  "CMakeFiles/bench_fig7_timing.dir/bench_fig7_timing.cpp.o.d"
+  "bench_fig7_timing"
+  "bench_fig7_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

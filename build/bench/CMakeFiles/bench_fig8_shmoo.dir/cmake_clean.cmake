@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_shmoo.dir/bench_fig8_shmoo.cpp.o"
+  "CMakeFiles/bench_fig8_shmoo.dir/bench_fig8_shmoo.cpp.o.d"
+  "bench_fig8_shmoo"
+  "bench_fig8_shmoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_shmoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

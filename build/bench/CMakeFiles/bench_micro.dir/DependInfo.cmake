@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cichar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ate/CMakeFiles/cichar_ate.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cichar_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzzy/CMakeFiles/cichar_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cichar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/cichar_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/cichar_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cichar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sample_corners.dir/bench_sample_corners.cpp.o"
+  "CMakeFiles/bench_sample_corners.dir/bench_sample_corners.cpp.o.d"
+  "bench_sample_corners"
+  "bench_sample_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sample_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

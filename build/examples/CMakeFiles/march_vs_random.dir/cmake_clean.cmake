@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/march_vs_random.dir/march_vs_random.cpp.o"
+  "CMakeFiles/march_vs_random.dir/march_vs_random.cpp.o.d"
+  "march_vs_random"
+  "march_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/march_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

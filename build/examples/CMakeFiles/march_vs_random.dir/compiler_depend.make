@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for march_vs_random.
+# This may be replaced when dependencies are built.

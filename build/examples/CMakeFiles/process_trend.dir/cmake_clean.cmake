@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_trend.dir/process_trend.cpp.o"
+  "CMakeFiles/process_trend.dir/process_trend.cpp.o.d"
+  "process_trend"
+  "process_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for process_trend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_flow.dir/production_flow.cpp.o"
+  "CMakeFiles/production_flow.dir/production_flow.cpp.o.d"
+  "production_flow"
+  "production_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

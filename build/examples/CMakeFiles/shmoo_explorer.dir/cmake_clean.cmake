@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmoo_explorer.dir/shmoo_explorer.cpp.o"
+  "CMakeFiles/shmoo_explorer.dir/shmoo_explorer.cpp.o.d"
+  "shmoo_explorer"
+  "shmoo_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmoo_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worst_case_hunt.dir/worst_case_hunt.cpp.o"
+  "CMakeFiles/worst_case_hunt.dir/worst_case_hunt.cpp.o.d"
+  "worst_case_hunt"
+  "worst_case_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worst_case_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

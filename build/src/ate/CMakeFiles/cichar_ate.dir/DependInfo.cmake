@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ate/datalog.cpp" "src/ate/CMakeFiles/cichar_ate.dir/datalog.cpp.o" "gcc" "src/ate/CMakeFiles/cichar_ate.dir/datalog.cpp.o.d"
+  "/root/repo/src/ate/measurement_log.cpp" "src/ate/CMakeFiles/cichar_ate.dir/measurement_log.cpp.o" "gcc" "src/ate/CMakeFiles/cichar_ate.dir/measurement_log.cpp.o.d"
+  "/root/repo/src/ate/parameter.cpp" "src/ate/CMakeFiles/cichar_ate.dir/parameter.cpp.o" "gcc" "src/ate/CMakeFiles/cichar_ate.dir/parameter.cpp.o.d"
+  "/root/repo/src/ate/search.cpp" "src/ate/CMakeFiles/cichar_ate.dir/search.cpp.o" "gcc" "src/ate/CMakeFiles/cichar_ate.dir/search.cpp.o.d"
+  "/root/repo/src/ate/search_until_trip.cpp" "src/ate/CMakeFiles/cichar_ate.dir/search_until_trip.cpp.o" "gcc" "src/ate/CMakeFiles/cichar_ate.dir/search_until_trip.cpp.o.d"
+  "/root/repo/src/ate/shmoo.cpp" "src/ate/CMakeFiles/cichar_ate.dir/shmoo.cpp.o" "gcc" "src/ate/CMakeFiles/cichar_ate.dir/shmoo.cpp.o.d"
+  "/root/repo/src/ate/test_program.cpp" "src/ate/CMakeFiles/cichar_ate.dir/test_program.cpp.o" "gcc" "src/ate/CMakeFiles/cichar_ate.dir/test_program.cpp.o.d"
+  "/root/repo/src/ate/tester.cpp" "src/ate/CMakeFiles/cichar_ate.dir/tester.cpp.o" "gcc" "src/ate/CMakeFiles/cichar_ate.dir/tester.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cichar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/cichar_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cichar_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

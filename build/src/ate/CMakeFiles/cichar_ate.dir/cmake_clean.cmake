@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cichar_ate.dir/datalog.cpp.o"
+  "CMakeFiles/cichar_ate.dir/datalog.cpp.o.d"
+  "CMakeFiles/cichar_ate.dir/measurement_log.cpp.o"
+  "CMakeFiles/cichar_ate.dir/measurement_log.cpp.o.d"
+  "CMakeFiles/cichar_ate.dir/parameter.cpp.o"
+  "CMakeFiles/cichar_ate.dir/parameter.cpp.o.d"
+  "CMakeFiles/cichar_ate.dir/search.cpp.o"
+  "CMakeFiles/cichar_ate.dir/search.cpp.o.d"
+  "CMakeFiles/cichar_ate.dir/search_until_trip.cpp.o"
+  "CMakeFiles/cichar_ate.dir/search_until_trip.cpp.o.d"
+  "CMakeFiles/cichar_ate.dir/shmoo.cpp.o"
+  "CMakeFiles/cichar_ate.dir/shmoo.cpp.o.d"
+  "CMakeFiles/cichar_ate.dir/test_program.cpp.o"
+  "CMakeFiles/cichar_ate.dir/test_program.cpp.o.d"
+  "CMakeFiles/cichar_ate.dir/tester.cpp.o"
+  "CMakeFiles/cichar_ate.dir/tester.cpp.o.d"
+  "libcichar_ate.a"
+  "libcichar_ate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cichar_ate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cichar_ate.
+# This may be replaced when dependencies are built.

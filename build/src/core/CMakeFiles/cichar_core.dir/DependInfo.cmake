@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/cichar_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/characterizer.cpp" "src/core/CMakeFiles/cichar_core.dir/characterizer.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/characterizer.cpp.o.d"
+  "/root/repo/src/core/database.cpp" "src/core/CMakeFiles/cichar_core.dir/database.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/database.cpp.o.d"
+  "/root/repo/src/core/dsv.cpp" "src/core/CMakeFiles/cichar_core.dir/dsv.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/dsv.cpp.o.d"
+  "/root/repo/src/core/learner.cpp" "src/core/CMakeFiles/cichar_core.dir/learner.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/learner.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/cichar_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/multi_trip.cpp" "src/core/CMakeFiles/cichar_core.dir/multi_trip.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/multi_trip.cpp.o.d"
+  "/root/repo/src/core/nn_test_generator.cpp" "src/core/CMakeFiles/cichar_core.dir/nn_test_generator.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/nn_test_generator.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/cichar_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/production.cpp" "src/core/CMakeFiles/cichar_core.dir/production.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/production.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/cichar_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sample.cpp" "src/core/CMakeFiles/cichar_core.dir/sample.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/sample.cpp.o.d"
+  "/root/repo/src/core/spec_report.cpp" "src/core/CMakeFiles/cichar_core.dir/spec_report.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/spec_report.cpp.o.d"
+  "/root/repo/src/core/trend.cpp" "src/core/CMakeFiles/cichar_core.dir/trend.cpp.o" "gcc" "src/core/CMakeFiles/cichar_core.dir/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cichar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/cichar_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cichar_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/ate/CMakeFiles/cichar_ate.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzzy/CMakeFiles/cichar_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cichar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/cichar_ga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

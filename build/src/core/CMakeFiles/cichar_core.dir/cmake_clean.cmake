@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cichar_core.dir/campaign.cpp.o"
+  "CMakeFiles/cichar_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/characterizer.cpp.o"
+  "CMakeFiles/cichar_core.dir/characterizer.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/database.cpp.o"
+  "CMakeFiles/cichar_core.dir/database.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/dsv.cpp.o"
+  "CMakeFiles/cichar_core.dir/dsv.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/learner.cpp.o"
+  "CMakeFiles/cichar_core.dir/learner.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/model_io.cpp.o"
+  "CMakeFiles/cichar_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/multi_trip.cpp.o"
+  "CMakeFiles/cichar_core.dir/multi_trip.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/nn_test_generator.cpp.o"
+  "CMakeFiles/cichar_core.dir/nn_test_generator.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/optimizer.cpp.o"
+  "CMakeFiles/cichar_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/production.cpp.o"
+  "CMakeFiles/cichar_core.dir/production.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/report.cpp.o"
+  "CMakeFiles/cichar_core.dir/report.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/sample.cpp.o"
+  "CMakeFiles/cichar_core.dir/sample.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/spec_report.cpp.o"
+  "CMakeFiles/cichar_core.dir/spec_report.cpp.o.d"
+  "CMakeFiles/cichar_core.dir/trend.cpp.o"
+  "CMakeFiles/cichar_core.dir/trend.cpp.o.d"
+  "libcichar_core.a"
+  "libcichar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cichar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

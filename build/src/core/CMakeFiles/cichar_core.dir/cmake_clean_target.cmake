@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcichar_core.a"
+)

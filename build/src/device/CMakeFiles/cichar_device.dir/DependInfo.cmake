@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/faults.cpp" "src/device/CMakeFiles/cichar_device.dir/faults.cpp.o" "gcc" "src/device/CMakeFiles/cichar_device.dir/faults.cpp.o.d"
+  "/root/repo/src/device/memory_chip.cpp" "src/device/CMakeFiles/cichar_device.dir/memory_chip.cpp.o" "gcc" "src/device/CMakeFiles/cichar_device.dir/memory_chip.cpp.o.d"
+  "/root/repo/src/device/presets.cpp" "src/device/CMakeFiles/cichar_device.dir/presets.cpp.o" "gcc" "src/device/CMakeFiles/cichar_device.dir/presets.cpp.o.d"
+  "/root/repo/src/device/process.cpp" "src/device/CMakeFiles/cichar_device.dir/process.cpp.o" "gcc" "src/device/CMakeFiles/cichar_device.dir/process.cpp.o.d"
+  "/root/repo/src/device/timing_model.cpp" "src/device/CMakeFiles/cichar_device.dir/timing_model.cpp.o" "gcc" "src/device/CMakeFiles/cichar_device.dir/timing_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cichar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/cichar_testgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cichar_device.dir/faults.cpp.o"
+  "CMakeFiles/cichar_device.dir/faults.cpp.o.d"
+  "CMakeFiles/cichar_device.dir/memory_chip.cpp.o"
+  "CMakeFiles/cichar_device.dir/memory_chip.cpp.o.d"
+  "CMakeFiles/cichar_device.dir/presets.cpp.o"
+  "CMakeFiles/cichar_device.dir/presets.cpp.o.d"
+  "CMakeFiles/cichar_device.dir/process.cpp.o"
+  "CMakeFiles/cichar_device.dir/process.cpp.o.d"
+  "CMakeFiles/cichar_device.dir/timing_model.cpp.o"
+  "CMakeFiles/cichar_device.dir/timing_model.cpp.o.d"
+  "libcichar_device.a"
+  "libcichar_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cichar_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

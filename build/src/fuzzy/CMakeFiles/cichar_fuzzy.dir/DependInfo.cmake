@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzzy/coding.cpp" "src/fuzzy/CMakeFiles/cichar_fuzzy.dir/coding.cpp.o" "gcc" "src/fuzzy/CMakeFiles/cichar_fuzzy.dir/coding.cpp.o.d"
+  "/root/repo/src/fuzzy/inference.cpp" "src/fuzzy/CMakeFiles/cichar_fuzzy.dir/inference.cpp.o" "gcc" "src/fuzzy/CMakeFiles/cichar_fuzzy.dir/inference.cpp.o.d"
+  "/root/repo/src/fuzzy/margin.cpp" "src/fuzzy/CMakeFiles/cichar_fuzzy.dir/margin.cpp.o" "gcc" "src/fuzzy/CMakeFiles/cichar_fuzzy.dir/margin.cpp.o.d"
+  "/root/repo/src/fuzzy/membership.cpp" "src/fuzzy/CMakeFiles/cichar_fuzzy.dir/membership.cpp.o" "gcc" "src/fuzzy/CMakeFiles/cichar_fuzzy.dir/membership.cpp.o.d"
+  "/root/repo/src/fuzzy/variable.cpp" "src/fuzzy/CMakeFiles/cichar_fuzzy.dir/variable.cpp.o" "gcc" "src/fuzzy/CMakeFiles/cichar_fuzzy.dir/variable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cichar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cichar_fuzzy.dir/coding.cpp.o"
+  "CMakeFiles/cichar_fuzzy.dir/coding.cpp.o.d"
+  "CMakeFiles/cichar_fuzzy.dir/inference.cpp.o"
+  "CMakeFiles/cichar_fuzzy.dir/inference.cpp.o.d"
+  "CMakeFiles/cichar_fuzzy.dir/margin.cpp.o"
+  "CMakeFiles/cichar_fuzzy.dir/margin.cpp.o.d"
+  "CMakeFiles/cichar_fuzzy.dir/membership.cpp.o"
+  "CMakeFiles/cichar_fuzzy.dir/membership.cpp.o.d"
+  "CMakeFiles/cichar_fuzzy.dir/variable.cpp.o"
+  "CMakeFiles/cichar_fuzzy.dir/variable.cpp.o.d"
+  "libcichar_fuzzy.a"
+  "libcichar_fuzzy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cichar_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

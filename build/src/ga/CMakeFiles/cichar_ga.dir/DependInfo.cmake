@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ga/chromosome.cpp" "src/ga/CMakeFiles/cichar_ga.dir/chromosome.cpp.o" "gcc" "src/ga/CMakeFiles/cichar_ga.dir/chromosome.cpp.o.d"
+  "/root/repo/src/ga/multi_population.cpp" "src/ga/CMakeFiles/cichar_ga.dir/multi_population.cpp.o" "gcc" "src/ga/CMakeFiles/cichar_ga.dir/multi_population.cpp.o.d"
+  "/root/repo/src/ga/population.cpp" "src/ga/CMakeFiles/cichar_ga.dir/population.cpp.o" "gcc" "src/ga/CMakeFiles/cichar_ga.dir/population.cpp.o.d"
+  "/root/repo/src/ga/wcr.cpp" "src/ga/CMakeFiles/cichar_ga.dir/wcr.cpp.o" "gcc" "src/ga/CMakeFiles/cichar_ga.dir/wcr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cichar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/cichar_testgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cichar_ga.dir/chromosome.cpp.o"
+  "CMakeFiles/cichar_ga.dir/chromosome.cpp.o.d"
+  "CMakeFiles/cichar_ga.dir/multi_population.cpp.o"
+  "CMakeFiles/cichar_ga.dir/multi_population.cpp.o.d"
+  "CMakeFiles/cichar_ga.dir/population.cpp.o"
+  "CMakeFiles/cichar_ga.dir/population.cpp.o.d"
+  "CMakeFiles/cichar_ga.dir/wcr.cpp.o"
+  "CMakeFiles/cichar_ga.dir/wcr.cpp.o.d"
+  "libcichar_ga.a"
+  "libcichar_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cichar_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

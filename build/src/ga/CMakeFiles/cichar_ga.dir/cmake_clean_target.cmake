@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcichar_ga.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/committee.cpp" "src/nn/CMakeFiles/cichar_nn.dir/committee.cpp.o" "gcc" "src/nn/CMakeFiles/cichar_nn.dir/committee.cpp.o.d"
+  "/root/repo/src/nn/dataset.cpp" "src/nn/CMakeFiles/cichar_nn.dir/dataset.cpp.o" "gcc" "src/nn/CMakeFiles/cichar_nn.dir/dataset.cpp.o.d"
+  "/root/repo/src/nn/ga_trainer.cpp" "src/nn/CMakeFiles/cichar_nn.dir/ga_trainer.cpp.o" "gcc" "src/nn/CMakeFiles/cichar_nn.dir/ga_trainer.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/cichar_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/cichar_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/cichar_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/cichar_nn.dir/trainer.cpp.o.d"
+  "/root/repo/src/nn/weights_io.cpp" "src/nn/CMakeFiles/cichar_nn.dir/weights_io.cpp.o" "gcc" "src/nn/CMakeFiles/cichar_nn.dir/weights_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cichar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

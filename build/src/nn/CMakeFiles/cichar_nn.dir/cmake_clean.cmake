@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cichar_nn.dir/committee.cpp.o"
+  "CMakeFiles/cichar_nn.dir/committee.cpp.o.d"
+  "CMakeFiles/cichar_nn.dir/dataset.cpp.o"
+  "CMakeFiles/cichar_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/cichar_nn.dir/ga_trainer.cpp.o"
+  "CMakeFiles/cichar_nn.dir/ga_trainer.cpp.o.d"
+  "CMakeFiles/cichar_nn.dir/mlp.cpp.o"
+  "CMakeFiles/cichar_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/cichar_nn.dir/trainer.cpp.o"
+  "CMakeFiles/cichar_nn.dir/trainer.cpp.o.d"
+  "CMakeFiles/cichar_nn.dir/weights_io.cpp.o"
+  "CMakeFiles/cichar_nn.dir/weights_io.cpp.o.d"
+  "libcichar_nn.a"
+  "libcichar_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cichar_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testgen/conditions.cpp" "src/testgen/CMakeFiles/cichar_testgen.dir/conditions.cpp.o" "gcc" "src/testgen/CMakeFiles/cichar_testgen.dir/conditions.cpp.o.d"
+  "/root/repo/src/testgen/features.cpp" "src/testgen/CMakeFiles/cichar_testgen.dir/features.cpp.o" "gcc" "src/testgen/CMakeFiles/cichar_testgen.dir/features.cpp.o.d"
+  "/root/repo/src/testgen/march.cpp" "src/testgen/CMakeFiles/cichar_testgen.dir/march.cpp.o" "gcc" "src/testgen/CMakeFiles/cichar_testgen.dir/march.cpp.o.d"
+  "/root/repo/src/testgen/pattern.cpp" "src/testgen/CMakeFiles/cichar_testgen.dir/pattern.cpp.o" "gcc" "src/testgen/CMakeFiles/cichar_testgen.dir/pattern.cpp.o.d"
+  "/root/repo/src/testgen/pattern_io.cpp" "src/testgen/CMakeFiles/cichar_testgen.dir/pattern_io.cpp.o" "gcc" "src/testgen/CMakeFiles/cichar_testgen.dir/pattern_io.cpp.o.d"
+  "/root/repo/src/testgen/profiles.cpp" "src/testgen/CMakeFiles/cichar_testgen.dir/profiles.cpp.o" "gcc" "src/testgen/CMakeFiles/cichar_testgen.dir/profiles.cpp.o.d"
+  "/root/repo/src/testgen/random_gen.cpp" "src/testgen/CMakeFiles/cichar_testgen.dir/random_gen.cpp.o" "gcc" "src/testgen/CMakeFiles/cichar_testgen.dir/random_gen.cpp.o.d"
+  "/root/repo/src/testgen/recipe.cpp" "src/testgen/CMakeFiles/cichar_testgen.dir/recipe.cpp.o" "gcc" "src/testgen/CMakeFiles/cichar_testgen.dir/recipe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cichar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

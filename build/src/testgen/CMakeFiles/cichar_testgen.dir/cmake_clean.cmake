@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cichar_testgen.dir/conditions.cpp.o"
+  "CMakeFiles/cichar_testgen.dir/conditions.cpp.o.d"
+  "CMakeFiles/cichar_testgen.dir/features.cpp.o"
+  "CMakeFiles/cichar_testgen.dir/features.cpp.o.d"
+  "CMakeFiles/cichar_testgen.dir/march.cpp.o"
+  "CMakeFiles/cichar_testgen.dir/march.cpp.o.d"
+  "CMakeFiles/cichar_testgen.dir/pattern.cpp.o"
+  "CMakeFiles/cichar_testgen.dir/pattern.cpp.o.d"
+  "CMakeFiles/cichar_testgen.dir/pattern_io.cpp.o"
+  "CMakeFiles/cichar_testgen.dir/pattern_io.cpp.o.d"
+  "CMakeFiles/cichar_testgen.dir/profiles.cpp.o"
+  "CMakeFiles/cichar_testgen.dir/profiles.cpp.o.d"
+  "CMakeFiles/cichar_testgen.dir/random_gen.cpp.o"
+  "CMakeFiles/cichar_testgen.dir/random_gen.cpp.o.d"
+  "CMakeFiles/cichar_testgen.dir/recipe.cpp.o"
+  "CMakeFiles/cichar_testgen.dir/recipe.cpp.o.d"
+  "libcichar_testgen.a"
+  "libcichar_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cichar_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cichar_testgen.
+# This may be replaced when dependencies are built.

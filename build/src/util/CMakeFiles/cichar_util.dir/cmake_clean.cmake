@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cichar_util.dir/ascii.cpp.o"
+  "CMakeFiles/cichar_util.dir/ascii.cpp.o.d"
+  "CMakeFiles/cichar_util.dir/cli_args.cpp.o"
+  "CMakeFiles/cichar_util.dir/cli_args.cpp.o.d"
+  "CMakeFiles/cichar_util.dir/csv.cpp.o"
+  "CMakeFiles/cichar_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cichar_util.dir/histogram.cpp.o"
+  "CMakeFiles/cichar_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/cichar_util.dir/log.cpp.o"
+  "CMakeFiles/cichar_util.dir/log.cpp.o.d"
+  "CMakeFiles/cichar_util.dir/rng.cpp.o"
+  "CMakeFiles/cichar_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cichar_util.dir/statistics.cpp.o"
+  "CMakeFiles/cichar_util.dir/statistics.cpp.o.d"
+  "libcichar_util.a"
+  "libcichar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cichar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ate.dir/ate/datalog_test.cpp.o"
+  "CMakeFiles/test_ate.dir/ate/datalog_test.cpp.o.d"
+  "CMakeFiles/test_ate.dir/ate/parameter_test.cpp.o"
+  "CMakeFiles/test_ate.dir/ate/parameter_test.cpp.o.d"
+  "CMakeFiles/test_ate.dir/ate/search_test.cpp.o"
+  "CMakeFiles/test_ate.dir/ate/search_test.cpp.o.d"
+  "CMakeFiles/test_ate.dir/ate/search_until_trip_test.cpp.o"
+  "CMakeFiles/test_ate.dir/ate/search_until_trip_test.cpp.o.d"
+  "CMakeFiles/test_ate.dir/ate/shmoo_test.cpp.o"
+  "CMakeFiles/test_ate.dir/ate/shmoo_test.cpp.o.d"
+  "CMakeFiles/test_ate.dir/ate/tester_test.cpp.o"
+  "CMakeFiles/test_ate.dir/ate/tester_test.cpp.o.d"
+  "test_ate"
+  "test_ate.pdb"
+  "test_ate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

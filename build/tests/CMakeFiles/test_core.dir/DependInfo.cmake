@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/active_learning_test.cpp" "tests/CMakeFiles/test_core.dir/core/active_learning_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/active_learning_test.cpp.o.d"
+  "/root/repo/tests/core/campaign_test.cpp" "tests/CMakeFiles/test_core.dir/core/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/campaign_test.cpp.o.d"
+  "/root/repo/tests/core/characterizer_test.cpp" "tests/CMakeFiles/test_core.dir/core/characterizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/characterizer_test.cpp.o.d"
+  "/root/repo/tests/core/database_test.cpp" "tests/CMakeFiles/test_core.dir/core/database_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/database_test.cpp.o.d"
+  "/root/repo/tests/core/dsv_test.cpp" "tests/CMakeFiles/test_core.dir/core/dsv_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dsv_test.cpp.o.d"
+  "/root/repo/tests/core/learner_test.cpp" "tests/CMakeFiles/test_core.dir/core/learner_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/learner_test.cpp.o.d"
+  "/root/repo/tests/core/model_io_test.cpp" "tests/CMakeFiles/test_core.dir/core/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/model_io_test.cpp.o.d"
+  "/root/repo/tests/core/multi_trip_test.cpp" "tests/CMakeFiles/test_core.dir/core/multi_trip_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/multi_trip_test.cpp.o.d"
+  "/root/repo/tests/core/nn_test_generator_test.cpp" "tests/CMakeFiles/test_core.dir/core/nn_test_generator_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/nn_test_generator_test.cpp.o.d"
+  "/root/repo/tests/core/optimizer_test.cpp" "tests/CMakeFiles/test_core.dir/core/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/optimizer_test.cpp.o.d"
+  "/root/repo/tests/core/production_test.cpp" "tests/CMakeFiles/test_core.dir/core/production_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/production_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/sample_test.cpp" "tests/CMakeFiles/test_core.dir/core/sample_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sample_test.cpp.o.d"
+  "/root/repo/tests/core/spec_report_test.cpp" "tests/CMakeFiles/test_core.dir/core/spec_report_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/spec_report_test.cpp.o.d"
+  "/root/repo/tests/core/trend_test.cpp" "tests/CMakeFiles/test_core.dir/core/trend_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trend_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cichar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ate/CMakeFiles/cichar_ate.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cichar_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzzy/CMakeFiles/cichar_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cichar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/cichar_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/cichar_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cichar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

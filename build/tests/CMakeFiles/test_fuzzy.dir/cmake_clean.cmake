@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzzy.dir/fuzzy/coding_test.cpp.o"
+  "CMakeFiles/test_fuzzy.dir/fuzzy/coding_test.cpp.o.d"
+  "CMakeFiles/test_fuzzy.dir/fuzzy/inference_test.cpp.o"
+  "CMakeFiles/test_fuzzy.dir/fuzzy/inference_test.cpp.o.d"
+  "CMakeFiles/test_fuzzy.dir/fuzzy/margin_test.cpp.o"
+  "CMakeFiles/test_fuzzy.dir/fuzzy/margin_test.cpp.o.d"
+  "CMakeFiles/test_fuzzy.dir/fuzzy/membership_test.cpp.o"
+  "CMakeFiles/test_fuzzy.dir/fuzzy/membership_test.cpp.o.d"
+  "CMakeFiles/test_fuzzy.dir/fuzzy/variable_test.cpp.o"
+  "CMakeFiles/test_fuzzy.dir/fuzzy/variable_test.cpp.o.d"
+  "test_fuzzy"
+  "test_fuzzy.pdb"
+  "test_fuzzy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

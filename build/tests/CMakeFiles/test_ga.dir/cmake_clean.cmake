@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ga.dir/ga/chromosome_test.cpp.o"
+  "CMakeFiles/test_ga.dir/ga/chromosome_test.cpp.o.d"
+  "CMakeFiles/test_ga.dir/ga/multi_population_test.cpp.o"
+  "CMakeFiles/test_ga.dir/ga/multi_population_test.cpp.o.d"
+  "CMakeFiles/test_ga.dir/ga/population_test.cpp.o"
+  "CMakeFiles/test_ga.dir/ga/population_test.cpp.o.d"
+  "CMakeFiles/test_ga.dir/ga/wcr_test.cpp.o"
+  "CMakeFiles/test_ga.dir/ga/wcr_test.cpp.o.d"
+  "test_ga"
+  "test_ga.pdb"
+  "test_ga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/edge_cases_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/edge_cases_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/property_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/property_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/seed_sweep_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/seed_sweep_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/committee_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/committee_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/dataset_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/dataset_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/ga_trainer_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/ga_trainer_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/mlp_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/mlp_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/trainer_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/trainer_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/weights_io_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/weights_io_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testgen.dir/testgen/features_test.cpp.o"
+  "CMakeFiles/test_testgen.dir/testgen/features_test.cpp.o.d"
+  "CMakeFiles/test_testgen.dir/testgen/march_test.cpp.o"
+  "CMakeFiles/test_testgen.dir/testgen/march_test.cpp.o.d"
+  "CMakeFiles/test_testgen.dir/testgen/pattern_io_test.cpp.o"
+  "CMakeFiles/test_testgen.dir/testgen/pattern_io_test.cpp.o.d"
+  "CMakeFiles/test_testgen.dir/testgen/pattern_test.cpp.o"
+  "CMakeFiles/test_testgen.dir/testgen/pattern_test.cpp.o.d"
+  "CMakeFiles/test_testgen.dir/testgen/profiles_test.cpp.o"
+  "CMakeFiles/test_testgen.dir/testgen/profiles_test.cpp.o.d"
+  "CMakeFiles/test_testgen.dir/testgen/random_gen_test.cpp.o"
+  "CMakeFiles/test_testgen.dir/testgen/random_gen_test.cpp.o.d"
+  "test_testgen"
+  "test_testgen.pdb"
+  "test_testgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

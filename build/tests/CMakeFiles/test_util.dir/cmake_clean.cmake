@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/ascii_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/ascii_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/cli_args_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/cli_args_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/csv_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/histogram_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/histogram_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/log_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/log_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/rng_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/statistics_test.cpp.o"
+  "CMakeFiles/test_util.dir/util/statistics_test.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

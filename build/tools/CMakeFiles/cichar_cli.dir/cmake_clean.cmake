@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cichar_cli.dir/cichar_cli.cpp.o"
+  "CMakeFiles/cichar_cli.dir/cichar_cli.cpp.o.d"
+  "cichar"
+  "cichar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cichar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

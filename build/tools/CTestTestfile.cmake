@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_selftest "/root/repo/build/tools/cichar" "selftest")
+set_tests_properties(cli_selftest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/cichar")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_shmoo "/root/repo/build/tools/cichar" "shmoo" "--tests" "20" "--csv" "cli_shmoo_test.csv")
+set_tests_properties(cli_shmoo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pattern_roundtrip "sh" "-c" "/root/repo/build/tools/cichar pattern --march mats+ --out cli_mats.pat && /root/repo/build/tools/cichar pattern --info cli_mats.pat")
+set_tests_properties(cli_pattern_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_campaign "/root/repo/build/tools/cichar" "campaign" "--tests" "40" "--generations" "6")
+set_tests_properties(cli_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_hunt_and_screen "sh" "-c" "/root/repo/build/tools/cichar hunt --seed 7 --generations 10 --populations 2 --db cli_db.txt --model cli_model.txt && /root/repo/build/tools/cichar screen --db cli_db.txt --limit 20.5 --lot 6")
+set_tests_properties(cli_hunt_and_screen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
