@@ -25,6 +25,13 @@ std::vector<std::string> MeasurementLog::phases() const {
     return names;
 }
 
+void MeasurementLog::merge(const MeasurementLog& other) {
+    for (const auto& [name, counters] : other.by_phase_) {
+        by_phase_[name].merge(counters);
+    }
+    total_.merge(other.total_);
+}
+
 void MeasurementLog::reset() {
     by_phase_.clear();
     total_ = PhaseCounters{};

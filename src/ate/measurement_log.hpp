@@ -43,6 +43,13 @@ public:
     [[nodiscard]] PhaseCounters phase_counters(const std::string& phase) const;
     [[nodiscard]] std::vector<std::string> phases() const;
 
+    /// Folds another ledger into this one: counters of same-named phases
+    /// combine, new phases are adopted. The phase set stays name-ordered,
+    /// so merging logs in any grouping with the same multiset of phases
+    /// yields an identical ledger (lot aggregation relies on this). The
+    /// active phase of `other` is ignored; ours is kept.
+    void merge(const MeasurementLog& other);
+
     void reset();
 
     /// Formatted multi-line report of all phases plus the total.

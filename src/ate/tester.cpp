@@ -1,5 +1,8 @@
 #include "ate/tester.hpp"
 
+#include <chrono>
+#include <thread>
+
 namespace cichar::ate {
 
 Tester::Tester(device::DeviceUnderTest& dut, TesterOptions options)
@@ -10,8 +13,15 @@ void Tester::record(const testgen::Test& test) {
                                ? options_.cycle_seconds
                                : test.conditions.clock_period_ns * 1e-9;
     const auto cycles = static_cast<std::uint64_t>(test.pattern.size());
-    log_.record(cycles, options_.setup_seconds_per_measurement +
-                            static_cast<double>(cycles) * cycle_s);
+    const double seconds = options_.setup_seconds_per_measurement +
+                           static_cast<double>(cycles) * cycle_s;
+    log_.record(cycles, seconds);
+    if (options_.realtime_fraction > 0.0) {
+        // Emulated hardware latency; only the wall clock is affected, the
+        // ledger above stays identical with the emulation on or off.
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            seconds * options_.realtime_fraction));
+    }
 }
 
 bool Tester::apply(const testgen::Test& test, const Parameter& parameter,

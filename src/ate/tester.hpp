@@ -18,6 +18,13 @@ struct TesterOptions {
     double setup_seconds_per_measurement = 5e-4;  ///< relay/level setup
     /// When > 0, overrides the test's own clock period for time accounting.
     double cycle_seconds = 0.0;
+    /// When > 0, each measurement also *blocks the calling thread* for
+    /// `modeled seconds * realtime_fraction`, emulating the physical
+    /// tester's I/O latency. A single-site run is rate-limited by this
+    /// wait; a multi-site lot overlaps the waits across sites — exactly
+    /// the economics that justify multi-site ATE. Off (0) by default so
+    /// simulations run at CPU speed.
+    double realtime_fraction = 0.0;
 };
 
 /// Pass/fail oracle for one (test, parameter) pair. Search algorithms are

@@ -1,0 +1,162 @@
+#include "lot/lot_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/ascii.hpp"
+
+namespace cichar::lot {
+
+namespace {
+
+double median_of(std::vector<double> values) {
+    return util::percentile(values, 0.5);
+}
+
+}  // namespace
+
+LotReport LotReport::build(const LotResult& result, LotReportOptions options) {
+    LotReport report;
+    report.seed_ = result.seed;
+    report.options_ = options;
+    report.merged_log_ = result.merged_log;
+
+    const std::size_t site_count = result.sites.size();
+    const std::size_t param_count =
+        site_count > 0 ? result.sites.front().campaigns.size() : 0;
+
+    report.sites_.reserve(site_count);
+    for (const SiteResult& site : result.sites) {
+        SiteSummary summary;
+        summary.site = site.site;
+        summary.die = site.die;
+        summary.max_risk = site.max_risk;
+        for (const core::ParameterCampaign& c : site.campaigns) {
+            summary.trip.push_back(c.report.worst_record.trip_point);
+            summary.wcr.push_back(c.report.worst_record.wcr);
+            summary.wcr_class.push_back(
+                ga::to_string(c.report.worst_record.wcr_class));
+            summary.risk.push_back(c.margin_risk);
+            summary.found.push_back(c.report.worst_record.found);
+        }
+        report.sites_.push_back(std::move(summary));
+    }
+
+    report.aggregates_.reserve(param_count);
+    for (std::size_t p = 0; p < param_count; ++p) {
+        ParameterAggregate agg;
+        agg.parameter = result.sites.front().campaigns[p].parameter;
+
+        std::vector<double> trips;
+        std::vector<double> wcrs;
+        std::vector<double> risks;
+        core::DesignSpecVariation lot_dsv;
+        for (const SiteSummary& site : report.sites_) {
+            risks.push_back(site.risk[p]);
+            if (!site.found[p]) continue;
+            trips.push_back(site.trip[p]);
+            wcrs.push_back(site.wcr[p]);
+            core::TripPointRecord record;
+            record.test_name = "site" + std::to_string(site.site);
+            record.trip_point = site.trip[p];
+            record.wcr = site.wcr[p];
+            record.found = true;
+            lot_dsv.add(std::move(record));
+        }
+        if (trips.empty()) {
+            throw std::invalid_argument(
+                "LotReport: no site found a trip point for parameter " +
+                agg.parameter.name);
+        }
+        agg.sites_found = trips.size();
+        agg.trip = util::summarize(trips);
+        agg.wcr = util::summarize(wcrs);
+        agg.trip_spread = agg.trip.max - agg.trip.min;
+        agg.median_risk = median_of(risks);
+        // The fused lot spec guard-bands the worst site: every site's
+        // proposal is at least this permissive, so the lot-level limit is
+        // the one the whole population supports.
+        agg.fused = core::propose_spec(agg.parameter, lot_dsv,
+                                       options.guard_band_fraction);
+
+        for (SiteSummary& site : report.sites_) {
+            const bool flagged =
+                !site.found[p] ||
+                site.risk[p] > agg.median_risk + options.outlier_risk_margin;
+            if (flagged) {
+                site.outlier = true;
+                agg.outlier_sites.push_back(site.site);
+            }
+        }
+        report.aggregates_.push_back(std::move(agg));
+    }
+    return report;
+}
+
+std::vector<std::size_t> LotReport::outlier_sites() const {
+    std::vector<std::size_t> flagged;
+    for (const SiteSummary& site : sites_) {
+        if (site.outlier) flagged.push_back(site.site);
+    }
+    return flagged;
+}
+
+std::string LotReport::render() const {
+    std::ostringstream out;
+    out << "lot characterization report: " << sites_.size() << " sites, seed "
+        << seed_ << "\n";
+
+    for (std::size_t p = 0; p < aggregates_.size(); ++p) {
+        const ParameterAggregate& agg = aggregates_[p];
+        out << "\n=== " << agg.parameter.name << " (" << agg.parameter.unit
+            << ") across the lot ===\n";
+
+        util::TextTable table({"site", "window ns", "sens", "worst trip",
+                               "WCR", "class", "risk", "flag"});
+        for (const SiteSummary& site : sites_) {
+            const bool site_outlier =
+                std::find(agg.outlier_sites.begin(), agg.outlier_sites.end(),
+                          site.site) != agg.outlier_sites.end();
+            table.add_row(
+                {std::to_string(site.site), util::fixed(site.die.window_ns, 2),
+                 util::fixed(site.die.sensitivity_scale, 3),
+                 site.found[p] ? util::fixed(site.trip[p], 3) : "n/a",
+                 site.found[p] ? util::fixed(site.wcr[p], 3) : "n/a",
+                 site.wcr_class[p], util::fixed(site.risk[p], 2),
+                 site_outlier ? "OUTLIER" : ""});
+        }
+        out << table.render();
+
+        out << "sites with a found worst case: " << agg.sites_found << "/"
+            << sites_.size() << "\n";
+        out << "per-site worst trip: mean " << util::fixed(agg.trip.mean, 3)
+            << ", median " << util::fixed(agg.trip.median, 3) << ", min "
+            << util::fixed(agg.trip.min, 3) << ", max "
+            << util::fixed(agg.trip.max, 3) << " " << agg.parameter.unit
+            << " (cross-site spread " << util::fixed(agg.trip_spread, 3)
+            << ")\n";
+        out << "per-site WCR: mean " << util::fixed(agg.wcr.mean, 3)
+            << ", stddev " << util::fixed(agg.wcr.stddev, 3) << ", worst "
+            << util::fixed(agg.wcr.max, 3) << "\n";
+        out << "lot median margin risk: " << util::fixed(agg.median_risk, 2)
+            << "; outlier rule: risk > median + "
+            << util::fixed(options_.outlier_risk_margin, 2)
+            << " or no trip found\n";
+        if (agg.outlier_sites.empty()) {
+            out << "outlier sites: none\n";
+        } else {
+            out << "outlier sites:";
+            for (const std::size_t site : agg.outlier_sites) {
+                out << " " << site;
+            }
+            out << "\n";
+        }
+        out << "fused lot " << agg.fused.render();
+    }
+
+    out << "\nmerged lot ledger (all sites):\n" << merged_log_.report();
+    return out.str();
+}
+
+}  // namespace cichar::lot

@@ -1,0 +1,77 @@
+#include "lot/lot_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/thread_pool.hpp"
+
+namespace cichar::lot {
+
+LotRunner::LotRunner(LotOptions options) : options_(std::move(options)) {
+    if (options_.parameters.empty()) {
+        options_.parameters = {ate::Parameter::data_valid_time()};
+    }
+}
+
+LotResult LotRunner::run() const {
+    LotResult result;
+    result.seed = options_.seed;
+    result.jobs = options_.jobs;
+    if (options_.sites == 0) return result;
+
+    // Pre-commit all randomness sequentially: wafer sample first, then one
+    // forked stream per site. Nothing below this point draws from lot_rng,
+    // so scheduling cannot perturb any stream.
+    util::Rng lot_rng(options_.seed);
+    const std::vector<device::DieParameters> dies =
+        options_.process.sample_wafer(options_.sites, lot_rng);
+    std::vector<util::Rng> site_rngs;
+    site_rngs.reserve(options_.sites);
+    for (std::size_t site = 0; site < options_.sites; ++site) {
+        site_rngs.push_back(lot_rng.fork(site + 1));
+    }
+
+    result.sites.resize(options_.sites);
+    util::ProgressCounter progress(options_.sites);
+
+    const auto characterize_site = [&](std::size_t site) {
+        util::Rng rng = site_rngs[site];
+        device::MemoryChipOptions chip_options = options_.chip;
+        chip_options.seed = rng();  // independent per-site noise stream
+        device::MemoryTestChip chip(dies[site], chip_options);
+        ate::Tester tester(chip, options_.tester);
+
+        const core::CharacterizationCampaign campaign(
+            tester, options_.parameters, options_.characterizer);
+
+        SiteResult& out = result.sites[site];
+        out.site = site;
+        out.die = dies[site];
+        out.campaigns = campaign.run(rng);
+        out.log = tester.log();
+        out.max_risk = 0.0;
+        for (const core::ParameterCampaign& c : out.campaigns) {
+            out.max_risk = std::max(out.max_risk, c.margin_risk);
+        }
+        const std::size_t done = progress.tick();
+        if (options_.on_progress) options_.on_progress(done, options_.sites);
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    util::ThreadPool pool(options_.jobs);
+    for (std::size_t site = 0; site < options_.sites; ++site) {
+        pool.submit([&characterize_site, site] { characterize_site(site); });
+    }
+    pool.wait();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    // Merge in site order so the lot ledger is thread-count independent.
+    for (const SiteResult& site : result.sites) {
+        result.merged_log.merge(site.log);
+    }
+    return result;
+}
+
+}  // namespace cichar::lot

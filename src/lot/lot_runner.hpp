@@ -1,0 +1,83 @@
+// Multi-site lot characterization engine. Production ATEs characterize a
+// wafer lot by running many sites in parallel; this runner samples N dies
+// from the process-variation model, gives every site its own DUT + tester
+// + forked RNG stream, and executes the full learn + optimize +
+// spec-proposal campaign per site on a util::ThreadPool.
+//
+// Determinism contract: the lot seed fully determines every per-site
+// result and the aggregated LotReport, *independent of the thread count*.
+// All randomness is pre-committed on the calling thread — the wafer is
+// sampled and one Rng per site is forked before any task is submitted —
+// so workers never share a stochastic state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ate/measurement_log.hpp"
+#include "core/campaign.hpp"
+#include "device/memory_chip.hpp"
+#include "device/process.hpp"
+
+namespace cichar::lot {
+
+struct LotOptions {
+    /// Dies sampled from the process model (one per site).
+    std::size_t sites = 8;
+    /// Worker threads; 0 means one per hardware thread.
+    std::size_t jobs = 1;
+    /// Master seed; forks one independent stream per site.
+    std::uint64_t seed = 2005;
+    /// Parameters characterized at every site (empty = T_DQ only).
+    std::vector<ate::Parameter> parameters{};
+    core::CharacterizerOptions characterizer{};
+    device::ProcessVariation process{};
+    /// Per-site chip behavior; the noise seed is re-derived per site.
+    device::MemoryChipOptions chip{};
+    ate::TesterOptions tester{};
+    /// Invoked after each site completes with (sites done, sites total).
+    /// Called from worker threads (already serialized by completion
+    /// order); keep it cheap and thread-safe. Site completion order is
+    /// scheduling-dependent — results are not.
+    std::function<void(std::size_t, std::size_t)> on_progress{};
+};
+
+/// Everything one site produced.
+struct SiteResult {
+    std::size_t site = 0;
+    device::DieParameters die;
+    std::vector<core::ParameterCampaign> campaigns;  ///< one per parameter
+    ate::MeasurementLog log;   ///< this site's tester ledger
+    double max_risk = 0.0;     ///< worst fuzzy margin risk across parameters
+};
+
+/// Whole-lot outcome, sites in site-index order.
+struct LotResult {
+    std::uint64_t seed = 0;
+    std::size_t jobs = 1;
+    std::vector<SiteResult> sites;
+    ate::MeasurementLog merged_log;  ///< site ledgers merged in site order
+    /// Real elapsed time of the parallel section. Reporting only — never
+    /// rendered into the deterministic LotReport.
+    double wall_seconds = 0.0;
+};
+
+class LotRunner {
+public:
+    LotRunner() = default;
+    explicit LotRunner(LotOptions options);
+
+    [[nodiscard]] const LotOptions& options() const noexcept {
+        return options_;
+    }
+
+    /// Samples the lot and characterizes every site. Thread-count
+    /// independent given the same options (excluding `jobs`).
+    [[nodiscard]] LotResult run() const;
+
+private:
+    LotOptions options_;
+};
+
+}  // namespace cichar::lot

@@ -1,20 +1,36 @@
 #include "util/log.hpp"
 
 #include <iostream>
+#include <mutex>
 
 namespace cichar::util {
 
-LogLevel Log::level_ = LogLevel::kWarn;
-std::ostream* Log::sink_ = nullptr;
+namespace {
+// Serializes whole lines so concurrent site workers never interleave.
+std::mutex& write_mutex() {
+    static std::mutex m;
+    return m;
+}
+}  // namespace
 
-void Log::set_level(LogLevel level) noexcept { level_ = level; }
+std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
+std::atomic<std::ostream*> Log::sink_{nullptr};
 
-LogLevel Log::level() noexcept { return level_; }
+void Log::set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+}
 
-void Log::set_sink(std::ostream* sink) noexcept { sink_ = sink; }
+LogLevel Log::level() noexcept {
+    return level_.load(std::memory_order_relaxed);
+}
+
+void Log::set_sink(std::ostream* sink) noexcept {
+    sink_.store(sink, std::memory_order_relaxed);
+}
 
 void Log::write(LogLevel level, std::string_view message) {
-    std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
+    std::ostream* configured = sink_.load(std::memory_order_relaxed);
+    std::ostream& out = configured != nullptr ? *configured : std::clog;
     const char* tag = "?";
     switch (level) {
         case LogLevel::kDebug: tag = "DEBUG"; break;
@@ -23,6 +39,7 @@ void Log::write(LogLevel level, std::string_view message) {
         case LogLevel::kError: tag = "ERROR"; break;
         case LogLevel::kOff: return;
     }
+    const std::lock_guard<std::mutex> lock(write_mutex());
     out << "[cichar " << tag << "] " << message << '\n';
 }
 

@@ -2,6 +2,7 @@
 // progress at Info level, and tests can silence everything.
 #pragma once
 
+#include <atomic>
 #include <ostream>
 #include <sstream>
 #include <string_view>
@@ -10,21 +11,24 @@ namespace cichar::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide logger configuration. Not thread-safe by design: the
-/// library is single-threaded (the ATE serializes all measurements).
+/// Process-wide logger configuration. Thread-safe: multi-site lot runs
+/// log from worker threads, so the level/sink are atomics and write()
+/// serializes whole lines behind a mutex.
 class Log {
 public:
     static void set_level(LogLevel level) noexcept;
     [[nodiscard]] static LogLevel level() noexcept;
 
     /// Redirects output (defaults to std::clog). Pass nullptr to restore.
+    /// Not safe to call while worker threads are logging; reconfigure
+    /// between runs.
     static void set_sink(std::ostream* sink) noexcept;
 
     static void write(LogLevel level, std::string_view message);
 
 private:
-    static LogLevel level_;
-    static std::ostream* sink_;
+    static std::atomic<LogLevel> level_;
+    static std::atomic<std::ostream*> sink_;
 };
 
 namespace detail {

@@ -1,0 +1,72 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cichar::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    task_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    if (first_error_) {
+        std::exception_ptr error = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_ready_.wait(lock,
+                             [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ with nothing left
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (error && !first_error_) first_error_ = error;
+            --active_;
+            if (queue_.empty() && active_ == 0) all_done_.notify_all();
+        }
+    }
+}
+
+}  // namespace cichar::util

@@ -1,0 +1,75 @@
+#include "ate/measurement_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::ate {
+namespace {
+
+MeasurementLog make_log(
+    const std::vector<std::pair<std::string, std::uint64_t>>& entries) {
+    MeasurementLog log;
+    for (const auto& [phase, cycles] : entries) {
+        log.set_phase(phase);
+        log.record(cycles, static_cast<double>(cycles) * 0.001);
+    }
+    return log;
+}
+
+TEST(MeasurementLogMergeTest, CombinesSameNamedPhases) {
+    MeasurementLog a = make_log({{"learning", 100}, {"ga", 50}});
+    const MeasurementLog b = make_log({{"learning", 25}});
+
+    a.merge(b);
+    EXPECT_EQ(a.phase_counters("learning").applications, 2u);
+    EXPECT_EQ(a.phase_counters("learning").vector_cycles, 125u);
+    EXPECT_EQ(a.phase_counters("ga").applications, 1u);
+    EXPECT_EQ(a.total().applications, 3u);
+    EXPECT_EQ(a.total().vector_cycles, 175u);
+    EXPECT_DOUBLE_EQ(a.total().tester_seconds, 0.175);
+}
+
+TEST(MeasurementLogMergeTest, AdoptsNewPhases) {
+    MeasurementLog a = make_log({{"learning", 10}});
+    const MeasurementLog b = make_log({{"shmoo", 7}});
+
+    a.merge(b);
+    const std::vector<std::string> phases = a.phases();
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_EQ(a.phase_counters("shmoo").vector_cycles, 7u);
+}
+
+TEST(MeasurementLogMergeTest, MergeOrderDoesNotChangeThePhaseSet) {
+    // Stable concatenation: phases render name-ordered, so merging the
+    // same site ledgers in any grouping yields the identical report.
+    MeasurementLog ab = make_log({{"ga", 3}});
+    ab.merge(make_log({{"learning", 5}, {"shmoo", 2}}));
+
+    MeasurementLog ba = make_log({{"shmoo", 2}});
+    ba.merge(make_log({{"ga", 3}}));
+    ba.merge(make_log({{"learning", 5}}));
+
+    EXPECT_EQ(ab.phases(), ba.phases());
+    EXPECT_EQ(ab.report(), ba.report());
+    EXPECT_EQ(ab.total().applications, ba.total().applications);
+}
+
+TEST(MeasurementLogMergeTest, MergingEmptyIsANoOp) {
+    MeasurementLog a = make_log({{"learning", 10}});
+    const std::string before = a.report();
+    a.merge(MeasurementLog{});
+    EXPECT_EQ(a.report(), before);
+}
+
+TEST(MeasurementLogMergeTest, KeepsOwnActivePhase) {
+    MeasurementLog a;
+    a.set_phase("mine");
+    MeasurementLog b;
+    b.set_phase("theirs");
+    b.record(1, 0.5);
+    a.merge(b);
+    EXPECT_EQ(a.phase(), "mine");
+    EXPECT_EQ(a.phase_counters("theirs").applications, 1u);
+}
+
+}  // namespace
+}  // namespace cichar::ate

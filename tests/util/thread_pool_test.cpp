@@ -1,0 +1,118 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace cichar::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4u);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i) {
+        pool.submit([&sum, i] { sum.fetch_add(i); });
+    }
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ZeroTaskWaitDrainsImmediately) {
+    ThreadPool pool(2);
+    pool.wait();  // nothing submitted: must not hang
+    pool.wait();  // and stays callable
+    SUCCEED();
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsAtLeastOne) {
+    ThreadPool pool(0);
+    EXPECT_GE(pool.thread_count(), 1u);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran = true; });
+    pool.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, PropagatesFirstExceptionFromWait) {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("site 3 died"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, RemainsUsableAfterTaskException) {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&count] { ++count; });
+    }
+    pool.wait();  // error was cleared by the previous wait
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, OtherTasksStillRunWhenOneThrows) {
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 20; ++i) {
+        if (i == 5) {
+            pool.submit([] { throw std::runtime_error("mid-lot failure"); });
+        } else {
+            pool.submit([&count] { ++count; });
+        }
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(count.load(), 19);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
+    ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        pool.submit([&order, i] { order.push_back(i); });
+    }
+    pool.wait();
+    // One worker consumes the queue in submission order.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ProgressCounterTest, TicksTowardTotal) {
+    ProgressCounter progress(4);
+    EXPECT_EQ(progress.done(), 0u);
+    EXPECT_DOUBLE_EQ(progress.fraction(), 0.0);
+    EXPECT_EQ(progress.tick(), 1u);
+    EXPECT_EQ(progress.tick(), 2u);
+    EXPECT_DOUBLE_EQ(progress.fraction(), 0.5);
+    EXPECT_EQ(progress.total(), 4u);
+}
+
+TEST(ProgressCounterTest, ResetRearms) {
+    ProgressCounter progress(2);
+    (void)progress.tick();
+    progress.reset(10);
+    EXPECT_EQ(progress.done(), 0u);
+    EXPECT_EQ(progress.total(), 10u);
+}
+
+TEST(ProgressCounterTest, ZeroTotalReportsComplete) {
+    const ProgressCounter progress(0);
+    EXPECT_DOUBLE_EQ(progress.fraction(), 1.0);
+}
+
+TEST(ProgressCounterTest, CountsAcrossThreads) {
+    ProgressCounter progress(64);
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&progress] { (void)progress.tick(); });
+    }
+    pool.wait();
+    EXPECT_EQ(progress.done(), 64u);
+    EXPECT_DOUBLE_EQ(progress.fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace cichar::util

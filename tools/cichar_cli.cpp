@@ -10,6 +10,10 @@
 //   cichar screen --db FILE [--limit L] [--lot N] [--seed N]
 //       compile a production program from a saved worst-case database and
 //       screen a lot of sampled dies
+//   cichar lot [--sites N] [--jobs J] [--seed N] [--params tdq|all]
+//              [--tests N] [--generations G] [--report FILE]
+//       multi-site lot characterization: full campaign per sampled die,
+//       sites run in parallel, lot-level aggregation + fused spec
 //   cichar pattern --march NAME --out FILE | --info FILE
 //       export deterministic patterns as ATE vector files / inspect one
 #include <cstdio>
@@ -25,6 +29,8 @@
 #include "core/report.hpp"
 #include "core/spec_report.hpp"
 #include "device/memory_chip.hpp"
+#include "lot/lot_report.hpp"
+#include "lot/lot_runner.hpp"
 #include "testgen/march.hpp"
 #include "testgen/pattern_io.hpp"
 #include "util/cli_args.hpp"
@@ -47,6 +53,8 @@ int usage() {
         "  cichar shmoo [--seed N] [--tests N] [--csv FILE]\n"
         "  cichar screen --db FILE [--limit L] [--lot N] [--seed N]\n"
         "  cichar campaign [--seed N] [--tests N] [--generations G]\n"
+        "  cichar lot [--sites N] [--jobs J] [--seed N] [--params tdq|all]\n"
+        "             [--tests N] [--generations G] [--report FILE]\n"
         "  cichar pattern --march c-|mats+|x|y|checkerboard --out FILE\n"
         "  cichar pattern --info FILE\n");
     return 2;
@@ -263,6 +271,53 @@ int cmd_campaign(const Args& args) {
     return 0;
 }
 
+int cmd_lot(const Args& args) {
+    lot::LotOptions options;
+    options.sites = static_cast<std::size_t>(args.get_u64("sites", 8));
+    options.jobs = static_cast<std::size_t>(args.get_u64("jobs", 1));
+    options.seed = args.get_u64("seed", 2005);
+    options.characterizer = default_options();
+    options.characterizer.learner.training_tests =
+        static_cast<std::size_t>(args.get_u64("tests", 80));
+    options.characterizer.optimizer.ga.max_generations =
+        static_cast<std::size_t>(args.get_u64("generations", 15));
+    options.characterizer.optimizer.ga.populations = 2;
+    if (args.get("params") == "all") {
+        options.parameters = {ate::Parameter::data_valid_time(),
+                              ate::Parameter::max_frequency(),
+                              ate::Parameter::min_vdd()};
+    }
+    options.on_progress = [](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "  site campaign finished (%zu/%zu)\n", done,
+                     total);
+    };
+
+    std::printf("characterizing lot: %zu sites, %zu jobs (seed %llu)...\n",
+                options.sites, options.jobs,
+                static_cast<unsigned long long>(options.seed));
+    const lot::LotRunner runner(options);
+    const lot::LotResult result = runner.run();
+    const lot::LotReport report = lot::LotReport::build(result);
+    std::printf("%s", report.render().c_str());
+    if (options.jobs == 0) {
+        std::printf("\nwall clock: %.2f s (auto jobs)\n", result.wall_seconds);
+    } else {
+        std::printf("\nwall clock: %.2f s with %zu jobs\n",
+                    result.wall_seconds, options.jobs);
+    }
+    if (args.has("report")) {
+        std::ofstream out(args.get("report"));
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.get("report").c_str());
+            return 1;
+        }
+        out << report.render();
+        std::printf("lot report written to %s\n", args.get("report").c_str());
+    }
+    return 0;
+}
+
 int cmd_pattern(const Args& args) {
     if (args.has("info")) {
         const testgen::TestPattern pattern =
@@ -313,6 +368,7 @@ int main(int argc, char** argv) {
         if (command == "shmoo") return cmd_shmoo(args);
         if (command == "screen") return cmd_screen(args);
         if (command == "campaign") return cmd_campaign(args);
+        if (command == "lot") return cmd_lot(args);
         if (command == "pattern") return cmd_pattern(args);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
