@@ -1,10 +1,18 @@
 // Shared scaffolding for the paper-reproduction benches: a standard device
-// + tester bring-up and uniform report formatting, so every bench prints
-// its figure/table id, the paper's reported values, and our measured ones.
+// + tester bring-up, uniform report formatting (figure/table id, paper's
+// reported values, our measured ones), repeated-run timing with warmup +
+// median-of-N, and machine-readable BENCH_*.json emission for tracking
+// results across commits.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "ate/parameter.hpp"
 #include "ate/tester.hpp"
@@ -20,8 +28,9 @@ struct Rig {
     ate::Tester tester;
 
     explicit Rig(device::MemoryChipOptions options = {},
-                 device::DieParameters die = {})
-        : chip(die, options), tester(chip) {}
+                 device::DieParameters die = {},
+                 ate::TesterOptions tester_options = {})
+        : chip(die, options), tester(chip, tester_options) {}
 };
 
 inline void header(std::string_view experiment, std::string_view description,
@@ -45,5 +54,112 @@ inline testgen::RandomGeneratorOptions nominal_generator() {
     g.condition_bounds = testgen::ConditionBounds::fixed_nominal();
     return g;
 }
+
+/// Wall-clock samples of repeated runs of one configuration.
+struct TimedRuns {
+    std::vector<double> seconds;  ///< one entry per measured (post-warmup) run
+
+    [[nodiscard]] double median() const {
+        if (seconds.empty()) return 0.0;
+        std::vector<double> sorted = seconds;
+        std::sort(sorted.begin(), sorted.end());
+        const std::size_t n = sorted.size();
+        return n % 2 == 1 ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+    }
+    [[nodiscard]] double min() const {
+        return seconds.empty()
+                   ? 0.0
+                   : *std::min_element(seconds.begin(), seconds.end());
+    }
+};
+
+/// Runs `fn` `warmup` times untimed (cache/allocator/branch-predictor
+/// warm-up), then `reps` more times, wall-timing each. Report the median:
+/// it is robust against one run absorbing a scheduler hiccup.
+template <typename Fn>
+[[nodiscard]] TimedRuns time_runs(std::size_t warmup, std::size_t reps,
+                                  Fn&& fn) {
+    using Clock = std::chrono::steady_clock;
+    for (std::size_t i = 0; i < warmup; ++i) fn();
+    TimedRuns runs;
+    runs.seconds.reserve(reps);
+    for (std::size_t i = 0; i < reps; ++i) {
+        const Clock::time_point start = Clock::now();
+        fn();
+        runs.seconds.push_back(
+            std::chrono::duration<double>(Clock::now() - start).count());
+    }
+    return runs;
+}
+
+/// Insertion-ordered flat JSON object writer for BENCH_*.json files —
+/// small enough on purpose; benches emit one object of scalars/arrays.
+class BenchJson {
+public:
+    void set_number(const std::string& key, double value) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        entries_.emplace_back(key, buf);
+    }
+    void set_integer(const std::string& key, std::uint64_t value) {
+        entries_.emplace_back(key,
+                              std::to_string(value));
+    }
+    void set_bool(const std::string& key, bool value) {
+        entries_.emplace_back(key, value ? "true" : "false");
+    }
+    void set_string(const std::string& key, const std::string& value) {
+        entries_.emplace_back(key, "\"" + escape(value) + "\"");
+    }
+    void set_numbers(const std::string& key, const std::vector<double>& values) {
+        std::string raw = "[";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%.6g", values[i]);
+            if (i > 0) raw += ", ";
+            raw += buf;
+        }
+        raw += "]";
+        entries_.emplace_back(key, std::move(raw));
+    }
+
+    [[nodiscard]] std::string render() const {
+        std::string out = "{\n";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            out += "  \"" + escape(entries_[i].first) +
+                   "\": " + entries_[i].second;
+            if (i + 1 < entries_.size()) out += ",";
+            out += "\n";
+        }
+        out += "}\n";
+        return out;
+    }
+
+    /// Writes the object to `path`; prints a note either way.
+    bool write(const std::string& path) const {
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        out << render();
+        std::printf("machine-readable results written to %s\n", path.c_str());
+        return true;
+    }
+
+private:
+    static std::string escape(const std::string& s) {
+        std::string out;
+        out.reserve(s.size());
+        for (const char c : s) {
+            if (c == '"' || c == '\\') out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace cichar::bench

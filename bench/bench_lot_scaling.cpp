@@ -89,6 +89,16 @@ int main() {
     std::printf("thread-count determinism (byte-identical reports): %s\n",
                 deterministic ? "PASS" : "FAIL");
 
+    bench::BenchJson json;
+    json.set_string("bench", "lot_scaling");
+    json.set_integer("seed", kSeed);
+    json.set_numbers("jobs", {1, 2, 4, 8});
+    json.set_numbers("wall_seconds", wall);
+    json.set_number("speedup_4", speedup4);
+    json.set_number("modeled_tester_seconds", modeled_seconds);
+    json.set_bool("deterministic", deterministic);
+    json.write("BENCH_lot.json");
+
     bench::section("lot report (jobs=1 == jobs=8)");
     std::printf("%s", renders[0].c_str());
 

@@ -62,6 +62,15 @@ public:
     [[nodiscard]] const Datalog& datalog() const noexcept { return datalog_; }
 
     [[nodiscard]] device::DeviceUnderTest& dut() noexcept { return *dut_; }
+    [[nodiscard]] const device::DeviceUnderTest& dut() const noexcept {
+        return *dut_;
+    }
+
+    /// Timing model, e.g. to construct identically-configured replica
+    /// testers for parallel measurement.
+    [[nodiscard]] const TesterOptions& options() const noexcept {
+        return options_;
+    }
 
 private:
     void record(const testgen::Test& test);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.hpp"
+
 namespace cichar::core {
 
 NnTestGenerator::NnTestGenerator(const LearnedModel& model)
@@ -9,18 +11,37 @@ NnTestGenerator::NnTestGenerator(const LearnedModel& model)
 
 std::vector<TestSuggestion> NnTestGenerator::suggest(std::size_t candidates,
                                                      std::size_t top_k,
-                                                     util::Rng& rng) const {
+                                                     util::Rng& rng,
+                                                     std::size_t jobs) const {
+    // Draw every candidate from `rng` up front on the calling thread: the
+    // draw sequence (and thus the candidate set) is independent of `jobs`.
     std::vector<TestSuggestion> scored;
     scored.reserve(candidates);
     for (std::size_t i = 0; i < candidates; ++i) {
         TestSuggestion s;
         s.recipe = generator_.random_recipe(rng);
         s.conditions = generator_.random_conditions(rng);
+        scored.push_back(std::move(s));
+    }
+
+    // Committee scoring is pure (const model, no rng), so candidates can
+    // be scored concurrently into their own slots.
+    const auto score = [&](TestSuggestion& s) {
         const testgen::Test test = generator_.make_test(s.recipe, s.conditions);
         s.predicted_wcr = model_->predict_wcr(test);
         s.vote_agreement = model_->vote(test).agreement;
-        scored.push_back(std::move(s));
+    };
+    if (jobs == 1 || scored.size() <= 1) {
+        for (TestSuggestion& s : scored) score(s);
+    } else {
+        util::ThreadPool pool(jobs);
+        for (TestSuggestion& s : scored) {
+            TestSuggestion* slot = &s;
+            pool.submit([&score, slot] { score(*slot); });
+        }
+        pool.wait();
     }
+
     const std::size_t keep = std::min(top_k, scored.size());
     std::partial_sort(scored.begin(),
                       scored.begin() + static_cast<std::ptrdiff_t>(keep),
@@ -33,9 +54,10 @@ std::vector<TestSuggestion> NnTestGenerator::suggest(std::size_t candidates,
 }
 
 std::vector<ga::TestChromosome> NnTestGenerator::suggest_chromosomes(
-    std::size_t candidates, std::size_t top_k, util::Rng& rng) const {
+    std::size_t candidates, std::size_t top_k, util::Rng& rng,
+    std::size_t jobs) const {
     const std::vector<TestSuggestion> suggestions =
-        suggest(candidates, top_k, rng);
+        suggest(candidates, top_k, rng, jobs);
     const auto& opts = generator_.options();
     std::vector<ga::TestChromosome> chromosomes;
     chromosomes.reserve(suggestions.size());

@@ -25,13 +25,18 @@ public:
 
     /// Samples `candidates` random tests, scores them in software, and
     /// returns the `top_k` with the highest predicted WCR (descending).
+    /// Candidates are drawn from `rng` serially; the (pure, rng-free)
+    /// committee scoring fans out over `jobs` worker threads (1 = serial,
+    /// 0 = one per hardware thread) with identical results at any value.
     [[nodiscard]] std::vector<TestSuggestion> suggest(std::size_t candidates,
                                                       std::size_t top_k,
-                                                      util::Rng& rng) const;
+                                                      util::Rng& rng,
+                                                      std::size_t jobs = 1) const;
 
     /// Same, already encoded as GA chromosomes.
     [[nodiscard]] std::vector<ga::TestChromosome> suggest_chromosomes(
-        std::size_t candidates, std::size_t top_k, util::Rng& rng) const;
+        std::size_t candidates, std::size_t top_k, util::Rng& rng,
+        std::size_t jobs = 1) const;
 
     [[nodiscard]] const LearnedModel& model() const noexcept { return *model_; }
 

@@ -1,8 +1,13 @@
 #include "core/optimizer.hpp"
 
+#include <cmath>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cichar::core {
 
@@ -28,6 +33,23 @@ double objective_wcr(Objective objective, double measured, double spec) {
                : ga::wcr_toward_max(measured, spec);
 }
 
+/// Same record semantics as TripSession::to_record, for measurements made
+/// outside a session (replica evaluation).
+TripPointRecord make_record(const std::string& test_name,
+                            const ate::SearchResult& result,
+                            const ate::Parameter& parameter) {
+    TripPointRecord record;
+    record.test_name = test_name;
+    record.found = result.found && !std::isnan(result.trip_point);
+    record.trip_point = record.found ? result.trip_point : 0.0;
+    record.measurements = result.measurements;
+    if (record.found) {
+        record.wcr = worst_case_ratio(parameter, record.trip_point);
+        record.wcr_class = ga::classify(record.wcr);
+    }
+    return record;
+}
+
 }  // namespace
 
 WorstCaseReport WorstCaseOptimizer::run(ate::Tester& tester,
@@ -36,8 +58,10 @@ WorstCaseReport WorstCaseOptimizer::run(ate::Tester& tester,
                                         Objective objective,
                                         util::Rng& rng) const {
     const NnTestGenerator nn_generator(model);
+    const std::size_t score_jobs =
+        options_.parallel.enabled ? options_.parallel.jobs : 1;
     std::vector<ga::TestChromosome> seeds = nn_generator.suggest_chromosomes(
-        options_.nn_candidates, options_.nn_seed_count, rng);
+        options_.nn_candidates, options_.nn_seed_count, rng, score_jobs);
     return drive(tester, parameter, model.generator_options(),
                  std::move(seeds), objective, rng);
 }
@@ -60,56 +84,246 @@ WorstCaseReport WorstCaseOptimizer::drive(
     const testgen::RandomTestGenerator generator(generator_options);
     TripSession session(tester, parameter, options_.trip);
     WorstCaseDatabase database(options_.database_capacity);
+    const bool use_cache = options_.cache.enabled;
+    TripPointCache cache(options_.cache.capacity > 0 ? options_.cache.capacity
+                                                     : 1);
     std::size_t eval_counter = 0;
 
-    const ga::FitnessFn fitness = [&](const ga::TestChromosome& chromosome) {
-        const testgen::PatternRecipe recipe = chromosome.decode_recipe(
-            generator_options.min_cycles, generator_options.max_cycles);
-        const testgen::TestConditions conditions =
-            chromosome.decode_conditions(generator_options.condition_bounds);
-        const std::string name = "ga-" + std::to_string(eval_counter++);
-        const testgen::Test test = generator.make_test(recipe, conditions, name);
-
-        const TripPointRecord record = session.measure(test);
-        if (!record.found) return 0.0;  // no crossover: treat as harmless
-
-        const double wcr =
-            objective_wcr(objective, record.trip_point, parameter.spec);
-
+    const auto add_entry = [&](const std::string& name,
+                               const testgen::PatternRecipe& recipe,
+                               const testgen::TestConditions& conditions,
+                               double trip_point, double wcr) {
         WorstCaseEntry entry;
         entry.name = name;
         entry.recipe = recipe;
         entry.conditions = conditions;
-        entry.trip_point = record.trip_point;
+        entry.trip_point = trip_point;
         entry.wcr = wcr;
         entry.wcr_class = ga::classify(wcr, options_.thresholds);
         database.add(std::move(entry));
-
-        if (options_.check_functional_failures &&
-            wcr > options_.thresholds.fail) {
-            const device::FunctionalResult functional =
-                tester.run_functional(test);
-            if (!functional.pass()) {
-                FunctionalFailureRecord failure;
-                failure.name = name;
-                failure.recipe = recipe;
-                failure.conditions = conditions;
-                failure.miscompares = functional.miscompares;
-                failure.first_fail_cycle = functional.first_fail_cycle;
-                database.add_functional_failure(std::move(failure));
-            }
-        }
-        return wcr;
     };
+
+    const auto add_functional_failure =
+        [&](const std::string& name, const testgen::PatternRecipe& recipe,
+            const testgen::TestConditions& conditions,
+            const device::FunctionalResult& functional) {
+            FunctionalFailureRecord failure;
+            failure.name = name;
+            failure.recipe = recipe;
+            failure.conditions = conditions;
+            failure.miscompares = functional.miscompares;
+            failure.first_fail_cycle = functional.first_fail_cycle;
+            database.add_functional_failure(std::move(failure));
+        };
+
+    // Parallel replica evaluation needs a replicable DUT; fall back to the
+    // classic in-situ path when the device cannot be cloned.
+    bool parallel = options_.parallel.enabled;
+    if (parallel && tester.dut().clone_cold(1) == nullptr) {
+        util::log_info(
+            "optimizer: DUT does not support clone_cold; running serial");
+        parallel = false;
+    }
 
     const ga::MultiPopulationGa driver(options_.ga);
     WorstCaseReport report;
     report.objective = objective;
-    report.outcome = driver.run(fitness, std::move(seeds), rng);
+
+    if (!parallel) {
+        report.jobs = 1;
+        const ga::FitnessFn fitness =
+            [&](const ga::TestChromosome& chromosome) {
+                const testgen::PatternRecipe recipe = chromosome.decode_recipe(
+                    generator_options.min_cycles, generator_options.max_cycles);
+                const testgen::TestConditions conditions =
+                    chromosome.decode_conditions(
+                        generator_options.condition_bounds);
+                const std::string name = "ga-" + std::to_string(eval_counter++);
+                const TripCacheKey key{recipe, conditions};
+
+                TripPointRecord record;
+                bool from_cache = false;
+                if (use_cache) {
+                    if (const TripPointRecord* hit = cache.lookup(key)) {
+                        record = *hit;
+                        record.test_name = name;
+                        from_cache = true;
+                    }
+                }
+                testgen::Test test;
+                if (!from_cache) {
+                    test = generator.make_test(recipe, conditions, name);
+                    record = session.measure(test);
+                    if (use_cache) cache.insert(key, record);
+                }
+                if (!record.found) return 0.0;  // no crossover: harmless
+
+                const double wcr = objective_wcr(objective, record.trip_point,
+                                                 parameter.spec);
+                add_entry(name, recipe, conditions, record.trip_point, wcr);
+
+                // Cache hits replay a known trip point without touching the
+                // tester, so the functional pattern (which would cost a
+                // fresh measurement) only runs on misses.
+                if (!from_cache && options_.check_functional_failures &&
+                    wcr > options_.thresholds.fail) {
+                    const device::FunctionalResult functional =
+                        tester.run_functional(test);
+                    if (!functional.pass()) {
+                        add_functional_failure(name, recipe, conditions,
+                                               functional);
+                    }
+                }
+                return wcr;
+            };
+        report.outcome = driver.run(fitness, std::move(seeds), rng);
+    } else {
+        util::ThreadPool pool(options_.parallel.jobs);
+        report.jobs = pool.thread_count();
+        // Replica noise streams are forked from a dedicated stream on the
+        // calling thread, in submission order — never by the workers — so
+        // every evaluation is a pure function of its own seed and the
+        // shared const follower, and the hunt is byte-identical at any
+        // jobs count.
+        util::Rng noise_rng = rng.fork(0x7e57);
+        std::optional<ate::SearchUntilTrip> follower;
+
+        struct Slot {
+            std::string name;
+            testgen::PatternRecipe recipe;
+            testgen::TestConditions conditions;
+            TripCacheKey key;
+            bool cached = false;
+            std::uint64_t noise_seed = 0;
+            testgen::Test test;
+            TripPointRecord record;
+            ate::MeasurementLog log;
+            bool functional_ran = false;
+            device::FunctionalResult functional;
+        };
+
+        // Measures one slot on a fresh cold replica of the DUT (a virtual
+        // re-insertion of the same die). The first-ever evaluation runs
+        // the full-range search and publishes the RTP follower; it must be
+        // called inline before any worker uses `follower`.
+        const auto measure_slot = [&](Slot& slot, bool establish_reference) {
+            const std::unique_ptr<device::DeviceUnderTest> replica_dut =
+                tester.dut().clone_cold(slot.noise_seed);
+            ate::Tester replica(*replica_dut, tester.options());
+            replica.log().set_phase("ga-optimization");
+            if (options_.trip.settle_between_tests) replica.settle();
+            const ate::Oracle oracle = replica.oracle(slot.test, parameter);
+
+            ate::SearchResult result;
+            if (establish_reference) {
+                const ate::SuccessiveApproximation initial(
+                    options_.trip.initial);
+                ate::ReferenceSearch ref = ate::make_reference_search(
+                    oracle, parameter, initial, options_.trip.follow);
+                follower.emplace(ref.follower);
+                result = std::move(ref.first_result);
+            } else {
+                result = follower->find(oracle, parameter);
+                if (!result.found && options_.trip.full_search_on_miss) {
+                    const ate::SuccessiveApproximation full(
+                        options_.trip.initial);
+                    ate::SearchResult retry = full.find(oracle, parameter);
+                    retry.measurements += result.measurements;
+                    result = std::move(retry);
+                }
+            }
+            slot.record = make_record(slot.name, result, parameter);
+
+            if (options_.check_functional_failures && slot.record.found) {
+                const double wcr = objective_wcr(
+                    objective, slot.record.trip_point, parameter.spec);
+                if (wcr > options_.thresholds.fail) {
+                    slot.functional = replica.run_functional(slot.test);
+                    slot.functional_ran = true;
+                }
+            }
+            slot.log = std::move(replica.log());
+        };
+
+        const ga::BatchFitnessFn batch_fitness =
+            [&](std::span<const ga::TestChromosome> batch) {
+                std::vector<Slot> slots(batch.size());
+                std::vector<std::size_t> pending;
+                pending.reserve(batch.size());
+
+                // Decode, name, and consult the cache in submission order
+                // on the calling thread.
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    Slot& slot = slots[i];
+                    slot.recipe = batch[i].decode_recipe(
+                        generator_options.min_cycles,
+                        generator_options.max_cycles);
+                    slot.conditions = batch[i].decode_conditions(
+                        generator_options.condition_bounds);
+                    slot.name = "ga-" + std::to_string(eval_counter++);
+                    slot.key = TripCacheKey{slot.recipe, slot.conditions};
+                    if (use_cache) {
+                        if (const TripPointRecord* hit =
+                                cache.lookup(slot.key)) {
+                            slot.cached = true;
+                            slot.record = *hit;
+                            slot.record.test_name = slot.name;
+                            continue;
+                        }
+                    }
+                    slot.test = generator.make_test(slot.recipe,
+                                                    slot.conditions, slot.name);
+                    slot.noise_seed = noise_rng();
+                    pending.push_back(i);
+                }
+
+                // The very first measurement establishes the shared RTP.
+                std::size_t first_worker = 0;
+                if (!follower.has_value() && !pending.empty()) {
+                    measure_slot(slots[pending.front()], true);
+                    first_worker = 1;
+                }
+                for (std::size_t k = first_worker; k < pending.size(); ++k) {
+                    Slot* slot = &slots[pending[k]];
+                    pool.submit(
+                        [&measure_slot, slot] { measure_slot(*slot, false); });
+                }
+                pool.wait();
+
+                // Ordering-stable reduction: ledger merges, database adds,
+                // and cache inserts all happen in submission order.
+                std::vector<double> values;
+                values.reserve(slots.size());
+                for (Slot& slot : slots) {
+                    if (!slot.cached) {
+                        tester.log().merge(slot.log);
+                        if (use_cache) cache.insert(slot.key, slot.record);
+                    }
+                    if (!slot.record.found) {
+                        values.push_back(0.0);
+                        continue;
+                    }
+                    const double wcr = objective_wcr(
+                        objective, slot.record.trip_point, parameter.spec);
+                    add_entry(slot.name, slot.recipe, slot.conditions,
+                              slot.record.trip_point, wcr);
+                    if (slot.functional_ran && !slot.functional.pass()) {
+                        add_functional_failure(slot.name, slot.recipe,
+                                               slot.conditions,
+                                               slot.functional);
+                    }
+                    values.push_back(wcr);
+                }
+                return values;
+            };
+        report.outcome = driver.run(batch_fitness, std::move(seeds), rng);
+    }
+
     report.database = std::move(database);
 
     // Re-expand and re-measure the winner (the paper re-analyzes final
-    // worst case tests in detail on the ATE).
+    // worst case tests in detail on the ATE). Always measured live on the
+    // main tester, never answered from the cache.
     const testgen::PatternRecipe best_recipe = report.outcome.best.decode_recipe(
         generator_options.min_cycles, generator_options.max_cycles);
     const testgen::TestConditions best_conditions =
@@ -124,11 +338,14 @@ WorstCaseReport WorstCaseOptimizer::drive(
             ga::classify(report.worst_record.wcr, options_.thresholds);
     }
 
+    report.cache_stats = cache.stats();
     report.ate_measurements = static_cast<std::size_t>(
         tester.log().total().applications - applications_before);
     util::log_info("optimizer: best WCR ", report.outcome.best_fitness, " in ",
                    report.outcome.evaluations, " evaluations, ",
-                   report.ate_measurements, " measurements");
+                   report.ate_measurements, " measurements (jobs ",
+                   report.jobs, ", cache hits ", report.cache_stats.hits,
+                   ")");
     return report;
 }
 

@@ -12,6 +12,7 @@
 #include "core/database.hpp"
 #include "core/learner.hpp"
 #include "core/nn_test_generator.hpp"
+#include "core/trip_cache.hpp"
 #include "ga/multi_population.hpp"
 
 namespace cichar::core {
@@ -29,6 +30,28 @@ enum class Objective : std::uint8_t {
 /// toward their minimum, max-limit specs toward their maximum.
 [[nodiscard]] Objective objective_for(const ate::Parameter& parameter) noexcept;
 
+/// Parallel replica evaluation of GA fitness. Each fitness measurement
+/// runs on a cold clone of the DUT (DeviceUnderTest::clone_cold) with a
+/// noise stream forked per individual in submission order, so the hunt
+/// report is byte-identical at any `jobs` count. Off by default: the
+/// classic serial path measures in-situ on the live tester, which keeps
+/// the device's heat/noise history flowing across evaluations.
+struct HuntParallelOptions {
+    bool enabled = false;
+    /// Worker threads: 1 = one worker, 0 = one per hardware thread.
+    std::size_t jobs = 1;
+};
+
+/// Trip-point memoization across GA generations/restarts/migration.
+/// Duplicated chromosomes (copied elites, no-op crossover children)
+/// decode to the exact same concrete test; a hit replays the stored
+/// record instead of spending ATE time. Off by default because a hit
+/// also skips the re-measurement noise a live tester would add.
+struct HuntCacheOptions {
+    bool enabled = false;
+    std::size_t capacity = 4096;  ///< LRU-evicted beyond this many entries
+};
+
 struct OptimizerOptions {
     ga::MultiPopulationOptions ga{};
     /// Software-only candidates scored by the NN generator.
@@ -41,6 +64,8 @@ struct OptimizerOptions {
     /// boundary, storing failures separately.
     bool check_functional_failures = true;
     std::size_t database_capacity = 64;
+    HuntParallelOptions parallel{};
+    HuntCacheOptions cache{};
 };
 
 struct WorstCaseReport {
@@ -50,6 +75,8 @@ struct WorstCaseReport {
     TripPointRecord worst_record;    ///< its re-measured trip point
     Objective objective = Objective::kDriftToMinimum;
     std::size_t ate_measurements = 0;  ///< measurements spent in this run
+    TripCacheStats cache_stats{};      ///< zeros when the cache is off
+    std::size_t jobs = 1;              ///< worker threads actually used
 };
 
 class WorstCaseOptimizer {

@@ -52,7 +52,17 @@ std::string render_report(const ReportInputs& inputs) {
             << (h.outcome.target_reached ? "stopped by WCR target"
                                          : "ran to budget")
             << "\n";
-        out << "* ATE cost: " << h.ate_measurements << " measurements\n\n";
+        // Deliberately silent about h.jobs: the report must be
+        // byte-identical at any worker count (determinism contract).
+        out << "* ATE cost: " << h.ate_measurements << " measurements\n";
+        if (h.cache_stats.lookups() > 0) {
+            out << "* trip cache: " << h.cache_stats.hits << " hits / "
+                << h.cache_stats.misses << " misses ("
+                << util::fixed(100.0 * h.cache_stats.hit_rate(), 1)
+                << "% hit rate, " << h.cache_stats.evictions
+                << " evictions)\n";
+        }
+        out << "\n";
 
         const std::size_t top =
             std::min(inputs.top_entries, h.database.size());

@@ -1,0 +1,90 @@
+#include "core/trip_cache.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace cichar::core {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mixing of one 64-bit word.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void feed(std::uint64_t& h, std::uint64_t word) noexcept {
+    h = mix64(h ^ word);
+}
+
+void feed(std::uint64_t& h, double value) noexcept {
+    // Bit-exact: +0.0 and -0.0 hash differently, which is fine — decoded
+    // genes never produce -0.0, and a spurious miss only costs one
+    // measurement.
+    feed(h, std::bit_cast<std::uint64_t>(value));
+}
+
+}  // namespace
+
+std::size_t TripCacheKeyHash::operator()(
+    const TripCacheKey& key) const noexcept {
+    std::uint64_t h = 0x4349434841524b45ULL;  // arbitrary non-zero start
+    const testgen::PatternRecipe& r = key.recipe;
+    feed(h, static_cast<std::uint64_t>(r.cycles));
+    feed(h, r.write_fraction);
+    feed(h, r.nop_fraction);
+    feed(h, r.burst_length);
+    feed(h, r.row_locality);
+    feed(h, r.bank_conflict_bias);
+    feed(h, r.alternating_data_bias);
+    feed(h, r.solid_data_bias);
+    feed(h, r.toggle_bias);
+    feed(h, r.control_activity);
+    feed(h, r.seed);
+    const testgen::TestConditions& c = key.conditions;
+    feed(h, c.vdd_volts);
+    feed(h, c.temperature_c);
+    feed(h, c.clock_period_ns);
+    feed(h, c.output_load_pf);
+    return static_cast<std::size_t>(h);
+}
+
+TripPointCache::TripPointCache(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity_ >= 1);
+}
+
+const TripPointRecord* TripPointCache::lookup(const TripCacheKey& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->second;
+}
+
+void TripPointCache::insert(const TripCacheKey& key, TripPointRecord record) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = std::move(record);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (index_.size() >= capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    lru_.emplace_front(key, std::move(record));
+    index_.emplace(key, lru_.begin());
+}
+
+void TripPointCache::clear() {
+    lru_.clear();
+    index_.clear();
+}
+
+}  // namespace cichar::core

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "testgen/test.hpp"
 
@@ -48,6 +49,19 @@ public:
 
     /// Idles the device (cools it down, resets measurement history).
     virtual void settle() = 0;
+
+    /// Creates an independent cold copy of this device — same die, model,
+    /// and faults, but fresh measurement history (no heat, clean array)
+    /// and its own noise stream seeded from `noise_seed`. Semantically a
+    /// virtual re-insertion of the same physical die on another site, so
+    /// parallel hunts can measure replicas concurrently without sharing
+    /// mutable state. Returns nullptr when the implementation does not
+    /// support replication (callers must fall back to serial measurement).
+    [[nodiscard]] virtual std::unique_ptr<DeviceUnderTest> clone_cold(
+        std::uint64_t noise_seed) const {
+        (void)noise_seed;
+        return nullptr;
+    }
 };
 
 }  // namespace cichar::device

@@ -164,4 +164,11 @@ void MemoryTestChip::settle() {
     if (heat_ < 1e-6) heat_ = 0.0;
 }
 
+std::unique_ptr<DeviceUnderTest> MemoryTestChip::clone_cold(
+    std::uint64_t noise_seed) const {
+    MemoryChipOptions options = options_;
+    options.seed = noise_seed;
+    return std::make_unique<MemoryTestChip>(die_, options, model_, faults_);
+}
+
 }  // namespace cichar::device

@@ -55,6 +55,8 @@ public:
     [[nodiscard]] FunctionalResult run_functional(
         const testgen::Test& test) override;
     void settle() override;
+    [[nodiscard]] std::unique_ptr<DeviceUnderTest> clone_cold(
+        std::uint64_t noise_seed) const override;
 
     // --- Characterization oracle (white-box access for tests/benches) ----
     /// Noiseless, drift-free ground-truth parameter value. The search and

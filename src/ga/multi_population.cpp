@@ -7,6 +7,12 @@ namespace cichar::ga {
 MultiPopulationOutcome MultiPopulationGa::run(const FitnessFn& fitness,
                                               std::vector<TestChromosome> seeds,
                                               util::Rng& rng) const {
+    return run(as_batch(fitness), std::move(seeds), rng);
+}
+
+MultiPopulationOutcome MultiPopulationGa::run(const BatchFitnessFn& fitness,
+                                              std::vector<TestChromosome> seeds,
+                                              util::Rng& rng) const {
     assert(options_.populations >= 1);
 
     // Deal seeds round-robin so every population starts from a different
@@ -60,19 +66,20 @@ MultiPopulationOutcome MultiPopulationGa::run(const FitnessFn& fitness,
         // curve reflects evolution, not copying.
         if (options_.migration_interval != 0 &&
             (gen + 1) % options_.migration_interval == 0) {
-            // Re-seeding via restart-with-seed would discard diversity;
-            // instead inject the global best as a fresh unevaluated
-            // individual by stepping populations with it as an elite.
-            // Implemented as: nothing to do if a population already holds
-            // it; otherwise replace its worst individual.
+            // The Population API is deliberately small; migration is
+            // modeled by seeding a mini-restart population holding the
+            // global best plus this population's best. Both migrants
+            // carry their already-measured fitness so the (possibly
+            // expensive, live-ATE) fitness callback only sees the fresh
+            // random filler individuals.
             for (Population& pop : populations) {
-                // The Population API is deliberately small; migration is
-                // modeled by seeding a mini-restart population holding the
-                // global best plus this population's best.
+                const double pop_best_fitness = pop.best().fitness;
                 std::vector<TestChromosome> migration_seed{
                     outcome.best, pop.best().chromosome};
                 Population migrated(options_.population,
                                     std::move(migration_seed), rng);
+                migrated.preload(0, outcome.best_fitness);
+                migrated.preload(1, pop_best_fitness);
                 outcome.evaluations += migrated.evaluate(fitness);
                 consider(migrated.best());
                 pop = std::move(migrated);

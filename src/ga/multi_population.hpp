@@ -55,6 +55,14 @@ public:
         const FitnessFn& fitness, std::vector<TestChromosome> seeds,
         util::Rng& rng) const;
 
+    /// Batch form: every generation's unevaluated individuals reach the
+    /// callback as one span (per population), enabling the caller to fan
+    /// the measurements out across worker threads. With a sequential
+    /// callback this is trajectory-identical to the per-individual form.
+    [[nodiscard]] MultiPopulationOutcome run(
+        const BatchFitnessFn& fitness, std::vector<TestChromosome> seeds,
+        util::Rng& rng) const;
+
 private:
     MultiPopulationOptions options_;
 };

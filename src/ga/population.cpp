@@ -7,6 +7,15 @@
 
 namespace cichar::ga {
 
+BatchFitnessFn as_batch(const FitnessFn& fitness) {
+    return [fitness](std::span<const TestChromosome> batch) {
+        std::vector<double> values;
+        values.reserve(batch.size());
+        for (const TestChromosome& c : batch) values.push_back(fitness(c));
+        return values;
+    };
+}
+
 Population::Population(PopulationOptions options,
                        std::vector<TestChromosome> seeds, util::Rng& rng)
     : options_(options) {
@@ -37,6 +46,43 @@ std::size_t Population::evaluate(const FitnessFn& fitness) {
     return evaluations;
 }
 
+std::size_t Population::evaluate(const BatchFitnessFn& fitness) {
+    // Gather the unevaluated individuals in index order — the same order
+    // the per-individual overload visits them — so a sequential batch
+    // callback reproduces the legacy trajectory exactly.
+    std::vector<std::size_t> pending;
+    std::vector<TestChromosome> batch;
+    for (std::size_t i = 0; i < individuals_.size(); ++i) {
+        if (individuals_[i].evaluated) continue;
+        pending.push_back(i);
+        batch.push_back(individuals_[i].chromosome);
+    }
+    if (!pending.empty()) {
+        const std::vector<double> values(
+            fitness(std::span<const TestChromosome>(batch)));
+        if (values.size() != pending.size()) {
+            throw std::logic_error(
+                "BatchFitnessFn returned wrong number of values");
+        }
+        for (std::size_t k = 0; k < pending.size(); ++k) {
+            Individual& ind = individuals_[pending[k]];
+            ind.fitness = values[k];
+            ind.evaluated = true;
+        }
+        any_evaluated_ = true;
+    }
+    const double best_now = best().fitness;
+    if (best_now > best_seen_ || generation_ == 0) best_seen_ = best_now;
+    return pending.size();
+}
+
+void Population::preload(std::size_t i, double fitness) {
+    assert(i < individuals_.size());
+    individuals_[i].fitness = fitness;
+    individuals_[i].evaluated = true;
+    any_evaluated_ = true;
+}
+
 const Individual& Population::best() const {
     if (!any_evaluated_) {
         throw std::logic_error("Population::best() before evaluation");
@@ -62,7 +108,8 @@ const Individual& Population::tournament_pick(util::Rng& rng) const {
     return *winner;
 }
 
-std::size_t Population::step(const FitnessFn& fitness, util::Rng& rng) {
+template <typename Fitness>
+std::size_t Population::step_impl(const Fitness& fitness, util::Rng& rng) {
     std::size_t evaluations = evaluate(fitness);
 
     // Elites survive unchanged.
@@ -100,6 +147,14 @@ std::size_t Population::step(const FitnessFn& fitness, util::Rng& rng) {
         ++stagnation_;
     }
     return evaluations;
+}
+
+std::size_t Population::step(const FitnessFn& fitness, util::Rng& rng) {
+    return step_impl(fitness, rng);
+}
+
+std::size_t Population::step(const BatchFitnessFn& fitness, util::Rng& rng) {
+    return step_impl(fitness, rng);
 }
 
 void Population::restart(util::Rng& rng) {

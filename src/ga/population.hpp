@@ -2,9 +2,17 @@
 // two-group genetic operators. Fitness evaluation is caller-provided
 // (in the characterization flows it is a live ATE trip-point measurement,
 // so individuals are evaluated exactly once and cached).
+//
+// Fitness comes in two shapes: the classic per-individual FitnessFn, and
+// a BatchFitnessFn that receives every unevaluated chromosome of a
+// generation at once. The batch form is what the parallel hunt uses — the
+// caller fans the batch out over a thread pool (with per-individual
+// pre-forked RNG streams) and returns fitness values in batch order, so
+// the evolution trajectory is independent of the worker count.
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "ga/chromosome.hpp"
@@ -13,6 +21,15 @@ namespace cichar::ga {
 
 /// Fitness to MAXIMIZE (worst-case hunts feed WCR here).
 using FitnessFn = std::function<double(const TestChromosome&)>;
+
+/// Batch fitness: returns one value per chromosome, in input order. The
+/// GA layer stays thread-free; any parallelism lives inside the callback.
+using BatchFitnessFn =
+    std::function<std::vector<double>(std::span<const TestChromosome>)>;
+
+/// Adapts a per-individual fitness into the batch shape (sequential, in
+/// batch order — byte-identical to the historical per-individual loop).
+[[nodiscard]] BatchFitnessFn as_batch(const FitnessFn& fitness);
 
 struct PopulationOptions {
     std::size_t size = 24;
@@ -45,10 +62,18 @@ public:
 
     /// Evaluates any unevaluated individuals; returns evaluations done.
     std::size_t evaluate(const FitnessFn& fitness);
+    /// Same, but hands all unevaluated chromosomes to `fitness` at once.
+    std::size_t evaluate(const BatchFitnessFn& fitness);
 
     /// One generation: selection, crossover, mutation, elitism. The new
     /// offspring are evaluated. Returns evaluations done.
     std::size_t step(const FitnessFn& fitness, util::Rng& rng);
+    std::size_t step(const BatchFitnessFn& fitness, util::Rng& rng);
+
+    /// Marks individual `i` as already evaluated with a known fitness
+    /// (e.g. a migrated elite whose trip point was measured in a previous
+    /// population) so evaluate() will not re-measure it.
+    void preload(std::size_t i, double fitness);
 
     /// Best individual so far (requires at least one evaluation).
     [[nodiscard]] const Individual& best() const;
@@ -65,6 +90,9 @@ public:
 
 private:
     [[nodiscard]] const Individual& tournament_pick(util::Rng& rng) const;
+
+    template <typename Fitness>
+    std::size_t step_impl(const Fitness& fitness, util::Rng& rng);
 
     PopulationOptions options_;
     std::vector<Individual> individuals_;

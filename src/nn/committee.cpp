@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace cichar::nn {
 
 double VotingCommittee::mean_validation_error() const noexcept {
@@ -18,85 +20,118 @@ std::vector<TrainReport> VotingCommittee::train(const Dataset& train_set,
                                                 const CommitteeOptions& options,
                                                 util::Rng& rng) {
     assert(options.members >= 1);
-    members_.clear();
-    validation_errors_.clear();
+    members_.assign(options.members, Mlp{});
+    validation_errors_.assign(options.members, 0.0);
 
     std::vector<std::size_t> sizes;
     sizes.push_back(train_set.input_width());
     for (const std::size_t h : options.hidden_layers) sizes.push_back(h);
     sizes.push_back(train_set.target_width());
 
-    Trainer trainer(options.train);
-    std::vector<TrainReport> reports;
-    reports.reserve(options.members);
-
+    // Pre-fork every member's stream on the calling thread; from here on a
+    // member's result depends only on its own Rng, so scheduling cannot
+    // perturb anything.
+    std::vector<util::Rng> member_rngs;
+    member_rngs.reserve(options.members);
     for (std::size_t m = 0; m < options.members; ++m) {
-        util::Rng member_rng = rng.fork(m + 1);
+        member_rngs.push_back(rng.fork(m + 1));
+    }
+
+    const Trainer trainer(options.train);
+    std::vector<TrainReport> reports(options.members);
+
+    const auto train_member = [&](std::size_t m) {
+        util::Rng member_rng = member_rngs[m];
         const Dataset member_data =
             options.subset_fraction >= 1.0
                 ? train_set
                 : subset(train_set, options.subset_fraction, member_rng);
         Mlp net(sizes, options.hidden_activation, options.output_activation);
         net.init_weights(member_rng);
-        reports.push_back(
-            trainer.train(net, member_data, validation_set, member_rng));
-        validation_errors_.push_back(reports.back().final_validation_mse);
-        members_.push_back(std::move(net));
+        reports[m] = trainer.train(net, member_data, validation_set, member_rng);
+        validation_errors_[m] = reports[m].final_validation_mse;
+        members_[m] = std::move(net);
+    };
+
+    if (options.jobs == 1 || options.members == 1) {
+        for (std::size_t m = 0; m < options.members; ++m) train_member(m);
+    } else {
+        util::ThreadPool pool(options.jobs);
+        for (std::size_t m = 0; m < options.members; ++m) {
+            pool.submit([&train_member, m] { train_member(m); });
+        }
+        pool.wait();
     }
     return reports;
 }
 
-std::vector<double> VotingCommittee::predict(std::span<const double> x) const {
+void VotingCommittee::predict(std::span<const double> x,
+                              ForwardScratch& scratch,
+                              std::vector<double>& mean) const {
     assert(!members_.empty());
-    std::vector<double> mean(members_.front().output_size(), 0.0);
+    mean.assign(members_.front().output_size(), 0.0);
     for (const Mlp& net : members_) {
-        const std::vector<double> out = net.forward(x);
+        const std::span<const double> out = net.forward(x, scratch);
         for (std::size_t o = 0; o < out.size(); ++o) mean[o] += out[o];
     }
     for (double& v : mean) v /= static_cast<double>(members_.size());
+}
+
+std::vector<double> VotingCommittee::predict(std::span<const double> x) const {
+    ForwardScratch scratch;
+    std::vector<double> mean;
+    predict(x, scratch, mean);
     return mean;
 }
 
-VoteResult VotingCommittee::vote(std::span<const double> x) const {
+void VotingCommittee::vote(std::span<const double> x, VoteScratch& scratch,
+                           VoteResult& result) const {
     assert(!members_.empty());
     const std::size_t width = members_.front().output_size();
-    VoteResult result;
     result.mean_output.assign(width, 0.0);
 
-    std::vector<std::vector<double>> outputs;
-    outputs.reserve(members_.size());
-    std::vector<std::size_t> class_votes(width, 0);
-    for (const Mlp& net : members_) {
-        outputs.push_back(net.forward(x));
-        const auto& out = outputs.back();
+    scratch.outputs.resize(members_.size());
+    scratch.class_votes.assign(width, 0);
+    for (std::size_t m = 0; m < members_.size(); ++m) {
+        const std::span<const double> fwd =
+            members_[m].forward(x, scratch.forward);
+        scratch.outputs[m].assign(fwd.begin(), fwd.end());
+        const auto& out = scratch.outputs[m];
         for (std::size_t o = 0; o < width; ++o) {
             result.mean_output[o] += out[o];
         }
         const auto argmax = static_cast<std::size_t>(
             std::max_element(out.begin(), out.end()) - out.begin());
-        ++class_votes[argmax];
+        ++scratch.class_votes[argmax];
     }
     for (double& v : result.mean_output) {
         v /= static_cast<double>(members_.size());
     }
 
     const auto majority = static_cast<std::size_t>(
-        std::max_element(class_votes.begin(), class_votes.end()) -
-        class_votes.begin());
+        std::max_element(scratch.class_votes.begin(),
+                         scratch.class_votes.end()) -
+        scratch.class_votes.begin());
     result.majority_class = majority;
-    result.agreement = static_cast<double>(class_votes[majority]) /
+    result.agreement = static_cast<double>(scratch.class_votes[majority]) /
                        static_cast<double>(members_.size());
 
     double dispersion = 0.0;
     for (std::size_t o = 0; o < width; ++o) {
         double var = 0.0;
-        for (const auto& out : outputs) {
+        for (const auto& out : scratch.outputs) {
             const double d = out[o] - result.mean_output[o];
             var += d * d;
         }
-        dispersion += std::sqrt(var / static_cast<double>(outputs.size()));
+        dispersion += std::sqrt(var / static_cast<double>(scratch.outputs.size()));
     }
     result.dispersion = dispersion / static_cast<double>(width);
+}
+
+VoteResult VotingCommittee::vote(std::span<const double> x) const {
+    VoteScratch scratch;
+    VoteResult result;
+    vote(x, scratch, result);
     return result;
 }
 

@@ -2,6 +2,10 @@
 // different subsets of the training tests vote in parallel on unknown
 // inputs; classification confidence is "determined by averaging the mean
 // error for each network (i.e. consistency check)".
+//
+// Training really is parallel here: each member depends only on its own
+// pre-forked RNG stream (rng.fork(m + 1)), so members train concurrently
+// on a thread pool with bit-identical results at any `jobs` count.
 #pragma once
 
 #include <vector>
@@ -20,6 +24,9 @@ struct CommitteeOptions {
     Activation hidden_activation = Activation::kTanh;
     Activation output_activation = Activation::kSigmoid;
     TrainOptions train;
+    /// Worker threads for member training: 1 = serial (default),
+    /// 0 = one per hardware thread. Results are identical at any value.
+    std::size_t jobs = 1;
 };
 
 /// Prediction with vote bookkeeping.
@@ -28,6 +35,13 @@ struct VoteResult {
     std::size_t majority_class = 0;    ///< argmax vote across members
     double agreement = 0.0;            ///< fraction voting with majority
     double dispersion = 0.0;           ///< mean stddev across outputs
+};
+
+/// Reusable buffers for allocation-free vote(); one per thread.
+struct VoteScratch {
+    ForwardScratch forward;
+    std::vector<std::vector<double>> outputs;
+    std::vector<std::size_t> class_votes;
 };
 
 class VotingCommittee {
@@ -48,8 +62,8 @@ public:
     /// Paper's consistency check: mean of the members' validation MSEs.
     [[nodiscard]] double mean_validation_error() const noexcept;
 
-    /// Trains `options.members` nets on distinct subsets. Returns one
-    /// TrainReport per member.
+    /// Trains `options.members` nets on distinct subsets (in parallel when
+    /// options.jobs != 1). Returns one TrainReport per member.
     std::vector<TrainReport> train(const Dataset& train_set,
                                    const Dataset& validation_set,
                                    const CommitteeOptions& options,
@@ -58,8 +72,16 @@ public:
     /// Averaged member outputs.
     [[nodiscard]] std::vector<double> predict(std::span<const double> x) const;
 
+    /// Allocation-free prediction into `mean` (resized to output width).
+    void predict(std::span<const double> x, ForwardScratch& scratch,
+                 std::vector<double>& mean) const;
+
     /// Parallel vote with agreement statistics.
     [[nodiscard]] VoteResult vote(std::span<const double> x) const;
+
+    /// Allocation-free vote into `result`.
+    void vote(std::span<const double> x, VoteScratch& scratch,
+              VoteResult& result) const;
 
     // Serialization hooks (weights_io).
     void set_members(std::vector<Mlp> members,

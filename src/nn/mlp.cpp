@@ -35,6 +35,59 @@ double activate_derivative(Activation a, double y) noexcept {
     return 1.0;
 }
 
+void activate_span(Activation a, std::span<double> values) noexcept {
+    switch (a) {
+        case Activation::kSigmoid:
+            for (double& v : values) v = 1.0 / (1.0 + std::exp(-v));
+            return;
+        case Activation::kTanh:
+            for (double& v : values) v = std::tanh(v);
+            return;
+        case Activation::kRelu:
+            for (double& v : values) v = v > 0.0 ? v : 0.0;
+            return;
+        case Activation::kLinear: return;
+    }
+}
+
+void scale_by_activation_derivative(Activation a, std::span<const double> y,
+                                    std::span<double> delta) noexcept {
+    assert(y.size() == delta.size());
+    switch (a) {
+        case Activation::kSigmoid:
+            for (std::size_t i = 0; i < delta.size(); ++i) {
+                delta[i] *= y[i] * (1.0 - y[i]);
+            }
+            return;
+        case Activation::kTanh:
+            for (std::size_t i = 0; i < delta.size(); ++i) {
+                delta[i] *= 1.0 - y[i] * y[i];
+            }
+            return;
+        case Activation::kRelu:
+            for (std::size_t i = 0; i < delta.size(); ++i) {
+                if (!(y[i] > 0.0)) delta[i] = 0.0;
+            }
+            return;
+        case Activation::kLinear: return;
+    }
+}
+
+namespace {
+
+/// out = act(W in + b) for one layer; `in`/`out` must not alias.
+void layer_forward(const Layer& layer, const double* in, double* out) noexcept {
+    for (std::size_t o = 0; o < layer.out; ++o) {
+        double sum = layer.biases[o];
+        const double* row = &layer.weights[o * layer.in];
+        for (std::size_t i = 0; i < layer.in; ++i) sum += row[i] * in[i];
+        out[o] = sum;
+    }
+    activate_span(layer.activation, std::span<double>(out, layer.out));
+}
+
+}  // namespace
+
 Mlp::Mlp(std::span<const std::size_t> sizes, Activation hidden,
          Activation output) {
     assert(sizes.size() >= 2);
@@ -75,40 +128,40 @@ std::size_t Mlp::parameter_count() const noexcept {
     return count;
 }
 
-std::vector<double> Mlp::forward(std::span<const double> x) const {
+std::span<const double> Mlp::forward(std::span<const double> x,
+                                     ForwardScratch& scratch) const {
     assert(x.size() == input_size());
-    std::vector<double> current(x.begin(), x.end());
-    std::vector<double> next;
+    scratch.current.assign(x.begin(), x.end());
     for (const Layer& layer : layers_) {
-        next.assign(layer.out, 0.0);
-        for (std::size_t o = 0; o < layer.out; ++o) {
-            double sum = layer.biases[o];
-            const double* row = &layer.weights[o * layer.in];
-            for (std::size_t i = 0; i < layer.in; ++i) sum += row[i] * current[i];
-            next[o] = activate(layer.activation, sum);
-        }
-        current.swap(next);
+        scratch.next.resize(layer.out);
+        layer_forward(layer, scratch.current.data(), scratch.next.data());
+        scratch.current.swap(scratch.next);
     }
-    return current;
+    return scratch.current;
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x) const {
+    ForwardScratch scratch;
+    (void)forward(x, scratch);
+    return std::move(scratch.current);
+}
+
+void Mlp::forward_trace(std::span<const double> x,
+                        std::vector<std::vector<double>>& trace) const {
+    assert(x.size() == input_size());
+    trace.resize(layers_.size() + 1);
+    trace[0].assign(x.begin(), x.end());
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+        const Layer& layer = layers_[li];
+        trace[li + 1].resize(layer.out);
+        layer_forward(layer, trace[li].data(), trace[li + 1].data());
+    }
 }
 
 std::vector<std::vector<double>> Mlp::forward_trace(
     std::span<const double> x) const {
-    assert(x.size() == input_size());
     std::vector<std::vector<double>> trace;
-    trace.reserve(layers_.size() + 1);
-    trace.emplace_back(x.begin(), x.end());
-    for (const Layer& layer : layers_) {
-        const std::vector<double>& current = trace.back();
-        std::vector<double> next(layer.out, 0.0);
-        for (std::size_t o = 0; o < layer.out; ++o) {
-            double sum = layer.biases[o];
-            const double* row = &layer.weights[o * layer.in];
-            for (std::size_t i = 0; i < layer.in; ++i) sum += row[i] * current[i];
-            next[o] = activate(layer.activation, sum);
-        }
-        trace.push_back(std::move(next));
-    }
+    forward_trace(x, trace);
     return trace;
 }
 

@@ -1,6 +1,12 @@
 // Multilayer perceptron, hand-rolled in the spirit of the paper's era
 // (Masters, "Practical Neural Network Recipes in C++" [14]). Dense layers,
 // per-layer activation, double precision. Training lives in trainer.hpp.
+//
+// The forward/backprop hot path is allocation-free: callers thread a
+// ForwardScratch (or a caller-owned trace buffer) through the inference
+// entry points, so committee voting, MSE evaluation and SGD touch the
+// allocator only on the first call. The allocating overloads remain for
+// convenience and are implemented on top of the scratch versions.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +24,16 @@ enum class Activation : std::uint8_t { kSigmoid, kTanh, kRelu, kLinear };
 /// Derivative expressed in terms of the *activated* output y.
 [[nodiscard]] double activate_derivative(Activation a, double y) noexcept;
 
+/// Applies the activation to a whole span. The switch on the activation
+/// kind is dispatched once per call, not once per element, which is what
+/// the inner loops of forward/backprop want.
+void activate_span(Activation a, std::span<double> values) noexcept;
+
+/// delta[i] *= act'(y[i]) for a whole span (backprop through a layer
+/// boundary), again with a single activation dispatch.
+void scale_by_activation_derivative(Activation a, std::span<const double> y,
+                                    std::span<double> delta) noexcept;
+
 /// One dense layer: out = act(W x + b), W stored row-major [out][in].
 struct Layer {
     std::size_t in = 0;
@@ -34,6 +50,15 @@ struct Layer {
     }
 
     [[nodiscard]] bool operator==(const Layer&) const = default;
+};
+
+/// Reusable ping-pong buffers for allocation-free inference. One scratch
+/// serves any number of sequential forward() calls on any nets; it grows
+/// to the widest layer seen and then stops allocating. Not thread-safe:
+/// use one scratch per thread.
+struct ForwardScratch {
+    std::vector<double> current;
+    std::vector<double> next;
 };
 
 class Mlp {
@@ -64,10 +89,20 @@ public:
     /// Plain inference.
     [[nodiscard]] std::vector<double> forward(std::span<const double> x) const;
 
+    /// Allocation-free inference; the returned span points into `scratch`
+    /// and stays valid until the scratch is used again.
+    [[nodiscard]] std::span<const double> forward(std::span<const double> x,
+                                                  ForwardScratch& scratch) const;
+
     /// Inference keeping every layer's activated output (index 0 = input
     /// copy); used by backprop.
     [[nodiscard]] std::vector<std::vector<double>> forward_trace(
         std::span<const double> x) const;
+
+    /// Allocation-free trace into a caller-owned buffer (reused across
+    /// calls; resized to layer_count() + 1 levels).
+    void forward_trace(std::span<const double> x,
+                       std::vector<std::vector<double>>& trace) const;
 
     [[nodiscard]] bool operator==(const Mlp&) const = default;
 

@@ -8,9 +8,10 @@ namespace cichar::nn {
 
 double evaluate_mse(const Mlp& net, const Dataset& data) {
     if (data.empty()) return 0.0;
+    ForwardScratch scratch;
     double total = 0.0;
     for (std::size_t s = 0; s < data.size(); ++s) {
-        const std::vector<double> out = net.forward(data.input(s));
+        const std::span<const double> out = net.forward(data.input(s), scratch);
         const auto target = data.target(s);
         for (std::size_t o = 0; o < out.size(); ++o) {
             const double e = out[o] - target[o];
@@ -23,9 +24,10 @@ double evaluate_mse(const Mlp& net, const Dataset& data) {
 
 double evaluate_class_accuracy(const Mlp& net, const Dataset& data) {
     if (data.empty()) return 0.0;
+    ForwardScratch scratch;
     std::size_t correct = 0;
     for (std::size_t s = 0; s < data.size(); ++s) {
-        const std::vector<double> out = net.forward(data.input(s));
+        const std::span<const double> out = net.forward(data.input(s), scratch);
         const auto target = data.target(s);
         const auto argmax = [](std::span<const double> v) {
             return static_cast<std::size_t>(
@@ -53,35 +55,48 @@ struct Velocity {
     }
 };
 
+/// Every buffer one SGD pass needs, allocated once per train() call so
+/// the per-sample step stays off the allocator.
+struct SgdScratch {
+    explicit SgdScratch(const Mlp& net) : velocity(net) {}
+
+    Velocity velocity;
+    std::vector<std::vector<double>> trace;
+    std::vector<double> delta;
+    std::vector<double> prev_delta;
+};
+
 /// One backprop step on a single sample; returns the sample's SSE.
 double sgd_step(Mlp& net, std::span<const double> input,
                 std::span<const double> target, double lr, double momentum,
-                Velocity& velocity) {
-    const std::vector<std::vector<double>> trace = net.forward_trace(input);
-    const std::vector<double>& output = trace.back();
+                SgdScratch& scratch) {
+    net.forward_trace(input, scratch.trace);
+    const std::vector<double>& output = scratch.trace.back();
 
     // Output deltas for MSE loss: delta = (y - t) * act'(y).
-    std::vector<double> delta(output.size());
+    std::vector<double>& delta = scratch.delta;
+    delta.resize(output.size());
     double sse = 0.0;
     {
         const Layer& last = net.layer(net.layer_count() - 1);
         for (std::size_t o = 0; o < output.size(); ++o) {
             const double err = output[o] - target[o];
             sse += err * err;
-            delta[o] = err * activate_derivative(last.activation, output[o]);
+            delta[o] = err;
         }
+        scale_by_activation_derivative(last.activation, output, delta);
     }
 
     // Backward pass layer by layer.
     for (std::size_t li = net.layer_count(); li-- > 0;) {
         Layer& layer = net.layer(li);
-        const std::vector<double>& layer_in = trace[li];
+        const std::vector<double>& layer_in = scratch.trace[li];
         const bool propagate = li > 0;
-        std::vector<double> prev_delta;
+        std::vector<double>& prev_delta = scratch.prev_delta;
         if (propagate) prev_delta.assign(layer.in, 0.0);
 
-        auto& vw = velocity.weights[li];
-        auto& vb = velocity.biases[li];
+        auto& vw = scratch.velocity.weights[li];
+        auto& vb = scratch.velocity.biases[li];
         for (std::size_t o = 0; o < layer.out; ++o) {
             const double d = delta[o];
             const std::size_t row = o * layer.in;
@@ -96,10 +111,8 @@ double sgd_step(Mlp& net, std::span<const double> input,
         }
         if (propagate) {
             const Layer& below = net.layer(li - 1);
-            for (std::size_t i = 0; i < prev_delta.size(); ++i) {
-                prev_delta[i] *=
-                    activate_derivative(below.activation, layer_in[i]);
-            }
+            scale_by_activation_derivative(below.activation, layer_in,
+                                           prev_delta);
             delta.swap(prev_delta);
         }
     }
@@ -116,7 +129,7 @@ TrainReport Trainer::train(Mlp& net, const Dataset& train_set,
     assert(train_set.target_width() == net.output_size());
 
     TrainReport report;
-    Velocity velocity(net);
+    SgdScratch scratch(net);
     std::vector<std::size_t> order(train_set.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
@@ -133,7 +146,7 @@ TrainReport Trainer::train(Mlp& net, const Dataset& train_set,
         double sse = 0.0;
         for (const std::size_t s : order) {
             sse += sgd_step(net, train_set.input(s), train_set.target(s), lr,
-                            options_.momentum, velocity);
+                            options_.momentum, scratch);
         }
         lr *= options_.lr_decay;
 

@@ -1,0 +1,108 @@
+// Determinism and cache-efficiency tests for the parallel worst-case
+// hunt: one seed must produce a byte-identical hunt report at any worker
+// count, and the trip-point cache must cut live ATE measurements without
+// changing the hunt's outcome on a noiseless DUT.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "core/report.hpp"
+#include "device/memory_chip.hpp"
+
+namespace cichar::core {
+namespace {
+
+device::MemoryChipOptions noiseless() {
+    device::MemoryChipOptions o;
+    o.noise_sigma_ns = 0.0;
+    return o;
+}
+
+OptimizerOptions parallel_options(std::size_t jobs, bool cache) {
+    OptimizerOptions opts;
+    opts.ga.population.size = 10;
+    opts.ga.populations = 3;
+    opts.ga.max_generations = 10;
+    opts.ga.stagnation_limit = 6;
+    opts.ga.max_restarts = 2;
+    opts.ga.migration_interval = 4;
+    // Calm operators (as in bench_hunt_scaling) so the GA re-emits enough
+    // duplicate chromosomes to exercise the cache-hit path.
+    opts.ga.population.operators.crossover_rate = 0.8;
+    opts.ga.population.operators.mutation_rate = 0.10;
+    opts.ga.population.operators.reset_rate = 0.01;
+    opts.ga.population.operators.seed_mutation_rate = 0.05;
+    opts.parallel.enabled = true;
+    opts.parallel.jobs = jobs;
+    opts.cache.enabled = cache;
+    return opts;
+}
+
+struct HuntResult {
+    WorstCaseReport report;
+    std::string rendered;
+    std::uint64_t applications = 0;
+};
+
+HuntResult run_hunt(std::size_t jobs, bool cache) {
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    util::Rng rng(2005);
+    testgen::RandomGeneratorOptions generator;
+    generator.condition_bounds = testgen::ConditionBounds::fixed_nominal();
+    const WorstCaseOptimizer optimizer(parallel_options(jobs, cache));
+
+    HuntResult result;
+    result.report = optimizer.run_unseeded(
+        tester, ate::Parameter::data_valid_time(), generator,
+        Objective::kDriftToMinimum, rng);
+    ReportInputs inputs;
+    inputs.seed = 2005;
+    inputs.hunt = &result.report;
+    result.rendered = render_report(inputs);
+    result.applications = tester.log().total().applications;
+    return result;
+}
+
+TEST(ParallelHuntTest, ReportByteIdenticalAtJobs128) {
+    const HuntResult j1 = run_hunt(1, true);
+    const HuntResult j2 = run_hunt(2, true);
+    const HuntResult j8 = run_hunt(8, true);
+
+    EXPECT_EQ(j1.report.outcome.best_fitness, j2.report.outcome.best_fitness);
+    EXPECT_EQ(j1.report.outcome.best_fitness, j8.report.outcome.best_fitness);
+    EXPECT_EQ(j1.report.outcome.best.sequence, j8.report.outcome.best.sequence);
+    EXPECT_EQ(j1.report.outcome.best.condition, j8.report.outcome.best.condition);
+    EXPECT_EQ(j1.rendered, j2.rendered);
+    EXPECT_EQ(j1.rendered, j8.rendered);
+    // Same number of live measurements too, not merely the same winner.
+    EXPECT_EQ(j1.applications, j2.applications);
+    EXPECT_EQ(j1.applications, j8.applications);
+}
+
+TEST(ParallelHuntTest, CacheCutsMeasurementsWithoutChangingOutcome) {
+    const HuntResult cached = run_hunt(2, true);
+    const HuntResult uncached = run_hunt(2, false);
+
+    EXPECT_GT(cached.report.cache_stats.hits, 0u);
+    EXPECT_GT(cached.report.cache_stats.misses, 0u);
+    EXPECT_LT(cached.applications, uncached.applications);
+    EXPECT_LT(cached.report.ate_measurements, uncached.report.ate_measurements);
+    // A hit replays the measured record; with a noiseless DUT that equals
+    // what a re-measurement would have returned, so the hunt trajectory
+    // (and thus the winner) is unchanged.
+    EXPECT_EQ(cached.report.outcome.best_fitness,
+              uncached.report.outcome.best_fitness);
+    EXPECT_EQ(uncached.report.cache_stats.lookups(), 0u);
+}
+
+TEST(ParallelHuntTest, CacheStatsSurfaceInReport) {
+    const HuntResult cached = run_hunt(2, true);
+    EXPECT_NE(cached.rendered.find("trip cache:"), std::string::npos);
+    const HuntResult uncached = run_hunt(2, false);
+    EXPECT_EQ(uncached.rendered.find("trip cache:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cichar::core

@@ -1,0 +1,135 @@
+#include "core/trip_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::core {
+namespace {
+
+TripCacheKey make_key() {
+    TripCacheKey key;
+    key.recipe.cycles = 500;
+    key.recipe.write_fraction = 0.5;
+    key.recipe.seed = 42;
+    key.conditions.vdd_volts = 1.8;
+    return key;
+}
+
+TripPointRecord make_record(double trip) {
+    TripPointRecord record;
+    record.test_name = "t";
+    record.trip_point = trip;
+    record.found = true;
+    record.measurements = 7;
+    return record;
+}
+
+TEST(TripCacheTest, HitOnIdenticalKey) {
+    TripPointCache cache(8);
+    const TripCacheKey key = make_key();
+    EXPECT_EQ(cache.lookup(key), nullptr);
+    cache.insert(key, make_record(25.0));
+
+    const TripPointRecord* hit = cache.lookup(make_key());
+    ASSERT_NE(hit, nullptr);
+    EXPECT_DOUBLE_EQ(hit->trip_point, 25.0);
+    EXPECT_EQ(hit->measurements, 7u);
+}
+
+TEST(TripCacheTest, MissOnConditionChange) {
+    TripPointCache cache(8);
+    cache.insert(make_key(), make_record(25.0));
+
+    TripCacheKey warmer = make_key();
+    warmer.conditions.temperature_c += 1.0;
+    EXPECT_EQ(cache.lookup(warmer), nullptr);
+
+    TripCacheKey different_vdd = make_key();
+    different_vdd.conditions.vdd_volts += 1e-12;  // bit-exact keying
+    EXPECT_EQ(cache.lookup(different_vdd), nullptr);
+}
+
+TEST(TripCacheTest, MissOnRecipeOrSeedChange) {
+    TripPointCache cache(8);
+    cache.insert(make_key(), make_record(25.0));
+
+    TripCacheKey longer = make_key();
+    longer.recipe.cycles += 1;
+    EXPECT_EQ(cache.lookup(longer), nullptr);
+
+    TripCacheKey reseeded = make_key();
+    reseeded.recipe.seed += 1;  // same statistics, different pattern
+    EXPECT_EQ(cache.lookup(reseeded), nullptr);
+}
+
+TEST(TripCacheTest, CountersAreAccurate) {
+    TripPointCache cache(8);
+    const TripCacheKey key = make_key();
+    (void)cache.lookup(key);            // miss
+    cache.insert(key, make_record(1.0));
+    (void)cache.lookup(key);            // hit
+    (void)cache.lookup(key);            // hit
+    TripCacheKey other = make_key();
+    other.recipe.cycles = 900;
+    (void)cache.lookup(other);          // miss
+
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.stats().lookups(), 4u);
+    EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(TripCacheTest, LruEvictionAtCapacity) {
+    TripPointCache cache(2);
+    TripCacheKey a = make_key();
+    a.recipe.cycles = 100;
+    TripCacheKey b = make_key();
+    b.recipe.cycles = 200;
+    TripCacheKey c = make_key();
+    c.recipe.cycles = 300;
+
+    cache.insert(a, make_record(1.0));
+    cache.insert(b, make_record(2.0));
+    ASSERT_NE(cache.lookup(a), nullptr);  // promote a; b is now LRU
+    cache.insert(c, make_record(3.0));    // evicts b
+
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.lookup(b), nullptr);
+    EXPECT_NE(cache.lookup(a), nullptr);
+    EXPECT_NE(cache.lookup(c), nullptr);
+}
+
+TEST(TripCacheTest, ReinsertRefreshesInsteadOfEvicting) {
+    TripPointCache cache(2);
+    const TripCacheKey key = make_key();
+    cache.insert(key, make_record(1.0));
+    cache.insert(key, make_record(9.0));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_DOUBLE_EQ(cache.lookup(key)->trip_point, 9.0);
+}
+
+TEST(TripCacheTest, ClearKeepsStats) {
+    TripPointCache cache(4);
+    const TripCacheKey key = make_key();
+    cache.insert(key, make_record(1.0));
+    (void)cache.lookup(key);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.lookup(key), nullptr);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TripCacheStatsTest, MergeAccumulates) {
+    TripCacheStats a{10, 5, 1};
+    const TripCacheStats b{2, 3, 0};
+    a.merge(b);
+    EXPECT_EQ(a.hits, 12u);
+    EXPECT_EQ(a.misses, 8u);
+    EXPECT_EQ(a.evictions, 1u);
+}
+
+}  // namespace
+}  // namespace cichar::core

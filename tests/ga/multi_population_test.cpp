@@ -109,6 +109,40 @@ TEST(MultiPopulationTest, DeterministicGivenSeed) {
     EXPECT_EQ(run(123), run(123));
 }
 
+TEST(MultiPopulationTest, MigrationDoesNotRemeasureCarriedElites) {
+    util::Rng rng(9);
+    std::size_t calls = 0;
+    const FitnessFn counted = [&](const TestChromosome& c) {
+        ++calls;
+        return hill(c);
+    };
+    MultiPopulationOptions opts = small_options();
+    opts.max_generations = 6;
+    opts.migration_interval = 3;
+    opts.stagnation_limit = 100;  // no restarts
+    const MultiPopulationGa driver(opts);
+    const MultiPopulationOutcome outcome = driver.run(counted, {}, rng);
+    // 3 pops * 12 initial + 6 gens * 3 pops * 10 offspring
+    // + 2 migrations * 3 pops * 10 fresh fillers: the two migrated elites
+    //   per population carry their already-measured fitness.
+    EXPECT_EQ(outcome.evaluations, 36u + 180u + 60u);
+    EXPECT_EQ(calls, outcome.evaluations);
+}
+
+TEST(MultiPopulationTest, BatchRunMatchesPerIndividualRun) {
+    const auto run = [](const auto& fitness) {
+        util::Rng rng(10);
+        const MultiPopulationGa driver(small_options());
+        return driver.run(fitness, {}, rng);
+    };
+    const MultiPopulationOutcome a = run(FitnessFn(hill));
+    const MultiPopulationOutcome b = run(as_batch(hill));
+    EXPECT_EQ(a.best_fitness, b.best_fitness);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+    EXPECT_EQ(a.best.sequence, b.best.sequence);
+    EXPECT_EQ(a.best_history, b.best_history);
+}
+
 TEST(MultiPopulationTest, SinglePopulationWorks) {
     util::Rng rng(8);
     MultiPopulationOptions opts = small_options();

@@ -139,5 +139,58 @@ TEST(PopulationTest, DeterministicGivenSeed) {
     EXPECT_EQ(run(99), run(99));
 }
 
+TEST(PopulationTest, BatchEvaluateMatchesPerIndividual) {
+    util::Rng rng_a(20);
+    util::Rng rng_b(20);
+    Population a(small_options(), {}, rng_a);
+    Population b(small_options(), {}, rng_b);
+    EXPECT_EQ(a.evaluate(hill), b.evaluate(as_batch(hill)));
+    for (int gen = 0; gen < 8; ++gen) {
+        EXPECT_EQ(a.step(hill, rng_a), b.step(as_batch(hill), rng_b));
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.individual(i).fitness, b.individual(i).fitness);
+        EXPECT_EQ(a.individual(i).chromosome.sequence,
+                  b.individual(i).chromosome.sequence);
+    }
+}
+
+TEST(PopulationTest, BatchReceivesOnlyUnevaluated) {
+    util::Rng rng(21);
+    std::size_t seen = 0;
+    const BatchFitnessFn counting =
+        [&](std::span<const TestChromosome> batch) {
+            seen += batch.size();
+            std::vector<double> values;
+            values.reserve(batch.size());
+            for (const TestChromosome& c : batch) values.push_back(hill(c));
+            return values;
+        };
+    Population pop(small_options(), {}, rng);
+    EXPECT_EQ(pop.evaluate(counting), 16u);
+    EXPECT_EQ(pop.evaluate(counting), 0u);  // everyone cached
+    EXPECT_EQ(seen, 16u);
+}
+
+TEST(PopulationTest, BatchSizeMismatchThrows) {
+    util::Rng rng(22);
+    const BatchFitnessFn bad = [](std::span<const TestChromosome>) {
+        return std::vector<double>{};  // wrong length on purpose
+    };
+    Population pop(small_options(), {}, rng);
+    EXPECT_THROW((void)pop.evaluate(bad), std::logic_error);
+}
+
+TEST(PopulationTest, PreloadSkipsReEvaluation) {
+    util::Rng rng(23);
+    TestChromosome seed;
+    seed.sequence.fill(0.7);  // the hill optimum
+    Population pop(small_options(), {seed}, rng);
+    pop.preload(0, 42.0);  // carried-over measurement, not hill(seed)
+    EXPECT_EQ(pop.evaluate(hill), 16u - 1u);
+    EXPECT_EQ(pop.individual(0).fitness, 42.0);
+    EXPECT_EQ(pop.best().fitness, 42.0);
+}
+
 }  // namespace
 }  // namespace cichar::ga

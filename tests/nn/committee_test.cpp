@@ -126,6 +126,32 @@ TEST(CommitteeTest, SetMembersRestores) {
     EXPECT_NEAR(committee.mean_validation_error(), 0.015, 1e-15);
 }
 
+TEST(CommitteeTest, ParallelTrainingBitIdentical) {
+    const auto train_with_jobs = [](std::size_t jobs) {
+        util::Rng rng(14);
+        const Dataset train = two_class(200, rng);
+        const Dataset val = two_class(60, rng);
+        VotingCommittee committee;
+        CommitteeOptions opts = small_committee();
+        opts.members = 4;
+        opts.jobs = jobs;
+        (void)committee.train(train, val, opts, rng);
+        return committee;
+    };
+    const VotingCommittee serial = train_with_jobs(1);
+    const VotingCommittee threaded = train_with_jobs(4);
+    const VotingCommittee oversubscribed = train_with_jobs(16);
+    ASSERT_EQ(serial.member_count(), threaded.member_count());
+    for (std::size_t m = 0; m < serial.member_count(); ++m) {
+        EXPECT_EQ(serial.member(m), threaded.member(m));
+        EXPECT_EQ(serial.member(m), oversubscribed.member(m));
+    }
+    EXPECT_EQ(serial.member_validation_errors(),
+              threaded.member_validation_errors());
+    EXPECT_EQ(serial.member_validation_errors(),
+              oversubscribed.member_validation_errors());
+}
+
 TEST(CommitteeTest, DeterministicGivenSeed) {
     const auto run = [](std::uint64_t seed) {
         util::Rng rng(seed);

@@ -3,8 +3,12 @@
 //   cichar selftest
 //       bring up a simulated die + tester, sanity-check trip searches
 //   cichar hunt [--seed N] [--coding fuzzy|numeric] [--generations G]
-//               [--populations P] [--db FILE] [--model FILE]
-//       full Fig.4 + Fig.5 worst-case hunt; optionally persist artifacts
+//               [--populations P] [--jobs J] [--cache on|off]
+//               [--db FILE] [--model FILE]
+//       full Fig.4 + Fig.5 worst-case hunt; optionally persist artifacts.
+//       --jobs J != 1 trains the committee and measures GA fitness on J
+//       worker threads (replica evaluation, byte-identical at any J);
+//       --cache memoizes trip points of duplicated GA individuals
 //   cichar shmoo [--seed N] [--tests N] [--csv FILE]
 //       multi-test overlay shmoo (Fig. 8)
 //   cichar screen --db FILE [--limit L] [--lot N] [--seed N]
@@ -49,6 +53,7 @@ int usage() {
         "  cichar selftest\n"
         "  cichar hunt [--seed N] [--coding fuzzy|numeric]\n"
         "              [--generations G] [--populations P]\n"
+        "              [--jobs J] [--cache on|off]\n"
         "              [--db FILE] [--model FILE] [--report FILE]\n"
         "  cichar shmoo [--seed N] [--tests N] [--csv FILE]\n"
         "  cichar screen --db FILE [--limit L] [--lot N] [--seed N]\n"
@@ -103,6 +108,18 @@ int cmd_hunt(const Args& args) {
     options.optimizer.ga.populations =
         static_cast<std::size_t>(args.get_u64("populations", 4));
 
+    // --jobs J: parallel committee training, candidate scoring, and
+    // replica fitness evaluation. J != 1 switches the hunt to replica
+    // evaluation (byte-identical at any J); J == 1 keeps the classic
+    // in-situ serial path.
+    const auto jobs = static_cast<std::size_t>(args.get_u64("jobs", 1));
+    options.learner.committee.jobs = jobs;
+    options.optimizer.parallel.enabled = jobs != 1;
+    options.optimizer.parallel.jobs = jobs;
+    // --cache on|off: trip-point memoization across GA duplicates (on by
+    // default for the hunt).
+    options.optimizer.cache.enabled = args.get("cache", "on") != "off";
+
     const ate::Parameter param = ate::Parameter::data_valid_time();
     const core::DeviceCharacterizer characterizer(tester, param, options);
     util::Rng rng(seed);
@@ -122,6 +139,13 @@ int cmd_hunt(const Args& args) {
                 report.worst_record.trip_point, report.outcome.best_fitness,
                 ga::to_string(report.worst_record.wcr_class),
                 report.ate_measurements);
+    if (report.cache_stats.lookups() > 0) {
+        std::printf("  trip cache: %llu hits / %llu misses (%.1f%%), "
+                    "%zu job(s)\n",
+                    static_cast<unsigned long long>(report.cache_stats.hits),
+                    static_cast<unsigned long long>(report.cache_stats.misses),
+                    100.0 * report.cache_stats.hit_rate(), report.jobs);
+    }
 
     core::DesignSpecVariation pooled = learned.dsv;
     if (report.worst_record.found) pooled.add(report.worst_record);
