@@ -1,0 +1,369 @@
+// Extension bench: batch-major committee scoring throughput. The NN test
+// generator scores thousands of software-only candidates per suggestion
+// round; this bench isolates that scoring stack and compares
+//
+//   PR 2 frozen — a faithful replica of the pre-batching scoring code:
+//              per candidate an allocating committee predict() plus a
+//              vote() (two full forward passes per member) with libm
+//              tanh/exp activations and the uncached 201-point centroid
+//              defuzzification, exactly what LearnedModel::predict_wcr +
+//              vote() cost in PR 2. Its libm activations differ from the
+//              deterministic engine in the last ulps, so it is a timing
+//              baseline only — never a bit-identity reference.
+//   scalar   — today's per-candidate entry points (predict() + vote());
+//              this is the bit-identity reference for every batched arm
+//              (the DESIGN.md §9 determinism contract).
+//   batched  — one vote_batch() pass per tile of B candidates (the WCR
+//              and agreement both fall out of the same vote), B = 8 /
+//              64 / 256, single thread.
+//   batched+threads — the B=64 tiling fanned out over a worker pool.
+//
+// The acceptance gate is batched-vs-PR-2 throughput; bit-identity is
+// verified batched-vs-scalar before any throughput is reported.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fuzzy/coding.hpp"
+#include "nn/committee.hpp"
+#include "testgen/features.hpp"
+#include "util/ascii.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace cichar;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2005;
+constexpr std::size_t kCandidates = 4096;
+constexpr std::size_t kMembers = 5;
+constexpr std::size_t kWarmup = 2;
+constexpr std::size_t kReps = 5;
+
+nn::VotingCommittee make_committee(std::size_t outputs, util::Rng& rng) {
+    // The committee defaults from CommitteeOptions: 14 features in,
+    // {24, 12} hidden tanh, sigmoid out. Untrained weights score just as
+    // expensively as trained ones.
+    const std::vector<std::size_t> sizes{testgen::kFeatureCount, 24, 12,
+                                         outputs};
+    std::vector<nn::Mlp> members;
+    std::vector<double> errors;
+    for (std::size_t m = 0; m < kMembers; ++m) {
+        nn::Mlp net(sizes, nn::Activation::kTanh, nn::Activation::kSigmoid);
+        net.init_weights(rng);
+        members.push_back(std::move(net));
+        errors.push_back(0.01);
+    }
+    nn::VotingCommittee committee;
+    committee.set_members(std::move(members), std::move(errors));
+    return committee;
+}
+
+struct Scores {
+    std::vector<double> wcr;
+    std::vector<double> agreement;
+
+    [[nodiscard]] bool operator==(const Scores&) const = default;
+};
+
+// --- Frozen PR 2 scoring replica ------------------------------------
+// Mirrors the pre-batching implementation operation for operation: the
+// allocating Mlp::forward with std::tanh / std::exp activations, the
+// allocating committee predict()/vote(), and the membership-call-per-
+// grid-point defuzzify. This is what one candidate cost before this PR.
+
+std::vector<double> pr2_forward(const nn::Mlp& net,
+                                const std::vector<double>& x) {
+    std::vector<double> current = x;
+    std::vector<double> next;
+    for (std::size_t li = 0; li < net.layer_count(); ++li) {
+        const nn::Layer& layer = net.layer(li);
+        next.resize(layer.out);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            double sum = layer.biases[o];
+            const double* row = &layer.weights[o * layer.in];
+            for (std::size_t i = 0; i < layer.in; ++i) {
+                sum += row[i] * current[i];
+            }
+            next[o] = sum;
+        }
+        for (double& v : next) {
+            v = layer.activation == nn::Activation::kTanh
+                    ? std::tanh(v)
+                    : 1.0 / (1.0 + std::exp(-v));
+        }
+        current.swap(next);
+    }
+    return current;
+}
+
+std::vector<double> pr2_predict(const nn::VotingCommittee& committee,
+                                const std::vector<double>& x) {
+    std::vector<double> mean(committee.member(0).output_size(), 0.0);
+    for (std::size_t m = 0; m < committee.member_count(); ++m) {
+        const std::vector<double> out = pr2_forward(committee.member(m), x);
+        for (std::size_t o = 0; o < out.size(); ++o) mean[o] += out[o];
+    }
+    for (double& v : mean) v /= static_cast<double>(committee.member_count());
+    return mean;
+}
+
+double pr2_vote_agreement(const nn::VotingCommittee& committee,
+                          const std::vector<double>& x) {
+    const std::size_t width = committee.member(0).output_size();
+    const std::size_t members = committee.member_count();
+    std::vector<double> mean(width, 0.0);
+    std::vector<std::vector<double>> outputs(members);
+    std::vector<std::size_t> class_votes(width, 0);
+    for (std::size_t m = 0; m < members; ++m) {
+        outputs[m] = pr2_forward(committee.member(m), x);
+        for (std::size_t o = 0; o < width; ++o) mean[o] += outputs[m][o];
+        const auto argmax = static_cast<std::size_t>(
+            std::max_element(outputs[m].begin(), outputs[m].end()) -
+            outputs[m].begin());
+        ++class_votes[argmax];
+    }
+    for (double& v : mean) v /= static_cast<double>(members);
+    const auto majority = static_cast<std::size_t>(
+        std::max_element(class_votes.begin(), class_votes.end()) -
+        class_votes.begin());
+    // PR 2's vote() also computed the dispersion; keep its cost.
+    double dispersion = 0.0;
+    for (std::size_t o = 0; o < width; ++o) {
+        double var = 0.0;
+        for (const auto& out : outputs) {
+            const double d = out[o] - mean[o];
+            var += d * d;
+        }
+        dispersion += std::sqrt(var / static_cast<double>(members));
+    }
+    (void)dispersion;
+    return static_cast<double>(class_votes[majority]) /
+           static_cast<double>(members);
+}
+
+double pr2_decode(const fuzzy::TripPointCoder& coder,
+                  const std::vector<double>& outputs) {
+    const fuzzy::LinguisticVariable& var = coder.variable();
+    const std::size_t samples = 201;
+    double weighted = 0.0;
+    double total = 0.0;
+    const double lo = var.domain_lo();
+    const double hi = var.domain_hi();
+    const double step = (hi - lo) / static_cast<double>(samples - 1);
+    for (std::size_t s = 0; s < samples; ++s) {
+        const double x = lo + step * static_cast<double>(s);
+        double mu = 0.0;
+        for (std::size_t i = 0; i < var.term_count(); ++i) {
+            const double clipped =
+                std::min(std::clamp(outputs[i], 0.0, 1.0),
+                         var.term(i).membership(x));
+            mu = std::max(mu, clipped);
+        }
+        weighted += mu * x;
+        total += mu;
+    }
+    if (total <= 0.0) return 0.5 * (lo + hi);
+    return weighted / total;
+}
+
+Scores score_pr2(const nn::VotingCommittee& committee,
+                 const fuzzy::TripPointCoder& coder,
+                 const std::vector<double>& features) {
+    Scores scores;
+    scores.wcr.resize(kCandidates);
+    scores.agreement.resize(kCandidates);
+    for (std::size_t i = 0; i < kCandidates; ++i) {
+        const std::vector<double> x(
+            features.begin() +
+                static_cast<std::ptrdiff_t>(i * testgen::kFeatureCount),
+            features.begin() +
+                static_cast<std::ptrdiff_t>((i + 1) * testgen::kFeatureCount));
+        scores.wcr[i] = pr2_decode(coder, pr2_predict(committee, x));
+        scores.agreement[i] = pr2_vote_agreement(committee, x);
+    }
+    return scores;
+}
+
+// --- Current engine arms ---------------------------------------------
+
+/// Today's per-candidate scoring: allocating predict() then vote().
+Scores score_scalar(const nn::VotingCommittee& committee,
+                    const fuzzy::TripPointCoder& coder,
+                    const std::vector<double>& features) {
+    Scores scores;
+    scores.wcr.resize(kCandidates);
+    scores.agreement.resize(kCandidates);
+    for (std::size_t i = 0; i < kCandidates; ++i) {
+        const std::span<const double> x(
+            features.data() + i * testgen::kFeatureCount,
+            testgen::kFeatureCount);
+        scores.wcr[i] = coder.decode(committee.predict(x));
+        scores.agreement[i] = committee.vote(x).agreement;
+    }
+    return scores;
+}
+
+Scores score_batched(const nn::VotingCommittee& committee,
+                     const fuzzy::TripPointCoder& coder,
+                     const std::vector<double>& features, std::size_t batch) {
+    Scores scores;
+    scores.wcr.resize(kCandidates);
+    scores.agreement.resize(kCandidates);
+    nn::BatchVoteScratch scratch;
+    std::vector<nn::VoteResult> results;
+    for (std::size_t first = 0; first < kCandidates; first += batch) {
+        const std::size_t count = std::min(batch, kCandidates - first);
+        committee.vote_batch(
+            std::span<const double>(
+                features.data() + first * testgen::kFeatureCount,
+                count * testgen::kFeatureCount),
+            count, scratch, results);
+        for (std::size_t i = 0; i < count; ++i) {
+            scores.wcr[first + i] = coder.decode(results[i].mean_output);
+            scores.agreement[first + i] = results[i].agreement;
+        }
+    }
+    return scores;
+}
+
+Scores score_batched_threads(const nn::VotingCommittee& committee,
+                             const fuzzy::TripPointCoder& coder,
+                             const std::vector<double>& features,
+                             std::size_t batch, util::ThreadPool& pool) {
+    Scores scores;
+    scores.wcr.resize(kCandidates);
+    scores.agreement.resize(kCandidates);
+    for (std::size_t first = 0; first < kCandidates; first += batch) {
+        const std::size_t count = std::min(batch, kCandidates - first);
+        pool.submit([&, first, count] {
+            nn::BatchVoteScratch scratch;
+            std::vector<nn::VoteResult> results;
+            committee.vote_batch(
+                std::span<const double>(
+                    features.data() + first * testgen::kFeatureCount,
+                    count * testgen::kFeatureCount),
+                count, scratch, results);
+            for (std::size_t i = 0; i < count; ++i) {
+                scores.wcr[first + i] = coder.decode(results[i].mean_output);
+                scores.agreement[first + i] = results[i].agreement;
+            }
+        });
+    }
+    pool.wait();
+    return scores;
+}
+
+}  // namespace
+
+int main() {
+    bench::header("Extension",
+                  "NN candidate scoring: PR 2 scalar vs batch-major committee",
+                  kSeed);
+
+    util::Rng rng(kSeed);
+    const fuzzy::TripPointCoder coder = fuzzy::TripPointCoder::fuzzy_wcr_fine();
+    const nn::VotingCommittee committee =
+        make_committee(coder.output_count(), rng);
+
+    // Normalized feature vectors, like the real extract_features output.
+    std::vector<double> features(kCandidates * testgen::kFeatureCount);
+    for (double& v : features) v = rng.uniform(0.0, 1.0);
+
+    // Bit-identity reference: the current scalar entry points.
+    const Scores reference = score_scalar(committee, coder, features);
+
+    struct Arm {
+        std::string label;
+        double median_s = 0.0;
+        bool identical = false;
+        bool check_identity = true;
+    };
+    std::vector<Arm> arms;
+
+    const auto time_arm = [&](const std::string& label, bool check_identity,
+                              auto&& fn) {
+        Scores last;
+        const bench::TimedRuns timed =
+            bench::time_runs(kWarmup, kReps, [&] { last = fn(); });
+        const bool identical = last == reference;
+        arms.push_back({label, timed.median(), identical, check_identity});
+        std::printf("%-24s median %8.2f ms  (%9.0f candidates/s)  %s\n",
+                    label.c_str(), 1e3 * timed.median(),
+                    static_cast<double>(kCandidates) / timed.median(),
+                    check_identity
+                        ? (identical ? "bit-identical" : "MISMATCH")
+                        : "frozen libm baseline");
+    };
+
+    bench::section("arms");
+    time_arm("PR 2 frozen (libm)", false,
+             [&] { return score_pr2(committee, coder, features); });
+    time_arm("scalar (current)", true,
+             [&] { return score_scalar(committee, coder, features); });
+    for (const std::size_t batch :
+         {std::size_t{8}, std::size_t{64}, std::size_t{256}}) {
+        time_arm("batched B=" + std::to_string(batch), true, [&] {
+            return score_batched(committee, coder, features, batch);
+        });
+    }
+    util::ThreadPool pool(4);
+    time_arm("batched B=64 + 4 jobs", true, [&] {
+        return score_batched_threads(committee, coder, features, 64, pool);
+    });
+
+    bench::section("speedup vs PR 2 scalar path");
+    util::TextTable table({"arm", "median ms", "candidates/s", "speedup",
+                           "bit-identical"});
+    bool all_identical = true;
+    for (const Arm& arm : arms) {
+        if (arm.check_identity) all_identical = all_identical && arm.identical;
+        table.add_row({arm.label, util::fixed(1e3 * arm.median_s, 2),
+                       util::fixed(static_cast<double>(kCandidates) /
+                                       arm.median_s, 0),
+                       util::fixed(arms[0].median_s / arm.median_s, 2),
+                       arm.check_identity ? (arm.identical ? "yes" : "NO")
+                                          : "n/a"});
+    }
+    std::printf("%s", table.render().c_str());
+
+    const double speedup_64 = arms[0].median_s / arms[3].median_s;
+    const double speedup_256 = arms[0].median_s / arms[4].median_s;
+    const double best_single = std::max(speedup_64, speedup_256);
+    std::printf("\nbatched speedup at B>=64, single thread: %.2fx "
+                "(target >= 5x): %s\n",
+                best_single, best_single >= 5.0 ? "PASS" : "FAIL");
+    std::printf("all batched arms bit-identical to scalar: %s\n",
+                all_identical ? "PASS" : "FAIL");
+
+    bench::BenchJson json;
+    json.set_string("bench", "nn_scoring");
+    json.set_integer("seed", kSeed);
+    json.set_integer("candidates", kCandidates);
+    json.set_integer("members", kMembers);
+    std::vector<double> medians;
+    medians.reserve(arms.size());
+    for (const Arm& arm : arms) medians.push_back(arm.median_s);
+    json.set_numbers("median_seconds", medians);
+    json.set_number("candidates_per_sec_pr2",
+                    static_cast<double>(kCandidates) / arms[0].median_s);
+    json.set_number("candidates_per_sec_scalar",
+                    static_cast<double>(kCandidates) / arms[1].median_s);
+    json.set_number("candidates_per_sec_batch64",
+                    static_cast<double>(kCandidates) / arms[3].median_s);
+    json.set_number("candidates_per_sec_batch256",
+                    static_cast<double>(kCandidates) / arms[4].median_s);
+    json.set_number("speedup_batch64", speedup_64);
+    json.set_number("speedup_batch256", speedup_256);
+    json.set_bool("bit_identical", all_identical);
+    json.write("BENCH_nn.json");
+
+    std::printf(
+        "\npaper context: the fuzzy-NN generator's candidate scoring is the "
+        "software half of the Fig. 5 hunt; batch-major inference turns the "
+        "per-sample dot-product dependency chain into independent SIMD "
+        "lanes without changing a single bit of any score.\n");
+    return (best_single >= 5.0 && all_identical) ? 0 : 1;
+}

@@ -79,7 +79,10 @@ LearnResult CharacterizationLearner::run(
     };
 
     // Active acquisition: score a software-only candidate pool with the
-    // current committee and measure the most informative ones.
+    // current committee and measure the most informative ones. All
+    // candidates are drawn before any scoring (scoring is rng-free, so
+    // the draw stream is unchanged), then scored through the batched
+    // committee entry points in tiles.
     const auto measure_acquired_batch = [&](std::size_t count) {
         struct Candidate {
             testgen::Test test;
@@ -91,16 +94,37 @@ LearnResult CharacterizationLearner::run(
             Candidate c;
             c.test = generator.random_test(
                 rng, "acq-" + std::to_string(tests_measured + i));
-            const testgen::FeatureVector fv = testgen::extract_features(
-                c.test, generator.options().condition_bounds);
-            const std::vector<double> features(fv.values.begin(),
-                                               fv.values.end());
-            if (options_.acquisition == Acquisition::kPredictedWorst) {
-                c.score = coder.decode(committee.predict(features));
-            } else {
-                c.score = committee.vote(features).dispersion;
-            }
             pool.push_back(std::move(c));
+        }
+
+        constexpr std::size_t kScoreTile = 64;
+        nn::BatchVoteScratch scratch;
+        std::vector<double> features;
+        std::vector<double> means;
+        std::vector<nn::VoteResult> votes;
+        const std::size_t width = coder.output_count();
+        for (std::size_t first = 0; first < pool.size(); first += kScoreTile) {
+            const std::size_t tile = std::min(kScoreTile, pool.size() - first);
+            features.resize(tile * testgen::kFeatureCount);
+            for (std::size_t i = 0; i < tile; ++i) {
+                const testgen::FeatureVector fv = testgen::extract_features(
+                    pool[first + i].test, generator.options().condition_bounds);
+                std::copy(fv.values.begin(), fv.values.end(),
+                          features.begin() + static_cast<std::ptrdiff_t>(
+                                                 i * testgen::kFeatureCount));
+            }
+            if (options_.acquisition == Acquisition::kPredictedWorst) {
+                committee.predict_batch(features, tile, scratch, means);
+                for (std::size_t i = 0; i < tile; ++i) {
+                    pool[first + i].score = coder.decode(std::span<const double>(
+                        means.data() + i * width, width));
+                }
+            } else {
+                committee.vote_batch(features, tile, scratch, votes);
+                for (std::size_t i = 0; i < tile; ++i) {
+                    pool[first + i].score = votes[i].dispersion;
+                }
+            }
         }
         const std::size_t keep = std::min(count, pool.size());
         std::partial_sort(pool.begin(),

@@ -1,6 +1,7 @@
 #include "core/nn_test_generator.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/thread_pool.hpp"
 
@@ -9,12 +10,12 @@ namespace cichar::core {
 NnTestGenerator::NnTestGenerator(const LearnedModel& model)
     : model_(&model), generator_(model.generator_options()) {}
 
-std::vector<TestSuggestion> NnTestGenerator::suggest(std::size_t candidates,
-                                                     std::size_t top_k,
-                                                     util::Rng& rng,
-                                                     std::size_t jobs) const {
+std::vector<TestSuggestion> NnTestGenerator::suggest(
+    std::size_t candidates, std::size_t top_k, util::Rng& rng,
+    const ScoringOptions& options) const {
     // Draw every candidate from `rng` up front on the calling thread: the
-    // draw sequence (and thus the candidate set) is independent of `jobs`.
+    // draw sequence (and thus the candidate set) is independent of how
+    // scoring fans out.
     std::vector<TestSuggestion> scored;
     scored.reserve(candidates);
     for (std::size_t i = 0; i < candidates; ++i) {
@@ -24,22 +25,59 @@ std::vector<TestSuggestion> NnTestGenerator::suggest(std::size_t candidates,
         scored.push_back(std::move(s));
     }
 
-    // Committee scoring is pure (const model, no rng), so candidates can
-    // be scored concurrently into their own slots.
-    const auto score = [&](TestSuggestion& s) {
-        const testgen::Test test = generator_.make_test(s.recipe, s.conditions);
-        s.predicted_wcr = model_->predict_wcr(test);
-        s.vote_agreement = model_->vote(test).agreement;
-    };
-    if (jobs == 1 || scored.size() <= 1) {
-        for (TestSuggestion& s : scored) score(s);
-    } else {
-        util::ThreadPool pool(jobs);
-        for (TestSuggestion& s : scored) {
-            TestSuggestion* slot = &s;
-            pool.submit([&score, slot] { score(*slot); });
+    // Committee scoring is pure (const model, no rng): each tile encodes
+    // its candidates into a feature matrix and runs one batched committee
+    // pass, writing results into disjoint slots. A vote's mean_output is
+    // accumulated exactly like predict()'s mean, so the predicted WCR and
+    // agreement match the old two-pass scalar scoring bit for bit.
+    const std::size_t batch = std::max<std::size_t>(1, options.batch);
+    const auto score_tile = [&](std::size_t first, std::size_t count,
+                                std::vector<double>& features,
+                                nn::BatchVoteScratch& scratch,
+                                std::vector<nn::VoteResult>& results) {
+        features.resize(count * testgen::kFeatureCount);
+        for (std::size_t i = 0; i < count; ++i) {
+            const TestSuggestion& s = scored[first + i];
+            const testgen::Test test =
+                generator_.make_test(s.recipe, s.conditions);
+            const testgen::FeatureVector fv = testgen::extract_features(
+                test, generator_.options().condition_bounds);
+            std::copy(fv.values.begin(), fv.values.end(),
+                      features.begin() + static_cast<std::ptrdiff_t>(
+                                             i * testgen::kFeatureCount));
         }
-        pool.wait();
+        model_->committee().vote_batch(features, count, scratch, results);
+        for (std::size_t i = 0; i < count; ++i) {
+            scored[first + i].predicted_wcr =
+                model_->coder().decode(results[i].mean_output);
+            scored[first + i].vote_agreement = results[i].agreement;
+        }
+    };
+
+    if (options.jobs == 1 || scored.size() <= batch) {
+        std::vector<double> features;
+        nn::BatchVoteScratch scratch;
+        std::vector<nn::VoteResult> results;
+        for (std::size_t first = 0; first < scored.size(); first += batch) {
+            score_tile(first, std::min(batch, scored.size() - first),
+                       features, scratch, results);
+        }
+    } else {
+        // Reuse the caller's pool when provided (the optimizer holds one
+        // across suggestion rounds); otherwise pay for a transient pool.
+        std::optional<util::ThreadPool> own_pool;
+        util::ThreadPool* pool = options.pool;
+        if (pool == nullptr) pool = &own_pool.emplace(options.jobs);
+        for (std::size_t first = 0; first < scored.size(); first += batch) {
+            const std::size_t count = std::min(batch, scored.size() - first);
+            pool->submit([&score_tile, first, count] {
+                std::vector<double> features;
+                nn::BatchVoteScratch scratch;
+                std::vector<nn::VoteResult> results;
+                score_tile(first, count, features, scratch, results);
+            });
+        }
+        pool->wait();
     }
 
     const std::size_t keep = std::min(top_k, scored.size());
@@ -53,11 +91,20 @@ std::vector<TestSuggestion> NnTestGenerator::suggest(std::size_t candidates,
     return scored;
 }
 
+std::vector<TestSuggestion> NnTestGenerator::suggest(std::size_t candidates,
+                                                     std::size_t top_k,
+                                                     util::Rng& rng,
+                                                     std::size_t jobs) const {
+    ScoringOptions options;
+    options.jobs = jobs;
+    return suggest(candidates, top_k, rng, options);
+}
+
 std::vector<ga::TestChromosome> NnTestGenerator::suggest_chromosomes(
     std::size_t candidates, std::size_t top_k, util::Rng& rng,
-    std::size_t jobs) const {
+    const ScoringOptions& options) const {
     const std::vector<TestSuggestion> suggestions =
-        suggest(candidates, top_k, rng, jobs);
+        suggest(candidates, top_k, rng, options);
     const auto& opts = generator_.options();
     std::vector<ga::TestChromosome> chromosomes;
     chromosomes.reserve(suggestions.size());
@@ -67,6 +114,14 @@ std::vector<ga::TestChromosome> NnTestGenerator::suggest_chromosomes(
             opts.max_cycles));
     }
     return chromosomes;
+}
+
+std::vector<ga::TestChromosome> NnTestGenerator::suggest_chromosomes(
+    std::size_t candidates, std::size_t top_k, util::Rng& rng,
+    std::size_t jobs) const {
+    ScoringOptions options;
+    options.jobs = jobs;
+    return suggest_chromosomes(candidates, top_k, rng, options);
 }
 
 }  // namespace cichar::core

@@ -9,6 +9,10 @@
 #include "core/learner.hpp"
 #include "ga/chromosome.hpp"
 
+namespace cichar::util {
+class ThreadPool;
+}
+
 namespace cichar::core {
 
 /// One suggested (predicted-worst) test.
@@ -19,6 +23,21 @@ struct TestSuggestion {
     double vote_agreement = 0.0;  ///< committee consensus on the class
 };
 
+/// How candidate scoring fans out. Candidates are encoded into a feature
+/// matrix and scored through the committee's batched forward in tiles of
+/// `batch`; tiles are distributed over `jobs` workers (on `pool` when the
+/// caller already owns one). Scoring is pure, so results are identical at
+/// every batch/jobs combination.
+struct ScoringOptions {
+    /// Worker threads: 1 = serial, 0 = one per hardware thread.
+    std::size_t jobs = 1;
+    /// Candidates per batched committee pass (min 1).
+    std::size_t batch = 64;
+    /// Caller-owned pool to reuse across suggestion rounds; nullptr makes
+    /// a transient pool (only when jobs != 1).
+    util::ThreadPool* pool = nullptr;
+};
+
 class NnTestGenerator {
 public:
     explicit NnTestGenerator(const LearnedModel& model);
@@ -26,14 +45,23 @@ public:
     /// Samples `candidates` random tests, scores them in software, and
     /// returns the `top_k` with the highest predicted WCR (descending).
     /// Candidates are drawn from `rng` serially; the (pure, rng-free)
-    /// committee scoring fans out over `jobs` worker threads (1 = serial,
-    /// 0 = one per hardware thread) with identical results at any value.
+    /// committee scoring runs per `options` with identical results at any
+    /// batch size and jobs count.
+    [[nodiscard]] std::vector<TestSuggestion> suggest(
+        std::size_t candidates, std::size_t top_k, util::Rng& rng,
+        const ScoringOptions& options) const;
+
+    /// Back-compat shim: batch defaults, `jobs` worker threads.
     [[nodiscard]] std::vector<TestSuggestion> suggest(std::size_t candidates,
                                                       std::size_t top_k,
                                                       util::Rng& rng,
                                                       std::size_t jobs = 1) const;
 
     /// Same, already encoded as GA chromosomes.
+    [[nodiscard]] std::vector<ga::TestChromosome> suggest_chromosomes(
+        std::size_t candidates, std::size_t top_k, util::Rng& rng,
+        const ScoringOptions& options) const;
+
     [[nodiscard]] std::vector<ga::TestChromosome> suggest_chromosomes(
         std::size_t candidates, std::size_t top_k, util::Rng& rng,
         std::size_t jobs = 1) const;

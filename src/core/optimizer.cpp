@@ -1,6 +1,7 @@
 #include "core/optimizer.hpp"
 
 #include <cmath>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -58,12 +59,19 @@ WorstCaseReport WorstCaseOptimizer::run(ate::Tester& tester,
                                         Objective objective,
                                         util::Rng& rng) const {
     const NnTestGenerator nn_generator(model);
-    const std::size_t score_jobs =
-        options_.parallel.enabled ? options_.parallel.jobs : 1;
+    // One pool serves both the NN seeding round and the replica fitness
+    // evaluation, instead of paying spawn/teardown per phase.
+    std::optional<util::ThreadPool> pool;
+    if (options_.parallel.enabled) pool.emplace(options_.parallel.jobs);
+
+    ScoringOptions scoring;
+    scoring.jobs = options_.parallel.enabled ? options_.parallel.jobs : 1;
+    scoring.batch = options_.nn_score_batch;
+    scoring.pool = pool ? &*pool : nullptr;
     std::vector<ga::TestChromosome> seeds = nn_generator.suggest_chromosomes(
-        options_.nn_candidates, options_.nn_seed_count, rng, score_jobs);
+        options_.nn_candidates, options_.nn_seed_count, rng, scoring);
     return drive(tester, parameter, model.generator_options(),
-                 std::move(seeds), objective, rng);
+                 std::move(seeds), objective, rng, pool ? &*pool : nullptr);
 }
 
 WorstCaseReport WorstCaseOptimizer::run_unseeded(
@@ -77,7 +85,7 @@ WorstCaseReport WorstCaseOptimizer::drive(
     ate::Tester& tester, const ate::Parameter& parameter,
     const testgen::RandomGeneratorOptions& generator_options,
     std::vector<ga::TestChromosome> seeds, Objective objective,
-    util::Rng& rng) const {
+    util::Rng& rng, util::ThreadPool* shared_pool) const {
     ate::PhaseScope phase(tester.log(), "ga-optimization");
     const std::uint64_t applications_before = tester.log().total().applications;
 
@@ -87,6 +95,18 @@ WorstCaseReport WorstCaseOptimizer::drive(
     const bool use_cache = options_.cache.enabled;
     TripPointCache cache(options_.cache.capacity > 0 ? options_.cache.capacity
                                                      : 1);
+    const std::string cache_identity = options_.cache.identity.empty()
+                                           ? parameter.name
+                                           : options_.cache.identity;
+    std::size_t cache_preloaded = 0;
+    if (use_cache && !options_.cache.file.empty()) {
+        std::ifstream in(options_.cache.file, std::ios::binary);
+        if (in && cache.load(in, cache_identity)) {
+            cache_preloaded = cache.size();
+            util::log_info("optimizer: warm trip cache, ", cache_preloaded,
+                           " entries from ", options_.cache.file);
+        }
+    }
     std::size_t eval_counter = 0;
 
     const auto add_entry = [&](const std::string& name,
@@ -178,7 +198,10 @@ WorstCaseReport WorstCaseOptimizer::drive(
             };
         report.outcome = driver.run(fitness, std::move(seeds), rng);
     } else {
-        util::ThreadPool pool(options_.parallel.jobs);
+        std::optional<util::ThreadPool> own_pool;
+        util::ThreadPool& pool = shared_pool != nullptr
+                                     ? *shared_pool
+                                     : own_pool.emplace(options_.parallel.jobs);
         report.jobs = pool.thread_count();
         // Replica noise streams are forked from a dedicated stream on the
         // calling thread, in submission order — never by the workers — so
@@ -339,6 +362,15 @@ WorstCaseReport WorstCaseOptimizer::drive(
     }
 
     report.cache_stats = cache.stats();
+    report.cache_preloaded = cache_preloaded;
+    if (use_cache && !options_.cache.file.empty()) {
+        std::ofstream out(options_.cache.file,
+                          std::ios::binary | std::ios::trunc);
+        if (!out || !cache.save(out, cache_identity)) {
+            util::log_info("optimizer: failed to save trip cache to ",
+                           options_.cache.file);
+        }
+    }
     report.ate_measurements = static_cast<std::size_t>(
         tester.log().total().applications - applications_before);
     util::log_info("optimizer: best WCR ", report.outcome.best_fitness, " in ",

@@ -50,6 +50,13 @@ struct HuntParallelOptions {
 struct HuntCacheOptions {
     bool enabled = false;
     std::size_t capacity = 4096;  ///< LRU-evicted beyond this many entries
+    /// Persistence file: loaded (warm start) before the hunt when it
+    /// exists and saved after, so repeated hunts over a lot share trip
+    /// points. Empty = in-memory only.
+    std::string file;
+    /// Device/process identity the cache file is keyed by; a mismatched
+    /// file is ignored. Empty = the hunted parameter's name.
+    std::string identity;
 };
 
 struct OptimizerOptions {
@@ -58,6 +65,8 @@ struct OptimizerOptions {
     std::size_t nn_candidates = 1500;
     /// Sub-optimal tests seeded into the GA populations.
     std::size_t nn_seed_count = 12;
+    /// Candidates per batched committee pass during NN seeding.
+    std::size_t nn_score_batch = 64;
     MultiTripOptions trip{};
     ga::WcrThresholds thresholds{};
     /// Run a functional pattern when a fitness evaluation crosses the fail
@@ -76,6 +85,7 @@ struct WorstCaseReport {
     Objective objective = Objective::kDriftToMinimum;
     std::size_t ate_measurements = 0;  ///< measurements spent in this run
     TripCacheStats cache_stats{};      ///< zeros when the cache is off
+    std::size_t cache_preloaded = 0;   ///< entries warm-loaded from file
     std::size_t jobs = 1;              ///< worker threads actually used
 };
 
@@ -104,11 +114,14 @@ public:
         Objective objective, util::Rng& rng) const;
 
 private:
+    /// `shared_pool` is an optional caller-owned worker pool reused for
+    /// replica fitness evaluation (the seeding path already scored on
+    /// it); nullptr makes one on demand when parallel mode is enabled.
     [[nodiscard]] WorstCaseReport drive(
         ate::Tester& tester, const ate::Parameter& parameter,
         const testgen::RandomGeneratorOptions& generator_options,
         std::vector<ga::TestChromosome> seeds, Objective objective,
-        util::Rng& rng) const;
+        util::Rng& rng, util::ThreadPool* shared_pool = nullptr) const;
 
     OptimizerOptions options_;
 };

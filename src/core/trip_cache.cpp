@@ -1,7 +1,12 @@
 #include "core/trip_cache.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
 
 namespace cichar::core {
 
@@ -85,6 +90,183 @@ void TripPointCache::insert(const TripCacheKey& key, TripPointRecord record) {
 void TripPointCache::clear() {
     lru_.clear();
     index_.clear();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Versioned binary persistence. Everything is little-endian regardless
+// of host; doubles travel as their IEEE-754 bit patterns, so a save/load
+// round trip reproduces every key and record bit for bit.
+
+constexpr char kCacheMagic[8] = {'C', 'I', 'C', 'H', 'T', 'P', 'C', '1'};
+constexpr std::uint64_t kMaxStringLength = 1u << 20;
+constexpr std::uint64_t kMaxEntryCount = 1u << 24;
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+    char buf[8];
+    for (int i = 0; i < 8; ++i) {
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    out.write(buf, 8);
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+    put_u64(out, v);
+}
+
+void put_double(std::ostream& out, double v) {
+    put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::ostream& out, std::string_view s) {
+    put_u64(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool get_u64(std::istream& in, std::uint64_t& v) {
+    char buf[8];
+    if (!in.read(buf, 8)) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    }
+    return true;
+}
+
+bool get_u32(std::istream& in, std::uint32_t& v) {
+    std::uint64_t wide = 0;
+    if (!get_u64(in, wide) || wide > 0xffffffffULL) return false;
+    v = static_cast<std::uint32_t>(wide);
+    return true;
+}
+
+bool get_double(std::istream& in, double& v) {
+    std::uint64_t bits = 0;
+    if (!get_u64(in, bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+}
+
+bool get_string(std::istream& in, std::string& s) {
+    std::uint64_t length = 0;
+    if (!get_u64(in, length) || length > kMaxStringLength) return false;
+    s.resize(static_cast<std::size_t>(length));
+    return length == 0 ||
+           static_cast<bool>(
+               in.read(s.data(), static_cast<std::streamsize>(length)));
+}
+
+void put_entry(std::ostream& out, const TripCacheKey& key,
+               const TripPointRecord& record) {
+    const testgen::PatternRecipe& r = key.recipe;
+    put_u32(out, r.cycles);
+    put_double(out, r.write_fraction);
+    put_double(out, r.nop_fraction);
+    put_double(out, r.burst_length);
+    put_double(out, r.row_locality);
+    put_double(out, r.bank_conflict_bias);
+    put_double(out, r.alternating_data_bias);
+    put_double(out, r.solid_data_bias);
+    put_double(out, r.toggle_bias);
+    put_double(out, r.control_activity);
+    put_u64(out, r.seed);
+    const testgen::TestConditions& c = key.conditions;
+    put_double(out, c.vdd_volts);
+    put_double(out, c.temperature_c);
+    put_double(out, c.clock_period_ns);
+    put_double(out, c.output_load_pf);
+    put_string(out, record.test_name);
+    put_double(out, record.trip_point);
+    put_double(out, record.wcr);
+    put_u64(out, static_cast<std::uint64_t>(record.wcr_class));
+    put_u64(out, record.found ? 1 : 0);
+    put_u64(out, record.measurements);
+}
+
+bool get_entry(std::istream& in, TripCacheKey& key, TripPointRecord& record) {
+    testgen::PatternRecipe& r = key.recipe;
+    if (!get_u32(in, r.cycles) || !get_double(in, r.write_fraction) ||
+        !get_double(in, r.nop_fraction) || !get_double(in, r.burst_length) ||
+        !get_double(in, r.row_locality) ||
+        !get_double(in, r.bank_conflict_bias) ||
+        !get_double(in, r.alternating_data_bias) ||
+        !get_double(in, r.solid_data_bias) || !get_double(in, r.toggle_bias) ||
+        !get_double(in, r.control_activity) || !get_u64(in, r.seed)) {
+        return false;
+    }
+    testgen::TestConditions& c = key.conditions;
+    if (!get_double(in, c.vdd_volts) || !get_double(in, c.temperature_c) ||
+        !get_double(in, c.clock_period_ns) ||
+        !get_double(in, c.output_load_pf)) {
+        return false;
+    }
+    if (!get_string(in, record.test_name)) return false;
+    std::uint64_t wcr_class = 0;
+    std::uint64_t found = 0;
+    std::uint64_t measurements = 0;
+    if (!get_double(in, record.trip_point) || !get_double(in, record.wcr) ||
+        !get_u64(in, wcr_class) || !get_u64(in, found) ||
+        !get_u64(in, measurements)) {
+        return false;
+    }
+    if (wcr_class > static_cast<std::uint64_t>(ga::WcrClass::kFail) ||
+        found > 1) {
+        return false;
+    }
+    record.wcr_class = static_cast<ga::WcrClass>(wcr_class);
+    record.found = found == 1;
+    record.measurements = static_cast<std::size_t>(measurements);
+    return true;
+}
+
+}  // namespace
+
+bool TripPointCache::save(std::ostream& out, std::string_view identity) const {
+    out.write(kCacheMagic, sizeof(kCacheMagic));
+    put_string(out, identity);
+    put_u64(out, lru_.size());
+    // Back to front: least recently used first, so a load that re-inserts
+    // in stream order rebuilds the exact recency order.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        put_entry(out, it->first, it->second);
+    }
+    return static_cast<bool>(out);
+}
+
+bool TripPointCache::load(std::istream& in, std::string_view identity) {
+    char magic[sizeof(kCacheMagic)];
+    if (!in.read(magic, sizeof(magic)) ||
+        !std::equal(std::begin(magic), std::end(magic),
+                    std::begin(kCacheMagic))) {
+        return false;
+    }
+    std::string stored_identity;
+    if (!get_string(in, stored_identity) || stored_identity != identity) {
+        return false;
+    }
+    std::uint64_t count = 0;
+    if (!get_u64(in, count) || count > kMaxEntryCount) return false;
+
+    // Parse everything before mutating, so a truncated or corrupt stream
+    // cannot leave the cache half-replaced.
+    std::vector<Entry> entries(static_cast<std::size_t>(count));
+    for (Entry& entry : entries) {
+        if (!get_entry(in, entry.first, entry.second)) return false;
+    }
+
+    clear();
+    // Oldest entries beyond capacity would be immediately evicted (and
+    // would pollute the eviction counter), so skip them up front.
+    const std::size_t skip =
+        entries.size() > capacity_ ? entries.size() - capacity_ : 0;
+    for (std::size_t i = skip; i < entries.size(); ++i) {
+        lru_.emplace_front(std::move(entries[i].first),
+                           std::move(entries[i].second));
+        index_.emplace(lru_.front().first, lru_.begin());
+    }
+    return true;
 }
 
 }  // namespace cichar::core

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/dsv.hpp"
@@ -78,6 +80,21 @@ public:
     void insert(const TripCacheKey& key, TripPointRecord record);
 
     void clear();
+
+    /// Serializes every entry (least-recently-used first, so a load
+    /// re-inserts them back into the same recency order) plus the given
+    /// device/process identity string into a versioned binary stream.
+    /// Doubles are stored as bit patterns, so a round trip is bit-exact.
+    /// Returns stream success.
+    bool save(std::ostream& out, std::string_view identity) const;
+
+    /// Replaces the contents from a stream produced by save(). Returns
+    /// false — leaving the cache untouched — when the magic/version or
+    /// the identity string does not match, or the stream is truncated or
+    /// corrupt. Hit/miss/eviction counters are not restored: stats always
+    /// describe the current run. When the stream holds more entries than
+    /// `capacity()`, only the most recent ones are kept.
+    bool load(std::istream& in, std::string_view identity);
 
 private:
     using Entry = std::pair<TripCacheKey, TripPointRecord>;

@@ -14,6 +14,18 @@ LinguisticVariable::LinguisticVariable(std::string name, double domain_lo,
 void LinguisticVariable::add_term(std::string term_name,
                                   MembershipFunction membership) {
     terms_.push_back(FuzzyTerm{std::move(term_name), membership});
+    // Rebuild the default-resolution defuzzification grid. Grid x values
+    // are computed exactly as in defuzzify's loop, so cached memberships
+    // match on-the-fly evaluation bit for bit.
+    const std::size_t samples = kDefaultDefuzzSamples;
+    const double step = (hi_ - lo_) / static_cast<double>(samples - 1);
+    grid_.resize(terms_.size() * samples);
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+        for (std::size_t s = 0; s < samples; ++s) {
+            const double x = lo_ + step * static_cast<double>(s);
+            grid_[i * samples + s] = terms_[i].membership(x);
+        }
+    }
 }
 
 std::size_t LinguisticVariable::term_index(std::string_view term_name) const {
@@ -51,17 +63,42 @@ double LinguisticVariable::defuzzify(std::span<const double> activations,
     double weighted = 0.0;
     double total = 0.0;
     const double step = (hi_ - lo_) / static_cast<double>(samples - 1);
-    for (std::size_t s = 0; s < samples; ++s) {
-        const double x = lo_ + step * static_cast<double>(s);
-        double mu = 0.0;
+    if (samples == kDefaultDefuzzSamples &&
+        grid_.size() == terms_.size() * samples) {
+        // Fast path: membership values come from the add_term cache, and
+        // the aggregate mu[s] is built term-by-term over contiguous grid
+        // rows (vectorizable min/max). Per grid point the max still folds
+        // terms in ascending order, and the weighted/total accumulation
+        // below runs in the same ascending-s order as the generic loop,
+        // so the result is bit-identical — only the membership function
+        // calls are gone. Clamping an activation is loop-invariant, so it
+        // is hoisted per term.
+        double mu[kDefaultDefuzzSamples] = {};
         for (std::size_t i = 0; i < terms_.size(); ++i) {
-            const double clipped =
-                std::min(std::clamp(activations[i], 0.0, 1.0),
-                         terms_[i].membership(x));
-            mu = std::max(mu, clipped);
+            const double a = std::clamp(activations[i], 0.0, 1.0);
+            const double* row = grid_.data() + i * samples;
+            for (std::size_t s = 0; s < samples; ++s) {
+                mu[s] = std::max(mu[s], std::min(a, row[s]));
+            }
         }
-        weighted += mu * x;
-        total += mu;
+        for (std::size_t s = 0; s < samples; ++s) {
+            const double x = lo_ + step * static_cast<double>(s);
+            weighted += mu[s] * x;
+            total += mu[s];
+        }
+    } else {
+        for (std::size_t s = 0; s < samples; ++s) {
+            const double x = lo_ + step * static_cast<double>(s);
+            double mu = 0.0;
+            for (std::size_t i = 0; i < terms_.size(); ++i) {
+                const double clipped =
+                    std::min(std::clamp(activations[i], 0.0, 1.0),
+                             terms_[i].membership(x));
+                mu = std::max(mu, clipped);
+            }
+            weighted += mu * x;
+            total += mu;
+        }
     }
     if (total <= 0.0) return 0.5 * (lo_ + hi_);
     return weighted / total;

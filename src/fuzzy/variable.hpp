@@ -45,18 +45,28 @@ public:
     /// Index of the term with the highest degree at `x`.
     [[nodiscard]] std::size_t best_term(double x) const;
 
+    /// Grid resolution of the cached default defuzzification.
+    static constexpr std::size_t kDefaultDefuzzSamples = 201;
+
     /// Centroid defuzzification: given per-term activation levels (clipped
     /// Mamdani aggregation, max-combined), integrates over the domain with
     /// `samples` points. Returns the domain midpoint when all activations
-    /// are zero.
-    [[nodiscard]] double defuzzify(std::span<const double> activations,
-                                   std::size_t samples = 201) const;
+    /// are zero. At the default resolution the per-term membership values
+    /// on the grid come from a cache built in add_term — the same
+    /// function evaluated at the same points, so results are bit-identical
+    /// to the uncached loop while skipping ~terms * samples membership
+    /// calls per decode (the hot cost of committee candidate scoring).
+    [[nodiscard]] double defuzzify(
+        std::span<const double> activations,
+        std::size_t samples = kDefaultDefuzzSamples) const;
 
 private:
     std::string name_;
     double lo_;
     double hi_;
     std::vector<FuzzyTerm> terms_;
+    /// terms x kDefaultDefuzzSamples membership values, term-major.
+    std::vector<double> grid_;
 };
 
 }  // namespace cichar::fuzzy

@@ -128,6 +128,99 @@ void VotingCommittee::vote(std::span<const double> x, VoteScratch& scratch,
     result.dispersion = dispersion / static_cast<double>(width);
 }
 
+void VotingCommittee::predict_batch(std::span<const double> xs,
+                                    std::size_t batch,
+                                    BatchVoteScratch& scratch,
+                                    std::vector<double>& means) const {
+    assert(!members_.empty());
+    const std::size_t width = members_.front().output_size();
+    means.assign(batch * width, 0.0);
+    if (batch == 0) return;
+    pack_batch(xs, batch, members_.front().input_size(), scratch.packed);
+    for (const Mlp& net : members_) {
+        const std::span<const double> out =
+            net.forward_batch_packed(scratch.packed, batch, scratch.forward);
+        for (std::size_t b = 0; b < batch; ++b) {
+            for (std::size_t o = 0; o < width; ++o) {
+                means[b * width + o] += out[o * batch + b];
+            }
+        }
+    }
+    for (double& v : means) v /= static_cast<double>(members_.size());
+}
+
+void VotingCommittee::vote_batch(std::span<const double> xs, std::size_t batch,
+                                 BatchVoteScratch& scratch,
+                                 std::vector<VoteResult>& results) const {
+    assert(!members_.empty());
+    const std::size_t width = members_.front().output_size();
+    const std::size_t members = members_.size();
+    results.resize(batch);
+    if (batch == 0) return;
+
+    // One packed feature matrix feeds every member's batched forward.
+    pack_batch(xs, batch, members_.front().input_size(), scratch.packed);
+    scratch.member_outputs.resize(members * width * batch);
+    for (std::size_t m = 0; m < members; ++m) {
+        const std::span<const double> out = members_[m].forward_batch_packed(
+            scratch.packed, batch, scratch.forward);
+        std::copy(out.begin(), out.end(),
+                  scratch.member_outputs.begin() +
+                      static_cast<std::ptrdiff_t>(m * width * batch));
+    }
+
+    // Per-sample statistics in the exact accumulation order of the
+    // scalar vote(): members ascending, first-max-wins argmaxes.
+    scratch.class_votes.resize(width);
+    for (std::size_t b = 0; b < batch; ++b) {
+        VoteResult& result = results[b];
+        result.mean_output.assign(width, 0.0);
+        std::fill(scratch.class_votes.begin(), scratch.class_votes.end(),
+                  std::size_t{0});
+        for (std::size_t m = 0; m < members; ++m) {
+            const double* out =
+                scratch.member_outputs.data() + m * width * batch;
+            std::size_t best = 0;
+            double best_value = out[b];
+            for (std::size_t o = 0; o < width; ++o) {
+                const double v = out[o * batch + b];
+                result.mean_output[o] += v;
+                if (v > best_value) {
+                    best_value = v;
+                    best = o;
+                }
+            }
+            ++scratch.class_votes[best];
+        }
+        for (double& v : result.mean_output) {
+            v /= static_cast<double>(members);
+        }
+
+        std::size_t majority = 0;
+        for (std::size_t o = 1; o < width; ++o) {
+            if (scratch.class_votes[o] > scratch.class_votes[majority]) {
+                majority = o;
+            }
+        }
+        result.majority_class = majority;
+        result.agreement = static_cast<double>(scratch.class_votes[majority]) /
+                           static_cast<double>(members);
+
+        double dispersion = 0.0;
+        for (std::size_t o = 0; o < width; ++o) {
+            double var = 0.0;
+            for (std::size_t m = 0; m < members; ++m) {
+                const double d =
+                    scratch.member_outputs[m * width * batch + o * batch + b] -
+                    result.mean_output[o];
+                var += d * d;
+            }
+            dispersion += std::sqrt(var / static_cast<double>(members));
+        }
+        result.dispersion = dispersion / static_cast<double>(width);
+    }
+}
+
 VoteResult VotingCommittee::vote(std::span<const double> x) const {
     VoteScratch scratch;
     VoteResult result;

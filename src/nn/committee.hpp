@@ -44,6 +44,16 @@ struct VoteScratch {
     std::vector<std::size_t> class_votes;
 };
 
+/// Reusable buffers for batched committee scoring; one per thread. The
+/// candidate feature matrix is packed once and reused across every
+/// member's forward_batch_packed call.
+struct BatchVoteScratch {
+    BatchScratch forward;
+    std::vector<double> packed;          ///< [input][batch], shared by members
+    std::vector<double> member_outputs;  ///< members × [output][batch]
+    std::vector<std::size_t> class_votes;
+};
+
 class VotingCommittee {
 public:
     VotingCommittee() = default;
@@ -82,6 +92,23 @@ public:
     /// Allocation-free vote into `result`.
     void vote(std::span<const double> x, VoteScratch& scratch,
               VoteResult& result) const;
+
+    /// Batched prediction over `batch` row-major sample vectors. `means`
+    /// is resized to batch * output width, sample-major: sample b's mean
+    /// output o lands at [b * width + o]. Per-sample member accumulation
+    /// order matches predict(), so results are bit-identical to the
+    /// scalar path at any batch size.
+    void predict_batch(std::span<const double> xs, std::size_t batch,
+                       BatchVoteScratch& scratch,
+                       std::vector<double>& means) const;
+
+    /// Batched vote over `batch` row-major sample vectors; `results` is
+    /// resized to `batch`. Every statistic (mean, majority, agreement,
+    /// dispersion) is accumulated in the same order as the scalar vote(),
+    /// so each entry is bit-identical to vote() on that sample.
+    void vote_batch(std::span<const double> xs, std::size_t batch,
+                    BatchVoteScratch& scratch,
+                    std::vector<VoteResult>& results) const;
 
     // Serialization hooks (weights_io).
     void set_members(std::vector<Mlp> members,

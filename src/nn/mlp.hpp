@@ -61,6 +61,25 @@ struct ForwardScratch {
     std::vector<double> next;
 };
 
+/// Buffers for batch-major inference. Activations are stored
+/// feature-major — row o holds sample values [o * batch, o * batch +
+/// batch) — so the layer kernel's inner loop runs contiguously over the
+/// batch dimension. Grows to the widest layer seen, then stops
+/// allocating. Not thread-safe: one scratch per thread.
+struct BatchScratch {
+    std::size_t batch = 0;  ///< samples in the last forward_batch call
+    std::size_t width = 0;  ///< output rows after the last call
+    std::vector<double> packed;   ///< feature-major staging for pack_batch
+    std::vector<double> current;  ///< final activations (see layout above)
+    std::vector<double> next;     ///< ping-pong partner of `current`
+};
+
+/// Transposes `batch` row-major sample vectors of `width` features
+/// (sample after sample in `xs`) into feature-major storage: after the
+/// call, packed[f * batch + b] == xs[b * width + f].
+void pack_batch(std::span<const double> xs, std::size_t batch,
+                std::size_t width, std::vector<double>& packed);
+
 class Mlp {
 public:
     Mlp() = default;
@@ -93,6 +112,23 @@ public:
     /// and stays valid until the scratch is used again.
     [[nodiscard]] std::span<const double> forward(std::span<const double> x,
                                                   ForwardScratch& scratch) const;
+
+    /// Batch-major inference over `batch` row-major sample vectors
+    /// (sample after sample in `xs`, each input_size() wide). Returns the
+    /// feature-major output matrix — output o of sample b lives at
+    /// [o * batch + b] — pointing into `scratch`. Every sample's
+    /// accumulation visits weights in the same order as forward(), so the
+    /// result is bit-identical to the scalar path at any batch size.
+    [[nodiscard]] std::span<const double> forward_batch(
+        std::span<const double> xs, std::size_t batch,
+        BatchScratch& scratch) const;
+
+    /// Same, from an already feature-major packed input ([input][batch],
+    /// as produced by pack_batch). Lets callers pack one feature matrix
+    /// and reuse it across many nets (committee scoring).
+    [[nodiscard]] std::span<const double> forward_batch_packed(
+        std::span<const double> packed, std::size_t batch,
+        BatchScratch& scratch) const;
 
     /// Inference keeping every layer's activated output (index 0 = input
     /// copy); used by backprop.

@@ -4,6 +4,7 @@
 
 #include "device/presets.hpp"
 #include "util/statistics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cichar::core {
 namespace {
@@ -106,6 +107,63 @@ TEST_F(GeneratorFixture, ChromosomesRoundTripSuggestions) {
         EXPECT_EQ(decoded.cycles, suggestions[i].recipe.cycles);
         EXPECT_NEAR(decoded.bank_conflict_bias,
                     suggestions[i].recipe.bank_conflict_bias, 1e-6);
+    }
+}
+
+TEST_F(GeneratorFixture, TopKIdenticalAtEveryBatchAndJobsCombination) {
+    const LearnResult learned = learn();
+    const NnTestGenerator generator(learned.model);
+
+    // Reference: serial scoring one candidate per batch.
+    ScoringOptions reference_options;
+    reference_options.jobs = 1;
+    reference_options.batch = 1;
+    util::Rng reference_rng(11);
+    const auto reference =
+        generator.suggest(300, 12, reference_rng, reference_options);
+    ASSERT_EQ(reference.size(), 12u);
+
+    for (const std::size_t batch :
+         {std::size_t{1}, std::size_t{8}, std::size_t{64}}) {
+        for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+            ScoringOptions options;
+            options.jobs = jobs;
+            options.batch = batch;
+            util::Rng rng(11);
+            const auto got = generator.suggest(300, 12, rng, options);
+            ASSERT_EQ(got.size(), reference.size())
+                << "batch " << batch << " jobs " << jobs;
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i].recipe, reference[i].recipe);
+                EXPECT_EQ(got[i].conditions, reference[i].conditions);
+                EXPECT_EQ(got[i].predicted_wcr, reference[i].predicted_wcr)
+                    << "batch " << batch << " jobs " << jobs << " rank " << i;
+                EXPECT_EQ(got[i].vote_agreement, reference[i].vote_agreement);
+            }
+        }
+    }
+}
+
+TEST_F(GeneratorFixture, CallerOwnedPoolReusedAcrossRounds) {
+    const LearnResult learned = learn();
+    const NnTestGenerator generator(learned.model);
+
+    util::ThreadPool pool(4);
+    ScoringOptions options;
+    options.jobs = 4;
+    options.batch = 32;
+    options.pool = &pool;
+
+    util::Rng pooled_rng(13);
+    util::Rng serial_rng(13);
+    for (int round = 0; round < 3; ++round) {
+        const auto pooled = generator.suggest(150, 6, pooled_rng, options);
+        const auto serial = generator.suggest(150, 6, serial_rng);
+        ASSERT_EQ(pooled.size(), serial.size());
+        for (std::size_t i = 0; i < pooled.size(); ++i) {
+            EXPECT_EQ(pooled[i].predicted_wcr, serial[i].predicted_wcr);
+            EXPECT_EQ(pooled[i].recipe, serial[i].recipe);
+        }
     }
 }
 

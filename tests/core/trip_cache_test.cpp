@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace cichar::core {
 namespace {
 
@@ -120,6 +122,114 @@ TEST(TripCacheTest, ClearKeepsStats) {
     EXPECT_EQ(cache.lookup(key), nullptr);
     EXPECT_EQ(cache.stats().hits, 1u);
     EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TripCachePersistTest, SaveLoadRoundTripIsBitExact) {
+    TripPointCache cache(8);
+    TripCacheKey a = make_key();
+    a.recipe.cycles = 100;
+    a.conditions.vdd_volts = 1.62000000000000011;  // exercises bit-exactness
+    TripCacheKey b = make_key();
+    b.recipe.cycles = 200;
+    TripPointRecord rb = make_record(31.25);
+    rb.wcr = 0.640000000000000013;
+    rb.wcr_class = ga::WcrClass::kWeakness;
+    cache.insert(a, make_record(25.0));
+    cache.insert(b, rb);
+
+    std::stringstream stream;
+    ASSERT_TRUE(cache.save(stream, "die-7/tdq"));
+
+    TripPointCache loaded(8);
+    ASSERT_TRUE(loaded.load(stream, "die-7/tdq"));
+    EXPECT_EQ(loaded.size(), 2u);
+
+    const TripPointRecord* hit_a = loaded.lookup(a);
+    ASSERT_NE(hit_a, nullptr);
+    EXPECT_EQ(hit_a->trip_point, 25.0);
+    EXPECT_EQ(hit_a->measurements, 7u);
+    EXPECT_TRUE(hit_a->found);
+
+    const TripPointRecord* hit_b = loaded.lookup(b);
+    ASSERT_NE(hit_b, nullptr);
+    EXPECT_EQ(hit_b->wcr, rb.wcr);  // exact, not approximate
+    EXPECT_EQ(hit_b->wcr_class, ga::WcrClass::kWeakness);
+    EXPECT_EQ(hit_b->test_name, "t");
+}
+
+TEST(TripCachePersistTest, LoadPreservesRecencyOrder) {
+    TripPointCache cache(2);
+    TripCacheKey a = make_key();
+    a.recipe.cycles = 100;
+    TripCacheKey b = make_key();
+    b.recipe.cycles = 200;
+    cache.insert(a, make_record(1.0));
+    cache.insert(b, make_record(2.0));  // b most recent, a is LRU
+
+    std::stringstream stream;
+    ASSERT_TRUE(cache.save(stream, "id"));
+    TripPointCache loaded(2);
+    ASSERT_TRUE(loaded.load(stream, "id"));
+
+    // Inserting a third entry must evict `a` (the LRU), proving the
+    // recency order survived the round trip.
+    TripCacheKey c = make_key();
+    c.recipe.cycles = 300;
+    loaded.insert(c, make_record(3.0));
+    EXPECT_EQ(loaded.lookup(a), nullptr);
+    EXPECT_NE(loaded.lookup(b), nullptr);
+}
+
+TEST(TripCachePersistTest, IdentityMismatchRejectedAndCacheUntouched) {
+    TripPointCache source(4);
+    source.insert(make_key(), make_record(1.0));
+    std::stringstream stream;
+    ASSERT_TRUE(source.save(stream, "lot-A"));
+
+    TripPointCache target(4);
+    TripCacheKey existing = make_key();
+    existing.recipe.cycles = 900;
+    target.insert(existing, make_record(9.0));
+    EXPECT_FALSE(target.load(stream, "lot-B"));
+    EXPECT_EQ(target.size(), 1u);  // untouched
+    EXPECT_NE(target.lookup(existing), nullptr);
+}
+
+TEST(TripCachePersistTest, CorruptOrTruncatedStreamRejected) {
+    TripPointCache cache(4);
+    cache.insert(make_key(), make_record(1.0));
+    std::stringstream stream;
+    ASSERT_TRUE(cache.save(stream, "id"));
+    const std::string bytes = stream.str();
+
+    TripPointCache loaded(4);
+    std::stringstream bad_magic("NOTACACHE-AT-ALL");
+    EXPECT_FALSE(loaded.load(bad_magic, "id"));
+
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+    EXPECT_FALSE(loaded.load(truncated, "id"));
+    EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(TripCachePersistTest, OverCapacityLoadKeepsMostRecent) {
+    TripPointCache big(8);
+    TripCacheKey keys[4];
+    for (int i = 0; i < 4; ++i) {
+        keys[i] = make_key();
+        keys[i].recipe.cycles = 100 + static_cast<std::uint32_t>(i);
+        big.insert(keys[i], make_record(static_cast<double>(i)));
+    }
+    std::stringstream stream;
+    ASSERT_TRUE(big.save(stream, "id"));
+
+    TripPointCache small(2);
+    ASSERT_TRUE(small.load(stream, "id"));
+    EXPECT_EQ(small.size(), 2u);
+    EXPECT_EQ(small.stats().evictions, 0u);
+    EXPECT_EQ(small.lookup(keys[0]), nullptr);
+    EXPECT_EQ(small.lookup(keys[1]), nullptr);
+    EXPECT_NE(small.lookup(keys[2]), nullptr);
+    EXPECT_NE(small.lookup(keys[3]), nullptr);
 }
 
 TEST(TripCacheStatsTest, MergeAccumulates) {

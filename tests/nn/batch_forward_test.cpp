@@ -1,0 +1,254 @@
+// Bit-identity contract of the batch-major inference engine: at any
+// batch size, every sample's batched result must equal the scalar
+// forward() result bit for bit (DESIGN.md §9). The comparisons below are
+// exact (EXPECT_EQ on doubles), not tolerance-based, on purpose.
+#include "nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "nn/committee.hpp"
+#include "nn/dataset.hpp"
+#include "nn/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace cichar::nn {
+namespace {
+
+Mlp random_net(const std::vector<std::size_t>& sizes, Activation hidden,
+               Activation output, std::uint64_t seed) {
+    Mlp net(sizes, hidden, output);
+    util::Rng rng(seed);
+    net.init_weights(rng);
+    return net;
+}
+
+std::vector<double> random_samples(std::size_t count, std::size_t width,
+                                   std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<double> xs(count * width);
+    for (double& v : xs) v = rng.uniform(-2.0, 2.0);
+    return xs;
+}
+
+void expect_batch_matches_scalar(const Mlp& net, std::size_t batch,
+                                 std::uint64_t seed) {
+    const std::vector<double> xs =
+        random_samples(batch, net.input_size(), seed);
+    BatchScratch batch_scratch;
+    const std::span<const double> batched =
+        net.forward_batch(xs, batch, batch_scratch);
+    ASSERT_EQ(batched.size(), net.output_size() * batch);
+
+    ForwardScratch scalar_scratch;
+    for (std::size_t b = 0; b < batch; ++b) {
+        const std::span<const double> scalar = net.forward(
+            std::span<const double>(xs.data() + b * net.input_size(),
+                                    net.input_size()),
+            scalar_scratch);
+        for (std::size_t o = 0; o < net.output_size(); ++o) {
+            EXPECT_EQ(batched[o * batch + b], scalar[o])
+                << "batch " << batch << " sample " << b << " output " << o;
+        }
+    }
+}
+
+TEST(BatchForwardTest, BitIdenticalAcrossAllActivations) {
+    const std::vector<std::size_t> sizes{14, 24, 12, 7};
+    const Activation activations[] = {Activation::kSigmoid, Activation::kTanh,
+                                      Activation::kRelu, Activation::kLinear};
+    std::uint64_t seed = 1;
+    for (const Activation hidden : activations) {
+        for (const Activation output : activations) {
+            const Mlp net = random_net(sizes, hidden, output, ++seed);
+            expect_batch_matches_scalar(net, 64, seed * 101);
+        }
+    }
+}
+
+TEST(BatchForwardTest, BitIdenticalAtRaggedAndTiledSizes) {
+    // Sizes straddling the 128-column tile: partial single tile, exact
+    // tiles, and a ragged last tile.
+    const Mlp net = random_net({9, 17, 5}, Activation::kTanh,
+                               Activation::kSigmoid, 42);
+    for (const std::size_t batch :
+         {std::size_t{1}, std::size_t{3}, std::size_t{8}, std::size_t{64},
+          std::size_t{127}, std::size_t{128}, std::size_t{129},
+          std::size_t{300}}) {
+        expect_batch_matches_scalar(net, batch, 1000 + batch);
+    }
+}
+
+TEST(BatchForwardTest, OddLayerCountLandsInCurrent) {
+    // 1-layer and 3-layer nets exercise both ping-pong parities.
+    const Mlp one = random_net({6, 4}, Activation::kLinear,
+                               Activation::kSigmoid, 7);
+    expect_batch_matches_scalar(one, 33, 70);
+    const Mlp three = random_net({6, 10, 8, 3}, Activation::kRelu,
+                                 Activation::kLinear, 8);
+    expect_batch_matches_scalar(three, 33, 80);
+}
+
+TEST(BatchForwardTest, PackBatchTransposes) {
+    const std::vector<double> xs{1, 2, 3, 10, 20, 30};  // 2 samples, width 3
+    std::vector<double> packed;
+    pack_batch(xs, 2, 3, packed);
+    const std::vector<double> expected{1, 10, 2, 20, 3, 30};
+    EXPECT_EQ(packed, expected);
+}
+
+TEST(BatchForwardTest, ScratchReuseAcrossShrinkingBatches) {
+    // A scratch grown by a large batch must still produce exact results
+    // for later smaller batches (stale buffer contents must not leak).
+    const Mlp net = random_net({5, 9, 2}, Activation::kTanh,
+                               Activation::kSigmoid, 11);
+    BatchScratch scratch;
+    const std::vector<double> big = random_samples(150, 5, 3);
+    (void)net.forward_batch(big, 150, scratch);
+    const std::vector<double> small = random_samples(4, 5, 4);
+    const std::span<const double> batched =
+        net.forward_batch(small, 4, scratch);
+    ForwardScratch scalar_scratch;
+    for (std::size_t b = 0; b < 4; ++b) {
+        const std::span<const double> scalar = net.forward(
+            std::span<const double>(small.data() + b * 5, 5), scalar_scratch);
+        for (std::size_t o = 0; o < 2; ++o) {
+            EXPECT_EQ(batched[o * 4 + b], scalar[o]);
+        }
+    }
+}
+
+VotingCommittee random_committee(std::size_t members,
+                                 const std::vector<std::size_t>& sizes,
+                                 std::uint64_t seed) {
+    std::vector<Mlp> nets;
+    std::vector<double> errors;
+    for (std::size_t m = 0; m < members; ++m) {
+        nets.push_back(random_net(sizes, Activation::kTanh,
+                                  Activation::kSigmoid, seed + m));
+        errors.push_back(0.01 * static_cast<double>(m + 1));
+    }
+    VotingCommittee committee;
+    committee.set_members(std::move(nets), std::move(errors));
+    return committee;
+}
+
+TEST(BatchVoteTest, PredictBatchBitIdentical) {
+    const VotingCommittee committee = random_committee(5, {14, 12, 7}, 21);
+    for (const std::size_t batch :
+         {std::size_t{1}, std::size_t{8}, std::size_t{65}}) {
+        const std::vector<double> xs = random_samples(batch, 14, 500 + batch);
+        BatchVoteScratch scratch;
+        std::vector<double> means;
+        committee.predict_batch(xs, batch, scratch, means);
+        ASSERT_EQ(means.size(), batch * 7);
+        for (std::size_t b = 0; b < batch; ++b) {
+            const std::vector<double> scalar = committee.predict(
+                std::span<const double>(xs.data() + b * 14, 14));
+            for (std::size_t o = 0; o < 7; ++o) {
+                EXPECT_EQ(means[b * 7 + o], scalar[o]);
+            }
+        }
+    }
+}
+
+TEST(BatchVoteTest, VoteBatchBitIdentical) {
+    const VotingCommittee committee = random_committee(7, {14, 10, 5}, 33);
+    for (const std::size_t batch :
+         {std::size_t{1}, std::size_t{8}, std::size_t{64},
+          std::size_t{131}}) {
+        const std::vector<double> xs = random_samples(batch, 14, 900 + batch);
+        BatchVoteScratch scratch;
+        std::vector<VoteResult> results;
+        committee.vote_batch(xs, batch, scratch, results);
+        ASSERT_EQ(results.size(), batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            const VoteResult scalar = committee.vote(
+                std::span<const double>(xs.data() + b * 14, 14));
+            EXPECT_EQ(results[b].mean_output, scalar.mean_output);
+            EXPECT_EQ(results[b].majority_class, scalar.majority_class);
+            EXPECT_EQ(results[b].agreement, scalar.agreement);
+            EXPECT_EQ(results[b].dispersion, scalar.dispersion);
+        }
+    }
+}
+
+TEST(BatchVoteTest, ScratchReusableAcrossCommittees) {
+    const VotingCommittee a = random_committee(3, {6, 8, 4}, 1);
+    const VotingCommittee b = random_committee(5, {6, 5, 2}, 9);
+    BatchVoteScratch scratch;
+    std::vector<VoteResult> results;
+    const std::vector<double> xs = random_samples(10, 6, 77);
+    a.vote_batch(xs, 10, scratch, results);
+    b.vote_batch(xs, 10, scratch, results);
+    ASSERT_EQ(results.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i) {
+        const VoteResult scalar =
+            b.vote(std::span<const double>(xs.data() + i * 6, 6));
+        EXPECT_EQ(results[i].mean_output, scalar.mean_output);
+        EXPECT_EQ(results[i].dispersion, scalar.dispersion);
+    }
+}
+
+TEST(BatchEvaluateTest, MseMatchesScalarReference) {
+    const Mlp net = random_net({4, 6, 3}, Activation::kTanh,
+                               Activation::kSigmoid, 5);
+    util::Rng rng(123);
+    Dataset data(4, 3);
+    for (std::size_t s = 0; s < 150; ++s) {  // not a multiple of the tile
+        std::vector<double> in(4);
+        std::vector<double> target(3);
+        for (double& v : in) v = rng.uniform(-1.0, 1.0);
+        for (double& v : target) v = rng.uniform(0.0, 1.0);
+        data.add(std::move(in), std::move(target));
+    }
+
+    // Reference: the pre-batching scalar accumulation loop.
+    ForwardScratch scratch;
+    double total = 0.0;
+    for (std::size_t s = 0; s < data.size(); ++s) {
+        const std::span<const double> out = net.forward(data.input(s), scratch);
+        const auto target = data.target(s);
+        for (std::size_t o = 0; o < out.size(); ++o) {
+            const double e = out[o] - target[o];
+            total += e * e;
+        }
+    }
+    const double reference =
+        total / (static_cast<double>(data.size()) * 3.0);
+
+    EXPECT_EQ(evaluate_mse(net, data), reference);
+}
+
+// The deterministic (vectorizable) activations must track libm closely —
+// their whole point is speed without a semantic change — and span
+// activation must be bitwise the same function as the per-element one.
+TEST(DetActivationTest, TracksLibmAndMatchesSpanBitwise) {
+    std::vector<double> xs;
+    for (double x = -30.0; x <= 30.0; x += 0.0173) xs.push_back(x);
+    xs.insert(xs.end(), {0.0, -0.0, 1e-12, -1e-12, 700.0, -700.0});
+
+    std::vector<double> tanh_span(xs);
+    std::vector<double> sigmoid_span(xs);
+    activate_span(Activation::kTanh, tanh_span);
+    activate_span(Activation::kSigmoid, sigmoid_span);
+
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double x = xs[i];
+        const double t = activate(Activation::kTanh, x);
+        const double s = activate(Activation::kSigmoid, x);
+        EXPECT_NEAR(t, std::tanh(x), 1e-12) << "x = " << x;
+        EXPECT_NEAR(s, 1.0 / (1.0 + std::exp(-x)), 1e-12) << "x = " << x;
+        EXPECT_EQ(tanh_span[i], t) << "x = " << x;
+        EXPECT_EQ(sigmoid_span[i], s) << "x = " << x;
+    }
+    // Exactness where tests and symmetry arguments rely on it.
+    EXPECT_EQ(activate(Activation::kTanh, 0.0), 0.0);
+    EXPECT_EQ(activate(Activation::kSigmoid, 0.0), 0.5);
+}
+
+}  // namespace
+}  // namespace cichar::nn

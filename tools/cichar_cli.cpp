@@ -3,12 +3,15 @@
 //   cichar selftest
 //       bring up a simulated die + tester, sanity-check trip searches
 //   cichar hunt [--seed N] [--coding fuzzy|numeric] [--generations G]
-//               [--populations P] [--jobs J] [--cache on|off]
-//               [--db FILE] [--model FILE]
+//               [--populations P] [--jobs J] [--batch B] [--cache on|off]
+//               [--cache-file FILE] [--db FILE] [--model FILE]
 //       full Fig.4 + Fig.5 worst-case hunt; optionally persist artifacts.
 //       --jobs J != 1 trains the committee and measures GA fitness on J
 //       worker threads (replica evaluation, byte-identical at any J);
-//       --cache memoizes trip points of duplicated GA individuals
+//       --batch B sets candidates per batched committee pass in NN
+//       seeding (results identical at any B); --cache memoizes trip
+//       points of duplicated GA individuals; --cache-file persists that
+//       cache across runs, warm-starting repeated hunts over a lot
 //   cichar shmoo [--seed N] [--tests N] [--csv FILE]
 //       multi-test overlay shmoo (Fig. 8)
 //   cichar screen --db FILE [--limit L] [--lot N] [--seed N]
@@ -53,7 +56,8 @@ int usage() {
         "  cichar selftest\n"
         "  cichar hunt [--seed N] [--coding fuzzy|numeric]\n"
         "              [--generations G] [--populations P]\n"
-        "              [--jobs J] [--cache on|off]\n"
+        "              [--jobs J] [--batch B] [--cache on|off]\n"
+        "              [--cache-file FILE]\n"
         "              [--db FILE] [--model FILE] [--report FILE]\n"
         "  cichar shmoo [--seed N] [--tests N] [--csv FILE]\n"
         "  cichar screen --db FILE [--limit L] [--lot N] [--seed N]\n"
@@ -116,9 +120,17 @@ int cmd_hunt(const Args& args) {
     options.learner.committee.jobs = jobs;
     options.optimizer.parallel.enabled = jobs != 1;
     options.optimizer.parallel.jobs = jobs;
+    // --batch B: candidates per batched committee pass during NN seeding
+    // (throughput knob only; suggestions are identical at any B).
+    options.optimizer.nn_score_batch =
+        static_cast<std::size_t>(args.get_u64("batch", 64));
     // --cache on|off: trip-point memoization across GA duplicates (on by
-    // default for the hunt).
+    // default for the hunt). --cache-file FILE loads the cache before the
+    // hunt (warm start) and saves it after, keyed by the parameter name.
     options.optimizer.cache.enabled = args.get("cache", "on") != "off";
+    if (args.has("cache-file")) {
+        options.optimizer.cache.file = args.get("cache-file");
+    }
 
     const ate::Parameter param = ate::Parameter::data_valid_time();
     const core::DeviceCharacterizer characterizer(tester, param, options);
@@ -141,10 +153,11 @@ int cmd_hunt(const Args& args) {
                 report.ate_measurements);
     if (report.cache_stats.lookups() > 0) {
         std::printf("  trip cache: %llu hits / %llu misses (%.1f%%), "
-                    "%zu job(s)\n",
+                    "%zu preloaded, %zu job(s)\n",
                     static_cast<unsigned long long>(report.cache_stats.hits),
                     static_cast<unsigned long long>(report.cache_stats.misses),
-                    100.0 * report.cache_stats.hit_rate(), report.jobs);
+                    100.0 * report.cache_stats.hit_rate(),
+                    report.cache_preloaded, report.jobs);
     }
 
     core::DesignSpecVariation pooled = learned.dsv;
