@@ -1,0 +1,266 @@
+#include "ate/fault_injector.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace cichar::ate {
+namespace {
+
+bool parse_double(std::string_view text, double& value) {
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    return ec == std::errc{} && ptr == end;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& value) {
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    return ec == std::errc{} && ptr == end;
+}
+
+bool valid_rate(double rate) { return rate >= 0.0 && rate <= 1.0; }
+
+}  // namespace
+
+bool FaultProfile::any() const noexcept {
+    return transient_rate > 0.0 || stuck_rate > 0.0 || timeout_rate > 0.0 ||
+           site_death_rate > 0.0;
+}
+
+FaultProfile FaultProfile::none() noexcept { return FaultProfile{}; }
+
+FaultProfile FaultProfile::transient_only(double rate,
+                                          std::uint64_t seed) noexcept {
+    FaultProfile profile;
+    profile.transient_rate = rate;
+    profile.seed = seed;
+    return profile;
+}
+
+FaultProfile FaultProfile::moderate(std::uint64_t seed) noexcept {
+    FaultProfile profile;
+    profile.transient_rate = 0.03;
+    profile.stuck_rate = 0.002;
+    profile.timeout_rate = 0.01;
+    profile.site_death_rate = 0.0;
+    profile.seed = seed;
+    return profile;
+}
+
+std::optional<FaultProfile> FaultProfile::parse(std::string_view spec) {
+    if (spec.empty() || spec == "off" || spec == "none") {
+        return FaultProfile::none();
+    }
+    if (spec == "moderate") return FaultProfile::moderate();
+    if (spec == "transient") return FaultProfile::transient_only(0.05);
+    if (spec.starts_with("transient:")) {
+        double rate = 0.0;
+        if (!parse_double(spec.substr(10), rate) || !valid_rate(rate)) {
+            return std::nullopt;
+        }
+        return FaultProfile::transient_only(rate);
+    }
+
+    FaultProfile profile;
+    std::string_view rest = spec;
+    while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string_view item = rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(comma + 1);
+        const std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos) return std::nullopt;
+        const std::string_view key = item.substr(0, eq);
+        const std::string_view value = item.substr(eq + 1);
+        double rate = 0.0;
+        if (key == "transient") {
+            if (!parse_double(value, rate) || !valid_rate(rate)) {
+                return std::nullopt;
+            }
+            profile.transient_rate = rate;
+        } else if (key == "stuck") {
+            if (!parse_double(value, rate) || !valid_rate(rate)) {
+                return std::nullopt;
+            }
+            profile.stuck_rate = rate;
+        } else if (key == "timeout") {
+            if (!parse_double(value, rate) || !valid_rate(rate)) {
+                return std::nullopt;
+            }
+            profile.timeout_rate = rate;
+        } else if (key == "death") {
+            if (!parse_double(value, rate) || !valid_rate(rate)) {
+                return std::nullopt;
+            }
+            profile.site_death_rate = rate;
+        } else if (key == "span") {
+            if (!parse_double(value, rate) || rate < 0.0) return std::nullopt;
+            profile.transient_span_fraction = rate;
+        } else if (key == "stuck-len") {
+            std::uint64_t length = 0;
+            if (!parse_u64(value, length) || length == 0 ||
+                length > 1'000'000) {
+                return std::nullopt;
+            }
+            profile.stuck_duration = static_cast<std::uint32_t>(length);
+        } else if (key == "seed") {
+            std::uint64_t seed = 0;
+            if (!parse_u64(value, seed)) return std::nullopt;
+            profile.seed = seed;
+        } else {
+            return std::nullopt;
+        }
+    }
+    return profile;
+}
+
+std::string FaultProfile::describe() const {
+    if (!any()) return "off";
+    std::ostringstream out;
+    const char* sep = "";
+    if (transient_rate > 0.0) {
+        out << sep << "transient=" << transient_rate;
+        sep = " ";
+    }
+    if (stuck_rate > 0.0) {
+        out << sep << "stuck=" << stuck_rate;
+        sep = " ";
+    }
+    if (timeout_rate > 0.0) {
+        out << sep << "timeout=" << timeout_rate;
+        sep = " ";
+    }
+    if (site_death_rate > 0.0) {
+        out << sep << "death=" << site_death_rate;
+        sep = " ";
+    }
+    out << sep << "seed=" << seed;
+    return out.str();
+}
+
+void InjectionStats::merge(const InjectionStats& other) noexcept {
+    measurements += other.measurements;
+    transients += other.transients;
+    stuck_measurements += other.stuck_measurements;
+    stuck_episodes += other.stuck_episodes;
+    timeouts += other.timeouts;
+    site_deaths += other.site_deaths;
+}
+
+void InjectionStats::save(std::string& out) const {
+    util::put_u64(out, measurements);
+    util::put_u64(out, transients);
+    util::put_u64(out, stuck_measurements);
+    util::put_u64(out, stuck_episodes);
+    util::put_u64(out, timeouts);
+    util::put_u64(out, site_deaths);
+}
+
+InjectionStats InjectionStats::load(util::ByteReader& in) {
+    InjectionStats stats;
+    stats.measurements = in.get_u64();
+    stats.transients = in.get_u64();
+    stats.stuck_measurements = in.get_u64();
+    stats.stuck_episodes = in.get_u64();
+    stats.timeouts = in.get_u64();
+    stats.site_deaths = in.get_u64();
+    return stats;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile)
+    : profile_(profile), rng_(profile.seed) {}
+
+FaultInjector::Decision FaultInjector::on_measurement(
+    const Parameter& parameter) {
+    if (dead_) throw SiteDeadError{};
+    ++stats_.measurements;
+    Decision decision;
+
+    // Fixed draw discipline: death, timeout, contact, transient. The
+    // decision sequence depends only on the profile and the stream
+    // position, never on the setting being measured.
+    if (profile_.site_death_rate > 0.0 &&
+        rng_.bernoulli(profile_.site_death_rate)) {
+        dead_ = true;
+        ++stats_.site_deaths;
+        throw SiteDeadError{};
+    }
+    if (profile_.timeout_rate > 0.0 && rng_.bernoulli(profile_.timeout_rate)) {
+        ++stats_.timeouts;
+        throw MeasurementTimeout{};
+    }
+    if (stuck_remaining_ > 0) {
+        --stuck_remaining_;
+        ++stats_.stuck_measurements;
+        decision.forced = true;
+        decision.forced_outcome = stuck_outcome_;
+        return decision;
+    }
+    if (profile_.stuck_rate > 0.0 && rng_.bernoulli(profile_.stuck_rate)) {
+        // Open contact (forced fail) or short (forced pass), for the whole
+        // episode.
+        stuck_outcome_ = rng_.bernoulli(0.5);
+        stuck_remaining_ = profile_.stuck_duration > 0
+                               ? profile_.stuck_duration - 1
+                               : 0;
+        ++stats_.stuck_episodes;
+        ++stats_.stuck_measurements;
+        decision.forced = true;
+        decision.forced_outcome = stuck_outcome_;
+        return decision;
+    }
+    if (profile_.transient_rate > 0.0 &&
+        rng_.bernoulli(profile_.transient_rate)) {
+        ++stats_.transients;
+        const double span = parameter.characterization_range() *
+                            profile_.transient_span_fraction;
+        if (rng_.bernoulli(0.2)) {
+            // Full spike: the forced level lands anywhere in +-CR/2.
+            decision.setting_offset =
+                rng_.uniform(-0.5, 0.5) * parameter.characterization_range();
+        } else {
+            decision.setting_offset = rng_.normal(0.0, span);
+        }
+    }
+    return decision;
+}
+
+FaultInjector FaultInjector::fork(std::uint64_t salt) {
+    FaultProfile child_profile = profile_;
+    child_profile.seed = rng_.fork(salt)();
+    return FaultInjector(child_profile);
+}
+
+void FaultInjector::absorb_stats(const InjectionStats& stats) noexcept {
+    stats_.merge(stats);
+}
+
+void FaultInjector::save(std::string& out) const {
+    util::put_rng(out, rng_);
+    util::put_u32(out, stuck_remaining_);
+    util::put_bool(out, stuck_outcome_);
+    util::put_bool(out, dead_);
+    util::put_u64(out, stats_.measurements);
+    util::put_u64(out, stats_.transients);
+    util::put_u64(out, stats_.stuck_measurements);
+    util::put_u64(out, stats_.stuck_episodes);
+    util::put_u64(out, stats_.timeouts);
+    util::put_u64(out, stats_.site_deaths);
+}
+
+void FaultInjector::load(util::ByteReader& in) {
+    rng_ = in.get_rng();
+    stuck_remaining_ = in.get_u32();
+    stuck_outcome_ = in.get_bool();
+    dead_ = in.get_bool();
+    stats_.measurements = in.get_u64();
+    stats_.transients = in.get_u64();
+    stats_.stuck_measurements = in.get_u64();
+    stats_.stuck_episodes = in.get_u64();
+    stats_.timeouts = in.get_u64();
+    stats_.site_deaths = in.get_u64();
+}
+
+}  // namespace cichar::ate

@@ -37,6 +37,46 @@ void MeasurementLog::reset() {
     total_ = PhaseCounters{};
 }
 
+namespace {
+
+void save_counters(std::string& out, const PhaseCounters& counters) {
+    util::put_u64(out, counters.applications);
+    util::put_u64(out, counters.vector_cycles);
+    util::put_double(out, counters.tester_seconds);
+}
+
+PhaseCounters load_counters(util::ByteReader& in) {
+    PhaseCounters counters;
+    counters.applications = in.get_u64();
+    counters.vector_cycles = in.get_u64();
+    counters.tester_seconds = in.get_double();
+    return counters;
+}
+
+}  // namespace
+
+void MeasurementLog::save(std::string& out) const {
+    util::put_string(out, phase_);
+    util::put_u64(out, by_phase_.size());
+    for (const auto& [name, counters] : by_phase_) {
+        util::put_string(out, name);
+        save_counters(out, counters);
+    }
+    save_counters(out, total_);
+}
+
+void MeasurementLog::load(util::ByteReader& in) {
+    MeasurementLog loaded;
+    loaded.phase_ = in.get_string();
+    const std::uint64_t count = in.get_u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::string name = in.get_string();
+        loaded.by_phase_[std::move(name)] = load_counters(in);
+    }
+    loaded.total_ = load_counters(in);
+    *this = std::move(loaded);
+}
+
 std::string MeasurementLog::report() const {
     std::ostringstream out;
     out << "tester activity by phase:\n";

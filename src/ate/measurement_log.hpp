@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "util/binio.hpp"
+
 namespace cichar::ate {
 
 /// Counters for one phase (e.g. "learning", "ga", "shmoo").
@@ -51,6 +53,11 @@ public:
     void merge(const MeasurementLog& other);
 
     void reset();
+
+    /// Checkpoint serialization: active phase, every phase's counters,
+    /// and the running total.
+    void save(std::string& out) const;
+    void load(util::ByteReader& in);
 
     /// Formatted multi-line report of all phases plus the total.
     [[nodiscard]] std::string report() const;

@@ -28,7 +28,22 @@ bool Tester::apply(const testgen::Test& test, const Parameter& parameter,
                    double setting) {
     record(test);
     const double quantized = parameter.quantize(setting);
-    const bool pass = dut_->passes(test, parameter.kind, quantized);
+    bool pass = false;
+    if (injector_ != nullptr && injector_->profile().any()) {
+        // The attempt above is already ledgered, so a thrown timeout /
+        // site death still costs tester time — like real hardware.
+        const FaultInjector::Decision fate =
+            injector_->on_measurement(parameter);
+        if (fate.forced) {
+            pass = fate.forced_outcome;
+        } else {
+            pass = dut_->passes(
+                test, parameter.kind,
+                parameter.quantize(quantized + fate.setting_offset));
+        }
+    } else {
+        pass = dut_->passes(test, parameter.kind, quantized);
+    }
     if (datalog_.enabled()) {
         datalog_.record(DatalogEntry{test.name, parameter.name, quantized,
                                      pass, false});

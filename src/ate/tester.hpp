@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "ate/datalog.hpp"
+#include "ate/fault_injector.hpp"
 #include "ate/measurement_log.hpp"
 #include "ate/parameter.hpp"
 #include "device/dut.hpp"
@@ -72,6 +73,17 @@ public:
         return options_;
     }
 
+    /// Attaches a fault source consulted on every parametric measurement
+    /// (nullptr detaches; the injector must outlive the tester). With no
+    /// injector — or one whose profile has no enabled fault — apply() is
+    /// byte-identical to the uninstrumented tester.
+    void attach_fault_injector(FaultInjector* injector) noexcept {
+        injector_ = injector;
+    }
+    [[nodiscard]] FaultInjector* fault_injector() const noexcept {
+        return injector_;
+    }
+
 private:
     void record(const testgen::Test& test);
 
@@ -79,6 +91,7 @@ private:
     TesterOptions options_;
     MeasurementLog log_;
     Datalog datalog_;
+    FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace cichar::ate

@@ -16,6 +16,30 @@ double worst_case_ratio(const ate::Parameter& parameter,
     return 0.0;
 }
 
+void TripPointRecord::save(std::string& out) const {
+    util::put_string(out, test_name);
+    util::put_double(out, trip_point);
+    util::put_double(out, wcr);
+    util::put_u64(out, static_cast<std::uint64_t>(wcr_class));
+    util::put_bool(out, found);
+    util::put_u64(out, measurements);
+}
+
+TripPointRecord TripPointRecord::load(util::ByteReader& in) {
+    TripPointRecord record;
+    record.test_name = in.get_string();
+    record.trip_point = in.get_double();
+    record.wcr = in.get_double();
+    const std::uint64_t wcr_class = in.get_u64();
+    if (wcr_class > static_cast<std::uint64_t>(ga::WcrClass::kFail)) {
+        throw std::runtime_error("TripPointRecord: bad wcr class");
+    }
+    record.wcr_class = static_cast<ga::WcrClass>(wcr_class);
+    record.found = in.get_bool();
+    record.measurements = static_cast<std::size_t>(in.get_u64());
+    return record;
+}
+
 void DesignSpecVariation::add(TripPointRecord record) {
     records_.push_back(std::move(record));
 }

@@ -12,6 +12,7 @@
 
 #include "ate/parameter.hpp"
 #include "ga/wcr.hpp"
+#include "util/binio.hpp"
 #include "util/statistics.hpp"
 
 namespace cichar::core {
@@ -24,6 +25,11 @@ struct TripPointRecord {
     ga::WcrClass wcr_class = ga::WcrClass::kPass;
     bool found = false;
     std::size_t measurements = 0;  ///< ATE applications spent on this test
+
+    /// Checkpoint serialization; a round trip is bit-exact. load() throws
+    /// std::runtime_error on truncation or an out-of-range class/flag.
+    void save(std::string& out) const;
+    [[nodiscard]] static TripPointRecord load(util::ByteReader& in);
 };
 
 /// Computes the WCR of a measured value against the parameter's spec,

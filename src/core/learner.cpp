@@ -179,6 +179,7 @@ LearnResult CharacterizationLearner::run(
                        tests_measured};
     result.mean_validation_error =
         result.model.committee().mean_validation_error();
+    result.faults = session.policy().counters();
     return result;
 }
 

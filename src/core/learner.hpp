@@ -103,6 +103,9 @@ struct LearnResult {
     bool converged = false;             ///< learnability + generalization met
     double mean_validation_error = 0.0; ///< committee consistency check
     std::size_t tests_measured = 0;
+    /// Resilience-policy activity during learning (all-zero when the
+    /// policy is disabled or nothing went wrong).
+    FaultCounters faults{};
 };
 
 class CharacterizationLearner {

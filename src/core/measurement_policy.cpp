@@ -1,0 +1,234 @@
+#include "core/measurement_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cichar::core {
+
+void FaultCounters::merge(const FaultCounters& other) noexcept {
+    timeouts_absorbed += other.timeouts_absorbed;
+    retried_measurements += other.retried_measurements;
+    abandoned_measurements += other.abandoned_measurements;
+    implausible_trips += other.implausible_trips;
+    confirm_rejections += other.confirm_rejections;
+    researches += other.researches;
+    recovered_trips += other.recovered_trips;
+    unrecovered_trips += other.unrecovered_trips;
+    backoff_seconds += other.backoff_seconds;
+}
+
+std::string FaultCounters::describe() const {
+    if (!any()) return "clean";
+    std::ostringstream out;
+    const char* sep = "";
+    const auto emit = [&](const char* name, std::uint64_t value) {
+        if (value == 0) return;
+        out << sep << name << "=" << value;
+        sep = " ";
+    };
+    emit("timeouts", timeouts_absorbed);
+    emit("retries", retried_measurements);
+    emit("abandoned", abandoned_measurements);
+    emit("implausible", implausible_trips);
+    emit("confirm-rejects", confirm_rejections);
+    emit("researches", researches);
+    emit("recovered", recovered_trips);
+    emit("unrecovered", unrecovered_trips);
+    return out.str();
+}
+
+void FaultCounters::save(std::string& out) const {
+    util::put_u64(out, timeouts_absorbed);
+    util::put_u64(out, retried_measurements);
+    util::put_u64(out, abandoned_measurements);
+    util::put_u64(out, implausible_trips);
+    util::put_u64(out, confirm_rejections);
+    util::put_u64(out, researches);
+    util::put_u64(out, recovered_trips);
+    util::put_u64(out, unrecovered_trips);
+    util::put_double(out, backoff_seconds);
+}
+
+FaultCounters FaultCounters::load(util::ByteReader& in) {
+    FaultCounters counters;
+    counters.timeouts_absorbed = in.get_u64();
+    counters.retried_measurements = in.get_u64();
+    counters.abandoned_measurements = in.get_u64();
+    counters.implausible_trips = in.get_u64();
+    counters.confirm_rejections = in.get_u64();
+    counters.researches = in.get_u64();
+    counters.recovered_trips = in.get_u64();
+    counters.unrecovered_trips = in.get_u64();
+    counters.backoff_seconds = in.get_double();
+    return counters;
+}
+
+MeasurementPolicy::MeasurementPolicy(MeasurementPolicyOptions options)
+    : options_(options), rng_(options.seed) {}
+
+ate::Oracle MeasurementPolicy::guard(ate::Oracle oracle) {
+    if (!options_.enabled) return oracle;
+    return [this, oracle = std::move(oracle)](double setting) -> bool {
+        for (std::size_t attempt = 0;; ++attempt) {
+            try {
+                return oracle(setting);
+            } catch (const ate::MeasurementTimeout&) {
+                if (attempt >= options_.timeout_retries) {
+                    ++counters_.abandoned_measurements;
+                    throw;
+                }
+                ++counters_.retried_measurements;
+                ++counters_.timeouts_absorbed;
+                const double delay =
+                    options_.backoff_base_seconds *
+                    std::pow(options_.backoff_factor,
+                             static_cast<double>(attempt)) *
+                    (1.0 + options_.backoff_jitter * rng_.uniform());
+                counters_.backoff_seconds += delay;
+            }
+        }
+    };
+}
+
+bool MeasurementPolicy::majority_vote(const ate::Oracle& guarded_oracle,
+                                      double setting, bool expect_pass) {
+    const std::size_t votes = std::max<std::size_t>(1, options_.confirm_votes);
+    std::size_t agree = 0;
+    std::size_t cast = 0;
+    for (std::size_t v = 0; v < votes; ++v) {
+        bool pass = false;
+        try {
+            pass = guarded_oracle(setting);
+        } catch (const ate::MeasurementTimeout&) {
+            continue;  // an abstention, not a disagreement
+        }
+        ++cast;
+        if (pass == expect_pass) ++agree;
+        // Early exit once the majority is mathematically decided.
+        if (agree * 2 > votes || (cast - agree) * 2 > votes) break;
+    }
+    // Majority of the votes actually cast; a tie (or zero votes) rejects.
+    return cast > 0 && agree * 2 > cast;
+}
+
+bool MeasurementPolicy::plausible(const ate::SearchResult& result,
+                                  const ate::Parameter& parameter) {
+    if (!result.found || std::isnan(result.trip_point)) return false;
+    const double lo = std::min(parameter.search_start, parameter.search_end);
+    const double hi = std::max(parameter.search_start, parameter.search_end);
+    const double slack = parameter.characterization_range() *
+                         options_.plausibility_margin_fraction;
+    if (result.trip_point < lo - slack || result.trip_point > hi + slack) {
+        return false;
+    }
+    // Eq. 3/4 window-consistency: every probe well clear of the trip point
+    // must agree with the pass/fail orientation. A contradiction means a
+    // faulted reading steered the search.
+    const double margin = std::max(parameter.resolution, 1e-12) *
+                          options_.confirm_margin_resolutions;
+    const double toward_fail = parameter.toward_fail();
+    for (const ate::SearchPoint& probe : result.trace) {
+        const double offset = (probe.setting - result.trip_point) * toward_fail;
+        if (offset <= -margin && !probe.pass) return false;  // deep pass side
+        if (offset >= margin && probe.pass) return false;    // deep fail side
+    }
+    return true;
+}
+
+bool MeasurementPolicy::confirmed(double trip_point,
+                                  const ate::Oracle& guarded_oracle,
+                                  const ate::Parameter& parameter) {
+    const double margin = std::max(parameter.resolution, 1e-12) *
+                          options_.confirm_margin_resolutions;
+    const double toward_fail = parameter.toward_fail();
+    const double pass_probe =
+        parameter.clamp(trip_point - toward_fail * margin);
+    const double fail_probe =
+        parameter.clamp(trip_point + toward_fail * margin);
+    if (!majority_vote(guarded_oracle, pass_probe, /*expect_pass=*/true)) {
+        return false;
+    }
+    // The fail-side probe may be clamped onto the trip itself when the
+    // trip sits at the range edge; skip the vote then.
+    if ((fail_probe - trip_point) * toward_fail <= 0.5 * margin) return true;
+    return majority_vote(guarded_oracle, fail_probe, /*expect_pass=*/false);
+}
+
+ate::SearchResult MeasurementPolicy::screen(
+    const std::function<ate::SearchResult()>& attempt,
+    const ate::Oracle& guarded_oracle, const ate::Parameter& parameter) {
+    if (!options_.enabled) return attempt();
+
+    const std::size_t attempts =
+        std::max<std::size_t>(1, options_.search_attempts);
+    std::size_t interventions = 0;
+    for (std::size_t round = 0; round < attempts; ++round) {
+        if (round > 0) {
+            ++counters_.researches;
+            ++interventions;
+        }
+        ate::SearchResult result;
+        try {
+            result = attempt();
+        } catch (const ate::MeasurementTimeout&) {
+            continue;  // retry budget for one reading exhausted; new search
+        }
+        if (!plausible(result, parameter)) {
+            ++counters_.implausible_trips;
+            ++interventions;
+            continue;
+        }
+        if (!confirmed(result.trip_point, guarded_oracle, parameter)) {
+            ++counters_.confirm_rejections;
+            ++interventions;
+            continue;
+        }
+        consecutive_failures_ = 0;
+        if (interventions > 0) ++counters_.recovered_trips;
+        return result;
+    }
+
+    ++counters_.unrecovered_trips;
+    ++consecutive_failures_;
+    if (options_.quarantine_after > 0 &&
+        consecutive_failures_ >= options_.quarantine_after) {
+        throw SiteQuarantinedError(
+            "site quarantined after " + std::to_string(consecutive_failures_) +
+            " consecutive unrecoverable trip measurements (" +
+            counters_.describe() + ")");
+    }
+    ate::SearchResult failed;
+    failed.found = false;
+    return failed;
+}
+
+void MeasurementPolicy::save(std::string& out) const {
+    util::put_rng(out, rng_);
+    util::put_u64(out, consecutive_failures_);
+    util::put_u64(out, counters_.timeouts_absorbed);
+    util::put_u64(out, counters_.retried_measurements);
+    util::put_u64(out, counters_.abandoned_measurements);
+    util::put_u64(out, counters_.implausible_trips);
+    util::put_u64(out, counters_.confirm_rejections);
+    util::put_u64(out, counters_.researches);
+    util::put_u64(out, counters_.recovered_trips);
+    util::put_u64(out, counters_.unrecovered_trips);
+    util::put_double(out, counters_.backoff_seconds);
+}
+
+void MeasurementPolicy::load(util::ByteReader& in) {
+    rng_ = in.get_rng();
+    consecutive_failures_ = in.get_u64();
+    counters_.timeouts_absorbed = in.get_u64();
+    counters_.retried_measurements = in.get_u64();
+    counters_.abandoned_measurements = in.get_u64();
+    counters_.implausible_trips = in.get_u64();
+    counters_.confirm_rejections = in.get_u64();
+    counters_.researches = in.get_u64();
+    counters_.recovered_trips = in.get_u64();
+    counters_.unrecovered_trips = in.get_u64();
+    counters_.backoff_seconds = in.get_double();
+}
+
+}  // namespace cichar::core

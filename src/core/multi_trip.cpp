@@ -9,7 +9,8 @@ TripSession::TripSession(ate::Tester& tester, ate::Parameter parameter,
                          MultiTripOptions options)
     : tester_(&tester),
       parameter_(std::move(parameter)),
-      options_(options) {}
+      options_(options),
+      policy_(options.policy) {}
 
 double TripSession::reference_trip_point() const {
     if (!follower_.has_value()) {
@@ -34,29 +35,49 @@ TripPointRecord TripSession::to_record(const testgen::Test& test,
 
 TripPointRecord TripSession::measure(const testgen::Test& test) {
     if (options_.settle_between_tests) tester_->settle();
-    const ate::Oracle oracle = tester_->oracle(test, parameter_);
+    const ate::Oracle oracle =
+        policy_.enabled() ? policy_.guard(tester_->oracle(test, parameter_))
+                          : tester_->oracle(test, parameter_);
 
     if (!follower_.has_value()) {
         // Eq. (2): the first test runs the full generous range and its
         // trip point becomes the RTP.
         const ate::SuccessiveApproximation initial(options_.initial);
-        ate::ReferenceSearch ref = ate::make_reference_search(
-            oracle, parameter_, initial, options_.follow);
-        follower_.emplace(ref.follower);
-        return to_record(test, ref.first_result);
+        if (!policy_.enabled()) {
+            ate::ReferenceSearch ref = ate::make_reference_search(
+                oracle, parameter_, initial, options_.follow);
+            follower_.emplace(ref.follower);
+            return to_record(test, ref.first_result);
+        }
+        const ate::SearchResult first = policy_.screen(
+            [&] { return initial.find(oracle, parameter_); }, oracle,
+            parameter_);
+        // Same RTP fallback as make_reference_search: a degenerate (or
+        // unrecoverable) first test anchors the followers at mid-range.
+        double rtp = first.trip_point;
+        if (!first.found || std::isnan(rtp)) {
+            rtp = 0.5 * (parameter_.search_start + parameter_.search_end);
+        }
+        follower_.emplace(options_.follow, parameter_.quantize(rtp));
+        return to_record(test, first);
     }
 
-    ate::SearchResult result = follower_->find(oracle, parameter_);
-    if (!result.found && options_.full_search_on_miss) {
-        // Unexpected drift out of the follower window: pay for one
-        // full-range search (the paper's flexibility-to-detect-drift
-        // property) and keep the original RTP for the remaining tests.
-        const ate::SuccessiveApproximation full(options_.initial);
-        ate::SearchResult retry = full.find(oracle, parameter_);
-        retry.measurements += result.measurements;
-        result = std::move(retry);
-    }
-    return to_record(test, result);
+    const auto follow_attempt = [&]() {
+        ate::SearchResult result = follower_->find(oracle, parameter_);
+        if (!result.found && options_.full_search_on_miss) {
+            // Unexpected drift out of the follower window: pay for one
+            // full-range search (the paper's flexibility-to-detect-drift
+            // property) and keep the original RTP for the remaining tests.
+            const ate::SuccessiveApproximation full(options_.initial);
+            ate::SearchResult retry = full.find(oracle, parameter_);
+            retry.measurements += result.measurements;
+            result = std::move(retry);
+        }
+        return result;
+    };
+    if (!policy_.enabled()) return to_record(test, follow_attempt());
+    return to_record(test,
+                     policy_.screen(follow_attempt, oracle, parameter_));
 }
 
 DesignSpecVariation MultiTripCharacterizer::characterize(

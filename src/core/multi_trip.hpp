@@ -10,6 +10,7 @@
 #include "ate/search.hpp"
 #include "ate/search_until_trip.hpp"
 #include "core/dsv.hpp"
+#include "core/measurement_policy.hpp"
 #include "testgen/test.hpp"
 
 namespace cichar::core {
@@ -24,6 +25,9 @@ struct MultiTripOptions {
     /// When a follower loses the trip point (drifted out of its window),
     /// fall back to a full-range search for that test.
     bool full_search_on_miss = true;
+    /// Resilience policy (disabled by default: measurement streams are
+    /// byte-identical to builds that predate the policy).
+    MeasurementPolicyOptions policy{};
 };
 
 /// Stateful measurement session: holds the RTP across tests so callers
@@ -48,6 +52,18 @@ public:
         return parameter_;
     }
 
+    /// The session's resilience policy (counters, checkpoint state).
+    [[nodiscard]] MeasurementPolicy& policy() noexcept { return policy_; }
+    [[nodiscard]] const MeasurementPolicy& policy() const noexcept {
+        return policy_;
+    }
+
+    /// Re-establishes the RTP from a checkpoint without re-running the
+    /// full-range reference search.
+    void restore_reference(double rtp) {
+        follower_.emplace(options_.follow, rtp);
+    }
+
 private:
     [[nodiscard]] TripPointRecord to_record(const testgen::Test& test,
                                             const ate::SearchResult& result) const;
@@ -55,6 +71,7 @@ private:
     ate::Tester* tester_;
     ate::Parameter parameter_;
     MultiTripOptions options_;
+    MeasurementPolicy policy_;
     std::optional<ate::SearchUntilTrip> follower_;
 };
 

@@ -1,9 +1,12 @@
 #include "core/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -51,6 +54,22 @@ TripPointRecord make_record(const std::string& test_name,
     return record;
 }
 
+ate::InjectionStats stats_delta(const ate::InjectionStats& now,
+                                const ate::InjectionStats& before) {
+    ate::InjectionStats delta;
+    delta.measurements = now.measurements - before.measurements;
+    delta.transients = now.transients - before.transients;
+    delta.stuck_measurements = now.stuck_measurements - before.stuck_measurements;
+    delta.stuck_episodes = now.stuck_episodes - before.stuck_episodes;
+    delta.timeouts = now.timeouts - before.timeouts;
+    delta.site_deaths = now.site_deaths - before.site_deaths;
+    return delta;
+}
+
+/// Big blobs inside a checkpoint payload (cache/database/device state)
+/// may exceed the default string cap.
+constexpr std::uint64_t kMaxBlob = 1ULL << 28;
+
 }  // namespace
 
 WorstCaseReport WorstCaseOptimizer::run(ate::Tester& tester,
@@ -64,12 +83,18 @@ WorstCaseReport WorstCaseOptimizer::run(ate::Tester& tester,
     std::optional<util::ThreadPool> pool;
     if (options_.parallel.enabled) pool.emplace(options_.parallel.jobs);
 
-    ScoringOptions scoring;
-    scoring.jobs = options_.parallel.enabled ? options_.parallel.jobs : 1;
-    scoring.batch = options_.nn_score_batch;
-    scoring.pool = pool ? &*pool : nullptr;
-    std::vector<ga::TestChromosome> seeds = nn_generator.suggest_chromosomes(
-        options_.nn_candidates, options_.nn_seed_count, rng, scoring);
+    // A resumed hunt already holds fully dealt populations in its
+    // checkpoint; NN seeding would only burn committee time (the rng it
+    // would consume is restored from the blob regardless).
+    std::vector<ga::TestChromosome> seeds;
+    if (options_.checkpoint.resume_blob.empty()) {
+        ScoringOptions scoring;
+        scoring.jobs = options_.parallel.enabled ? options_.parallel.jobs : 1;
+        scoring.batch = options_.nn_score_batch;
+        scoring.pool = pool ? &*pool : nullptr;
+        seeds = nn_generator.suggest_chromosomes(
+            options_.nn_candidates, options_.nn_seed_count, rng, scoring);
+    }
     return drive(tester, parameter, model.generator_options(),
                  std::move(seeds), objective, rng, pool ? &*pool : nullptr);
 }
@@ -87,7 +112,17 @@ WorstCaseReport WorstCaseOptimizer::drive(
     std::vector<ga::TestChromosome> seeds, Objective objective,
     util::Rng& rng, util::ThreadPool* shared_pool) const {
     ate::PhaseScope phase(tester.log(), "ga-optimization");
-    const std::uint64_t applications_before = tester.log().total().applications;
+    std::uint64_t applications_before = tester.log().total().applications;
+    ate::FaultInjector* injector = tester.fault_injector();
+    const bool faults_on = injector != nullptr && injector->profile().any();
+    ate::InjectionStats injected_before =
+        faults_on ? injector->stats() : ate::InjectionStats{};
+    const bool policy_on = options_.trip.policy.enabled;
+    FaultCounters replica_faults;  // merged from slots in submission order
+    const bool resuming = !options_.checkpoint.resume_blob.empty();
+    const bool checkpointing =
+        static_cast<bool>(options_.checkpoint.save) ||
+        options_.checkpoint.abort_after_generation > 0;
 
     const testgen::RandomTestGenerator generator(generator_options);
     TripSession session(tester, parameter, options_.trip);
@@ -99,7 +134,9 @@ WorstCaseReport WorstCaseOptimizer::drive(
                                            ? parameter.name
                                            : options_.cache.identity;
     std::size_t cache_preloaded = 0;
-    if (use_cache && !options_.cache.file.empty()) {
+    // A resume blob carries the cache contents itself; the warm-start file
+    // would only be overwritten by the restore.
+    if (use_cache && !options_.cache.file.empty() && !resuming) {
         std::ifstream in(options_.cache.file, std::ios::binary);
         if (in && cache.load(in, cache_identity)) {
             cache_preloaded = cache.size();
@@ -136,6 +173,137 @@ WorstCaseReport WorstCaseOptimizer::drive(
             database.add_functional_failure(std::move(failure));
         };
 
+    // ---- crash-safe checkpointing -----------------------------------
+    // The payload snapshots every piece of dynamic state the hunt loop
+    // depends on: rng streams, eval counter, session reference/policy,
+    // the tester ledger and device state, injector state, cache and
+    // database contents, and the GA loop itself — so a resumed hunt is
+    // byte-identical to one that was never interrupted. Branch-specific
+    // extras (replica noise stream, shared follower) are published
+    // through these pointers by the parallel path.
+    util::Rng* ck_noise_rng = nullptr;
+    std::optional<ate::SearchUntilTrip>* ck_follower = nullptr;
+
+    const auto serialize_state = [&](const ga::MultiPopulationCheckpoint& ck) {
+        std::string out;
+        util::put_rng(out, rng);
+        util::put_u64(out, eval_counter);
+        util::put_u64(out, applications_before);
+        replica_faults.save(out);
+        session.policy().save(out);
+        util::put_bool(out, session.has_reference());
+        util::put_double(out, session.has_reference()
+                                  ? session.reference_trip_point()
+                                  : 0.0);
+        tester.log().save(out);
+        std::string chip;
+        const bool chip_ok = tester.dut().save_state(chip);
+        util::put_bool(out, chip_ok);
+        util::put_string(out, chip);
+        util::put_bool(out, faults_on);
+        if (faults_on) {
+            injector->save(out);
+            injected_before.save(out);
+        }
+        util::put_bool(out, use_cache);
+        if (use_cache) {
+            std::ostringstream cache_stream;
+            (void)cache.save(cache_stream, cache_identity);
+            util::put_string(out, cache_stream.str());
+            util::put_u64(out, cache.stats().hits);
+            util::put_u64(out, cache.stats().misses);
+            util::put_u64(out, cache.stats().evictions);
+            util::put_u64(out, cache_preloaded);
+        }
+        std::ostringstream db_stream;
+        database.save(db_stream);
+        util::put_string(out, db_stream.str());
+        const bool has_noise = ck_noise_rng != nullptr;
+        util::put_bool(out, has_noise);
+        if (has_noise) util::put_rng(out, *ck_noise_rng);
+        const bool has_follower =
+            ck_follower != nullptr && ck_follower->has_value();
+        util::put_bool(out, has_follower);
+        util::put_double(out, has_follower
+                                  ? (*ck_follower)->reference_trip_point()
+                                  : 0.0);
+        ck.save(out);
+        return out;
+    };
+
+    // Throws std::runtime_error when the blob disagrees with the current
+    // configuration (fault profile / cache toggles) or is corrupt; the
+    // caller decides whether that aborts or falls back to a cold start.
+    const auto restore_state = [&](util::ByteReader& in) {
+        rng = in.get_rng();
+        eval_counter = static_cast<std::size_t>(in.get_u64());
+        applications_before = in.get_u64();
+        replica_faults = FaultCounters::load(in);
+        session.policy().load(in);
+        const bool has_reference = in.get_bool();
+        const double rtp = in.get_double();
+        if (has_reference) session.restore_reference(rtp);
+        tester.log().load(in);
+        const bool chip_ok = in.get_bool();
+        const std::string chip = in.get_string(kMaxBlob);
+        if (chip_ok) {
+            util::ByteReader chip_in(chip);
+            if (!tester.dut().load_state(chip_in)) {
+                throw std::runtime_error(
+                    "hunt resume: device state not restorable");
+            }
+        }
+        const bool had_faults = in.get_bool();
+        if (had_faults != faults_on) {
+            throw std::runtime_error(
+                "hunt resume: fault profile on/off mismatch");
+        }
+        if (faults_on) {
+            injector->load(in);
+            injected_before = ate::InjectionStats::load(in);
+        }
+        const bool had_cache = in.get_bool();
+        if (had_cache != use_cache) {
+            throw std::runtime_error("hunt resume: cache on/off mismatch");
+        }
+        if (use_cache) {
+            const std::string cache_blob = in.get_string(kMaxBlob);
+            std::istringstream cache_stream{cache_blob};
+            if (!cache.load(cache_stream, cache_identity)) {
+                throw std::runtime_error(
+                    "hunt resume: trip cache blob rejected");
+            }
+            TripCacheStats cache_stats;
+            cache_stats.hits = in.get_u64();
+            cache_stats.misses = in.get_u64();
+            cache_stats.evictions = in.get_u64();
+            cache.set_stats(cache_stats);
+            cache_preloaded = static_cast<std::size_t>(in.get_u64());
+        }
+        const std::string db_blob = in.get_string(kMaxBlob);
+        std::istringstream db_stream{db_blob};
+        database = WorstCaseDatabase::load(db_stream);
+        const bool has_noise = in.get_bool();
+        if (has_noise) {
+            if (ck_noise_rng == nullptr) {
+                throw std::runtime_error(
+                    "hunt resume: parallel/serial mode mismatch");
+            }
+            *ck_noise_rng = in.get_rng();
+        }
+        const bool has_follower = in.get_bool();
+        const double follower_rtp = in.get_double();
+        if (has_follower) {
+            if (ck_follower == nullptr) {
+                throw std::runtime_error(
+                    "hunt resume: parallel/serial mode mismatch");
+            }
+            ck_follower->emplace(options_.trip.follow, follower_rtp);
+        }
+        return ga::MultiPopulationCheckpoint::load(in,
+                                                   options_.ga.population);
+    };
+
     // Parallel replica evaluation needs a replicable DUT; fall back to the
     // classic in-situ path when the device cannot be cloned.
     bool parallel = options_.parallel.enabled;
@@ -148,6 +316,39 @@ WorstCaseReport WorstCaseOptimizer::drive(
     const ga::MultiPopulationGa driver(options_.ga);
     WorstCaseReport report;
     report.objective = objective;
+
+    // Shared by both branches; armed right before driver.run so the
+    // parallel path can publish its extra state pointers first.
+    ga::MultiPopulationResume hooks;
+    ga::MultiPopulationCheckpoint resume_checkpoint;
+    const auto arm_checkpointing = [&] {
+        if (resuming) {
+            util::ByteReader in(options_.checkpoint.resume_blob);
+            resume_checkpoint = restore_state(in);
+            hooks.resume = &resume_checkpoint;
+            util::log_info("optimizer: resumed hunt at generation ",
+                           resume_checkpoint.next_generation);
+        }
+        if (!checkpointing) return;
+        hooks.on_generation = [&](const ga::MultiPopulationCheckpoint& ck) {
+            const std::size_t every =
+                std::max<std::size_t>(1, options_.checkpoint.every);
+            const bool abort =
+                options_.checkpoint.abort_after_generation > 0 &&
+                ck.next_generation >= options_.checkpoint.abort_after_generation;
+            if (options_.checkpoint.save &&
+                (abort || ck.next_generation % every == 0)) {
+                options_.checkpoint.save(serialize_state(ck));
+            }
+            if (abort) {
+                // Deterministic stand-in for SIGKILL: stop mid-hunt with
+                // the checkpoint written and the report marked partial.
+                report.aborted = true;
+                return false;
+            }
+            return true;
+        };
+    };
 
     if (!parallel) {
         report.jobs = 1;
@@ -174,7 +375,12 @@ WorstCaseReport WorstCaseOptimizer::drive(
                 if (!from_cache) {
                     test = generator.make_test(recipe, conditions, name);
                     record = session.measure(test);
-                    if (use_cache) cache.insert(key, record);
+                    // An unrecoverable (not-found) result under the policy
+                    // is environmental, not chromosome-intrinsic — caching
+                    // it would replay the outage forever.
+                    if (use_cache && (record.found || !policy_on)) {
+                        cache.insert(key, record);
+                    }
                 }
                 if (!record.found) return 0.0;  // no crossover: harmless
 
@@ -196,7 +402,11 @@ WorstCaseReport WorstCaseOptimizer::drive(
                 }
                 return wcr;
             };
-        report.outcome = driver.run(fitness, std::move(seeds), rng);
+        arm_checkpointing();
+        // as_batch keeps the legacy per-individual trajectory bit-exact;
+        // the hooks overload is a no-op with default hooks.
+        report.outcome =
+            driver.run(ga::as_batch(fitness), std::move(seeds), rng, hooks);
     } else {
         std::optional<util::ThreadPool> own_pool;
         util::ThreadPool& pool = shared_pool != nullptr
@@ -210,6 +420,8 @@ WorstCaseReport WorstCaseOptimizer::drive(
         // jobs count.
         util::Rng noise_rng = rng.fork(0x7e57);
         std::optional<ate::SearchUntilTrip> follower;
+        ck_noise_rng = &noise_rng;
+        ck_follower = &follower;
 
         struct Slot {
             std::string name;
@@ -223,6 +435,10 @@ WorstCaseReport WorstCaseOptimizer::drive(
             ate::MeasurementLog log;
             bool functional_ran = false;
             device::FunctionalResult functional;
+            /// Per-replica fault stream / resilience policy, forked on the
+            /// calling thread in submission order (empty when disabled).
+            std::optional<ate::FaultInjector> injector;
+            std::optional<MeasurementPolicy> policy;
         };
 
         // Measures one slot on a fresh cold replica of the DUT (a virtual
@@ -233,27 +449,55 @@ WorstCaseReport WorstCaseOptimizer::drive(
             const std::unique_ptr<device::DeviceUnderTest> replica_dut =
                 tester.dut().clone_cold(slot.noise_seed);
             ate::Tester replica(*replica_dut, tester.options());
+            if (slot.injector.has_value()) {
+                replica.attach_fault_injector(&*slot.injector);
+            }
             replica.log().set_phase("ga-optimization");
             if (options_.trip.settle_between_tests) replica.settle();
-            const ate::Oracle oracle = replica.oracle(slot.test, parameter);
+            MeasurementPolicy* policy =
+                slot.policy.has_value() ? &*slot.policy : nullptr;
+            const ate::Oracle oracle =
+                policy != nullptr ? policy->guard(replica.oracle(slot.test,
+                                                                 parameter))
+                                  : replica.oracle(slot.test, parameter);
 
             ate::SearchResult result;
             if (establish_reference) {
                 const ate::SuccessiveApproximation initial(
                     options_.trip.initial);
-                ate::ReferenceSearch ref = ate::make_reference_search(
-                    oracle, parameter, initial, options_.trip.follow);
-                follower.emplace(ref.follower);
-                result = std::move(ref.first_result);
-            } else {
-                result = follower->find(oracle, parameter);
-                if (!result.found && options_.trip.full_search_on_miss) {
-                    const ate::SuccessiveApproximation full(
-                        options_.trip.initial);
-                    ate::SearchResult retry = full.find(oracle, parameter);
-                    retry.measurements += result.measurements;
-                    result = std::move(retry);
+                if (policy != nullptr) {
+                    result = policy->screen(
+                        [&] { return initial.find(oracle, parameter); },
+                        oracle, parameter);
+                    double rtp = result.trip_point;
+                    if (!result.found || std::isnan(rtp)) {
+                        rtp = 0.5 * (parameter.search_start +
+                                     parameter.search_end);
+                    }
+                    follower.emplace(options_.trip.follow,
+                                     parameter.quantize(rtp));
+                } else {
+                    ate::ReferenceSearch ref = ate::make_reference_search(
+                        oracle, parameter, initial, options_.trip.follow);
+                    follower.emplace(ref.follower);
+                    result = std::move(ref.first_result);
                 }
+            } else {
+                const auto follow_attempt = [&] {
+                    ate::SearchResult r = follower->find(oracle, parameter);
+                    if (!r.found && options_.trip.full_search_on_miss) {
+                        const ate::SuccessiveApproximation full(
+                            options_.trip.initial);
+                        ate::SearchResult retry = full.find(oracle, parameter);
+                        retry.measurements += r.measurements;
+                        r = std::move(retry);
+                    }
+                    return r;
+                };
+                result = policy != nullptr
+                             ? policy->screen(follow_attempt, oracle,
+                                              parameter)
+                             : follow_attempt();
             }
             slot.record = make_record(slot.name, result, parameter);
 
@@ -297,6 +541,18 @@ WorstCaseReport WorstCaseOptimizer::drive(
                     slot.test = generator.make_test(slot.recipe,
                                                     slot.conditions, slot.name);
                     slot.noise_seed = noise_rng();
+                    // Fault/policy streams fork on the calling thread in
+                    // submission order so a (seed, profile, jobs) triple
+                    // replays the exact same fault sequence at any jobs
+                    // count. Draws happen only when enabled, keeping the
+                    // disabled path's rng stream untouched.
+                    if (faults_on) slot.injector.emplace(injector->fork(0));
+                    if (policy_on) {
+                        MeasurementPolicyOptions policy_options =
+                            options_.trip.policy;
+                        policy_options.seed = noise_rng();
+                        slot.policy.emplace(policy_options);
+                    }
                     pending.push_back(i);
                 }
 
@@ -320,7 +576,18 @@ WorstCaseReport WorstCaseOptimizer::drive(
                 for (Slot& slot : slots) {
                     if (!slot.cached) {
                         tester.log().merge(slot.log);
-                        if (use_cache) cache.insert(slot.key, slot.record);
+                        if (slot.policy.has_value()) {
+                            replica_faults.merge(slot.policy->counters());
+                        }
+                        if (slot.injector.has_value()) {
+                            injector->absorb_stats(slot.injector->stats());
+                        }
+                        // A not-found record under the policy reflects an
+                        // environmental outage, not the chromosome: never
+                        // memoize it.
+                        if (use_cache && (slot.record.found || !policy_on)) {
+                            cache.insert(slot.key, slot.record);
+                        }
                     }
                     if (!slot.record.found) {
                         values.push_back(0.0);
@@ -339,34 +606,49 @@ WorstCaseReport WorstCaseOptimizer::drive(
                 }
                 return values;
             };
-        report.outcome = driver.run(batch_fitness, std::move(seeds), rng);
+        arm_checkpointing();
+        report.outcome = driver.run(batch_fitness, std::move(seeds), rng, hooks);
     }
 
     report.database = std::move(database);
 
     // Re-expand and re-measure the winner (the paper re-analyzes final
     // worst case tests in detail on the ATE). Always measured live on the
-    // main tester, never answered from the cache.
-    const testgen::PatternRecipe best_recipe = report.outcome.best.decode_recipe(
-        generator_options.min_cycles, generator_options.max_cycles);
-    const testgen::TestConditions best_conditions =
-        report.outcome.best.decode_conditions(generator_options.condition_bounds);
-    report.worst_test =
-        generator.make_test(best_recipe, best_conditions, "worst-case");
-    report.worst_record = session.measure(report.worst_test);
-    if (report.worst_record.found) {
-        report.worst_record.wcr = objective_wcr(
-            objective, report.worst_record.trip_point, parameter.spec);
-        report.worst_record.wcr_class =
-            ga::classify(report.worst_record.wcr, options_.thresholds);
+    // main tester, never answered from the cache. An aborted (simulated
+    // crash) hunt skips this: its report is partial by definition and the
+    // re-measurement belongs to the resumed run.
+    if (!report.aborted) {
+        const testgen::PatternRecipe best_recipe =
+            report.outcome.best.decode_recipe(generator_options.min_cycles,
+                                              generator_options.max_cycles);
+        const testgen::TestConditions best_conditions =
+            report.outcome.best.decode_conditions(
+                generator_options.condition_bounds);
+        report.worst_test =
+            generator.make_test(best_recipe, best_conditions, "worst-case");
+        report.worst_record = session.measure(report.worst_test);
+        if (report.worst_record.found) {
+            report.worst_record.wcr = objective_wcr(
+                objective, report.worst_record.trip_point, parameter.spec);
+            report.worst_record.wcr_class =
+                ga::classify(report.worst_record.wcr, options_.thresholds);
+        }
+    }
+
+    report.faults = session.policy().counters();
+    report.faults.merge(replica_faults);
+    if (faults_on) {
+        report.injected = stats_delta(injector->stats(), injected_before);
     }
 
     report.cache_stats = cache.stats();
     report.cache_preloaded = cache_preloaded;
     if (use_cache && !options_.cache.file.empty()) {
-        std::ofstream out(options_.cache.file,
-                          std::ios::binary | std::ios::trunc);
-        if (!out || !cache.save(out, cache_identity)) {
+        // Atomic temp-file + rename: a hunt killed mid-save leaves the
+        // previous warm cache intact, never a torn file.
+        std::ostringstream out;
+        if (!cache.save(out, cache_identity) ||
+            !util::atomic_write_file(options_.cache.file, out.str())) {
             util::log_info("optimizer: failed to save trip cache to ",
                            options_.cache.file);
         }

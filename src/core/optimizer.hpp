@@ -8,9 +8,14 @@
 //   (worst case ratio theorem) or the step budget ends -> database.
 #pragma once
 
+#include <functional>
+#include <string>
+
+#include "ate/fault_injector.hpp"
 #include "ate/tester.hpp"
 #include "core/database.hpp"
 #include "core/learner.hpp"
+#include "core/measurement_policy.hpp"
 #include "core/nn_test_generator.hpp"
 #include "core/trip_cache.hpp"
 #include "ga/multi_population.hpp"
@@ -59,6 +64,25 @@ struct HuntCacheOptions {
     std::string identity;
 };
 
+/// Crash-safe checkpointing of the GA hunt. When `save` is set, drive()
+/// serializes its full dynamic state (GA populations, optimizer progress,
+/// trip cache, RNG streams, ledger, device and injector state) after
+/// every `every`-th generation; a blob handed back via `resume_blob`
+/// restores that exact state and the resumed hunt finishes byte-identical
+/// to an uninterrupted one.
+struct HuntCheckpointOptions {
+    /// Sink for the serialized GA-state blob (typically wrapped into the
+    /// hunt checkpoint file and written atomically).
+    std::function<void(const std::string&)> save;
+    /// Blob from a previous run's `save` to resume from (empty = cold).
+    std::string resume_blob;
+    /// Checkpoint cadence in generations (minimum 1).
+    std::size_t every = 1;
+    /// Chaos hook: abort the GA loop after this many generations as a
+    /// deterministic stand-in for SIGKILL (0 = never).
+    std::size_t abort_after_generation = 0;
+};
+
 struct OptimizerOptions {
     ga::MultiPopulationOptions ga{};
     /// Software-only candidates scored by the NN generator.
@@ -75,6 +99,7 @@ struct OptimizerOptions {
     std::size_t database_capacity = 64;
     HuntParallelOptions parallel{};
     HuntCacheOptions cache{};
+    HuntCheckpointOptions checkpoint{};
 };
 
 struct WorstCaseReport {
@@ -87,6 +112,14 @@ struct WorstCaseReport {
     TripCacheStats cache_stats{};      ///< zeros when the cache is off
     std::size_t cache_preloaded = 0;   ///< entries warm-loaded from file
     std::size_t jobs = 1;              ///< worker threads actually used
+    /// Resilience-policy activity during the hunt (session + replicas).
+    FaultCounters faults{};
+    /// Faults the attached injector fired during the hunt (zeros when no
+    /// injector is attached).
+    ate::InjectionStats injected{};
+    /// True when the hunt stopped early at checkpoint.abort_after_generation
+    /// (simulated crash); the report is then partial and unpublishable.
+    bool aborted = false;
 };
 
 class WorstCaseOptimizer {

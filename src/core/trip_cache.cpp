@@ -4,9 +4,13 @@
 #include <bit>
 #include <cassert>
 #include <istream>
+#include <iterator>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "util/binio.hpp"
 
 namespace cichar::core {
 
@@ -99,7 +103,10 @@ namespace {
 // of host; doubles travel as their IEEE-754 bit patterns, so a save/load
 // round trip reproduces every key and record bit for bit.
 
-constexpr char kCacheMagic[8] = {'C', 'I', 'C', 'H', 'T', 'P', 'C', '1'};
+// Version 2 appends a checksum64 of the payload, so a bit-flipped cache
+// file is rejected (cold start) instead of silently poisoning the memo.
+// Version-1 files fail the magic check and also start cold.
+constexpr char kCacheMagic[8] = {'C', 'I', 'C', 'H', 'T', 'P', 'C', '2'};
 constexpr std::uint64_t kMaxStringLength = 1u << 20;
 constexpr std::uint64_t kMaxEntryCount = 1u << 24;
 
@@ -224,14 +231,18 @@ bool get_entry(std::istream& in, TripCacheKey& key, TripPointRecord& record) {
 }  // namespace
 
 bool TripPointCache::save(std::ostream& out, std::string_view identity) const {
-    out.write(kCacheMagic, sizeof(kCacheMagic));
-    put_string(out, identity);
-    put_u64(out, lru_.size());
+    std::ostringstream body;
+    put_string(body, identity);
+    put_u64(body, lru_.size());
     // Back to front: least recently used first, so a load that re-inserts
     // in stream order rebuilds the exact recency order.
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-        put_entry(out, it->first, it->second);
+        put_entry(body, it->first, it->second);
     }
+    const std::string payload = body.str();
+    out.write(kCacheMagic, sizeof(kCacheMagic));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    put_u64(out, util::checksum64(payload));
     return static_cast<bool>(out);
 }
 
@@ -242,19 +253,36 @@ bool TripPointCache::load(std::istream& in, std::string_view identity) {
                     std::begin(kCacheMagic))) {
         return false;
     }
+    // Slurp payload + trailing checksum; any flipped bit anywhere in the
+    // payload fails the checksum and the whole load is refused.
+    const std::string rest{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    if (rest.size() < 8) return false;
+    const std::string_view payload(rest.data(), rest.size() - 8);
+    std::uint64_t stored_checksum = 0;
+    for (int i = 0; i < 8; ++i) {
+        stored_checksum |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                               rest[rest.size() - 8 + static_cast<std::size_t>(i)]))
+                           << (8 * i);
+    }
+    if (stored_checksum != util::checksum64(payload)) return false;
+
+    std::istringstream body{std::string(payload)};
     std::string stored_identity;
-    if (!get_string(in, stored_identity) || stored_identity != identity) {
+    if (!get_string(body, stored_identity) || stored_identity != identity) {
         return false;
     }
     std::uint64_t count = 0;
-    if (!get_u64(in, count) || count > kMaxEntryCount) return false;
+    if (!get_u64(body, count) || count > kMaxEntryCount) return false;
 
     // Parse everything before mutating, so a truncated or corrupt stream
     // cannot leave the cache half-replaced.
     std::vector<Entry> entries(static_cast<std::size_t>(count));
     for (Entry& entry : entries) {
-        if (!get_entry(in, entry.first, entry.second)) return false;
+        if (!get_entry(body, entry.first, entry.second)) return false;
     }
+    // Trailing bytes mean the count lied — refuse rather than guess.
+    if (body.peek() != std::istringstream::traits_type::eof()) return false;
 
     clear();
     // Oldest entries beyond capacity would be immediately evicted (and

@@ -69,6 +69,9 @@ public:
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
     [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
     [[nodiscard]] const TripCacheStats& stats() const noexcept { return stats_; }
+    /// Overwrites the counters (checkpoint restore: a resumed hunt's
+    /// stats continue from the interrupted run's).
+    void set_stats(const TripCacheStats& stats) noexcept { stats_ = stats; }
 
     /// Returns the cached record (promoted to most-recently-used) or
     /// nullptr. Counts a hit or a miss. The pointer stays valid until the

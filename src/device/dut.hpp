@@ -5,8 +5,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "testgen/test.hpp"
+#include "util/binio.hpp"
 
 namespace cichar::device {
 
@@ -61,6 +63,25 @@ public:
         std::uint64_t noise_seed) const {
         (void)noise_seed;
         return nullptr;
+    }
+
+    /// Serializes the device's *mutable* measurement state (noise stream
+    /// position, heat, array contents, ...) for crash-safe checkpoints.
+    /// The die, model, and options are construction inputs the caller
+    /// re-creates; only history needs to travel. Returns false when the
+    /// implementation cannot snapshot itself (checkpointing must then
+    /// restart the device cold).
+    [[nodiscard]] virtual bool save_state(std::string& out) const {
+        (void)out;
+        return false;
+    }
+
+    /// Restores state written by save_state() on an identically
+    /// constructed device. Returns false when unsupported; throws
+    /// std::runtime_error on a malformed blob.
+    [[nodiscard]] virtual bool load_state(util::ByteReader& in) {
+        (void)in;
+        return false;
     }
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "testgen/features.hpp"
@@ -162,6 +164,48 @@ FunctionalResult MemoryTestChip::run_functional(const testgen::Test& test) {
 void MemoryTestChip::settle() {
     heat_ *= options_.drift_cooling;
     if (heat_ < 1e-6) heat_ = 0.0;
+}
+
+bool MemoryTestChip::save_state(std::string& out) const {
+    util::put_rng(out, noise_);
+    util::put_double(out, heat_);
+    util::put_u64(out, applications_);
+    // Both arrays are fixed-size; store the word count anyway so a stale
+    // blob from a different geometry is rejected instead of mis-read.
+    util::put_u64(out, array_.size());
+    for (const std::uint16_t word : array_) {
+        util::put_u32(out, word);
+    }
+    for (const std::uint16_t word : golden_) {
+        util::put_u32(out, word);
+    }
+    return true;
+}
+
+bool MemoryTestChip::load_state(util::ByteReader& in) {
+    util::Rng noise = in.get_rng();
+    const double heat = in.get_double();
+    const std::uint64_t applications = in.get_u64();
+    const std::uint64_t words = in.get_u64();
+    if (words != array_.size()) {
+        throw std::runtime_error("MemoryTestChip::load_state: word count " +
+                                 std::to_string(words) + " != " +
+                                 std::to_string(array_.size()));
+    }
+    std::vector<std::uint16_t> array(array_.size());
+    std::vector<std::uint16_t> golden(golden_.size());
+    for (std::uint16_t& word : array) {
+        word = static_cast<std::uint16_t>(in.get_u32());
+    }
+    for (std::uint16_t& word : golden) {
+        word = static_cast<std::uint16_t>(in.get_u32());
+    }
+    noise_ = noise;
+    heat_ = heat;
+    applications_ = applications;
+    array_ = std::move(array);
+    golden_ = std::move(golden);
+    return true;
 }
 
 std::unique_ptr<DeviceUnderTest> MemoryTestChip::clone_cold(

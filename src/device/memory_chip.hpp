@@ -57,6 +57,8 @@ public:
     void settle() override;
     [[nodiscard]] std::unique_ptr<DeviceUnderTest> clone_cold(
         std::uint64_t noise_seed) const override;
+    [[nodiscard]] bool save_state(std::string& out) const override;
+    [[nodiscard]] bool load_state(util::ByteReader& in) override;
 
     // --- Characterization oracle (white-box access for tests/benches) ----
     /// Noiseless, drift-free ground-truth parameter value. The search and

@@ -84,4 +84,18 @@ void mutate(TestChromosome& c, const GeneticOperators& ops, util::Rng& rng) {
     if (rng.bernoulli(ops.seed_mutation_rate)) c.pattern_seed = rng();
 }
 
+void TestChromosome::save(std::string& out) const {
+    for (const double gene : sequence) util::put_double(out, gene);
+    for (const double gene : condition) util::put_double(out, gene);
+    util::put_u64(out, pattern_seed);
+}
+
+TestChromosome TestChromosome::load(util::ByteReader& in) {
+    TestChromosome c;
+    for (double& gene : c.sequence) gene = in.get_double();
+    for (double& gene : c.condition) gene = in.get_double();
+    c.pattern_seed = in.get_u64();
+    return c;
+}
+
 }  // namespace cichar::ga

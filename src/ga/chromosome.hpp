@@ -10,6 +10,7 @@
 
 #include "testgen/conditions.hpp"
 #include "testgen/recipe.hpp"
+#include "util/binio.hpp"
 #include "util/rng.hpp"
 
 namespace cichar::ga {
@@ -43,6 +44,11 @@ struct TestChromosome {
         std::uint32_t min_cycles, std::uint32_t max_cycles) const;
     [[nodiscard]] testgen::TestConditions decode_conditions(
         const testgen::ConditionBounds& bounds) const;
+
+    /// Bit-exact binary serialization (checkpointing). `load` throws
+    /// std::runtime_error on a truncated blob.
+    void save(std::string& out) const;
+    [[nodiscard]] static TestChromosome load(util::ByteReader& in);
 };
 
 /// Genetic operator parameters.

@@ -4,6 +4,7 @@
 // improving, until the worst case is detected or the step budget ends).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "ga/population.hpp"
@@ -37,6 +38,37 @@ struct MultiPopulationOutcome {
     bool target_reached = false;
     /// Global best fitness after each generation.
     std::vector<double> best_history;
+
+    /// Bit-exact snapshot (checkpointing). `load` throws
+    /// std::runtime_error on truncated/corrupt input.
+    void save(std::string& out) const;
+    [[nodiscard]] static MultiPopulationOutcome load(util::ByteReader& in);
+};
+
+/// Everything the GA loop needs to continue from the top of a generation:
+/// a resumed run is trajectory-identical to one that was never stopped
+/// (provided the caller also restores the evolution rng).
+struct MultiPopulationCheckpoint {
+    std::vector<Population> populations;
+    MultiPopulationOutcome outcome;
+    /// Generation index the next loop iteration would run.
+    std::size_t next_generation = 0;
+
+    void save(std::string& out) const;
+    [[nodiscard]] static MultiPopulationCheckpoint load(
+        util::ByteReader& in, const PopulationOptions& options);
+};
+
+/// Checkpoint/resume hooks for run(). Default-constructed = no-op.
+struct MultiPopulationResume {
+    /// Called after every completed generation with a snapshot of the
+    /// loop state. Return false to stop the run right there (simulated
+    /// crash / external abort); the partial outcome is returned as-is.
+    std::function<bool(const MultiPopulationCheckpoint&)> on_generation;
+    /// Snapshot to resume from; nullptr starts fresh. When resuming, the
+    /// seeds argument of run() is ignored (populations already exist) and
+    /// the caller must restore the rng it passed to the original run.
+    const MultiPopulationCheckpoint* resume = nullptr;
 };
 
 class MultiPopulationGa {
@@ -62,6 +94,13 @@ public:
     [[nodiscard]] MultiPopulationOutcome run(
         const BatchFitnessFn& fitness, std::vector<TestChromosome> seeds,
         util::Rng& rng) const;
+
+    /// Checkpointable form: `hooks.on_generation` observes (and may stop)
+    /// the loop after each generation; `hooks.resume` continues from a
+    /// snapshot. With default hooks this is exactly the plain overload.
+    [[nodiscard]] MultiPopulationOutcome run(
+        const BatchFitnessFn& fitness, std::vector<TestChromosome> seeds,
+        util::Rng& rng, const MultiPopulationResume& hooks) const;
 
 private:
     MultiPopulationOptions options_;

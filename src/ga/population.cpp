@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace cichar::ga {
 
@@ -77,10 +78,51 @@ std::size_t Population::evaluate(const BatchFitnessFn& fitness) {
 }
 
 void Population::preload(std::size_t i, double fitness) {
-    assert(i < individuals_.size());
+    if (i >= individuals_.size()) {
+        throw std::out_of_range("Population::preload: index " +
+                                std::to_string(i) + " >= size " +
+                                std::to_string(individuals_.size()));
+    }
     individuals_[i].fitness = fitness;
     individuals_[i].evaluated = true;
     any_evaluated_ = true;
+}
+
+void Population::save(std::string& out) const {
+    util::put_u64(out, individuals_.size());
+    for (const Individual& ind : individuals_) {
+        ind.chromosome.save(out);
+        util::put_double(out, ind.fitness);
+        util::put_bool(out, ind.evaluated);
+    }
+    util::put_u64(out, generation_);
+    util::put_u64(out, stagnation_);
+    util::put_double(out, best_seen_);
+    util::put_bool(out, any_evaluated_);
+}
+
+Population Population::load(util::ByteReader& in,
+                            const PopulationOptions& options) {
+    Population pop;
+    pop.options_ = options;
+    const std::uint64_t count = in.get_u64();
+    if (count < 2 || count > (1ULL << 20)) {
+        throw std::runtime_error("Population::load: implausible size " +
+                                 std::to_string(count));
+    }
+    pop.individuals_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Individual ind;
+        ind.chromosome = TestChromosome::load(in);
+        ind.fitness = in.get_double();
+        ind.evaluated = in.get_bool();
+        pop.individuals_.push_back(std::move(ind));
+    }
+    pop.generation_ = static_cast<std::size_t>(in.get_u64());
+    pop.stagnation_ = static_cast<std::size_t>(in.get_u64());
+    pop.best_seen_ = in.get_double();
+    pop.any_evaluated_ = in.get_bool();
+    return pop;
 }
 
 const Individual& Population::best() const {

@@ -72,7 +72,8 @@ public:
 
     /// Marks individual `i` as already evaluated with a known fitness
     /// (e.g. a migrated elite whose trip point was measured in a previous
-    /// population) so evaluate() will not re-measure it.
+    /// population) so evaluate() will not re-measure it. Throws
+    /// std::out_of_range when `i` is not a valid index.
     void preload(std::size_t i, double fitness);
 
     /// Best individual so far (requires at least one evaluation).
@@ -88,7 +89,18 @@ public:
     /// here (the multi-population driver remembers the global best).
     void restart(util::Rng& rng);
 
+    /// Bit-exact snapshot of the dynamic state (individuals, fitness,
+    /// generation/stagnation bookkeeping). Options are configuration and
+    /// travel separately.
+    void save(std::string& out) const;
+    /// Rebuilds a population from a save() blob. Throws std::runtime_error
+    /// on truncated/corrupt input.
+    [[nodiscard]] static Population load(util::ByteReader& in,
+                                         const PopulationOptions& options);
+
 private:
+    Population() = default;  // only for load()
+
     [[nodiscard]] const Individual& tournament_pick(util::Rng& rng) const;
 
     template <typename Fitness>

@@ -41,9 +41,13 @@ struct ParameterAggregate {
 struct SiteSummary {
     std::size_t site = 0;
     device::DieParameters die;
+    SiteStatus status = SiteStatus::kCompleted;
     double max_risk = 0.0;
     bool outlier = false;
-    /// Parallel to the parameter list.
+    core::FaultCounters faults;     ///< resilience-policy interventions
+    ate::InjectionStats injected;   ///< faults the site's injector fired
+    /// Parallel to the parameter list. Sites that died or were
+    /// quarantined before finishing carry found=false / risk=1 padding.
     std::vector<double> trip;
     std::vector<double> wcr;
     std::vector<std::string> wcr_class;
@@ -53,9 +57,12 @@ struct SiteSummary {
 
 class LotReport {
 public:
-    /// Aggregates a finished lot. Requires at least one site with a found
-    /// trip per parameter (throws std::invalid_argument otherwise, since
-    /// no spec can be fused from nothing).
+    /// Aggregates a finished lot. Degrades gracefully over dead or
+    /// quarantined sites: aggregates and the fused spec come from the
+    /// surviving sites, and a parameter no surviving site could
+    /// characterize renders "no fused spec" instead of failing. Throws
+    /// std::invalid_argument only for a partial (pending-site) lot —
+    /// resume it before reporting.
     [[nodiscard]] static LotReport build(const LotResult& result,
                                          LotReportOptions options = {});
 
@@ -77,6 +84,9 @@ public:
     /// All sites flagged by any parameter, ascending.
     [[nodiscard]] std::vector<std::size_t> outlier_sites() const;
 
+    /// Sites that did not complete their campaign (dead + quarantined).
+    [[nodiscard]] std::size_t failed_site_count() const noexcept;
+
     /// Deterministic multi-section text report (tables + fused specs +
     /// merged tester ledger).
     [[nodiscard]] std::string render() const;
@@ -87,6 +97,8 @@ private:
     std::vector<SiteSummary> sites_;
     std::vector<ParameterAggregate> aggregates_;
     ate::MeasurementLog merged_log_;
+    std::string fault_profile_ = "off";
+    bool policy_enabled_ = false;
 };
 
 }  // namespace cichar::lot

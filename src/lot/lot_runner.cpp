@@ -2,10 +2,37 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
 
+#include "core/checkpoint.hpp"
+#include "util/binio.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cichar::lot {
+
+const char* to_string(SiteStatus status) noexcept {
+    switch (status) {
+        case SiteStatus::kPending: return "pending";
+        case SiteStatus::kCompleted: return "ok";
+        case SiteStatus::kQuarantined: return "quarantined";
+        case SiteStatus::kDead: return "dead";
+    }
+    return "?";
+}
+
+bool LotResult::complete() const noexcept {
+    return std::all_of(sites.begin(), sites.end(),
+                       [](const SiteResult& s) { return s.finished(); });
+}
+
+std::size_t LotResult::finished_sites() const noexcept {
+    return static_cast<std::size_t>(
+        std::count_if(sites.begin(), sites.end(),
+                      [](const SiteResult& s) { return s.finished(); }));
+}
 
 LotRunner::LotRunner(LotOptions options) : options_(std::move(options)) {
     if (options_.parameters.empty()) {
@@ -13,15 +40,118 @@ LotRunner::LotRunner(LotOptions options) : options_(std::move(options)) {
     }
 }
 
+std::string LotRunner::fingerprint() const {
+    // Everything that changes per-site results belongs here; `jobs` and
+    // the checkpoint knobs do not (results are thread-count independent).
+    std::ostringstream out;
+    out << "lot:seed=" << options_.seed << ":sites=" << options_.sites
+        << ":params=";
+    for (const ate::Parameter& parameter : options_.parameters) {
+        out << parameter.name << ",";
+    }
+    out << ":faults=" << options_.faults.describe()
+        << ":policy=" << (options_.policy.enabled ? 1 : 0)
+        << ":quarantine=" << options_.policy.quarantine_after;
+    return out.str();
+}
+
+namespace {
+
+/// Distills the finished sites into a checkpoint payload: exactly the
+/// fields LotReport and the merged ledger need — trip records, risk,
+/// health counters, log — not the NN committees.
+std::string encode_finished_sites(const std::vector<SiteResult>& sites) {
+    std::string out;
+    std::uint64_t finished = 0;
+    for (const SiteResult& site : sites) {
+        if (site.finished()) ++finished;
+    }
+    util::put_u64(out, finished);
+    for (const SiteResult& site : sites) {
+        if (!site.finished()) continue;
+        util::put_u64(out, site.site);
+        util::put_u64(out, static_cast<std::uint64_t>(site.status));
+        util::put_double(out, site.max_risk);
+        site.faults.save(out);
+        site.injected.save(out);
+        site.log.save(out);
+        util::put_u64(out, site.outcomes.size());
+        for (const SiteParameterOutcome& outcome : site.outcomes) {
+            util::put_string(out, outcome.parameter.name);
+            outcome.worst.save(out);
+            util::put_double(out, outcome.margin_risk);
+        }
+    }
+    return out;
+}
+
+void restore_finished_sites(const std::string& payload,
+                            const std::vector<ate::Parameter>& parameters,
+                            std::vector<SiteResult>& sites) {
+    util::ByteReader in(payload);
+    const std::uint64_t finished = in.get_u64();
+    if (finished > sites.size()) {
+        throw std::runtime_error("lot resume: more sites than the lot has");
+    }
+    for (std::uint64_t i = 0; i < finished; ++i) {
+        const std::uint64_t index = in.get_u64();
+        if (index >= sites.size()) {
+            throw std::runtime_error("lot resume: site index out of range");
+        }
+        SiteResult& site = sites[index];
+        if (site.finished()) {
+            throw std::runtime_error("lot resume: duplicate site");
+        }
+        const std::uint64_t status = in.get_u64();
+        if (status == static_cast<std::uint64_t>(SiteStatus::kPending) ||
+            status > static_cast<std::uint64_t>(SiteStatus::kDead)) {
+            throw std::runtime_error("lot resume: bad site status");
+        }
+        site.status = static_cast<SiteStatus>(status);
+        site.max_risk = in.get_double();
+        site.faults = core::FaultCounters::load(in);
+        site.injected = ate::InjectionStats::load(in);
+        site.log.load(in);
+        const std::uint64_t outcomes = in.get_u64();
+        if (outcomes > parameters.size()) {
+            throw std::runtime_error("lot resume: too many parameters");
+        }
+        site.outcomes.clear();
+        site.outcomes.reserve(static_cast<std::size_t>(outcomes));
+        for (std::uint64_t p = 0; p < outcomes; ++p) {
+            SiteParameterOutcome outcome;
+            const std::string name = in.get_string();
+            if (name != parameters[static_cast<std::size_t>(p)].name) {
+                throw std::runtime_error("lot resume: parameter mismatch");
+            }
+            outcome.parameter = parameters[static_cast<std::size_t>(p)];
+            outcome.worst = core::TripPointRecord::load(in);
+            outcome.margin_risk = in.get_double();
+            site.outcomes.push_back(std::move(outcome));
+        }
+        site.restored = true;
+    }
+    if (!in.at_end()) {
+        throw std::runtime_error("lot resume: trailing checkpoint bytes");
+    }
+}
+
+}  // namespace
+
 LotResult LotRunner::run() const {
     LotResult result;
     result.seed = options_.seed;
     result.jobs = options_.jobs;
+    result.parameters = options_.parameters;
+    result.fault_profile = options_.faults.describe();
+    result.policy_enabled = options_.policy.enabled;
     if (options_.sites == 0) return result;
 
     // Pre-commit all randomness sequentially: wafer sample first, then one
-    // forked stream per site. Nothing below this point draws from lot_rng,
-    // so scheduling cannot perturb any stream.
+    // forked stream (and, with faults on, one fault injector) per site.
+    // Nothing below this point draws from lot_rng or the lot injector, so
+    // scheduling cannot perturb any stream — and a resumed lot forks the
+    // exact same per-site streams as the interrupted one.
     util::Rng lot_rng(options_.seed);
     const std::vector<device::DieParameters> dies =
         options_.process.sample_wafer(options_.sites, lot_rng);
@@ -30,9 +160,50 @@ LotResult LotRunner::run() const {
     for (std::size_t site = 0; site < options_.sites; ++site) {
         site_rngs.push_back(lot_rng.fork(site + 1));
     }
+    const bool faults_on = options_.faults.any();
+    std::vector<ate::FaultInjector> site_injectors;
+    if (faults_on) {
+        ate::FaultInjector lot_injector(options_.faults);
+        site_injectors.reserve(options_.sites);
+        for (std::size_t site = 0; site < options_.sites; ++site) {
+            site_injectors.push_back(lot_injector.fork(site + 1));
+        }
+    }
 
     result.sites.resize(options_.sites);
-    util::ProgressCounter progress(options_.sites);
+    for (std::size_t site = 0; site < options_.sites; ++site) {
+        result.sites[site].site = site;
+        result.sites[site].die = dies[site];
+    }
+
+    if (!options_.checkpoint.resume_blob.empty()) {
+        std::string payload;
+        if (!core::decode_checkpoint(options_.checkpoint.resume_blob,
+                                     fingerprint(), payload)) {
+            throw std::runtime_error(
+                "lot resume: checkpoint is corrupt or from a different lot "
+                "configuration");
+        }
+        restore_finished_sites(payload, options_.parameters, result.sites);
+    }
+
+    std::vector<std::size_t> to_run;
+    for (std::size_t site = 0; site < options_.sites; ++site) {
+        if (!result.sites[site].finished()) to_run.push_back(site);
+    }
+    if (options_.checkpoint.max_sites_per_run > 0 &&
+        to_run.size() > options_.checkpoint.max_sites_per_run) {
+        to_run.resize(options_.checkpoint.max_sites_per_run);
+    }
+
+    // Serializes "mark finished + snapshot the finished set" so the
+    // checkpoint sink never observes a half-written SiteResult.
+    std::mutex checkpoint_mutex;
+    std::vector<char> finished(options_.sites, 0);
+    for (std::size_t site = 0; site < options_.sites; ++site) {
+        finished[site] = result.sites[site].finished() ? 1 : 0;
+    }
+    util::ProgressCounter progress(to_run.size());
 
     const auto characterize_site = [&](std::size_t site) {
         util::Rng rng = site_rngs[site];
@@ -40,18 +211,58 @@ LotResult LotRunner::run() const {
         chip_options.seed = rng();  // independent per-site noise stream
         device::MemoryTestChip chip(dies[site], chip_options);
         ate::Tester tester(chip, options_.tester);
+        if (faults_on) tester.attach_fault_injector(&site_injectors[site]);
 
+        core::CharacterizerOptions characterizer = options_.characterizer;
+        if (options_.policy.enabled) {
+            // Per-site policy seeds, drawn only when the policy is on so
+            // a disabled policy leaves the site stream untouched.
+            characterizer.learner.trip.policy = options_.policy;
+            characterizer.learner.trip.policy.seed = rng();
+            characterizer.optimizer.trip.policy = options_.policy;
+            characterizer.optimizer.trip.policy.seed = rng();
+        }
         const core::CharacterizationCampaign campaign(
-            tester, options_.parameters, options_.characterizer);
+            tester, options_.parameters, characterizer);
 
         SiteResult& out = result.sites[site];
-        out.site = site;
-        out.die = dies[site];
-        out.campaigns = campaign.run(rng);
-        out.log = tester.log();
-        out.max_risk = 0.0;
-        for (const core::ParameterCampaign& c : out.campaigns) {
-            out.max_risk = std::max(out.max_risk, c.margin_risk);
+        try {
+            out.campaigns = campaign.run(rng);
+            out.status = SiteStatus::kCompleted;
+            out.max_risk = 0.0;
+            for (const core::ParameterCampaign& c : out.campaigns) {
+                SiteParameterOutcome outcome;
+                outcome.parameter = c.parameter;
+                outcome.worst = c.report.worst_record;
+                outcome.margin_risk = c.margin_risk;
+                out.outcomes.push_back(std::move(outcome));
+                out.max_risk = std::max(out.max_risk, c.margin_risk);
+                out.faults.merge(c.learned.faults);
+                out.faults.merge(c.report.faults);
+            }
+        } catch (const ate::SiteDeadError&) {
+            out.status = SiteStatus::kDead;
+            out.max_risk = 1.0;  // a site with no answer is maximum risk
+        } catch (const core::SiteQuarantinedError&) {
+            out.status = SiteStatus::kQuarantined;
+            out.max_risk = 1.0;
+        }
+        out.log = tester.log();  // partial ledger survives a dead site
+        if (faults_on) out.injected = site_injectors[site].stats();
+
+        {
+            const std::lock_guard<std::mutex> lock(checkpoint_mutex);
+            finished[site] = 1;
+            if (options_.checkpoint.save) {
+                std::vector<SiteResult> snapshot;
+                // The sink sees only sites marked finished under the lock,
+                // so concurrent writers' entries are never read mid-write.
+                for (std::size_t s = 0; s < options_.sites; ++s) {
+                    if (finished[s]) snapshot.push_back(result.sites[s]);
+                }
+                options_.checkpoint.save(core::encode_checkpoint(
+                    fingerprint(), encode_finished_sites(snapshot)));
+            }
         }
         const std::size_t done = progress.tick();
         if (options_.on_progress) options_.on_progress(done, options_.sites);
@@ -59,7 +270,7 @@ LotResult LotRunner::run() const {
 
     const auto start = std::chrono::steady_clock::now();
     util::ThreadPool pool(options_.jobs);
-    for (std::size_t site = 0; site < options_.sites; ++site) {
+    for (const std::size_t site : to_run) {
         pool.submit([&characterize_site, site] { characterize_site(site); });
     }
     pool.wait();
@@ -69,7 +280,7 @@ LotResult LotRunner::run() const {
 
     // Merge in site order so the lot ledger is thread-count independent.
     for (const SiteResult& site : result.sites) {
-        result.merged_log.merge(site.log);
+        if (site.finished()) result.merged_log.merge(site.log);
     }
     return result;
 }

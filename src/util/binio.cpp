@@ -1,0 +1,163 @@
+#include "util/binio.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cichar::util {
+namespace {
+
+void put_bytes(std::string& out, std::uint64_t value, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+    }
+}
+
+}  // namespace
+
+void put_u32(std::string& out, std::uint32_t value) {
+    put_bytes(out, value, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+    put_bytes(out, value, 8);
+}
+
+void put_double(std::string& out, double value) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    put_bytes(out, bits, 8);
+}
+
+void put_bool(std::string& out, bool value) {
+    out.push_back(value ? '\x01' : '\x00');
+}
+
+void put_string(std::string& out, std::string_view value) {
+    put_u64(out, value.size());
+    out.append(value.data(), value.size());
+}
+
+void put_rng(std::string& out, const Rng& rng) {
+    const Rng::State state = rng.state();
+    for (const std::uint64_t word : state.words) put_u64(out, word);
+    put_double(out, state.spare_normal);
+    put_bool(out, state.has_spare);
+}
+
+const unsigned char* ByteReader::take(std::size_t count) {
+    if (count > data_.size() - pos_) {
+        throw std::runtime_error("binio: truncated input (need " +
+                                 std::to_string(count) + " bytes at offset " +
+                                 std::to_string(pos_) + ", have " +
+                                 std::to_string(data_.size() - pos_) + ")");
+    }
+    const auto* bytes =
+        reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+    pos_ += count;
+    return bytes;
+}
+
+std::uint32_t ByteReader::get_u32() {
+    const unsigned char* b = take(4);
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        value |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    }
+    return value;
+}
+
+std::uint64_t ByteReader::get_u64() {
+    const unsigned char* b = take(8);
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    }
+    return value;
+}
+
+double ByteReader::get_double() {
+    const std::uint64_t bits = get_u64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+bool ByteReader::get_bool() {
+    const unsigned char byte = *take(1);
+    if (byte > 1) {
+        throw std::runtime_error("binio: malformed bool value " +
+                                 std::to_string(byte));
+    }
+    return byte != 0;
+}
+
+std::string ByteReader::get_string(std::uint64_t max_length) {
+    const std::uint64_t length = get_u64();
+    if (length > max_length) {
+        throw std::runtime_error("binio: string length " +
+                                 std::to_string(length) + " exceeds limit " +
+                                 std::to_string(max_length));
+    }
+    const unsigned char* b = take(static_cast<std::size_t>(length));
+    return std::string(reinterpret_cast<const char*>(b),
+                       static_cast<std::size_t>(length));
+}
+
+Rng ByteReader::get_rng() {
+    Rng::State state;
+    for (std::uint64_t& word : state.words) word = get_u64();
+    state.spare_normal = get_double();
+    state.has_spare = get_bool();
+    Rng rng;
+    rng.restore(state);
+    return rng;
+}
+
+void ByteReader::skip(std::size_t count) {
+    (void)take(count);
+}
+
+std::uint64_t checksum64(std::string_view data) noexcept {
+    std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+    for (const char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x00000100000001B3ULL;  // FNV-1a prime
+    }
+    return hash;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view contents) {
+    const std::string temp_path = path + ".tmp";
+    {
+        std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+        if (!out) return false;
+        out.write(contents.data(),
+                  static_cast<std::streamsize>(contents.size()));
+        out.flush();
+        if (!out) {
+            out.close();
+            std::remove(temp_path.c_str());
+            return false;
+        }
+    }
+    if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+        std::remove(temp_path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return std::nullopt;
+    return std::move(buffer).str();
+}
+
+}  // namespace cichar::util

@@ -1,0 +1,75 @@
+// Little-endian binary serialization helpers shared by every on-disk
+// artifact (trip cache, hunt/lot checkpoints). Writers append to a byte
+// buffer; readers walk a cursor and throw on truncation, so a corrupt
+// file surfaces as one catchable error instead of silently loading
+// garbage. atomic_write_file() gives crash-safe persistence: a killed
+// process can leave a stale temp file behind, never a torn target.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace cichar::util {
+
+/// Hard ceiling for serialized strings; anything longer in a file is
+/// treated as corruption, not data.
+inline constexpr std::uint64_t kMaxSerializedString = 1ULL << 20;
+
+void put_u32(std::string& out, std::uint32_t value);
+void put_u64(std::string& out, std::uint64_t value);
+void put_double(std::string& out, double value);
+void put_bool(std::string& out, bool value);
+/// u64 length prefix + raw bytes.
+void put_string(std::string& out, std::string_view value);
+/// Serializes the full generator state (stream position + normal spare).
+void put_rng(std::string& out, const Rng& rng);
+
+/// Cursor over a serialized byte buffer. Every get_* throws
+/// std::runtime_error when the buffer is too short or a value is
+/// malformed, so callers can wrap a whole parse in one try block.
+class ByteReader {
+public:
+    explicit ByteReader(std::string_view data) noexcept : data_(data) {}
+
+    [[nodiscard]] std::uint32_t get_u32();
+    [[nodiscard]] std::uint64_t get_u64();
+    [[nodiscard]] double get_double();
+    [[nodiscard]] bool get_bool();
+    [[nodiscard]] std::string get_string(
+        std::uint64_t max_length = kMaxSerializedString);
+    [[nodiscard]] Rng get_rng();
+
+    /// Skips `count` raw bytes (throws past the end).
+    void skip(std::size_t count);
+
+    [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+    [[nodiscard]] std::size_t remaining() const noexcept {
+        return data_.size() - pos_;
+    }
+    [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+private:
+    const unsigned char* take(std::size_t count);
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+/// 64-bit FNV-1a over the bytes. Detects truncation and bit flips in
+/// persisted blobs; not cryptographic.
+[[nodiscard]] std::uint64_t checksum64(std::string_view data) noexcept;
+
+/// Writes `contents` to `path` via a temp file in the same directory and
+/// an atomic rename. Returns false (leaving any previous file intact) if
+/// any step fails.
+[[nodiscard]] bool atomic_write_file(const std::string& path,
+                                     std::string_view contents);
+
+/// Reads a whole file; nullopt when missing or unreadable.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace cichar::util

@@ -101,6 +101,20 @@ Rng Rng::fork(std::uint64_t salt) noexcept {
     return Rng((*this)() ^ (salt * 0xD1B54A32D192ED03ULL));
 }
 
+Rng::State Rng::state() const noexcept {
+    State snapshot;
+    for (std::size_t i = 0; i < 4; ++i) snapshot.words[i] = state_[i];
+    snapshot.spare_normal = spare_normal_;
+    snapshot.has_spare = has_spare_;
+    return snapshot;
+}
+
+void Rng::restore(const State& state) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state.words[i];
+    spare_normal_ = state.spare_normal;
+    has_spare_ = state.has_spare;
+}
+
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t pool) {
     assert(n <= pool);

@@ -80,6 +80,19 @@ public:
     [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                                       std::size_t pool);
 
+    /// Full generator snapshot: stream position plus the cached Marsaglia
+    /// spare, so a restored Rng replays the exact remaining sequence.
+    struct State {
+        std::uint64_t words[4] = {0, 0, 0, 0};
+        double spare_normal = 0.0;
+        bool has_spare = false;
+
+        [[nodiscard]] bool operator==(const State&) const = default;
+    };
+
+    [[nodiscard]] State state() const noexcept;
+    void restore(const State& state) noexcept;
+
 private:
     std::uint64_t state_[4];
     double spare_normal_ = 0.0;

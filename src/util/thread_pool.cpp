@@ -35,11 +35,17 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
     std::unique_lock<std::mutex> lock(mutex_);
     all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    last_batch_failures_ = std::exchange(failures_, 0);
     if (first_error_) {
         std::exception_ptr error = std::exchange(first_error_, nullptr);
         lock.unlock();
         std::rethrow_exception(error);
     }
+}
+
+std::size_t ThreadPool::last_batch_failures() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return last_batch_failures_;
 }
 
 void ThreadPool::worker_loop() {
@@ -62,7 +68,10 @@ void ThreadPool::worker_loop() {
         }
         {
             const std::lock_guard<std::mutex> lock(mutex_);
-            if (error && !first_error_) first_error_ = error;
+            if (error) {
+                ++failures_;
+                if (!first_error_) first_error_ = error;
+            }
             --active_;
             if (queue_.empty() && active_ == 0) all_done_.notify_all();
         }

@@ -83,17 +83,25 @@ public:
     /// immediately.
     void wait();
 
+    /// Number of tasks that threw in the batch most recently completed by
+    /// wait() (including the one whose exception wait() rethrew). Query
+    /// after wait() returns or after catching its exception; resets at the
+    /// start of each new batch's wait().
+    [[nodiscard]] std::size_t last_batch_failures() const noexcept;
+
 private:
     void worker_loop();
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable task_ready_;
     std::condition_variable all_done_;
     std::size_t active_ = 0;
     bool stopping_ = false;
     std::exception_ptr first_error_;
+    std::size_t failures_ = 0;
+    std::size_t last_batch_failures_ = 0;
 };
 
 }  // namespace cichar::util

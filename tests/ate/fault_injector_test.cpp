@@ -1,0 +1,215 @@
+#include "ate/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ate/tester.hpp"
+#include "device/memory_chip.hpp"
+
+namespace cichar::ate {
+namespace {
+
+testgen::Test simple_test() {
+    testgen::TestPattern p("t");
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        p.write(i % 32, static_cast<std::uint16_t>(i));
+    }
+    return testgen::make_test(std::move(p));
+}
+
+device::MemoryChipOptions noiseless() {
+    device::MemoryChipOptions o;
+    o.noise_sigma_ns = 0.0;
+    return o;
+}
+
+/// Replays `count` measurements and encodes each decision compactly.
+std::vector<double> replay(FaultInjector& injector, const Parameter& p,
+                           int count) {
+    std::vector<double> trace;
+    for (int i = 0; i < count; ++i) {
+        try {
+            const auto fate = injector.on_measurement(p);
+            if (fate.forced) {
+                trace.push_back(fate.forced_outcome ? 2.0 : 3.0);
+            } else {
+                trace.push_back(fate.setting_offset);
+            }
+        } catch (const MeasurementTimeout&) {
+            trace.push_back(-1.0);
+        } catch (const SiteDeadError&) {
+            trace.push_back(-2.0);
+        }
+    }
+    return trace;
+}
+
+TEST(FaultProfileTest, NoneHasNoFaults) {
+    EXPECT_FALSE(FaultProfile::none().any());
+    EXPECT_EQ(FaultProfile::none().describe(), "off");
+    EXPECT_TRUE(FaultProfile::moderate().any());
+}
+
+TEST(FaultProfileTest, ParseForms) {
+    EXPECT_FALSE(FaultProfile::parse("off")->any());
+    EXPECT_FALSE(FaultProfile::parse("none")->any());
+    EXPECT_FALSE(FaultProfile::parse("")->any());
+    EXPECT_DOUBLE_EQ(FaultProfile::parse("transient")->transient_rate, 0.05);
+    EXPECT_DOUBLE_EQ(FaultProfile::parse("transient:0.10")->transient_rate,
+                     0.10);
+    EXPECT_EQ(*FaultProfile::parse("moderate"), FaultProfile::moderate());
+
+    const auto custom = FaultProfile::parse(
+        "transient=0.05,stuck=0.01,timeout=0.02,death=0.001,span=0.03,"
+        "stuck-len=7,seed=42");
+    ASSERT_TRUE(custom.has_value());
+    EXPECT_DOUBLE_EQ(custom->transient_rate, 0.05);
+    EXPECT_DOUBLE_EQ(custom->stuck_rate, 0.01);
+    EXPECT_DOUBLE_EQ(custom->timeout_rate, 0.02);
+    EXPECT_DOUBLE_EQ(custom->site_death_rate, 0.001);
+    EXPECT_DOUBLE_EQ(custom->transient_span_fraction, 0.03);
+    EXPECT_EQ(custom->stuck_duration, 7u);
+    EXPECT_EQ(custom->seed, 42u);
+}
+
+TEST(FaultProfileTest, ParseRejectsMalformedSpecs) {
+    EXPECT_FALSE(FaultProfile::parse("transient:1.5").has_value());
+    EXPECT_FALSE(FaultProfile::parse("transient:abc").has_value());
+    EXPECT_FALSE(FaultProfile::parse("bogus=1").has_value());
+    EXPECT_FALSE(FaultProfile::parse("transient=").has_value());
+    EXPECT_FALSE(FaultProfile::parse("stuck=-0.1").has_value());
+    EXPECT_FALSE(FaultProfile::parse("stuck-len=0").has_value());
+    EXPECT_FALSE(FaultProfile::parse("seed=notanumber").has_value());
+}
+
+TEST(FaultInjectorTest, SameSeedSameFaultSequence) {
+    const FaultProfile profile = FaultProfile::moderate(99);
+    FaultInjector a(profile);
+    FaultInjector b(profile);
+    const Parameter p = Parameter::data_valid_time();
+    EXPECT_EQ(replay(a, p, 500), replay(b, p, 500));
+    EXPECT_EQ(a.stats(), b.stats());
+    EXPECT_GT(a.stats().injected(), 0u);
+}
+
+TEST(FaultInjectorTest, StuckEpisodeForcesOutcomeForDuration) {
+    FaultProfile profile;
+    profile.stuck_rate = 1.0;  // every clean measurement starts an episode
+    profile.stuck_duration = 4;
+    FaultInjector injector(profile);
+    const Parameter p = Parameter::data_valid_time();
+    const auto first = injector.on_measurement(p);
+    ASSERT_TRUE(first.forced);
+    for (int i = 1; i < 4; ++i) {
+        const auto next = injector.on_measurement(p);
+        EXPECT_TRUE(next.forced);
+        EXPECT_EQ(next.forced_outcome, first.forced_outcome);
+    }
+    EXPECT_EQ(injector.stats().stuck_episodes, 1u);
+    EXPECT_EQ(injector.stats().stuck_measurements, 4u);
+}
+
+TEST(FaultInjectorTest, TimeoutThrowsAndCounts) {
+    FaultProfile profile;
+    profile.timeout_rate = 1.0;
+    FaultInjector injector(profile);
+    const Parameter p = Parameter::data_valid_time();
+    EXPECT_THROW((void)injector.on_measurement(p), MeasurementTimeout);
+    EXPECT_EQ(injector.stats().timeouts, 1u);
+    EXPECT_FALSE(injector.dead());
+}
+
+TEST(FaultInjectorTest, SiteDeathIsPermanent) {
+    FaultProfile profile;
+    profile.site_death_rate = 1.0;
+    FaultInjector injector(profile);
+    const Parameter p = Parameter::data_valid_time();
+    EXPECT_THROW((void)injector.on_measurement(p), SiteDeadError);
+    EXPECT_TRUE(injector.dead());
+    EXPECT_THROW((void)injector.on_measurement(p), SiteDeadError);
+    // Death is counted once; later calls are refused, not re-counted.
+    EXPECT_EQ(injector.stats().site_deaths, 1u);
+    EXPECT_EQ(injector.stats().measurements, 1u);
+}
+
+TEST(FaultInjectorTest, ForkedChildrenAreIndependentAndDeterministic) {
+    FaultInjector parent_a(FaultProfile::moderate(7));
+    FaultInjector parent_b(FaultProfile::moderate(7));
+    FaultInjector child_a1 = parent_a.fork(1);
+    FaultInjector child_a2 = parent_a.fork(2);
+    FaultInjector child_b1 = parent_b.fork(1);
+    const Parameter p = Parameter::data_valid_time();
+    const auto trace_a1 = replay(child_a1, p, 300);
+    EXPECT_EQ(trace_a1, replay(child_b1, p, 300));
+    EXPECT_NE(trace_a1, replay(child_a2, p, 300));
+}
+
+TEST(FaultInjectorTest, SaveLoadReplaysExactTail) {
+    FaultInjector injector(FaultProfile::moderate(123));
+    const Parameter p = Parameter::data_valid_time();
+    (void)replay(injector, p, 137);
+    std::string blob;
+    injector.save(blob);
+
+    const auto expected_tail = replay(injector, p, 200);
+
+    FaultInjector restored(FaultProfile::moderate(123));
+    util::ByteReader reader(blob);
+    restored.load(reader);
+    EXPECT_TRUE(reader.at_end());
+    EXPECT_EQ(replay(restored, p, 200), expected_tail);
+}
+
+TEST(FaultInjectorTest, AbsorbStatsAccumulates) {
+    FaultInjector parent(FaultProfile::moderate(5));
+    InjectionStats child;
+    child.measurements = 10;
+    child.timeouts = 2;
+    child.transients = 3;
+    parent.absorb_stats(child);
+    parent.absorb_stats(child);
+    EXPECT_EQ(parent.stats().measurements, 20u);
+    EXPECT_EQ(parent.stats().timeouts, 4u);
+    EXPECT_EQ(parent.stats().injected(), 10u);
+}
+
+TEST(FaultInjectorTest, DisabledInjectorLeavesTesterByteIdentical) {
+    const testgen::Test t = simple_test();
+    const Parameter p = Parameter::data_valid_time();
+
+    device::MemoryTestChip plain_chip({}, noiseless());
+    Tester plain(plain_chip);
+
+    device::MemoryTestChip faulted_chip({}, noiseless());
+    Tester faulted(faulted_chip);
+    FaultInjector injector(FaultProfile::none());
+    faulted.attach_fault_injector(&injector);
+
+    for (double setting = 15.0; setting <= 45.0; setting += 0.7) {
+        ASSERT_EQ(plain.apply(t, p, setting), faulted.apply(t, p, setting));
+    }
+    EXPECT_EQ(injector.stats().measurements, 0u);
+}
+
+TEST(FaultInjectorTest, StuckContactOverridesDevice) {
+    const testgen::Test t = simple_test();
+    const Parameter p = Parameter::data_valid_time();
+    device::MemoryTestChip chip({}, noiseless());
+    Tester tester(chip);
+    FaultProfile profile;
+    profile.stuck_rate = 1.0;
+    profile.stuck_duration = 1000;
+    profile.seed = 3;  // with this seed the first episode forces one outcome
+    FaultInjector injector(profile);
+    tester.attach_fault_injector(&injector);
+
+    // Far pass side and far fail side return the same (forced) outcome.
+    const bool at_pass = tester.apply(t, p, p.pass_side());
+    const bool at_fail = tester.apply(t, p, p.fail_side());
+    EXPECT_EQ(at_pass, at_fail);
+    EXPECT_EQ(injector.stats().stuck_measurements, 2u);
+}
+
+}  // namespace
+}  // namespace cichar::ate

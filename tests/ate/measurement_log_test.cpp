@@ -71,5 +71,51 @@ TEST(MeasurementLogMergeTest, KeepsOwnActivePhase) {
     EXPECT_EQ(a.phase_counters("theirs").applications, 1u);
 }
 
+TEST(MeasurementLogMergeTest, SelfMergeDoublesEveryCounter) {
+    MeasurementLog a = make_log({{"learning", 10}, {"ga", 4}});
+    a.merge(a);
+    EXPECT_EQ(a.phase_counters("learning").applications, 2u);
+    EXPECT_EQ(a.phase_counters("learning").vector_cycles, 20u);
+    EXPECT_EQ(a.phase_counters("ga").vector_cycles, 8u);
+    EXPECT_EQ(a.total().applications, 4u);
+    EXPECT_EQ(a.phases().size(), 2u);
+}
+
+TEST(MeasurementLogMergeTest, MergeIntoEmptyEqualsSource) {
+    const MeasurementLog b = make_log({{"learning", 5}, {"shmoo", 2}});
+    MeasurementLog empty;
+    empty.merge(b);
+    EXPECT_EQ(empty.report(), b.report());
+    EXPECT_EQ(empty.total().vector_cycles, b.total().vector_cycles);
+}
+
+TEST(MeasurementLogMergeTest, PhaseWithNoRecordsIsNotInvented) {
+    // set_phase alone creates no ledger entry, so merging a log that only
+    // armed a phase (a site that died before its first measurement)
+    // changes nothing.
+    MeasurementLog b;
+    b.set_phase("armed-but-unused");
+    MeasurementLog a = make_log({{"learning", 1}});
+    const std::string before = a.report();
+    a.merge(b);
+    EXPECT_EQ(a.report(), before);
+    ASSERT_EQ(a.phases().size(), 1u);
+}
+
+TEST(MeasurementLogMergeTest, SaveLoadRoundTripAfterMerge) {
+    // The lot checkpoint persists merged site ledgers; the round trip
+    // must be bit-exact so a resumed lot re-renders the same report.
+    MeasurementLog a = make_log({{"learning", 100}, {"ga", 50}});
+    a.merge(make_log({{"ga", 7}, {"shmoo", 3}}));
+    std::string bytes;
+    a.save(bytes);
+    MeasurementLog loaded;
+    util::ByteReader in(bytes);
+    loaded.load(in);
+    EXPECT_EQ(loaded.report(), a.report());
+    EXPECT_EQ(loaded.total().applications, a.total().applications);
+    EXPECT_DOUBLE_EQ(loaded.total().tester_seconds, a.total().tester_seconds);
+}
+
 }  // namespace
 }  // namespace cichar::ate

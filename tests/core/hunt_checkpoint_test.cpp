@@ -1,0 +1,168 @@
+// Crash-safe hunt checkpointing: a hunt aborted mid-run (deterministic
+// stand-in for SIGKILL) and resumed from its checkpoint blob must finish
+// byte-identical to a hunt that was never interrupted — including live
+// measurement counts, cache statistics, fault/policy counters, and the
+// rendered report.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ate/fault_injector.hpp"
+#include "core/optimizer.hpp"
+#include "core/report.hpp"
+#include "device/memory_chip.hpp"
+
+namespace cichar::core {
+namespace {
+
+device::MemoryChipOptions noiseless() {
+    device::MemoryChipOptions o;
+    o.noise_sigma_ns = 0.0;
+    return o;
+}
+
+OptimizerOptions hunt_options(bool parallel) {
+    OptimizerOptions opts;
+    opts.ga.population.size = 10;
+    opts.ga.populations = 2;
+    opts.ga.max_generations = 8;
+    opts.ga.stagnation_limit = 4;
+    opts.ga.max_restarts = 2;
+    opts.ga.migration_interval = 3;
+    opts.parallel.enabled = parallel;
+    opts.parallel.jobs = 2;
+    opts.cache.enabled = true;
+    return opts;
+}
+
+ate::FaultProfile mild_profile() {
+    ate::FaultProfile profile;
+    profile.transient_rate = 0.02;
+    profile.transient_span_fraction = 0.2;
+    profile.timeout_rate = 0.005;
+    profile.seed = 7;
+    return profile;
+}
+
+struct HuntLeg {
+    WorstCaseReport report;
+    std::string rendered;
+    std::uint64_t applications = 0;
+    std::string last_checkpoint;
+};
+
+HuntLeg run_leg(OptimizerOptions opts, bool faults,
+                const std::string& resume_blob,
+                std::size_t abort_after_generation) {
+    HuntLeg leg;
+    device::MemoryTestChip chip({}, noiseless());
+    ate::Tester tester(chip);
+    ate::FaultInjector injector(faults ? mild_profile()
+                                       : ate::FaultProfile::none());
+    if (faults) {
+        tester.attach_fault_injector(&injector);
+        opts.trip.policy.enabled = true;
+    }
+    opts.checkpoint.resume_blob = resume_blob;
+    opts.checkpoint.abort_after_generation = abort_after_generation;
+    opts.checkpoint.save = [&leg](const std::string& blob) {
+        leg.last_checkpoint = blob;
+    };
+
+    util::Rng rng(2005);
+    testgen::RandomGeneratorOptions generator;
+    generator.condition_bounds = testgen::ConditionBounds::fixed_nominal();
+    const WorstCaseOptimizer optimizer(opts);
+    leg.report = optimizer.run_unseeded(tester,
+                                        ate::Parameter::data_valid_time(),
+                                        generator,
+                                        Objective::kDriftToMinimum, rng);
+    ReportInputs inputs;
+    inputs.seed = 2005;
+    inputs.hunt = &leg.report;
+    leg.rendered = render_report(inputs);
+    leg.applications = tester.log().total().applications;
+    return leg;
+}
+
+void expect_identical(const HuntLeg& resumed, const HuntLeg& reference) {
+    EXPECT_EQ(resumed.report.outcome.best_fitness,
+              reference.report.outcome.best_fitness);
+    EXPECT_EQ(resumed.report.outcome.best.sequence,
+              reference.report.outcome.best.sequence);
+    EXPECT_EQ(resumed.report.outcome.best.condition,
+              reference.report.outcome.best.condition);
+    EXPECT_EQ(resumed.report.outcome.best.pattern_seed,
+              reference.report.outcome.best.pattern_seed);
+    EXPECT_EQ(resumed.report.outcome.evaluations,
+              reference.report.outcome.evaluations);
+    EXPECT_EQ(resumed.report.outcome.best_history,
+              reference.report.outcome.best_history);
+    EXPECT_EQ(resumed.report.worst_record.trip_point,
+              reference.report.worst_record.trip_point);
+    EXPECT_EQ(resumed.report.worst_record.measurements,
+              reference.report.worst_record.measurements);
+    EXPECT_EQ(resumed.report.ate_measurements,
+              reference.report.ate_measurements);
+    EXPECT_EQ(resumed.report.cache_stats.hits, reference.report.cache_stats.hits);
+    EXPECT_EQ(resumed.report.cache_stats.misses,
+              reference.report.cache_stats.misses);
+    EXPECT_EQ(resumed.report.faults, reference.report.faults);
+    EXPECT_EQ(resumed.report.injected, reference.report.injected);
+    EXPECT_EQ(resumed.report.database.size(), reference.report.database.size());
+    EXPECT_EQ(resumed.rendered, reference.rendered);
+    EXPECT_EQ(resumed.applications, reference.applications);
+}
+
+TEST(HuntCheckpointTest, SerialKillAndResumeMatchesUninterrupted) {
+    const OptimizerOptions opts = hunt_options(/*parallel=*/false);
+    const HuntLeg reference = run_leg(opts, false, "", 0);
+    EXPECT_FALSE(reference.report.aborted);
+    EXPECT_FALSE(reference.last_checkpoint.empty());
+
+    HuntLeg aborted = run_leg(opts, false, "", 3);
+    EXPECT_TRUE(aborted.report.aborted);
+    ASSERT_FALSE(aborted.last_checkpoint.empty());
+
+    const HuntLeg resumed = run_leg(opts, false, aborted.last_checkpoint, 0);
+    EXPECT_FALSE(resumed.report.aborted);
+    expect_identical(resumed, reference);
+}
+
+TEST(HuntCheckpointTest, ParallelFaultedKillAndResumeMatchesUninterrupted) {
+    const OptimizerOptions opts = hunt_options(/*parallel=*/true);
+    const HuntLeg reference = run_leg(opts, true, "", 0);
+    EXPECT_FALSE(reference.report.aborted);
+
+    HuntLeg aborted = run_leg(opts, true, "", 4);
+    EXPECT_TRUE(aborted.report.aborted);
+    ASSERT_FALSE(aborted.last_checkpoint.empty());
+
+    const HuntLeg resumed = run_leg(opts, true, aborted.last_checkpoint, 0);
+    EXPECT_FALSE(resumed.report.aborted);
+    expect_identical(resumed, reference);
+    // The faulted leg really saw faults; the policy really intervened.
+    EXPECT_GT(resumed.report.injected.measurements, 0u);
+}
+
+TEST(HuntCheckpointTest, AbortedReportIsPartial) {
+    const HuntLeg aborted = run_leg(hunt_options(false), false, "", 2);
+    EXPECT_TRUE(aborted.report.aborted);
+    EXPECT_EQ(aborted.report.outcome.generations_run, 2u);
+    // The final re-measure is skipped on abort.
+    EXPECT_EQ(aborted.report.worst_record.measurements, 0u);
+}
+
+TEST(HuntCheckpointTest, ResumeRejectsMismatchedConfiguration) {
+    const OptimizerOptions opts = hunt_options(false);
+    HuntLeg aborted = run_leg(opts, false, "", 2);
+    ASSERT_FALSE(aborted.last_checkpoint.empty());
+
+    // Resuming a no-fault checkpoint into a faulted run must throw, not
+    // silently mix states.
+    EXPECT_THROW((void)run_leg(opts, true, aborted.last_checkpoint, 0),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cichar::core

@@ -232,6 +232,70 @@ TEST(TripCachePersistTest, OverCapacityLoadKeepsMostRecent) {
     EXPECT_NE(small.lookup(keys[3]), nullptr);
 }
 
+// Fuzz-style hardening: every truncated prefix of a saved cache must be
+// refused without crashing and without disturbing the live cache.
+TEST(TripCachePersistTest, EveryTruncatedPrefixRejected) {
+    TripPointCache cache(8);
+    for (int i = 0; i < 3; ++i) {
+        TripCacheKey key = make_key();
+        key.recipe.cycles = 200 + static_cast<std::uint32_t>(i);
+        cache.insert(key, make_record(static_cast<double>(i)));
+    }
+    std::stringstream stream;
+    ASSERT_TRUE(cache.save(stream, "id"));
+    const std::string bytes = stream.str();
+
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        TripPointCache loaded(8);
+        loaded.insert(make_key(), make_record(9.0));
+        std::stringstream truncated(bytes.substr(0, cut));
+        EXPECT_FALSE(loaded.load(truncated, "id")) << "prefix length " << cut;
+        EXPECT_EQ(loaded.size(), 1u) << "prefix length " << cut;
+        EXPECT_NE(loaded.lookup(make_key()), nullptr);
+    }
+}
+
+// Any single flipped byte — payload, length field, or checksum itself —
+// fails the trailing checksum and the file is treated as cold.
+TEST(TripCachePersistTest, EveryByteFlipRejected) {
+    TripPointCache cache(4);
+    cache.insert(make_key(), make_record(1.0));
+    std::stringstream stream;
+    ASSERT_TRUE(cache.save(stream, "id"));
+    const std::string bytes = stream.str();
+
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+        std::string mutated = bytes;
+        mutated[pos] = static_cast<char>(mutated[pos] ^ 0x41);
+        TripPointCache loaded(4);
+        std::stringstream corrupt(mutated);
+        EXPECT_FALSE(loaded.load(corrupt, "id")) << "byte " << pos;
+        EXPECT_EQ(loaded.size(), 0u) << "byte " << pos;
+    }
+}
+
+// Appending garbage past the declared entry count is corruption, not
+// extra warmth.
+TEST(TripCachePersistTest, TrailingGarbageRejected) {
+    TripPointCache cache(4);
+    cache.insert(make_key(), make_record(1.0));
+    std::stringstream stream;
+    ASSERT_TRUE(cache.save(stream, "id"));
+    std::stringstream padded(stream.str() + "extra");
+    TripPointCache loaded(4);
+    EXPECT_FALSE(loaded.load(padded, "id"));
+    EXPECT_EQ(loaded.size(), 0u);
+}
+
+// A version-1 file (no checksum) fails the magic check: documented
+// cold-cache fallback, never a misparse.
+TEST(TripCachePersistTest, OldFormatVersionStartsCold) {
+    std::stringstream v1("CICHTPC1\x02\x00\x00\x00\x00\x00\x00\x00id");
+    TripPointCache loaded(4);
+    EXPECT_FALSE(loaded.load(v1, "id"));
+    EXPECT_EQ(loaded.size(), 0u);
+}
+
 TEST(TripCacheStatsTest, MergeAccumulates) {
     TripCacheStats a{10, 5, 1};
     const TripCacheStats b{2, 3, 0};

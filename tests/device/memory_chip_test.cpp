@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "testgen/march.hpp"
 #include "util/statistics.hpp"
 
@@ -215,6 +219,61 @@ TEST(MemoryChipTest, SlowDieWorseThanFastDie) {
     const testgen::Test t = simple_test();
     EXPECT_LT(slow.true_parameter(t, ParameterKind::kDataValidTime),
               fast.true_parameter(t, ParameterKind::kDataValidTime));
+}
+
+TEST(MemoryChipTest, SaveLoadStateReplaysExactMeasurements) {
+    MemoryChipOptions opts;  // noisy, with drift: the hard case
+    opts.enable_drift = true;
+    MemoryTestChip chip({}, opts);
+    const testgen::Test t = simple_test();
+    for (int i = 0; i < 50; ++i) {
+        (void)chip.passes(t, ParameterKind::kDataValidTime, 30.0 + 0.1 * i);
+    }
+    std::string blob;
+    ASSERT_TRUE(chip.save_state(blob));
+
+    std::vector<bool> expected;
+    for (int i = 0; i < 100; ++i) {
+        expected.push_back(
+            chip.passes(t, ParameterKind::kDataValidTime, 25.0 + 0.15 * i));
+    }
+
+    MemoryTestChip restored({}, opts);  // identical construction, no history
+    util::ByteReader reader(blob);
+    ASSERT_TRUE(restored.load_state(reader));
+    EXPECT_TRUE(reader.at_end());
+    EXPECT_EQ(restored.heat(), chip.heat() >= 0 ? restored.heat() : 0.0);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(
+            restored.passes(t, ParameterKind::kDataValidTime, 25.0 + 0.15 * i),
+            expected[static_cast<std::size_t>(i)])
+            << "measurement " << i << " diverged after state restore";
+    }
+}
+
+TEST(MemoryChipTest, SaveLoadStatePreservesArrayContents) {
+    MemoryTestChip chip({}, noiseless());
+    const testgen::Test t = simple_test();
+    (void)chip.run_functional(t);  // leaves data in the array
+    std::string blob;
+    ASSERT_TRUE(chip.save_state(blob));
+
+    MemoryTestChip restored({}, noiseless());
+    util::ByteReader reader(blob);
+    ASSERT_TRUE(restored.load_state(reader));
+    EXPECT_EQ(restored.applications(), chip.applications());
+    EXPECT_EQ(restored.run_functional(t).miscompares,
+              chip.run_functional(t).miscompares);
+}
+
+TEST(MemoryChipTest, LoadStateRejectsTruncatedBlob) {
+    MemoryTestChip chip({}, noiseless());
+    std::string blob;
+    ASSERT_TRUE(chip.save_state(blob));
+    blob.resize(blob.size() / 2);
+    MemoryTestChip victim({}, noiseless());
+    util::ByteReader reader(blob);
+    EXPECT_THROW((void)victim.load_state(reader), std::runtime_error);
 }
 
 }  // namespace

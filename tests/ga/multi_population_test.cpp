@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace cichar::ga {
 namespace {
 
@@ -150,6 +153,73 @@ TEST(MultiPopulationTest, SinglePopulationWorks) {
     const MultiPopulationGa driver(opts);
     const MultiPopulationOutcome outcome = driver.run(hill, {}, rng);
     EXPECT_GT(outcome.best_fitness, 0.9);
+}
+
+
+TEST(MultiPopulationTest, ResumedRunMatchesUninterruptedRun) {
+    MultiPopulationOptions opts = small_options();
+    opts.max_generations = 10;
+    opts.migration_interval = 4;  // exercise migration across the cut
+
+    // Uninterrupted reference run.
+    util::Rng rng_ref(33);
+    const MultiPopulationGa driver(opts);
+    const MultiPopulationOutcome reference =
+        driver.run(as_batch(hill), {}, rng_ref);
+
+    // Interrupted run: stop after generation 4, snapshotting loop + rng.
+    util::Rng rng_cut(33);
+    MultiPopulationCheckpoint snapshot;
+    util::Rng rng_at_cut(0);
+    MultiPopulationResume hooks;
+    hooks.on_generation = [&](const MultiPopulationCheckpoint& ck) {
+        if (ck.next_generation == 4) {
+            snapshot = ck;
+            rng_at_cut = rng_cut;  // the caller checkpoints its rng too
+            return false;          // simulated crash
+        }
+        return true;
+    };
+    const MultiPopulationOutcome partial =
+        driver.run(as_batch(hill), {}, rng_cut, hooks);
+    EXPECT_EQ(partial.generations_run, 4u);
+
+    // Round-trip the snapshot through bytes, like a real checkpoint file.
+    std::string blob;
+    snapshot.save(blob);
+    util::ByteReader reader(blob);
+    const MultiPopulationCheckpoint restored =
+        MultiPopulationCheckpoint::load(reader, opts.population);
+    EXPECT_TRUE(reader.at_end());
+
+    MultiPopulationResume resume;
+    resume.resume = &restored;
+    const MultiPopulationOutcome resumed =
+        driver.run(as_batch(hill), {}, rng_at_cut, resume);
+
+    EXPECT_EQ(resumed.best_fitness, reference.best_fitness);
+    EXPECT_EQ(resumed.best.sequence, reference.best.sequence);
+    EXPECT_EQ(resumed.best.condition, reference.best.condition);
+    EXPECT_EQ(resumed.best.pattern_seed, reference.best.pattern_seed);
+    EXPECT_EQ(resumed.evaluations, reference.evaluations);
+    EXPECT_EQ(resumed.generations_run, reference.generations_run);
+    EXPECT_EQ(resumed.restarts, reference.restarts);
+    EXPECT_EQ(resumed.best_history, reference.best_history);
+}
+
+TEST(MultiPopulationTest, OnGenerationObservesEveryGeneration) {
+    MultiPopulationOptions opts = small_options();
+    opts.max_generations = 5;
+    util::Rng rng(34);
+    std::vector<std::size_t> seen;
+    MultiPopulationResume hooks;
+    hooks.on_generation = [&](const MultiPopulationCheckpoint& ck) {
+        seen.push_back(ck.next_generation);
+        return true;
+    };
+    const MultiPopulationGa driver(opts);
+    (void)driver.run(as_batch(hill), {}, rng, hooks);
+    EXPECT_EQ(seen, (std::vector<std::size_t>{1, 2, 3, 4, 5}));
 }
 
 }  // namespace

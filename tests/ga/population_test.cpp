@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace cichar::ga {
 namespace {
@@ -190,6 +193,63 @@ TEST(PopulationTest, PreloadSkipsReEvaluation) {
     EXPECT_EQ(pop.evaluate(hill), 16u - 1u);
     EXPECT_EQ(pop.individual(0).fitness, 42.0);
     EXPECT_EQ(pop.best().fitness, 42.0);
+}
+
+
+TEST(PopulationTest, PreloadOutOfRangeThrows) {
+    util::Rng rng(21);
+    Population pop(small_options(), {}, rng);
+    EXPECT_THROW(pop.preload(pop.size(), 1.0), std::out_of_range);
+    EXPECT_THROW(pop.preload(pop.size() + 100, 1.0), std::out_of_range);
+    pop.preload(pop.size() - 1, 2.5);  // last valid index still works
+    EXPECT_EQ(pop.individual(pop.size() - 1).fitness, 2.5);
+}
+
+TEST(PopulationTest, SaveLoadRoundTripsMidEvolutionState) {
+    util::Rng rng(22);
+    Population pop(small_options(), {}, rng);
+    (void)pop.evaluate(hill);
+    (void)pop.step(hill, rng);
+    (void)pop.step(hill, rng);
+
+    std::string blob;
+    pop.save(blob);
+    util::ByteReader reader(blob);
+    Population restored = Population::load(reader, small_options());
+    EXPECT_TRUE(reader.at_end());
+
+    ASSERT_EQ(restored.size(), pop.size());
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+        EXPECT_EQ(restored.individual(i).chromosome,
+                  pop.individual(i).chromosome);
+        EXPECT_EQ(restored.individual(i).fitness, pop.individual(i).fitness);
+        EXPECT_EQ(restored.individual(i).evaluated,
+                  pop.individual(i).evaluated);
+    }
+    EXPECT_EQ(restored.generation(), pop.generation());
+    EXPECT_EQ(restored.stagnation(), pop.stagnation());
+    EXPECT_EQ(restored.best().fitness, pop.best().fitness);
+
+    // Evolution continues identically from both objects.
+    util::Rng rng_a = rng;
+    util::Rng rng_b = rng;
+    (void)pop.step(hill, rng_a);
+    (void)restored.step(hill, rng_b);
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+        EXPECT_EQ(restored.individual(i).chromosome,
+                  pop.individual(i).chromosome);
+    }
+}
+
+TEST(PopulationTest, LoadRejectsTruncatedBlob) {
+    util::Rng rng(23);
+    Population pop(small_options(), {}, rng);
+    (void)pop.evaluate(hill);
+    std::string blob;
+    pop.save(blob);
+    util::ByteReader reader(std::string_view(blob).substr(0, blob.size() / 2));
+    EXPECT_THROW((void)Population::load(reader, small_options()),
+                 std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+#include "util/binio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace cichar::util {
+namespace {
+
+TEST(BinioTest, ScalarRoundTrip) {
+    std::string buffer;
+    put_u32(buffer, 0xDEADBEEFu);
+    put_u64(buffer, 0x0123456789ABCDEFULL);
+    put_double(buffer, -1.5e-9);
+    put_bool(buffer, true);
+    put_bool(buffer, false);
+    put_string(buffer, "trip-cache");
+
+    ByteReader reader(buffer);
+    EXPECT_EQ(reader.get_u32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.get_u64(), 0x0123456789ABCDEFULL);
+    EXPECT_DOUBLE_EQ(reader.get_double(), -1.5e-9);
+    EXPECT_TRUE(reader.get_bool());
+    EXPECT_FALSE(reader.get_bool());
+    EXPECT_EQ(reader.get_string(), "trip-cache");
+    EXPECT_TRUE(reader.at_end());
+}
+
+TEST(BinioTest, LittleEndianLayout) {
+    std::string buffer;
+    put_u32(buffer, 0x04030201u);
+    ASSERT_EQ(buffer.size(), 4u);
+    EXPECT_EQ(buffer[0], '\x01');
+    EXPECT_EQ(buffer[3], '\x04');
+}
+
+TEST(BinioTest, DoublePreservesNanAndInfinity) {
+    std::string buffer;
+    put_double(buffer, std::numeric_limits<double>::quiet_NaN());
+    put_double(buffer, std::numeric_limits<double>::infinity());
+    ByteReader reader(buffer);
+    EXPECT_TRUE(std::isnan(reader.get_double()));
+    EXPECT_EQ(reader.get_double(), std::numeric_limits<double>::infinity());
+}
+
+TEST(BinioTest, TruncatedReadThrows) {
+    std::string buffer;
+    put_u64(buffer, 7);
+    buffer.resize(5);
+    ByteReader reader(buffer);
+    EXPECT_THROW((void)reader.get_u64(), std::runtime_error);
+}
+
+TEST(BinioTest, OversizedStringLengthThrows) {
+    std::string buffer;
+    put_u64(buffer, kMaxSerializedString + 1);  // bogus length prefix
+    ByteReader reader(buffer);
+    EXPECT_THROW((void)reader.get_string(), std::runtime_error);
+}
+
+TEST(BinioTest, MalformedBoolThrows) {
+    const std::string buffer("\x07", 1);
+    ByteReader reader(buffer);
+    EXPECT_THROW((void)reader.get_bool(), std::runtime_error);
+}
+
+TEST(BinioTest, SkipPastEndThrows) {
+    const std::string buffer("ab");
+    ByteReader reader(buffer);
+    reader.skip(2);
+    EXPECT_TRUE(reader.at_end());
+    EXPECT_THROW(reader.skip(1), std::runtime_error);
+}
+
+TEST(BinioTest, RngRoundTripReplaysStream) {
+    Rng rng(2005);
+    for (int i = 0; i < 11; ++i) (void)rng.normal();
+    std::string buffer;
+    put_rng(buffer, rng);
+
+    std::vector<std::uint64_t> expected;
+    for (int i = 0; i < 32; ++i) expected.push_back(rng());
+
+    ByteReader reader(buffer);
+    Rng restored = reader.get_rng();
+    for (const std::uint64_t value : expected) {
+        ASSERT_EQ(restored(), value);
+    }
+}
+
+TEST(BinioTest, ChecksumDetectsBitFlip) {
+    std::string data = "CICHTPC2 payload bytes";
+    const std::uint64_t clean = checksum64(data);
+    data[7] = static_cast<char>(data[7] ^ 0x10);
+    EXPECT_NE(checksum64(data), clean);
+    EXPECT_NE(checksum64(std::string_view(data).substr(0, data.size() - 1)),
+              clean);
+}
+
+TEST(BinioTest, AtomicWriteCreatesAndReplaces) {
+    const std::string path = ::testing::TempDir() + "binio_atomic_test.bin";
+    ASSERT_TRUE(atomic_write_file(path, "first"));
+    auto contents = read_file(path);
+    ASSERT_TRUE(contents.has_value());
+    EXPECT_EQ(*contents, "first");
+
+    ASSERT_TRUE(atomic_write_file(path, "second, longer contents"));
+    contents = read_file(path);
+    ASSERT_TRUE(contents.has_value());
+    EXPECT_EQ(*contents, "second, longer contents");
+    std::remove(path.c_str());
+}
+
+TEST(BinioTest, AtomicWriteFailureLeavesTargetIntact) {
+    const std::string dir = ::testing::TempDir() + "binio_no_such_dir_xyz";
+    EXPECT_FALSE(atomic_write_file(dir + "/file.bin", "data"));
+}
+
+TEST(BinioTest, ReadFileMissingReturnsNullopt) {
+    EXPECT_FALSE(
+        read_file(::testing::TempDir() + "binio_missing_file_xyz").has_value());
+}
+
+}  // namespace
+}  // namespace cichar::util

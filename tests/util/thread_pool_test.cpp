@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace cichar::util {
@@ -78,6 +79,59 @@ TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
     pool.wait();
     // One worker consumes the queue in submission order.
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, CountsEveryFailureInBatch) {
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([i, &ran] {
+            ++ran;
+            if (i % 4 == 0) throw std::runtime_error("task " + std::to_string(i));
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 16);
+    EXPECT_EQ(pool.last_batch_failures(), 4u);
+}
+
+TEST(ThreadPoolTest, FailureCountResetsPerBatch) {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(pool.last_batch_failures(), 1u);
+
+    pool.submit([] {});
+    pool.wait();
+    EXPECT_EQ(pool.last_batch_failures(), 0u);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionPropagatesWithoutTerminating) {
+    ThreadPool pool(2);
+    pool.submit([] { throw 42; });  // NOLINT: deliberate non-std exception
+    bool caught = false;
+    try {
+        pool.wait();
+    } catch (int value) {
+        caught = (value == 42);
+    }
+    EXPECT_TRUE(caught);
+    EXPECT_EQ(pool.last_batch_failures(), 1u);
+}
+
+TEST(ThreadPoolTest, EveryTaskThrowingStillDrains) {
+    ThreadPool pool(4);
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([] { throw std::runtime_error("all fail"); });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(pool.last_batch_failures(), 32u);
+    // Pool is still alive and usable.
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(pool.last_batch_failures(), 0u);
 }
 
 TEST(ProgressCounterTest, TicksTowardTotal) {

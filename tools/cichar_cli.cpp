@@ -25,10 +25,14 @@
 //       export deterministic patterns as ATE vector files / inspect one
 #include <cstdio>
 #include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "ate/fault_injector.hpp"
 #include "ate/shmoo.hpp"
+#include "core/checkpoint.hpp"
 #include "core/campaign.hpp"
 #include "core/characterizer.hpp"
 #include "core/model_io.hpp"
@@ -40,6 +44,7 @@
 #include "lot/lot_runner.hpp"
 #include "testgen/march.hpp"
 #include "testgen/pattern_io.hpp"
+#include "util/binio.hpp"
 #include "util/cli_args.hpp"
 #include "util/rng.hpp"
 
@@ -58,12 +63,20 @@ int usage() {
         "              [--generations G] [--populations P]\n"
         "              [--jobs J] [--batch B] [--cache on|off]\n"
         "              [--cache-file FILE]\n"
+        "              [--fault-profile SPEC] [--policy on|off]\n"
+        "              [--checkpoint FILE] [--resume FILE]\n"
+        "              [--abort-after-generation N]\n"
         "              [--db FILE] [--model FILE] [--report FILE]\n"
         "  cichar shmoo [--seed N] [--tests N] [--csv FILE]\n"
         "  cichar screen --db FILE [--limit L] [--lot N] [--seed N]\n"
         "  cichar campaign [--seed N] [--tests N] [--generations G]\n"
         "  cichar lot [--sites N] [--jobs J] [--seed N] [--params tdq|all]\n"
         "             [--tests N] [--generations G] [--report FILE]\n"
+        "             [--fault-profile SPEC] [--policy on|off]\n"
+        "             [--checkpoint FILE] [--resume FILE] [--max-sites N]\n"
+        "fault profiles: off | transient[:RATE] | moderate |\n"
+        "                transient=R,stuck=R,timeout=R,death=R,span=F,\n"
+        "                stuck-len=N,seed=N (any subset)\n"
         "  cichar pattern --march c-|mats+|x|y|checkerboard --out FILE\n"
         "  cichar pattern --info FILE\n");
     return 2;
@@ -74,6 +87,19 @@ core::CharacterizerOptions default_options() {
     options.generator.condition_bounds =
         testgen::ConditionBounds::fixed_nominal();
     return options;
+}
+
+/// Parses --fault-profile (absent = no faults). Returns nullopt — after
+/// printing a diagnostic — when the spec is malformed.
+std::optional<ate::FaultProfile> fault_profile_arg(const Args& args) {
+    if (!args.has("fault-profile")) return ate::FaultProfile::none();
+    const std::optional<ate::FaultProfile> parsed =
+        ate::FaultProfile::parse(args.get("fault-profile"));
+    if (!parsed) {
+        std::fprintf(stderr, "malformed --fault-profile: %s\n",
+                     args.get("fault-profile").c_str());
+    }
+    return parsed;
 }
 
 int cmd_selftest(const Args&) {
@@ -132,25 +158,104 @@ int cmd_hunt(const Args& args) {
         options.optimizer.cache.file = args.get("cache-file");
     }
 
+    // --fault-profile SPEC: deterministic fault injection between the
+    // tester and the DUT. The resilience policy rides along by default;
+    // --policy off measures raw (faults land unscreened in the results).
+    const std::optional<ate::FaultProfile> profile = fault_profile_arg(args);
+    if (!profile) return 2;
+    const bool policy_on =
+        args.has("policy") ? args.get("policy") != "off" : profile->any();
+    if (policy_on) {
+        options.learner.trip.policy.enabled = true;
+        options.optimizer.trip.policy.enabled = true;
+    }
+    ate::FaultInjector injector(*profile);
+    if (profile->any()) tester.attach_fault_injector(&injector);
+
+    // Checkpoint fingerprint: everything that shapes the hunt's streams.
+    // A checkpoint written under a different configuration is refused on
+    // resume instead of silently producing a mixed-state run.
+    std::ostringstream fp;
+    fp << "hunt:seed=" << seed << ":coding=" << args.get("coding", "fuzzy")
+       << ":generations=" << options.optimizer.ga.max_generations
+       << ":populations=" << options.optimizer.ga.populations
+       << ":parallel=" << (options.optimizer.parallel.enabled ? 1 : 0)
+       << ":cache=" << (options.optimizer.cache.enabled ? 1 : 0)
+       << ":faults=" << profile->describe()
+       << ":policy=" << (policy_on ? 1 : 0);
+    const std::string fingerprint = fp.str();
+
+    if (args.has("checkpoint")) {
+        const std::string path = args.get("checkpoint");
+        options.optimizer.checkpoint.save =
+            [path, fingerprint](const std::string& blob) {
+                if (!core::write_checkpoint_file(path, fingerprint, blob)) {
+                    std::fprintf(stderr,
+                                 "warning: cannot write checkpoint %s\n",
+                                 path.c_str());
+                }
+            };
+    }
+    options.optimizer.checkpoint.abort_after_generation =
+        static_cast<std::size_t>(args.get_u64("abort-after-generation", 0));
+    const bool resuming = args.has("resume");
+    if (resuming) {
+        const std::optional<std::string> blob =
+            core::read_checkpoint_file(args.get("resume"), fingerprint);
+        if (!blob) {
+            std::fprintf(stderr,
+                         "cannot resume from %s: missing, corrupt, or from a "
+                         "different hunt configuration\n",
+                         args.get("resume").c_str());
+            return 1;
+        }
+        options.optimizer.checkpoint.resume_blob = *blob;
+    }
+
     const ate::Parameter param = ate::Parameter::data_valid_time();
-    const core::DeviceCharacterizer characterizer(tester, param, options);
     util::Rng rng(seed);
 
-    std::printf("learning (seed %llu)...\n",
-                static_cast<unsigned long long>(seed));
-    const core::LearnResult learned = characterizer.learn(rng);
-    std::printf("  %zu tests, committee val err %.5f, %s\n",
-                learned.tests_measured, learned.mean_validation_error,
-                learned.converged ? "converged" : "NOT converged");
+    std::optional<core::LearnResult> learned;
+    const core::WorstCaseReport report = [&] {
+        if (resuming) {
+            // The checkpoint restores the full GA + measurement state, so
+            // the learning phase is not re-run (NN seeding is skipped on
+            // resume anyway).
+            std::printf("resuming hunt from %s (seed %llu)...\n",
+                        args.get("resume").c_str(),
+                        static_cast<unsigned long long>(seed));
+            const core::WorstCaseOptimizer optimizer(options.optimizer);
+            return optimizer.run_unseeded(tester, param, options.generator,
+                                          core::objective_for(param), rng);
+        }
+        const core::DeviceCharacterizer characterizer(tester, param, options);
+        std::printf("learning (seed %llu)...\n",
+                    static_cast<unsigned long long>(seed));
+        learned = characterizer.learn(rng);
+        std::printf("  %zu tests, committee val err %.5f, %s\n",
+                    learned->tests_measured, learned->mean_validation_error,
+                    learned->converged ? "converged" : "NOT converged");
+        std::printf("optimizing...\n");
+        return characterizer.optimize(learned->model, rng);
+    }();
 
-    std::printf("optimizing...\n");
-    const core::WorstCaseReport report =
-        characterizer.optimize(learned.model, rng);
+    if (report.aborted) {
+        std::printf("hunt checkpointed after generation %zu; resume with "
+                    "--resume %s\n",
+                    report.outcome.generations_run,
+                    args.get("checkpoint").c_str());
+        return 0;
+    }
     std::printf("  worst case: T_DQ %.2f ns, WCR %.3f (%s), %zu ATE "
                 "measurements\n",
                 report.worst_record.trip_point, report.outcome.best_fitness,
                 ga::to_string(report.worst_record.wcr_class),
                 report.ate_measurements);
+    if (profile->any() || policy_on) {
+        std::printf("  faults injected: %llu; policy: %s\n",
+                    static_cast<unsigned long long>(report.injected.injected()),
+                    report.faults.describe().c_str());
+    }
     if (report.cache_stats.lookups() > 0) {
         std::printf("  trip cache: %llu hits / %llu misses (%.1f%%), "
                     "%zu preloaded, %zu job(s)\n",
@@ -160,13 +265,23 @@ int cmd_hunt(const Args& args) {
                     report.cache_preloaded, report.jobs);
     }
 
-    core::DesignSpecVariation pooled = learned.dsv;
+    core::DesignSpecVariation pooled;
+    if (learned) pooled = learned->dsv;
     if (report.worst_record.found) pooled.add(report.worst_record);
-    std::printf("%s", core::propose_spec(param, pooled).render().c_str());
+    if (pooled.found_count() > 0) {
+        std::printf("%s", core::propose_spec(param, pooled).render().c_str());
+    } else {
+        std::printf("no trip points found; no spec proposed\n");
+    }
 
     if (args.has("model")) {
-        core::save_model_file(args.get("model"), learned.model);
-        std::printf("model written to %s\n", args.get("model").c_str());
+        if (learned) {
+            core::save_model_file(args.get("model"), learned->model);
+            std::printf("model written to %s\n", args.get("model").c_str());
+        } else {
+            std::fprintf(stderr, "--model unavailable on resume (the learned "
+                                 "committee is not checkpointed)\n");
+        }
     }
     if (args.has("db")) {
         std::ofstream out(args.get("db"));
@@ -185,12 +300,15 @@ int cmd_hunt(const Args& args) {
                          args.get("report").c_str());
             return 1;
         }
-        const core::SpecProposal proposal = core::propose_spec(param, pooled);
+        std::optional<core::SpecProposal> proposal;
+        if (pooled.found_count() > 0) {
+            proposal = core::propose_spec(param, pooled);
+        }
         core::ReportInputs inputs;
         inputs.seed = seed;
-        inputs.learned = &learned;
+        inputs.learned = learned ? &*learned : nullptr;
         inputs.hunt = &report;
-        inputs.proposal = &proposal;
+        inputs.proposal = proposal ? &*proposal : nullptr;
         inputs.ledger = &tester.log();
         core::write_report(out, inputs);
         std::printf("report written to %s\n", args.get("report").c_str());
@@ -329,11 +447,62 @@ int cmd_lot(const Args& args) {
                      total);
     };
 
+    // --fault-profile SPEC: every site gets its own deterministic fault
+    // stream; the resilience policy (with a quarantine limit, so a
+    // hopeless site is abandoned instead of burning its tester budget)
+    // rides along unless --policy off.
+    const std::optional<ate::FaultProfile> profile = fault_profile_arg(args);
+    if (!profile) return 2;
+    options.faults = *profile;
+    options.policy.enabled =
+        args.has("policy") ? args.get("policy") != "off" : profile->any();
+    if (options.policy.enabled) options.policy.quarantine_after = 8;
+
+    // --checkpoint/--resume/--max-sites: crash-safe stop-and-go lots. The
+    // runner envelopes + fingerprints the blob itself; the CLI only
+    // persists it atomically and feeds the raw file back on resume.
+    if (args.has("checkpoint")) {
+        const std::string path = args.get("checkpoint");
+        options.checkpoint.save = [path](const std::string& blob) {
+            if (!util::atomic_write_file(path, blob)) {
+                std::fprintf(stderr, "warning: cannot write checkpoint %s\n",
+                             path.c_str());
+            }
+        };
+    }
+    if (args.has("resume")) {
+        const std::optional<std::string> blob =
+            util::read_file(args.get("resume"));
+        if (!blob) {
+            std::fprintf(stderr, "cannot read checkpoint %s\n",
+                         args.get("resume").c_str());
+            return 1;
+        }
+        options.checkpoint.resume_blob = *blob;
+    }
+    options.checkpoint.max_sites_per_run =
+        static_cast<std::size_t>(args.get_u64("max-sites", 0));
+
     std::printf("characterizing lot: %zu sites, %zu jobs (seed %llu)...\n",
                 options.sites, options.jobs,
                 static_cast<unsigned long long>(options.seed));
+    if (profile->any()) {
+        std::printf("  fault profile: %s; policy %s\n",
+                    profile->describe().c_str(),
+                    options.policy.enabled ? "on" : "off");
+    }
     const lot::LotRunner runner(options);
     const lot::LotResult result = runner.run();
+    if (!result.complete()) {
+        std::printf("partial lot: %zu/%zu sites characterized",
+                    result.finished_sites(), options.sites);
+        if (args.has("checkpoint")) {
+            std::printf("; resume with --resume %s",
+                        args.get("checkpoint").c_str());
+        }
+        std::printf("\nwall clock: %.2f s\n", result.wall_seconds);
+        return 0;
+    }
     const lot::LotReport report = lot::LotReport::build(result);
     std::printf("%s", report.render().c_str());
     if (options.jobs == 0) {
