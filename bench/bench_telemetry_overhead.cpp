@@ -1,0 +1,121 @@
+// Extension bench: telemetry overhead. Runs the same worst-case hunt
+// with telemetry fully off and fully on (metrics registry + span
+// tracing) and asserts the enabled run costs < 2% extra wall clock.
+// Also re-checks the determinism contract at the bench level: the
+// rendered hunt report must be byte-identical in both modes.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/optimizer.hpp"
+#include "core/report.hpp"
+#include "util/telemetry.hpp"
+
+using namespace cichar;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2005;
+constexpr double kMaxOverheadFraction = 0.02;
+
+core::OptimizerOptions hunt_options() {
+    core::OptimizerOptions options;
+    options.ga.population.size = 12;
+    options.ga.populations = 3;
+    options.ga.max_generations = 14;
+    options.ga.stagnation_limit = 8;
+    options.ga.max_restarts = 2;
+    options.ga.migration_interval = 4;
+    // No realtime emulation: the bench measures pure compute, which is
+    // the worst case for relative instrumentation overhead (sleeping on
+    // emulated tester latency would only dilute it).
+    options.parallel.enabled = true;
+    options.parallel.jobs = 4;
+    options.cache.enabled = true;
+    return options;
+}
+
+std::string run_hunt() {
+    bench::Rig rig;
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    util::Rng rng(kSeed);
+    const core::WorstCaseOptimizer optimizer(hunt_options());
+    const core::WorstCaseReport report = optimizer.run_unseeded(
+        rig.tester, param, bench::nominal_generator(),
+        core::objective_for(param), rng);
+    core::ReportInputs inputs;
+    inputs.device_name = "bench-telemetry";
+    inputs.seed = kSeed;
+    inputs.hunt = &report;
+    inputs.ledger = &rig.tester.log();
+    return core::render_report(inputs);
+}
+
+}  // namespace
+
+int main() {
+    bench::header("Extension",
+                  "telemetry overhead: hunt with metrics+tracing on vs off",
+                  kSeed);
+
+    namespace telem = util::telemetry;
+    std::string report_off;
+    std::string report_on;
+
+    telem::set_metrics_enabled(false);
+    telem::set_tracing_enabled(false);
+    const bench::TimedRuns off = bench::time_runs(
+        /*warmup=*/1, /*reps=*/5, [&] { report_off = run_hunt(); });
+
+    telem::set_metrics_enabled(true);
+    telem::set_tracing_enabled(true);
+    const bench::TimedRuns on = bench::time_runs(
+        /*warmup=*/1, /*reps=*/5, [&] { report_on = run_hunt(); });
+    telem::set_metrics_enabled(false);
+    telem::set_tracing_enabled(false);
+
+    const double overhead = on.median() / off.median() - 1.0;
+    const bool identical = report_on == report_off;
+    const std::size_t spans = telem::Trace::instance().event_count() / 2;
+    const std::uint64_t measurements =
+        telem::Registry::instance()
+            .counter("cichar_ate_measurements_total")
+            .value();
+
+    std::printf("telemetry off: median %.3f s over %zu runs\n", off.median(),
+                off.seconds.size());
+    std::printf("telemetry on:  median %.3f s over %zu runs\n", on.median(),
+                on.seconds.size());
+    std::printf("overhead: %.2f%% (budget %.1f%%)\n", 100.0 * overhead,
+                100.0 * kMaxOverheadFraction);
+    std::printf("spans recorded: %zu; measurements counted: %llu\n", spans,
+                static_cast<unsigned long long>(measurements));
+    std::printf("report byte-identical on vs off: %s\n",
+                identical ? "PASS" : "FAIL");
+
+    const bool overhead_ok = overhead < kMaxOverheadFraction;
+    const bool recorded = spans > 0 && measurements > 0;
+    std::printf("overhead < %.0f%%: %s\n", 100.0 * kMaxOverheadFraction,
+                overhead_ok ? "PASS" : "FAIL");
+    std::printf("telemetry actually recorded: %s\n",
+                recorded ? "PASS" : "FAIL");
+
+    bench::BenchJson json;
+    json.set_string("bench", "telemetry_overhead");
+    json.set_integer("seed", kSeed);
+    json.set_number("median_seconds_off", off.median());
+    json.set_number("median_seconds_on", on.median());
+    json.set_number("overhead_fraction", overhead);
+    json.set_number("overhead_budget", kMaxOverheadFraction);
+    json.set_bool("report_identical", identical);
+    json.set_integer("spans_recorded", spans);
+    json.set_integer("ate_measurements_counted", measurements);
+    json.write("BENCH_telemetry.json");
+
+    std::printf(
+        "\npaper context: the telemetry layer makes the paper's "
+        "measurement-economics claims continuously observable; the budget "
+        "here guarantees watching the hunt never meaningfully slows it.\n");
+    return (overhead_ok && identical && recorded) ? 0 : 1;
+}

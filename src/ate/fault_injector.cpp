@@ -3,8 +3,17 @@
 #include <charconv>
 #include <sstream>
 
+#include "util/telemetry.hpp"
+
 namespace cichar::ate {
 namespace {
+
+// Mirrors per-instance InjectionStats increments (still authoritative
+// for checkpoints) into the process-wide registry.
+void telem_fault(const char* name) {
+    if (!util::telemetry::metrics_enabled()) return;
+    util::telemetry::Registry::instance().counter(name).add();
+}
 
 bool parse_double(std::string_view text, double& value) {
     const char* begin = text.data();
@@ -176,6 +185,7 @@ FaultInjector::Decision FaultInjector::on_measurement(
     const Parameter& parameter) {
     if (dead_) throw SiteDeadError{};
     ++stats_.measurements;
+    telem_fault("cichar_fault_injector_measurements_total");
     Decision decision;
 
     // Fixed draw discipline: death, timeout, contact, transient. The
@@ -185,15 +195,18 @@ FaultInjector::Decision FaultInjector::on_measurement(
         rng_.bernoulli(profile_.site_death_rate)) {
         dead_ = true;
         ++stats_.site_deaths;
+        telem_fault("cichar_fault_site_deaths_total");
         throw SiteDeadError{};
     }
     if (profile_.timeout_rate > 0.0 && rng_.bernoulli(profile_.timeout_rate)) {
         ++stats_.timeouts;
+        telem_fault("cichar_fault_timeouts_total");
         throw MeasurementTimeout{};
     }
     if (stuck_remaining_ > 0) {
         --stuck_remaining_;
         ++stats_.stuck_measurements;
+        telem_fault("cichar_fault_stuck_measurements_total");
         decision.forced = true;
         decision.forced_outcome = stuck_outcome_;
         return decision;
@@ -207,6 +220,8 @@ FaultInjector::Decision FaultInjector::on_measurement(
                                : 0;
         ++stats_.stuck_episodes;
         ++stats_.stuck_measurements;
+        telem_fault("cichar_fault_stuck_episodes_total");
+        telem_fault("cichar_fault_stuck_measurements_total");
         decision.forced = true;
         decision.forced_outcome = stuck_outcome_;
         return decision;
@@ -214,6 +229,7 @@ FaultInjector::Decision FaultInjector::on_measurement(
     if (profile_.transient_rate > 0.0 &&
         rng_.bernoulli(profile_.transient_rate)) {
         ++stats_.transients;
+        telem_fault("cichar_fault_transients_total");
         const double span = parameter.characterization_range() *
                             profile_.transient_span_fraction;
         if (rng_.bernoulli(0.2)) {

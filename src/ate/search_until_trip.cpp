@@ -2,7 +2,26 @@
 
 #include <cmath>
 
+#include "util/telemetry.hpp"
+
 namespace cichar::ate {
+
+namespace {
+
+void record_search_outcome(const SearchResult& result, bool window_hit) {
+    if (!util::telemetry::metrics_enabled()) return;
+    namespace telem = util::telemetry;
+    static auto& hits = telem::Registry::instance().counter(
+        "cichar_search_window_hits_total");
+    static auto& fallbacks = telem::Registry::instance().counter(
+        "cichar_search_full_fallbacks_total");
+    static auto& probes =
+        telem::Registry::instance().counter("cichar_search_probes_total");
+    (window_hit ? hits : fallbacks).add();
+    probes.add(result.measurements);
+}
+
+}  // namespace
 
 double SearchUntilTrip::offset_after(std::size_t iterations) const noexcept {
     const auto it = static_cast<double>(iterations);
@@ -51,6 +70,7 @@ SearchResult SearchUntilTrip::find(const Oracle& oracle,
         // iteration budget is too small): report the best-known pass.
         if (start_passes) result.trip_point = previous;
         result.found = false;
+        record_search_outcome(result, /*window_hit=*/false);
         return result;
     }
 
@@ -73,6 +93,7 @@ SearchResult SearchUntilTrip::find(const Oracle& oracle,
     }
     result.trip_point = pass_bound;
     result.found = true;
+    record_search_outcome(result, /*window_hit=*/true);
     return result;
 }
 

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "util/telemetry.hpp"
+
 namespace cichar::ate {
 
 Tester::Tester(device::DeviceUnderTest& dut, TesterOptions options)
@@ -16,6 +18,18 @@ void Tester::record(const testgen::Test& test) {
     const double seconds = options_.setup_seconds_per_measurement +
                            static_cast<double>(cycles) * cycle_s;
     log_.record(cycles, seconds);
+    if (util::telemetry::metrics_enabled()) {
+        namespace telem = util::telemetry;
+        static auto& measurements = telem::Registry::instance().counter(
+            "cichar_ate_measurements_total");
+        static auto& vector_cycles = telem::Registry::instance().counter(
+            "cichar_ate_vector_cycles_total");
+        static auto& tester_seconds = telem::Registry::instance().gauge(
+            "cichar_ate_tester_seconds_total");
+        measurements.add();
+        vector_cycles.add(cycles);
+        tester_seconds.add(seconds);
+    }
     if (options_.realtime_fraction > 0.0) {
         // Emulated hardware latency; only the wall clock is affected, the
         // ledger above stays identical with the emulation on or off.

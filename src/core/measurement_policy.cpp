@@ -4,7 +4,27 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/telemetry.hpp"
+
 namespace cichar::core {
+
+namespace {
+
+// Mirrors per-instance FaultCounters increments (still authoritative for
+// checkpoints and per-site reports) into the process-wide registry.
+void telem_policy_count(const char* name, std::uint64_t n = 1) {
+    if (!util::telemetry::metrics_enabled()) return;
+    util::telemetry::Registry::instance().counter(name).add(n);
+}
+
+void telem_policy_backoff(double seconds) {
+    if (!util::telemetry::metrics_enabled()) return;
+    static auto& backoff = util::telemetry::Registry::instance().gauge(
+        "cichar_policy_backoff_seconds_total");
+    backoff.add(seconds);
+}
+
+}  // namespace
 
 void FaultCounters::merge(const FaultCounters& other) noexcept {
     timeouts_absorbed += other.timeouts_absorbed;
@@ -76,16 +96,20 @@ ate::Oracle MeasurementPolicy::guard(ate::Oracle oracle) {
             } catch (const ate::MeasurementTimeout&) {
                 if (attempt >= options_.timeout_retries) {
                     ++counters_.abandoned_measurements;
+                    telem_policy_count("cichar_policy_abandoned_total");
                     throw;
                 }
                 ++counters_.retried_measurements;
                 ++counters_.timeouts_absorbed;
+                telem_policy_count("cichar_policy_retries_total");
+                telem_policy_count("cichar_policy_timeouts_absorbed_total");
                 const double delay =
                     options_.backoff_base_seconds *
                     std::pow(options_.backoff_factor,
                              static_cast<double>(attempt)) *
                     (1.0 + options_.backoff_jitter * rng_.uniform());
                 counters_.backoff_seconds += delay;
+                telem_policy_backoff(delay);
             }
         }
     };
@@ -166,6 +190,7 @@ ate::SearchResult MeasurementPolicy::screen(
     for (std::size_t round = 0; round < attempts; ++round) {
         if (round > 0) {
             ++counters_.researches;
+            telem_policy_count("cichar_policy_researches_total");
             ++interventions;
         }
         ate::SearchResult result;
@@ -176,23 +201,30 @@ ate::SearchResult MeasurementPolicy::screen(
         }
         if (!plausible(result, parameter)) {
             ++counters_.implausible_trips;
+            telem_policy_count("cichar_policy_implausible_total");
             ++interventions;
             continue;
         }
         if (!confirmed(result.trip_point, guarded_oracle, parameter)) {
             ++counters_.confirm_rejections;
+            telem_policy_count("cichar_policy_confirm_rejections_total");
             ++interventions;
             continue;
         }
         consecutive_failures_ = 0;
-        if (interventions > 0) ++counters_.recovered_trips;
+        if (interventions > 0) {
+            ++counters_.recovered_trips;
+            telem_policy_count("cichar_policy_recovered_total");
+        }
         return result;
     }
 
     ++counters_.unrecovered_trips;
+    telem_policy_count("cichar_policy_unrecovered_total");
     ++consecutive_failures_;
     if (options_.quarantine_after > 0 &&
         consecutive_failures_ >= options_.quarantine_after) {
+        telem_policy_count("cichar_policy_quarantines_total");
         throw SiteQuarantinedError(
             "site quarantined after " + std::to_string(consecutive_failures_) +
             " consecutive unrecoverable trip measurements (" +

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cichar::core {
@@ -13,6 +14,7 @@ NnTestGenerator::NnTestGenerator(const LearnedModel& model)
 std::vector<TestSuggestion> NnTestGenerator::suggest(
     std::size_t candidates, std::size_t top_k, util::Rng& rng,
     const ScoringOptions& options) const {
+    TELEM_SPAN("nn.committee_score");
     // Draw every candidate from `rng` up front on the calling thread: the
     // draw sequence (and thus the candidate set) is independent of how
     // scoring fans out.
@@ -78,6 +80,13 @@ std::vector<TestSuggestion> NnTestGenerator::suggest(
             });
         }
         pool->wait();
+    }
+
+    if (util::telemetry::metrics_enabled()) {
+        namespace telem = util::telemetry;
+        static auto& scored_total = telem::Registry::instance().counter(
+            "cichar_nn_candidates_scored_total");
+        scored_total.add(scored.size());
     }
 
     const std::size_t keep = std::min(top_k, scored.size());

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cichar::core {
@@ -70,6 +71,21 @@ ate::InjectionStats stats_delta(const ate::InjectionStats& now,
 /// may exceed the default string cap.
 constexpr std::uint64_t kMaxBlob = 1ULL << 28;
 
+/// Fitness distribution + evaluation throughput for the hunt. Cached
+/// references: one registry lookup per process.
+void telem_hunt_evaluation(bool found, double wcr) {
+    if (!util::telemetry::metrics_enabled()) return;
+    namespace telem = util::telemetry;
+    static constexpr double kWcrBounds[] = {0.0,  0.25, 0.5, 0.75, 0.9,
+                                            1.0,  1.1,  1.25, 1.5, 2.0};
+    static auto& evaluations = telem::Registry::instance().counter(
+        "cichar_hunt_evaluations_total");
+    static auto& fitness = telem::Registry::instance().histogram(
+        "cichar_hunt_fitness_wcr", kWcrBounds);
+    evaluations.add();
+    if (found) fitness.observe(wcr);
+}
+
 }  // namespace
 
 WorstCaseReport WorstCaseOptimizer::run(ate::Tester& tester,
@@ -92,6 +108,7 @@ WorstCaseReport WorstCaseOptimizer::run(ate::Tester& tester,
         scoring.jobs = options_.parallel.enabled ? options_.parallel.jobs : 1;
         scoring.batch = options_.nn_score_batch;
         scoring.pool = pool ? &*pool : nullptr;
+        TELEM_SPAN("hunt.nn_seeding");
         seeds = nn_generator.suggest_chromosomes(
             options_.nn_candidates, options_.nn_seed_count, rng, scoring);
     }
@@ -111,6 +128,7 @@ WorstCaseReport WorstCaseOptimizer::drive(
     const testgen::RandomGeneratorOptions& generator_options,
     std::vector<ga::TestChromosome> seeds, Objective objective,
     util::Rng& rng, util::ThreadPool* shared_pool) const {
+    TELEM_SPAN("hunt.drive");
     ate::PhaseScope phase(tester.log(), "ga-optimization");
     std::uint64_t applications_before = tester.log().total().applications;
     ate::FaultInjector* injector = tester.fault_injector();
@@ -382,10 +400,14 @@ WorstCaseReport WorstCaseOptimizer::drive(
                         cache.insert(key, record);
                     }
                 }
-                if (!record.found) return 0.0;  // no crossover: harmless
+                if (!record.found) {
+                    telem_hunt_evaluation(false, 0.0);
+                    return 0.0;  // no crossover: harmless
+                }
 
                 const double wcr = objective_wcr(objective, record.trip_point,
                                                  parameter.spec);
+                telem_hunt_evaluation(true, wcr);
                 add_entry(name, recipe, conditions, record.trip_point, wcr);
 
                 // Cache hits replay a known trip point without touching the
@@ -514,6 +536,7 @@ WorstCaseReport WorstCaseOptimizer::drive(
 
         const ga::BatchFitnessFn batch_fitness =
             [&](std::span<const ga::TestChromosome> batch) {
+                TELEM_SPAN("hunt.fitness_batch");
                 std::vector<Slot> slots(batch.size());
                 std::vector<std::size_t> pending;
                 pending.reserve(batch.size());
@@ -590,11 +613,13 @@ WorstCaseReport WorstCaseOptimizer::drive(
                         }
                     }
                     if (!slot.record.found) {
+                        telem_hunt_evaluation(false, 0.0);
                         values.push_back(0.0);
                         continue;
                     }
                     const double wcr = objective_wcr(
                         objective, slot.record.trip_point, parameter.spec);
+                    telem_hunt_evaluation(true, wcr);
                     add_entry(slot.name, slot.recipe, slot.conditions,
                               slot.record.trip_point, wcr);
                     if (slot.functional_ran && !slot.functional.pass()) {
@@ -618,6 +643,7 @@ WorstCaseReport WorstCaseOptimizer::drive(
     // crash) hunt skips this: its report is partial by definition and the
     // re-measurement belongs to the resumed run.
     if (!report.aborted) {
+        TELEM_SPAN("hunt.worst_remeasure");
         const testgen::PatternRecipe best_recipe =
             report.outcome.best.decode_recipe(generator_options.min_cycles,
                                               generator_options.max_cycles);

@@ -11,10 +11,30 @@
 #include <vector>
 
 #include "util/binio.hpp"
+#include "util/telemetry.hpp"
 
 namespace cichar::core {
 
 namespace {
+
+// Per-instance stats_ stay authoritative (they are checkpointed and
+// reported per site); the registry mirrors them as the process-wide
+// scrape schema.
+void telem_cache_event(const char* which) {
+    if (!cichar::util::telemetry::metrics_enabled()) return;
+    namespace telem = cichar::util::telemetry;
+    static auto& hits =
+        telem::Registry::instance().counter("cichar_trip_cache_hits_total");
+    static auto& misses =
+        telem::Registry::instance().counter("cichar_trip_cache_misses_total");
+    static auto& evictions = telem::Registry::instance().counter(
+        "cichar_trip_cache_evictions_total");
+    switch (which[0]) {
+        case 'h': hits.add(); break;
+        case 'm': misses.add(); break;
+        default: evictions.add(); break;
+    }
+}
 
 /// splitmix64 finalizer: full-avalanche mixing of one 64-bit word.
 std::uint64_t mix64(std::uint64_t x) noexcept {
@@ -68,9 +88,11 @@ const TripPointRecord* TripPointCache::lookup(const TripCacheKey& key) {
     const auto it = index_.find(key);
     if (it == index_.end()) {
         ++stats_.misses;
+        telem_cache_event("miss");
         return nullptr;
     }
     ++stats_.hits;
+    telem_cache_event("hit");
     lru_.splice(lru_.begin(), lru_, it->second);
     return &it->second->second;
 }
@@ -86,6 +108,7 @@ void TripPointCache::insert(const TripCacheKey& key, TripPointRecord record) {
         index_.erase(lru_.back().first);
         lru_.pop_back();
         ++stats_.evictions;
+        telem_cache_event("evict");
     }
     lru_.emplace_front(key, std::move(record));
     index_.emplace(key, lru_.begin());

@@ -5,6 +5,9 @@
 #include <string>
 #include <utility>
 
+#include "util/log.hpp"
+#include "util/telemetry.hpp"
+
 namespace cichar::ga {
 
 void MultiPopulationOutcome::save(std::string& out) const {
@@ -124,6 +127,14 @@ MultiPopulationOutcome MultiPopulationGa::run(
         if (outcome.best_fitness >= options_.target_fitness) {
             outcome.target_reached = true;
             break;
+        }
+        TELEM_SPAN("ga.generation");
+        const util::LogContext log_ctx("gen=" + std::to_string(gen));
+        if (util::telemetry::metrics_enabled()) {
+            static auto& generations =
+                util::telemetry::Registry::instance().counter(
+                    "cichar_ga_generations_total");
+            generations.add();
         }
         for (Population& pop : populations) {
             outcome.evaluations += pop.step(fitness, rng);

@@ -9,6 +9,8 @@
 
 #include "core/checkpoint.hpp"
 #include "util/binio.hpp"
+#include "util/log.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cichar::lot {
@@ -206,6 +208,8 @@ LotResult LotRunner::run() const {
     util::ProgressCounter progress(to_run.size());
 
     const auto characterize_site = [&](std::size_t site) {
+        TELEM_SPAN("lot.site");
+        const util::LogContext log_ctx("site=" + std::to_string(site));
         util::Rng rng = site_rngs[site];
         device::MemoryChipOptions chip_options = options_.chip;
         chip_options.seed = rng();  // independent per-site noise stream
@@ -265,9 +269,24 @@ LotResult LotRunner::run() const {
             }
         }
         const std::size_t done = progress.tick();
+        if (util::telemetry::metrics_enabled()) {
+            namespace telem = util::telemetry;
+            static auto& completed = telem::Registry::instance().counter(
+                "cichar_lot_sites_completed_total");
+            static auto& in_run = telem::Registry::instance().gauge(
+                "cichar_lot_sites_in_run");
+            completed.add();
+            in_run.set(static_cast<double>(done));
+        }
         if (options_.on_progress) options_.on_progress(done, options_.sites);
     };
 
+    if (util::telemetry::metrics_enabled()) {
+        namespace telem = util::telemetry;
+        static auto& total =
+            telem::Registry::instance().gauge("cichar_lot_sites_total");
+        total.set(static_cast<double>(options_.sites));
+    }
     const auto start = std::chrono::steady_clock::now();
     util::ThreadPool pool(options_.jobs);
     for (const std::size_t site : to_run) {

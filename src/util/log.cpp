@@ -2,6 +2,7 @@
 
 #include <iostream>
 #include <mutex>
+#include <vector>
 
 namespace cichar::util {
 
@@ -11,7 +12,38 @@ std::mutex& write_mutex() {
     static std::mutex m;
     return m;
 }
+
+// Per-thread stack of context tags (LogContext scopes nest).
+std::vector<std::string>& context_stack() {
+    thread_local std::vector<std::string> stack;
+    return stack;
+}
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+    if (name == "debug") return LogLevel::kDebug;
+    if (name == "info") return LogLevel::kInfo;
+    if (name == "warn") return LogLevel::kWarn;
+    if (name == "error") return LogLevel::kError;
+    if (name == "off") return LogLevel::kOff;
+    return std::nullopt;
+}
+
+LogContext::LogContext(std::string tag) {
+    context_stack().push_back(std::move(tag));
+}
+
+LogContext::~LogContext() { context_stack().pop_back(); }
+
+std::string LogContext::current() {
+    const std::vector<std::string>& stack = context_stack();
+    std::string joined;
+    for (const std::string& tag : stack) {
+        if (!joined.empty()) joined += ' ';
+        joined += tag;
+    }
+    return joined;
+}
 
 std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
 std::atomic<std::ostream*> Log::sink_{nullptr};
@@ -39,8 +71,11 @@ void Log::write(LogLevel level, std::string_view message) {
         case LogLevel::kError: tag = "ERROR"; break;
         case LogLevel::kOff: return;
     }
+    const std::string context = LogContext::current();
     const std::lock_guard<std::mutex> lock(write_mutex());
-    out << "[cichar " << tag << "] " << message << '\n';
+    out << "[cichar " << tag << "] ";
+    if (!context.empty()) out << '[' << context << "] ";
+    out << message << '\n';
 }
 
 }  // namespace cichar::util

@@ -3,13 +3,18 @@
 #pragma once
 
 #include <atomic>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace cichar::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Parses "debug|info|warn|error|off" (the `--log-level` CLI values).
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
 
 /// Process-wide logger configuration. Thread-safe: multi-site lot runs
 /// log from worker threads, so the level/sink are atomics and write()
@@ -29,6 +34,23 @@ public:
 private:
     static std::atomic<LogLevel> level_;
     static std::atomic<std::ostream*> sink_;
+};
+
+/// RAII scope that tags every log line written by this thread with a
+/// short context string, e.g. `LogContext ctx("site=3")` makes worker
+/// output read `[cichar INFO ] [site=3] ...`. Scopes nest (inner tags
+/// append after outer ones); with no active scope the line format is
+/// unchanged.
+class LogContext {
+public:
+    explicit LogContext(std::string tag);
+    ~LogContext();
+
+    LogContext(const LogContext&) = delete;
+    LogContext& operator=(const LogContext&) = delete;
+
+    /// Space-joined tags for the calling thread, "" when none.
+    [[nodiscard]] static std::string current();
 };
 
 namespace detail {

@@ -1,0 +1,227 @@
+// Process-wide telemetry: a thread-safe metrics registry (monotonic
+// counters, gauges, fixed-bucket histograms with lock-free per-thread
+// shards merged on scrape) plus lightweight span tracing with parent
+// linkage. Default-off: every instrumentation site guards on
+// metrics_enabled()/tracing_enabled(), so a build that never flips the
+// switches behaves — and reports — byte-identically to one without
+// telemetry. Timestamps exist only in the out-of-band trace stream;
+// nothing here feeds back into RNG draws, scheduling, or results.
+//
+// Hot-path idiom (one registry lookup per call site, ever):
+//
+//   if (util::telemetry::metrics_enabled()) {
+//       static auto& c = util::telemetry::Registry::instance().counter(
+//           "cichar_ate_measurements_total");
+//       c.add();
+//   }
+//
+// Registry metrics are created on demand and never destroyed (values can
+// be reset), so cached references stay valid for the process lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cichar::util::telemetry {
+
+/// Global switches (independent: metrics vs trace). Both default off.
+[[nodiscard]] bool metrics_enabled() noexcept;
+[[nodiscard]] bool tracing_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+void set_tracing_enabled(bool enabled) noexcept;
+
+/// Monotonic counter (use set() only to restore a scraped snapshot).
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void set(std::uint64_t value) noexcept {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Double-valued gauge; add() is a CAS loop so concurrent adders never
+/// lose an update (also used for accumulated-seconds style metrics).
+class Gauge {
+public:
+    void set(double value) noexcept {
+        value_.store(value, std::memory_order_relaxed);
+    }
+    void add(double delta) noexcept {
+        double current = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(current, current + delta,
+                                             std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. observe() touches only the calling thread's
+/// shard (relaxed atomics, no shared lock), so concurrent observers never
+/// contend; snapshot() merges all shards under the shard-list mutex.
+/// Bucket rule: a value lands in the first bucket with value <= bound;
+/// values above every bound (and NaN, which fails all comparisons) land
+/// in the overflow (+Inf) bucket.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> upper_bounds);
+    ~Histogram();
+
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    void observe(double value);
+
+    [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
+        return bounds_;
+    }
+
+    struct Snapshot {
+        std::vector<double> upper_bounds;   ///< finite bounds (no +Inf)
+        std::vector<std::uint64_t> counts;  ///< per-bucket, last = overflow
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+    [[nodiscard]] Snapshot snapshot() const;
+
+    /// Zeroes every shard's counts (the shards themselves stay).
+    void reset();
+
+private:
+    struct Shard;
+    [[nodiscard]] Shard& local_shard();
+
+    const std::uint64_t id_;  ///< process-unique, never reused
+    std::vector<double> bounds_;
+    mutable std::mutex shards_mutex_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Process-wide metric registry. Metrics are created on first use and
+/// never removed, so references handed out stay valid; reset_values()
+/// zeroes everything for tests.
+class Registry {
+public:
+    [[nodiscard]] static Registry& instance();
+
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    [[nodiscard]] Counter& counter(std::string_view name);
+    [[nodiscard]] Gauge& gauge(std::string_view name);
+    /// `upper_bounds` applies only on first creation; later calls with
+    /// the same name return the existing histogram unchanged.
+    [[nodiscard]] Histogram& histogram(std::string_view name,
+                                       std::span<const double> upper_bounds);
+
+    /// Prometheus text exposition: `# TYPE` comments plus samples, all
+    /// families sorted by name. Histograms render cumulative
+    /// `_bucket{le="..."}` series plus `_sum`/`_count`.
+    [[nodiscard]] std::string render_prometheus() const;
+
+    /// Restores counter/gauge values from a snapshot previously written
+    /// by render_prometheus() (resumed runs carry cumulative telemetry).
+    /// Histogram series are skipped — distributions restart per run.
+    /// Returns false when the stream is unreadable; unknown or malformed
+    /// lines are ignored.
+    bool load_prometheus(std::istream& in);
+
+    /// Zeroes every metric's value; metric objects (and references to
+    /// them) stay alive.
+    void reset_values();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// ---------------------------------------------------------------------
+// Span tracing. Spans nest per thread (thread-local stack provides the
+// parent id); begin/end events carry monotonic nanosecond timestamps
+// relative to process start. Events live in an in-memory buffer drained
+// by write_jsonl(); order in the stream is recording order, which may
+// vary run to run under concurrency — the trace is out-of-band by
+// contract and never feeds back into results.
+
+struct TraceEvent {
+    bool begin = true;
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;  ///< 0 = top-level (begin events only)
+    std::uint32_t tid = 0;     ///< small per-process thread index
+    std::uint64_t ts_ns = 0;   ///< since process telemetry epoch
+    std::string name;          ///< begin events only
+};
+
+class Trace {
+public:
+    [[nodiscard]] static Trace& instance();
+
+    /// Records a begin event and pushes the span on this thread's stack.
+    /// Returns the span id (never 0).
+    std::uint64_t begin_span(std::string_view name);
+    /// Records the matching end event and pops the thread's stack.
+    void end_span(std::uint64_t id);
+
+    /// One JSON object per line: a meta header, then
+    ///   {"ev":"B","id":N,"parent":N,"tid":N,"ts_ns":N,"name":"..."}
+    ///   {"ev":"E","id":N,"tid":N,"ts_ns":N}
+    void write_jsonl(std::ostream& out) const;
+
+    [[nodiscard]] std::size_t event_count() const;
+    void clear();
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::atomic<std::uint64_t> next_id_{1};
+};
+
+/// RAII span. No-ops (and records nothing at destruction) when tracing
+/// was disabled at construction, so enabling tracing mid-span is safe.
+class SpanScope {
+public:
+    explicit SpanScope(std::string_view name) {
+        if (tracing_enabled()) id_ = Trace::instance().begin_span(name);
+    }
+    ~SpanScope() {
+        if (id_ != 0) Trace::instance().end_span(id_);
+    }
+    SpanScope(const SpanScope&) = delete;
+    SpanScope& operator=(const SpanScope&) = delete;
+
+private:
+    std::uint64_t id_ = 0;
+};
+
+}  // namespace cichar::util::telemetry
+
+#define CICHAR_TELEM_CONCAT_INNER(a, b) a##b
+#define CICHAR_TELEM_CONCAT(a, b) CICHAR_TELEM_CONCAT_INNER(a, b)
+/// Scoped span: TELEM_SPAN("ga.generation");
+#define TELEM_SPAN(name)                                     \
+    ::cichar::util::telemetry::SpanScope CICHAR_TELEM_CONCAT( \
+        cichar_telem_span_, __LINE__) { name }

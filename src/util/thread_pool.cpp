@@ -1,9 +1,32 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "util/telemetry.hpp"
+
 namespace cichar::util {
+
+namespace {
+
+struct PoolMetrics {
+    telemetry::Counter& tasks;
+    telemetry::Gauge& queue_depth;
+    telemetry::Gauge& busy_seconds;
+
+    static PoolMetrics& instance() {
+        static PoolMetrics metrics{
+            telemetry::Registry::instance().counter(
+                "cichar_pool_tasks_total"),
+            telemetry::Registry::instance().gauge("cichar_pool_queue_depth"),
+            telemetry::Registry::instance().gauge(
+                "cichar_pool_busy_seconds_total")};
+        return metrics;
+    }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
     if (threads == 0) {
@@ -28,6 +51,11 @@ void ThreadPool::submit(std::function<void()> task) {
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(task));
+        if (telemetry::metrics_enabled()) {
+            PoolMetrics& metrics = PoolMetrics::instance();
+            metrics.tasks.add();
+            metrics.queue_depth.set(static_cast<double>(queue_.size()));
+        }
     }
     task_ready_.notify_one();
 }
@@ -59,12 +87,27 @@ void ThreadPool::worker_loop() {
             task = std::move(queue_.front());
             queue_.pop_front();
             ++active_;
+            if (telemetry::metrics_enabled()) {
+                PoolMetrics::instance().queue_depth.set(
+                    static_cast<double>(queue_.size()));
+            }
         }
+        // Busy time is measured only when telemetry is on; the clock read
+        // never feeds back into scheduling or results.
+        const bool timed = telemetry::metrics_enabled();
+        const auto begin = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
         std::exception_ptr error;
         try {
             task();
         } catch (...) {
             error = std::current_exception();
+        }
+        if (timed) {
+            PoolMetrics::instance().busy_seconds.add(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - begin)
+                    .count());
         }
         {
             const std::lock_guard<std::mutex> lock(mutex_);

@@ -1,0 +1,238 @@
+#include "util/trace_report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/ascii.hpp"
+#include "util/histogram.hpp"
+
+namespace cichar::util {
+
+namespace {
+
+/// Extracts the raw token after `"key":` in a flat one-line JSON object.
+/// Returns false when the key is absent. Quoted values are returned with
+/// escapes resolved for the subset write_jsonl emits (\" \\ \uXXXX).
+bool json_field(const std::string& line, const std::string& key,
+                std::string& out) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) return false;
+    std::size_t i = at + needle.size();
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) return false;
+    out.clear();
+    if (line[i] == '"') {
+        for (++i; i < line.size() && line[i] != '"'; ++i) {
+            if (line[i] == '\\' && i + 1 < line.size()) {
+                ++i;
+                if (line[i] == 'u' && i + 4 < line.size()) {
+                    const unsigned code = static_cast<unsigned>(std::strtoul(
+                        line.substr(i + 1, 4).c_str(), nullptr, 16));
+                    out += static_cast<char>(code & 0xFF);
+                    i += 4;
+                } else {
+                    out += line[i];
+                }
+            } else {
+                out += line[i];
+            }
+        }
+        return i < line.size();  // false when the closing quote is missing
+    }
+    while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        out += line[i++];
+    }
+    return !out.empty();
+}
+
+bool json_u64(const std::string& line, const std::string& key,
+              std::uint64_t& out) {
+    std::string raw;
+    if (!json_field(line, key, raw)) return false;
+    out = std::strtoull(raw.c_str(), nullptr, 10);
+    return true;
+}
+
+std::string format_ms(std::uint64_t ns) {
+    return fixed(static_cast<double>(ns) / 1e6, 3);
+}
+
+struct NameAggregate {
+    std::size_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+};
+
+}  // namespace
+
+TraceParse parse_trace_jsonl(std::istream& in) {
+    TraceParse parse;
+    std::unordered_map<std::uint64_t, std::size_t> open;  // id -> span index
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        std::string ev;
+        if (!json_field(line, "ev", ev)) {
+            ++parse.malformed_lines;
+            continue;
+        }
+        if (ev == "meta") continue;
+        if (ev == "B") {
+            TraceSpan span;
+            std::string name;
+            if (!json_u64(line, "id", span.id) ||
+                !json_field(line, "name", name)) {
+                ++parse.malformed_lines;
+                continue;
+            }
+            span.name = name;
+            std::uint64_t tid = 0;
+            json_u64(line, "parent", span.parent);
+            if (json_u64(line, "tid", tid)) {
+                span.tid = static_cast<std::uint32_t>(tid);
+            }
+            json_u64(line, "ts_ns", span.begin_ns);
+            open[span.id] = parse.spans.size();
+            parse.spans.push_back(std::move(span));
+        } else if (ev == "E") {
+            std::uint64_t id = 0;
+            if (!json_u64(line, "id", id)) {
+                ++parse.malformed_lines;
+                continue;
+            }
+            const auto it = open.find(id);
+            if (it == open.end()) {
+                ++parse.malformed_lines;  // end without begin
+                continue;
+            }
+            TraceSpan& span = parse.spans[it->second];
+            json_u64(line, "ts_ns", span.end_ns);
+            span.closed = true;
+            open.erase(it);
+        } else {
+            ++parse.malformed_lines;
+        }
+    }
+    parse.unclosed_spans = open.size();
+    return parse;
+}
+
+std::string render_trace_report(const TraceParse& parse, std::size_t top_n) {
+    std::ostringstream out;
+    out << "trace report\n============\n";
+    if (parse.spans.empty()) {
+        out << "no spans recorded\n";
+        if (parse.malformed_lines > 0) {
+            out << "malformed lines skipped: " << parse.malformed_lines
+                << '\n';
+        }
+        return out.str();
+    }
+
+    std::uint64_t wall_begin = UINT64_MAX;
+    std::uint64_t wall_end = 0;
+    for (const TraceSpan& span : parse.spans) {
+        wall_begin = std::min(wall_begin, span.begin_ns);
+        if (span.closed) wall_end = std::max(wall_end, span.end_ns);
+    }
+    const std::uint64_t wall_ns =
+        wall_end > wall_begin ? wall_end - wall_begin : 0;
+    out << "spans: " << parse.spans.size() << "  wall: " << format_ms(wall_ns)
+        << " ms\n";
+    if (parse.malformed_lines > 0) {
+        out << "malformed lines skipped: " << parse.malformed_lines << '\n';
+    }
+    if (parse.unclosed_spans > 0) {
+        out << "unclosed spans (excluded from timing): "
+            << parse.unclosed_spans << '\n';
+    }
+    out << '\n';
+
+    // Phase breakdown: top-level spans (parent == 0), grouped by name.
+    std::map<std::string, NameAggregate> phases;
+    for (const TraceSpan& span : parse.spans) {
+        if (!span.closed || span.parent != 0) continue;
+        NameAggregate& agg = phases[span.name];
+        ++agg.count;
+        agg.total_ns += span.duration_ns();
+        agg.max_ns = std::max(agg.max_ns, span.duration_ns());
+    }
+    if (!phases.empty()) {
+        out << "phase timing (top-level spans)\n";
+        TextTable table({"phase", "count", "total ms", "mean ms", "max ms",
+                         "% wall"});
+        std::vector<std::pair<std::string, NameAggregate>> rows(
+            phases.begin(), phases.end());
+        std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+            return a.second.total_ns > b.second.total_ns;
+        });
+        for (const auto& [name, agg] : rows) {
+            const double mean_ns =
+                static_cast<double>(agg.total_ns) /
+                static_cast<double>(agg.count);
+            const double pct =
+                wall_ns > 0 ? 100.0 * static_cast<double>(agg.total_ns) /
+                                  static_cast<double>(wall_ns)
+                            : 0.0;
+            table.add_row({name, std::to_string(agg.count),
+                           format_ms(agg.total_ns),
+                           fixed(mean_ns / 1e6, 3),
+                           format_ms(agg.max_ns), fixed(pct, 1)});
+        }
+        out << table.render() << '\n';
+    }
+
+    // Hottest spans: every nesting level, grouped by name, by total time.
+    std::map<std::string, NameAggregate> hot;
+    for (const TraceSpan& span : parse.spans) {
+        if (!span.closed) continue;
+        NameAggregate& agg = hot[span.name];
+        ++agg.count;
+        agg.total_ns += span.duration_ns();
+        agg.max_ns = std::max(agg.max_ns, span.duration_ns());
+    }
+    std::vector<std::pair<std::string, NameAggregate>> hottest(hot.begin(),
+                                                               hot.end());
+    std::sort(hottest.begin(), hottest.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second.total_ns > b.second.total_ns;
+              });
+    if (hottest.size() > top_n) hottest.resize(top_n);
+    if (!hottest.empty()) {
+        out << "top " << hottest.size() << " spans by total time\n";
+        TextTable table({"span", "count", "total ms", "mean ms", "max ms"});
+        for (const auto& [name, agg] : hottest) {
+            const double mean_ns =
+                static_cast<double>(agg.total_ns) /
+                static_cast<double>(agg.count);
+            table.add_row({name, std::to_string(agg.count),
+                           format_ms(agg.total_ns), fixed(mean_ns / 1e6, 3),
+                           format_ms(agg.max_ns)});
+        }
+        out << table.render() << '\n';
+
+        // Duration distribution of the hottest span name.
+        const std::string& hottest_name = hottest.front().first;
+        std::vector<double> durations_ms;
+        for (const TraceSpan& span : parse.spans) {
+            if (span.closed && span.name == hottest_name) {
+                durations_ms.push_back(
+                    static_cast<double>(span.duration_ns()) / 1e6);
+            }
+        }
+        if (durations_ms.size() >= 2) {
+            out << "duration distribution: " << hottest_name << " (ms)\n";
+            const std::size_t bins =
+                std::min<std::size_t>(12, durations_ms.size());
+            out << Histogram::of(durations_ms, bins).render() << '\n';
+        }
+    }
+    return out.str();
+}
+
+}  // namespace cichar::util

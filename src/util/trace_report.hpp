@@ -1,0 +1,45 @@
+// Offline analysis of the JSONL trace stream written by
+// telemetry::Trace::write_jsonl: parse back into spans, then render a
+// phase-timing breakdown and top-N hottest spans as ASCII tables.
+// Backs the `cichar trace-report FILE` subcommand.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cichar::util {
+
+/// One reconstructed span (a matched B/E event pair).
+struct TraceSpan {
+    std::string name;
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;  ///< 0 = top-level
+    std::uint32_t tid = 0;
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+    bool closed = false;
+
+    [[nodiscard]] std::uint64_t duration_ns() const noexcept {
+        return end_ns >= begin_ns ? end_ns - begin_ns : 0;
+    }
+};
+
+struct TraceParse {
+    std::vector<TraceSpan> spans;      ///< in begin-event order
+    std::size_t malformed_lines = 0;   ///< skipped lines
+    std::size_t unclosed_spans = 0;    ///< begins with no matching end
+};
+
+/// Parses a cichar-trace JSONL stream. Tolerant: unknown event kinds and
+/// malformed lines are counted, not fatal.
+[[nodiscard]] TraceParse parse_trace_jsonl(std::istream& in);
+
+/// Renders the phase-timing breakdown (top-level spans grouped by name),
+/// the top-N spans by aggregate time across all nesting levels, and a
+/// duration histogram for the hottest span name.
+[[nodiscard]] std::string render_trace_report(const TraceParse& parse,
+                                              std::size_t top_n = 10);
+
+}  // namespace cichar::util

@@ -1,0 +1,232 @@
+#include "util/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace telem = cichar::util::telemetry;
+
+namespace {
+
+/// Tests share the process-wide registry; each fixture run starts from
+/// zeroed values and disabled switches.
+class TelemetryTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        telem::Registry::instance().reset_values();
+        telem::set_metrics_enabled(false);
+        telem::set_tracing_enabled(false);
+    }
+    void TearDown() override {
+        telem::Registry::instance().reset_values();
+        telem::set_metrics_enabled(false);
+        telem::set_tracing_enabled(false);
+    }
+};
+
+TEST_F(TelemetryTest, SwitchesDefaultOffAndToggle) {
+    EXPECT_FALSE(telem::metrics_enabled());
+    EXPECT_FALSE(telem::tracing_enabled());
+    telem::set_metrics_enabled(true);
+    EXPECT_TRUE(telem::metrics_enabled());
+    EXPECT_FALSE(telem::tracing_enabled());
+    telem::set_tracing_enabled(true);
+    EXPECT_TRUE(telem::tracing_enabled());
+}
+
+TEST_F(TelemetryTest, CounterAccumulatesAndResets) {
+    telem::Counter& c =
+        telem::Registry::instance().counter("test_counter_total");
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    telem::Registry::instance().reset_values();
+    EXPECT_EQ(c.value(), 0u);
+    // Reference stays valid across reset: same object, zeroed value.
+    c.add(7);
+    EXPECT_EQ(
+        telem::Registry::instance().counter("test_counter_total").value(), 7u);
+}
+
+TEST_F(TelemetryTest, GaugeSetAndAdd) {
+    telem::Gauge& g = telem::Registry::instance().gauge("test_gauge");
+    g.set(2.5);
+    g.add(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST_F(TelemetryTest, RegistryReturnsSameMetricForSameName) {
+    telem::Counter& a = telem::Registry::instance().counter("same_name");
+    telem::Counter& b = telem::Registry::instance().counter("same_name");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST_F(TelemetryTest, HistogramBucketEdgeCases) {
+    const std::array<double, 3> bounds{1.0, 2.0, 5.0};
+    telem::Histogram& h =
+        telem::Registry::instance().histogram("test_edges", bounds);
+    h.observe(0.5);                                        // < first bound
+    h.observe(1.0);                                        // exactly on bound
+    h.observe(1.0000001);                                  // just above
+    h.observe(5.0);                                        // last finite bound
+    h.observe(6.0);                                        // overflow
+    h.observe(std::numeric_limits<double>::infinity());    // overflow
+    h.observe(std::numeric_limits<double>::quiet_NaN());   // overflow
+    h.observe(-std::numeric_limits<double>::infinity());   // first bucket
+
+    const telem::Histogram::Snapshot snap = h.snapshot();
+    ASSERT_EQ(snap.upper_bounds.size(), 3u);
+    ASSERT_EQ(snap.counts.size(), 4u);
+    EXPECT_EQ(snap.counts[0], 3u);  // 0.5, 1.0 (le), -inf
+    EXPECT_EQ(snap.counts[1], 1u);  // 1.0000001
+    EXPECT_EQ(snap.counts[2], 1u);  // 5.0
+    EXPECT_EQ(snap.counts[3], 3u);  // 6.0, +inf, NaN
+    EXPECT_EQ(snap.count, 8u);
+}
+
+TEST_F(TelemetryTest, HistogramBoundsAreSortedAndDeduplicated) {
+    const std::array<double, 4> bounds{3.0, 1.0, 3.0, 2.0};
+    telem::Histogram& h =
+        telem::Registry::instance().histogram("test_unsorted", bounds);
+    EXPECT_EQ(h.upper_bounds(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST_F(TelemetryTest, ConcurrentShardMergeLosesNothing) {
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kPerThread = 20000;
+    const std::array<double, 4> bounds{0.25, 0.5, 0.75, 1.0};
+    telem::Histogram& h =
+        telem::Registry::instance().histogram("test_concurrent", bounds);
+    telem::Counter& c =
+        telem::Registry::instance().counter("test_concurrent_total");
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            while (!go.load()) {
+            }
+            for (std::size_t i = 0; i < kPerThread; ++i) {
+                // Deterministic per-thread value pattern spanning buckets.
+                h.observe(static_cast<double>((t + i) % 5) * 0.25);
+                c.add();
+            }
+        });
+    }
+    go.store(true);
+    for (std::thread& thread : threads) thread.join();
+
+    const telem::Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, kThreads * kPerThread);
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+    std::uint64_t bucket_sum = 0;
+    for (const std::uint64_t count : snap.counts) bucket_sum += count;
+    EXPECT_EQ(bucket_sum, kThreads * kPerThread);
+    // (t+i)%5 in {0..4} scaled by 0.25: values 0,0.25 -> bucket 0; 0.5 ->
+    // bucket 1; 0.75 -> bucket 2; 1.0 -> bucket 3; none overflow.
+    EXPECT_EQ(snap.counts[4], 0u);
+}
+
+TEST_F(TelemetryTest, PrometheusRenderAndLoadRoundTrip) {
+    telem::Registry& reg = telem::Registry::instance();
+    reg.counter("rt_counter_total").add(123);
+    reg.gauge("rt_gauge").set(4.75);
+    const std::array<double, 2> bounds{1.0, 2.0};
+    telem::Histogram& h = reg.histogram("rt_hist", bounds);
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(9.0);
+
+    const std::string text = reg.render_prometheus();
+    EXPECT_NE(text.find("# TYPE rt_counter_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("rt_counter_total 123"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE rt_gauge gauge"), std::string::npos);
+    EXPECT_NE(text.find("rt_hist_bucket{le=\"+Inf\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("rt_hist_count 3"), std::string::npos);
+
+    reg.reset_values();
+    std::istringstream in(text);
+    EXPECT_TRUE(reg.load_prometheus(in));
+    EXPECT_EQ(reg.counter("rt_counter_total").value(), 123u);
+    EXPECT_DOUBLE_EQ(reg.gauge("rt_gauge").value(), 4.75);
+    // Histogram series are intentionally not restored.
+    EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(TelemetryTest, LoadPrometheusIgnoresMalformedLines) {
+    telem::Registry& reg = telem::Registry::instance();
+    std::istringstream in(
+        "# HELP junk\n"
+        "# TYPE good_total counter\n"
+        "good_total 5\n"
+        "no_type_line 7\n"
+        "garbage\n"
+        "good_total_bucket{le=\"1\"} 9\n");
+    EXPECT_TRUE(reg.load_prometheus(in));
+    EXPECT_EQ(reg.counter("good_total").value(), 5u);
+}
+
+TEST_F(TelemetryTest, SpanScopeNoOpWhenTracingDisabled) {
+    telem::Trace::instance().clear();
+    {
+        TELEM_SPAN("should.not.record");
+    }
+    EXPECT_EQ(telem::Trace::instance().event_count(), 0u);
+}
+
+TEST_F(TelemetryTest, SpanParentLinkageAndJsonl) {
+    telem::Trace::instance().clear();
+    telem::set_tracing_enabled(true);
+    {
+        TELEM_SPAN("outer");
+        { TELEM_SPAN("inner"); }
+    }
+    telem::set_tracing_enabled(false);
+    EXPECT_EQ(telem::Trace::instance().event_count(), 4u);
+
+    std::ostringstream out;
+    telem::Trace::instance().write_jsonl(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("\"name\":\"outer\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"inner\""), std::string::npos);
+    // The inner begin event links to the outer span (parent != 0).
+    const std::size_t inner_at = text.find("\"name\":\"inner\"");
+    const std::size_t line_start = text.rfind('\n', inner_at);
+    const std::string inner_line = text.substr(
+        line_start + 1, text.find('\n', inner_at) - line_start - 1);
+    EXPECT_EQ(inner_line.find("\"parent\":0,"), std::string::npos)
+        << inner_line;
+    telem::Trace::instance().clear();
+}
+
+TEST_F(TelemetryTest, ConcurrentSpansKeepPerThreadNesting) {
+    telem::Trace::instance().clear();
+    telem::set_tracing_enabled(true);
+    constexpr std::size_t kThreads = 4;
+    constexpr std::size_t kSpansPerThread = 50;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+                TELEM_SPAN("thread.outer");
+                TELEM_SPAN("thread.inner");
+            }
+        });
+    }
+    for (std::thread& thread : threads) thread.join();
+    telem::set_tracing_enabled(false);
+    EXPECT_EQ(telem::Trace::instance().event_count(),
+              kThreads * kSpansPerThread * 4);
+    telem::Trace::instance().clear();
+}
+
+}  // namespace

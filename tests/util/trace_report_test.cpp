@@ -1,0 +1,116 @@
+#include "util/trace_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/telemetry.hpp"
+
+namespace telem = cichar::util::telemetry;
+using cichar::util::TraceParse;
+using cichar::util::parse_trace_jsonl;
+using cichar::util::render_trace_report;
+
+namespace {
+
+TEST(TraceReportTest, RoundTripThroughLiveSpans) {
+    telem::Trace::instance().clear();
+    telem::set_tracing_enabled(true);
+    {
+        TELEM_SPAN("phase.learn");
+        { TELEM_SPAN("measure"); }
+        { TELEM_SPAN("measure"); }
+    }
+    {
+        TELEM_SPAN("phase.optimize");
+    }
+    telem::set_tracing_enabled(false);
+
+    std::ostringstream jsonl;
+    telem::Trace::instance().write_jsonl(jsonl);
+    telem::Trace::instance().clear();
+
+    std::istringstream in(jsonl.str());
+    const TraceParse parse = parse_trace_jsonl(in);
+    EXPECT_EQ(parse.malformed_lines, 0u);
+    EXPECT_EQ(parse.unclosed_spans, 0u);
+    ASSERT_EQ(parse.spans.size(), 4u);
+
+    // Top-level phases and the nested measure spans survive the trip.
+    std::size_t top_level = 0;
+    std::size_t measures = 0;
+    for (const auto& span : parse.spans) {
+        EXPECT_TRUE(span.closed);
+        EXPECT_GE(span.end_ns, span.begin_ns);
+        if (span.parent == 0) ++top_level;
+        if (span.name == "measure") {
+            ++measures;
+            EXPECT_NE(span.parent, 0u);
+        }
+    }
+    EXPECT_EQ(top_level, 2u);
+    EXPECT_EQ(measures, 2u);
+
+    const std::string report = render_trace_report(parse);
+    EXPECT_NE(report.find("phase timing"), std::string::npos);
+    EXPECT_NE(report.find("phase.learn"), std::string::npos);
+    EXPECT_NE(report.find("phase.optimize"), std::string::npos);
+    EXPECT_NE(report.find("measure"), std::string::npos);
+}
+
+TEST(TraceReportTest, ParsesHandWrittenStream) {
+    std::istringstream in(
+        "{\"ev\":\"meta\",\"format\":\"cichar-trace\",\"version\":1}\n"
+        "{\"ev\":\"B\",\"id\":1,\"parent\":0,\"tid\":0,\"ts_ns\":100,"
+        "\"name\":\"alpha\"}\n"
+        "{\"ev\":\"B\",\"id\":2,\"parent\":1,\"tid\":0,\"ts_ns\":200,"
+        "\"name\":\"beta\"}\n"
+        "{\"ev\":\"E\",\"id\":2,\"tid\":0,\"ts_ns\":300}\n"
+        "{\"ev\":\"E\",\"id\":1,\"tid\":0,\"ts_ns\":1100}\n");
+    const TraceParse parse = parse_trace_jsonl(in);
+    ASSERT_EQ(parse.spans.size(), 2u);
+    EXPECT_EQ(parse.spans[0].name, "alpha");
+    EXPECT_EQ(parse.spans[0].duration_ns(), 1000u);
+    EXPECT_EQ(parse.spans[1].name, "beta");
+    EXPECT_EQ(parse.spans[1].parent, 1u);
+    EXPECT_EQ(parse.spans[1].duration_ns(), 100u);
+}
+
+TEST(TraceReportTest, CountsMalformedAndUnclosed) {
+    std::istringstream in(
+        "not json at all\n"
+        "{\"ev\":\"B\",\"id\":7,\"parent\":0,\"tid\":0,\"ts_ns\":5,"
+        "\"name\":\"open\"}\n"
+        "{\"ev\":\"E\",\"id\":99,\"tid\":0,\"ts_ns\":6}\n"
+        "{\"ev\":\"X\",\"id\":1}\n");
+    const TraceParse parse = parse_trace_jsonl(in);
+    EXPECT_EQ(parse.spans.size(), 1u);
+    EXPECT_FALSE(parse.spans[0].closed);
+    EXPECT_EQ(parse.unclosed_spans, 1u);
+    // Non-JSON line + end-without-begin + unknown event kind.
+    EXPECT_EQ(parse.malformed_lines, 3u);
+
+    const std::string report = render_trace_report(parse);
+    EXPECT_NE(report.find("malformed lines skipped: 3"), std::string::npos);
+    EXPECT_NE(report.find("unclosed spans"), std::string::npos);
+}
+
+TEST(TraceReportTest, EscapedNamesRoundTrip) {
+    std::istringstream in(
+        "{\"ev\":\"B\",\"id\":1,\"parent\":0,\"tid\":0,\"ts_ns\":0,"
+        "\"name\":\"with \\\"quotes\\\" and \\\\slash\"}\n"
+        "{\"ev\":\"E\",\"id\":1,\"tid\":0,\"ts_ns\":10}\n");
+    const TraceParse parse = parse_trace_jsonl(in);
+    ASSERT_EQ(parse.spans.size(), 1u);
+    EXPECT_EQ(parse.spans[0].name, "with \"quotes\" and \\slash");
+}
+
+TEST(TraceReportTest, EmptyStreamRendersGracefully) {
+    std::istringstream in("");
+    const TraceParse parse = parse_trace_jsonl(in);
+    EXPECT_TRUE(parse.spans.empty());
+    const std::string report = render_trace_report(parse);
+    EXPECT_NE(report.find("no spans recorded"), std::string::npos);
+}
+
+}  // namespace

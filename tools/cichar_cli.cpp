@@ -46,7 +46,10 @@
 #include "testgen/pattern_io.hpp"
 #include "util/binio.hpp"
 #include "util/cli_args.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace_report.hpp"
 
 namespace {
 
@@ -78,9 +81,67 @@ int usage() {
         "                transient=R,stuck=R,timeout=R,death=R,span=F,\n"
         "                stuck-len=N,seed=N (any subset)\n"
         "  cichar pattern --march c-|mats+|x|y|checkerboard --out FILE\n"
-        "  cichar pattern --info FILE\n");
+        "  cichar pattern --info FILE\n"
+        "  cichar trace-report FILE [--top N]\n"
+        "      render phase timing + hottest spans from a --trace-out file\n"
+        "telemetry (hunt and lot): --metrics-out FILE writes a Prometheus\n"
+        "  text snapshot (also refreshed on every checkpoint; on --resume\n"
+        "  the previous snapshot is reloaded so counters stay cumulative);\n"
+        "  --trace-out FILE records a JSONL span trace. Both are off by\n"
+        "  default and never change results.\n"
+        "global: --log-level debug|info|warn|error|off (default warn)\n");
     return 2;
 }
+
+/// --metrics-out / --trace-out wiring shared by hunt and lot. Construct
+/// before the run (enables the switches; a resumed run reloads the prior
+/// snapshot so counters stay cumulative) and call flush() after. The
+/// metrics path is also handed to checkpoint sinks so a killed run still
+/// leaves a fresh snapshot next to its checkpoint.
+struct TelemetryExports {
+    std::string metrics_path;
+    std::string trace_path;
+
+    TelemetryExports(const Args& args, bool resuming) {
+        if (args.has("metrics-out")) {
+            metrics_path = args.get("metrics-out");
+            util::telemetry::set_metrics_enabled(true);
+            if (resuming) {
+                std::ifstream in(metrics_path);
+                if (in) {
+                    util::telemetry::Registry::instance().load_prometheus(in);
+                }
+            }
+        }
+        if (args.has("trace-out")) {
+            trace_path = args.get("trace-out");
+            util::telemetry::set_tracing_enabled(true);
+        }
+    }
+
+    void write_metrics() const {
+        if (metrics_path.empty()) return;
+        std::ofstream out(metrics_path);
+        if (!out) {
+            std::fprintf(stderr, "warning: cannot write metrics %s\n",
+                         metrics_path.c_str());
+            return;
+        }
+        out << util::telemetry::Registry::instance().render_prometheus();
+    }
+
+    void flush() const {
+        write_metrics();
+        if (trace_path.empty()) return;
+        std::ofstream out(trace_path);
+        if (!out) {
+            std::fprintf(stderr, "warning: cannot write trace %s\n",
+                         trace_path.c_str());
+            return;
+        }
+        util::telemetry::Trace::instance().write_jsonl(out);
+    }
+};
 
 core::CharacterizerOptions default_options() {
     core::CharacterizerOptions options;
@@ -127,6 +188,7 @@ int cmd_selftest(const Args&) {
 
 int cmd_hunt(const Args& args) {
     const std::uint64_t seed = args.get_u64("seed", 2005);
+    const TelemetryExports telem(args, args.has("resume"));
     device::MemoryTestChip chip;
     ate::Tester tester(chip);
     core::CharacterizerOptions options = default_options();
@@ -188,12 +250,15 @@ int cmd_hunt(const Args& args) {
     if (args.has("checkpoint")) {
         const std::string path = args.get("checkpoint");
         options.optimizer.checkpoint.save =
-            [path, fingerprint](const std::string& blob) {
+            [path, fingerprint, telem](const std::string& blob) {
                 if (!core::write_checkpoint_file(path, fingerprint, blob)) {
                     std::fprintf(stderr,
                                  "warning: cannot write checkpoint %s\n",
                                  path.c_str());
                 }
+                // Snapshot telemetry alongside the checkpoint so a killed
+                // run resumes with cumulative counters.
+                telem.write_metrics();
             };
     }
     options.optimizer.checkpoint.abort_after_generation =
@@ -238,6 +303,7 @@ int cmd_hunt(const Args& args) {
         std::printf("optimizing...\n");
         return characterizer.optimize(learned->model, rng);
     }();
+    telem.flush();
 
     if (report.aborted) {
         std::printf("hunt checkpointed after generation %zu; resume with "
@@ -427,6 +493,7 @@ int cmd_campaign(const Args& args) {
 }
 
 int cmd_lot(const Args& args) {
+    const TelemetryExports telem(args, args.has("resume"));
     lot::LotOptions options;
     options.sites = static_cast<std::size_t>(args.get_u64("sites", 8));
     options.jobs = static_cast<std::size_t>(args.get_u64("jobs", 1));
@@ -463,11 +530,12 @@ int cmd_lot(const Args& args) {
     // persists it atomically and feeds the raw file back on resume.
     if (args.has("checkpoint")) {
         const std::string path = args.get("checkpoint");
-        options.checkpoint.save = [path](const std::string& blob) {
+        options.checkpoint.save = [path, telem](const std::string& blob) {
             if (!util::atomic_write_file(path, blob)) {
                 std::fprintf(stderr, "warning: cannot write checkpoint %s\n",
                              path.c_str());
             }
+            telem.write_metrics();
         };
     }
     if (args.has("resume")) {
@@ -493,6 +561,7 @@ int cmd_lot(const Args& args) {
     }
     const lot::LotRunner runner(options);
     const lot::LotResult result = runner.run();
+    telem.flush();
     if (!result.complete()) {
         std::printf("partial lot: %zu/%zu sites characterized",
                     result.finished_sites(), options.sites);
@@ -522,6 +591,33 @@ int cmd_lot(const Args& args) {
         std::printf("lot report written to %s\n", args.get("report").c_str());
     }
     return 0;
+}
+
+int cmd_trace_report(const std::string& path, const Args& args) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+    }
+    const util::TraceParse parse = util::parse_trace_jsonl(in);
+    const auto top = static_cast<std::size_t>(args.get_u64("top", 10));
+    std::printf("%s", util::render_trace_report(parse, top).c_str());
+    return 0;
+}
+
+/// --log-level debug|info|warn|error|off (any subcommand). Returns false
+/// after a diagnostic when the value is unknown.
+bool apply_log_level(const Args& args) {
+    if (!args.has("log-level")) return true;
+    const std::optional<util::LogLevel> level =
+        util::parse_log_level(args.get("log-level"));
+    if (!level) {
+        std::fprintf(stderr, "unknown --log-level: %s\n",
+                     args.get("log-level").c_str());
+        return false;
+    }
+    util::Log::set_level(*level);
+    return true;
 }
 
 int cmd_pattern(const Args& args) {
@@ -566,8 +662,21 @@ int cmd_pattern(const Args& args) {
 int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string command = argv[1];
+    if (command == "trace-report") {
+        // Positional FILE operand: parse flags after it.
+        if (argc < 3 || argv[2][0] == '-') return usage();
+        const Args args(argc, argv, 3);
+        if (!args.ok() || !apply_log_level(args)) return usage();
+        try {
+            return cmd_trace_report(argv[2], args);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
     const Args args(argc, argv, 2);
     if (!args.ok()) return usage();
+    if (!apply_log_level(args)) return 2;
     try {
         if (command == "selftest") return cmd_selftest(args);
         if (command == "hunt") return cmd_hunt(args);
