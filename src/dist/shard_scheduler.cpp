@@ -1,0 +1,312 @@
+#include "dist/shard_scheduler.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "lot/lot_runner.hpp"
+#include "util/binio.hpp"
+#include "util/log.hpp"
+#include "util/subprocess.hpp"
+#include "util/telemetry.hpp"
+
+namespace cichar::dist {
+
+namespace fs = std::filesystem;
+
+ShardScheduler::ShardScheduler(ShardSchedulerOptions options)
+    : options_(std::move(options)) {}
+
+std::optional<double> heartbeat_age_seconds(const std::string& path) {
+    std::error_code ec;
+    const fs::file_time_type written = fs::last_write_time(path, ec);
+    if (ec) return std::nullopt;
+    const auto age = fs::file_time_type::clock::now() - written;
+    return std::chrono::duration<double>(age).count();
+}
+
+bool shard_checkpoint_complete(const std::string& path,
+                               const std::string& lot_fingerprint,
+                               std::size_t site_begin, std::size_t site_end) {
+    const std::optional<std::string> contents = util::read_file(path);
+    if (!contents) return false;
+    std::string payload;
+    if (!core::decode_checkpoint(*contents, lot_fingerprint, payload)) {
+        return false;
+    }
+    try {
+        const std::vector<lot::SiteResult> sites =
+            lot::decode_finished_sites(payload);
+        std::vector<char> finished(site_end - site_begin, 0);
+        for (const lot::SiteResult& site : sites) {
+            if (site.site >= site_begin && site.site < site_end) {
+                finished[site.site - site_begin] = 1;
+            }
+        }
+        for (const char f : finished) {
+            if (!f) return false;
+        }
+        return true;
+    } catch (const std::exception&) {
+        return false;  // torn payload: treat as incomplete, reissue
+    }
+}
+
+namespace {
+
+/// Live bookkeeping for one shard beyond what the manifest persists.
+struct ShardTracker {
+    util::Subprocess worker;
+    std::chrono::steady_clock::time_point attempt_start{};
+    bool kill_requested = false;  ///< chaos hook armed for this shard
+    bool killed_once = false;     ///< chaos hook already fired
+};
+
+struct SchedulerMetrics {
+    util::telemetry::Gauge* inflight = nullptr;
+    util::telemetry::Counter* launches = nullptr;
+    util::telemetry::Counter* reissues = nullptr;
+    util::telemetry::Counter* kills = nullptr;
+
+    SchedulerMetrics() {
+        if (!util::telemetry::metrics_enabled()) return;
+        auto& registry = util::telemetry::Registry::instance();
+        inflight = &registry.gauge("cichar_dist_shards_inflight");
+        launches = &registry.counter("cichar_dist_shard_launches_total");
+        reissues = &registry.counter("cichar_dist_shards_reissued_total");
+        kills = &registry.counter("cichar_dist_workers_killed_total");
+    }
+};
+
+}  // namespace
+
+ShardRunResult ShardScheduler::run(const std::string& lot_fingerprint,
+                                   std::size_t sites) const {
+    TELEM_SPAN("dist.schedule");
+    const auto start = std::chrono::steady_clock::now();
+    if (options_.worker_program.empty()) {
+        throw std::runtime_error("shard scheduler: no worker program");
+    }
+    std::error_code ec;
+    fs::create_directories(options_.work_dir, ec);
+    if (ec) {
+        throw std::runtime_error("shard scheduler: cannot create work dir " +
+                                 options_.work_dir + ": " + ec.message());
+    }
+
+    ShardRunResult result;
+    result.manifest = ShardManifest::partition(lot_fingerprint, sites,
+                                               options_.shards,
+                                               options_.work_dir);
+    result.manifest_path = options_.work_dir + "/manifest.bin";
+    ShardManifest& manifest = result.manifest;
+    const auto persist_manifest = [&] {
+        if (!manifest.save(result.manifest_path)) {
+            util::log_warn("shard scheduler: cannot write manifest " +
+                            result.manifest_path);
+        }
+    };
+    persist_manifest();
+
+    std::vector<ShardTracker> trackers(manifest.shards.size());
+    if (options_.kill_shard &&
+        *options_.kill_shard < trackers.size()) {
+        trackers[*options_.kill_shard].kill_requested = true;
+    }
+    SchedulerMetrics metrics;
+
+    const std::size_t max_parallel = options_.max_parallel == 0
+                                         ? manifest.shards.size()
+                                         : options_.max_parallel;
+    std::size_t inflight = 0;
+
+    const auto is_complete = [&](const ShardEntry& shard) {
+        return shard_checkpoint_complete(shard.checkpoint, lot_fingerprint,
+                                         shard.site_begin, shard.site_end);
+    };
+
+    const auto launch = [&](std::size_t k) {
+        ShardEntry& shard = manifest.shards[k];
+        std::vector<std::string> argv;
+        argv.push_back(options_.worker_program);
+        argv.push_back("lot");
+        for (const std::string& arg : options_.worker_args) {
+            argv.push_back(arg);
+        }
+        argv.push_back("--site-range");
+        argv.push_back(shard.range_spec());
+        argv.push_back("--checkpoint");
+        argv.push_back(shard.checkpoint);
+        argv.push_back("--heartbeat");
+        argv.push_back(shard.heartbeat);
+        // A prior attempt's checkpoint warm-starts the reissue — but only
+        // when it really is this lot's (a stale file from another run
+        // would make the worker refuse to start).
+        const std::optional<std::string> prior =
+            util::read_file(shard.checkpoint);
+        if (prior && core::peek_checkpoint_fingerprint(*prior) ==
+                         std::optional<std::string>(lot_fingerprint)) {
+            argv.push_back("--resume");
+            argv.push_back(shard.checkpoint);
+        }
+        const std::string log_path = options_.work_dir + "/shard_" +
+                                     std::to_string(k) + ".log";
+        trackers[k].worker = util::Subprocess::start(argv, log_path);
+        trackers[k].attempt_start = std::chrono::steady_clock::now();
+        ++shard.attempts;
+        shard.state = ShardState::kRunning;
+        ++result.launches;
+        if (shard.attempts > 1) ++result.reissues;
+        ++inflight;
+        if (metrics.launches) {
+            metrics.launches->add();
+            if (shard.attempts > 1) metrics.reissues->add();
+            metrics.inflight->set(static_cast<double>(inflight));
+        }
+        util::log_info("shard " + std::to_string(k) + " [" +
+                        shard.range_spec() + "] launched (attempt " +
+                        std::to_string(shard.attempts) + ", pid " +
+                        std::to_string(trackers[k].worker.pid()) + ")");
+        persist_manifest();
+    };
+
+    const auto kill_worker = [&](std::size_t k, const std::string& why) {
+        trackers[k].worker.kill(SIGKILL);
+        trackers[k].worker.wait();
+        ++result.kills;
+        if (metrics.kills) metrics.kills->add();
+        util::log_warn("shard " + std::to_string(k) + " killed: " + why);
+    };
+
+    const auto fail_run = [&](std::size_t k) {
+        manifest.shards[k].state = ShardState::kFailed;
+        for (std::size_t other = 0; other < trackers.size(); ++other) {
+            if (manifest.shards[other].state == ShardState::kRunning) {
+                kill_worker(other, "aborting run");
+                manifest.shards[other].state = ShardState::kPending;
+            }
+        }
+        persist_manifest();
+        throw std::runtime_error(
+            "shard scheduler: shard " + std::to_string(k) + " [" +
+            manifest.shards[k].range_spec() + "] failed after " +
+            std::to_string(manifest.shards[k].attempts) +
+            " attempts (see " + options_.work_dir + "/shard_" +
+            std::to_string(k) + ".log)");
+    };
+
+    while (!manifest.complete()) {
+        // Reap / police running workers.
+        for (std::size_t k = 0; k < manifest.shards.size(); ++k) {
+            ShardEntry& shard = manifest.shards[k];
+            if (shard.state != ShardState::kRunning) continue;
+            ShardTracker& tracker = trackers[k];
+
+            // Chaos hook: kill the worker once it has demonstrably done
+            // work (its checkpoint exists), so the reissue resumes a
+            // genuinely partial shard.
+            if (tracker.kill_requested && !tracker.killed_once &&
+                tracker.worker.running() &&
+                util::read_file(shard.checkpoint).has_value()) {
+                tracker.killed_once = true;
+                kill_worker(k, "chaos kill (--kill-shard)");
+            }
+
+            // Straggler: heartbeat (or, before the first heartbeat, the
+            // launch itself) too old.
+            if (options_.heartbeat_timeout_seconds > 0.0 &&
+                tracker.worker.running()) {
+                const std::optional<double> age =
+                    heartbeat_age_seconds(shard.heartbeat);
+                const double silent =
+                    age.value_or(std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() -
+                                     tracker.attempt_start)
+                                     .count());
+                if (silent > options_.heartbeat_timeout_seconds) {
+                    kill_worker(k, "no heartbeat for " +
+                                       std::to_string(silent) + " s");
+                }
+            }
+
+            const std::optional<util::ExitStatus> status =
+                tracker.worker.poll();
+            if (!status) continue;
+            --inflight;
+            if (metrics.inflight) {
+                metrics.inflight->set(static_cast<double>(inflight));
+            }
+            if (is_complete(shard)) {
+                shard.state = ShardState::kDone;
+                util::log_info("shard " + std::to_string(k) + " done (" +
+                                status->describe() + ")");
+                persist_manifest();
+                continue;
+            }
+            util::log_warn("shard " + std::to_string(k) +
+                            " incomplete (worker " + status->describe() +
+                            ")");
+            if (shard.attempts >= options_.max_attempts) fail_run(k);
+            shard.state = ShardState::kPending;
+            persist_manifest();
+        }
+
+        // Fill free slots, lowest shard index first (reissues included —
+        // they re-enter as kPending).
+        for (std::size_t k = 0;
+             k < manifest.shards.size() && inflight < max_parallel; ++k) {
+            if (manifest.shards[k].state == ShardState::kPending) {
+                // A shard whose checkpoint already covers its range needs
+                // no worker at all (a crashed coordinator restarting).
+                if (is_complete(manifest.shards[k])) {
+                    manifest.shards[k].state = ShardState::kDone;
+                    persist_manifest();
+                    continue;
+                }
+                launch(k);
+            }
+        }
+
+        if (!manifest.complete()) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                options_.poll_interval_seconds));
+        }
+    }
+
+    // Fuse the shard checkpoints into the single-process-identical blob.
+    std::vector<std::string> blobs;
+    blobs.reserve(manifest.shards.size());
+    for (const ShardEntry& shard : manifest.shards) {
+        const std::optional<std::string> blob =
+            util::read_file(shard.checkpoint);
+        if (!blob) {
+            throw std::runtime_error(
+                "shard scheduler: lost checkpoint " + shard.checkpoint);
+        }
+        blobs.push_back(*blob);
+    }
+    result.merged_blob =
+        merge_shard_checkpoints(blobs, lot_fingerprint, &result.merge);
+    result.merged_path = options_.work_dir + "/merged.ckpt";
+    if (!util::atomic_write_file(result.merged_path, result.merged_blob)) {
+        throw std::runtime_error("shard scheduler: cannot write " +
+                                 result.merged_path);
+    }
+    persist_manifest();
+
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (util::telemetry::metrics_enabled()) {
+        namespace telem = util::telemetry;
+        static auto& total =
+            telem::Registry::instance().gauge("cichar_dist_shards_total");
+        total.set(static_cast<double>(manifest.shards.size()));
+    }
+    return result;
+}
+
+}  // namespace cichar::dist

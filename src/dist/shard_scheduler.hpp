@@ -1,0 +1,99 @@
+// Multi-process shard scheduler: partitions a lot into contiguous
+// site-range shards (ShardManifest), spawns one `cichar lot --site-range
+// A:B` worker process per shard, monitors them through heartbeat files
+// and exit codes, reissues failed or stalled shards from their last
+// per-shard checkpoint, and finally fuses the shard checkpoints into one
+// blob (shard_merge) that is byte-identical to what a single process
+// would have checkpointed.
+//
+// Fault model: a worker may crash, be SIGKILLed, exit nonzero, stop
+// heartbeating (straggler), or exit 0 with an incomplete range (a
+// --max-sites stop-and-go worker). Every case is handled the same way:
+// the shard is reissued — resuming from its checkpoint when one is
+// valid — until it completes or exhausts max_attempts. Because each
+// site's streams are pre-committed from the lot seed, a reissued shard
+// reproduces exactly the sites a never-killed worker would have.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/shard_manifest.hpp"
+#include "dist/shard_merge.hpp"
+
+namespace cichar::dist {
+
+struct ShardSchedulerOptions {
+    /// Worker processes the lot is split across.
+    std::size_t shards = 2;
+    /// Launches per shard before the run is declared failed.
+    std::size_t max_attempts = 3;
+    /// A running worker whose heartbeat file has not advanced for this
+    /// long is treated as a straggler: killed and reissued. 0 disables
+    /// straggler detection (exit codes still drive reissue).
+    double heartbeat_timeout_seconds = 0.0;
+    /// Scheduler poll cadence.
+    double poll_interval_seconds = 0.05;
+    /// Concurrently running workers; 0 = all shards at once.
+    std::size_t max_parallel = 0;
+    /// Manifest, per-shard checkpoints, heartbeats, and worker logs live
+    /// here (created if missing).
+    std::string work_dir = "cichar-shards";
+    /// Path of the cichar binary workers are spawned from.
+    std::string worker_program;
+    /// Base worker argv after "lot" (sites/seed/tests/... flags). The
+    /// scheduler appends --site-range/--checkpoint/--heartbeat/--resume.
+    std::vector<std::string> worker_args;
+    /// Chaos hook for tests/CI: SIGKILL this shard's first worker once
+    /// its checkpoint file exists (i.e. genuinely mid-run), forcing the
+    /// reissue path deterministically.
+    std::optional<std::size_t> kill_shard{};
+};
+
+/// What one run() did, for reporting and assertions.
+struct ShardRunResult {
+    ShardManifest manifest;       ///< final state, also persisted on disk
+    std::string merged_blob;      ///< fused enveloped checkpoint
+    std::string merged_path;      ///< where the fused blob was written
+    std::string manifest_path;    ///< persisted manifest location
+    MergeStats merge;             ///< fusion statistics
+    std::uint64_t launches = 0;   ///< total worker processes spawned
+    std::uint64_t reissues = 0;   ///< launches beyond each shard's first
+    std::uint64_t kills = 0;      ///< workers the scheduler killed
+    double wall_seconds = 0.0;
+};
+
+class ShardScheduler {
+public:
+    explicit ShardScheduler(ShardSchedulerOptions options);
+
+    [[nodiscard]] const ShardSchedulerOptions& options() const noexcept {
+        return options_;
+    }
+
+    /// Partitions `sites` across the shards, runs the worker fleet to
+    /// completion, and fuses the shard checkpoints. Throws
+    /// std::runtime_error when a shard exhausts max_attempts (remaining
+    /// workers are killed first) or the work directory is unusable.
+    [[nodiscard]] ShardRunResult run(const std::string& lot_fingerprint,
+                                     std::size_t sites) const;
+
+private:
+    ShardSchedulerOptions options_;
+};
+
+/// Seconds since `path` was last written; nullopt when the file does not
+/// exist (a worker that has not heartbeat yet). Exposed for tests.
+[[nodiscard]] std::optional<double> heartbeat_age_seconds(
+    const std::string& path);
+
+/// True when a shard's checkpoint file exists, carries the expected lot
+/// fingerprint, and marks every site in [site_begin, site_end) finished.
+/// Exposed for tests.
+[[nodiscard]] bool shard_checkpoint_complete(
+    const std::string& path, const std::string& lot_fingerprint,
+    std::size_t site_begin, std::size_t site_end);
+
+}  // namespace cichar::dist

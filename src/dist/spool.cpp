@@ -1,0 +1,309 @@
+#include "dist/spool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/binio.hpp"
+#include "util/log.hpp"
+#include "util/telemetry.hpp"
+
+namespace cichar::dist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kRequestHeader = "cichar-campaign-request 1";
+
+std::uint64_t parse_u64(const std::string& value, const std::string& key) {
+    try {
+        std::size_t consumed = 0;
+        const std::uint64_t parsed = std::stoull(value, &consumed);
+        if (consumed != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        throw std::runtime_error("campaign request: bad " + key + " value '" +
+                                 value + "'");
+    }
+}
+
+std::int64_t parse_i64(const std::string& value, const std::string& key) {
+    try {
+        std::size_t consumed = 0;
+        const std::int64_t parsed = std::stoll(value, &consumed);
+        if (consumed != value.size()) throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        throw std::runtime_error("campaign request: bad " + key + " value '" +
+                                 value + "'");
+    }
+}
+
+}  // namespace
+
+CampaignRequest CampaignRequest::parse(const std::string& text,
+                                       std::string name) {
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != kRequestHeader) {
+        throw std::runtime_error(
+            "campaign request: missing 'cichar-campaign-request 1' header");
+    }
+    CampaignRequest request;
+    request.name = std::move(name);
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        const std::size_t space = line.find(' ');
+        const std::string key = line.substr(0, space);
+        const std::string value =
+            space == std::string::npos ? "" : line.substr(space + 1);
+        if (value.empty()) {
+            throw std::runtime_error("campaign request: key '" + key +
+                                     "' has no value");
+        }
+        if (key == "kind") {
+            if (value != "lot") {
+                throw std::runtime_error(
+                    "campaign request: unsupported kind '" + value + "'");
+            }
+            request.kind = value;
+        } else if (key == "priority") {
+            request.priority = parse_i64(value, key);
+        } else if (key == "shards") {
+            request.shards =
+                static_cast<std::size_t>(parse_u64(value, key));
+            if (request.shards == 0) {
+                throw std::runtime_error(
+                    "campaign request: shards must be >= 1");
+            }
+        } else if (key == "sites") {
+            request.sites = static_cast<std::size_t>(parse_u64(value, key));
+        } else if (key == "jobs") {
+            request.jobs = static_cast<std::size_t>(parse_u64(value, key));
+        } else if (key == "seed") {
+            request.seed = parse_u64(value, key);
+        } else if (key == "tests") {
+            request.tests = static_cast<std::size_t>(parse_u64(value, key));
+        } else if (key == "generations") {
+            request.generations =
+                static_cast<std::size_t>(parse_u64(value, key));
+        } else if (key == "params") {
+            if (value != "tdq" && value != "all") {
+                throw std::runtime_error(
+                    "campaign request: params must be tdq or all");
+            }
+            request.params = value;
+        } else if (key == "fault-profile") {
+            request.fault_profile = value == "off" ? "" : value;
+        } else if (key == "policy") {
+            if (value != "on" && value != "off") {
+                throw std::runtime_error(
+                    "campaign request: policy must be on or off");
+            }
+            request.policy = value;
+        } else {
+            throw std::runtime_error("campaign request: unknown key '" + key +
+                                     "'");
+        }
+    }
+    if (request.sites == 0) {
+        throw std::runtime_error("campaign request: sites must be >= 1");
+    }
+    if (request.shards > request.sites) {
+        throw std::runtime_error(
+            "campaign request: more shards than sites");
+    }
+    return request;
+}
+
+std::string CampaignRequest::render() const {
+    std::ostringstream out;
+    out << kRequestHeader << "\n"
+        << "kind " << kind << "\n"
+        << "priority " << priority << "\n"
+        << "shards " << shards << "\n"
+        << "sites " << sites << "\n"
+        << "jobs " << jobs << "\n"
+        << "seed " << seed << "\n"
+        << "tests " << tests << "\n"
+        << "generations " << generations << "\n"
+        << "params " << params << "\n"
+        << "fault-profile "
+        << (fault_profile.empty() ? "off" : fault_profile) << "\n";
+    if (!policy.empty()) out << "policy " << policy << "\n";
+    return out.str();
+}
+
+SpoolCoordinator::SpoolCoordinator(SpoolOptions options,
+                                   CampaignExecutor executor)
+    : options_(std::move(options)), executor_(std::move(executor)) {}
+
+namespace {
+
+struct PendingRequest {
+    std::string stem;  ///< file name without .req
+    std::string path;
+    CampaignRequest request;
+};
+
+void file_text(const std::string& path, const std::string& text) {
+    if (!util::atomic_write_file(path, text)) {
+        util::log_warn("spool: cannot write " + path);
+    }
+}
+
+}  // namespace
+
+void SpoolCoordinator::ensure_layout() const {
+    const fs::path root(options_.root);
+    std::error_code ec;
+    for (const char* sub :
+         {"incoming", "active", "done", "failed", "rejected"}) {
+        fs::create_directories(root / sub, ec);
+        if (ec) {
+            throw std::runtime_error("spool: cannot create " +
+                                     (root / sub).string() + ": " +
+                                     ec.message());
+        }
+    }
+}
+
+bool SpoolCoordinator::step(Stats& stats) {
+    ensure_layout();
+    const fs::path root(options_.root);
+    const fs::path incoming = root / "incoming";
+
+    // Scan: parse every queued request (malformed ones fail immediately
+    // and leave the queue), then order by (priority desc, name asc).
+    std::vector<PendingRequest> queue;
+    std::error_code ec;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(incoming, ec)) {
+        if (!entry.is_regular_file() || entry.path().extension() != ".req") {
+            continue;
+        }
+        const std::string stem = entry.path().stem().string();
+        const std::optional<std::string> text =
+            util::read_file(entry.path().string());
+        if (!text) continue;  // torn mid-write; next scan sees it whole
+        try {
+            PendingRequest pending;
+            pending.stem = stem;
+            pending.path = entry.path().string();
+            pending.request = CampaignRequest::parse(*text, stem);
+            queue.push_back(std::move(pending));
+        } catch (const std::exception& e) {
+            file_text((root / "failed" / (stem + ".err")).string(),
+                      std::string(e.what()) + "\n");
+            fs::remove(entry.path(), ec);
+            ++stats.failed;
+            util::log_warn("spool: request " + stem + " malformed: " +
+                           e.what());
+        }
+    }
+    std::sort(queue.begin(), queue.end(),
+              [](const PendingRequest& a, const PendingRequest& b) {
+                  if (a.request.priority != b.request.priority) {
+                      return a.request.priority > b.request.priority;
+                  }
+                  return a.stem < b.stem;
+              });
+
+    if (util::telemetry::metrics_enabled()) {
+        namespace telem = util::telemetry;
+        static auto& depth =
+            telem::Registry::instance().gauge("cichar_serve_queue_depth");
+        depth.set(static_cast<double>(queue.size()));
+    }
+
+    // Admission control: shed load from the low-priority end, loudly.
+    bool acted = false;
+    while (queue.size() > options_.max_queue) {
+        const PendingRequest& shed = queue.back();
+        file_text((root / "rejected" / (shed.stem + ".err")).string(),
+                  "admission control: queue holds " +
+                      std::to_string(queue.size()) + " requests, limit is " +
+                      std::to_string(options_.max_queue) + "\n");
+        fs::remove(shed.path, ec);
+        ++stats.rejected;
+        acted = true;
+        util::log_warn("spool: rejected " + shed.stem +
+                       " (queue over limit)");
+        if (util::telemetry::metrics_enabled()) {
+            namespace telem = util::telemetry;
+            static auto& rejected = telem::Registry::instance().counter(
+                "cichar_serve_rejected_total");
+            rejected.add();
+        }
+        queue.pop_back();
+    }
+    if (queue.empty()) return acted;
+
+    // Execute the winner.
+    const PendingRequest& next = queue.front();
+    const fs::path active = root / "active" / (next.stem + ".req");
+    fs::rename(next.path, active, ec);
+    if (ec) {
+        // Another process claimed it (or the file vanished); not an error.
+        return acted;
+    }
+    util::log_info("spool: executing " + next.stem + " (priority " +
+                   std::to_string(next.request.priority) + ", " +
+                   std::to_string(next.request.shards) + " shard(s))");
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        const std::string report = executor_(next.request);
+        file_text((root / "done" / (next.stem + ".report")).string(), report);
+        ++stats.executed;
+        if (util::telemetry::metrics_enabled()) {
+            namespace telem = util::telemetry;
+            static auto& executed = telem::Registry::instance().counter(
+                "cichar_serve_requests_total");
+            static auto& campaign_seconds = telem::Registry::instance().gauge(
+                "cichar_serve_campaign_seconds");
+            executed.add();
+            campaign_seconds.set(std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() - start)
+                                     .count());
+        }
+    } catch (const std::exception& e) {
+        file_text((root / "failed" / (next.stem + ".err")).string(),
+                  std::string(e.what()) + "\n");
+        ++stats.failed;
+        util::log_warn("spool: campaign " + next.stem + " failed: " +
+                       e.what());
+        if (util::telemetry::metrics_enabled()) {
+            namespace telem = util::telemetry;
+            static auto& failed = telem::Registry::instance().counter(
+                "cichar_serve_failed_total");
+            failed.add();
+        }
+    }
+    fs::remove(active, ec);
+    return true;
+}
+
+SpoolCoordinator::Stats SpoolCoordinator::run() {
+    ensure_layout();
+    Stats stats;
+    while (true) {
+        const bool acted = step(stats);
+        if (options_.max_requests > 0 &&
+            stats.executed + stats.failed >= options_.max_requests) {
+            break;
+        }
+        if (!acted) {
+            if (options_.drain) break;
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                options_.poll_interval_seconds));
+        }
+    }
+    return stats;
+}
+
+}  // namespace cichar::dist

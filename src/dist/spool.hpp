@@ -1,0 +1,100 @@
+// Spool-directory campaign coordinator — the first step from CLI tool to
+// long-lived service. Clients drop plain-text campaign request files
+// into `<spool>/incoming/`; the coordinator admits them under a queue
+// bound, orders them by priority, executes one campaign at a time
+// (results stay deterministic — requests never share mutable state), and
+// files the artifacts:
+//
+//   <spool>/incoming/NAME.req    queued requests (clients write here)
+//   <spool>/active/NAME.req      the request currently executing
+//   <spool>/done/NAME.report     finished campaign reports
+//   <spool>/failed/NAME.err      parse/execution failures
+//   <spool>/rejected/NAME.err    admission-control rejections
+//
+// Execution is pluggable (CampaignExecutor), so the policy layer is unit
+// testable without spawning worker processes; the CLI wires in a real
+// executor that runs single-process lots in-process and sharded lots
+// through the ShardScheduler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cichar::dist {
+
+/// One parsed campaign request (format: docs/FORMATS.md). Unknown keys
+/// and malformed values are parse errors — a service must not guess.
+struct CampaignRequest {
+    std::string name;          ///< request file stem (artifact naming)
+    std::string kind = "lot";  ///< only "lot" today
+    /// Higher runs first; ties break on name (ascending) so a scan is
+    /// deterministic regardless of directory iteration order.
+    std::int64_t priority = 0;
+    std::size_t shards = 1;  ///< 1 = in-process, N > 1 = shard scheduler
+    std::size_t sites = 8;
+    std::size_t jobs = 1;
+    std::uint64_t seed = 2005;
+    std::size_t tests = 80;
+    std::size_t generations = 15;
+    std::string params = "tdq";        ///< "tdq" | "all"
+    std::string fault_profile;         ///< empty = off
+    std::string policy;                ///< "" (auto) | "on" | "off"
+
+    /// Parses the `cichar-campaign-request 1` text format. Throws
+    /// std::runtime_error naming the offending line on any problem.
+    [[nodiscard]] static CampaignRequest parse(const std::string& text,
+                                               std::string name);
+
+    /// Inverse of parse() (round-trips exactly; used by tests and by
+    /// tools that enqueue requests programmatically).
+    [[nodiscard]] std::string render() const;
+};
+
+struct SpoolOptions {
+    std::string root;  ///< spool directory (subdirs created on demand)
+    /// Admission control: a scan holding more than this many parseable
+    /// requests rejects the excess from the low-priority end.
+    std::size_t max_queue = 16;
+    /// Stop after this many executed/failed campaigns (0 = unlimited).
+    std::size_t max_requests = 0;
+    /// Exit once the queue is empty instead of polling forever.
+    bool drain = false;
+    double poll_interval_seconds = 0.5;
+};
+
+/// Runs one campaign, returning the report text; throws on failure.
+using CampaignExecutor =
+    std::function<std::string(const CampaignRequest&)>;
+
+class SpoolCoordinator {
+public:
+    SpoolCoordinator(SpoolOptions options, CampaignExecutor executor);
+
+    struct Stats {
+        std::uint64_t executed = 0;
+        std::uint64_t failed = 0;    ///< parse or executor failures
+        std::uint64_t rejected = 0;  ///< admission control
+    };
+
+    /// Serves the spool until drained (`drain`), the request cap is hit,
+    /// or forever. Throws std::runtime_error when the spool root cannot
+    /// be prepared.
+    Stats run();
+
+    /// One scan-and-execute step (at most one campaign); exposed for
+    /// tests and single-shot maintenance. Returns true when any request
+    /// was processed or rejected.
+    bool step(Stats& stats);
+
+private:
+    /// Creates the spool subdirectories (idempotent); throws on failure.
+    void ensure_layout() const;
+
+    SpoolOptions options_;
+    CampaignExecutor executor_;
+};
+
+}  // namespace cichar::dist

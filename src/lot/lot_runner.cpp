@@ -57,11 +57,6 @@ std::string LotRunner::fingerprint() const {
     return out.str();
 }
 
-namespace {
-
-/// Distills the finished sites into a checkpoint payload: exactly the
-/// fields LotReport and the merged ledger need — trip records, risk,
-/// health counters, log — not the NN committees.
 std::string encode_finished_sites(const std::vector<SiteResult>& sites) {
     std::string out;
     std::uint64_t finished = 0;
@@ -87,27 +82,25 @@ std::string encode_finished_sites(const std::vector<SiteResult>& sites) {
     return out;
 }
 
-void restore_finished_sites(const std::string& payload,
-                            const std::vector<ate::Parameter>& parameters,
-                            std::vector<SiteResult>& sites) {
+std::vector<SiteResult> decode_finished_sites(const std::string& payload) {
+    // Corruption guard only — real lots are far smaller. A count above it
+    // means the length field itself is garbage.
+    constexpr std::uint64_t kMaxSites = 1 << 20;
+    constexpr std::uint64_t kMaxParameters = 1024;
     util::ByteReader in(payload);
     const std::uint64_t finished = in.get_u64();
-    if (finished > sites.size()) {
-        throw std::runtime_error("lot resume: more sites than the lot has");
+    if (finished > kMaxSites) {
+        throw std::runtime_error("lot shard payload: absurd site count");
     }
+    std::vector<SiteResult> decoded;
+    decoded.reserve(static_cast<std::size_t>(finished));
     for (std::uint64_t i = 0; i < finished; ++i) {
-        const std::uint64_t index = in.get_u64();
-        if (index >= sites.size()) {
-            throw std::runtime_error("lot resume: site index out of range");
-        }
-        SiteResult& site = sites[index];
-        if (site.finished()) {
-            throw std::runtime_error("lot resume: duplicate site");
-        }
+        SiteResult site;
+        site.site = static_cast<std::size_t>(in.get_u64());
         const std::uint64_t status = in.get_u64();
         if (status == static_cast<std::uint64_t>(SiteStatus::kPending) ||
             status > static_cast<std::uint64_t>(SiteStatus::kDead)) {
-            throw std::runtime_error("lot resume: bad site status");
+            throw std::runtime_error("lot shard payload: bad site status");
         }
         site.status = static_cast<SiteStatus>(status);
         site.max_risk = in.get_double();
@@ -115,30 +108,61 @@ void restore_finished_sites(const std::string& payload,
         site.injected = ate::InjectionStats::load(in);
         site.log.load(in);
         const std::uint64_t outcomes = in.get_u64();
-        if (outcomes > parameters.size()) {
-            throw std::runtime_error("lot resume: too many parameters");
+        if (outcomes > kMaxParameters) {
+            throw std::runtime_error("lot shard payload: too many parameters");
         }
-        site.outcomes.clear();
         site.outcomes.reserve(static_cast<std::size_t>(outcomes));
         for (std::uint64_t p = 0; p < outcomes; ++p) {
             SiteParameterOutcome outcome;
-            const std::string name = in.get_string();
-            if (name != parameters[static_cast<std::size_t>(p)].name) {
-                throw std::runtime_error("lot resume: parameter mismatch");
-            }
-            outcome.parameter = parameters[static_cast<std::size_t>(p)];
+            outcome.parameter.name = in.get_string();
             outcome.worst = core::TripPointRecord::load(in);
             outcome.margin_risk = in.get_double();
             site.outcomes.push_back(std::move(outcome));
         }
         site.restored = true;
+        decoded.push_back(std::move(site));
     }
     if (!in.at_end()) {
-        throw std::runtime_error("lot resume: trailing checkpoint bytes");
+        throw std::runtime_error("lot shard payload: trailing bytes");
     }
+    return decoded;
 }
 
-}  // namespace
+void install_finished_sites(const std::vector<SiteResult>& decoded,
+                            const std::vector<ate::Parameter>& parameters,
+                            std::vector<SiteResult>& sites) {
+    if (decoded.size() > sites.size()) {
+        throw std::runtime_error("lot resume: more sites than the lot has");
+    }
+    for (const SiteResult& entry : decoded) {
+        if (entry.site >= sites.size()) {
+            throw std::runtime_error("lot resume: site index out of range");
+        }
+        SiteResult& site = sites[entry.site];
+        if (site.finished()) {
+            throw std::runtime_error("lot resume: duplicate site");
+        }
+        if (entry.outcomes.size() > parameters.size()) {
+            throw std::runtime_error("lot resume: too many parameters");
+        }
+        site.status = entry.status;
+        site.max_risk = entry.max_risk;
+        site.faults = entry.faults;
+        site.injected = entry.injected;
+        site.log = entry.log;
+        site.outcomes.clear();
+        site.outcomes.reserve(entry.outcomes.size());
+        for (std::size_t p = 0; p < entry.outcomes.size(); ++p) {
+            SiteParameterOutcome outcome = entry.outcomes[p];
+            if (outcome.parameter.name != parameters[p].name) {
+                throw std::runtime_error("lot resume: parameter mismatch");
+            }
+            outcome.parameter = parameters[p];
+            site.outcomes.push_back(std::move(outcome));
+        }
+        site.restored = true;
+    }
+}
 
 LotResult LotRunner::run() const {
     LotResult result;
@@ -186,11 +210,21 @@ LotResult LotRunner::run() const {
                 "lot resume: checkpoint is corrupt or from a different lot "
                 "configuration");
         }
-        restore_finished_sites(payload, options_.parameters, result.sites);
+        install_finished_sites(decode_finished_sites(payload),
+                               options_.parameters, result.sites);
     }
 
+    const std::size_t range_begin = options_.site_range_begin;
+    const std::size_t range_end =
+        options_.site_range_end == 0 ? options_.sites : options_.site_range_end;
+    if (range_begin >= range_end || range_end > options_.sites) {
+        throw std::invalid_argument("lot: bad site range [" +
+                                    std::to_string(range_begin) + ", " +
+                                    std::to_string(range_end) + ") for " +
+                                    std::to_string(options_.sites) + " sites");
+    }
     std::vector<std::size_t> to_run;
-    for (std::size_t site = 0; site < options_.sites; ++site) {
+    for (std::size_t site = range_begin; site < range_end; ++site) {
         if (!result.sites[site].finished()) to_run.push_back(site);
     }
     if (options_.checkpoint.max_sites_per_run > 0 &&

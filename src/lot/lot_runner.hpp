@@ -61,6 +61,15 @@ struct LotOptions {
     std::size_t sites = 8;
     /// Worker threads; 0 means one per hardware thread.
     std::size_t jobs = 1;
+    /// Shard primitive: characterize only sites in
+    /// [site_range_begin, site_range_end) and leave the rest pending
+    /// (site_range_end == 0 means "through the last site"). The whole
+    /// wafer is still sampled and every per-site stream still forked, so
+    /// a shard's sites are byte-identical to the same sites in a full
+    /// run — `cichar merge` fuses shard checkpoints on that guarantee.
+    /// Excluded from the fingerprint: all shards of one lot share it.
+    std::size_t site_range_begin = 0;
+    std::size_t site_range_end = 0;
     /// Master seed; forks one independent stream per site.
     std::uint64_t seed = 2005;
     /// Parameters characterized at every site (empty = T_DQ only).
@@ -178,5 +187,33 @@ public:
 private:
     LotOptions options_;
 };
+
+// ---------------------------------------------------------------------
+// Shard-checkpoint payload codec. The runner distills every finished
+// site into this payload (wrapped in the core::checkpoint envelope);
+// `cichar merge` decodes per-shard payloads, fuses the site sets, and
+// re-encodes — byte-identical to the payload a single-process run of
+// the same lot would have written.
+
+/// Serializes the finished sites of `sites` (pending ones are skipped)
+/// in vector order. Only distilled state is kept: status, risk, health
+/// counters, ledger, and per-parameter trip records — not committees.
+[[nodiscard]] std::string encode_finished_sites(
+    const std::vector<SiteResult>& sites);
+
+/// Parses a payload back into standalone SiteResults (every entry
+/// finished, `restored` set). Parameter descriptors carry only their
+/// names — the caller that knows the lot configuration re-attaches the
+/// full descriptors (install_finished_sites does). Throws
+/// std::runtime_error on any truncation or malformed field.
+[[nodiscard]] std::vector<SiteResult> decode_finished_sites(
+    const std::string& payload);
+
+/// Installs decoded entries into a lot's site array, validating site
+/// indices, duplicate/finished collisions, and parameter names against
+/// `parameters`. Throws std::runtime_error on any mismatch.
+void install_finished_sites(const std::vector<SiteResult>& decoded,
+                            const std::vector<ate::Parameter>& parameters,
+                            std::vector<SiteResult>& sites);
 
 }  // namespace cichar::lot

@@ -2,19 +2,28 @@
 
 namespace cichar::util {
 
-CliArgs::CliArgs(int argc, const char* const* argv, int first) {
+CliArgs::CliArgs(int argc, const char* const* argv, int first,
+                 Positionals positionals) {
     std::vector<std::string> tokens;
     for (int i = first; i < argc; ++i) tokens.emplace_back(argv[i]);
-    parse(tokens);
+    parse(tokens, positionals);
 }
 
-CliArgs::CliArgs(const std::vector<std::string>& tokens) { parse(tokens); }
+CliArgs::CliArgs(const std::vector<std::string>& tokens,
+                 Positionals positionals) {
+    parse(tokens, positionals);
+}
 
-void CliArgs::parse(const std::vector<std::string>& tokens) {
+void CliArgs::parse(const std::vector<std::string>& tokens,
+                    Positionals positionals) {
     for (std::size_t i = 0; i < tokens.size(); ++i) {
         const std::string& token = tokens[i];
         if (token.rfind("--", 0) != 0) {
-            ok_ = false;
+            if (positionals == Positionals::kCollect) {
+                positionals_.push_back(token);
+            } else {
+                ok_ = false;
+            }
             continue;
         }
         const std::string key = token.substr(2);

@@ -13,14 +13,29 @@ namespace cichar::util {
 
 class CliArgs {
 public:
+    /// Whether bare (non `--`) tokens fail the parse or are collected as
+    /// positional operands (`cichar merge FILE FILE ...`).
+    enum class Positionals : std::uint8_t { kReject, kCollect };
+
     /// Parses argv[first..argc). Bare flags store an empty value.
-    CliArgs(int argc, const char* const* argv, int first = 1);
+    CliArgs(int argc, const char* const* argv, int first = 1,
+            Positionals positionals = Positionals::kReject);
 
     /// Convenience for tests: tokens as strings.
-    explicit CliArgs(const std::vector<std::string>& tokens);
+    explicit CliArgs(const std::vector<std::string>& tokens,
+                     Positionals positionals = Positionals::kReject);
 
-    /// False when a positional (non `--`) token was encountered.
+    /// False when a positional (non `--`) token was encountered while
+    /// positionals were rejected.
     [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+    /// Positional operands in command-line order (kCollect mode only).
+    /// A bare token never binds as the value of a preceding flag once
+    /// that flag already consumed one.
+    [[nodiscard]] const std::vector<std::string>& positionals()
+        const noexcept {
+        return positionals_;
+    }
 
     [[nodiscard]] bool has(const std::string& key) const;
 
@@ -38,9 +53,11 @@ public:
     [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
 
 private:
-    void parse(const std::vector<std::string>& tokens);
+    void parse(const std::vector<std::string>& tokens,
+               Positionals positionals);
 
     std::map<std::string, std::string> values_;
+    std::vector<std::string> positionals_;
     bool ok_ = true;
 };
 

@@ -1,0 +1,128 @@
+#include "util/subprocess.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+namespace cichar::util {
+
+std::string ExitStatus::describe() const {
+    if (exited) return "exit " + std::to_string(code);
+    if (signaled) return "signal " + std::to_string(signal);
+    return "unknown";
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      status_(std::exchange(other.status_, std::nullopt)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+    if (this != &other) {
+        pid_ = std::exchange(other.pid_, -1);
+        status_ = std::exchange(other.status_, std::nullopt);
+    }
+    return *this;
+}
+
+Subprocess Subprocess::start(const std::vector<std::string>& argv,
+                             const std::string& log_path) {
+    if (argv.empty()) {
+        throw std::runtime_error("Subprocess::start: empty argv");
+    }
+    std::vector<char*> raw;
+    raw.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) {
+        raw.push_back(const_cast<char*>(arg.c_str()));
+    }
+    raw.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        throw std::runtime_error("Subprocess::start: fork failed");
+    }
+    if (pid == 0) {
+        // Child. Only async-signal-safe calls until exec.
+        if (!log_path.empty()) {
+            const int fd = ::open(log_path.c_str(),
+                                  O_WRONLY | O_CREAT | O_APPEND, 0644);
+            if (fd >= 0) {
+                ::dup2(fd, STDOUT_FILENO);
+                ::dup2(fd, STDERR_FILENO);
+                if (fd > STDERR_FILENO) ::close(fd);
+            }
+        }
+        ::execvp(raw[0], raw.data());
+        ::_exit(127);  // exec failed; 127 mirrors the shell convention
+    }
+    Subprocess child;
+    child.pid_ = pid;
+    return child;
+}
+
+namespace {
+
+ExitStatus decode_wait_status(int wstatus) {
+    ExitStatus status;
+    if (WIFEXITED(wstatus)) {
+        status.exited = true;
+        status.code = WEXITSTATUS(wstatus);
+    } else if (WIFSIGNALED(wstatus)) {
+        status.signaled = true;
+        status.signal = WTERMSIG(wstatus);
+    }
+    return status;
+}
+
+}  // namespace
+
+bool Subprocess::running() { return started() && !poll().has_value(); }
+
+std::optional<ExitStatus> Subprocess::poll() {
+    if (status_.has_value() || !started()) return status_;
+    int wstatus = 0;
+    const pid_t reaped =
+        ::waitpid(static_cast<pid_t>(pid_), &wstatus, WNOHANG);
+    if (reaped == static_cast<pid_t>(pid_)) {
+        status_ = decode_wait_status(wstatus);
+    }
+    return status_;
+}
+
+ExitStatus Subprocess::wait() {
+    if (status_.has_value()) return *status_;
+    if (!started()) {
+        throw std::runtime_error("Subprocess::wait: never started");
+    }
+    int wstatus = 0;
+    pid_t reaped;
+    do {
+        reaped = ::waitpid(static_cast<pid_t>(pid_), &wstatus, 0);
+    } while (reaped < 0 && errno == EINTR);
+    if (reaped != static_cast<pid_t>(pid_)) {
+        throw std::runtime_error("Subprocess::wait: waitpid failed");
+    }
+    status_ = decode_wait_status(wstatus);
+    return *status_;
+}
+
+void Subprocess::kill(int sig) {
+    if (!started() || status_.has_value()) return;
+    ::kill(static_cast<pid_t>(pid_), sig);
+}
+
+std::string self_executable_path(const std::string& argv0) {
+    char buffer[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+    if (n > 0) {
+        buffer[n] = '\0';
+        return std::string(buffer);
+    }
+    return argv0;
+}
+
+}  // namespace cichar::util

@@ -1,0 +1,70 @@
+// Minimal POSIX subprocess wrapper for the distributed shard scheduler:
+// spawn an argv, poll without blocking, kill, and reap an exit status.
+// No shell is involved — arguments pass through exec untouched — and the
+// child's stdout/stderr can be redirected to a log file so worker chatter
+// never interleaves with the coordinator's own output.
+#pragma once
+
+#include <csignal>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cichar::util {
+
+/// How a child ended. `success()` is the only bit most callers need; the
+/// rest feeds diagnostics ("shard 2 died with SIGKILL").
+struct ExitStatus {
+    bool exited = false;    ///< normal _exit / return from main
+    int code = -1;          ///< exit code when `exited`
+    bool signaled = false;  ///< killed by a signal
+    int signal = 0;         ///< the signal when `signaled`
+
+    [[nodiscard]] bool success() const noexcept { return exited && code == 0; }
+    [[nodiscard]] std::string describe() const;
+};
+
+/// One spawned child process. Movable, not copyable; the destructor
+/// never kills a still-running child (call kill() + wait() explicitly —
+/// a scheduler must decide, not a scope exit).
+class Subprocess {
+public:
+    Subprocess() = default;
+    Subprocess(const Subprocess&) = delete;
+    Subprocess& operator=(const Subprocess&) = delete;
+    Subprocess(Subprocess&& other) noexcept;
+    Subprocess& operator=(Subprocess&& other) noexcept;
+    ~Subprocess() = default;
+
+    /// Forks + execs `argv` (argv[0] is the program path, resolved via
+    /// PATH when it has no slash). With `log_path` non-empty the child's
+    /// stdout and stderr are appended to that file. Throws
+    /// std::runtime_error when the fork fails or argv is empty; an
+    /// exec failure surfaces as exit code 127.
+    static Subprocess start(const std::vector<std::string>& argv,
+                            const std::string& log_path = "");
+
+    /// True while the child has not been reaped. poll() reaps a finished
+    /// child without blocking; wait() blocks until it finishes. Both
+    /// cache the status, so they are safe to call repeatedly.
+    [[nodiscard]] bool running();
+    std::optional<ExitStatus> poll();
+    ExitStatus wait();
+
+    /// Sends `sig` (default SIGKILL) to a still-running child. No-op
+    /// after the child is reaped.
+    void kill(int sig = SIGKILL);
+
+    [[nodiscard]] long pid() const noexcept { return pid_; }
+    [[nodiscard]] bool started() const noexcept { return pid_ > 0; }
+
+private:
+    long pid_ = -1;
+    std::optional<ExitStatus> status_{};
+};
+
+/// Absolute path of the running executable (/proc/self/exe on Linux),
+/// falling back to `argv0` when the kernel interface is unavailable.
+[[nodiscard]] std::string self_executable_path(const std::string& argv0);
+
+}  // namespace cichar::util

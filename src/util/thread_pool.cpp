@@ -113,7 +113,12 @@ void ThreadPool::worker_loop() {
             const std::lock_guard<std::mutex> lock(mutex_);
             if (error) {
                 ++failures_;
-                if (!first_error_) first_error_ = error;
+                if (!first_error_) first_error_ = std::move(error);
+                // Drop this worker's reference while the mutex is held:
+                // the last exception_ptr release frees the exception
+                // object, and that free must be mutex-ordered against
+                // wait() rethrowing and reading it on another thread.
+                error = nullptr;
             }
             --active_;
             if (queue_.empty() && active_ == 0) all_done_.notify_all();

@@ -1,0 +1,220 @@
+#include "dist/shard_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/checkpoint.hpp"
+#include "lot/lot_runner.hpp"
+#include "util/binio.hpp"
+
+namespace cichar::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kFingerprint = "lot:test-fingerprint";
+
+/// A checkpoint blob whose payload marks [begin, end) finished (fake
+/// sites: completed, no outcomes — enough for the coverage check and for
+/// the merge codec).
+std::string fake_blob(std::size_t begin, std::size_t end) {
+    std::vector<lot::SiteResult> sites;
+    for (std::size_t s = begin; s < end; ++s) {
+        lot::SiteResult site;
+        site.site = s;
+        site.status = lot::SiteStatus::kCompleted;
+        sites.push_back(std::move(site));
+    }
+    return core::encode_checkpoint(kFingerprint,
+                                   lot::encode_finished_sites(sites));
+}
+
+/// Writes an executable /bin/sh worker stand-in.
+void write_worker_script(const std::string& path, const std::string& body) {
+    {
+        std::ofstream out(path);
+        out << "#!/bin/sh\n"
+            // The scheduler passes: lot ... --site-range A:B
+            // --checkpoint F --heartbeat H [--resume F]; pick out what
+            // the fake worker needs.
+            << "range=; ckpt=;\n"
+            << "while [ $# -gt 0 ]; do\n"
+            << "  case \"$1\" in\n"
+            << "    --site-range) range=\"$2\"; shift 2;;\n"
+            << "    --checkpoint) ckpt=\"$2\"; shift 2;;\n"
+            << "    *) shift;;\n"
+            << "  esac\n"
+            << "done\n"
+            << body;
+    }
+    fs::permissions(path, fs::perms::owner_all | fs::perms::group_read |
+                              fs::perms::others_read);
+}
+
+class ShardSchedulerTest : public testing::Test {
+protected:
+    void SetUp() override {
+        work_ = testing::TempDir() + "sched_" +
+                testing::UnitTest::GetInstance()->current_test_info()->name();
+        fs::remove_all(work_);
+        fs::create_directories(work_);
+        // Pre-stage the blob every fake worker "computes" for its range.
+        write_blob_file("blob_0:2", fake_blob(0, 2));
+        write_blob_file("blob_2:4", fake_blob(2, 4));
+    }
+
+    void write_blob_file(const std::string& name, const std::string& blob) {
+        ASSERT_TRUE(util::atomic_write_file(work_ + "/" + name, blob));
+    }
+
+    ShardSchedulerOptions scheduler_options(const std::string& script_body) {
+        const std::string script = work_ + "/worker.sh";
+        write_worker_script(script, script_body);
+        ShardSchedulerOptions options;
+        options.shards = 2;
+        options.work_dir = work_;
+        options.worker_program = script;
+        options.poll_interval_seconds = 0.01;
+        return options;
+    }
+
+    std::string work_;
+};
+
+TEST(HeartbeatAgeTest, MissingFileHasNoAge) {
+    EXPECT_FALSE(
+        heartbeat_age_seconds(testing::TempDir() + "no_such_heartbeat")
+            .has_value());
+}
+
+TEST(HeartbeatAgeTest, FreshFileIsYoung) {
+    const std::string path = testing::TempDir() + "fresh_heartbeat";
+    ASSERT_TRUE(util::atomic_write_file(path, "1/4\n"));
+    const std::optional<double> age = heartbeat_age_seconds(path);
+    ASSERT_TRUE(age.has_value());
+    EXPECT_LT(*age, 60.0);
+}
+
+TEST(ShardCheckpointCompleteTest, RequiresFullCoverageAndFingerprint) {
+    const std::string dir = testing::TempDir();
+    const std::string full = dir + "scc_full.ckpt";
+    const std::string partial = dir + "scc_partial.ckpt";
+    const std::string garbage = dir + "scc_garbage.ckpt";
+    ASSERT_TRUE(util::atomic_write_file(full, fake_blob(0, 2)));
+    ASSERT_TRUE(util::atomic_write_file(partial, fake_blob(0, 1)));
+    ASSERT_TRUE(util::atomic_write_file(garbage, "torn write"));
+
+    EXPECT_TRUE(shard_checkpoint_complete(full, kFingerprint, 0, 2));
+    EXPECT_FALSE(shard_checkpoint_complete(partial, kFingerprint, 0, 2));
+    EXPECT_FALSE(shard_checkpoint_complete(full, "other lot", 0, 2));
+    EXPECT_FALSE(shard_checkpoint_complete(garbage, kFingerprint, 0, 2));
+    EXPECT_FALSE(
+        shard_checkpoint_complete(dir + "scc_missing", kFingerprint, 0, 2));
+    // A blob covering more than the shard's own range still completes it.
+    EXPECT_TRUE(shard_checkpoint_complete(full, kFingerprint, 0, 1));
+}
+
+TEST_F(ShardSchedulerTest, RunsWorkersToCompletionAndMerges) {
+    const ShardScheduler scheduler(scheduler_options(
+        "cp \"$(dirname \"$ckpt\")/blob_$range\" \"$ckpt\"\n"));
+    const ShardRunResult result = scheduler.run(kFingerprint, 4);
+
+    EXPECT_TRUE(result.manifest.complete());
+    EXPECT_EQ(result.launches, 2u);
+    EXPECT_EQ(result.reissues, 0u);
+    EXPECT_EQ(result.kills, 0u);
+    EXPECT_EQ(result.merge.sites, 4u);
+    EXPECT_EQ(result.merged_blob,
+              merge_shard_checkpoints({fake_blob(0, 2), fake_blob(2, 4)}));
+    // Both artifacts are on disk: fused blob + final manifest.
+    EXPECT_EQ(util::read_file(result.merged_path), result.merged_blob);
+    const std::optional<ShardManifest> persisted =
+        ShardManifest::load(result.manifest_path);
+    ASSERT_TRUE(persisted.has_value());
+    EXPECT_TRUE(persisted->complete());
+    EXPECT_EQ(persisted->lot_fingerprint, kFingerprint);
+}
+
+TEST_F(ShardSchedulerTest, CrashedWorkerIsReissued) {
+    // First attempt per shard: leave a marker and die with exit 1.
+    // Second attempt: the marker exists, so produce the checkpoint.
+    const ShardScheduler scheduler(scheduler_options(
+        "marker=\"$ckpt.tried\"\n"
+        "if [ -f \"$marker\" ]; then\n"
+        "  cp \"$(dirname \"$ckpt\")/blob_$range\" \"$ckpt\"\n"
+        "else\n"
+        "  : > \"$marker\"\n"
+        "  exit 1\n"
+        "fi\n"));
+    const ShardRunResult result = scheduler.run(kFingerprint, 4);
+
+    EXPECT_TRUE(result.manifest.complete());
+    EXPECT_EQ(result.launches, 4u);  // two shards, two attempts each
+    EXPECT_EQ(result.reissues, 2u);
+    for (const ShardEntry& shard : result.manifest.shards) {
+        EXPECT_EQ(shard.attempts, 2u);
+        EXPECT_EQ(shard.state, ShardState::kDone);
+    }
+    EXPECT_EQ(result.merge.sites, 4u);
+}
+
+TEST_F(ShardSchedulerTest, ExhaustedAttemptsFailTheRun) {
+    ShardSchedulerOptions options = scheduler_options("exit 1\n");
+    options.max_attempts = 2;
+    const ShardScheduler scheduler(options);
+    EXPECT_THROW((void)scheduler.run(kFingerprint, 4), std::runtime_error);
+
+    // The persisted manifest records the failure for post-mortems.
+    const std::optional<ShardManifest> persisted =
+        ShardManifest::load(work_ + "/manifest.bin");
+    ASSERT_TRUE(persisted.has_value());
+    bool failed = false;
+    for (const ShardEntry& shard : persisted->shards) {
+        if (shard.state == ShardState::kFailed) failed = true;
+    }
+    EXPECT_TRUE(failed);
+}
+
+TEST_F(ShardSchedulerTest, CompleteShardsNeedNoWorker) {
+    // A restarted coordinator finds both shard checkpoints already
+    // complete; even a worker that would always fail is never launched.
+    ASSERT_TRUE(
+        util::atomic_write_file(work_ + "/shard_0.ckpt", fake_blob(0, 2)));
+    ASSERT_TRUE(
+        util::atomic_write_file(work_ + "/shard_1.ckpt", fake_blob(2, 4)));
+    const ShardScheduler scheduler(scheduler_options("exit 1\n"));
+    const ShardRunResult result = scheduler.run(kFingerprint, 4);
+
+    EXPECT_TRUE(result.manifest.complete());
+    EXPECT_EQ(result.launches, 0u);
+    EXPECT_EQ(result.merge.sites, 4u);
+}
+
+TEST_F(ShardSchedulerTest, MaxParallelBoundsTheFleet) {
+    ShardSchedulerOptions options = scheduler_options(
+        "cp \"$(dirname \"$ckpt\")/blob_$range\" \"$ckpt\"\n");
+    options.max_parallel = 1;
+    const ShardRunResult result =
+        ShardScheduler(options).run(kFingerprint, 4);
+    EXPECT_TRUE(result.manifest.complete());
+    EXPECT_EQ(result.launches, 2u);
+}
+
+TEST_F(ShardSchedulerTest, MissingWorkerProgramFailsTheRun) {
+    ShardSchedulerOptions options;
+    options.shards = 2;
+    options.work_dir = work_;
+    options.poll_interval_seconds = 0.01;
+    EXPECT_THROW((void)ShardScheduler(options).run(kFingerprint, 4),
+                 std::runtime_error);  // no worker program at all
+    options.worker_program = work_ + "/does-not-exist";
+    options.max_attempts = 1;
+    EXPECT_THROW((void)ShardScheduler(options).run(kFingerprint, 4),
+                 std::runtime_error);  // exec failure -> exit 127 -> failed
+}
+
+}  // namespace
+}  // namespace cichar::dist

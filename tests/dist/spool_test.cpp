@@ -1,0 +1,241 @@
+#include "dist/spool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/binio.hpp"
+
+namespace cichar::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SpoolTest : public testing::Test {
+protected:
+    void SetUp() override {
+        root_ = testing::TempDir() + "spool_" +
+                testing::UnitTest::GetInstance()->current_test_info()->name();
+        fs::remove_all(root_);
+    }
+
+    void enqueue(const std::string& name, const CampaignRequest& request) {
+        fs::create_directories(root_ + "/incoming");
+        ASSERT_TRUE(util::atomic_write_file(
+            root_ + "/incoming/" + name + ".req", request.render()));
+    }
+
+    void enqueue_raw(const std::string& name, const std::string& text) {
+        fs::create_directories(root_ + "/incoming");
+        ASSERT_TRUE(util::atomic_write_file(
+            root_ + "/incoming/" + name + ".req", text));
+    }
+
+    SpoolOptions drain_options(std::size_t max_queue = 16) const {
+        SpoolOptions options;
+        options.root = root_;
+        options.max_queue = max_queue;
+        options.drain = true;
+        return options;
+    }
+
+    [[nodiscard]] bool exists(const std::string& rel) const {
+        return fs::exists(root_ + "/" + rel);
+    }
+
+    std::string root_;
+};
+
+CampaignRequest small_request(std::int64_t priority = 0) {
+    CampaignRequest request;
+    request.sites = 2;
+    request.tests = 24;
+    request.generations = 3;
+    request.priority = priority;
+    return request;
+}
+
+TEST_F(SpoolTest, RequestRenderParseRoundTrip) {
+    CampaignRequest request = small_request(7);
+    request.shards = 2;
+    request.jobs = 3;
+    request.seed = 99;
+    request.params = "all";
+    request.fault_profile = "transient:0.02";
+    request.policy = "off";
+    const CampaignRequest parsed =
+        CampaignRequest::parse(request.render(), "rt");
+    EXPECT_EQ(parsed.name, "rt");
+    EXPECT_EQ(parsed.priority, 7);
+    EXPECT_EQ(parsed.shards, 2u);
+    EXPECT_EQ(parsed.sites, 2u);
+    EXPECT_EQ(parsed.jobs, 3u);
+    EXPECT_EQ(parsed.seed, 99u);
+    EXPECT_EQ(parsed.tests, 24u);
+    EXPECT_EQ(parsed.generations, 3u);
+    EXPECT_EQ(parsed.params, "all");
+    EXPECT_EQ(parsed.fault_profile, "transient:0.02");
+    EXPECT_EQ(parsed.policy, "off");
+    EXPECT_EQ(parsed.render(), request.render());
+}
+
+TEST_F(SpoolTest, ParseRejectsMalformedRequests) {
+    EXPECT_THROW((void)CampaignRequest::parse("", "x"), std::runtime_error);
+    EXPECT_THROW((void)CampaignRequest::parse("wrong header\n", "x"),
+                 std::runtime_error);
+    const std::string header = "cichar-campaign-request 1\n";
+    EXPECT_THROW(
+        (void)CampaignRequest::parse(header + "surprise 1\n", "x"),
+        std::runtime_error);  // unknown key
+    EXPECT_THROW((void)CampaignRequest::parse(header + "sites\n", "x"),
+                 std::runtime_error);  // no value
+    EXPECT_THROW(
+        (void)CampaignRequest::parse(header + "sites banana\n", "x"),
+        std::runtime_error);  // junk number
+    EXPECT_THROW((void)CampaignRequest::parse(header + "sites 0\n", "x"),
+                 std::runtime_error);
+    EXPECT_THROW((void)CampaignRequest::parse(header + "shards 0\n", "x"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        (void)CampaignRequest::parse(header + "sites 2\nshards 4\n", "x"),
+        std::runtime_error);  // more shards than sites
+    EXPECT_THROW(
+        (void)CampaignRequest::parse(header + "kind hunt\n", "x"),
+        std::runtime_error);  // unsupported kind
+    // Comments and blank lines are fine.
+    EXPECT_NO_THROW((void)CampaignRequest::parse(
+        header + "# a comment\n\nsites 4\n", "x"));
+}
+
+TEST_F(SpoolTest, ExecutesByPriorityThenName) {
+    enqueue("low", small_request(1));
+    enqueue("urgent", small_request(9));
+    enqueue("b-tie", small_request(5));
+    enqueue("a-tie", small_request(5));
+
+    std::vector<std::string> order;
+    SpoolCoordinator coordinator(drain_options(),
+                                 [&order](const CampaignRequest& request) {
+                                     order.push_back(request.name);
+                                     return "report for " + request.name;
+                                 });
+    const SpoolCoordinator::Stats stats = coordinator.run();
+    EXPECT_EQ(stats.executed, 4u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.rejected, 0u);
+    ASSERT_EQ(order,
+              (std::vector<std::string>{"urgent", "a-tie", "b-tie", "low"}));
+
+    // Artifacts land in done/, the queue and active slot are empty.
+    for (const std::string& name : order) {
+        EXPECT_TRUE(exists("done/" + name + ".report"));
+        EXPECT_FALSE(exists("incoming/" + name + ".req"));
+        EXPECT_FALSE(exists("active/" + name + ".req"));
+    }
+    const std::optional<std::string> report =
+        util::read_file(root_ + "/done/urgent.report");
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(*report, "report for urgent");
+}
+
+TEST_F(SpoolTest, AdmissionControlShedsLowestPriority) {
+    for (int p = 0; p < 5; ++p) {
+        enqueue("req" + std::to_string(p),
+                small_request(p));
+    }
+    std::vector<std::string> order;
+    SpoolCoordinator coordinator(drain_options(/*max_queue=*/3),
+                                 [&order](const CampaignRequest& request) {
+                                     order.push_back(request.name);
+                                     return std::string("ok");
+                                 });
+    const SpoolCoordinator::Stats stats = coordinator.run();
+    EXPECT_EQ(stats.rejected, 2u);
+    EXPECT_EQ(stats.executed, 3u);
+    // The two lowest-priority requests were shed, loudly.
+    EXPECT_TRUE(exists("rejected/req0.err"));
+    EXPECT_TRUE(exists("rejected/req1.err"));
+    ASSERT_EQ(order,
+              (std::vector<std::string>{"req4", "req3", "req2"}));
+}
+
+TEST_F(SpoolTest, MalformedRequestIsFiledNotFatal) {
+    enqueue_raw("broken", "not a campaign request\n");
+    enqueue("good", small_request());
+
+    SpoolCoordinator coordinator(drain_options(),
+                                 [](const CampaignRequest&) {
+                                     return std::string("ok");
+                                 });
+    const SpoolCoordinator::Stats stats = coordinator.run();
+    EXPECT_EQ(stats.executed, 1u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_TRUE(exists("failed/broken.err"));
+    EXPECT_TRUE(exists("done/good.report"));
+    const std::optional<std::string> err =
+        util::read_file(root_ + "/failed/broken.err");
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("header"), std::string::npos);
+}
+
+TEST_F(SpoolTest, ExecutorFailureIsFiledAndServiceContinues) {
+    enqueue("doomed", small_request(9));
+    enqueue("fine", small_request(1));
+
+    SpoolCoordinator coordinator(
+        drain_options(), [](const CampaignRequest& request) -> std::string {
+            if (request.name == "doomed") {
+                throw std::runtime_error("tester caught fire");
+            }
+            return "ok";
+        });
+    const SpoolCoordinator::Stats stats = coordinator.run();
+    EXPECT_EQ(stats.executed, 1u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_TRUE(exists("failed/doomed.err"));
+    EXPECT_FALSE(exists("active/doomed.req"));
+    EXPECT_TRUE(exists("done/fine.report"));
+    const std::optional<std::string> err =
+        util::read_file(root_ + "/failed/doomed.err");
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("tester caught fire"), std::string::npos);
+}
+
+TEST_F(SpoolTest, MaxRequestsBoundsTheService) {
+    for (int p = 0; p < 4; ++p) {
+        enqueue("req" + std::to_string(p), small_request(p));
+    }
+    SpoolOptions options = drain_options();
+    options.max_requests = 2;
+    std::size_t executed = 0;
+    SpoolCoordinator coordinator(options,
+                                 [&executed](const CampaignRequest&) {
+                                     ++executed;
+                                     return std::string("ok");
+                                 });
+    const SpoolCoordinator::Stats stats = coordinator.run();
+    EXPECT_EQ(stats.executed, 2u);
+    EXPECT_EQ(executed, 2u);
+    // The rest stay queued for a later service run.
+    EXPECT_TRUE(exists("incoming/req0.req"));
+}
+
+TEST_F(SpoolTest, DrainOnEmptySpoolIsANoOp) {
+    SpoolCoordinator coordinator(drain_options(),
+                                 [](const CampaignRequest&) {
+                                     return std::string("ok");
+                                 });
+    const SpoolCoordinator::Stats stats = coordinator.run();
+    EXPECT_EQ(stats.executed, 0u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.rejected, 0u);
+    // The layout exists afterwards so clients can start dropping files.
+    EXPECT_TRUE(exists("incoming"));
+    EXPECT_TRUE(exists("done"));
+}
+
+}  // namespace
+}  // namespace cichar::dist

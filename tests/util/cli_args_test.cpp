@@ -75,5 +75,24 @@ TEST(CliArgsTest, EmptyArgsOk) {
     EXPECT_EQ(args.size(), 0u);
 }
 
+TEST(CliArgsTest, PositionalsRejectedByDefault) {
+    const CliArgs args({"shard0.ckpt", "--out", "merged.ckpt"});
+    EXPECT_FALSE(args.ok());
+    EXPECT_TRUE(args.positionals().empty());
+}
+
+TEST(CliArgsTest, PositionalsCollectedWhenOptedIn) {
+    const CliArgs args({"a.ckpt", "b.ckpt", "--out", "m.ckpt", "c.ckpt"},
+                       CliArgs::Positionals::kCollect);
+    EXPECT_TRUE(args.ok());
+    EXPECT_EQ(args.get("out"), "m.ckpt");
+    // Order is preserved; a flag still consumes exactly one value, so
+    // the token after "m.ckpt" is positional again.
+    ASSERT_EQ(args.positionals().size(), 3u);
+    EXPECT_EQ(args.positionals()[0], "a.ckpt");
+    EXPECT_EQ(args.positionals()[1], "b.ckpt");
+    EXPECT_EQ(args.positionals()[2], "c.ckpt");
+}
+
 }  // namespace
 }  // namespace cichar::util

@@ -1,0 +1,77 @@
+#include "util/subprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+
+#include "util/binio.hpp"
+
+namespace cichar::util {
+namespace {
+
+TEST(SubprocessTest, CleanExitReportsSuccess) {
+    Subprocess child = Subprocess::start({"/bin/sh", "-c", "exit 0"});
+    const ExitStatus status = child.wait();
+    EXPECT_TRUE(status.exited);
+    EXPECT_TRUE(status.success());
+    EXPECT_EQ(status.code, 0);
+    EXPECT_FALSE(status.signaled);
+    EXPECT_NE(status.describe().find("exit 0"), std::string::npos);
+}
+
+TEST(SubprocessTest, NonzeroExitCodeIsReported) {
+    Subprocess child = Subprocess::start({"/bin/sh", "-c", "exit 3"});
+    const ExitStatus status = child.wait();
+    EXPECT_TRUE(status.exited);
+    EXPECT_FALSE(status.success());
+    EXPECT_EQ(status.code, 3);
+}
+
+TEST(SubprocessTest, PollTransitionsFromRunningToExited) {
+    Subprocess child =
+        Subprocess::start({"/bin/sh", "-c", "sleep 30"});
+    ASSERT_TRUE(child.started());
+    EXPECT_TRUE(child.running());
+    EXPECT_FALSE(child.poll().has_value());
+
+    child.kill(SIGKILL);
+    const ExitStatus status = child.wait();
+    EXPECT_TRUE(status.signaled);
+    EXPECT_EQ(status.signal, SIGKILL);
+    EXPECT_FALSE(status.success());
+    EXPECT_FALSE(child.running());
+    // The cached status keeps answering after the reap.
+    const std::optional<ExitStatus> again = child.poll();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_TRUE(again->signaled);
+}
+
+TEST(SubprocessTest, ExecFailureExits127) {
+    Subprocess child =
+        Subprocess::start({"/definitely/not/a/real/binary"});
+    const ExitStatus status = child.wait();
+    EXPECT_TRUE(status.exited);
+    EXPECT_EQ(status.code, 127);
+}
+
+TEST(SubprocessTest, OutputIsRedirectedToLogFile) {
+    const std::string log = testing::TempDir() + "subprocess_test.log";
+    Subprocess child = Subprocess::start(
+        {"/bin/sh", "-c", "echo out; echo err 1>&2"}, log);
+    EXPECT_TRUE(child.wait().success());
+    const std::optional<std::string> contents = read_file(log);
+    ASSERT_TRUE(contents.has_value());
+    EXPECT_NE(contents->find("out"), std::string::npos);
+    EXPECT_NE(contents->find("err"), std::string::npos);
+}
+
+TEST(SubprocessTest, SelfExecutablePathPointsAtARealFile) {
+    const std::string self = self_executable_path("fallback-argv0");
+    ASSERT_FALSE(self.empty());
+    // On Linux /proc/self/exe resolves to this very test binary.
+    EXPECT_TRUE(std::filesystem::exists(self));
+}
+
+}  // namespace
+}  // namespace cichar::util

@@ -40,12 +40,17 @@
 #include "core/report.hpp"
 #include "core/spec_report.hpp"
 #include "device/memory_chip.hpp"
+#include "dist/shard_manifest.hpp"
+#include "dist/shard_merge.hpp"
+#include "dist/shard_scheduler.hpp"
+#include "dist/spool.hpp"
 #include "lot/lot_report.hpp"
 #include "lot/lot_runner.hpp"
 #include "testgen/march.hpp"
 #include "testgen/pattern_io.hpp"
 #include "util/binio.hpp"
 #include "util/cli_args.hpp"
+#include "util/subprocess.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/telemetry.hpp"
@@ -77,6 +82,23 @@ int usage() {
         "             [--tests N] [--generations G] [--report FILE]\n"
         "             [--fault-profile SPEC] [--policy on|off]\n"
         "             [--checkpoint FILE] [--resume FILE] [--max-sites N]\n"
+        "             [--site-range A:B] [--heartbeat FILE]\n"
+        "             [--shards N [--shard-dir DIR] [--max-attempts N]\n"
+        "              [--heartbeat-timeout S] [--max-parallel N]\n"
+        "              [--kill-shard K]]\n"
+        "      --site-range A:B characterizes only sites [A, B) (a shard\n"
+        "      worker; persist with --checkpoint, fuse with merge).\n"
+        "      --shards N partitions the lot across N worker processes,\n"
+        "      reissuing crashed or stalled shards from their checkpoints;\n"
+        "      the report is byte-identical to a single-process lot\n"
+        "  cichar merge SHARD.ckpt... --out FILE [--manifest FILE]\n"
+        "  cichar merge CACHE.tpc... --out FILE --caches\n"
+        "      fuse per-shard lot checkpoints (or persistent trip caches)\n"
+        "      into one artifact, byte-identical to a single-process run\n"
+        "  cichar serve --spool DIR [--drain] [--max-queue N]\n"
+        "               [--max-requests N] [--poll-interval S]\n"
+        "      long-lived coordinator: executes campaign request files\n"
+        "      dropped in DIR/incoming by priority, with admission control\n"
         "fault profiles: off | transient[:RATE] | moderate |\n"
         "                transient=R,stuck=R,timeout=R,death=R,span=F,\n"
         "                stuck-len=N,seed=N (any subset)\n"
@@ -119,27 +141,27 @@ struct TelemetryExports {
         }
     }
 
+    // Both snapshots go through temp-file + rename (same contract as
+    // --cache-file): a scraper or a kill mid-write never sees a torn file.
     void write_metrics() const {
         if (metrics_path.empty()) return;
-        std::ofstream out(metrics_path);
-        if (!out) {
+        if (!util::atomic_write_file(
+                metrics_path,
+                util::telemetry::Registry::instance().render_prometheus())) {
             std::fprintf(stderr, "warning: cannot write metrics %s\n",
                          metrics_path.c_str());
-            return;
         }
-        out << util::telemetry::Registry::instance().render_prometheus();
     }
 
     void flush() const {
         write_metrics();
         if (trace_path.empty()) return;
-        std::ofstream out(trace_path);
-        if (!out) {
+        std::ostringstream out;
+        util::telemetry::Trace::instance().write_jsonl(out);
+        if (!util::atomic_write_file(trace_path, out.str())) {
             std::fprintf(stderr, "warning: cannot write trace %s\n",
                          trace_path.c_str());
-            return;
         }
-        util::telemetry::Trace::instance().write_jsonl(out);
     }
 };
 
@@ -492,38 +514,235 @@ int cmd_campaign(const Args& args) {
     return 0;
 }
 
-int cmd_lot(const Args& args) {
-    const TelemetryExports telem(args, args.has("resume"));
-    lot::LotOptions options;
-    options.sites = static_cast<std::size_t>(args.get_u64("sites", 8));
-    options.jobs = static_cast<std::size_t>(args.get_u64("jobs", 1));
-    options.seed = args.get_u64("seed", 2005);
-    options.characterizer = default_options();
-    options.characterizer.learner.training_tests =
-        static_cast<std::size_t>(args.get_u64("tests", 80));
-    options.characterizer.optimizer.ga.max_generations =
+/// The lot knobs shared by every front door into the lot engine: direct
+/// `cichar lot` flags, the sharded coordinator (which must hand workers
+/// exactly these knobs so all shards share one fingerprint), and spool
+/// campaign requests.
+struct LotConfig {
+    std::size_t sites = 8;
+    std::size_t jobs = 1;
+    std::uint64_t seed = 2005;
+    std::size_t tests = 80;
+    std::size_t generations = 15;
+    bool params_all = false;
+    ate::FaultProfile profile = ate::FaultProfile::none();
+    std::string fault_profile_spec;  ///< raw spec for worker forwarding
+    std::string policy;              ///< "" (auto) | "on" | "off"
+};
+
+LotConfig lot_config_from_args(const Args& args,
+                               const ate::FaultProfile& profile) {
+    LotConfig config;
+    config.sites = static_cast<std::size_t>(args.get_u64("sites", 8));
+    config.jobs = static_cast<std::size_t>(args.get_u64("jobs", 1));
+    config.seed = args.get_u64("seed", 2005);
+    config.tests = static_cast<std::size_t>(args.get_u64("tests", 80));
+    config.generations =
         static_cast<std::size_t>(args.get_u64("generations", 15));
+    config.params_all = args.get("params") == "all";
+    config.profile = profile;
+    if (args.has("fault-profile")) {
+        config.fault_profile_spec = args.get("fault-profile");
+    }
+    if (args.has("policy")) config.policy = args.get("policy");
+    return config;
+}
+
+lot::LotOptions make_lot_options(const LotConfig& config) {
+    lot::LotOptions options;
+    options.sites = config.sites;
+    options.jobs = config.jobs;
+    options.seed = config.seed;
+    options.characterizer = default_options();
+    options.characterizer.learner.training_tests = config.tests;
+    options.characterizer.optimizer.ga.max_generations = config.generations;
     options.characterizer.optimizer.ga.populations = 2;
-    if (args.get("params") == "all") {
+    if (config.params_all) {
         options.parameters = {ate::Parameter::data_valid_time(),
                               ate::Parameter::max_frequency(),
                               ate::Parameter::min_vdd()};
     }
-    options.on_progress = [](std::size_t done, std::size_t total) {
-        std::fprintf(stderr, "  site campaign finished (%zu/%zu)\n", done,
-                     total);
-    };
+    // Fault injection + resilience policy (with a quarantine limit, so a
+    // hopeless site is abandoned instead of burning its tester budget);
+    // the policy rides along with faults unless explicitly "off".
+    options.faults = config.profile;
+    options.policy.enabled = config.policy.empty() ? config.profile.any()
+                                                   : config.policy != "off";
+    if (options.policy.enabled) options.policy.quarantine_after = 8;
+    return options;
+}
 
-    // --fault-profile SPEC: every site gets its own deterministic fault
-    // stream; the resilience policy (with a quarantine limit, so a
-    // hopeless site is abandoned instead of burning its tester budget)
-    // rides along unless --policy off.
+/// The worker argv tail after "lot": every knob that shapes the lot
+/// fingerprint (plus jobs, which does not). The scheduler appends the
+/// per-shard --site-range/--checkpoint/--heartbeat/--resume itself.
+std::vector<std::string> worker_args_for(const LotConfig& config) {
+    std::vector<std::string> argv = {
+        "--sites",       std::to_string(config.sites),
+        "--jobs",        std::to_string(config.jobs),
+        "--seed",        std::to_string(config.seed),
+        "--tests",       std::to_string(config.tests),
+        "--generations", std::to_string(config.generations)};
+    if (config.params_all) {
+        argv.emplace_back("--params");
+        argv.emplace_back("all");
+    }
+    if (!config.fault_profile_spec.empty()) {
+        argv.emplace_back("--fault-profile");
+        argv.emplace_back(config.fault_profile_spec);
+    }
+    if (!config.policy.empty()) {
+        argv.emplace_back("--policy");
+        argv.emplace_back(config.policy);
+    }
+    return argv;
+}
+
+/// Parses "A:B" (half-open site range). Returns false on junk.
+bool parse_site_range(const std::string& spec, std::size_t& begin,
+                      std::size_t& end) {
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) return false;
+    try {
+        std::size_t consumed = 0;
+        const std::string head = spec.substr(0, colon);
+        const std::string tail = spec.substr(colon + 1);
+        begin = static_cast<std::size_t>(std::stoull(head, &consumed));
+        if (consumed != head.size()) return false;
+        end = static_cast<std::size_t>(std::stoull(tail, &consumed));
+        return consumed == tail.size();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+/// Runs a sharded lot through the multi-process scheduler, then renders
+/// the LotReport by resuming in-process from the fused checkpoint (all
+/// sites finished, so no site work is redone — and the report goes
+/// through the exact code path a single-process lot uses, which is what
+/// makes it byte-identical).
+int run_sharded_lot(const Args& args, const std::string& argv0,
+                    const LotConfig& config) {
+    const TelemetryExports telem(args, false);
+    lot::LotOptions options = make_lot_options(config);
+    const std::string fingerprint = lot::LotRunner(options).fingerprint();
+
+    dist::ShardSchedulerOptions sched;
+    sched.shards = static_cast<std::size_t>(args.get_u64("shards", 2));
+    sched.max_attempts =
+        static_cast<std::size_t>(args.get_u64("max-attempts", 3));
+    sched.heartbeat_timeout_seconds =
+        args.get_double("heartbeat-timeout", 0.0);
+    sched.max_parallel =
+        static_cast<std::size_t>(args.get_u64("max-parallel", 0));
+    sched.work_dir = args.get("shard-dir", "cichar-shards");
+    if (args.has("kill-shard")) {
+        sched.kill_shard =
+            static_cast<std::size_t>(args.get_u64("kill-shard", 0));
+    }
+    sched.worker_program = util::self_executable_path(argv0);
+    sched.worker_args = worker_args_for(config);
+
+    std::printf("characterizing lot: %zu sites across %zu shards "
+                "(seed %llu)...\n",
+                config.sites, sched.shards,
+                static_cast<unsigned long long>(config.seed));
+    if (config.profile.any()) {
+        std::printf("  fault profile: %s; policy %s\n",
+                    config.profile.describe().c_str(),
+                    options.policy.enabled ? "on" : "off");
+    }
+    const dist::ShardScheduler scheduler(sched);
+    const dist::ShardRunResult sharded = scheduler.run(fingerprint,
+                                                       config.sites);
+    std::printf("  %llu worker launches, %llu reissues, %llu kills; "
+                "merged %zu sites from %zu shards -> %s\n",
+                static_cast<unsigned long long>(sharded.launches),
+                static_cast<unsigned long long>(sharded.reissues),
+                static_cast<unsigned long long>(sharded.kills),
+                sharded.merge.sites, sharded.merge.shards,
+                sharded.merged_path.c_str());
+
+    options.checkpoint.resume_blob = sharded.merged_blob;
+    const lot::LotResult result = lot::LotRunner(options).run();
+    telem.flush();
+    if (!result.complete()) {
+        std::fprintf(stderr,
+                     "internal error: fused checkpoint left %zu/%zu sites "
+                     "unfinished\n",
+                     result.finished_sites(), config.sites);
+        return 1;
+    }
+    const lot::LotReport report = lot::LotReport::build(result);
+    std::printf("%s", report.render().c_str());
+    std::printf("\nwall clock: %.2f s across %zu shards\n",
+                sharded.wall_seconds, sched.shards);
+    if (args.has("checkpoint")) {
+        if (!util::atomic_write_file(args.get("checkpoint"),
+                                     sharded.merged_blob)) {
+            std::fprintf(stderr, "warning: cannot write checkpoint %s\n",
+                         args.get("checkpoint").c_str());
+        }
+    }
+    if (args.has("report")) {
+        if (!util::atomic_write_file(args.get("report"), report.render())) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.get("report").c_str());
+            return 1;
+        }
+        std::printf("lot report written to %s\n", args.get("report").c_str());
+    }
+    return 0;
+}
+
+int cmd_lot(const Args& args, const std::string& argv0) {
     const std::optional<ate::FaultProfile> profile = fault_profile_arg(args);
     if (!profile) return 2;
-    options.faults = *profile;
-    options.policy.enabled =
-        args.has("policy") ? args.get("policy") != "off" : profile->any();
-    if (options.policy.enabled) options.policy.quarantine_after = 8;
+    const LotConfig config = lot_config_from_args(args, *profile);
+
+    // --shards N: hand the lot to the multi-process shard scheduler.
+    if (args.has("shards")) {
+        if (args.has("site-range") || args.has("resume") ||
+            args.has("max-sites")) {
+            std::fprintf(stderr, "--shards cannot be combined with "
+                                 "--site-range, --resume, or --max-sites\n");
+            return 2;
+        }
+        return run_sharded_lot(args, argv0, config);
+    }
+
+    const TelemetryExports telem(args, args.has("resume"));
+    lot::LotOptions options = make_lot_options(config);
+
+    // --site-range A:B: worker-side shard primitive — characterize only
+    // [A, B) and leave the rest pending (persisted via --checkpoint, then
+    // fused by `cichar merge`).
+    if (args.has("site-range")) {
+        if (!parse_site_range(args.get("site-range"),
+                              options.site_range_begin,
+                              options.site_range_end)) {
+            std::fprintf(stderr, "malformed --site-range (want A:B): %s\n",
+                         args.get("site-range").c_str());
+            return 2;
+        }
+    }
+
+    // --heartbeat FILE: liveness beacon for the shard scheduler — touched
+    // at startup and after every finished site (atomic, like every other
+    // artifact the scheduler reads).
+    const std::string heartbeat = args.get("heartbeat");
+    if (!heartbeat.empty() && !util::atomic_write_file(heartbeat, "0\n")) {
+        std::fprintf(stderr, "warning: cannot write heartbeat %s\n",
+                     heartbeat.c_str());
+    }
+    options.on_progress = [heartbeat](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "  site campaign finished (%zu/%zu)\n", done,
+                     total);
+        if (!heartbeat.empty()) {
+            util::atomic_write_file(heartbeat,
+                                    std::to_string(done) + "/" +
+                                        std::to_string(total) + "\n");
+        }
+    };
 
     // --checkpoint/--resume/--max-sites: crash-safe stop-and-go lots. The
     // runner envelopes + fingerprints the blob itself; the CLI only
@@ -554,6 +773,11 @@ int cmd_lot(const Args& args) {
     std::printf("characterizing lot: %zu sites, %zu jobs (seed %llu)...\n",
                 options.sites, options.jobs,
                 static_cast<unsigned long long>(options.seed));
+    if (args.has("site-range")) {
+        std::printf("  shard: sites [%zu, %zu)\n", options.site_range_begin,
+                    options.site_range_end == 0 ? options.sites
+                                                : options.site_range_end);
+    }
     if (profile->any()) {
         std::printf("  fault profile: %s; policy %s\n",
                     profile->describe().c_str(),
@@ -591,6 +815,153 @@ int cmd_lot(const Args& args) {
         std::printf("lot report written to %s\n", args.get("report").c_str());
     }
     return 0;
+}
+
+/// cichar merge SHARD... --out FILE [--manifest FILE] [--caches]
+/// Fuses per-shard lot checkpoints (default) or persistent trip caches
+/// (--caches) into one artifact, byte-identical to a single-process run.
+int cmd_merge(const Args& args) {
+    const std::vector<std::string>& inputs = args.positionals();
+    if (inputs.empty()) {
+        std::fprintf(stderr, "merge requires shard files as operands\n");
+        return 2;
+    }
+    if (!args.has("out")) {
+        std::fprintf(stderr, "merge requires --out FILE\n");
+        return 2;
+    }
+    const std::string out_path = args.get("out");
+
+    if (args.has("caches")) {
+        const std::string identity =
+            dist::merge_trip_cache_files(inputs, out_path);
+        std::printf("merged %zu trip caches for '%s' into %s\n",
+                    inputs.size(), identity.c_str(), out_path.c_str());
+        return 0;
+    }
+
+    std::string expected_fingerprint;
+    if (args.has("manifest")) {
+        const std::optional<dist::ShardManifest> manifest =
+            dist::ShardManifest::load(args.get("manifest"));
+        if (!manifest) {
+            std::fprintf(stderr,
+                         "cannot read shard manifest %s (missing, corrupt, "
+                         "or wrong version)\n",
+                         args.get("manifest").c_str());
+            return 1;
+        }
+        if (inputs.size() != manifest->shards.size()) {
+            std::fprintf(stderr,
+                         "manifest describes %zu shards but %zu files "
+                         "given\n",
+                         manifest->shards.size(), inputs.size());
+            return 1;
+        }
+        expected_fingerprint = manifest->lot_fingerprint;
+    }
+
+    std::vector<std::string> blobs;
+    blobs.reserve(inputs.size());
+    for (const std::string& path : inputs) {
+        const std::optional<std::string> blob = util::read_file(path);
+        if (!blob) {
+            std::fprintf(stderr, "cannot read %s\n", path.c_str());
+            return 1;
+        }
+        blobs.push_back(*blob);
+    }
+    dist::MergeStats stats;
+    const std::string merged =
+        dist::merge_shard_checkpoints(blobs, expected_fingerprint, &stats);
+    if (!util::atomic_write_file(out_path, merged)) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::printf("merged %zu shards (%zu sites, %zu empty) into %s\n",
+                stats.shards, stats.sites, stats.empty_shards,
+                out_path.c_str());
+    std::printf("render the lot report with: cichar lot ... --resume %s\n",
+                out_path.c_str());
+    return 0;
+}
+
+/// Runs one spool campaign: in-process for shards == 1, through the
+/// shard scheduler otherwise. Returns the rendered LotReport; throws on
+/// any failure (the coordinator files the error).
+std::string execute_campaign(const dist::CampaignRequest& request,
+                             const std::string& self,
+                             const std::string& spool_root) {
+    LotConfig config;
+    config.sites = request.sites;
+    config.jobs = request.jobs;
+    config.seed = request.seed;
+    config.tests = request.tests;
+    config.generations = request.generations;
+    config.params_all = request.params == "all";
+    config.policy = request.policy;
+    if (!request.fault_profile.empty()) {
+        const std::optional<ate::FaultProfile> profile =
+            ate::FaultProfile::parse(request.fault_profile);
+        if (!profile) {
+            throw std::runtime_error("malformed fault profile: " +
+                                     request.fault_profile);
+        }
+        config.profile = *profile;
+        config.fault_profile_spec = request.fault_profile;
+    }
+
+    lot::LotOptions options = make_lot_options(config);
+    if (request.shards > 1) {
+        dist::ShardSchedulerOptions sched;
+        sched.shards = request.shards;
+        sched.work_dir = spool_root + "/work/" + request.name;
+        sched.worker_program = self;
+        sched.worker_args = worker_args_for(config);
+        const dist::ShardRunResult sharded =
+            dist::ShardScheduler(sched).run(
+                lot::LotRunner(options).fingerprint(), config.sites);
+        options.checkpoint.resume_blob = sharded.merged_blob;
+    }
+    const lot::LotResult result = lot::LotRunner(options).run();
+    if (!result.complete()) {
+        throw std::runtime_error("campaign finished only " +
+                                 std::to_string(result.finished_sites()) +
+                                 "/" + std::to_string(config.sites) +
+                                 " sites");
+    }
+    return lot::LotReport::build(result).render();
+}
+
+/// cichar serve --spool DIR [--drain] [--max-queue N] [--max-requests N]
+///              [--poll-interval S]
+int cmd_serve(const Args& args, const std::string& argv0) {
+    if (!args.has("spool")) {
+        std::fprintf(stderr, "serve requires --spool DIR\n");
+        return 2;
+    }
+    dist::SpoolOptions spool;
+    spool.root = args.get("spool");
+    spool.max_queue = static_cast<std::size_t>(args.get_u64("max-queue", 16));
+    spool.max_requests =
+        static_cast<std::size_t>(args.get_u64("max-requests", 0));
+    spool.drain = args.has("drain");
+    spool.poll_interval_seconds = args.get_double("poll-interval", 0.5);
+
+    const std::string self = util::self_executable_path(argv0);
+    const std::string spool_root = spool.root;
+    dist::SpoolCoordinator coordinator(
+        spool, [self, spool_root](const dist::CampaignRequest& request) {
+            return execute_campaign(request, self, spool_root);
+        });
+    std::printf("serving spool %s (max queue %zu%s)...\n", spool_root.c_str(),
+                spool.max_queue, spool.drain ? ", drain" : "");
+    const dist::SpoolCoordinator::Stats stats = coordinator.run();
+    std::printf("spool served: %llu executed, %llu failed, %llu rejected\n",
+                static_cast<unsigned long long>(stats.executed),
+                static_cast<unsigned long long>(stats.failed),
+                static_cast<unsigned long long>(stats.rejected));
+    return stats.failed == 0 ? 0 : 1;
 }
 
 int cmd_trace_report(const std::string& path, const Args& args) {
@@ -674,6 +1045,17 @@ int main(int argc, char** argv) {
             return 1;
         }
     }
+    if (command == "merge") {
+        // Shard files are positional operands: cichar merge A B ... --out M
+        const Args args(argc, argv, 2, Args::Positionals::kCollect);
+        if (!apply_log_level(args)) return 2;
+        try {
+            return cmd_merge(args);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
     const Args args(argc, argv, 2);
     if (!args.ok()) return usage();
     if (!apply_log_level(args)) return 2;
@@ -683,7 +1065,8 @@ int main(int argc, char** argv) {
         if (command == "shmoo") return cmd_shmoo(args);
         if (command == "screen") return cmd_screen(args);
         if (command == "campaign") return cmd_campaign(args);
-        if (command == "lot") return cmd_lot(args);
+        if (command == "lot") return cmd_lot(args, argv[0]);
+        if (command == "serve") return cmd_serve(args, argv[0]);
         if (command == "pattern") return cmd_pattern(args);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
