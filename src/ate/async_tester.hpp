@@ -1,0 +1,176 @@
+// Asynchronous queue-pair layer over Tester, in the style of an SPDK
+// submission-ring/completion-queue: the caller submits measurement
+// requests (bounded ring, one callback each), keeps doing CPU work —
+// decoding chromosomes, consulting caches, scoring — and harvests
+// completions when they ripen. Under emulated hardware latency
+// (TesterOptions::realtime_fraction) a request is *ripe* at
+//
+//     max(CPU evaluation finished, submit time + LatencyModel deadline)
+//
+// so the modeled tester I/O elapses concurrently with everything else
+// instead of being slept inline by each worker. Completions may ripen
+// out of submission order; the caller owns ordering (the optimizer
+// reduces in submission order regardless of harvest order, which is what
+// keeps async results byte-identical to the blocking path).
+//
+// Threading contract: submit/poll/wait/drain are called from ONE owner
+// thread. CPU evaluation runs on the borrowed ThreadPool (or inline at
+// submit when no pool is given); completion callbacks always run on the
+// owner thread, inside poll()/wait(), and may themselves submit
+// follow-up requests — a harvested completion has already freed its ring
+// slot, so a 1:1 resubmission never overflows the ring.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ate/latency_model.hpp"
+#include "ate/tester.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cichar::ate {
+
+struct AsyncTesterOptions {
+    /// Submission-ring capacity: the maximum number of requests in flight.
+    std::size_t queue_depth = 16;
+    /// Deadline source for the emulated tester latency — build it from the
+    /// *original* TesterOptions. The testers driven through the queue
+    /// should be constructed with `replica_options()` (emulation stripped)
+    /// so workers never sleep the latency a deadline already models.
+    LatencyModel latency{};
+};
+
+/// One harvested completion, handed to the request's callback.
+struct AsyncCompletion {
+    std::uint64_t id = 0;
+    bool pass = false;  ///< parametric requests
+    device::FunctionalResult functional{};
+    bool is_functional = false;
+    /// Exception thrown by the measurement, if any; the callback decides
+    /// whether to rethrow.
+    std::exception_ptr error;
+};
+
+class AsyncTester {
+public:
+    using CompletionFn = std::function<void(const AsyncCompletion&)>;
+
+    struct Stats {
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        /// Completions harvested after a later-submitted request.
+        std::uint64_t reordered = 0;
+    };
+
+    explicit AsyncTester(AsyncTesterOptions options,
+                         util::ThreadPool* pool = nullptr);
+
+    /// Waits for outstanding CPU evaluations (borrowed testers/tests must
+    /// stay alive until then) and drops their callbacks un-invoked.
+    ~AsyncTester();
+
+    AsyncTester(const AsyncTester&) = delete;
+    AsyncTester& operator=(const AsyncTester&) = delete;
+
+    /// TesterOptions for replicas measured through this queue: identical
+    /// timing model (ledger unchanged) with the inline latency emulation
+    /// stripped — the queue's completion deadlines carry it instead.
+    [[nodiscard]] static TesterOptions replica_options(TesterOptions options) {
+        options.realtime_fraction = 0.0;
+        return options;
+    }
+
+    /// Submits one parametric measurement (Tester::apply). Returns false
+    /// when the ring is full — harvest first. `tester`, `test` and
+    /// `parameter` are borrowed until the completion is harvested.
+    [[nodiscard]] bool submit(std::uint64_t id, Tester& tester,
+                              const testgen::Test& test,
+                              const Parameter& parameter, double setting,
+                              CompletionFn on_complete);
+
+    /// Submits one functional run (Tester::run_functional).
+    [[nodiscard]] bool submit_functional(std::uint64_t id, Tester& tester,
+                                         const testgen::Test& test,
+                                         CompletionFn on_complete);
+
+    /// Harvests every ripe completion (callbacks run on this thread, in
+    /// submission order among the ripe set). Returns the harvest count.
+    std::size_t poll();
+
+    /// Blocks until at least one completion is ripe, then harvests like
+    /// poll(). Returns immediately (0) when nothing is in flight.
+    std::size_t wait();
+
+    /// Harvests until the ring is empty.
+    void drain();
+
+    /// Abandons the ring: waits for outstanding CPU evaluations (so no
+    /// worker still touches a borrowed tester/test) and drops their
+    /// callbacks un-invoked. For unwinding after a completion callback
+    /// threw; a drained queue quiesces as a no-op.
+    void quiesce();
+
+    [[nodiscard]] std::size_t in_flight() const;
+    [[nodiscard]] bool can_submit() const;
+    [[nodiscard]] Stats stats() const;
+    [[nodiscard]] const AsyncTesterOptions& options() const noexcept {
+        return options_;
+    }
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Request {
+        std::uint64_t id = 0;
+        std::uint64_t seq = 0;
+        CompletionFn on_complete;
+        Clock::time_point deadline{};
+        bool eval_done = false;
+        Clock::time_point eval_done_at{};
+        bool is_functional = false;
+        bool pass = false;
+        device::FunctionalResult functional{};
+        std::exception_ptr error;
+    };
+
+    /// Reserves a ring slot and returns the recycled-or-new request, or
+    /// nullptr when the ring is full. The caller runs the evaluation
+    /// (inline or on the pool) and then calls finish_eval().
+    [[nodiscard]] std::shared_ptr<Request> admit(std::uint64_t id,
+                                                 bool is_functional,
+                                                 double modeled_seconds,
+                                                 CompletionFn on_complete);
+    void finish_eval(Request& req);
+    [[nodiscard]] bool dispatch_to_pool() const noexcept;
+    std::size_t harvest(bool block);
+
+    AsyncTesterOptions options_;
+    util::ThreadPool* pool_;
+    mutable std::mutex mutex_;
+    std::condition_variable ripe_cv_;
+    /// Eval-completion event count, readable without `mutex_`: the owner
+    /// poll-spins on it before paying a futex sleep (poll-mode first, like
+    /// a real completion queue).
+    std::atomic<std::uint64_t> done_events_{0};
+    /// True only while the owner is parked in `ripe_cv_`; workers skip the
+    /// notify syscall otherwise (guarded by `mutex_`).
+    bool owner_waiting_ = false;
+    std::deque<std::shared_ptr<Request>> ring_;
+    /// Owner-thread-only request recycling and harvest scratch: at queue
+    /// depths of a few dozen, per-probe allocation would be a measurable
+    /// slice of a microsecond-scale evaluation.
+    std::vector<std::shared_ptr<Request>> free_list_;
+    std::vector<std::shared_ptr<Request>> ripe_scratch_;
+    std::vector<unsigned char> reorder_scratch_;
+    std::uint64_t next_seq_ = 0;
+    std::int64_t max_harvested_seq_ = -1;
+    Stats stats_;
+};
+
+}  // namespace cichar::ate

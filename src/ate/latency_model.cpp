@@ -1,0 +1,17 @@
+#include "ate/latency_model.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace cichar::ate {
+
+void LatencyModel::block(double seconds) const {
+    if (seconds <= 0.0) return;
+    if (sleep_) {
+        sleep_(seconds);
+        return;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace cichar::ate

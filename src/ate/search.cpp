@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ate/search_task.hpp"
+
 namespace cichar::ate {
 
 namespace detail {
@@ -89,55 +91,12 @@ SearchResult BinarySearch::find(const Oracle& oracle,
 
 SearchResult SuccessiveApproximation::find(const Oracle& oracle,
                                            const Parameter& parameter) const {
-    SearchResult result;
-    const double res = std::max(parameter.resolution, 1e-12);
-    const double dir = parameter.toward_fail();
-    double pass_bound = parameter.pass_side();
-    double fail_bound = parameter.fail_side();
-
-    const bool start_passes = oracle(pass_bound);
-    result.probe(pass_bound, start_passes);
-    if (!start_passes) return result;
-
-    const bool end_passes = oracle(fail_bound);
-    result.probe(fail_bound, end_passes);
-    if (end_passes) return result;
-
-    while (std::abs(fail_bound - pass_bound) > res &&
-           result.measurements < options_.max_measurements) {
-        // Drift sensing: periodically re-verify the pass bound. A bound
-        // that no longer passes means the specification parameter moved
-        // (e.g. device heating); widen the window toward the pass side
-        // and keep searching instead of converging on a stale boundary.
-        if (options_.recheck_every != 0 &&
-            result.measurements % options_.recheck_every == 0) {
-            const bool still_passes = oracle(pass_bound);
-            result.probe(pass_bound, still_passes);
-            if (!still_passes) {
-                const double backoff =
-                    std::max(8.0 * res, 2.0 * std::abs(fail_bound - pass_bound));
-                fail_bound = pass_bound;
-                pass_bound = parameter.clamp(pass_bound - dir * backoff);
-                if (pass_bound == fail_bound) return result;
-                const bool recovered = oracle(pass_bound);
-                result.probe(pass_bound, recovered);
-                if (!recovered) return result;  // pass region lost
-                continue;
-            }
-        }
-        const double mid = split_between(parameter, pass_bound, fail_bound);
-        if (std::isnan(mid)) break;
-        const bool pass = oracle(mid);
-        result.probe(mid, pass);
-        if (pass) {
-            pass_bound = mid;
-        } else {
-            fail_bound = mid;
-        }
-    }
-    result.trip_point = pass_bound;
-    result.found = true;
-    return result;
+    // Drift sensing (periodic pass-bound rechecks with backoff recovery)
+    // lives in the resumable task; the blocking entry point just steps it
+    // against the oracle, so sync and async probe sequences are one code
+    // path.
+    SuccessiveApproximationTask task(options_, parameter);
+    return run_search_task(task, oracle);
 }
 
 }  // namespace cichar::ate

@@ -1,0 +1,239 @@
+#include "ate/search_task.hpp"
+
+#include <cmath>
+
+#include "util/telemetry.hpp"
+
+namespace cichar::ate {
+
+namespace {
+
+// Window-hit accounting for search-until-trip outcomes (shared with the
+// blocking find(), which now runs on the same task).
+void record_search_outcome(const SearchResult& result, bool window_hit) {
+    if (!util::telemetry::metrics_enabled()) return;
+    namespace telem = util::telemetry;
+    static auto& hits = telem::Registry::instance().counter(
+        "cichar_search_window_hits_total");
+    static auto& fallbacks = telem::Registry::instance().counter(
+        "cichar_search_full_fallbacks_total");
+    static auto& probes =
+        telem::Registry::instance().counter("cichar_search_probes_total");
+    (window_hit ? hits : fallbacks).add();
+    probes.add(result.measurements);
+}
+
+}  // namespace
+
+SearchResult run_search_task(TripSearchTask& task, const Oracle& oracle) {
+    while (!task.done()) task.complete(oracle(task.pending_setting()));
+    return task.take_result();
+}
+
+// ---- SuccessiveApproximationTask ------------------------------------
+
+SuccessiveApproximationTask::SuccessiveApproximationTask(
+    const SuccessiveApproximation::Options& options,
+    const Parameter& parameter)
+    : options_(options), parameter_(&parameter) {
+    res_ = std::max(parameter.resolution, 1e-12);
+    dir_ = parameter.toward_fail();
+    pass_bound_ = parameter.pass_side();
+    fail_bound_ = parameter.fail_side();
+    request(pass_bound_);
+}
+
+void SuccessiveApproximationTask::advance(bool pass) {
+    switch (stage_) {
+        case Stage::kStart:
+            if (!pass) {
+                finish();  // whole range fails
+                return;
+            }
+            stage_ = Stage::kEnd;
+            request(fail_bound_);
+            return;
+        case Stage::kEnd:
+            if (pass) {
+                finish();  // whole range passes: no crossover
+                return;
+            }
+            next_iteration();
+            return;
+        case Stage::kRecheck: {
+            if (pass) {
+                // The pass bound holds; this iteration proceeds straight
+                // to its bisection probe, like the blocking loop.
+                issue_mid();
+                return;
+            }
+            // Drift: widen the window toward the pass side and verify.
+            const double backoff = std::max(
+                8.0 * res_, 2.0 * std::abs(fail_bound_ - pass_bound_));
+            fail_bound_ = pass_bound_;
+            pass_bound_ = parameter_->clamp(pass_bound_ - dir_ * backoff);
+            if (pass_bound_ == fail_bound_) {
+                finish();
+                return;
+            }
+            stage_ = Stage::kBackoffVerify;
+            request(pass_bound_);
+            return;
+        }
+        case Stage::kBackoffVerify:
+            if (!pass) {
+                finish();  // pass region lost
+                return;
+            }
+            next_iteration();
+            return;
+        case Stage::kMid: {
+            const double mid = pending_setting();
+            if (pass) {
+                pass_bound_ = mid;
+            } else {
+                fail_bound_ = mid;
+            }
+            next_iteration();
+            return;
+        }
+    }
+}
+
+void SuccessiveApproximationTask::next_iteration() {
+    if (!(std::abs(fail_bound_ - pass_bound_) > res_ &&
+          result_.measurements < options_.max_measurements)) {
+        conclude();
+        return;
+    }
+    if (options_.recheck_every != 0 &&
+        result_.measurements % options_.recheck_every == 0) {
+        stage_ = Stage::kRecheck;
+        request(pass_bound_);
+        return;
+    }
+    issue_mid();
+}
+
+void SuccessiveApproximationTask::issue_mid() {
+    const double mid =
+        detail::split_between(*parameter_, pass_bound_, fail_bound_);
+    if (std::isnan(mid)) {
+        conclude();
+        return;
+    }
+    stage_ = Stage::kMid;
+    request(mid);
+}
+
+void SuccessiveApproximationTask::conclude() {
+    result_.trip_point = pass_bound_;
+    result_.found = true;
+    finish();
+}
+
+// ---- SearchUntilTripTask --------------------------------------------
+
+SearchUntilTripTask::SearchUntilTripTask(
+    const SearchUntilTrip::Options& options, double reference_trip_point,
+    const Parameter& parameter)
+    : options_(options), parameter_(&parameter) {
+    res_ = std::max(parameter.resolution, 1e-12);
+    start_ = parameter.clamp(parameter.quantize(reference_trip_point));
+    request(start_);
+}
+
+void SearchUntilTripTask::advance(bool pass) {
+    switch (stage_) {
+        case Stage::kStart:
+            start_passes_ = pass;
+            // Eq. (3)/(4): pass at RTP -> step toward the fail region
+            // (+SF); fail at RTP -> step back toward the pass region.
+            direction_ = pass ? parameter_->toward_fail()
+                              : -parameter_->toward_fail();
+            previous_ = start_;
+            iteration_ = 1;
+            issue_step();
+            return;
+        case Stage::kStep: {
+            const double setting = pending_setting();
+            if (pass != start_passes_) {
+                pass_bound_ = start_passes_ ? previous_ : setting;
+                fail_bound_ = start_passes_ ? setting : previous_;
+                begin_refine();
+                return;
+            }
+            previous_ = setting;
+            ++iteration_;
+            issue_step();
+            return;
+        }
+        case Stage::kRefine: {
+            const double mid = pending_setting();
+            if (pass) {
+                pass_bound_ = mid;
+            } else {
+                fail_bound_ = mid;
+            }
+            issue_refine();
+            return;
+        }
+    }
+}
+
+void SearchUntilTripTask::issue_step() {
+    if (iteration_ > options_.max_iterations) {
+        miss();
+        return;
+    }
+    const double setting = parameter_->clamp(parameter_->quantize(
+        start_ +
+        direction_ * SearchUntilTrip::offset_after(options_, iteration_)));
+    if (setting == previous_) {
+        miss();  // clamped at the range edge
+        return;
+    }
+    stage_ = Stage::kStep;
+    request(setting);
+}
+
+void SearchUntilTripTask::begin_refine() {
+    if (!options_.refine) {
+        found();
+        return;
+    }
+    issue_refine();
+}
+
+void SearchUntilTripTask::issue_refine() {
+    if (!(std::abs(fail_bound_ - pass_bound_) > res_)) {
+        found();
+        return;
+    }
+    const double mid =
+        detail::split_between(*parameter_, pass_bound_, fail_bound_);
+    if (std::isnan(mid)) {
+        found();
+        return;
+    }
+    stage_ = Stage::kRefine;
+    request(mid);
+}
+
+void SearchUntilTripTask::miss() {
+    // The trip point drifted out of the characterization range (or the
+    // iteration budget is too small): report the best-known pass.
+    if (start_passes_) result_.trip_point = previous_;
+    result_.found = false;
+    record_search_outcome(result_, /*window_hit=*/false);
+    finish();
+}
+
+void SearchUntilTripTask::found() {
+    result_.trip_point = pass_bound_;
+    result_.found = true;
+    record_search_outcome(result_, /*window_hit=*/true);
+    finish();
+}
+
+}  // namespace cichar::ate

@@ -2,99 +2,28 @@
 
 #include <cmath>
 
-#include "util/telemetry.hpp"
+#include "ate/search_task.hpp"
 
 namespace cichar::ate {
 
-namespace {
-
-void record_search_outcome(const SearchResult& result, bool window_hit) {
-    if (!util::telemetry::metrics_enabled()) return;
-    namespace telem = util::telemetry;
-    static auto& hits = telem::Registry::instance().counter(
-        "cichar_search_window_hits_total");
-    static auto& fallbacks = telem::Registry::instance().counter(
-        "cichar_search_full_fallbacks_total");
-    static auto& probes =
-        telem::Registry::instance().counter("cichar_search_probes_total");
-    (window_hit ? hits : fallbacks).add();
-    probes.add(result.measurements);
-}
-
-}  // namespace
-
-double SearchUntilTrip::offset_after(std::size_t iterations) const noexcept {
+double SearchUntilTrip::offset_after(const Options& options,
+                                     std::size_t iterations) noexcept {
     const auto it = static_cast<double>(iterations);
-    switch (options_.growth) {
+    switch (options.growth) {
         case SearchFactorGrowth::kLinear:
-            return options_.search_factor * it;
+            return options.search_factor * it;
         case SearchFactorGrowth::kTriangular:
-            return options_.search_factor * it * (it + 1.0) * 0.5;
+            return options.search_factor * it * (it + 1.0) * 0.5;
     }
-    return options_.search_factor * it;
+    return options.search_factor * it;
 }
 
 SearchResult SearchUntilTrip::find(const Oracle& oracle,
                                    const Parameter& parameter) const {
-    SearchResult result;
-    const double res = std::max(parameter.resolution, 1e-12);
-    const double toward_fail = parameter.toward_fail();
-
-    const double start = parameter.clamp(parameter.quantize(rtp_));
-    const bool start_passes = oracle(start);
-    result.probe(start, start_passes);
-
-    // Eq. (3)/(4): pass at RTP -> step toward the fail region (+SF);
-    // fail at RTP -> step back toward the pass region (-SF).
-    const double direction = start_passes ? toward_fail : -toward_fail;
-
-    double previous = start;
-    bool flipped = false;
-    double flip_setting = 0.0;
-    for (std::size_t it = 1; it <= options_.max_iterations; ++it) {
-        const double setting =
-            parameter.clamp(parameter.quantize(start + direction * offset_after(it)));
-        if (setting == previous) break;  // clamped at the range edge
-        const bool pass = oracle(setting);
-        result.probe(setting, pass);
-        if (pass != start_passes) {
-            flipped = true;
-            flip_setting = setting;
-            break;
-        }
-        previous = setting;
-    }
-
-    if (!flipped) {
-        // The trip point drifted out of the characterization range (or the
-        // iteration budget is too small): report the best-known pass.
-        if (start_passes) result.trip_point = previous;
-        result.found = false;
-        record_search_outcome(result, /*window_hit=*/false);
-        return result;
-    }
-
-    double pass_bound = start_passes ? previous : flip_setting;
-    double fail_bound = start_passes ? flip_setting : previous;
-
-    if (options_.refine) {
-        while (std::abs(fail_bound - pass_bound) > res) {
-            const double mid =
-                detail::split_between(parameter, pass_bound, fail_bound);
-            if (std::isnan(mid)) break;
-            const bool pass = oracle(mid);
-            result.probe(mid, pass);
-            if (pass) {
-                pass_bound = mid;
-            } else {
-                fail_bound = mid;
-            }
-        }
-    }
-    result.trip_point = pass_bound;
-    result.found = true;
-    record_search_outcome(result, /*window_hit=*/true);
-    return result;
+    // The blocking entry point is a thin loop over the same resumable
+    // task the async pipeline drives, so both paths probe identically.
+    SearchUntilTripTask task(options_, rtp_, parameter);
+    return run_search_task(task, oracle);
 }
 
 ReferenceSearch make_reference_search(const Oracle& first_oracle,

@@ -54,9 +54,12 @@ public:
     /// the first RTP, which is the default behaviour elsewhere).
     void set_reference(double rtp) noexcept { rtp_ = rtp; }
 
-private:
-    [[nodiscard]] double offset_after(std::size_t iterations) const noexcept;
+    /// Search-factor schedule: offset from RTP after `iterations` steps.
+    /// Shared with the resumable SearchUntilTripTask.
+    [[nodiscard]] static double offset_after(const Options& options,
+                                             std::size_t iterations) noexcept;
 
+private:
     Options options_;
     double rtp_;
 };

@@ -1,22 +1,19 @@
 #include "ate/tester.hpp"
 
-#include <chrono>
-#include <thread>
-
 #include "util/telemetry.hpp"
 
 namespace cichar::ate {
 
 Tester::Tester(device::DeviceUnderTest& dut, TesterOptions options)
-    : dut_(&dut), options_(options) {}
+    : dut_(&dut),
+      options_(options),
+      latency_(options.setup_seconds_per_measurement, options.cycle_seconds,
+               options.realtime_fraction) {}
 
 void Tester::record(const testgen::Test& test) {
-    const double cycle_s = options_.cycle_seconds > 0.0
-                               ? options_.cycle_seconds
-                               : test.conditions.clock_period_ns * 1e-9;
     const auto cycles = static_cast<std::uint64_t>(test.pattern.size());
-    const double seconds = options_.setup_seconds_per_measurement +
-                           static_cast<double>(cycles) * cycle_s;
+    const double seconds =
+        latency_.modeled_seconds(cycles, test.conditions.clock_period_ns);
     log_.record(cycles, seconds);
     if (util::telemetry::metrics_enabled()) {
         namespace telem = util::telemetry;
@@ -30,12 +27,9 @@ void Tester::record(const testgen::Test& test) {
         vector_cycles.add(cycles);
         tester_seconds.add(seconds);
     }
-    if (options_.realtime_fraction > 0.0) {
-        // Emulated hardware latency; only the wall clock is affected, the
-        // ledger above stays identical with the emulation on or off.
-        std::this_thread::sleep_for(std::chrono::duration<double>(
-            seconds * options_.realtime_fraction));
-    }
+    // Emulated hardware latency; only the wall clock is affected, the
+    // ledger above stays identical with the emulation on or off.
+    if (latency_.emulated()) latency_.block(latency_.inflight_seconds(seconds));
 }
 
 bool Tester::apply(const testgen::Test& test, const Parameter& parameter,

@@ -7,6 +7,7 @@
 
 #include "ate/datalog.hpp"
 #include "ate/fault_injector.hpp"
+#include "ate/latency_model.hpp"
 #include "ate/measurement_log.hpp"
 #include "ate/parameter.hpp"
 #include "device/dut.hpp"
@@ -73,6 +74,14 @@ public:
         return options_;
     }
 
+    /// The latency model derived from the options: modeled seconds for the
+    /// ledger plus the emulated-hardware wait. Mutable so tests can install
+    /// a fake-clock sleep hook; the async path reads its own copy instead.
+    [[nodiscard]] LatencyModel& latency_model() noexcept { return latency_; }
+    [[nodiscard]] const LatencyModel& latency_model() const noexcept {
+        return latency_;
+    }
+
     /// Attaches a fault source consulted on every parametric measurement
     /// (nullptr detaches; the injector must outlive the tester). With no
     /// injector — or one whose profile has no enabled fault — apply() is
@@ -89,6 +98,7 @@ private:
 
     device::DeviceUnderTest* dut_;
     TesterOptions options_;
+    LatencyModel latency_;
     MeasurementLog log_;
     Datalog datalog_;
     FaultInjector* injector_ = nullptr;

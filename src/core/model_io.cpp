@@ -3,9 +3,11 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "nn/weights_io.hpp"
+#include "util/binio.hpp"
 #include "util/csv.hpp"
 
 namespace cichar::core {
@@ -102,9 +104,13 @@ LearnedModel load_model(std::istream& in) {
 }
 
 void save_model_file(const std::string& path, const LearnedModel& model) {
-    std::ofstream out(path);
-    if (!out) throw std::ios_base::failure("cannot open for write: " + path);
+    // Temp-file + rename: a crash mid-save leaves any previous model
+    // intact instead of a truncated file.
+    std::ostringstream out;
     save_model(out, model);
+    if (!util::atomic_write_file(path, out.str())) {
+        throw std::ios_base::failure("cannot write model file: " + path);
+    }
 }
 
 LearnedModel load_model_file(const std::string& path) {

@@ -10,6 +10,8 @@
 #include <string>
 #include <utility>
 
+#include "ate/async_tester.hpp"
+#include "ate/search_task.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
@@ -331,6 +333,21 @@ WorstCaseReport WorstCaseOptimizer::drive(
         parallel = false;
     }
 
+    // Async queue-pair evaluation (--inflight > 1). The fault injector's
+    // forced outcomes and the measurement policy's screen/guard retries
+    // re-enter the oracle mid-search; those flows stay on the blocking
+    // engine (whose results the async engine matches byte-for-byte
+    // anyway).
+    std::size_t inflight = std::max<std::size_t>(1, options_.parallel.inflight);
+    bool use_async = parallel && inflight > 1;
+    if (use_async && (faults_on || policy_on)) {
+        util::log_info(
+            "optimizer: fault injection / measurement policy active; "
+            "inflight > 1 falls back to blocking evaluation");
+        use_async = false;
+    }
+    if (!use_async) inflight = 1;
+
     const ga::MultiPopulationGa driver(options_.ga);
     WorstCaseReport report;
     report.objective = objective;
@@ -534,6 +551,48 @@ WorstCaseReport WorstCaseOptimizer::drive(
             slot.log = std::move(replica.log());
         };
 
+        // Ordering-stable reduction: ledger merges, database adds, and
+        // cache inserts all happen in submission order. Shared verbatim by
+        // the blocking and async engines — reduction order, not harvest
+        // order, is what the byte-identity contract rests on.
+        const auto reduce_slots = [&](std::vector<Slot>& slots) {
+            std::vector<double> values;
+            values.reserve(slots.size());
+            for (Slot& slot : slots) {
+                if (!slot.cached) {
+                    tester.log().merge(slot.log);
+                    if (slot.policy.has_value()) {
+                        replica_faults.merge(slot.policy->counters());
+                    }
+                    if (slot.injector.has_value()) {
+                        injector->absorb_stats(slot.injector->stats());
+                    }
+                    // A not-found record under the policy reflects an
+                    // environmental outage, not the chromosome: never
+                    // memoize it.
+                    if (use_cache && (slot.record.found || !policy_on)) {
+                        cache.insert(slot.key, slot.record);
+                    }
+                }
+                if (!slot.record.found) {
+                    telem_hunt_evaluation(false, 0.0);
+                    values.push_back(0.0);
+                    continue;
+                }
+                const double wcr = objective_wcr(
+                    objective, slot.record.trip_point, parameter.spec);
+                telem_hunt_evaluation(true, wcr);
+                add_entry(slot.name, slot.recipe, slot.conditions,
+                          slot.record.trip_point, wcr);
+                if (slot.functional_ran && !slot.functional.pass()) {
+                    add_functional_failure(slot.name, slot.recipe,
+                                           slot.conditions, slot.functional);
+                }
+                values.push_back(wcr);
+            }
+            return values;
+        };
+
         const ga::BatchFitnessFn batch_fitness =
             [&](std::span<const ga::TestChromosome> batch) {
                 TELEM_SPAN("hunt.fitness_batch");
@@ -591,48 +650,232 @@ WorstCaseReport WorstCaseOptimizer::drive(
                         [&measure_slot, slot] { measure_slot(*slot, false); });
                 }
                 pool.wait();
-
-                // Ordering-stable reduction: ledger merges, database adds,
-                // and cache inserts all happen in submission order.
-                std::vector<double> values;
-                values.reserve(slots.size());
-                for (Slot& slot : slots) {
-                    if (!slot.cached) {
-                        tester.log().merge(slot.log);
-                        if (slot.policy.has_value()) {
-                            replica_faults.merge(slot.policy->counters());
-                        }
-                        if (slot.injector.has_value()) {
-                            injector->absorb_stats(slot.injector->stats());
-                        }
-                        // A not-found record under the policy reflects an
-                        // environmental outage, not the chromosome: never
-                        // memoize it.
-                        if (use_cache && (slot.record.found || !policy_on)) {
-                            cache.insert(slot.key, slot.record);
-                        }
-                    }
-                    if (!slot.record.found) {
-                        telem_hunt_evaluation(false, 0.0);
-                        values.push_back(0.0);
-                        continue;
-                    }
-                    const double wcr = objective_wcr(
-                        objective, slot.record.trip_point, parameter.spec);
-                    telem_hunt_evaluation(true, wcr);
-                    add_entry(slot.name, slot.recipe, slot.conditions,
-                              slot.record.trip_point, wcr);
-                    if (slot.functional_ran && !slot.functional.pass()) {
-                        add_functional_failure(slot.name, slot.recipe,
-                                               slot.conditions,
-                                               slot.functional);
-                    }
-                    values.push_back(wcr);
-                }
-                return values;
+                return reduce_slots(slots);
             };
+
+        // ---- async queue-pair engine (--inflight > 1) ----------------
+        // Each non-cached slot runs its trip search as a resumable state
+        // machine whose probes ride the bounded submission/completion
+        // queue: up to `inflight` searches are pending at once, the owner
+        // thread decodes/admits new slots while measurements are in
+        // flight, and under emulated tester latency the completion
+        // deadlines — not worker sleeps — carry the hardware wait.
+        // Harvest order is whatever ripens first; reduce_slots puts
+        // everything back in submission order.
+        ate::AsyncTesterOptions queue_options;
+        queue_options.queue_depth = inflight;
+        queue_options.latency = tester.latency_model();
+        std::optional<ate::AsyncTester> queue;
+        if (use_async) queue.emplace(queue_options, &pool);
+        const ate::TesterOptions replica_options =
+            ate::AsyncTester::replica_options(tester.options());
+
+        const ga::BatchFitnessFn async_fitness =
+            [&](std::span<const ga::TestChromosome> batch) {
+                TELEM_SPAN("hunt.fitness_batch");
+                std::vector<Slot> slots(batch.size());
+
+                // Decode, name, and consult the cache for one slot — the
+                // same calling-thread mutation order as the blocking
+                // engine, performed lazily at admission time so it
+                // overlaps pending measurements. Returns false for cache
+                // hits (nothing to measure).
+                const auto decode_slot = [&](std::size_t i) {
+                    Slot& slot = slots[i];
+                    slot.recipe = batch[i].decode_recipe(
+                        generator_options.min_cycles,
+                        generator_options.max_cycles);
+                    slot.conditions = batch[i].decode_conditions(
+                        generator_options.condition_bounds);
+                    slot.name = "ga-" + std::to_string(eval_counter++);
+                    slot.key = TripCacheKey{slot.recipe, slot.conditions};
+                    if (use_cache) {
+                        if (const TripPointRecord* hit =
+                                cache.lookup(slot.key)) {
+                            slot.cached = true;
+                            slot.record = *hit;
+                            slot.record.test_name = slot.name;
+                            return false;
+                        }
+                    }
+                    slot.test = generator.make_test(slot.recipe,
+                                                    slot.conditions, slot.name);
+                    slot.noise_seed = noise_rng();
+                    return true;
+                };
+
+                struct Driver {
+                    Slot* slot = nullptr;
+                    std::unique_ptr<device::DeviceUnderTest> dut;
+                    std::optional<ate::Tester> replica;
+                    std::unique_ptr<ate::TripSearchTask> task;
+                    /// First attempt is the RTP-window search; a miss
+                    /// swaps in the full-range fallback, like the
+                    /// blocking follow_attempt.
+                    bool window_attempt = true;
+                    std::size_t window_measurements = 0;
+                    bool functional_pending = false;
+                };
+                std::vector<std::unique_ptr<Driver>> drivers;
+                std::size_t outstanding = 0;
+
+                std::function<void(Driver*)> advance_driver;
+
+                const auto finish_driver = [&](Driver* d) {
+                    d->slot->log = std::move(d->replica->log());
+                    d->replica.reset();
+                    d->dut.reset();
+                    d->task.reset();
+                    --outstanding;
+                };
+
+                const auto on_completion =
+                    [&](Driver* d, const ate::AsyncCompletion& c) {
+                        if (c.error) std::rethrow_exception(c.error);
+                        if (d->functional_pending) {
+                            d->slot->functional = c.functional;
+                            d->slot->functional_ran = true;
+                            finish_driver(d);
+                            return;
+                        }
+                        d->task->complete(c.pass);
+                        advance_driver(d);
+                    };
+
+                const auto submit_probe = [&](Driver* d) {
+                    const auto id =
+                        static_cast<std::uint64_t>(d->slot - slots.data());
+                    const bool ok = queue->submit(
+                        id, *d->replica, d->slot->test, parameter,
+                        d->task->pending_setting(),
+                        [&, d](const ate::AsyncCompletion& c) {
+                            on_completion(d, c);
+                        });
+                    // A driver has exactly one request outstanding and
+                    // resubmits from inside its harvested completion (ring
+                    // slot already freed), so the ring cannot be full.
+                    if (!ok) {
+                        throw std::logic_error(
+                            "async hunt: submission ring overflow");
+                    }
+                };
+
+                advance_driver = [&](Driver* d) {
+                    for (;;) {
+                        if (!d->task->done()) {
+                            submit_probe(d);
+                            return;
+                        }
+                        const ate::SearchResult& peek = d->task->result();
+                        if (d->window_attempt && !peek.found &&
+                            options_.trip.full_search_on_miss) {
+                            // Window miss: full-range retry; the window's
+                            // probes stay on the bill.
+                            d->window_measurements = peek.measurements;
+                            d->window_attempt = false;
+                            d->task = std::make_unique<
+                                ate::SuccessiveApproximationTask>(
+                                options_.trip.initial, parameter);
+                            continue;
+                        }
+                        break;
+                    }
+                    ate::SearchResult result = d->task->take_result();
+                    if (!d->window_attempt) {
+                        result.measurements += d->window_measurements;
+                    }
+                    d->slot->record =
+                        make_record(d->slot->name, result, parameter);
+                    if (options_.check_functional_failures &&
+                        d->slot->record.found) {
+                        const double wcr = objective_wcr(
+                            objective, d->slot->record.trip_point,
+                            parameter.spec);
+                        if (wcr > options_.thresholds.fail) {
+                            d->functional_pending = true;
+                            const auto id = static_cast<std::uint64_t>(
+                                d->slot - slots.data());
+                            if (!queue->submit_functional(
+                                    id, *d->replica, d->slot->test,
+                                    [&, d](const ate::AsyncCompletion& c) {
+                                        on_completion(d, c);
+                                    })) {
+                                throw std::logic_error(
+                                    "async hunt: submission ring overflow");
+                            }
+                            return;
+                        }
+                    }
+                    finish_driver(d);
+                };
+
+                const auto start_driver = [&](std::size_t i) {
+                    Slot& slot = slots[i];
+                    auto d = std::make_unique<Driver>();
+                    d->slot = &slot;
+                    d->dut = tester.dut().clone_cold(slot.noise_seed);
+                    d->replica.emplace(*d->dut, replica_options);
+                    d->replica->log().set_phase("ga-optimization");
+                    if (options_.trip.settle_between_tests) {
+                        d->replica->settle();
+                    }
+                    d->task = std::make_unique<ate::SearchUntilTripTask>(
+                        options_.trip.follow, follower->reference_trip_point(),
+                        parameter);
+                    ++outstanding;
+                    Driver* raw = d.get();
+                    drivers.push_back(std::move(d));
+                    submit_probe(raw);
+                };
+
+                // If a completion callback throws, workers may still be
+                // evaluating requests that borrow this frame's drivers —
+                // park the queue before the frame unwinds.
+                struct Quiesce {
+                    ate::AsyncTester* q;
+                    ~Quiesce() { q->quiesce(); }
+                } quiesce_guard{&*queue};
+
+                // The very first measurement establishes the shared RTP,
+                // inline and blocking, exactly like the threaded engine.
+                std::size_t next = 0;
+                if (!follower.has_value()) {
+                    while (next < slots.size()) {
+                        const std::size_t i = next++;
+                        if (!decode_slot(i)) continue;
+                        measure_slot(slots[i], /*establish_reference=*/true);
+                        break;
+                    }
+                }
+                while (next < slots.size() || outstanding > 0) {
+                    // Admit new searches while the ring has room: decode,
+                    // cache lookup, and cold-replica cloning all happen
+                    // here, hidden under whatever is already in flight.
+                    while (next < slots.size() && queue->can_submit()) {
+                        const std::size_t i = next++;
+                        if (decode_slot(i)) start_driver(i);
+                        // Greedy harvest: a completion that ripens
+                        // instantly (inline eval, zero emulated latency)
+                        // runs its follow-up probe now, so a search chain
+                        // executes back-to-back on its hot replica instead
+                        // of round-robining `inflight` cold working sets
+                        // through the cache. Nothing ripens early when
+                        // latency is emulated, so the pipeline still fills.
+                        while (queue->poll() > 0) {
+                        }
+                    }
+                    if (outstanding > 0) (void)queue->wait();
+                }
+                // Fully drained: no request outlives its batch, so the
+                // generation-boundary checkpoint below never snapshots
+                // with measurements pending (drain-before-snapshot).
+                return reduce_slots(slots);
+            };
+
+        report.inflight = inflight;
         arm_checkpointing();
-        report.outcome = driver.run(batch_fitness, std::move(seeds), rng, hooks);
+        report.outcome = driver.run(use_async ? async_fitness : batch_fitness,
+                                    std::move(seeds), rng, hooks);
     }
 
     report.database = std::move(database);

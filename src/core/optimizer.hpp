@@ -45,6 +45,17 @@ struct HuntParallelOptions {
     bool enabled = false;
     /// Worker threads: 1 = one worker, 0 = one per hardware thread.
     std::size_t jobs = 1;
+    /// Trip searches kept in flight per fitness batch (> 1 enables the
+    /// asynchronous submission/completion pipeline: chromosome decoding,
+    /// cache lookups and scoring overlap pending measurements, and under
+    /// `TesterOptions::realtime_fraction` the emulated tester latency is
+    /// hidden behind completion deadlines instead of slept inline).
+    /// Completions are still reduced in submission order, so reports,
+    /// checkpoints and caches are byte-identical to the blocking path at
+    /// any jobs x inflight combination. Falls back to the blocking
+    /// threaded path when fault injection or the measurement policy is
+    /// active (their retry flows are oracle-reentrant).
+    std::size_t inflight = 1;
 };
 
 /// Trip-point memoization across GA generations/restarts/migration.
@@ -112,6 +123,10 @@ struct WorstCaseReport {
     TripCacheStats cache_stats{};      ///< zeros when the cache is off
     std::size_t cache_preloaded = 0;   ///< entries warm-loaded from file
     std::size_t jobs = 1;              ///< worker threads actually used
+    /// In-flight trip searches actually used (1 = blocking path). Like
+    /// `jobs`, never rendered into the report: the byte-identity contract
+    /// forbids it.
+    std::size_t inflight = 1;
     /// Resilience-policy activity during the hunt (session + replicas).
     FaultCounters faults{};
     /// Faults the attached injector fired during the hunt (zeros when no

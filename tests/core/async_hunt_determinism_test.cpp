@@ -1,0 +1,213 @@
+// The async pipeline's determinism contract: with `inflight > 1` the
+// hunt overlaps chromosome decoding and scoring with pending tester
+// requests, yet the rendered report, the measurement ledger, the final
+// checkpoint blob and the persisted trip-cache file must be
+// byte-identical to the blocking replica path at any jobs x inflight
+// combination — including a hunt killed with requests in flight and
+// resumed under a different inflight depth.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "core/report.hpp"
+#include "device/memory_chip.hpp"
+
+namespace cichar::core {
+namespace {
+
+device::MemoryChipOptions noiseless() {
+    device::MemoryChipOptions o;
+    o.noise_sigma_ns = 0.0;
+    return o;
+}
+
+struct HuntConfig {
+    std::size_t jobs = 1;
+    std::size_t inflight = 1;
+    double realtime_fraction = 0.0;
+    std::string cache_file;
+    std::string resume_blob;
+    std::size_t abort_after_generation = 0;
+};
+
+struct HuntResult {
+    WorstCaseReport report;
+    std::string rendered;
+    std::uint64_t applications = 0;
+    std::string last_checkpoint;
+};
+
+OptimizerOptions hunt_options(const HuntConfig& config) {
+    OptimizerOptions opts;
+    opts.ga.population.size = 10;
+    opts.ga.populations = 2;
+    opts.ga.max_generations = 8;
+    opts.ga.stagnation_limit = 4;
+    opts.ga.max_restarts = 2;
+    opts.ga.migration_interval = 3;
+    // Blocking reference runs use the replica path too (parallel enabled
+    // at inflight 1): the CLI-style serial in-situ hunt is a different
+    // measurement discipline and differs by design.
+    opts.parallel.enabled = true;
+    opts.parallel.jobs = config.jobs;
+    opts.parallel.inflight = config.inflight;
+    opts.cache.enabled = true;
+    opts.cache.file = config.cache_file;
+    opts.checkpoint.resume_blob = config.resume_blob;
+    opts.checkpoint.abort_after_generation = config.abort_after_generation;
+    return opts;
+}
+
+HuntResult run_hunt(const HuntConfig& config) {
+    HuntResult result;
+    OptimizerOptions opts = hunt_options(config);
+    opts.checkpoint.save = [&result](const std::string& blob) {
+        result.last_checkpoint = blob;
+    };
+
+    device::MemoryTestChip chip({}, noiseless());
+    ate::TesterOptions tester_options;
+    tester_options.realtime_fraction = config.realtime_fraction;
+    ate::Tester tester(chip, tester_options);
+    util::Rng rng(2005);
+    testgen::RandomGeneratorOptions generator;
+    generator.condition_bounds = testgen::ConditionBounds::fixed_nominal();
+    const WorstCaseOptimizer optimizer(opts);
+
+    result.report = optimizer.run_unseeded(tester,
+                                           ate::Parameter::data_valid_time(),
+                                           generator,
+                                           Objective::kDriftToMinimum, rng);
+    ReportInputs inputs;
+    inputs.seed = 2005;
+    inputs.hunt = &result.report;
+    result.rendered = render_report(inputs);
+    result.applications = tester.log().total().applications;
+    return result;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string fresh_cache_path(const std::string& tag) {
+    const std::string path = ::testing::TempDir() + "async_hunt_" + tag +
+                             ".tripcache";
+    std::remove(path.c_str());
+    return path;
+}
+
+// Compares everything the byte-identity contract covers. Checkpoint
+// blobs are only required to match between *cold* runs: a resumed leg
+// re-serializes from restored state, which the existing checkpoint
+// contract (HuntCheckpointTest) does not promise to be blob-identical —
+// only result-identical.
+void expect_identical(const HuntResult& actual, const HuntResult& reference,
+                      bool compare_checkpoint = true) {
+    EXPECT_EQ(actual.report.outcome.best_fitness,
+              reference.report.outcome.best_fitness);
+    EXPECT_EQ(actual.report.outcome.best.sequence,
+              reference.report.outcome.best.sequence);
+    EXPECT_EQ(actual.report.outcome.best.condition,
+              reference.report.outcome.best.condition);
+    EXPECT_EQ(actual.report.outcome.evaluations,
+              reference.report.outcome.evaluations);
+    EXPECT_EQ(actual.report.outcome.best_history,
+              reference.report.outcome.best_history);
+    EXPECT_EQ(actual.report.ate_measurements, reference.report.ate_measurements);
+    EXPECT_EQ(actual.report.cache_stats.hits, reference.report.cache_stats.hits);
+    EXPECT_EQ(actual.report.cache_stats.misses,
+              reference.report.cache_stats.misses);
+    EXPECT_EQ(actual.rendered, reference.rendered);
+    EXPECT_EQ(actual.applications, reference.applications);
+    if (compare_checkpoint) {
+        EXPECT_EQ(actual.last_checkpoint, reference.last_checkpoint);
+    }
+}
+
+TEST(AsyncHuntDeterminismTest, ByteIdenticalAcrossJobsAndInflight) {
+    HuntConfig reference_config;
+    reference_config.jobs = 1;
+    reference_config.inflight = 1;  // blocking replica path
+    reference_config.cache_file = fresh_cache_path("ref");
+    const HuntResult reference = run_hunt(reference_config);
+    ASSERT_FALSE(reference.last_checkpoint.empty());
+    const std::string reference_cache = slurp(reference_config.cache_file);
+    EXPECT_FALSE(reference_cache.empty());
+
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+        for (const std::size_t inflight :
+             {std::size_t{4}, std::size_t{16}}) {
+            HuntConfig config;
+            config.jobs = jobs;
+            config.inflight = inflight;
+            config.cache_file = fresh_cache_path(
+                "j" + std::to_string(jobs) + "i" + std::to_string(inflight));
+            const HuntResult async = run_hunt(config);
+            SCOPED_TRACE("jobs=" + std::to_string(jobs) +
+                         " inflight=" + std::to_string(inflight));
+            expect_identical(async, reference);
+            EXPECT_EQ(async.report.inflight, inflight);
+            // The persisted trip cache is part of the contract too: same
+            // entries, same bytes.
+            EXPECT_EQ(slurp(config.cache_file), reference_cache);
+        }
+    }
+}
+
+TEST(AsyncHuntDeterminismTest, KillAndResumeAcrossInflightDepths) {
+    // Kill the async hunt with requests pending at snapshot time, then
+    // resume under a *different* inflight depth: the checkpoint
+    // fingerprint deliberately excludes inflight (drain-before-checkpoint
+    // means the blob never holds queue state), so the resumed hunt must
+    // still finish byte-identical to an uninterrupted blocking run.
+    HuntConfig reference_config;
+    reference_config.jobs = 2;
+    reference_config.inflight = 1;
+    const HuntResult reference = run_hunt(reference_config);
+    EXPECT_FALSE(reference.report.aborted);
+
+    HuntConfig abort_config;
+    abort_config.jobs = 2;
+    abort_config.inflight = 8;
+    abort_config.abort_after_generation = 3;
+    const HuntResult aborted = run_hunt(abort_config);
+    EXPECT_TRUE(aborted.report.aborted);
+    ASSERT_FALSE(aborted.last_checkpoint.empty());
+
+    HuntConfig resume_config;
+    resume_config.jobs = 2;
+    resume_config.inflight = 4;
+    resume_config.resume_blob = aborted.last_checkpoint;
+    const HuntResult resumed = run_hunt(resume_config);
+    EXPECT_FALSE(resumed.report.aborted);
+    expect_identical(resumed, reference, /*compare_checkpoint=*/false);
+}
+
+TEST(AsyncHuntDeterminismTest, EmulatedLatencyDoesNotChangeResults) {
+    // A small nonzero realtime_fraction exercises the deadline machinery
+    // (the blocking path sleeps inline, the async path schedules
+    // completion deadlines); neither may perturb the hunt.
+    HuntConfig blocking;
+    blocking.jobs = 2;
+    blocking.inflight = 1;
+    const HuntResult reference = run_hunt(blocking);
+
+    HuntConfig emulated;
+    emulated.jobs = 2;
+    emulated.inflight = 8;
+    emulated.realtime_fraction = 1e-4;
+    const HuntResult async = run_hunt(emulated);
+    expect_identical(async, reference);
+}
+
+}  // namespace
+}  // namespace cichar::core

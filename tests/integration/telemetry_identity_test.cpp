@@ -32,7 +32,7 @@ std::string with_telemetry(bool enabled, const auto& body) {
     return rendered;
 }
 
-std::string run_hunt(std::size_t jobs) {
+std::string run_hunt(std::size_t jobs, std::size_t inflight = 1) {
     device::MemoryChipOptions chip_options;
     chip_options.noise_sigma_ns = 0.0;
     device::MemoryTestChip chip({}, chip_options);
@@ -45,8 +45,9 @@ std::string run_hunt(std::size_t jobs) {
     opts.ga.population.size = 8;
     opts.ga.populations = 2;
     opts.ga.max_generations = 6;
-    opts.parallel.enabled = jobs != 1;
+    opts.parallel.enabled = jobs != 1 || inflight > 1;
     opts.parallel.jobs = jobs;
+    opts.parallel.inflight = inflight;
     opts.cache.enabled = true;
     const core::WorstCaseOptimizer optimizer(opts);
 
@@ -94,6 +95,19 @@ TEST(TelemetryIdentityTest, HuntReportIdenticalTelemetryOnVsOff) {
     }
 }
 
+TEST(TelemetryIdentityTest, AsyncHuntReportIdenticalTelemetryOnVsOff) {
+    // The async pipeline's queue metrics (in-flight gauge, wait histogram,
+    // reorder counter) must be as contractually invisible as the rest of
+    // the registry.
+    const std::string off = with_telemetry(false, [&] {
+        return run_hunt(4, 8);
+    });
+    const std::string on = with_telemetry(true, [&] {
+        return run_hunt(4, 8);
+    });
+    EXPECT_EQ(off, on);
+}
+
 TEST(TelemetryIdentityTest, LotReportIdenticalTelemetryOnVsOff) {
     for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
         const std::string off = with_telemetry(false, [&] {
@@ -126,6 +140,21 @@ TEST(TelemetryIdentityTest, TelemetryOnActuallyRecords) {
     EXPECT_GT(telem::Trace::instance().event_count(), 0u);
     telem::Registry::instance().reset_values();
     telem::Trace::instance().clear();
+}
+
+TEST(TelemetryIdentityTest, AsyncQueueMetricsActuallyRecord) {
+    // Guard the async identity test against passing vacuously: an enabled
+    // inflight>1 hunt must populate the queue-wait histogram.
+    telem::set_metrics_enabled(true);
+    (void)run_hunt(2, 8);
+    telem::set_metrics_enabled(false);
+
+    EXPECT_GT(telem::Registry::instance()
+                  .histogram("cichar_ate_async_queue_wait_ns", {})
+                  .snapshot()
+                  .count,
+              0u);
+    telem::Registry::instance().reset_values();
 }
 
 }  // namespace

@@ -3,11 +3,15 @@
 //   cichar selftest
 //       bring up a simulated die + tester, sanity-check trip searches
 //   cichar hunt [--seed N] [--coding fuzzy|numeric] [--generations G]
-//               [--populations P] [--jobs J] [--batch B] [--cache on|off]
-//               [--cache-file FILE] [--db FILE] [--model FILE]
+//               [--populations P] [--jobs J] [--inflight D] [--batch B]
+//               [--cache on|off] [--cache-file FILE] [--db FILE]
+//               [--model FILE]
 //       full Fig.4 + Fig.5 worst-case hunt; optionally persist artifacts.
 //       --jobs J != 1 trains the committee and measures GA fitness on J
 //       worker threads (replica evaluation, byte-identical at any J);
+//       --inflight D > 1 pipelines D trip searches through the async
+//       submission/completion queue, overlapping decode + scoring with
+//       in-flight measurements (byte-identical at any jobs x inflight);
 //       --batch B sets candidates per batched committee pass in NN
 //       seeding (results identical at any B); --cache memoizes trip
 //       points of duplicated GA individuals; --cache-file persists that
@@ -69,7 +73,7 @@ int usage() {
         "  cichar selftest\n"
         "  cichar hunt [--seed N] [--coding fuzzy|numeric]\n"
         "              [--generations G] [--populations P]\n"
-        "              [--jobs J] [--batch B] [--cache on|off]\n"
+        "              [--jobs J] [--inflight D] [--batch B] [--cache on|off]\n"
         "              [--cache-file FILE]\n"
         "              [--fault-profile SPEC] [--policy on|off]\n"
         "              [--checkpoint FILE] [--resume FILE]\n"
@@ -230,6 +234,14 @@ int cmd_hunt(const Args& args) {
     options.learner.committee.jobs = jobs;
     options.optimizer.parallel.enabled = jobs != 1;
     options.optimizer.parallel.jobs = jobs;
+    // --inflight D: trip searches kept in flight per fitness batch. D > 1
+    // switches replica evaluation to the async submission/completion
+    // queue (implying replica evaluation even at --jobs 1); reports,
+    // checkpoints, and caches stay byte-identical at any jobs x inflight
+    // combination, so a checkpoint resumes across --inflight values.
+    const auto inflight = static_cast<std::size_t>(args.get_u64("inflight", 1));
+    options.optimizer.parallel.inflight = inflight;
+    if (inflight > 1) options.optimizer.parallel.enabled = true;
     // --batch B: candidates per batched committee pass during NN seeding
     // (throughput knob only; suggestions are identical at any B).
     options.optimizer.nn_score_batch =
@@ -372,22 +384,18 @@ int cmd_hunt(const Args& args) {
         }
     }
     if (args.has("db")) {
-        std::ofstream out(args.get("db"));
-        if (!out) {
+        // Temp-file + rename, like every other report-like output: a hunt
+        // killed mid-write never leaves a truncated database behind.
+        std::ostringstream out;
+        report.database.save(out);
+        if (!util::atomic_write_file(args.get("db"), out.str())) {
             std::fprintf(stderr, "cannot write %s\n", args.get("db").c_str());
             return 1;
         }
-        report.database.save(out);
         std::printf("worst-case database written to %s\n",
                     args.get("db").c_str());
     }
     if (args.has("report")) {
-        std::ofstream out(args.get("report"));
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         args.get("report").c_str());
-            return 1;
-        }
         std::optional<core::SpecProposal> proposal;
         if (pooled.found_count() > 0) {
             proposal = core::propose_spec(param, pooled);
@@ -398,7 +406,13 @@ int cmd_hunt(const Args& args) {
         inputs.hunt = &report;
         inputs.proposal = proposal ? &*proposal : nullptr;
         inputs.ledger = &tester.log();
+        std::ostringstream out;
         core::write_report(out, inputs);
+        if (!util::atomic_write_file(args.get("report"), out.str())) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.get("report").c_str());
+            return 1;
+        }
         std::printf("report written to %s\n", args.get("report").c_str());
     }
     return 0;
@@ -426,12 +440,12 @@ int cmd_shmoo(const Args& args) {
         ate::ShmooPlotter(shmoo_options).run(tester, param, tests);
     std::printf("%s", grid.render(param).c_str());
     if (args.has("csv")) {
-        std::ofstream out(args.get("csv"));
-        if (!out) {
+        std::ostringstream out;
+        grid.write_csv(out);
+        if (!util::atomic_write_file(args.get("csv"), out.str())) {
             std::fprintf(stderr, "cannot write %s\n", args.get("csv").c_str());
             return 1;
         }
-        grid.write_csv(out);
         std::printf("grid written to %s\n", args.get("csv").c_str());
     }
     return 0;
@@ -738,9 +752,11 @@ int cmd_lot(const Args& args, const std::string& argv0) {
         std::fprintf(stderr, "  site campaign finished (%zu/%zu)\n", done,
                      total);
         if (!heartbeat.empty()) {
-            util::atomic_write_file(heartbeat,
-                                    std::to_string(done) + "/" +
-                                        std::to_string(total) + "\n");
+            // Best-effort: a missed heartbeat only delays the scheduler's
+            // stall detector.
+            (void)util::atomic_write_file(heartbeat,
+                                          std::to_string(done) + "/" +
+                                              std::to_string(total) + "\n");
         }
     };
 
@@ -805,13 +821,11 @@ int cmd_lot(const Args& args, const std::string& argv0) {
                     result.wall_seconds, options.jobs);
     }
     if (args.has("report")) {
-        std::ofstream out(args.get("report"));
-        if (!out) {
+        if (!util::atomic_write_file(args.get("report"), report.render())) {
             std::fprintf(stderr, "cannot write %s\n",
                          args.get("report").c_str());
             return 1;
         }
-        out << report.render();
         std::printf("lot report written to %s\n", args.get("report").c_str());
     }
     return 0;
