@@ -14,9 +14,20 @@
 // above 1 means the deeper in-flight window also overlapped latency the
 // blocking path serialized). Byte-identical reports across all rows.
 //
-// `--quick` (CI smoke) skips the latency rig and asserts the async
+// A fourth section ablates the warm replica slab: every fitness slot
+// used to pay a cold clone (16 KiB of array state + a Tester + ledger +
+// options copies) before its trip search; the slab pays that once per
+// slot at hunt start and recycles replicas via reset_warm. On the
+// default workload (100-1000-cycle patterns) the search CPU hides the
+// clone cost, so the ablation runs short patterns with the trip cache
+// off — every evaluation is measured and the per-slot fixed costs are
+// the bill. Target: >= 20% wall-clock reduction, byte-identical report.
+//
+// `--quick` (CI smoke) skips the latency rig and asserts (a) the async
 // engine is not slower than the blocking path at fraction 0 — the queue
-// machinery must be free when there is no latency to hide.
+// machinery must be free when there is no latency to hide — and (b) the
+// warm slab is not slower than forced cold clones on the same workload
+// (ratio ~= 1.0: recycling must never cost wall clock).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -83,6 +94,73 @@ HuntRun run_hunt(std::size_t inflight, double realtime_fraction) {
     return run;
 }
 
+// ---- warm-slab ablation rig -------------------------------------------
+// A defect-dense die: the fault map is immutable per-die state that
+// every cold clone must copy (parametric trip searches never read it —
+// faults only fire on functional runs), so on a bad die each fitness
+// slot used to pay a fault-map copy + array allocation + Tester
+// bring-up before its first probe. reset_warm touches none of that.
+// Short patterns, coarse follower, trip cache off: the per-slot fixed
+// costs are the bill, not the search CPU.
+constexpr std::uint32_t kSlabMinCycles = 2;
+constexpr std::uint32_t kSlabMaxCycles = 8;
+constexpr std::size_t kSlabFaults = 4096;  // ~1 weak bit per word
+
+device::FaultSet dense_fault_map() {
+    std::vector<device::Fault> faults;
+    faults.reserve(kSlabFaults);
+    util::Rng rng(kSeed ^ 0xFA17);
+    for (std::size_t i = 0; i < kSlabFaults; ++i) {
+        device::Fault fault;
+        fault.type = device::FaultType::kStuckAt0;
+        fault.address = static_cast<std::uint32_t>(rng() % 4096);
+        fault.bit = static_cast<std::uint8_t>(rng() % 16);
+        faults.push_back(fault);
+    }
+    return device::FaultSet(std::move(faults));
+}
+
+HuntRun run_slab_hunt(std::size_t replica_slab) {
+    device::MemoryTestChip chip({}, {}, {}, dense_fault_map());
+    ate::Tester tester(chip);
+    const ate::Parameter param = ate::Parameter::data_valid_time();
+    util::Rng rng(kSeed);
+    core::OptimizerOptions options = hunt_options(1);
+    options.parallel.jobs = 1;  // serialized: clone cost hits wall 1:1
+    options.cache.enabled = false;  // measure every slot
+    options.parallel.replica_slab = replica_slab;
+    // A deeper hunt than the latency rig: thousands of fitness slots so
+    // the per-slot fixed costs add up to a stable wall-clock signal.
+    options.ga.population.size = 16;
+    options.ga.populations = 4;
+    options.ga.max_generations = 120;
+    options.ga.stagnation_limit = 120;
+    // Fast follower searches (coarse steps, no bisection refinement, no
+    // inter-test settle or functional re-runs): a handful of probes per
+    // slot, the realistic regime where the per-slot clone + bring-up
+    // cost is a visible fraction of the bill.
+    options.trip.follow.search_factor = 1.0;
+    options.trip.follow.refine = false;
+    options.trip.settle_between_tests = false;
+    options.check_functional_failures = false;
+    const core::WorstCaseOptimizer optimizer(options);
+
+    testgen::RandomGeneratorOptions generator = bench::nominal_generator();
+    generator.min_cycles = kSlabMinCycles;
+    generator.max_cycles = kSlabMaxCycles;
+
+    HuntRun run;
+    run.report = optimizer.run_unseeded(tester, param, generator,
+                                        core::objective_for(param), rng);
+    core::ReportInputs inputs;
+    inputs.device_name = "bench-async";
+    inputs.seed = kSeed;
+    inputs.hunt = &run.report;
+    inputs.ledger = &tester.log();
+    run.rendered = core::render_report(inputs);
+    return run;
+}
+
 struct TimedConfig {
     double median = 0.0;
     HuntRun last;
@@ -100,6 +178,29 @@ TimedConfig time_config(const char* label, std::size_t inflight,
     return timed;
 }
 
+TimedConfig time_slab(const char* label, std::size_t replica_slab,
+                      std::size_t reps) {
+    TimedConfig timed;
+    const bench::TimedRuns runs = bench::time_runs(
+        /*warmup=*/1, reps, [&] { timed.last = run_slab_hunt(replica_slab); });
+    timed.median = runs.median();
+    std::printf("%s: median %.2f s over %zu runs\n", label, timed.median,
+                runs.seconds.size());
+    return timed;
+}
+
+void print_slab_audit() {
+    std::printf(
+        "\nper-slot allocation audit (before -> after): each fitness slot "
+        "used to heap-allocate a cold DUT clone (2 x 4096-word arrays plus "
+        "the die's immutable fault map), a Tester with a fresh "
+        "MeasurementLog, and copies of TesterOptions and the "
+        "measurement-policy options; the slab now owns the DUT + Tester "
+        "pair per slot (recycled via reset_warm), the policy options "
+        "template is hoisted once per hunt, and the batch's slot/pending "
+        "vectors persist across generations.\n");
+}
+
 int run_quick() {
     // CI smoke: with no latency to hide, the async engine's queue
     // machinery must not cost wall clock (20% noise margin for shared
@@ -114,7 +215,24 @@ int run_quick() {
     std::printf("async/blocking wall ratio: %.2f (target <= 1.20): %s\n",
                 ratio, ratio <= 1.20 ? "PASS" : "FAIL");
     std::printf("report identical: %s\n", identical ? "PASS" : "FAIL");
-    return (ratio <= 1.20 && identical) ? 0 : 1;
+
+    // Warm-slab overhead gate: recycling replicas must never cost wall
+    // clock relative to forced cold clones (same noise margin), and the
+    // slab must be invisible in the report bytes.
+    const TimedConfig cold = time_slab("cold clones (slab 0)", 0, 3);
+    const TimedConfig warm =
+        time_slab("warm slab (auto)", core::HuntParallelOptions::kAutoSlab, 3);
+    const bool slab_identical = warm.last.rendered == cold.last.rendered;
+    const double slab_ratio =
+        cold.median > 0.0 ? warm.median / cold.median : 1.0;
+    std::printf("warm/cold wall ratio: %.2f (target <= 1.20): %s\n",
+                slab_ratio, slab_ratio <= 1.20 ? "PASS" : "FAIL");
+    std::printf("slab report identical: %s\n",
+                slab_identical ? "PASS" : "FAIL");
+    return (ratio <= 1.20 && identical && slab_ratio <= 1.20 &&
+            slab_identical)
+               ? 0
+               : 1;
 }
 
 }  // namespace
@@ -170,6 +288,39 @@ int main(int argc, char** argv) {
     std::printf("inflight determinism (byte-identical reports): %s\n",
                 deterministic ? "PASS" : "FAIL");
 
+    bench::section("warm replica slab ablation (no latency, cache off)");
+    std::printf("defect-dense die (%zu faults), short patterns (%u-%u "
+                "cycles), one worker: the trip search is cheap, the "
+                "per-slot clone is not\n",
+                kSlabFaults, kSlabMinCycles, kSlabMaxCycles);
+    const TimedConfig slab_cold =
+        time_slab("cold clone per slot (slab 0)", 0, 5);
+    const TimedConfig slab_warm = time_slab(
+        "warm slab (auto)", core::HuntParallelOptions::kAutoSlab, 5);
+    const bool slab_identical =
+        slab_warm.last.rendered == slab_cold.last.rendered;
+    const double slab_reduction =
+        slab_cold.median > 0.0
+            ? 1.0 - slab_warm.median / slab_cold.median
+            : 0.0;
+    std::printf("slab leases: %llu acquires, %llu recycles, %llu cold "
+                "clones, %llu transient misses\n",
+                static_cast<unsigned long long>(
+                    slab_warm.last.report.slab.acquires),
+                static_cast<unsigned long long>(
+                    slab_warm.last.report.slab.recycles),
+                static_cast<unsigned long long>(
+                    slab_warm.last.report.slab.cold_clones),
+                static_cast<unsigned long long>(
+                    slab_warm.last.report.slab.misses));
+    std::printf("wall-clock reduction from recycling: %.0f%% "
+                "(target >= 20%%): %s\n",
+                100.0 * slab_reduction,
+                slab_reduction >= 0.20 ? "PASS" : "FAIL");
+    std::printf("slab determinism (byte-identical reports): %s\n",
+                slab_identical ? "PASS" : "FAIL");
+    print_slab_audit();
+
     bench::BenchJson json;
     json.set_string("bench", "async_pipeline");
     json.set_integer("seed", kSeed);
@@ -182,6 +333,11 @@ int main(int argc, char** argv) {
     json.set_number("hidden_cost_fraction", hidden);
     json.set_number("speedup", speedup);
     json.set_bool("deterministic", deterministic);
+    json.set_number("slab_cold_seconds", slab_cold.median);
+    json.set_number("slab_warm_seconds", slab_warm.median);
+    json.set_number("slab_reduction", slab_reduction);
+    json.set_integer("slab_recycles", slab_warm.last.report.slab.recycles);
+    json.set_bool("slab_deterministic", slab_identical);
     json.write("BENCH_async.json");
 
     std::printf(
@@ -191,5 +347,8 @@ int main(int argc, char** argv) {
         "cache lookups and scoring running under those in-flight waits "
         "while the submission-order reduction keeps one seed -> one "
         "report.\n");
-    return (hidden >= 0.80 && deterministic) ? 0 : 1;
+    return (hidden >= 0.80 && deterministic && slab_reduction >= 0.20 &&
+            slab_identical)
+               ? 0
+               : 1;
 }

@@ -52,24 +52,64 @@ inline void cpu_relax() noexcept {
 #endif
 }
 
+void telem_shared_credits(const SharedRingCredits& credits) {
+    if (!util::telemetry::metrics_enabled()) return;
+    static auto& in_use = util::telemetry::Registry::instance().gauge(
+        "cichar_ate_shared_ring_credits_in_use");
+    in_use.set(static_cast<double>(credits.capacity() - credits.available()));
+}
+
 }  // namespace
+
+bool SharedRingCredits::try_acquire() noexcept {
+    std::size_t current = available_.load(std::memory_order_relaxed);
+    while (current > 0) {
+        if (available_.compare_exchange_weak(current, current - 1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+            telem_shared_credits(*this);
+            return true;
+        }
+    }
+    return false;
+}
+
+void SharedRingCredits::release(std::size_t n) noexcept {
+    if (n == 0) return;
+    available_.fetch_add(n, std::memory_order_release);
+    telem_shared_credits(*this);
+}
 
 AsyncTester::AsyncTester(AsyncTesterOptions options, util::ThreadPool* pool)
     : options_(options), pool_(pool) {
     if (options_.queue_depth == 0) options_.queue_depth = 1;
+    if (options_.guaranteed_depth == 0) options_.guaranteed_depth = 1;
 }
 
 AsyncTester::~AsyncTester() { quiesce(); }
 
 void AsyncTester::quiesce() {
-    std::unique_lock lock(mutex_);
-    owner_waiting_ = true;
-    ripe_cv_.wait(lock, [&] {
-        return std::all_of(ring_.begin(), ring_.end(),
-                           [](const auto& r) { return r->eval_done; });
-    });
-    owner_waiting_ = false;
-    ring_.clear();
+    std::size_t give_back = 0;
+    {
+        std::unique_lock lock(mutex_);
+        owner_waiting_ = true;
+        ripe_cv_.wait(lock, [&] {
+            return std::all_of(ring_.begin(), ring_.end(),
+                               [](const auto& r) { return r->eval_done; });
+        });
+        owner_waiting_ = false;
+        for (const auto& r : ring_) {
+            if (r->credited) ++give_back;
+        }
+        give_back += cached_credits_ + reserved_credits_;
+        cached_credits_ = 0;
+        reserved_credits_ = 0;
+        floor_used_ = 0;
+        ring_.clear();
+    }
+    if (options_.shared_credits != nullptr) {
+        options_.shared_credits->release(give_back);
+    }
 }
 
 std::shared_ptr<AsyncTester::Request> AsyncTester::admit(
@@ -101,6 +141,25 @@ std::shared_ptr<AsyncTester::Request> AsyncTester::admit(
         if (ring_.size() >= options_.queue_depth) {
             free_list_.push_back(std::move(req));
             return nullptr;
+        }
+        // Shared-budget admission: the floor is always ours; beyond it,
+        // consume a credit already in hand (cached by can_submit, or
+        // reserved by the harvest that is re-running this request's
+        // chain) before competing for a fresh one.
+        req->credited = false;
+        if (options_.shared_credits != nullptr &&
+            floor_used_ >= options_.guaranteed_depth) {
+            if (cached_credits_ > 0) {
+                --cached_credits_;
+            } else if (reserved_credits_ > 0) {
+                --reserved_credits_;
+            } else if (!options_.shared_credits->try_acquire()) {
+                free_list_.push_back(std::move(req));
+                return nullptr;
+            }
+            req->credited = true;
+        } else if (options_.shared_credits != nullptr) {
+            ++floor_used_;
         }
         req->seq = next_seq_++;
         ring_.push_back(req);
@@ -202,14 +261,31 @@ std::size_t AsyncTester::harvest(bool block) {
     std::vector<unsigned char>& reordered = reorder_scratch_;
     ripe.clear();
     reordered.clear();
+    std::size_t give_back = 0;
     {
         std::unique_lock lock(mutex_);
+        // About to (possibly) park: stop hoarding credits can_submit
+        // speculatively acquired — a sibling ring can use them now.
+        if (block) {
+            give_back += cached_credits_;
+            cached_credits_ = 0;
+        }
         for (;;) {
             const auto now = Clock::now();
             // The ring is scanned front-to-back, so among the ripe set
             // completions are delivered in submission order.
             for (auto it = ring_.begin(); it != ring_.end();) {
                 if ((*it)->eval_done && (*it)->deadline <= now) {
+                    // A credited request's capacity moves to the reserved
+                    // pot (not back to the shared pool) until this
+                    // harvest's callbacks are done — 1:1 resubmissions
+                    // must never race siblings for it.
+                    if ((*it)->credited) {
+                        (*it)->credited = false;
+                        ++reserved_credits_;
+                    } else if (options_.shared_credits != nullptr) {
+                        --floor_used_;
+                    }
                     ripe.push_back(std::move(*it));
                     it = ring_.erase(it);
                 } else {
@@ -303,6 +379,21 @@ std::size_t AsyncTester::harvest(bool block) {
         }
     }
     ripe.clear();
+    if (options_.shared_credits != nullptr) {
+        // Callbacks have run (and consumed whatever reserved capacity
+        // their resubmissions needed); donate the surplus back, plus any
+        // speculative credits if the ring has gone idle.
+        std::lock_guard lock(mutex_);
+        give_back += reserved_credits_;
+        reserved_credits_ = 0;
+        if (ring_.empty()) {
+            give_back += cached_credits_;
+            cached_credits_ = 0;
+        }
+    }
+    if (give_back > 0 && options_.shared_credits != nullptr) {
+        options_.shared_credits->release(give_back);
+    }
     return count;
 }
 
@@ -321,7 +412,19 @@ std::size_t AsyncTester::in_flight() const {
 
 bool AsyncTester::can_submit() const {
     std::lock_guard lock(mutex_);
-    return ring_.size() < options_.queue_depth;
+    if (ring_.size() >= options_.queue_depth) return false;
+    if (options_.shared_credits == nullptr) return true;
+    if (floor_used_ < options_.guaranteed_depth) return true;
+    if (cached_credits_ + reserved_credits_ > 0) return true;
+    // Speculatively acquire and cache one credit so the can_submit ->
+    // submit window cannot be raced by a sibling ring (the optimizer
+    // treats a failed submit after a positive can_submit as a logic
+    // error). The cache is returned when the ring blocks or goes idle.
+    if (options_.shared_credits->try_acquire()) {
+        ++cached_credits_;
+        return true;
+    }
+    return false;
 }
 
 AsyncTester::Stats AsyncTester::stats() const {

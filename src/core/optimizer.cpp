@@ -462,6 +462,24 @@ WorstCaseReport WorstCaseOptimizer::drive(
         ck_noise_rng = &noise_rng;
         ck_follower = &follower;
 
+        // Warm replica slab: clone_cold + Tester construction paid once
+        // per slot at hunt start, then recycled via reset_warm for every
+        // fitness measurement. Auto-sizing covers every worker (blocking
+        // engine) and every in-flight search (async engine). Purely a
+        // perf layer — a slab lease is observably identical to a fresh
+        // cold clone, so reports/checkpoints/caches don't move.
+        const std::size_t slab_capacity =
+            options_.parallel.replica_slab == HuntParallelOptions::kAutoSlab
+                ? report.jobs * inflight
+                : options_.parallel.replica_slab;
+        std::optional<ReplicaSlab> slab;
+        if (slab_capacity > 0) slab.emplace(tester, slab_capacity);
+
+        // Hoisted once per hunt instead of copied per slot: the policy
+        // options template (only the seed differs between slots; the
+        // Tester options copies moved into the slab).
+        MeasurementPolicyOptions policy_template = options_.trip.policy;
+
         struct Slot {
             std::string name;
             testgen::PatternRecipe recipe;
@@ -480,14 +498,34 @@ WorstCaseReport WorstCaseOptimizer::drive(
             std::optional<MeasurementPolicy> policy;
         };
 
+        // Per-batch scratch, hoisted so the outer buffers persist across
+        // fitness batches and generations instead of being reallocated
+        // per call (part of the per-slot allocation audit; the big
+        // per-slot costs — DUT arrays, Tester, ledger — live in the
+        // slab slots).
+        std::vector<Slot> slots_scratch;
+        std::vector<std::size_t> pending_scratch;
+
         // Measures one slot on a fresh cold replica of the DUT (a virtual
         // re-insertion of the same die). The first-ever evaluation runs
         // the full-range search and publishes the RTP follower; it must be
         // called inline before any worker uses `follower`.
         const auto measure_slot = [&](Slot& slot, bool establish_reference) {
-            const std::unique_ptr<device::DeviceUnderTest> replica_dut =
-                tester.dut().clone_cold(slot.noise_seed);
-            ate::Tester replica(*replica_dut, tester.options());
+            // Warm slab lease when available, cold clone otherwise — the
+            // leased replica is observably identical to the clone
+            // (reset_warm contract), with inline latency emulation kept
+            // (the blocking engine sleeps it, unlike the async path).
+            ReplicaSlab::Lease lease;
+            std::unique_ptr<device::DeviceUnderTest> cold_dut;
+            std::optional<ate::Tester> cold_tester;
+            if (slab.has_value()) {
+                lease = slab->acquire(slot.noise_seed,
+                                      /*inline_latency=*/true);
+            } else {
+                cold_dut = tester.dut().clone_cold(slot.noise_seed);
+                cold_tester.emplace(*cold_dut, tester.options());
+            }
+            ate::Tester& replica = lease ? lease.tester() : *cold_tester;
             if (slot.injector.has_value()) {
                 replica.attach_fault_injector(&*slot.injector);
             }
@@ -596,8 +634,11 @@ WorstCaseReport WorstCaseOptimizer::drive(
         const ga::BatchFitnessFn batch_fitness =
             [&](std::span<const ga::TestChromosome> batch) {
                 TELEM_SPAN("hunt.fitness_batch");
-                std::vector<Slot> slots(batch.size());
-                std::vector<std::size_t> pending;
+                std::vector<Slot>& slots = slots_scratch;
+                slots.clear();
+                slots.resize(batch.size());
+                std::vector<std::size_t>& pending = pending_scratch;
+                pending.clear();
                 pending.reserve(batch.size());
 
                 // Decode, name, and consult the cache in submission order
@@ -630,10 +671,8 @@ WorstCaseReport WorstCaseOptimizer::drive(
                     // disabled path's rng stream untouched.
                     if (faults_on) slot.injector.emplace(injector->fork(0));
                     if (policy_on) {
-                        MeasurementPolicyOptions policy_options =
-                            options_.trip.policy;
-                        policy_options.seed = noise_rng();
-                        slot.policy.emplace(policy_options);
+                        policy_template.seed = noise_rng();
+                        slot.policy.emplace(policy_template);
                     }
                     pending.push_back(i);
                 }
@@ -665,6 +704,11 @@ WorstCaseReport WorstCaseOptimizer::drive(
         ate::AsyncTesterOptions queue_options;
         queue_options.queue_depth = inflight;
         queue_options.latency = tester.latency_model();
+        // Lot-wide shared budget (when provided): this hunt's ring is one
+        // ordering domain drawing depth from the shared pool beyond its
+        // guaranteed floor. Purely a throttle — byte-identity holds at
+        // any dynamic depth, exactly as it does across --inflight values.
+        queue_options.shared_credits = options_.parallel.shared_credits;
         std::optional<ate::AsyncTester> queue;
         if (use_async) queue.emplace(queue_options, &pool);
         const ate::TesterOptions replica_options =
@@ -673,7 +717,9 @@ WorstCaseReport WorstCaseOptimizer::drive(
         const ga::BatchFitnessFn async_fitness =
             [&](std::span<const ga::TestChromosome> batch) {
                 TELEM_SPAN("hunt.fitness_batch");
-                std::vector<Slot> slots(batch.size());
+                std::vector<Slot>& slots = slots_scratch;
+                slots.clear();
+                slots.resize(batch.size());
 
                 // Decode, name, and consult the cache for one slot — the
                 // same calling-thread mutation order as the blocking
@@ -706,8 +752,12 @@ WorstCaseReport WorstCaseOptimizer::drive(
 
                 struct Driver {
                     Slot* slot = nullptr;
+                    /// Warm slab lease (slab on) or cold clone storage
+                    /// (slab off); `replica` points at whichever is live.
+                    ReplicaSlab::Lease lease;
                     std::unique_ptr<device::DeviceUnderTest> dut;
-                    std::optional<ate::Tester> replica;
+                    std::optional<ate::Tester> cold_replica;
+                    ate::Tester* replica = nullptr;
                     std::unique_ptr<ate::TripSearchTask> task;
                     /// First attempt is the RTP-window search; a miss
                     /// swaps in the full-range fallback, like the
@@ -723,7 +773,9 @@ WorstCaseReport WorstCaseOptimizer::drive(
 
                 const auto finish_driver = [&](Driver* d) {
                     d->slot->log = std::move(d->replica->log());
-                    d->replica.reset();
+                    d->replica = nullptr;
+                    d->lease.reset();
+                    d->cold_replica.reset();
                     d->dut.reset();
                     d->task.reset();
                     --outstanding;
@@ -813,8 +865,15 @@ WorstCaseReport WorstCaseOptimizer::drive(
                     Slot& slot = slots[i];
                     auto d = std::make_unique<Driver>();
                     d->slot = &slot;
-                    d->dut = tester.dut().clone_cold(slot.noise_seed);
-                    d->replica.emplace(*d->dut, replica_options);
+                    if (slab.has_value()) {
+                        d->lease = slab->acquire(slot.noise_seed,
+                                                 /*inline_latency=*/false);
+                        d->replica = &d->lease.tester();
+                    } else {
+                        d->dut = tester.dut().clone_cold(slot.noise_seed);
+                        d->cold_replica.emplace(*d->dut, replica_options);
+                        d->replica = &*d->cold_replica;
+                    }
                     d->replica->log().set_phase("ga-optimization");
                     if (options_.trip.settle_between_tests) {
                         d->replica->settle();
@@ -876,6 +935,7 @@ WorstCaseReport WorstCaseOptimizer::drive(
         arm_checkpointing();
         report.outcome = driver.run(use_async ? async_fitness : batch_fitness,
                                     std::move(seeds), rng, hooks);
+        if (slab.has_value()) report.slab = slab->stats();
     }
 
     report.database = std::move(database);

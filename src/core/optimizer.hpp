@@ -17,8 +17,13 @@
 #include "core/learner.hpp"
 #include "core/measurement_policy.hpp"
 #include "core/nn_test_generator.hpp"
+#include "core/replica_slab.hpp"
 #include "core/trip_cache.hpp"
 #include "ga/multi_population.hpp"
+
+namespace cichar::ate {
+class SharedRingCredits;
+}  // namespace cichar::ate
 
 namespace cichar::core {
 
@@ -56,6 +61,23 @@ struct HuntParallelOptions {
     /// threaded path when fault injection or the measurement policy is
     /// active (their retry flows are oracle-reentrant).
     std::size_t inflight = 1;
+    /// Warm replica slab capacity: pre-cloned DUT + Tester pairs recycled
+    /// across fitness slots and generations via reset_warm, replacing the
+    /// per-slot clone_cold + Tester construction. kAutoSlab sizes it to
+    /// jobs x inflight (every worker and every in-flight search has a
+    /// warm slot); 0 disables the slab (cold clone per slot, the
+    /// pre-slab behavior). Purely a perf knob: reports, checkpoints, and
+    /// caches are byte-identical at any slab size, and it never enters a
+    /// checkpoint fingerprint.
+    static constexpr std::size_t kAutoSlab = static_cast<std::size_t>(-1);
+    std::size_t replica_slab = kAutoSlab;
+    /// Optional lot-wide inflight budget shared with sibling hunts
+    /// (borrowed; must outlive the hunt). The hunt keeps its own
+    /// submission ring — its per-site ordering domain — but every
+    /// in-flight request beyond a guaranteed floor of one borrows a
+    /// credit, so idle sites donate depth to busy ones. Results are
+    /// byte-identical with or without sharing.
+    ate::SharedRingCredits* shared_credits = nullptr;
 };
 
 /// Trip-point memoization across GA generations/restarts/migration.
@@ -127,6 +149,9 @@ struct WorstCaseReport {
     /// `jobs`, never rendered into the report: the byte-identity contract
     /// forbids it.
     std::size_t inflight = 1;
+    /// Warm-slab recycling counters (zeros when the slab was off or the
+    /// hunt ran serial). Never rendered into the report, like `jobs`.
+    ReplicaSlabStats slab{};
     /// Resilience-policy activity during the hunt (session + replicas).
     FaultCounters faults{};
     /// Faults the attached injector fired during the hunt (zeros when no

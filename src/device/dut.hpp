@@ -65,6 +65,21 @@ public:
         return nullptr;
     }
 
+    /// Re-arms an existing replica in place so it is indistinguishable
+    /// from a fresh `clone_cold(noise_seed)` of the same die: the noise
+    /// stream is re-seeded, heat/application history is cleared, and the
+    /// array contents are wiped — but the allocated timing-model/process
+    /// state is reused instead of re-created. The contract is exact:
+    /// every observable (measurement sequence, save_state blob) must
+    /// equal a cold clone's, which is what lets warm replica slabs
+    /// recycle devices across fitness slots without perturbing the
+    /// byte-identity guarantees. Returns false when the implementation
+    /// cannot reset in place (callers fall back to clone_cold).
+    [[nodiscard]] virtual bool reset_warm(std::uint64_t noise_seed) {
+        (void)noise_seed;
+        return false;
+    }
+
     /// Serializes the device's *mutable* measurement state (noise stream
     /// position, heat, array contents, ...) for crash-safe checkpoints.
     /// The die, model, and options are construction inputs the caller

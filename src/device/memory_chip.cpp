@@ -104,6 +104,8 @@ FunctionalResult MemoryTestChip::run_functional(const testgen::Test& test) {
         model_.vmin_v(testgen::extract_pattern_features(test.pattern),
                       test.conditions, die_);
 
+    array_dirty_ = true;
+
     bool prev_was_write = false;
     std::uint32_t prev_address = 0;
     std::size_t cycle_index = 0;
@@ -205,6 +207,9 @@ bool MemoryTestChip::load_state(util::ByteReader& in) {
     applications_ = applications;
     array_ = std::move(array);
     golden_ = std::move(golden);
+    // The restored blob may carry nonzero words; a later reset_warm must
+    // not assume the arrays are still clean.
+    array_dirty_ = true;
     return true;
 }
 
@@ -213,6 +218,19 @@ std::unique_ptr<DeviceUnderTest> MemoryTestChip::clone_cold(
     MemoryChipOptions options = options_;
     options.seed = noise_seed;
     return std::make_unique<MemoryTestChip>(die_, options, model_, faults_);
+}
+
+bool MemoryTestChip::reset_warm(std::uint64_t noise_seed) {
+    options_.seed = noise_seed;
+    noise_ = util::Rng(noise_seed);
+    heat_ = 0.0;
+    applications_ = 0;
+    if (array_dirty_) {
+        std::fill(array_.begin(), array_.end(), std::uint16_t{0});
+        std::fill(golden_.begin(), golden_.end(), std::uint16_t{0});
+        array_dirty_ = false;
+    }
+    return true;
 }
 
 }  // namespace cichar::device

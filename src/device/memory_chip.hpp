@@ -57,6 +57,7 @@ public:
     void settle() override;
     [[nodiscard]] std::unique_ptr<DeviceUnderTest> clone_cold(
         std::uint64_t noise_seed) const override;
+    [[nodiscard]] bool reset_warm(std::uint64_t noise_seed) override;
     [[nodiscard]] bool save_state(std::string& out) const override;
     [[nodiscard]] bool load_state(util::ByteReader& in) override;
 
@@ -89,6 +90,10 @@ private:
     std::uint64_t applications_ = 0;
     std::vector<std::uint16_t> array_;   ///< faulty storage
     std::vector<std::uint16_t> golden_;  ///< fault-free reference
+    /// True once a functional run (or state restore) may have written the
+    /// arrays; reset_warm only pays the wipe when set, so parametric-only
+    /// replicas recycle in O(1).
+    bool array_dirty_ = false;
 };
 
 }  // namespace cichar::device

@@ -28,6 +28,9 @@ device::MemoryChipOptions noiseless() {
 struct HuntConfig {
     std::size_t jobs = 1;
     std::size_t inflight = 1;
+    /// Warm replica slab size (kAutoSlab = jobs x inflight, 0 = cold
+    /// clones) — a pure perf knob the identity matrix sweeps too.
+    std::size_t replica_slab = HuntParallelOptions::kAutoSlab;
     double realtime_fraction = 0.0;
     std::string cache_file;
     std::string resume_blob;
@@ -55,6 +58,7 @@ OptimizerOptions hunt_options(const HuntConfig& config) {
     opts.parallel.enabled = true;
     opts.parallel.jobs = config.jobs;
     opts.parallel.inflight = config.inflight;
+    opts.parallel.replica_slab = config.replica_slab;
     opts.cache.enabled = true;
     opts.cache.file = config.cache_file;
     opts.checkpoint.resume_blob = config.resume_blob;
@@ -163,6 +167,44 @@ TEST(AsyncHuntDeterminismTest, ByteIdenticalAcrossJobsAndInflight) {
     }
 }
 
+TEST(AsyncHuntDeterminismTest, ByteIdenticalAcrossReplicaSlabSizes) {
+    // The slab dimension of the identity matrix: forced cold clones
+    // (slab 0), a deliberately undersized slab (2: recycles + transient
+    // misses), and a roomy one (8) must all match the blocking cold-clone
+    // reference — at inflight 1 and 16, jobs 1 and 4.
+    HuntConfig reference_config;
+    reference_config.jobs = 1;
+    reference_config.inflight = 1;
+    reference_config.replica_slab = 0;  // the pre-slab measurement path
+    reference_config.cache_file = fresh_cache_path("slab_ref");
+    const HuntResult reference = run_hunt(reference_config);
+    const std::string reference_cache = slurp(reference_config.cache_file);
+
+    for (const std::size_t slab :
+         {std::size_t{0}, std::size_t{2}, std::size_t{8}}) {
+        for (const std::size_t inflight : {std::size_t{1}, std::size_t{16}}) {
+            for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+                HuntConfig config;
+                config.jobs = jobs;
+                config.inflight = inflight;
+                config.replica_slab = slab;
+                config.cache_file = fresh_cache_path(
+                    "s" + std::to_string(slab) + "i" +
+                    std::to_string(inflight) + "j" + std::to_string(jobs));
+                const HuntResult warm = run_hunt(config);
+                SCOPED_TRACE("slab=" + std::to_string(slab) +
+                             " inflight=" + std::to_string(inflight) +
+                             " jobs=" + std::to_string(jobs));
+                expect_identical(warm, reference);
+                EXPECT_EQ(slurp(config.cache_file), reference_cache);
+                if (slab > 0) {
+                    EXPECT_GT(warm.report.slab.recycles, 0u);
+                }
+            }
+        }
+    }
+}
+
 TEST(AsyncHuntDeterminismTest, KillAndResumeAcrossInflightDepths) {
     // Kill the async hunt with requests pending at snapshot time, then
     // resume under a *different* inflight depth: the checkpoint
@@ -190,6 +232,38 @@ TEST(AsyncHuntDeterminismTest, KillAndResumeAcrossInflightDepths) {
     const HuntResult resumed = run_hunt(resume_config);
     EXPECT_FALSE(resumed.report.aborted);
     expect_identical(resumed, reference, /*compare_checkpoint=*/false);
+}
+
+TEST(AsyncHuntDeterminismTest, KillAndResumeAcrossSlabSizes) {
+    // A hunt killed mid-flight on one slab size and resumed on another
+    // (including slab off entirely) finishes byte-identical to an
+    // uninterrupted run: the slab holds no hunt state a checkpoint would
+    // need to carry.
+    HuntConfig reference_config;
+    reference_config.jobs = 2;
+    reference_config.inflight = 1;
+    const HuntResult reference = run_hunt(reference_config);
+
+    HuntConfig abort_config;
+    abort_config.jobs = 2;
+    abort_config.inflight = 8;
+    abort_config.replica_slab = 8;
+    abort_config.abort_after_generation = 3;
+    const HuntResult aborted = run_hunt(abort_config);
+    EXPECT_TRUE(aborted.report.aborted);
+    ASSERT_FALSE(aborted.last_checkpoint.empty());
+
+    for (const std::size_t slab : {std::size_t{0}, std::size_t{2}}) {
+        HuntConfig resume_config;
+        resume_config.jobs = 2;
+        resume_config.inflight = 4;
+        resume_config.replica_slab = slab;
+        resume_config.resume_blob = aborted.last_checkpoint;
+        const HuntResult resumed = run_hunt(resume_config);
+        SCOPED_TRACE("resume slab=" + std::to_string(slab));
+        EXPECT_FALSE(resumed.report.aborted);
+        expect_identical(resumed, reference, /*compare_checkpoint=*/false);
+    }
 }
 
 TEST(AsyncHuntDeterminismTest, EmulatedLatencyDoesNotChangeResults) {

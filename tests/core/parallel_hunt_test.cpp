@@ -2,6 +2,8 @@
 // hunt: one seed must produce a byte-identical hunt report at any worker
 // count, and the trip-point cache must cut live ATE measurements without
 // changing the hunt's outcome on a noiseless DUT.
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -102,6 +104,117 @@ TEST(ParallelHuntTest, CacheStatsSurfaceInReport) {
     EXPECT_NE(cached.rendered.find("trip cache:"), std::string::npos);
     const HuntResult uncached = run_hunt(2, false);
     EXPECT_EQ(uncached.rendered.find("trip cache:"), std::string::npos);
+}
+
+TEST(ParallelHuntTest, WarmSlabMatchesColdClonesAtAnySize) {
+    // The slab is a pure perf layer: forced cold clones (slab 0), an
+    // undersized slab (every lease a transient miss beyond slot 1), and
+    // the auto slab must render the same report from the same seed.
+    const auto run_with_slab = [](std::size_t slab) {
+        device::MemoryTestChip chip({}, noiseless());
+        ate::Tester tester(chip);
+        util::Rng rng(2005);
+        testgen::RandomGeneratorOptions generator;
+        generator.condition_bounds = testgen::ConditionBounds::fixed_nominal();
+        OptimizerOptions opts = parallel_options(4, true);
+        opts.parallel.replica_slab = slab;
+        const WorstCaseOptimizer optimizer(opts);
+        HuntResult result;
+        result.report = optimizer.run_unseeded(
+            tester, ate::Parameter::data_valid_time(), generator,
+            Objective::kDriftToMinimum, rng);
+        ReportInputs inputs;
+        inputs.seed = 2005;
+        inputs.hunt = &result.report;
+        result.rendered = render_report(inputs);
+        return result;
+    };
+    const HuntResult cold = run_with_slab(0);
+    const HuntResult tiny = run_with_slab(1);
+    const HuntResult automatic =
+        run_with_slab(HuntParallelOptions::kAutoSlab);
+
+    EXPECT_EQ(cold.rendered, tiny.rendered);
+    EXPECT_EQ(cold.rendered, automatic.rendered);
+    EXPECT_EQ(cold.report.slab.acquires, 0u);  // slab disabled: no leases
+    // Every lease was either a warm recycle or a cold rebuild (transient
+    // misses included); the pre-fill accounts for the extra cold clones.
+    EXPECT_GT(tiny.report.slab.acquires, 0u);
+    EXPECT_EQ(tiny.report.slab.recycles + tiny.report.slab.cold_clones,
+              tiny.report.slab.acquires + 1u);  // capacity-1 pre-fill
+    EXPECT_GT(automatic.report.slab.recycles, 0u);
+    EXPECT_EQ(automatic.report.slab.misses, 0u);
+}
+
+/// A chip that refuses replication: clone_cold returns nullptr (the
+/// DeviceUnderTest default), so every parallel/async/slab configuration
+/// must fall back to the classic serial in-situ hunt (optimizer.cpp's
+/// clone_cold gate). Delegates measurements to a real MemoryTestChip so
+/// the serial hunt itself is unchanged.
+class UnclonableChip : public device::DeviceUnderTest {
+public:
+    UnclonableChip(device::DieParameters die,
+                   device::MemoryChipOptions options)
+        : inner_(die, options) {}
+
+    [[nodiscard]] bool passes(const testgen::Test& test,
+                              device::ParameterKind parameter,
+                              double setting) override {
+        return inner_.passes(test, parameter, setting);
+    }
+    [[nodiscard]] device::FunctionalResult run_functional(
+        const testgen::Test& test) override {
+        return inner_.run_functional(test);
+    }
+    void settle() override { inner_.settle(); }
+
+private:
+    device::MemoryTestChip inner_;
+};
+
+TEST(ParallelHuntTest, UnclonableDutFallsBackToSerialUnderAsyncAndSlab) {
+    const auto run_on = [](device::DeviceUnderTest& chip,
+                           OptimizerOptions opts) {
+        ate::Tester tester(chip);
+        util::Rng rng(2005);
+        testgen::RandomGeneratorOptions generator;
+        generator.condition_bounds = testgen::ConditionBounds::fixed_nominal();
+        const WorstCaseOptimizer optimizer(opts);
+        HuntResult result;
+        result.report = optimizer.run_unseeded(
+            tester, ate::Parameter::data_valid_time(), generator,
+            Objective::kDriftToMinimum, rng);
+        ReportInputs inputs;
+        inputs.seed = 2005;
+        inputs.hunt = &result.report;
+        result.rendered = render_report(inputs);
+        result.applications = tester.log().total().applications;
+        return result;
+    };
+
+    device::MemoryTestChip serial_chip({}, noiseless());
+    OptimizerOptions serial_opts = parallel_options(1, true);
+    serial_opts.parallel.enabled = false;
+    const HuntResult serial = run_on(serial_chip, serial_opts);
+
+    // --jobs 4 --inflight 16 --replica-slab 8 on an unclonable DUT.
+    UnclonableChip async_chip({}, noiseless());
+    OptimizerOptions async_opts = parallel_options(4, true);
+    async_opts.parallel.inflight = 16;
+    async_opts.parallel.replica_slab = 8;
+    const HuntResult fallback = run_on(async_chip, async_opts);
+    EXPECT_EQ(fallback.report.jobs, 1u);
+    EXPECT_EQ(fallback.report.slab.acquires, 0u);
+    EXPECT_EQ(fallback.rendered, serial.rendered);
+    EXPECT_EQ(fallback.applications, serial.applications);
+
+    // Blocking replica configuration (inflight 1) falls back the same way.
+    UnclonableChip blocking_chip({}, noiseless());
+    OptimizerOptions blocking_opts = parallel_options(4, true);
+    blocking_opts.parallel.replica_slab = 8;
+    const HuntResult blocking = run_on(blocking_chip, blocking_opts);
+    EXPECT_EQ(blocking.report.jobs, 1u);
+    EXPECT_EQ(blocking.rendered, serial.rendered);
 }
 
 }  // namespace

@@ -1,0 +1,186 @@
+#include "core/replica_slab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ate/tester.hpp"
+#include "device/memory_chip.hpp"
+#include "testgen/march.hpp"
+
+namespace cichar::core {
+namespace {
+
+testgen::Test slab_test() {
+    testgen::TestPattern p("slab");
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        if (i % 2 == 0) {
+            p.write(i % 32, static_cast<std::uint16_t>(i));
+        } else {
+            p.read((i - 1) % 32);
+        }
+    }
+    return testgen::make_test(std::move(p));
+}
+
+/// A replicable chip whose clones refuse reset_warm (the DeviceUnderTest
+/// default) — exercises the slab's cold-rebuild fallback for DUTs
+/// without warm-reset support. Wraps a real MemoryTestChip because the
+/// concrete chip is final.
+class NoWarmChip : public device::DeviceUnderTest {
+public:
+    NoWarmChip(device::DieParameters die, device::MemoryChipOptions options)
+        : die_(die), options_(options), inner_(die, options) {}
+
+    [[nodiscard]] bool passes(const testgen::Test& test,
+                              device::ParameterKind parameter,
+                              double setting) override {
+        return inner_.passes(test, parameter, setting);
+    }
+    [[nodiscard]] device::FunctionalResult run_functional(
+        const testgen::Test& test) override {
+        return inner_.run_functional(test);
+    }
+    void settle() override { inner_.settle(); }
+
+    [[nodiscard]] std::unique_ptr<device::DeviceUnderTest> clone_cold(
+        std::uint64_t noise_seed) const override {
+        device::MemoryChipOptions options = options_;
+        options.seed = noise_seed;
+        return std::make_unique<NoWarmChip>(die_, options);
+    }
+
+private:
+    device::DieParameters die_;
+    device::MemoryChipOptions options_;
+    device::MemoryTestChip inner_;
+};
+
+TEST(ReplicaSlab, RecyclesPooledReplicasAcrossAcquires) {
+    device::MemoryTestChip chip({}, {});
+    ate::Tester source(chip);
+    ReplicaSlab slab(source, 2);
+
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        ReplicaSlab::Lease lease = slab.acquire(i + 1, /*inline_latency=*/true);
+        ASSERT_TRUE(lease);
+        (void)lease.tester().dut();
+    }
+    const ReplicaSlabStats stats = slab.stats();
+    EXPECT_EQ(stats.acquires, 10u);
+    EXPECT_EQ(stats.recycles, 10u);       // every lease reused a pooled slot
+    EXPECT_EQ(stats.cold_clones, 2u);     // only the pre-fill cloned
+    EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(ReplicaSlab, LeasedReplicaMeasuresIdenticallyToColdClone) {
+    device::MemoryChipOptions noisy;  // default options: noise on
+    device::MemoryTestChip chip({}, noisy);
+    ate::Tester source(chip);
+    ReplicaSlab slab(source, 1);
+    const testgen::Test t = slab_test();
+    const ate::Parameter tdq = ate::Parameter::data_valid_time();
+
+    const std::uint64_t seed = 0xFEED;
+    // Dirty the pooled slot first so the recycle has real state to clear.
+    {
+        ReplicaSlab::Lease dirty = slab.acquire(7, true);
+        for (int i = 0; i < 25; ++i) {
+            (void)dirty.tester().apply(t, tdq, 28.0 + 0.1 * i);
+        }
+        (void)dirty.tester().run_functional(t);
+    }
+
+    const auto cold_dut = chip.clone_cold(seed);
+    ate::Tester cold(*cold_dut, source.options());
+    ReplicaSlab::Lease lease = slab.acquire(seed, true);
+    EXPECT_EQ(slab.stats().recycles, 2u);
+    for (int i = 0; i < 40; ++i) {
+        const double setting = 26.0 + 0.15 * i;
+        ASSERT_EQ(lease.tester().apply(t, tdq, setting),
+                  cold.apply(t, tdq, setting))
+            << "measurement " << i << " diverged from a cold clone";
+    }
+    EXPECT_EQ(lease.tester().log().total().applications,
+              cold.log().total().applications);
+}
+
+TEST(ReplicaSlab, ExhaustedFreeListFallsBackToTransientClone) {
+    device::MemoryTestChip chip({}, {});
+    ate::Tester source(chip);
+    ReplicaSlab slab(source, 1);
+
+    ReplicaSlab::Lease first = slab.acquire(1, true);
+    ReplicaSlab::Lease second = slab.acquire(2, true);  // free list empty
+    ASSERT_TRUE(first);
+    ASSERT_TRUE(second);
+    (void)second.tester().dut();  // transient lease is fully usable
+    EXPECT_EQ(slab.stats().misses, 1u);
+
+    first.reset();
+    second.reset();
+    ReplicaSlab::Lease third = slab.acquire(3, true);  // pooled slot back
+    ASSERT_TRUE(third);
+    EXPECT_EQ(slab.stats().misses, 1u);
+}
+
+TEST(ReplicaSlab, ResetWarmUnsupportedFallsBackToColdRebuilds) {
+    NoWarmChip chip({}, {});
+    ate::Tester source(chip);
+    ReplicaSlab slab(source, 1);
+
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        ReplicaSlab::Lease lease = slab.acquire(i + 1, true);
+        ASSERT_TRUE(lease);
+    }
+    const ReplicaSlabStats stats = slab.stats();
+    EXPECT_EQ(stats.recycles, 0u);
+    EXPECT_EQ(stats.cold_clones, 6u);  // pre-fill + one rebuild per lease
+    EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(ReplicaSlab, LatencyFlavorFollowsTheLease) {
+    device::MemoryTestChip chip({}, {});
+    ate::TesterOptions realtime;
+    realtime.realtime_fraction = 0.25;
+    ate::Tester source(chip, realtime);
+    ReplicaSlab slab(source, 1);
+
+    {
+        ReplicaSlab::Lease inline_lease = slab.acquire(1, true);
+        EXPECT_EQ(inline_lease.tester().options().realtime_fraction, 0.25);
+    }
+    {
+        // Async flavor: the completion deadline carries the latency, the
+        // replica tester must not sleep it again.
+        ReplicaSlab::Lease deadline_lease = slab.acquire(2, false);
+        EXPECT_EQ(deadline_lease.tester().options().realtime_fraction, 0.0);
+    }
+    {
+        ReplicaSlab::Lease back = slab.acquire(3, true);
+        EXPECT_EQ(back.tester().options().realtime_fraction, 0.25);
+    }
+}
+
+TEST(ReplicaSlab, LeaseStartsWithEmptyLedgerAndNoInjector) {
+    device::MemoryTestChip chip({}, {});
+    ate::Tester source(chip);
+    ReplicaSlab slab(source, 1);
+    const testgen::Test t = slab_test();
+    const ate::Parameter tdq = ate::Parameter::data_valid_time();
+
+    {
+        ReplicaSlab::Lease lease = slab.acquire(1, true);
+        for (int i = 0; i < 10; ++i) {
+            (void)lease.tester().apply(t, tdq, 30.0);
+        }
+        EXPECT_GT(lease.tester().log().total().applications, 0u);
+    }
+    ReplicaSlab::Lease fresh = slab.acquire(2, true);
+    EXPECT_EQ(fresh.tester().log().total().applications, 0u);
+}
+
+}  // namespace
+}  // namespace cichar::core

@@ -266,6 +266,76 @@ TEST(MemoryChipTest, SaveLoadStatePreservesArrayContents) {
               chip.run_functional(t).miscompares);
 }
 
+// reset_warm contract: after reset_warm(seed), a recycled chip must be
+// observably identical to clone_cold(seed) — same measurement sequence,
+// same save_state blob — even when the previous lease dirtied the heat,
+// the noise stream, and the memory array.
+TEST(MemoryChipTest, ResetWarmMatchesColdCloneMeasurements) {
+    MemoryChipOptions opts;  // noisy, with drift: the hard case
+    opts.enable_drift = true;
+    MemoryTestChip chip({}, opts);
+    const testgen::Test t = simple_test();
+    // Dirty everything a lease could dirty: noise stream, heat, array.
+    for (int i = 0; i < 20; ++i) {
+        (void)chip.passes(t, ParameterKind::kDataValidTime, 30.0);
+    }
+    (void)chip.run_functional(t);
+
+    const std::uint64_t seed = 0xD1E5EED;
+    const auto cold = chip.clone_cold(seed);
+    ASSERT_NE(cold, nullptr);
+    ASSERT_TRUE(chip.reset_warm(seed));
+    for (int i = 0; i < 60; ++i) {
+        // A ladder of settings around the trip region: with noise and
+        // drift live, identical verdict sequences mean identical noise
+        // streams and identical heat history.
+        const double setting = 26.0 + 0.12 * i;
+        ASSERT_EQ(chip.passes(t, ParameterKind::kDataValidTime, setting),
+                  cold->passes(t, ParameterKind::kDataValidTime, setting))
+            << "measurement " << i << " diverged from the cold clone";
+    }
+    EXPECT_EQ(chip.run_functional(t).miscompares,
+              cold->run_functional(t).miscompares);
+}
+
+TEST(MemoryChipTest, ResetWarmMatchesColdCloneStateBlob) {
+    MemoryTestChip chip({}, noiseless());
+    const testgen::Test t = simple_test();
+    (void)chip.run_functional(t);  // leaves data in the array
+    (void)chip.passes(t, ParameterKind::kMaxFrequency, 100.0);
+
+    const std::uint64_t seed = 42;
+    const auto cold = chip.clone_cold(seed);
+    ASSERT_NE(cold, nullptr);
+    ASSERT_TRUE(chip.reset_warm(seed));
+    std::string warm_blob;
+    std::string cold_blob;
+    ASSERT_TRUE(chip.save_state(warm_blob));
+    ASSERT_TRUE(cold->save_state(cold_blob));
+    EXPECT_EQ(warm_blob, cold_blob);
+}
+
+TEST(MemoryChipTest, ResetWarmAfterLoadStateClearsRestoredArray) {
+    // load_state may hand the chip a dirty array; a later reset_warm must
+    // still wipe it (the dirty flag cannot assume a clean history).
+    MemoryTestChip chip({}, noiseless());
+    const testgen::Test t = simple_test();
+    (void)chip.run_functional(t);
+    std::string blob;
+    ASSERT_TRUE(chip.save_state(blob));
+
+    MemoryTestChip restored({}, noiseless());
+    util::ByteReader reader(blob);
+    ASSERT_TRUE(restored.load_state(reader));
+    ASSERT_TRUE(restored.reset_warm(7));
+    std::string warm_blob;
+    std::string fresh_blob;
+    ASSERT_TRUE(restored.save_state(warm_blob));
+    const auto fresh = chip.clone_cold(7);
+    ASSERT_TRUE(fresh->save_state(fresh_blob));
+    EXPECT_EQ(warm_blob, fresh_blob);
+}
+
 TEST(MemoryChipTest, LoadStateRejectsTruncatedBlob) {
     MemoryTestChip chip({}, noiseless());
     std::string blob;

@@ -1,0 +1,137 @@
+// Lot-wide replica hunts through the shared measurement ring: switching
+// a lot from classic serial in-situ site hunts (inflight 0) to replica
+// evaluation (inflight >= 1) is fingerprinted, but *within* replica mode
+// every inflight x jobs x slab x ring-sharing configuration must render
+// a byte-identical LotReport and measurement ledger — including a lot
+// killed mid-run and resumed under a different ring depth.
+#include "lot/lot_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lot/lot_report.hpp"
+
+namespace cichar::lot {
+namespace {
+
+LotOptions replica_lot(std::size_t sites, std::size_t jobs,
+                       std::size_t inflight) {
+    LotOptions options;
+    options.sites = sites;
+    options.jobs = jobs;
+    options.inflight = inflight;
+    options.seed = 77;
+    options.characterizer.generator.condition_bounds =
+        testgen::ConditionBounds::fixed_nominal();
+    options.characterizer.learner.training_tests = 24;
+    options.characterizer.learner.max_rounds = 1;
+    options.characterizer.learner.committee.members = 2;
+    options.characterizer.learner.committee.hidden_layers = {8};
+    options.characterizer.learner.committee.train.max_epochs = 40;
+    options.characterizer.optimizer.ga.population.size = 8;
+    options.characterizer.optimizer.ga.populations = 2;
+    options.characterizer.optimizer.ga.max_generations = 4;
+    options.characterizer.optimizer.nn_candidates = 80;
+    options.characterizer.optimizer.nn_seed_count = 4;
+    return options;
+}
+
+struct LotRun {
+    std::string report;
+    std::string ledger;
+};
+
+LotRun run_lot(const LotOptions& options) {
+    const LotResult result = LotRunner(options).run();
+    LotRun run;
+    run.report = LotReport::build(result).render();
+    run.ledger = result.merged_log.report();
+    return run;
+}
+
+TEST(LotReplicaTest, ReportByteIdenticalAcrossDepthJobsSlabAndSharing) {
+    // Blocking replicas on one worker: the reference discipline.
+    const LotRun reference = run_lot(replica_lot(3, 1, 1));
+
+    struct Config {
+        std::size_t jobs;
+        std::size_t inflight;
+        std::size_t slab;
+        bool shared;
+    };
+    const Config configs[] = {
+        {1, 16, core::HuntParallelOptions::kAutoSlab, true},
+        {4, 16, core::HuntParallelOptions::kAutoSlab, true},
+        {4, 16, core::HuntParallelOptions::kAutoSlab, false},  // ablation
+        {4, 16, 0, true},  // cold clones through the shared ring
+        {2, 4, 8, true},
+        {4, 1, 2, true},  // blocking replicas on four workers
+    };
+    for (const Config& config : configs) {
+        LotOptions options = replica_lot(3, config.jobs, config.inflight);
+        options.replica_slab = config.slab;
+        options.shared_ring = config.shared;
+        SCOPED_TRACE("jobs=" + std::to_string(config.jobs) +
+                     " inflight=" + std::to_string(config.inflight) +
+                     " slab=" + std::to_string(config.slab) +
+                     " shared=" + std::to_string(config.shared));
+        const LotRun run = run_lot(options);
+        EXPECT_EQ(run.report, reference.report);
+        EXPECT_EQ(run.ledger, reference.ledger);
+    }
+}
+
+TEST(LotReplicaTest, StopAndGoResumeAcrossRingDepths) {
+    // Kill after two sites under a deep shared ring, resume with blocking
+    // replicas: the checkpoint carries no ring or slab state, so the
+    // fused lot must match an uninterrupted run at yet another depth.
+    const LotRun reference = run_lot(replica_lot(4, 2, 8));
+
+    LotOptions first_leg = replica_lot(4, 2, 16);
+    first_leg.checkpoint.max_sites_per_run = 2;
+    std::string checkpoint;
+    first_leg.checkpoint.save = [&checkpoint](const std::string& blob) {
+        checkpoint = blob;
+    };
+    const LotResult partial = LotRunner(first_leg).run();
+    EXPECT_FALSE(partial.complete());
+    ASSERT_FALSE(checkpoint.empty());
+
+    LotOptions second_leg = replica_lot(4, 2, 1);
+    second_leg.checkpoint.resume_blob = checkpoint;
+    const LotResult fused = LotRunner(second_leg).run();
+    ASSERT_TRUE(fused.complete());
+    EXPECT_EQ(LotReport::build(fused).render(), reference.report);
+    EXPECT_EQ(fused.merged_log.report(), reference.ledger);
+}
+
+TEST(LotReplicaTest, FingerprintSeparatesReplicaFromClassicOnly) {
+    // The 0 -> >=1 switch changes the measurement discipline and must be
+    // fingerprinted; depth, slab size, and ring sharing are perf knobs
+    // and must not be (a checkpoint resumes across all of them).
+    const std::string classic = LotRunner(replica_lot(3, 1, 0)).fingerprint();
+    const std::string replica = LotRunner(replica_lot(3, 1, 1)).fingerprint();
+    EXPECT_NE(classic, replica);
+    // Pre-replica checkpoints stay valid: the classic fingerprint does
+    // not mention the replica bit at all.
+    EXPECT_EQ(classic.find("replica"), std::string::npos);
+
+    LotOptions deep = replica_lot(3, 4, 16);
+    deep.replica_slab = 0;
+    deep.shared_ring = false;
+    EXPECT_EQ(LotRunner(deep).fingerprint(), replica);
+}
+
+TEST(LotReplicaTest, ClassicLotDiffersFromReplicaLot) {
+    // inflight 0 keeps the pre-replica serial in-situ discipline; its
+    // results are expected to differ from replica hunts (same contract
+    // as --jobs on a single hunt). This pins the mode switch as a real
+    // discipline change rather than a silent default flip.
+    const LotRun classic = run_lot(replica_lot(2, 1, 0));
+    const LotRun replica = run_lot(replica_lot(2, 1, 1));
+    EXPECT_NE(classic.report, replica.report);
+}
+
+}  // namespace
+}  // namespace cichar::lot

@@ -21,10 +21,15 @@
 //   cichar screen --db FILE [--limit L] [--lot N] [--seed N]
 //       compile a production program from a saved worst-case database and
 //       screen a lot of sampled dies
-//   cichar lot [--sites N] [--jobs J] [--seed N] [--params tdq|all]
-//              [--tests N] [--generations G] [--report FILE]
+//   cichar lot [--sites N] [--jobs J] [--inflight D] [--seed N]
+//              [--params tdq|all] [--tests N] [--generations G]
+//              [--report FILE]
 //       multi-site lot characterization: full campaign per sampled die,
-//       sites run in parallel, lot-level aggregation + fused spec
+//       sites run in parallel, lot-level aggregation + fused spec;
+//       --inflight D > 0 runs every site hunt on warm replicas and pools
+//       the in-flight budget lot-wide through one shared measurement
+//       ring (idle sites donate depth to busy ones; byte-identical at
+//       any D >= 1 x jobs x slab size)
 //   cichar pattern --march NAME --out FILE | --info FILE
 //       export deterministic patterns as ATE vector files / inspect one
 #include <cstdio>
@@ -73,8 +78,8 @@ int usage() {
         "  cichar selftest\n"
         "  cichar hunt [--seed N] [--coding fuzzy|numeric]\n"
         "              [--generations G] [--populations P]\n"
-        "              [--jobs J] [--inflight D] [--batch B] [--cache on|off]\n"
-        "              [--cache-file FILE]\n"
+        "              [--jobs J] [--inflight D] [--replica-slab N|auto]\n"
+        "              [--batch B] [--cache on|off] [--cache-file FILE]\n"
         "              [--fault-profile SPEC] [--policy on|off]\n"
         "              [--checkpoint FILE] [--resume FILE]\n"
         "              [--abort-after-generation N]\n"
@@ -83,6 +88,8 @@ int usage() {
         "  cichar screen --db FILE [--limit L] [--lot N] [--seed N]\n"
         "  cichar campaign [--seed N] [--tests N] [--generations G]\n"
         "  cichar lot [--sites N] [--jobs J] [--seed N] [--params tdq|all]\n"
+        "             [--inflight D] [--shared-ring on|off]\n"
+        "             [--replica-slab N|auto]\n"
         "             [--tests N] [--generations G] [--report FILE]\n"
         "             [--fault-profile SPEC] [--policy on|off]\n"
         "             [--checkpoint FILE] [--resume FILE] [--max-sites N]\n"
@@ -90,6 +97,11 @@ int usage() {
         "             [--shards N [--shard-dir DIR] [--max-attempts N]\n"
         "              [--heartbeat-timeout S] [--max-parallel N]\n"
         "              [--kill-shard K]]\n"
+        "      --inflight D pools D lot-wide in-flight trip searches\n"
+        "      across sites (replica hunts, byte-identical at any D >= 1;\n"
+        "      0 = classic serial in-situ hunts); --shared-ring off gives\n"
+        "      each site a private ring instead (ablation);\n"
+        "      --replica-slab sizes the per-hunt warm replica pool.\n"
         "      --site-range A:B characterizes only sites [A, B) (a shard\n"
         "      worker; persist with --checkpoint, fuse with merge).\n"
         "      --shards N partitions the lot across N worker processes,\n"
@@ -242,6 +254,14 @@ int cmd_hunt(const Args& args) {
     const auto inflight = static_cast<std::size_t>(args.get_u64("inflight", 1));
     options.optimizer.parallel.inflight = inflight;
     if (inflight > 1) options.optimizer.parallel.enabled = true;
+    // --replica-slab N: warm replica pool for the parallel hunt ("auto"
+    // sizes it jobs x inflight; 0 forces a cold clone per fitness slot).
+    // Pure throughput knob — results, checkpoints, and caches are
+    // byte-identical at any size, so it never enters the fingerprint.
+    if (args.has("replica-slab") && args.get("replica-slab") != "auto") {
+        options.optimizer.parallel.replica_slab =
+            static_cast<std::size_t>(args.get_u64("replica-slab", 0));
+    }
     // --batch B: candidates per batched committee pass during NN seeding
     // (throughput knob only; suggestions are identical at any B).
     options.optimizer.nn_score_batch =
@@ -535,6 +555,12 @@ int cmd_campaign(const Args& args) {
 struct LotConfig {
     std::size_t sites = 8;
     std::size_t jobs = 1;
+    /// Lot-wide in-flight trip searches (0 = classic serial in-situ site
+    /// hunts). Shapes the fingerprint on/off, so shard workers must
+    /// receive it verbatim.
+    std::size_t inflight = 0;
+    bool shared_ring = true;
+    std::size_t replica_slab = core::HuntParallelOptions::kAutoSlab;
     std::uint64_t seed = 2005;
     std::size_t tests = 80;
     std::size_t generations = 15;
@@ -549,6 +575,12 @@ LotConfig lot_config_from_args(const Args& args,
     LotConfig config;
     config.sites = static_cast<std::size_t>(args.get_u64("sites", 8));
     config.jobs = static_cast<std::size_t>(args.get_u64("jobs", 1));
+    config.inflight = static_cast<std::size_t>(args.get_u64("inflight", 0));
+    config.shared_ring = args.get("shared-ring", "on") != "off";
+    if (args.has("replica-slab") && args.get("replica-slab") != "auto") {
+        config.replica_slab =
+            static_cast<std::size_t>(args.get_u64("replica-slab", 0));
+    }
     config.seed = args.get_u64("seed", 2005);
     config.tests = static_cast<std::size_t>(args.get_u64("tests", 80));
     config.generations =
@@ -566,6 +598,9 @@ lot::LotOptions make_lot_options(const LotConfig& config) {
     lot::LotOptions options;
     options.sites = config.sites;
     options.jobs = config.jobs;
+    options.inflight = config.inflight;
+    options.shared_ring = config.shared_ring;
+    options.replica_slab = config.replica_slab;
     options.seed = config.seed;
     options.characterizer = default_options();
     options.characterizer.learner.training_tests = config.tests;
@@ -593,9 +628,18 @@ std::vector<std::string> worker_args_for(const LotConfig& config) {
     std::vector<std::string> argv = {
         "--sites",       std::to_string(config.sites),
         "--jobs",        std::to_string(config.jobs),
+        "--inflight",    std::to_string(config.inflight),
         "--seed",        std::to_string(config.seed),
         "--tests",       std::to_string(config.tests),
         "--generations", std::to_string(config.generations)};
+    if (!config.shared_ring) {
+        argv.emplace_back("--shared-ring");
+        argv.emplace_back("off");
+    }
+    if (config.replica_slab != core::HuntParallelOptions::kAutoSlab) {
+        argv.emplace_back("--replica-slab");
+        argv.emplace_back(std::to_string(config.replica_slab));
+    }
     if (config.params_all) {
         argv.emplace_back("--params");
         argv.emplace_back("all");
