@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "util/binio.hpp"
+#include "util/crash_point.hpp"
 
 namespace cichar::core {
 
@@ -57,8 +58,11 @@ std::optional<std::string> peek_checkpoint_fingerprint(
 bool write_checkpoint_file(const std::string& path,
                            std::string_view fingerprint,
                            std::string_view payload) {
-    return util::atomic_write_file(path,
-                                   encode_checkpoint(fingerprint, payload));
+    CICHAR_CRASH_POINT("core.checkpoint.pre_write");
+    const bool ok = util::atomic_write_file(
+        path, encode_checkpoint(fingerprint, payload));
+    CICHAR_CRASH_POINT("core.checkpoint.post_write");
+    return ok;
 }
 
 std::optional<std::string> read_checkpoint_file(const std::string& path,

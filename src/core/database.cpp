@@ -92,7 +92,13 @@ testgen::TestConditions read_conditions(std::istream& in) {
 }  // namespace
 
 void WorstCaseDatabase::add(WorstCaseEntry entry) {
-    const auto pos = std::lower_bound(
+    // Insert *after* existing entries of equal WCR (upper_bound): ties
+    // keep arrival order, so save() -> load() -> add()-in-file-order
+    // reproduces the exact sequence. With a before-ties insert, every
+    // checkpoint round trip reversed each tied group and a resumed hunt
+    // rendered a different (same-content, different-order) database
+    // than an uninterrupted one.
+    const auto pos = std::upper_bound(
         entries_.begin(), entries_.end(), entry,
         [](const WorstCaseEntry& a, const WorstCaseEntry& b) {
             return a.wcr > b.wcr;

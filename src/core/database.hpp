@@ -23,6 +23,8 @@ struct WorstCaseEntry {
     double trip_point = 0.0;
     double wcr = 0.0;
     ga::WcrClass wcr_class = ga::WcrClass::kPass;
+
+    [[nodiscard]] bool operator==(const WorstCaseEntry&) const = default;
 };
 
 /// One stored functional failure (kept separate per the paper).
@@ -32,6 +34,9 @@ struct FunctionalFailureRecord {
     testgen::TestConditions conditions;
     std::size_t miscompares = 0;
     std::size_t first_fail_cycle = 0;
+
+    [[nodiscard]] bool operator==(const FunctionalFailureRecord&) const =
+        default;
 };
 
 class WorstCaseDatabase {

@@ -12,6 +12,7 @@
 
 #include "ate/async_tester.hpp"
 #include "ate/search_task.hpp"
+#include "util/crash_point.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
@@ -374,6 +375,7 @@ WorstCaseReport WorstCaseOptimizer::drive(
             if (options_.checkpoint.save &&
                 (abort || ck.next_generation % every == 0)) {
                 options_.checkpoint.save(serialize_state(ck));
+                CICHAR_CRASH_POINT("core.optimizer.post_checkpoint");
             }
             if (abort) {
                 // Deterministic stand-in for SIGKILL: stop mid-hunt with

@@ -200,7 +200,11 @@ bool SpoolCoordinator::step(Stats& stats) {
         } catch (const std::exception& e) {
             file_text((root / "failed" / (stem + ".err")).string(),
                       std::string(e.what()) + "\n");
-            fs::remove(entry.path(), ec);
+            if (!fs::remove(entry.path(), ec) && ec) {
+                ++stats.fs_errors;
+                util::log_warn("spool: cannot remove malformed " + stem +
+                               ": " + ec.message());
+            }
             ++stats.failed;
             util::log_warn("spool: request " + stem + " malformed: " +
                            e.what());
@@ -229,7 +233,11 @@ bool SpoolCoordinator::step(Stats& stats) {
                   "admission control: queue holds " +
                       std::to_string(queue.size()) + " requests, limit is " +
                       std::to_string(options_.max_queue) + "\n");
-        fs::remove(shed.path, ec);
+        if (!fs::remove(shed.path, ec) && ec) {
+            ++stats.fs_errors;
+            util::log_warn("spool: cannot remove shed " + shed.stem + ": " +
+                           ec.message());
+        }
         ++stats.rejected;
         acted = true;
         util::log_warn("spool: rejected " + shed.stem +
@@ -249,7 +257,16 @@ bool SpoolCoordinator::step(Stats& stats) {
     const fs::path active = root / "active" / (next.stem + ".req");
     fs::rename(next.path, active, ec);
     if (ec) {
-        // Another process claimed it (or the file vanished); not an error.
+        if (ec == std::errc::no_such_file_or_directory) {
+            // Another process claimed it; not an error.
+            return acted;
+        }
+        // Any other rename failure (permissions, disk, cross-device
+        // spool root) would silently re-poll the same request forever —
+        // surface it instead.
+        ++stats.fs_errors;
+        util::log_warn("spool: cannot claim " + next.stem + ": " +
+                       ec.message());
         return acted;
     }
     util::log_info("spool: executing " + next.stem + " (priority " +
@@ -284,7 +301,13 @@ bool SpoolCoordinator::step(Stats& stats) {
             failed.add();
         }
     }
-    fs::remove(active, ec);
+    if (!fs::remove(active, ec) && ec) {
+        // A stuck active file shadows the stem forever (re-submissions
+        // of the same name would collide) — loud, not silent.
+        ++stats.fs_errors;
+        util::log_warn("spool: cannot clear active " + next.stem + ": " +
+                       ec.message());
+    }
     return true;
 }
 

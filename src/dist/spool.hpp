@@ -77,6 +77,11 @@ public:
         std::uint64_t executed = 0;
         std::uint64_t failed = 0;    ///< parse or executor failures
         std::uint64_t rejected = 0;  ///< admission control
+        /// Filesystem operations (claim rename, cleanup removes) that
+        /// failed for a reason other than the benign lost-claim race;
+        /// each is also logged. Non-zero means the spool directories
+        /// need operator attention (permissions, disk).
+        std::uint64_t fs_errors = 0;
     };
 
     /// Serves the spool until drained (`drain`), the request cap is hit,

@@ -11,6 +11,7 @@
 #include "ate/async_tester.hpp"
 #include "core/checkpoint.hpp"
 #include "util/binio.hpp"
+#include "util/crash_point.hpp"
 #include "util/log.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
@@ -344,6 +345,7 @@ LotResult LotRunner::run() const {
                 }
                 options_.checkpoint.save(core::encode_checkpoint(
                     fingerprint(), encode_finished_sites(snapshot)));
+                CICHAR_CRASH_POINT("lot.runner.post_site_checkpoint");
             }
         }
         const std::size_t done = progress.tick();

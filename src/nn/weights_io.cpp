@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/binio.hpp"
 #include "util/csv.hpp"
 
 namespace cichar::nn {
@@ -158,9 +159,13 @@ VotingCommittee load_committee(std::istream& in) {
 
 void save_committee_file(const std::string& path,
                          const VotingCommittee& committee) {
-    std::ofstream out(path);
-    if (!out) throw std::ios_base::failure("cannot open for write: " + path);
+    std::ostringstream out;
     save_committee(out, committee);
+    // Atomic publish: a crash mid-save must never tear a committee a
+    // later session would try to load.
+    if (!util::atomic_write_file(path, out.str())) {
+        throw std::ios_base::failure("cannot write committee: " + path);
+    }
 }
 
 VotingCommittee load_committee_file(const std::string& path) {

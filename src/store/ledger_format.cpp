@@ -1,0 +1,201 @@
+#include "store/ledger_format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/binio.hpp"
+
+namespace cichar::store {
+namespace {
+
+std::uint32_t read_u32(std::string_view data, std::size_t pos) noexcept {
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        value |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(data[pos + i]))
+                 << (8 * i);
+    }
+    return value;
+}
+
+std::uint64_t read_u64(std::string_view data, std::size_t pos) noexcept {
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(data[pos + i]))
+                 << (8 * i);
+    }
+    return value;
+}
+
+/// The 4 magic bytes as they appear in the file (little-endian u32).
+std::string record_magic_bytes() {
+    std::string m;
+    util::put_u32(m, kRecordMagic);
+    return m;
+}
+
+}  // namespace
+
+const char* to_string(RecordType type) noexcept {
+    switch (type) {
+        case RecordType::kCampaignBegin: return "campaign-begin";
+        case RecordType::kMeasurementSummary: return "measurement-summary";
+        case RecordType::kTripRecord: return "trip-record";
+        case RecordType::kWorstCaseEntry: return "worst-case-entry";
+        case RecordType::kSnapshotRef: return "snapshot-ref";
+        case RecordType::kCampaignEnd: return "campaign-end";
+    }
+    return "?";
+}
+
+bool is_valid_record_type(std::uint32_t raw) noexcept {
+    return raw >= static_cast<std::uint32_t>(RecordType::kCampaignBegin) &&
+           raw <= static_cast<std::uint32_t>(RecordType::kCampaignEnd);
+}
+
+bool record_less(const LedgerRecord& a, const LedgerRecord& b) noexcept {
+    if (a.campaign != b.campaign) return a.campaign < b.campaign;
+    if (a.sequence != b.sequence) return a.sequence < b.sequence;
+    if (a.type != b.type) return a.type < b.type;
+    return a.payload < b.payload;
+}
+
+std::string encode_segment_header(std::uint64_t segment_index) {
+    std::string out;
+    out.reserve(kSegmentHeaderSize);
+    out.append(kSegmentMagic);
+    util::put_u32(out, kLedgerVersion);
+    util::put_u64(out, segment_index);
+    return out;
+}
+
+void encode_record(std::string& out, const LedgerRecord& record) {
+    util::put_u32(out, kRecordMagic);
+    const std::size_t body_start = out.size();
+    util::put_u32(out, static_cast<std::uint32_t>(record.type));
+    util::put_u64(out, record.campaign);
+    util::put_u64(out, record.sequence);
+    util::put_u64(out, record.payload.size());
+    out.append(record.payload);
+    const std::string_view body(out.data() + body_start,
+                                out.size() - body_start);
+    util::put_u64(out, util::checksum64(body));
+}
+
+SegmentScan scan_segment(std::string_view contents) {
+    SegmentScan scan;
+    if (contents.size() < kSegmentHeaderSize ||
+        contents.substr(0, kSegmentMagic.size()) != kSegmentMagic ||
+        read_u32(contents, kSegmentMagic.size()) != kLedgerVersion) {
+        // Unrecognizable header: the whole file is one torn span.
+        scan.torn_bytes = contents.size();
+        return scan;
+    }
+    scan.header_ok = true;
+    scan.segment_index = read_u64(contents, kSegmentMagic.size() + 4);
+    scan.valid_prefix = kSegmentHeaderSize;
+
+    const std::string magic = record_magic_bytes();
+    std::size_t pos = kSegmentHeaderSize;
+    std::size_t bad_start = std::string_view::npos;  // open corrupt span
+
+    const auto finish_with_tail = [&]() {
+        // Everything after the last valid record — an open corrupt span
+        // included — runs to end-of-file, so it is a torn tail, not a
+        // quarantinable middle.
+        scan.torn_bytes = contents.size() - scan.valid_prefix;
+    };
+
+    while (pos < contents.size()) {
+        const std::size_t remaining = contents.size() - pos;
+        bool bad = false;
+        if (remaining < kRecordHeaderSize) {
+            finish_with_tail();
+            return scan;
+        }
+        if (read_u32(contents, pos) != kRecordMagic) {
+            bad = true;
+        } else {
+            const std::uint32_t raw_type = read_u32(contents, pos + 4);
+            const std::uint64_t payload_size = read_u64(contents, pos + 24);
+            if (!is_valid_record_type(raw_type) ||
+                payload_size > kMaxRecordPayload) {
+                bad = true;
+            } else if (remaining <
+                       kRecordHeaderSize + payload_size + 8) {
+                // Well-formed header whose frame runs off the end. The
+                // classic torn group commit — unless the length field
+                // itself is the corrupt byte and valid records still
+                // follow, so resynchronize like any other bad record;
+                // when no later record parses this still ends as a tail.
+                bad = true;
+            } else {
+                const std::string_view body =
+                    contents.substr(pos + 4, 28 + payload_size);
+                const std::uint64_t stored = read_u64(
+                    contents,
+                    pos + kRecordHeaderSize +
+                        static_cast<std::size_t>(payload_size));
+                if (stored != util::checksum64(body)) {
+                    bad = true;
+                } else {
+                    if (bad_start != std::string_view::npos) {
+                        scan.corrupt_bytes += pos - bad_start;
+                        ++scan.corrupt_spans;
+                        bad_start = std::string_view::npos;
+                    }
+                    LedgerRecord record;
+                    record.type = static_cast<RecordType>(raw_type);
+                    record.campaign = read_u64(contents, pos + 8);
+                    record.sequence = read_u64(contents, pos + 16);
+                    record.payload = std::string(contents.substr(
+                        pos + kRecordHeaderSize,
+                        static_cast<std::size_t>(payload_size)));
+                    scan.records.push_back(std::move(record));
+                    pos += kRecordHeaderSize +
+                           static_cast<std::size_t>(payload_size) + 8;
+                    scan.valid_prefix = pos;
+                }
+            }
+        }
+        if (bad) {
+            if (bad_start == std::string_view::npos) bad_start = pos;
+            // Resynchronize on the next record magic; a flipped length
+            // or type only loses one record, not the segment.
+            const std::size_t next = contents.find(magic, pos + 1);
+            if (next == std::string_view::npos) {
+                finish_with_tail();
+                return scan;
+            }
+            pos = next;
+        }
+    }
+    if (bad_start != std::string_view::npos) {
+        finish_with_tail();
+    }
+    return scan;
+}
+
+std::string segment_file_name(std::uint64_t segment_index) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "seg-%06llu.ledg",
+                  static_cast<unsigned long long>(segment_index));
+    return buffer;
+}
+
+std::optional<std::uint64_t> parse_segment_file_name(std::string_view name) {
+    if (name.size() != 15 || name.substr(0, 4) != "seg-" ||
+        name.substr(10) != ".ledg") {
+        return std::nullopt;
+    }
+    std::uint64_t index = 0;
+    for (std::size_t i = 4; i < 10; ++i) {
+        const char c = name[i];
+        if (c < '0' || c > '9') return std::nullopt;
+        index = index * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return index;
+}
+
+}  // namespace cichar::store

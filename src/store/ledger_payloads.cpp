@@ -1,0 +1,188 @@
+#include "store/ledger_payloads.hpp"
+
+#include <stdexcept>
+
+#include "util/binio.hpp"
+
+namespace cichar::store {
+namespace {
+
+void require_end(const util::ByteReader& in, const char* what) {
+    if (!in.at_end()) {
+        throw std::runtime_error(std::string("ledger payload: trailing bytes "
+                                             "after ") +
+                                 what);
+    }
+}
+
+void put_recipe(std::string& out, const testgen::PatternRecipe& recipe) {
+    util::put_u32(out, recipe.cycles);
+    util::put_double(out, recipe.write_fraction);
+    util::put_double(out, recipe.nop_fraction);
+    util::put_double(out, recipe.burst_length);
+    util::put_double(out, recipe.row_locality);
+    util::put_double(out, recipe.bank_conflict_bias);
+    util::put_double(out, recipe.alternating_data_bias);
+    util::put_double(out, recipe.solid_data_bias);
+    util::put_double(out, recipe.toggle_bias);
+    util::put_double(out, recipe.control_activity);
+    util::put_u64(out, recipe.seed);
+}
+
+testgen::PatternRecipe get_recipe(util::ByteReader& in) {
+    testgen::PatternRecipe recipe;
+    recipe.cycles = in.get_u32();
+    recipe.write_fraction = in.get_double();
+    recipe.nop_fraction = in.get_double();
+    recipe.burst_length = in.get_double();
+    recipe.row_locality = in.get_double();
+    recipe.bank_conflict_bias = in.get_double();
+    recipe.alternating_data_bias = in.get_double();
+    recipe.solid_data_bias = in.get_double();
+    recipe.toggle_bias = in.get_double();
+    recipe.control_activity = in.get_double();
+    recipe.seed = in.get_u64();
+    return recipe;
+}
+
+void put_conditions(std::string& out, const testgen::TestConditions& c) {
+    util::put_double(out, c.vdd_volts);
+    util::put_double(out, c.temperature_c);
+    util::put_double(out, c.clock_period_ns);
+    util::put_double(out, c.output_load_pf);
+}
+
+testgen::TestConditions get_conditions(util::ByteReader& in) {
+    testgen::TestConditions c;
+    c.vdd_volts = in.get_double();
+    c.temperature_c = in.get_double();
+    c.clock_period_ns = in.get_double();
+    c.output_load_pf = in.get_double();
+    return c;
+}
+
+ga::WcrClass get_wcr_class(util::ByteReader& in) {
+    const std::uint64_t raw = in.get_u64();
+    if (raw > static_cast<std::uint64_t>(ga::WcrClass::kFail)) {
+        throw std::runtime_error("ledger payload: bad wcr class");
+    }
+    return static_cast<ga::WcrClass>(raw);
+}
+
+}  // namespace
+
+std::string encode_campaign_begin(const CampaignBeginPayload& payload) {
+    std::string out;
+    util::put_string(out, payload.fingerprint);
+    util::put_u64(out, payload.seed);
+    return out;
+}
+
+CampaignBeginPayload decode_campaign_begin(const std::string& payload) {
+    util::ByteReader in(payload);
+    CampaignBeginPayload decoded;
+    decoded.fingerprint = in.get_string();
+    decoded.seed = in.get_u64();
+    require_end(in, "campaign-begin");
+    return decoded;
+}
+
+std::string encode_measurement_summary(
+    const MeasurementSummaryPayload& payload) {
+    std::string out;
+    util::put_string(out, payload.phase);
+    util::put_u64(out, payload.counters.applications);
+    util::put_u64(out, payload.counters.vector_cycles);
+    util::put_double(out, payload.counters.tester_seconds);
+    return out;
+}
+
+MeasurementSummaryPayload decode_measurement_summary(
+    const std::string& payload) {
+    util::ByteReader in(payload);
+    MeasurementSummaryPayload decoded;
+    decoded.phase = in.get_string();
+    decoded.counters.applications = in.get_u64();
+    decoded.counters.vector_cycles = in.get_u64();
+    decoded.counters.tester_seconds = in.get_double();
+    require_end(in, "measurement-summary");
+    return decoded;
+}
+
+std::string encode_trip_record(const TripRecordPayload& payload) {
+    std::string out;
+    util::put_u64(out, payload.site);
+    util::put_string(out, payload.parameter);
+    util::put_double(out, payload.margin_risk);
+    payload.record.save(out);
+    return out;
+}
+
+TripRecordPayload decode_trip_record(const std::string& payload) {
+    util::ByteReader in(payload);
+    TripRecordPayload decoded;
+    decoded.site = in.get_u64();
+    decoded.parameter = in.get_string();
+    decoded.margin_risk = in.get_double();
+    decoded.record = core::TripPointRecord::load(in);
+    require_end(in, "trip-record");
+    return decoded;
+}
+
+std::string encode_worst_case_entry(const WorstCaseEntryPayload& payload) {
+    std::string out;
+    util::put_string(out, payload.entry.name);
+    put_recipe(out, payload.entry.recipe);
+    put_conditions(out, payload.entry.conditions);
+    util::put_double(out, payload.entry.trip_point);
+    util::put_double(out, payload.entry.wcr);
+    util::put_u64(out, static_cast<std::uint64_t>(payload.entry.wcr_class));
+    return out;
+}
+
+WorstCaseEntryPayload decode_worst_case_entry(const std::string& payload) {
+    util::ByteReader in(payload);
+    WorstCaseEntryPayload decoded;
+    decoded.entry.name = in.get_string();
+    decoded.entry.recipe = get_recipe(in);
+    decoded.entry.conditions = get_conditions(in);
+    decoded.entry.trip_point = in.get_double();
+    decoded.entry.wcr = in.get_double();
+    decoded.entry.wcr_class = get_wcr_class(in);
+    require_end(in, "worst-case-entry");
+    return decoded;
+}
+
+std::string encode_snapshot_ref(const SnapshotRefPayload& payload) {
+    std::string out;
+    util::put_string(out, payload.kind);
+    util::put_string(out, payload.name);
+    util::put_u64(out, payload.checksum);
+    return out;
+}
+
+SnapshotRefPayload decode_snapshot_ref(const std::string& payload) {
+    util::ByteReader in(payload);
+    SnapshotRefPayload decoded;
+    decoded.kind = in.get_string();
+    decoded.name = in.get_string();
+    decoded.checksum = in.get_u64();
+    require_end(in, "snapshot-ref");
+    return decoded;
+}
+
+std::string encode_campaign_end(const CampaignEndPayload& payload) {
+    std::string out;
+    util::put_u64(out, payload.record_count);
+    return out;
+}
+
+CampaignEndPayload decode_campaign_end(const std::string& payload) {
+    util::ByteReader in(payload);
+    CampaignEndPayload decoded;
+    decoded.record_count = in.get_u64();
+    require_end(in, "campaign-end");
+    return decoded;
+}
+
+}  // namespace cichar::store

@@ -1,0 +1,126 @@
+// Typed payload codecs for the campaign ledger. Each RecordType has one
+// payload struct with an encode (struct -> bytes) and a decode (bytes ->
+// struct, throwing std::runtime_error on truncation or out-of-range
+// fields, in the util::ByteReader style). Payloads carry values only —
+// never wall-clock times, absolute paths, or thread/scheduling artifacts
+// — so a crashed-and-resumed campaign converges on the exact bytes the
+// uninterrupted campaign would have written (the compaction byte-identity
+// contract in ledger_format.hpp rests on this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ate/measurement_log.hpp"
+#include "core/database.hpp"
+#include "core/dsv.hpp"
+
+namespace cichar::store {
+
+/// RecordType::kCampaignBegin, sequence 0: which run this campaign is.
+struct CampaignBeginPayload {
+    std::string fingerprint;  ///< full checkpoint fingerprint string
+    std::uint64_t seed = 0;
+
+    [[nodiscard]] bool operator==(const CampaignBeginPayload&) const = default;
+};
+
+/// RecordType::kMeasurementSummary: one phase's tester cost counters.
+struct MeasurementSummaryPayload {
+    std::string phase;
+    ate::PhaseCounters counters;
+
+    [[nodiscard]] bool operator==(
+        const MeasurementSummaryPayload& other) const {
+        return phase == other.phase &&
+               counters.applications == other.counters.applications &&
+               counters.vector_cycles == other.counters.vector_cycles &&
+               counters.tester_seconds == other.counters.tester_seconds;
+    }
+};
+
+/// RecordType::kTripRecord: the measured worst-case trip point of one
+/// (site, parameter) pair. Single-process hunts use site 0.
+struct TripRecordPayload {
+    std::uint64_t site = 0;
+    std::string parameter;
+    double margin_risk = 0.0;
+    core::TripPointRecord record;
+
+    [[nodiscard]] bool operator==(const TripRecordPayload& other) const {
+        return site == other.site && parameter == other.parameter &&
+               margin_risk == other.margin_risk &&
+               record.test_name == other.record.test_name &&
+               record.trip_point == other.record.trip_point &&
+               record.wcr == other.record.wcr &&
+               record.wcr_class == other.record.wcr_class &&
+               record.found == other.record.found &&
+               record.measurements == other.record.measurements;
+    }
+};
+
+/// RecordType::kWorstCaseEntry: one worst-case database entry, recipe
+/// and conditions included so the stored test re-expands bit-exactly.
+struct WorstCaseEntryPayload {
+    core::WorstCaseEntry entry;
+
+    [[nodiscard]] bool operator==(const WorstCaseEntryPayload& other) const {
+        return entry.name == other.entry.name &&
+               entry.recipe == other.entry.recipe &&
+               entry.conditions == other.entry.conditions &&
+               entry.trip_point == other.entry.trip_point &&
+               entry.wcr == other.entry.wcr &&
+               entry.wcr_class == other.entry.wcr_class;
+    }
+};
+
+/// RecordType::kSnapshotRef: checksummed pointer to a sidecar artifact
+/// (a report, database, or committee file the campaign also wrote).
+/// `name` is a basename, never a path — ledgers from different working
+/// directories must stay byte-identical.
+struct SnapshotRefPayload {
+    std::string kind;  ///< "report", "database", "committee", ...
+    std::string name;  ///< artifact basename
+    std::uint64_t checksum = 0;  ///< util::checksum64 of the artifact bytes
+
+    [[nodiscard]] bool operator==(const SnapshotRefPayload&) const = default;
+};
+
+/// RecordType::kCampaignEnd: the campaign completed; `record_count` is
+/// the number of ledger records the campaign emitted before this one, so
+/// verify can prove the campaign's record set is whole.
+struct CampaignEndPayload {
+    std::uint64_t record_count = 0;
+
+    [[nodiscard]] bool operator==(const CampaignEndPayload&) const = default;
+};
+
+[[nodiscard]] std::string encode_campaign_begin(
+    const CampaignBeginPayload& payload);
+[[nodiscard]] CampaignBeginPayload decode_campaign_begin(
+    const std::string& payload);
+
+[[nodiscard]] std::string encode_measurement_summary(
+    const MeasurementSummaryPayload& payload);
+[[nodiscard]] MeasurementSummaryPayload decode_measurement_summary(
+    const std::string& payload);
+
+[[nodiscard]] std::string encode_trip_record(const TripRecordPayload& payload);
+[[nodiscard]] TripRecordPayload decode_trip_record(const std::string& payload);
+
+[[nodiscard]] std::string encode_worst_case_entry(
+    const WorstCaseEntryPayload& payload);
+[[nodiscard]] WorstCaseEntryPayload decode_worst_case_entry(
+    const std::string& payload);
+
+[[nodiscard]] std::string encode_snapshot_ref(
+    const SnapshotRefPayload& payload);
+[[nodiscard]] SnapshotRefPayload decode_snapshot_ref(
+    const std::string& payload);
+
+[[nodiscard]] std::string encode_campaign_end(
+    const CampaignEndPayload& payload);
+[[nodiscard]] CampaignEndPayload decode_campaign_end(
+    const std::string& payload);
+
+}  // namespace cichar::store

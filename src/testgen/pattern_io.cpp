@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/binio.hpp"
+
 namespace cichar::testgen {
 namespace {
 
@@ -122,9 +124,13 @@ TestPattern load_pattern(std::istream& in) {
 }
 
 void save_pattern_file(const std::string& path, const TestPattern& pattern) {
-    std::ofstream out(path);
-    if (!out) throw std::ios_base::failure("cannot open for write: " + path);
+    std::ostringstream out;
     save_pattern(out, pattern);
+    // Atomic publish: never leave a half-written pattern under the
+    // final name.
+    if (!util::atomic_write_file(path, out.str())) {
+        throw std::ios_base::failure("cannot write pattern: " + path);
+    }
 }
 
 TestPattern load_pattern_file(const std::string& path) {

@@ -1,10 +1,20 @@
 #include "util/binio.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/crash_point.hpp"
 
 namespace cichar::util {
 namespace {
@@ -130,25 +140,159 @@ std::uint64_t checksum64(std::string_view data) noexcept {
     return hash;
 }
 
+namespace {
+
+/// One-shot write-fault state (see binio.hpp). Guarded by a mutex: the
+/// writers that matter are cold paths (checkpoints, ledger commits).
+struct FaultState {
+    std::mutex mutex;
+    std::optional<WriteFault> fault;
+    bool env_loaded = false;
+};
+
+FaultState& fault_state() {
+    static FaultState s;
+    return s;
+}
+
+/// Parses CICHAR_BINIO_FAULT ("substr=S,torn=N,flip=OFF[,mask=M]");
+/// malformed specs arm nothing.
+std::optional<WriteFault> parse_fault_env(const char* spec) {
+    WriteFault fault;
+    bool any = false;
+    std::istringstream in{std::string(spec)};
+    std::string item;
+    try {
+        while (std::getline(in, item, ',')) {
+            const std::size_t eq = item.find('=');
+            if (eq == std::string::npos) return std::nullopt;
+            const std::string key = item.substr(0, eq);
+            const std::string value = item.substr(eq + 1);
+            if (key == "substr") {
+                fault.path_substring = value;
+            } else if (key == "torn") {
+                fault.torn_after = static_cast<std::size_t>(
+                    std::stoull(value));
+                any = true;
+            } else if (key == "flip") {
+                fault.flip_offset = static_cast<std::size_t>(
+                    std::stoull(value));
+                any = true;
+            } else if (key == "mask") {
+                fault.flip_mask = static_cast<unsigned char>(
+                    std::stoull(value, nullptr, 0) & 0xFF);
+            } else {
+                return std::nullopt;
+            }
+        }
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+    if (!any) return std::nullopt;
+    return fault;
+}
+
+/// Full-buffer write with EINTR retry.
+bool write_all(int fd, const char* data, std::size_t size) {
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::write(fd, data + done, size - done);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+void set_write_fault(const std::optional<WriteFault>& fault) {
+    FaultState& s = fault_state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.fault = fault;
+    s.env_loaded = true;  // programmatic arming wins over the environment
+}
+
+std::size_t apply_write_faults(std::string_view path, std::string& data) {
+    FaultState& s = fault_state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.env_loaded) {
+        s.env_loaded = true;
+        if (const char* spec = std::getenv("CICHAR_BINIO_FAULT")) {
+            if (*spec != '\0') s.fault = parse_fault_env(spec);
+        }
+    }
+    if (!s.fault || path.find(s.fault->path_substring) == std::string::npos) {
+        return data.size();
+    }
+    const WriteFault fault = *s.fault;
+    s.fault.reset();  // one-shot: recovery must see clean hardware
+    if (fault.flip_offset < data.size()) {
+        data[fault.flip_offset] = static_cast<char>(
+            static_cast<unsigned char>(data[fault.flip_offset]) ^
+            fault.flip_mask);
+    }
+    return std::min(data.size(), fault.torn_after);
+}
+
 bool atomic_write_file(const std::string& path, std::string_view contents) {
     const std::string temp_path = path + ".tmp";
+    std::string payload(contents);
+    const std::size_t write_size = apply_write_faults(path, payload);
     {
-        std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-        if (!out) return false;
-        out.write(contents.data(),
-                  static_cast<std::streamsize>(contents.size()));
-        out.flush();
-        if (!out) {
-            out.close();
+        const int fd = ::open(temp_path.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+        if (fd < 0) return false;
+        CICHAR_CRASH_POINT("binio.atomic.pre_write");
+        // fsync before the rename: otherwise the rename can become
+        // durable while the data has not, and a power cut publishes an
+        // empty or torn file under the final name.
+        if (!write_all(fd, payload.data(), write_size) || ::fsync(fd) != 0) {
+            ::close(fd);
             std::remove(temp_path.c_str());
             return false;
         }
+        ::close(fd);
     }
+    CICHAR_CRASH_POINT("binio.atomic.pre_rename");
     if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
         std::remove(temp_path.c_str());
         return false;
     }
+    CICHAR_CRASH_POINT("binio.atomic.post_rename");
+    // fsync the directory so the new name itself survives a power cut;
+    // failure here is not fatal to the caller (the data is safely under
+    // the old or new name), so the result only reflects the write.
+    (void)sync_parent_dir(path);
     return true;
+}
+
+bool append_file(const std::string& path, std::string_view contents,
+                 bool sync) {
+    std::string payload(contents);
+    const std::size_t write_size = apply_write_faults(path, payload);
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0) return false;
+    const bool wrote = write_all(fd, payload.data(), write_size);
+    const bool synced = !sync || ::fsync(fd) == 0;
+    ::close(fd);
+    return wrote && synced && write_size == payload.size();
+}
+
+bool sync_parent_dir(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash == 0 ? 1 : slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    CICHAR_CRASH_POINT("binio.atomic.post_dirsync");
+    return ok;
 }
 
 std::optional<std::string> read_file(const std::string& path) {

@@ -63,11 +63,59 @@ private:
 /// persisted blobs; not cryptographic.
 [[nodiscard]] std::uint64_t checksum64(std::string_view data) noexcept;
 
+// ---------------------------------------------------------------------
+// Write-fault injection. Durability code (atomic_write_file, the store
+// ledger's segment appends) funnels its payload through
+// apply_write_faults() right before the bytes hit the file, so tests and
+// the chaos harness can deterministically produce exactly the torn or
+// bit-flipped file a power cut mid-write would have left. Configured
+// programmatically (unit tests) or via the environment (CLI chaos runs):
+//
+//   CICHAR_BINIO_FAULT="substr=ledg,torn=12"    first write to a path
+//                                               containing "ledg" keeps
+//                                               only its first 12 bytes
+//   CICHAR_BINIO_FAULT="substr=ckpt,flip=7"     XOR 0x01 into byte 7
+//
+// Each injection fires once, then disarms — the recovery pass that
+// follows must see clean hardware.
+
+struct WriteFault {
+    std::string path_substring;  ///< applies to paths containing this
+    /// Keep only the first N bytes of the write (SIZE_MAX = no tear).
+    std::size_t torn_after = static_cast<std::size_t>(-1);
+    /// XOR `flip_mask` into this byte offset (npos = no flip).
+    std::size_t flip_offset = static_cast<std::size_t>(-1);
+    unsigned char flip_mask = 0x01;
+};
+
+/// Arms (or, with nullopt, clears) the one-shot write fault. Overrides
+/// CICHAR_BINIO_FAULT.
+void set_write_fault(const std::optional<WriteFault>& fault);
+
+/// Mutates `data` per the armed fault when `path` matches, returning the
+/// byte count to actually write (== data.size() unless torn). Fires at
+/// most once per arming.
+[[nodiscard]] std::size_t apply_write_faults(std::string_view path,
+                                             std::string& data);
+
 /// Writes `contents` to `path` via a temp file in the same directory and
-/// an atomic rename. Returns false (leaving any previous file intact) if
-/// any step fails.
+/// an atomic rename. The temp file is fsync'd before the rename and the
+/// parent directory after it, so a power cut at any instant leaves
+/// either the complete old file or the complete new one — never an
+/// empty, torn, or un-named file. Returns false (leaving any previous
+/// file intact) if any step fails.
 [[nodiscard]] bool atomic_write_file(const std::string& path,
                                      std::string_view contents);
+
+/// Appends `contents` to `path` (creating it if needed) with optional
+/// fsync; the append-only store segments go through here so the write
+/// shares the fault-injection hooks. Returns false on any failure.
+[[nodiscard]] bool append_file(const std::string& path,
+                               std::string_view contents, bool sync);
+
+/// fsyncs the directory containing `path` so a freshly created or
+/// renamed name survives a power cut. Returns success.
+[[nodiscard]] bool sync_parent_dir(const std::string& path);
 
 /// Reads a whole file; nullopt when missing or unreadable.
 [[nodiscard]] std::optional<std::string> read_file(const std::string& path);

@@ -1,0 +1,146 @@
+#include "util/crash_point.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace cichar::util {
+namespace detail {
+
+std::atomic<int> crash_points_state{-1};
+
+namespace {
+
+/// All mutable registry state behind one mutex. Crash points are cold
+/// (file commits, checkpoint saves), so a mutex per hit is fine; the
+/// disarmed fast path never takes it.
+struct Registry {
+    std::mutex mutex;
+    std::string armed_site;        ///< empty = no kill armed
+    std::uint64_t armed_hit = 1;   ///< 1-based hit index that dies
+    std::map<std::string, std::uint64_t> hits;
+    std::function<void(const std::string&)> handler;  ///< test override
+    int trace_fd = -1;             ///< O_APPEND trace sink, -1 = off
+    bool env_loaded = false;
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+/// Parses "site" or "site:N" (N >= 1; junk after the colon arms hit 1).
+void parse_armed_spec(Registry& r, const char* spec) {
+    const std::string text(spec);
+    const std::size_t colon = text.rfind(':');
+    r.armed_site = text.substr(0, colon);
+    r.armed_hit = 1;
+    if (colon != std::string::npos) {
+        try {
+            const std::uint64_t n = std::stoull(text.substr(colon + 1));
+            if (n >= 1) r.armed_hit = n;
+        } catch (const std::exception&) {
+            r.armed_site = text;  // the colon was part of the site name
+        }
+    }
+}
+
+/// Loads CICHAR_CRASH_AT / CICHAR_CRASH_TRACE once; callers hold the
+/// mutex. Activation is sticky until reset_crash_points_for_test().
+void load_env(Registry& r) {
+    if (r.env_loaded) return;
+    r.env_loaded = true;
+    if (const char* at = std::getenv("CICHAR_CRASH_AT")) {
+        if (*at != '\0') parse_armed_spec(r, at);
+    }
+    if (const char* trace = std::getenv("CICHAR_CRASH_TRACE")) {
+        if (*trace != '\0') {
+            r.trace_fd = ::open(trace, O_WRONLY | O_CREAT | O_APPEND, 0644);
+        }
+    }
+}
+
+/// The trace line is written with one O_APPEND write so it survives the
+/// _exit that may follow immediately.
+void trace_hit(Registry& r, const std::string& site, std::uint64_t hit) {
+    if (r.trace_fd < 0) return;
+    const std::string line = site + " " + std::to_string(hit) + "\n";
+    ssize_t ignored = ::write(r.trace_fd, line.data(), line.size());
+    (void)ignored;
+}
+
+}  // namespace
+
+void crash_point_hit(const char* site) {
+    Registry& r = registry();
+    std::function<void(const std::string&)> handler;
+    std::string fired;
+    {
+        const std::lock_guard<std::mutex> lock(r.mutex);
+        load_env(r);
+        if (r.armed_site.empty() && r.trace_fd < 0 && !r.handler) {
+            // Nothing configured: settle the fast path to "disarmed" so
+            // every later site costs one relaxed load.
+            crash_points_state.store(0, std::memory_order_relaxed);
+            return;
+        }
+        crash_points_state.store(1, std::memory_order_relaxed);
+        const std::uint64_t hit = ++r.hits[site];
+        trace_hit(r, site, hit);
+        if (r.armed_site != site || hit != r.armed_hit) return;
+        fired = r.armed_site;
+        handler = r.handler;
+    }
+    if (handler) {
+        handler(fired);
+        return;
+    }
+    // No flushes, no destructors: leave exactly the bytes a power cut
+    // would have left.
+    ::_exit(kCrashExitCode);
+}
+
+}  // namespace detail
+
+void arm_crash_point(const std::string& site, std::uint64_t hit) {
+    detail::Registry& r = detail::registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.env_loaded = true;  // programmatic arming wins over the environment
+    r.armed_site = site;
+    r.armed_hit = hit == 0 ? 1 : hit;
+    detail::crash_points_state.store(1, std::memory_order_relaxed);
+}
+
+void set_crash_handler(std::function<void(const std::string&)> handler) {
+    detail::Registry& r = detail::registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.handler = std::move(handler);
+    if (r.handler) {
+        detail::crash_points_state.store(1, std::memory_order_relaxed);
+    }
+}
+
+void reset_crash_points_for_test() {
+    detail::Registry& r = detail::registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.armed_site.clear();
+    r.armed_hit = 1;
+    r.hits.clear();
+    r.handler = nullptr;
+    if (r.trace_fd >= 0) ::close(r.trace_fd);
+    r.trace_fd = -1;
+    r.env_loaded = false;
+    detail::crash_points_state.store(-1, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> crash_point_hits() {
+    detail::Registry& r = detail::registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    return {r.hits.begin(), r.hits.end()};
+}
+
+}  // namespace cichar::util

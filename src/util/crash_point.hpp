@@ -1,0 +1,71 @@
+// Deterministic crash-point injection registry. Durability code is only
+// trustworthy if a process can die at *every* interesting instant —
+// after the temp write but before the rename, after the rename but
+// before the directory fsync, halfway through a ledger group commit —
+// and still recover to byte-identical results. Sprinkling
+// CICHAR_CRASH_POINT("name") at those instants makes each one a
+// first-class, externally addressable kill site:
+//
+//   CICHAR_CRASH_AT=store.commit.post_write          die at the 1st hit
+//   CICHAR_CRASH_AT=store.commit.post_write:3        die at the 3rd hit
+//   CICHAR_CRASH_TRACE=sites.txt   append "<site> <hit>" per hit (O_APPEND,
+//                                  written before any kill fires, so a
+//                                  chaos driver can first trace a clean
+//                                  run and then kill at every site it saw)
+//
+// Death is _exit(kCrashExitCode): no atexit handlers, no stream flushes,
+// no destructors — the closest portable stand-in for SIGKILL, so torn
+// state on disk is exactly what a power cut would have left.
+//
+// Disarmed (the default), a crash point is one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cichar::util {
+
+/// Exit code of a fired crash point; chaos drivers assert on it to
+/// distinguish an intended kill from an ordinary failure.
+inline constexpr int kCrashExitCode = 86;
+
+namespace detail {
+/// -1 = environment not yet consulted, 0 = disarmed (fast path),
+/// 1 = armed/tracing.
+extern std::atomic<int> crash_points_state;
+void crash_point_hit(const char* site);
+}  // namespace detail
+
+/// Marks a kill site. No-op unless arming/tracing is configured (via
+/// environment on first use, or programmatically below).
+inline void crash_point(const char* site) {
+    if (detail::crash_points_state.load(std::memory_order_relaxed) != 0) {
+        detail::crash_point_hit(site);
+    }
+}
+
+/// Programmatic arming (unit tests): die at the `hit`-th execution of
+/// `site` (1-based). Overrides CICHAR_CRASH_AT.
+void arm_crash_point(const std::string& site, std::uint64_t hit = 1);
+
+/// Replaces _exit with `handler` (unit tests assert the site fired
+/// without dying). nullptr restores the default _exit behavior.
+void set_crash_handler(std::function<void(const std::string&)> handler);
+
+/// Clears arming, handler, trace sink, and hit counters; re-reads the
+/// environment on next use. Unit-test isolation only.
+void reset_crash_points_for_test();
+
+/// Sites executed so far in this process with their hit counts
+/// (site-name order). Empty while crash points are disarmed/untraced.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+crash_point_hits();
+
+}  // namespace cichar::util
+
+/// Site-marking macro: reads as a statement, compiles to one relaxed
+/// load when disarmed.
+#define CICHAR_CRASH_POINT(site) ::cichar::util::crash_point(site)

@@ -180,6 +180,42 @@ TEST(ShardManifestTest, CompleteRequiresEveryShardDone) {
     EXPECT_TRUE(manifest.complete());
 }
 
+// Exhaustive fuzz hardening (every byte, every bit — the sampled sweep
+// above is the quick version): no single-bit flip anywhere in the
+// envelope may ever yield a decoded manifest. The magic is included:
+// a flipped magic byte must fail the magic check, and a flipped payload,
+// length, or checksum byte must fail the checksum.
+TEST(ShardManifestFuzzTest, EverySingleBitFlipRejected) {
+    const std::string encoded = sample_manifest().encode();
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string corrupt = encoded;
+            corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+            ASSERT_FALSE(ShardManifest::decode(corrupt).has_value())
+                << "flip bit " << bit << " of byte " << i;
+        }
+    }
+}
+
+// Every proper prefix is rejected — a torn manifest write can never
+// half-load, whatever instant the power died at.
+TEST(ShardManifestFuzzTest, EveryPrefixTruncationRejected) {
+    const std::string encoded = sample_manifest().encode();
+    for (std::size_t keep = 0; keep < encoded.size(); ++keep) {
+        ASSERT_FALSE(ShardManifest::decode(encoded.substr(0, keep)).has_value())
+            << "truncated to " << keep << " bytes";
+    }
+}
+
+// Appended garbage (a crashed writer double-appending, a filesystem
+// replaying a stale tail) is corruption, not data.
+TEST(ShardManifestFuzzTest, TrailingGarbageRejected) {
+    const std::string encoded = sample_manifest().encode();
+    EXPECT_FALSE(ShardManifest::decode(encoded + std::string(1, '\0'))
+                     .has_value());
+    EXPECT_FALSE(ShardManifest::decode(encoded + encoded).has_value());
+}
+
 TEST(ShardManifestTest, StateNamesAreStable) {
     EXPECT_STREQ(to_string(ShardState::kPending), "pending");
     EXPECT_STREQ(to_string(ShardState::kRunning), "running");

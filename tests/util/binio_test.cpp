@@ -125,5 +125,108 @@ TEST(BinioTest, ReadFileMissingReturnsNullopt) {
         read_file(::testing::TempDir() + "binio_missing_file_xyz").has_value());
 }
 
+TEST(BinioTest, AppendFileCreatesAndAppends) {
+    const std::string path = ::testing::TempDir() + "binio_append_test.bin";
+    std::remove(path.c_str());
+    ASSERT_TRUE(append_file(path, "one,", true));
+    ASSERT_TRUE(append_file(path, "two", false));
+    EXPECT_EQ(read_file(path).value_or(""), "one,two");
+    std::remove(path.c_str());
+}
+
+TEST(BinioTest, AppendFileFailsOnMissingDirectory) {
+    EXPECT_FALSE(append_file(
+        ::testing::TempDir() + "binio_no_dir_abc/file.bin", "data", false));
+}
+
+// ---------------------------------------------------------------------
+// Write-fault injection (the chaos harness's torn-write / bit-rot
+// simulator).
+
+class WriteFaultTest : public testing::Test {
+protected:
+    void SetUp() override { set_write_fault(std::nullopt); }
+    void TearDown() override { set_write_fault(std::nullopt); }
+};
+
+TEST_F(WriteFaultTest, UnarmedLeavesDataUntouched) {
+    std::string data = "payload";
+    EXPECT_EQ(apply_write_faults("/any/path", data), data.size());
+    EXPECT_EQ(data, "payload");
+}
+
+TEST_F(WriteFaultTest, TornFaultTruncatesMatchingWriteOnce) {
+    WriteFault fault;
+    fault.path_substring = "target";
+    fault.torn_after = 3;
+    set_write_fault(fault);
+
+    std::string other = "unrelated";
+    EXPECT_EQ(apply_write_faults("/tmp/elsewhere", other), other.size());
+
+    std::string data = "abcdefgh";
+    EXPECT_EQ(apply_write_faults("/tmp/target.bin", data), 3u);
+    EXPECT_EQ(data, "abcdefgh");  // torn at the write, not mutated
+
+    // One-shot: the fault disarmed after firing.
+    std::string again = "abcdefgh";
+    EXPECT_EQ(apply_write_faults("/tmp/target.bin", again), again.size());
+}
+
+TEST_F(WriteFaultTest, FlipFaultXorsTheConfiguredByte) {
+    WriteFault fault;
+    fault.path_substring = "seg";
+    fault.flip_offset = 2;
+    fault.flip_mask = 0x01;
+    set_write_fault(fault);
+
+    std::string data = "abcd";
+    EXPECT_EQ(apply_write_faults("dir/seg-000000.ledg", data), 4u);
+    EXPECT_EQ(data, "ab" + std::string(1, 'c' ^ 0x01) + "d");
+}
+
+TEST_F(WriteFaultTest, FlipBeyondDataIsHarmless) {
+    WriteFault fault;
+    fault.path_substring = "x";
+    fault.flip_offset = 100;
+    set_write_fault(fault);
+    std::string data = "ab";
+    EXPECT_EQ(apply_write_faults("x", data), 2u);
+    EXPECT_EQ(data, "ab");
+}
+
+TEST_F(WriteFaultTest, TornAtomicWriteReportsFailureAndKeepsOldFile) {
+    const std::string path = ::testing::TempDir() + "binio_fault_atomic.bin";
+    ASSERT_TRUE(atomic_write_file(path, "intact"));
+
+    WriteFault fault;
+    fault.path_substring = "binio_fault_atomic";
+    fault.torn_after = 2;
+    set_write_fault(fault);
+    // The tear happens below atomic_write_file (it simulates hardware
+    // dropping bytes it acknowledged), so the rename publishes exactly
+    // the short file a lying disk would have left — the artifact the
+    // recovery paths under test must then repair.
+    ASSERT_TRUE(atomic_write_file(path, "replacement"));
+    EXPECT_EQ(read_file(path).value_or(""), "re");
+    std::remove(path.c_str());
+}
+
+TEST_F(WriteFaultTest, TornAppendReportsFailureButLeavesTornTail) {
+    const std::string path = ::testing::TempDir() + "binio_fault_append.bin";
+    std::remove(path.c_str());
+    ASSERT_TRUE(append_file(path, "good", false));
+
+    WriteFault fault;
+    fault.path_substring = "binio_fault_append";
+    fault.torn_after = 2;
+    set_write_fault(fault);
+    // A torn append is a failed append (the caller must know its batch
+    // did not land), yet the torn bytes are on disk for recovery to find.
+    EXPECT_FALSE(append_file(path, "batch", false));
+    EXPECT_EQ(read_file(path).value_or(""), "goodba");
+    std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace cichar::util

@@ -1,0 +1,104 @@
+#include "util/crash_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cichar::util {
+namespace {
+
+/// Every test runs against a reset registry and restores it on exit so
+/// crash-point state never leaks into unrelated tests.
+class CrashPointTest : public testing::Test {
+protected:
+    void SetUp() override { reset_crash_points_for_test(); }
+    void TearDown() override { reset_crash_points_for_test(); }
+};
+
+TEST_F(CrashPointTest, DisarmedSiteIsANoop) {
+    // Nothing armed, no handler: hitting a site must neither die nor
+    // record anything (the fast path settles to disarmed).
+    crash_point("test.noop.site");
+    crash_point("test.noop.site");
+    EXPECT_TRUE(crash_point_hits().empty());
+}
+
+TEST_F(CrashPointTest, HandlerFiresAtFirstHitByDefault) {
+    std::vector<std::string> fired;
+    set_crash_handler([&fired](const std::string& site) {
+        fired.push_back(site);
+    });
+    arm_crash_point("test.site.a");
+    crash_point("test.site.b");  // different site: no fire
+    EXPECT_TRUE(fired.empty());
+    crash_point("test.site.a");
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], "test.site.a");
+}
+
+TEST_F(CrashPointTest, ArmedHitIndexIsOneBasedAndExact) {
+    std::vector<std::string> fired;
+    set_crash_handler([&fired](const std::string& site) {
+        fired.push_back(site);
+    });
+    arm_crash_point("test.site.n", 3);
+    crash_point("test.site.n");
+    crash_point("test.site.n");
+    EXPECT_TRUE(fired.empty());
+    crash_point("test.site.n");  // third hit dies
+    EXPECT_EQ(fired.size(), 1u);
+    crash_point("test.site.n");  // fourth hit: already past the armed hit
+    EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST_F(CrashPointTest, ArmingHitZeroMeansFirstHit) {
+    std::vector<std::string> fired;
+    set_crash_handler([&fired](const std::string& site) {
+        fired.push_back(site);
+    });
+    arm_crash_point("test.site.z", 0);
+    crash_point("test.site.z");
+    EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST_F(CrashPointTest, HitCountsAccumulatePerSite) {
+    // A handler (even one that never fires) activates counting.
+    set_crash_handler([](const std::string&) {});
+    crash_point("test.count.a");
+    crash_point("test.count.a");
+    crash_point("test.count.b");
+    const auto hits = crash_point_hits();
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].first, "test.count.a");
+    EXPECT_EQ(hits[0].second, 2u);
+    EXPECT_EQ(hits[1].first, "test.count.b");
+    EXPECT_EQ(hits[1].second, 1u);
+}
+
+TEST_F(CrashPointTest, ResetClearsArmingAndCounters) {
+    std::vector<std::string> fired;
+    set_crash_handler([&fired](const std::string& site) {
+        fired.push_back(site);
+    });
+    arm_crash_point("test.reset.site");
+    crash_point("test.reset.site");
+    EXPECT_EQ(fired.size(), 1u);
+
+    reset_crash_points_for_test();
+    // Disarmed again: the same site no longer fires or counts.
+    crash_point("test.reset.site");
+    EXPECT_EQ(fired.size(), 1u);
+    EXPECT_TRUE(crash_point_hits().empty());
+}
+
+TEST_F(CrashPointTest, MacroCompilesAsStatement) {
+    set_crash_handler([](const std::string&) {});
+    if (true) CICHAR_CRASH_POINT("test.macro.site");
+    const auto hits = crash_point_hits();
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].first, "test.macro.site");
+}
+
+}  // namespace
+}  // namespace cichar::util

@@ -34,6 +34,7 @@
 //       export deterministic patterns as ATE vector files / inspect one
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -55,6 +56,8 @@
 #include "dist/spool.hpp"
 #include "lot/lot_report.hpp"
 #include "lot/lot_runner.hpp"
+#include "store/ledger.hpp"
+#include "store/ledger_payloads.hpp"
 #include "testgen/march.hpp"
 #include "testgen/pattern_io.hpp"
 #include "util/binio.hpp"
@@ -84,6 +87,7 @@ int usage() {
         "              [--checkpoint FILE] [--resume FILE]\n"
         "              [--abort-after-generation N]\n"
         "              [--db FILE] [--model FILE] [--report FILE]\n"
+        "              [--ledger DIR]\n"
         "  cichar shmoo [--seed N] [--tests N] [--csv FILE]\n"
         "  cichar screen --db FILE [--limit L] [--lot N] [--seed N]\n"
         "  cichar campaign [--seed N] [--tests N] [--generations G]\n"
@@ -93,7 +97,7 @@ int usage() {
         "             [--tests N] [--generations G] [--report FILE]\n"
         "             [--fault-profile SPEC] [--policy on|off]\n"
         "             [--checkpoint FILE] [--resume FILE] [--max-sites N]\n"
-        "             [--site-range A:B] [--heartbeat FILE]\n"
+        "             [--site-range A:B] [--heartbeat FILE] [--ledger DIR]\n"
         "             [--shards N [--shard-dir DIR] [--max-attempts N]\n"
         "              [--heartbeat-timeout S] [--max-parallel N]\n"
         "              [--kill-shard K]]\n"
@@ -111,6 +115,16 @@ int usage() {
         "  cichar merge CACHE.tpc... --out FILE --caches\n"
         "      fuse per-shard lot checkpoints (or persistent trip caches)\n"
         "      into one artifact, byte-identical to a single-process run\n"
+        "  cichar merge LEDGER_DIR... --out DIR --ledgers\n"
+        "      union shard campaign ledgers into one canonical ledger\n"
+        "      (byte-identical to `ledger compact` of a single-process\n"
+        "      run's ledger)\n"
+        "  cichar ledger verify|inspect DIR\n"
+        "  cichar ledger compact DIR --out DIR\n"
+        "      check, summarize, or canonically rewrite a campaign ledger\n"
+        "      (hunt and lot grow one with --ledger DIR: an append-only,\n"
+        "      fsync'd record of trip points, database entries, and\n"
+        "      tester costs that survives kills and torn writes)\n"
         "  cichar serve --spool DIR [--drain] [--max-queue N]\n"
         "               [--max-requests N] [--poll-interval S]\n"
         "      long-lived coordinator: executes campaign request files\n"
@@ -222,6 +236,108 @@ int cmd_selftest(const Args&) {
                 functional.pass() ? "PASS" : "FAIL", functional.reads);
     std::printf("selftest %s\n", functional.pass() ? "PASSED" : "FAILED");
     return functional.pass() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// --ledger DIR support. Hunt and lot append their durable results to an
+// append-only campaign ledger alongside the checkpoint/report artifacts.
+// Sequence assignment is deterministic (docs/FORMATS.md):
+//   campaign-begin       0
+//   trip-record          site * 65536 + parameter index
+//   worst-case-entry     database rank (worst first)
+//   measurement-summary  index in the name-sorted phase list
+//   snapshot-ref         0 = database, 1 = report
+//   campaign-end         UINT64_MAX (sorts last in canonical order)
+// so a crashed-and-resumed or sharded campaign re-offers byte-identical
+// records that Ledger::append_if_absent dedups.
+
+constexpr std::uint64_t kLedgerSiteStride = 65536;
+constexpr std::uint64_t kLedgerEndSequence = ~0ULL;
+constexpr std::uint64_t kLedgerRefDatabase = 0;
+constexpr std::uint64_t kLedgerRefReport = 1;
+
+std::string ledger_basename(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// Opens the --ledger directory, reporting what recovery repaired.
+store::Ledger open_cli_ledger(const std::string& directory) {
+    store::Ledger ledger = store::Ledger::open({directory});
+    const store::RecoveryStats& recovery = ledger.recovery();
+    if (!recovery.clean()) {
+        std::fprintf(stderr,
+                     "ledger %s: recovered (%zu torn tail(s)/%zu bytes "
+                     "truncated, %zu corrupt span(s), %zu segment(s) "
+                     "quarantined)\n",
+                     directory.c_str(), recovery.torn_tails,
+                     recovery.truncated_bytes, recovery.corrupt_spans,
+                     recovery.quarantined_segments);
+    }
+    return ledger;
+}
+
+void ledger_add_begin(store::Ledger& ledger, std::uint64_t campaign,
+                      const std::string& fingerprint, std::uint64_t seed) {
+    ledger.append_if_absent(
+        {store::RecordType::kCampaignBegin, campaign, 0,
+         store::encode_campaign_begin({fingerprint, seed})});
+}
+
+void ledger_add_summaries(store::Ledger& ledger, std::uint64_t campaign,
+                          const ate::MeasurementLog& log) {
+    const std::vector<std::string> phases = log.phases();  // name-sorted
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        ledger.append_if_absent(
+            {store::RecordType::kMeasurementSummary, campaign, i,
+             store::encode_measurement_summary(
+                 {phases[i], log.phase_counters(phases[i])})});
+    }
+}
+
+/// Appends a checksummed pointer to an artifact the run just wrote. The
+/// ref stores the basename only, so ledgers written from different
+/// working directories stay byte-identical.
+void ledger_add_snapshot_ref(store::Ledger& ledger, std::uint64_t campaign,
+                             const char* kind, std::uint64_t sequence,
+                             const std::string& path) {
+    const std::optional<std::string> bytes = util::read_file(path);
+    if (!bytes) return;  // artifact write already reported its failure
+    ledger.append_if_absent(
+        {store::RecordType::kSnapshotRef, campaign, sequence,
+         store::encode_snapshot_ref(
+             {kind, ledger_basename(path), util::checksum64(*bytes)})});
+}
+
+void ledger_add_end(store::Ledger& ledger, std::uint64_t campaign) {
+    if (ledger.contains(campaign, store::RecordType::kCampaignEnd,
+                        kLedgerEndSequence)) {
+        return;
+    }
+    ledger.append(
+        {store::RecordType::kCampaignEnd, campaign, kLedgerEndSequence,
+         store::encode_campaign_end({ledger.campaign_records(campaign)})});
+}
+
+/// Appends trip records for every finished site (lot) or the single
+/// hunt result; idempotent across resumes and shards.
+void ledger_add_sites(store::Ledger& ledger, std::uint64_t campaign,
+                      const std::vector<lot::SiteResult>& sites) {
+    for (const lot::SiteResult& site : sites) {
+        if (!site.finished()) continue;
+        for (std::size_t p = 0; p < site.outcomes.size(); ++p) {
+            const lot::SiteParameterOutcome& outcome = site.outcomes[p];
+            store::TripRecordPayload payload;
+            payload.site = site.site;
+            payload.parameter = outcome.parameter.name;
+            payload.margin_risk = outcome.margin_risk;
+            payload.record = outcome.worst;
+            ledger.append_if_absent(
+                {store::RecordType::kTripRecord, campaign,
+                 site.site * kLedgerSiteStride + p,
+                 store::encode_trip_record(payload)});
+        }
+    }
 }
 
 int cmd_hunt(const Args& args) {
@@ -434,6 +550,48 @@ int cmd_hunt(const Args& args) {
             return 1;
         }
         std::printf("report written to %s\n", args.get("report").c_str());
+    }
+    // --ledger DIR: append the hunt's durable results (one fsync'd group
+    // commit) keyed by the campaign fingerprint; a killed-and-resumed
+    // hunt re-offers identical records, so the ledger converges on the
+    // exact bytes an uninterrupted run writes.
+    if (args.has("ledger")) {
+        try {
+            store::Ledger ledger = open_cli_ledger(args.get("ledger"));
+            const std::uint64_t campaign = util::checksum64(fingerprint);
+            ledger_add_begin(ledger, campaign, fingerprint, seed);
+            if (report.worst_record.found) {
+                store::TripRecordPayload trip;
+                trip.site = 0;
+                trip.parameter = param.name;
+                trip.margin_risk = 0.0;
+                trip.record = report.worst_record;
+                ledger.append_if_absent(
+                    {store::RecordType::kTripRecord, campaign, 0,
+                     store::encode_trip_record(trip)});
+            }
+            const std::vector<core::WorstCaseEntry>& entries =
+                report.database.entries();
+            for (std::size_t i = 0; i < entries.size(); ++i) {
+                ledger.append_if_absent(
+                    {store::RecordType::kWorstCaseEntry, campaign, i,
+                     store::encode_worst_case_entry({entries[i]})});
+            }
+            ledger_add_summaries(ledger, campaign, tester.log());
+            if (args.has("db")) {
+                ledger_add_snapshot_ref(ledger, campaign, "database",
+                                        kLedgerRefDatabase, args.get("db"));
+            }
+            ledger_add_end(ledger, campaign);
+            const std::size_t appended = ledger.pending();
+            ledger.commit();
+            std::printf("ledger: %zu record(s) appended to %s\n", appended,
+                        args.get("ledger").c_str());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "cannot update ledger %s: %s\n",
+                         args.get("ledger").c_str(), e.what());
+            return 1;
+        }
     }
     return 0;
 }
@@ -804,18 +962,65 @@ int cmd_lot(const Args& args, const std::string& argv0) {
         }
     };
 
+    // --ledger DIR: durable append-only sink alongside the checkpoint.
+    // Finished sites are appended (and fsync'd) incrementally via the
+    // checkpoint stream; the campaign-level summaries and end marker are
+    // written only by the run that completes the lot, so shard workers,
+    // resumed runs, and the final render all converge on one record set.
+    std::shared_ptr<store::Ledger> ledger;
+    std::uint64_t ledger_campaign = 0;
+    std::string lot_fingerprint;
+    if (args.has("ledger")) {
+        lot_fingerprint = lot::LotRunner(options).fingerprint();
+        ledger_campaign = util::checksum64(lot_fingerprint);
+        try {
+            ledger = std::make_shared<store::Ledger>(
+                open_cli_ledger(args.get("ledger")));
+            ledger_add_begin(*ledger, ledger_campaign, lot_fingerprint,
+                             options.seed);
+            ledger->commit();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "cannot open ledger %s: %s\n",
+                         args.get("ledger").c_str(), e.what());
+            return 1;
+        }
+    }
+    const auto ledger_sink = [ledger, ledger_campaign,
+                              lot_fingerprint](const std::string& blob) {
+        if (!ledger) return;
+        // Called under the runner's checkpoint mutex, so ledger access
+        // is serialized. A failed append only costs durability of this
+        // increment — the post-run sweep re-offers every record.
+        try {
+            std::string payload;
+            if (!core::decode_checkpoint(blob, lot_fingerprint, payload)) {
+                return;
+            }
+            ledger_add_sites(*ledger, ledger_campaign,
+                             lot::decode_finished_sites(payload));
+            ledger->commit();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "warning: ledger append failed: %s\n",
+                         e.what());
+        }
+    };
+
     // --checkpoint/--resume/--max-sites: crash-safe stop-and-go lots. The
     // runner envelopes + fingerprints the blob itself; the CLI only
     // persists it atomically and feeds the raw file back on resume.
     if (args.has("checkpoint")) {
         const std::string path = args.get("checkpoint");
-        options.checkpoint.save = [path, telem](const std::string& blob) {
+        options.checkpoint.save = [path, telem,
+                                   ledger_sink](const std::string& blob) {
             if (!util::atomic_write_file(path, blob)) {
                 std::fprintf(stderr, "warning: cannot write checkpoint %s\n",
                              path.c_str());
             }
             telem.write_metrics();
+            ledger_sink(blob);
         };
+    } else if (ledger) {
+        options.checkpoint.save = ledger_sink;
     }
     if (args.has("resume")) {
         const std::optional<std::string> blob =
@@ -846,6 +1051,18 @@ int cmd_lot(const Args& args, const std::string& argv0) {
     const lot::LotRunner runner(options);
     const lot::LotResult result = runner.run();
     telem.flush();
+    if (ledger) {
+        // Sweep every finished site (checkpointed, restored, or live) —
+        // idempotent, so it only adds what the incremental sink missed.
+        try {
+            ledger_add_sites(*ledger, ledger_campaign, result.sites);
+            ledger->commit();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "cannot update ledger %s: %s\n",
+                         args.get("ledger").c_str(), e.what());
+            return 1;
+        }
+    }
     if (!result.complete()) {
         std::printf("partial lot: %zu/%zu sites characterized",
                     result.finished_sites(), options.sites);
@@ -872,6 +1089,26 @@ int cmd_lot(const Args& args, const std::string& argv0) {
         }
         std::printf("lot report written to %s\n", args.get("report").c_str());
     }
+    if (ledger) {
+        // The completing run seals the campaign: lot-wide tester costs,
+        // the report pointer, and the end marker.
+        try {
+            ledger_add_summaries(*ledger, ledger_campaign, result.merged_log);
+            if (args.has("report")) {
+                ledger_add_snapshot_ref(*ledger, ledger_campaign, "report",
+                                        kLedgerRefReport, args.get("report"));
+            }
+            ledger_add_end(*ledger, ledger_campaign);
+            const std::size_t appended = ledger->pending();
+            ledger->commit();
+            std::printf("ledger: %zu record(s) appended to %s\n", appended,
+                        args.get("ledger").c_str());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "cannot update ledger %s: %s\n",
+                         args.get("ledger").c_str(), e.what());
+            return 1;
+        }
+    }
     return 0;
 }
 
@@ -895,6 +1132,32 @@ int cmd_merge(const Args& args) {
             dist::merge_trip_cache_files(inputs, out_path);
         std::printf("merged %zu trip caches for '%s' into %s\n",
                     inputs.size(), identity.c_str(), out_path.c_str());
+        return 0;
+    }
+
+    // --ledgers: the operands are campaign ledger directories; union
+    // their record sets into one canonical (sorted, deduped) ledger —
+    // byte-identical to `cichar ledger compact` of a single-process
+    // run's ledger.
+    if (args.has("ledgers")) {
+        const store::CompactStats stats =
+            store::merge_ledgers(inputs, out_path);
+        for (const std::string& issue : stats.issues) {
+            std::fprintf(stderr, "warning: %s\n", issue.c_str());
+        }
+        std::printf("merged %zu ledger(s): %zu record(s) in, %zu out "
+                    "(%zu duplicate(s) dropped), %zu segment(s) -> %s\n",
+                    inputs.size(), stats.input_records, stats.output_records,
+                    stats.duplicates_dropped, stats.segments_written,
+                    out_path.c_str());
+        const store::VerifyResult check = store::verify_ledger(out_path);
+        if (!check.ok) {
+            std::fprintf(stderr, "merged ledger fails verification\n");
+            for (const std::string& issue : check.issues) {
+                std::fprintf(stderr, "  %s\n", issue.c_str());
+            }
+            return 1;
+        }
         return 0;
     }
 
@@ -942,6 +1205,57 @@ int cmd_merge(const Args& args) {
     std::printf("render the lot report with: cichar lot ... --resume %s\n",
                 out_path.c_str());
     return 0;
+}
+
+/// cichar ledger verify|inspect DIR | compact DIR --out DIR
+/// Offline campaign-ledger maintenance (read-only except compact).
+int cmd_ledger(const Args& args) {
+    const std::vector<std::string>& operands = args.positionals();
+    if (operands.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: cichar ledger verify|inspect DIR\n"
+                     "       cichar ledger compact DIR --out DIR\n");
+        return 2;
+    }
+    const std::string& action = operands[0];
+    const std::string& directory = operands[1];
+
+    if (action == "verify") {
+        const store::VerifyResult result = store::verify_ledger(directory);
+        std::printf("ledger %s: %zu segment(s), %zu record(s), "
+                    "%zu campaign(s) (%zu complete)\n",
+                    directory.c_str(), result.segments, result.records,
+                    result.campaigns, result.complete_campaigns);
+        for (const std::string& issue : result.issues) {
+            std::printf("  issue: %s\n", issue.c_str());
+        }
+        std::printf("verify: %s\n", result.ok ? "OK" : "FAILED");
+        return result.ok ? 0 : 1;
+    }
+    if (action == "inspect") {
+        std::printf("%s", store::inspect_ledger(directory).c_str());
+        return 0;
+    }
+    if (action == "compact") {
+        if (!args.has("out")) {
+            std::fprintf(stderr, "ledger compact requires --out DIR\n");
+            return 2;
+        }
+        const store::CompactStats stats =
+            store::compact_ledger(directory, args.get("out"));
+        for (const std::string& issue : stats.issues) {
+            std::fprintf(stderr, "warning: %s: %s\n", directory.c_str(),
+                         issue.c_str());
+        }
+        std::printf("compacted %s: %zu record(s) in, %zu out "
+                    "(%zu duplicate(s) dropped), %zu segment(s) -> %s\n",
+                    directory.c_str(), stats.input_records,
+                    stats.output_records, stats.duplicates_dropped,
+                    stats.segments_written, args.get("out").c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "unknown ledger action: %s\n", action.c_str());
+    return 2;
 }
 
 /// Runs one spool campaign: in-process for shards == 1, through the
@@ -1109,6 +1423,17 @@ int main(int argc, char** argv) {
         if (!apply_log_level(args)) return 2;
         try {
             return cmd_merge(args);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    if (command == "ledger") {
+        // Action + directory are positional: cichar ledger verify DIR
+        const Args args(argc, argv, 2, Args::Positionals::kCollect);
+        if (!apply_log_level(args)) return 2;
+        try {
+            return cmd_ledger(args);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 1;
