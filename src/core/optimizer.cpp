@@ -365,6 +365,26 @@ WorstCaseReport WorstCaseOptimizer::drive(
             util::log_info("optimizer: resumed hunt at generation ",
                            resume_checkpoint.next_generation);
         }
+        if (options_.on_generation) {
+            // Observational only: sampled outside the fitness path, no
+            // randomness drawn, nothing fed back into the GA. Rides the
+            // copy-free observer hook so watching a hunt never pays the
+            // per-generation population snapshot checkpointing needs.
+            hooks.observer = [&](std::size_t next_generation,
+                                 const ga::MultiPopulationOutcome& outcome) {
+                HuntProgress progress;
+                progress.next_generation = next_generation;
+                progress.max_generations = options_.ga.max_generations;
+                progress.evaluations = outcome.evaluations;
+                progress.restarts = outcome.restarts;
+                progress.best_fitness = outcome.best_fitness;
+                progress.cache = cache.stats();
+                progress.ate_applications = static_cast<std::size_t>(
+                    tester.log().total().applications - applications_before);
+                progress.inflight = inflight;
+                options_.on_generation(progress);
+            };
+        }
         if (!checkpointing) return;
         hooks.on_generation = [&](const ga::MultiPopulationCheckpoint& ck) {
             const std::size_t every =

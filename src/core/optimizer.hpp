@@ -116,6 +116,25 @@ struct HuntCheckpointOptions {
     std::size_t abort_after_generation = 0;
 };
 
+/// Out-of-band progress sample delivered after each GA generation when
+/// `OptimizerOptions::on_generation` is set. Strictly observational: the
+/// hook runs outside the fitness path, draws no randomness, and cannot
+/// steer the hunt, so installing it never changes any report,
+/// checkpoint, or cache byte.
+struct HuntProgress {
+    /// Generation about to run next (1-based count of completed ones).
+    std::size_t next_generation = 0;
+    std::size_t max_generations = 0;
+    std::size_t evaluations = 0;
+    std::size_t restarts = 0;
+    double best_fitness = 0.0;
+    TripCacheStats cache{};
+    /// ATE pattern applications spent so far by this hunt.
+    std::size_t ate_applications = 0;
+    /// Configured in-flight trip-search depth (1 = blocking path).
+    std::size_t inflight = 1;
+};
+
 struct OptimizerOptions {
     ga::MultiPopulationOptions ga{};
     /// Software-only candidates scored by the NN generator.
@@ -133,6 +152,9 @@ struct OptimizerOptions {
     HuntParallelOptions parallel{};
     HuntCacheOptions cache{};
     HuntCheckpointOptions checkpoint{};
+    /// Observability hook: called after every GA generation with a
+    /// progress sample (see HuntProgress). Must not throw.
+    std::function<void(const HuntProgress&)> on_generation;
 };
 
 struct WorstCaseReport {

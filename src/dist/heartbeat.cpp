@@ -1,0 +1,60 @@
+#include "dist/heartbeat.hpp"
+
+#include <cstdint>
+
+namespace cichar::dist {
+namespace {
+
+/// Parses a run of digits at `pos`; false when none are there.
+bool parse_number(std::string_view text, std::size_t& pos,
+                  std::uint64_t& out) {
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+        return false;
+    }
+    std::uint64_t value = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+        value = value * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+        ++pos;
+    }
+    out = value;
+    return true;
+}
+
+}  // namespace
+
+std::optional<HeartbeatInfo> parse_heartbeat(std::string_view payload) {
+    while (!payload.empty() &&
+           (payload.back() == '\n' || payload.back() == '\r' ||
+            payload.back() == ' ')) {
+        payload.remove_suffix(1);
+    }
+    HeartbeatInfo info;
+    std::size_t pos = 0;
+    std::uint64_t done = 0;
+    if (!parse_number(payload, pos, done)) return std::nullopt;
+    info.sites_done = static_cast<std::size_t>(done);
+    if (pos == payload.size()) return info;  // legacy bare "0"
+    if (payload[pos] == '/') {
+        ++pos;
+        std::uint64_t total = 0;
+        if (!parse_number(payload, pos, total)) return std::nullopt;
+        info.sites_total = static_cast<std::size_t>(total);
+    }
+    if (pos == payload.size()) return info;  // legacy "D/T"
+    if (payload.substr(pos, 5) != " gen=") return std::nullopt;
+    pos += 5;
+    std::uint64_t generation = 0;
+    if (!parse_number(payload, pos, generation)) return std::nullopt;
+    if (pos != payload.size()) return std::nullopt;
+    info.generation = generation;
+    info.has_generation = true;
+    return info;
+}
+
+std::string format_heartbeat(std::size_t sites_done, std::size_t sites_total,
+                             std::uint64_t generation) {
+    return std::to_string(sites_done) + "/" + std::to_string(sites_total) +
+           " gen=" + std::to_string(generation) + "\n";
+}
+
+}  // namespace cichar::dist

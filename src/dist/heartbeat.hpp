@@ -1,0 +1,42 @@
+// Heartbeat progress payload. Workers historically wrote bare
+// "done/total" counters whose only signal was the file's mtime; the
+// enriched payload appends the cumulative GA generation tick count:
+//
+//   "D/T gen=G\n"
+//
+// so the scheduler (and FleetView) can distinguish a worker that is
+// slow-but-advancing inside a long site hunt from one wedged at the
+// same generation. Readers stay backward compatible: "0", "D/T", and
+// the enriched form all parse, and mtime-based heartbeat_age_seconds
+// keeps working unchanged on every variant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cichar::dist {
+
+struct HeartbeatInfo {
+    std::size_t sites_done = 0;
+    std::size_t sites_total = 0;
+    /// Cumulative GA generation ticks across the worker's sites.
+    std::uint64_t generation = 0;
+    bool has_generation = false;
+
+    [[nodiscard]] bool operator==(const HeartbeatInfo&) const = default;
+};
+
+/// Parses a heartbeat payload ("0", "D/T", or "D/T gen=G", trailing
+/// newline optional). nullopt on junk — the caller then falls back to
+/// mtime-only liveness.
+[[nodiscard]] std::optional<HeartbeatInfo> parse_heartbeat(
+    std::string_view payload);
+
+/// Renders the enriched payload workers write.
+[[nodiscard]] std::string format_heartbeat(std::size_t sites_done,
+                                           std::size_t sites_total,
+                                           std::uint64_t generation);
+
+}  // namespace cichar::dist

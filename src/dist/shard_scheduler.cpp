@@ -1,5 +1,6 @@
 #include "dist/shard_scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <stdexcept>
@@ -7,6 +8,7 @@
 #include <utility>
 
 #include "core/checkpoint.hpp"
+#include "dist/heartbeat.hpp"
 #include "lot/lot_runner.hpp"
 #include "util/binio.hpp"
 #include "util/log.hpp"
@@ -63,6 +65,12 @@ struct ShardTracker {
     std::chrono::steady_clock::time_point attempt_start{};
     bool kill_requested = false;  ///< chaos hook armed for this shard
     bool killed_once = false;     ///< chaos hook already fired
+    /// Last heartbeat payload seen and when it last *changed*. With the
+    /// enriched "D/T gen=G" payload this distinguishes a worker that is
+    /// slow-but-advancing (payload keeps changing even though each write
+    /// may be far apart) from one wedged at the same generation.
+    std::string last_payload;
+    std::chrono::steady_clock::time_point last_payload_change{};
 };
 
 struct SchedulerMetrics {
@@ -142,6 +150,12 @@ ShardRunResult ShardScheduler::run(const std::string& lot_fingerprint,
         argv.push_back(shard.checkpoint);
         argv.push_back("--heartbeat");
         argv.push_back(shard.heartbeat);
+        if (!options_.status_dir.empty()) {
+            argv.push_back("--status");
+            argv.push_back(options_.status_dir);
+            argv.push_back("--status-name");
+            argv.push_back("shard_" + std::to_string(k));
+        }
         // A prior attempt's checkpoint warm-starts the reissue — but only
         // when it really is this lot's (a stale file from another run
         // would make the worker refuse to start).
@@ -156,6 +170,8 @@ ShardRunResult ShardScheduler::run(const std::string& lot_fingerprint,
                                      std::to_string(k) + ".log";
         trackers[k].worker = util::Subprocess::start(argv, log_path);
         trackers[k].attempt_start = std::chrono::steady_clock::now();
+        trackers[k].last_payload.clear();
+        trackers[k].last_payload_change = trackers[k].attempt_start;
         ++shard.attempts;
         shard.state = ShardState::kRunning;
         ++result.launches;
@@ -216,16 +232,32 @@ ShardRunResult ShardScheduler::run(const std::string& lot_fingerprint,
             }
 
             // Straggler: heartbeat (or, before the first heartbeat, the
-            // launch itself) too old.
+            // launch itself) too old. The enriched payload ("D/T gen=G")
+            // additionally counts as progress whenever its *content*
+            // advances, so a slow-but-advancing worker whose writes are
+            // far apart is never mistaken for a wedged one.
             if (options_.heartbeat_timeout_seconds > 0.0 &&
                 tracker.worker.running()) {
+                const auto now = std::chrono::steady_clock::now();
                 const std::optional<double> age =
                     heartbeat_age_seconds(shard.heartbeat);
-                const double silent =
+                double silent =
                     age.value_or(std::chrono::duration<double>(
-                                     std::chrono::steady_clock::now() -
-                                     tracker.attempt_start)
+                                     now - tracker.attempt_start)
                                      .count());
+                const std::optional<std::string> payload =
+                    util::read_file(shard.heartbeat);
+                if (payload && parse_heartbeat(*payload)) {
+                    if (*payload != tracker.last_payload) {
+                        tracker.last_payload = *payload;
+                        tracker.last_payload_change = now;
+                    }
+                    const double since_advance =
+                        std::chrono::duration<double>(
+                            now - tracker.last_payload_change)
+                            .count();
+                    silent = std::min(silent, since_advance);
+                }
                 if (silent > options_.heartbeat_timeout_seconds) {
                     kill_worker(k, "no heartbeat for " +
                                        std::to_string(silent) + " s");

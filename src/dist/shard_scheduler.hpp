@@ -50,6 +50,10 @@ struct ShardSchedulerOptions {
     /// its checkpoint file exists (i.e. genuinely mid-run), forcing the
     /// reissue path deterministically.
     std::optional<std::size_t> kill_shard{};
+    /// Directory each worker publishes its live status snapshot into
+    /// (appends `--status DIR --status-name shard_K` to the worker argv;
+    /// empty = feed off). `cichar status` / `cichar top` fuse these.
+    std::string status_dir;
 };
 
 /// What one run() did, for reporting and assertions.

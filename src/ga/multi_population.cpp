@@ -174,6 +174,7 @@ MultiPopulationOutcome MultiPopulationGa::run(
                 pop = std::move(migrated);
             }
         }
+        if (hooks.observer) hooks.observer(gen + 1, outcome);
         if (hooks.on_generation) {
             MultiPopulationCheckpoint checkpoint;
             checkpoint.populations = populations;

@@ -64,7 +64,14 @@ struct MultiPopulationResume {
     /// Called after every completed generation with a snapshot of the
     /// loop state. Return false to stop the run right there (simulated
     /// crash / external abort); the partial outcome is returned as-is.
+    /// Building the snapshot deep-copies every population — install this
+    /// only when the copy is actually needed (checkpointing).
     std::function<bool(const MultiPopulationCheckpoint&)> on_generation;
+    /// Copy-free observation: called after every completed generation
+    /// with the index the next iteration would run and the running
+    /// outcome, before `on_generation`. Must not throw; cannot stop the
+    /// run. For status feeds and progress meters.
+    std::function<void(std::size_t, const MultiPopulationOutcome&)> observer;
     /// Snapshot to resume from; nullptr starts fresh. When resuming, the
     /// seeds argument of run() is ignored (populations already exist) and
     /// the caller must restore the rng it passed to the original run.

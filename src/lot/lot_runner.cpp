@@ -10,6 +10,7 @@
 
 #include "ate/async_tester.hpp"
 #include "core/checkpoint.hpp"
+#include "obs/status_board.hpp"
 #include "util/binio.hpp"
 #include "util/crash_point.hpp"
 #include "util/log.hpp"
@@ -17,6 +18,34 @@
 #include "util/thread_pool.hpp"
 
 namespace cichar::lot {
+namespace {
+
+obs::SitePhase status_phase(SiteStatus status) noexcept {
+    switch (status) {
+        case SiteStatus::kCompleted: return obs::SitePhase::kDone;
+        case SiteStatus::kQuarantined: return obs::SitePhase::kQuarantined;
+        case SiteStatus::kDead: return obs::SitePhase::kDead;
+        case SiteStatus::kPending: break;
+    }
+    return obs::SitePhase::kPending;
+}
+
+std::vector<obs::SiteOutcomeEntry> distill_outcomes(const SiteResult& site) {
+    std::vector<obs::SiteOutcomeEntry> outcomes;
+    outcomes.reserve(site.outcomes.size());
+    for (const SiteParameterOutcome& outcome : site.outcomes) {
+        obs::SiteOutcomeEntry entry;
+        entry.parameter = outcome.parameter.name;
+        entry.found = outcome.worst.found;
+        entry.trip_point = outcome.worst.trip_point;
+        entry.wcr = outcome.worst.wcr;
+        entry.margin_risk = outcome.margin_risk;
+        outcomes.push_back(std::move(entry));
+    }
+    return outcomes;
+}
+
+}  // namespace
 
 const char* to_string(SiteStatus status) noexcept {
     switch (status) {
@@ -242,6 +271,21 @@ LotResult LotRunner::run() const {
         to_run.resize(options_.checkpoint.max_sites_per_run);
     }
 
+    if (obs::status_enabled()) {
+        // Out-of-band status feed (invisibility contract: no RNG draws,
+        // no result mutation — the feed on/off leaves every report,
+        // checkpoint, and ledger byte identical).
+        obs::StatusBoard::instance().begin_campaign(
+            "lot", fingerprint(), options_.seed, options_.sites);
+        for (const SiteResult& site : result.sites) {
+            if (!site.finished()) continue;
+            obs::StatusBoard::instance().site_finished(
+                site.site, status_phase(site.status), distill_outcomes(site),
+                0.0, site.faults.retried_measurements,
+                site.faults.interventions(), /*restored=*/true);
+        }
+    }
+
     // Replica-mode hunts: one lot-wide inflight budget, donated between
     // sites (shared_ring), or carved into fixed per-site rings (the
     // ablation configuration). Either way each site's ring stays its own
@@ -276,6 +320,9 @@ LotResult LotRunner::run() const {
     const auto characterize_site = [&](std::size_t site) {
         TELEM_SPAN("lot.site");
         const util::LogContext log_ctx("site=" + std::to_string(site));
+        const bool observing = obs::status_enabled();
+        const auto site_start = std::chrono::steady_clock::now();
+        if (observing) obs::StatusBoard::instance().begin_site(site);
         util::Rng rng = site_rngs[site];
         device::MemoryChipOptions chip_options = options_.chip;
         chip_options.seed = rng();  // independent per-site noise stream
@@ -305,6 +352,30 @@ LotResult LotRunner::run() const {
             characterizer.optimizer.trip.policy = options_.policy;
             characterizer.optimizer.trip.policy.seed = rng();
         }
+        if (observing || options_.on_generation) {
+            // Progress hook only — installing it never changes the GA
+            // trajectory (the optimizer calls it outside the fitness
+            // path and ignores its effects).
+            characterizer.optimizer.on_generation =
+                [this, site](const core::HuntProgress& hunt) {
+                    if (obs::status_enabled()) {
+                        obs::GenerationPost post;
+                        post.generation = hunt.next_generation;
+                        post.generations_total = hunt.max_generations;
+                        post.evaluations = hunt.evaluations;
+                        post.best_wcr = hunt.best_fitness;
+                        post.ate_applications = hunt.ate_applications;
+                        post.cache_hits = hunt.cache.hits;
+                        post.cache_misses = hunt.cache.misses;
+                        post.inflight = hunt.inflight;
+                        obs::StatusBoard::instance().post_generation(site,
+                                                                     post);
+                    }
+                    if (options_.on_generation) {
+                        options_.on_generation(site, hunt);
+                    }
+                };
+        }
         const core::CharacterizationCampaign campaign(
             tester, options_.parameters, characterizer);
 
@@ -332,6 +403,15 @@ LotResult LotRunner::run() const {
         }
         out.log = tester.log();  // partial ledger survives a dead site
         if (faults_on) out.injected = site_injectors[site].stats();
+        if (observing) {
+            const double seconds =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              site_start)
+                    .count();
+            obs::StatusBoard::instance().site_finished(
+                site, status_phase(out.status), distill_outcomes(out), seconds,
+                out.faults.retried_measurements, out.faults.interventions());
+        }
 
         {
             const std::lock_guard<std::mutex> lock(checkpoint_mutex);

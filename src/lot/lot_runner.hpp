@@ -116,6 +116,11 @@ struct LotOptions {
     /// order); keep it cheap and thread-safe. Site completion order is
     /// scheduling-dependent — results are not.
     std::function<void(std::size_t, std::size_t)> on_progress{};
+    /// Observability hook: called after every GA generation of every
+    /// site's hunt with (site, progress). Runs on worker threads — keep
+    /// it cheap and thread-safe; it cannot steer the lot.
+    std::function<void(std::size_t, const core::HuntProgress&)>
+        on_generation{};
 };
 
 /// How one site's characterization ended.

@@ -1,0 +1,72 @@
+#include "obs/status_writer.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "obs/status_board.hpp"
+#include "obs/status_format.hpp"
+#include "util/binio.hpp"
+#include "util/crash_point.hpp"
+
+namespace cichar::obs {
+
+StatusWriter::StatusWriter(StatusWriterOptions options)
+    : options_(std::move(options)) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.directory, ec);
+    if (ec) {
+        std::fprintf(stderr, "warning: cannot create status dir %s: %s\n",
+                     options_.directory.c_str(), ec.message().c_str());
+    }
+    path_ = options_.directory + "/" + options_.name + ".status";
+    if (options_.interval_seconds <= 0.0) options_.interval_seconds = 1.0;
+    thread_ = std::thread([this] { run(); });
+}
+
+StatusWriter::~StatusWriter() { stop(); }
+
+void StatusWriter::stop() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_) return;
+        stopping_ = true;
+        stopped_ = true;
+    }
+    wake_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    write_now();  // terminal state, after every producer went quiet
+}
+
+void StatusWriter::write_now() {
+    const std::string blob = encode_status(StatusBoard::instance().snapshot());
+    CICHAR_CRASH_POINT("obs.status.pre_commit");
+    if (!util::atomic_write_file(path_, blob)) {
+        std::fprintf(stderr, "warning: cannot write status %s\n",
+                     path_.c_str());
+        return;
+    }
+    CICHAR_CRASH_POINT("obs.status.post_commit");
+    if (options_.on_tick) options_.on_tick();
+}
+
+void StatusWriter::run() {
+    // Publish immediately so `cichar status` sees a freshly-launched
+    // worker before its first interval elapses (and so the crash-smoke
+    // kill at obs.status.pre_commit:1 fires deterministically).
+    write_now();
+    const auto interval = std::chrono::duration<double>(
+        options_.interval_seconds);
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        wake_.wait_for(lock, interval, [this] { return stopping_; });
+        if (stopping_) break;
+        lock.unlock();
+        write_now();
+        lock.lock();
+    }
+}
+
+}  // namespace cichar::obs

@@ -1,0 +1,59 @@
+// Background publisher of the status feed: one thread that snapshots
+// the StatusBoard on a wall-clock interval and atomically rewrites
+// `<directory>/<name>.status` (temp-file + rename, the same contract as
+// every other artifact — a kill mid-write never leaves a torn feed
+// file, which the crash-point sites below let the chaos harness prove).
+// Construct after enabling the feed; the destructor (or stop()) joins
+// the thread and publishes one final snapshot, so the file always ends
+// on the campaign's terminal state.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace cichar::obs {
+
+struct StatusWriterOptions {
+    std::string directory;        ///< created if missing
+    std::string name = "worker";  ///< snapshot file: <dir>/<name>.status
+    double interval_seconds = 1.0;
+    /// Piggyback hook invoked after every snapshot write (the CLI
+    /// flushes --metrics-out here so Prometheus scrapes of a running
+    /// worker stay fresh between checkpoints).
+    std::function<void()> on_tick;
+};
+
+class StatusWriter {
+public:
+    explicit StatusWriter(StatusWriterOptions options);
+    ~StatusWriter();
+
+    StatusWriter(const StatusWriter&) = delete;
+    StatusWriter& operator=(const StatusWriter&) = delete;
+
+    /// Joins the publisher thread and writes the final snapshot.
+    /// Idempotent.
+    void stop();
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+    /// Snapshots the board and writes the feed file once (also used by
+    /// tests to force a deterministic publish).
+    void write_now();
+
+private:
+    void run();
+
+    StatusWriterOptions options_;
+    std::string path_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+    bool stopped_ = false;
+    std::thread thread_;
+};
+
+}  // namespace cichar::obs

@@ -122,10 +122,24 @@ TraceParse parse_trace_jsonl(std::istream& in) {
     return parse;
 }
 
-std::string render_trace_report(const TraceParse& parse, std::size_t top_n) {
+std::string render_trace_report(const TraceParse& parse, std::size_t top_n,
+                                const std::string& phase) {
     std::ostringstream out;
     out << "trace report\n============\n";
-    if (parse.spans.empty()) {
+
+    // Optional phase filter: every section below sees only matching spans.
+    std::vector<TraceSpan> selected;
+    selected.reserve(parse.spans.size());
+    for (const TraceSpan& span : parse.spans) {
+        if (phase.empty() || span.name.find(phase) != std::string::npos) {
+            selected.push_back(span);
+        }
+    }
+    if (!phase.empty()) {
+        out << "phase filter: \"" << phase << "\" (" << selected.size()
+            << " of " << parse.spans.size() << " spans)\n";
+    }
+    if (selected.empty()) {
         out << "no spans recorded\n";
         if (parse.malformed_lines > 0) {
             out << "malformed lines skipped: " << parse.malformed_lines
@@ -136,13 +150,13 @@ std::string render_trace_report(const TraceParse& parse, std::size_t top_n) {
 
     std::uint64_t wall_begin = UINT64_MAX;
     std::uint64_t wall_end = 0;
-    for (const TraceSpan& span : parse.spans) {
+    for (const TraceSpan& span : selected) {
         wall_begin = std::min(wall_begin, span.begin_ns);
         if (span.closed) wall_end = std::max(wall_end, span.end_ns);
     }
     const std::uint64_t wall_ns =
         wall_end > wall_begin ? wall_end - wall_begin : 0;
-    out << "spans: " << parse.spans.size() << "  wall: " << format_ms(wall_ns)
+    out << "spans: " << selected.size() << "  wall: " << format_ms(wall_ns)
         << " ms\n";
     if (parse.malformed_lines > 0) {
         out << "malformed lines skipped: " << parse.malformed_lines << '\n';
@@ -151,11 +165,36 @@ std::string render_trace_report(const TraceParse& parse, std::size_t top_n) {
         out << "unclosed spans (excluded from timing): "
             << parse.unclosed_spans << '\n';
     }
+
+    // Wall-clock utilization: per-thread busy time from top-level closed
+    // spans (nested spans would double-count their parents), pooled over
+    // every thread that recorded one, against the trace window.
+    {
+        std::map<std::uint32_t, std::uint64_t> busy_by_tid;
+        for (const TraceSpan& span : selected) {
+            if (!span.closed || span.parent != 0) continue;
+            busy_by_tid[span.tid] += span.duration_ns();
+        }
+        if (!busy_by_tid.empty() && wall_ns > 0) {
+            std::uint64_t busy_ns = 0;
+            for (const auto& [tid, ns] : busy_by_tid) busy_ns += ns;
+            const std::uint64_t pool_ns =
+                wall_ns * static_cast<std::uint64_t>(busy_by_tid.size());
+            const double busy_pct =
+                100.0 * static_cast<double>(busy_ns) /
+                static_cast<double>(pool_ns);
+            out << "utilization: " << format_ms(busy_ns) << " ms busy / "
+                << format_ms(pool_ns) << " ms pooled wall across "
+                << busy_by_tid.size() << " thread(s) — "
+                << fixed(busy_pct, 1) << "% busy, "
+                << fixed(100.0 - busy_pct, 1) << "% idle\n";
+        }
+    }
     out << '\n';
 
     // Phase breakdown: top-level spans (parent == 0), grouped by name.
     std::map<std::string, NameAggregate> phases;
-    for (const TraceSpan& span : parse.spans) {
+    for (const TraceSpan& span : selected) {
         if (!span.closed || span.parent != 0) continue;
         NameAggregate& agg = phases[span.name];
         ++agg.count;
@@ -189,7 +228,7 @@ std::string render_trace_report(const TraceParse& parse, std::size_t top_n) {
 
     // Hottest spans: every nesting level, grouped by name, by total time.
     std::map<std::string, NameAggregate> hot;
-    for (const TraceSpan& span : parse.spans) {
+    for (const TraceSpan& span : selected) {
         if (!span.closed) continue;
         NameAggregate& agg = hot[span.name];
         ++agg.count;
@@ -219,7 +258,7 @@ std::string render_trace_report(const TraceParse& parse, std::size_t top_n) {
         // Duration distribution of the hottest span name.
         const std::string& hottest_name = hottest.front().first;
         std::vector<double> durations_ms;
-        for (const TraceSpan& span : parse.spans) {
+        for (const TraceSpan& span : selected) {
             if (span.closed && span.name == hottest_name) {
                 durations_ms.push_back(
                     static_cast<double>(span.duration_ns()) / 1e6);

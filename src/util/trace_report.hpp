@@ -37,9 +37,13 @@ struct TraceParse {
 [[nodiscard]] TraceParse parse_trace_jsonl(std::istream& in);
 
 /// Renders the phase-timing breakdown (top-level spans grouped by name),
-/// the top-N spans by aggregate time across all nesting levels, and a
-/// duration histogram for the hottest span name.
+/// a wall-clock utilization line (per-thread busy vs. idle time over the
+/// trace window), the top-N spans by aggregate time across all nesting
+/// levels, and a duration histogram for the hottest span name. A
+/// non-empty `phase` restricts every section to spans whose name
+/// contains it (substring match), e.g. --phase lot.site.
 [[nodiscard]] std::string render_trace_report(const TraceParse& parse,
-                                              std::size_t top_n = 10);
+                                              std::size_t top_n = 10,
+                                              const std::string& phase = "");
 
 }  // namespace cichar::util

@@ -1,0 +1,57 @@
+#include "dist/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cichar::dist {
+namespace {
+
+TEST(HeartbeatTest, ParsesLegacyZero) {
+    // The pre-enrichment launch payload was a bare "0".
+    const auto info = parse_heartbeat("0");
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->sites_done, 0u);
+    EXPECT_EQ(info->sites_total, 0u);
+    EXPECT_FALSE(info->has_generation);
+}
+
+TEST(HeartbeatTest, ParsesLegacyDoneOverTotal) {
+    const auto info = parse_heartbeat("3/8\n");
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->sites_done, 3u);
+    EXPECT_EQ(info->sites_total, 8u);
+    EXPECT_FALSE(info->has_generation);
+}
+
+TEST(HeartbeatTest, ParsesEnrichedPayload) {
+    const auto info = parse_heartbeat("5/8 gen=142\n");
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->sites_done, 5u);
+    EXPECT_EQ(info->sites_total, 8u);
+    EXPECT_TRUE(info->has_generation);
+    EXPECT_EQ(info->generation, 142u);
+}
+
+TEST(HeartbeatTest, FormatRoundTrips) {
+    const std::string payload = format_heartbeat(2, 6, 37);
+    EXPECT_EQ(payload, "2/6 gen=37\n");
+    const auto info = parse_heartbeat(payload);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->sites_done, 2u);
+    EXPECT_EQ(info->sites_total, 6u);
+    EXPECT_EQ(info->generation, 37u);
+    EXPECT_TRUE(info->has_generation);
+}
+
+TEST(HeartbeatTest, RejectsJunk) {
+    // Junk payloads make the caller fall back to mtime-only liveness.
+    EXPECT_FALSE(parse_heartbeat(""));
+    EXPECT_FALSE(parse_heartbeat("alive"));
+    EXPECT_FALSE(parse_heartbeat("3/"));
+    EXPECT_FALSE(parse_heartbeat("/8"));
+    EXPECT_FALSE(parse_heartbeat("3/8 gen="));
+    EXPECT_FALSE(parse_heartbeat("3/8 gen=x"));
+    EXPECT_FALSE(parse_heartbeat("3/8 trailing"));
+}
+
+}  // namespace
+}  // namespace cichar::dist

@@ -32,12 +32,16 @@
 //       any D >= 1 x jobs x slab size)
 //   cichar pattern --march NAME --out FILE | --info FILE
 //       export deterministic patterns as ATE vector files / inspect one
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ate/fault_injector.hpp"
@@ -54,8 +58,12 @@
 #include "dist/shard_merge.hpp"
 #include "dist/shard_scheduler.hpp"
 #include "dist/spool.hpp"
+#include "dist/heartbeat.hpp"
 #include "lot/lot_report.hpp"
 #include "lot/lot_runner.hpp"
+#include "obs/fleet_view.hpp"
+#include "obs/status_board.hpp"
+#include "obs/status_writer.hpp"
 #include "store/ledger.hpp"
 #include "store/ledger_payloads.hpp"
 #include "testgen/march.hpp"
@@ -87,7 +95,7 @@ int usage() {
         "              [--checkpoint FILE] [--resume FILE]\n"
         "              [--abort-after-generation N]\n"
         "              [--db FILE] [--model FILE] [--report FILE]\n"
-        "              [--ledger DIR]\n"
+        "              [--ledger DIR] [--status DIR]\n"
         "  cichar shmoo [--seed N] [--tests N] [--csv FILE]\n"
         "  cichar screen --db FILE [--limit L] [--lot N] [--seed N]\n"
         "  cichar campaign [--seed N] [--tests N] [--generations G]\n"
@@ -98,6 +106,7 @@ int usage() {
         "             [--fault-profile SPEC] [--policy on|off]\n"
         "             [--checkpoint FILE] [--resume FILE] [--max-sites N]\n"
         "             [--site-range A:B] [--heartbeat FILE] [--ledger DIR]\n"
+        "             [--status DIR [--status-name N] [--status-interval S]]\n"
         "             [--shards N [--shard-dir DIR] [--max-attempts N]\n"
         "              [--heartbeat-timeout S] [--max-parallel N]\n"
         "              [--kill-shard K]]\n"
@@ -132,10 +141,27 @@ int usage() {
         "fault profiles: off | transient[:RATE] | moderate |\n"
         "                transient=R,stuck=R,timeout=R,death=R,span=F,\n"
         "                stuck-len=N,seed=N (any subset)\n"
+        "  cichar status DIR [--json] [--ledger DIR]\n"
+        "      one-shot fleet view of a run directory: fuses per-worker\n"
+        "      --status snapshots, the shard manifest + heartbeats, and\n"
+        "      (with --ledger) a read-only ledger tail into per-site\n"
+        "      phase/ETA, partial lot statistics, and anomaly flags\n"
+        "  cichar top DIR [--interval S] [--iterations N] [--ledger DIR]\n"
+        "      live refreshing ASCII view of the same model\n"
         "  cichar pattern --march c-|mats+|x|y|checkerboard --out FILE\n"
         "  cichar pattern --info FILE\n"
-        "  cichar trace-report FILE [--top N]\n"
-        "      render phase timing + hottest spans from a --trace-out file\n"
+        "  cichar trace-report FILE [--top N] [--phase NAME]\n"
+        "      render phase timing, wall-clock utilization + hottest spans\n"
+        "      from a --trace-out file (--phase filters by span name)\n"
+        "status feed (hunt and lot): --status DIR publishes a checksummed\n"
+        "  CISTAT1 snapshot (atomic temp+rename) of per-site phase,\n"
+        "  generation progress, cache/ATE counters, and partial results\n"
+        "  every --status-interval seconds (default 1); --status-name sets\n"
+        "  the snapshot file stem (default worker role). Off by default\n"
+        "  and contractually invisible: reports, checkpoints, caches, and\n"
+        "  ledgers are byte-identical with the feed on or off. With\n"
+        "  --metrics-out, the Prometheus snapshot is re-flushed on the\n"
+        "  same cadence.\n"
         "telemetry (hunt and lot): --metrics-out FILE writes a Prometheus\n"
         "  text snapshot (also refreshed on every checkpoint; on --resume\n"
         "  the previous snapshot is reloaded so counters stay cumulative);\n"
@@ -194,6 +220,24 @@ struct TelemetryExports {
         }
     }
 };
+
+/// --status DIR wiring shared by hunt and lot: flips the process-wide
+/// feed on and starts the background snapshot writer. Returns nullptr
+/// when --status is absent (the feed stays off: one relaxed atomic load
+/// per would-be post). The writer's on_tick re-flushes --metrics-out on
+/// the same cadence, so the Prometheus snapshot goes live too.
+std::unique_ptr<obs::StatusWriter> make_status_writer(
+    const Args& args, const char* default_name,
+    const TelemetryExports& telem) {
+    if (!args.has("status")) return nullptr;
+    obs::set_status_enabled(true);
+    obs::StatusWriterOptions options;
+    options.directory = args.get("status");
+    options.name = args.get("status-name", default_name);
+    options.interval_seconds = args.get_double("status-interval", 1.0);
+    options.on_tick = [telem] { telem.write_metrics(); };
+    return std::make_unique<obs::StatusWriter>(std::move(options));
+}
 
 core::CharacterizerOptions default_options() {
     core::CharacterizerOptions options;
@@ -417,6 +461,30 @@ int cmd_hunt(const Args& args) {
        << ":policy=" << (policy_on ? 1 : 0);
     const std::string fingerprint = fp.str();
 
+    // --status DIR: live snapshot feed. The hunt is a one-site campaign
+    // (site 0); the optimizer progress hook posts each GA generation.
+    std::unique_ptr<obs::StatusWriter> status =
+        make_status_writer(args, "hunt", telem);
+    if (status) {
+        obs::StatusBoard::instance().begin_campaign("hunt", fingerprint, seed,
+                                                    1);
+        obs::StatusBoard::instance().begin_site(0);
+        options.optimizer.on_generation =
+            [](const core::HuntProgress& progress) {
+                obs::GenerationPost post;
+                post.generation = progress.next_generation;
+                post.generations_total = progress.max_generations;
+                post.evaluations = progress.evaluations;
+                post.best_wcr = progress.best_fitness;
+                post.ate_applications = progress.ate_applications;
+                post.cache_hits = progress.cache.hits;
+                post.cache_misses = progress.cache.misses;
+                post.inflight = progress.inflight;
+                obs::StatusBoard::instance().post_generation(0, post);
+            };
+    }
+    const auto hunt_start = std::chrono::steady_clock::now();
+
     if (args.has("checkpoint")) {
         const std::string path = args.get("checkpoint");
         options.optimizer.checkpoint.save =
@@ -473,6 +541,24 @@ int cmd_hunt(const Args& args) {
         std::printf("optimizing...\n");
         return characterizer.optimize(learned->model, rng);
     }();
+    if (status) {
+        if (!report.aborted) {
+            std::vector<obs::SiteOutcomeEntry> outcomes(1);
+            outcomes[0].parameter = param.name;
+            outcomes[0].found = report.worst_record.found;
+            outcomes[0].trip_point = report.worst_record.trip_point;
+            outcomes[0].wcr = report.worst_record.wcr;
+            outcomes[0].margin_risk = 0.0;
+            obs::StatusBoard::instance().site_finished(
+                0, obs::SitePhase::kDone, std::move(outcomes),
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - hunt_start)
+                    .count(),
+                report.faults.retried_measurements,
+                report.faults.interventions());
+        }
+        status->stop();  // publish the terminal snapshot
+    }
     telem.flush();
 
     if (report.aborted) {
@@ -857,6 +943,10 @@ int run_sharded_lot(const Args& args, const std::string& argv0,
     }
     sched.worker_program = util::self_executable_path(argv0);
     sched.worker_args = worker_args_for(config);
+    // --status DIR: each shard worker publishes its own snapshot there
+    // (shard_K.status); `cichar status DIR` fuses them with the manifest
+    // and heartbeats into one fleet view.
+    if (args.has("status")) sched.status_dir = args.get("status");
 
     std::printf("characterizing lot: %zu sites across %zu shards "
                 "(seed %llu)...\n",
@@ -942,25 +1032,65 @@ int cmd_lot(const Args& args, const std::string& argv0) {
         }
     }
 
-    // --heartbeat FILE: liveness beacon for the shard scheduler — touched
-    // at startup and after every finished site (atomic, like every other
-    // artifact the scheduler reads).
+    // --heartbeat FILE: liveness beacon for the shard scheduler — written
+    // at startup, after every finished site, and (throttled) on GA
+    // generation ticks, so its enriched "D/T gen=G" payload advances even
+    // while a long site hunt is still mid-flight. Atomic, like every
+    // other artifact the scheduler reads.
     const std::string heartbeat = args.get("heartbeat");
-    if (!heartbeat.empty() && !util::atomic_write_file(heartbeat, "0\n")) {
+    struct HeartbeatState {
+        std::atomic<std::size_t> done{0};
+        std::atomic<std::uint64_t> ticks{0};
+        std::mutex write_mutex;
+        std::chrono::steady_clock::time_point last_write{};
+    };
+    auto hb = std::make_shared<HeartbeatState>();
+    if (!heartbeat.empty() &&
+        !util::atomic_write_file(heartbeat,
+                                 dist::format_heartbeat(0, options.sites, 0))) {
         std::fprintf(stderr, "warning: cannot write heartbeat %s\n",
                      heartbeat.c_str());
     }
-    options.on_progress = [heartbeat](std::size_t done, std::size_t total) {
+    options.on_progress = [heartbeat, hb](std::size_t done,
+                                          std::size_t total) {
         std::fprintf(stderr, "  site campaign finished (%zu/%zu)\n", done,
                      total);
         if (!heartbeat.empty()) {
             // Best-effort: a missed heartbeat only delays the scheduler's
             // stall detector.
-            (void)util::atomic_write_file(heartbeat,
-                                          std::to_string(done) + "/" +
-                                              std::to_string(total) + "\n");
+            hb->done.store(done, std::memory_order_relaxed);
+            const std::lock_guard<std::mutex> lock(hb->write_mutex);
+            hb->last_write = std::chrono::steady_clock::now();
+            (void)util::atomic_write_file(
+                heartbeat,
+                dist::format_heartbeat(
+                    done, total, hb->ticks.load(std::memory_order_relaxed)));
         }
     };
+    if (!heartbeat.empty()) {
+        const std::size_t total_sites = options.sites;
+        options.on_generation = [heartbeat, hb, total_sites](
+                                    std::size_t, const core::HuntProgress&) {
+            // Cumulative generation ticks across all sites; writes are
+            // throttled so a fast GA does not hammer the filesystem.
+            const std::uint64_t ticks =
+                hb->ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+            const auto now = std::chrono::steady_clock::now();
+            const std::lock_guard<std::mutex> lock(hb->write_mutex);
+            if (now - hb->last_write < std::chrono::milliseconds(250)) return;
+            hb->last_write = now;
+            (void)util::atomic_write_file(
+                heartbeat,
+                dist::format_heartbeat(
+                    hb->done.load(std::memory_order_relaxed), total_sites,
+                    ticks));
+        };
+    }
+
+    // --status DIR: live snapshot feed (the runner drives the board; this
+    // only starts the background writer). Invisible to results.
+    std::unique_ptr<obs::StatusWriter> status =
+        make_status_writer(args, "lot", telem);
 
     // --ledger DIR: durable append-only sink alongside the checkpoint.
     // Finished sites are appended (and fsync'd) incrementally via the
@@ -1050,6 +1180,7 @@ int cmd_lot(const Args& args, const std::string& argv0) {
     }
     const lot::LotRunner runner(options);
     const lot::LotResult result = runner.run();
+    if (status) status->stop();  // publish the terminal snapshot
     telem.flush();
     if (ledger) {
         // Sweep every finished site (checkpointed, restored, or live) —
@@ -1344,7 +1475,53 @@ int cmd_trace_report(const std::string& path, const Args& args) {
     }
     const util::TraceParse parse = util::parse_trace_jsonl(in);
     const auto top = static_cast<std::size_t>(args.get_u64("top", 10));
-    std::printf("%s", util::render_trace_report(parse, top).c_str());
+    std::printf("%s",
+                util::render_trace_report(parse, top, args.get("phase"))
+                    .c_str());
+    return 0;
+}
+
+obs::FleetViewOptions fleet_options_from_args(const Args& args) {
+    obs::FleetViewOptions options;
+    options.stall_after_seconds = args.get_double("stall-after", 30.0);
+    if (args.has("ledger")) options.ledger_dir = args.get("ledger");
+    return options;
+}
+
+/// cichar status DIR [--json] [--ledger DIR] [--stall-after S]
+int cmd_status(const std::string& directory, const Args& args) {
+    const obs::FleetModel model =
+        obs::fuse_run_directory(directory, fleet_options_from_args(args));
+    if (args.has("json")) {
+        std::printf("%s", obs::render_fleet_json(model).c_str());
+    } else {
+        std::printf("%s", obs::render_fleet_text(model).c_str());
+    }
+    return 0;
+}
+
+/// cichar top DIR [--interval S] [--iterations N] [--ledger DIR]
+/// Live refreshing view; --iterations bounds the frame count (0 = until
+/// interrupted) so tests and scripts can run it non-interactively.
+int cmd_top(const std::string& directory, const Args& args) {
+    const obs::FleetViewOptions options = fleet_options_from_args(args);
+    const double interval = args.get_double("interval", 1.0);
+    const auto iterations =
+        static_cast<std::size_t>(args.get_u64("iterations", 0));
+    for (std::size_t frame = 0; iterations == 0 || frame < iterations;
+         ++frame) {
+        if (frame > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(interval > 0.0 ? interval
+                                                             : 1.0));
+        }
+        const obs::FleetModel model =
+            obs::fuse_run_directory(directory, options);
+        // ANSI clear + home, like any terminal dashboard; harmless when
+        // redirected to a file.
+        std::printf("\033[2J\033[H%s", obs::render_fleet_top(model).c_str());
+        std::fflush(stdout);
+    }
     return 0;
 }
 
@@ -1412,6 +1589,19 @@ int main(int argc, char** argv) {
         if (!args.ok() || !apply_log_level(args)) return usage();
         try {
             return cmd_trace_report(argv[2], args);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    if (command == "status" || command == "top") {
+        // Positional DIR operand: parse flags after it.
+        if (argc < 3 || argv[2][0] == '-') return usage();
+        const Args args(argc, argv, 3);
+        if (!args.ok() || !apply_log_level(args)) return usage();
+        try {
+            return command == "status" ? cmd_status(argv[2], args)
+                                       : cmd_top(argv[2], args);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 1;
